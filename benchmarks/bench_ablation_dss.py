@@ -1,0 +1,113 @@
+"""Ablation — DSS design choices (ours, extending Fig. 4).
+
+DESIGN.md calls out three knobs of the DSS sampler the paper fixes
+implicitly: the geometric tail parameter, the ranking-list refresh
+period (the paper's log(m)), and which sides are rank-sampled.  This
+bench sweeps each and reports final test MAP plus training time, so the
+sensitivity of CLAPF+ to its sampler is visible.
+"""
+
+import time
+
+import pytest
+
+from repro.core.clapf import CLAPF
+from repro.data.profiles import make_profile_dataset
+from repro.data.split import train_test_split
+from repro.metrics.evaluator import Evaluator
+from repro.sampling.dss import DoubleSampler, NegativeOnlySampler, PositiveOnlySampler
+from repro.sampling.uniform import UniformSampler
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = make_profile_dataset("ML20M", scale=0.5, seed=1)
+    split = train_test_split(dataset, seed=1)
+    evaluator = Evaluator(split, ks=(5,), max_users=200, seed=0)
+    return split, evaluator
+
+
+def _final_map(split, evaluator, sampler, scale):
+    model = CLAPF(
+        "map",
+        tradeoff=0.3,
+        sgd=scale.sgd_config(),
+        reg=scale.reg_config(),
+        sampler=sampler,
+        seed=2,
+    )
+    start = time.perf_counter()
+    model.fit(split.train)
+    elapsed = time.perf_counter() - start
+    return evaluator.evaluate(model)["map"], elapsed
+
+
+def test_dss_tail_sweep(benchmark, scale, record_result, setting):
+    split, evaluator = setting
+    rows = []
+
+    def sweep():
+        for tail in (0.05, 0.1, 0.2, 0.5):
+            value, seconds = _final_map(split, evaluator, DoubleSampler("map", tail=tail), scale)
+            rows.append([f"tail={tail}", value, seconds])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_dss_tail",
+        format_table(["DSS variant", "final MAP", "train s"], rows,
+                     title="DSS ablation — geometric tail parameter"),
+    )
+    assert all(0.0 <= row[1] <= 1.0 for row in rows)
+
+
+def test_dss_refresh_interval_sweep(benchmark, scale, record_result, setting):
+    split, evaluator = setting
+    rows = []
+
+    def sweep():
+        for interval in (1, None, 64):  # None = the paper's log(m)
+            sampler = DoubleSampler("map", refresh_interval=interval)
+            value, seconds = _final_map(split, evaluator, sampler, scale)
+            label = "log(m)" if interval is None else str(interval)
+            rows.append([f"refresh={label}", value, seconds])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_dss_refresh",
+        format_table(["DSS variant", "final MAP", "train s"], rows,
+                     title="DSS ablation — ranking refresh interval"),
+    )
+    # The paper's log(m) schedule must not be slower than every-step
+    # refreshing (that is its purpose).
+    every_step = next(row for row in rows if row[0] == "refresh=1")
+    log_m = next(row for row in rows if row[0] == "refresh=log(m)")
+    assert log_m[2] <= every_step[2] * 1.5 + 0.5
+
+
+def test_dss_side_ablation(benchmark, scale, record_result, setting):
+    """The paper's own Fig. 4 ablation: Uniform / Positive / Negative / DSS."""
+    split, evaluator = setting
+    rows = []
+
+    def sweep():
+        samplers = [
+            ("Uniform", UniformSampler()),
+            ("Positive-only", PositiveOnlySampler("map")),
+            ("Negative-only", NegativeOnlySampler("map")),
+            ("DSS (both)", DoubleSampler("map")),
+        ]
+        for label, sampler in samplers:
+            value, seconds = _final_map(split, evaluator, sampler, scale)
+            rows.append([label, value, seconds])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "ablation_dss_sides",
+        format_table(["Sampler", "final MAP", "train s"], rows,
+                     title="DSS ablation — which sides are rank-sampled"),
+    )
+    assert len(rows) == 4

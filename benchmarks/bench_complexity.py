@@ -1,0 +1,83 @@
+"""Section 4.3 complexity claims as micro-benchmarks.
+
+The paper argues (i) CLAPF's per-update cost is O(d) like BPR's — one
+extra item update — so epoch times are comparable; (ii) CLiMF's epoch is
+quadratic in profile size and therefore much slower; (iii) DSS adds only
+the periodic ranking rebuild over uniform sampling.  These benchmarks
+measure exactly those ratios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clapf import CLAPF
+from repro.data.profiles import make_profile_dataset
+from repro.data.split import train_test_split
+from repro.mf.params import FactorParams
+from repro.mf.sgd import SGDConfig
+from repro.models.bpr import BPR
+from repro.models.climf import CLiMF
+from repro.sampling.aobpr import AdaptiveOversampler
+from repro.sampling.dns import DynamicNegativeSampler
+from repro.sampling.dss import DoubleSampler
+from repro.sampling.uniform import UniformSampler
+
+ONE_EPOCH = SGDConfig(n_epochs=1, learning_rate=0.05)
+
+
+@pytest.fixture(scope="module")
+def train():
+    dataset = make_profile_dataset("ML100K", seed=0)
+    return train_test_split(dataset, seed=0).train
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("BPR", lambda: BPR(sgd=ONE_EPOCH, seed=0)),
+        ("CLAPF-MAP", lambda: CLAPF("map", sgd=ONE_EPOCH, seed=0)),
+        ("CLAPF+-MAP", lambda: CLAPF("map", sgd=ONE_EPOCH, sampler=DoubleSampler("map"), seed=0)),
+        ("CLiMF", lambda: CLiMF(sgd=ONE_EPOCH, seed=0)),
+    ],
+)
+def test_epoch_time(benchmark, train, name, factory):
+    """Wall time of one training epoch per method (Table 2 time column)."""
+    benchmark.group = "one-epoch"
+    benchmark(lambda: factory().fit(train))
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("Uniform", UniformSampler),
+        ("DNS", DynamicNegativeSampler),
+        ("AoBPR", AdaptiveOversampler),
+        ("DSS-MAP", lambda: DoubleSampler("map")),
+        ("DSS-MRR", lambda: DoubleSampler("mrr")),
+    ],
+)
+def test_sampler_throughput(benchmark, train, name, factory):
+    """Tuples sampled per call: DSS must stay within a small factor of
+    uniform (the paper's 'comparable time' claim for the sampler)."""
+    benchmark.group = "sampler-batch"
+    params = FactorParams.init(train.n_users, train.n_items, 20, seed=0)
+    sampler = factory().bind(train, params)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: sampler.sample(512, rng))
+
+
+def test_clapf_epoch_within_factor_of_bpr(train):
+    """Hard assertion on the headline complexity claim."""
+    import time
+
+    def epoch_seconds(factory):
+        model = factory()
+        start = time.perf_counter()
+        model.fit(train)
+        return time.perf_counter() - start
+
+    bpr = epoch_seconds(lambda: BPR(sgd=SGDConfig(n_epochs=5), seed=0))
+    clapf = epoch_seconds(lambda: CLAPF("map", sgd=SGDConfig(n_epochs=5), seed=0))
+    climf = epoch_seconds(lambda: CLiMF(sgd=SGDConfig(n_epochs=5), seed=0))
+    assert clapf < 3 * bpr + 0.2
+    assert climf > clapf

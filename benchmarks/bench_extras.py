@@ -1,0 +1,100 @@
+"""Extras beyond Table 2 — related-work methods and sampler variants.
+
+Covers the methods the paper surveys but does not re-run (Section 2.1):
+GBPR (assumption-relaxing pairwise), GMF/MLP (NCF component ablations),
+and the ABS rank-window sampler, each slotted into the same protocol so
+their numbers are directly comparable to the Table 2 blocks.
+"""
+
+import pytest
+
+from repro.core.clapf import CLAPF
+from repro.data.profiles import make_profile_dataset
+from repro.data.split import repeated_splits
+from repro.experiments.registry import make_model
+from repro.experiments.runner import run_method
+from repro.sampling.abs import AlphaBetaSampler
+from repro.sampling.aobpr import AdaptiveOversampler
+from repro.sampling.dss import DoubleSampler
+from repro.sampling.uniform import UniformSampler
+from repro.utils.tables import format_table
+
+EXTRA_METHODS = ("BPR", "GBPR", "GMF", "MLP", "NeuMF", "CLAPF-MAP")
+KEYS = ("precision@5", "ndcg@5", "map", "mrr")
+
+
+def test_related_work_methods(benchmark, scale, record_result):
+    """GBPR and the NCF components under the Table 2 protocol."""
+
+    def run():
+        dataset = make_profile_dataset("ML100K", scale=scale.dataset_scale, seed=scale.seed)
+        splits = repeated_splits(dataset, repeats=scale.repeats, seed=scale.seed)
+        return {
+            method: run_method(
+                lambda repeat, method=method: make_model(
+                    method, scale=scale, dataset="ML100K", seed=scale.seed + repeat
+                ),
+                splits,
+                name=method,
+                ks=(5,),
+                max_users=400,
+            )
+            for method in EXTRA_METHODS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name] + [results[name].means[key] for key in KEYS] + [results[name].train_seconds]
+        for name in EXTRA_METHODS
+    ]
+    record_result(
+        "extras_related_work",
+        format_table(["Method", *KEYS, "train s"], rows,
+                     title="Related-work methods under the Table 2 protocol (ML100K)"),
+    )
+    # GBPR is a BPR refinement: it must stay in BPR's neighbourhood.
+    assert results["GBPR"].means["auc"] >= results["BPR"].means["auc"] - 0.1
+
+
+def test_sampler_lineup_in_clapf(benchmark, scale, record_result):
+    """All four sampler families driving the same CLAPF-MAP model."""
+
+    def run():
+        dataset = make_profile_dataset("ML20M", scale=scale.dataset_scale, seed=scale.seed)
+        splits = repeated_splits(dataset, repeats=scale.repeats, seed=scale.seed)
+        samplers = {
+            "Uniform": UniformSampler,
+            "AoBPR": AdaptiveOversampler,
+            "ABS": AlphaBetaSampler,
+            "DSS": lambda: DoubleSampler("map"),
+        }
+        results = {}
+        for name, factory in samplers.items():
+            results[name] = run_method(
+                lambda repeat, factory=factory: CLAPF(
+                    "map",
+                    tradeoff=0.3,
+                    sgd=scale.sgd_config(),
+                    reg=scale.reg_config(),
+                    sampler=factory(),
+                    seed=scale.seed + repeat,
+                ),
+                splits,
+                name=name,
+                ks=(5,),
+                max_users=300,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name] + [results[name].means[key] for key in KEYS] + [results[name].train_seconds]
+        for name in results
+    ]
+    record_result(
+        "extras_sampler_lineup",
+        format_table(["Sampler", *KEYS, "train s"], rows,
+                     title="CLAPF-MAP under Uniform / AoBPR / ABS / DSS sampling (ML20M)"),
+    )
+    for name, result in results.items():
+        assert 0.0 <= result.means["ndcg@5"] <= 1.0

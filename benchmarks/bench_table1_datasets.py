@@ -1,0 +1,35 @@
+"""Table 1 — dataset statistics of the six synthetic stand-ins.
+
+Regenerates the n / m / |P| / |P^te| / density rows and benchmarks the
+synthetic generation + split pipeline that every other experiment
+depends on.
+"""
+
+from repro.data.profiles import make_profile_dataset
+from repro.data.split import train_test_split
+from repro.experiments.tables import render_table1, table1_dataset_statistics
+
+
+def test_table1_regeneration(benchmark, scale, record_result):
+    rows = benchmark.pedantic(
+        lambda: table1_dataset_statistics(scale=scale), rounds=1, iterations=1
+    )
+    assert len(rows) == 6
+    # The density regimes of Table 1 must survive the scaling: the three
+    # general datasets are denser than the three large ones.
+    general = {"ML100K", "ML1M", "UserTag"}
+    general_density = min(r.density for r in rows if r.dataset.split("-")[0] in general)
+    large_density = max(r.density for r in rows if r.dataset.split("-")[0] not in general)
+    assert general_density > large_density
+    record_result("table1_datasets", render_table1(rows))
+
+
+def test_dataset_generation_speed(benchmark, scale):
+    """Micro-benchmark: one ML100K-profile generation plus split."""
+
+    def generate():
+        dataset = make_profile_dataset("ML100K", scale=scale.dataset_scale, seed=0)
+        return train_test_split(dataset, seed=0)
+
+    split = benchmark(generate)
+    assert split.train.n_interactions > 0

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper and writes
+the rendered rows to ``benchmarks/results/``.  The run size is selected
+with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — minutes-scale smoke reproduction;
+* ``paper`` — the full laptop-scale reproduction used for
+  EXPERIMENTS.md (5 repeats, full synthetic profiles).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def selected_scale() -> ExperimentScale:
+    """The ExperimentScale selected via REPRO_BENCH_SCALE."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "quick":
+        return ExperimentScale.quick()
+    raise ValueError(f"REPRO_BENCH_SCALE must be 'quick' or 'paper', got {name!r}")
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return selected_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendered output to results/<name>.txt."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return write

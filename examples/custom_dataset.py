@@ -1,0 +1,71 @@
+"""Bring your own data: run CLAPF on a ratings file or pair file.
+
+Demonstrates the loaders for the formats the paper's datasets ship in.
+Given a path it auto-detects the format; with no argument it writes a
+small demo file and round-trips it, so the example always runs offline.
+
+Usage::
+
+    python examples/custom_dataset.py [path/to/u.data | ratings.dat | ratings.csv | pairs.tsv]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import clapf_plus_map, evaluate_model, train_test_split
+from repro.data.loaders import (
+    load_csv_triplets,
+    load_movielens_100k,
+    load_movielens_1m,
+    load_pairs,
+)
+
+
+def load_any(path: Path):
+    """Pick a loader from the file name, as the real datasets are named."""
+    name = path.name.lower()
+    if name == "u.data":
+        return load_movielens_100k(path)
+    if name.endswith(".dat"):
+        return load_movielens_1m(path)
+    if name.endswith(".csv"):
+        return load_csv_triplets(path)
+    return load_pairs(path)
+
+
+def demo_file(directory: Path) -> Path:
+    """A tiny MovieLens-100K-format file so the example runs offline."""
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    path = directory / "u.data"
+    with path.open("w") as handle:
+        for user in range(60):
+            for item in rng.choice(120, size=12, replace=False):
+                rating = rng.integers(1, 6)
+                handle.write(f"{user}\t{item}\t{rating}\t0\n")
+    return path
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+    else:
+        print("no path given — generating a demo u.data file")
+        path = demo_file(Path(tempfile.mkdtemp()))
+
+    dataset = load_any(path)
+    print(f"loaded {dataset}  (ratings > 3 kept as implicit positives)")
+
+    split = train_test_split(dataset, seed=0)
+    model = clapf_plus_map(tradeoff=0.4, seed=0).fit(split.train)
+    result = evaluate_model(model, split, ks=(5, 10))
+    print("\nCLAPF+-MAP on your data:")
+    for key in ("precision@5", "recall@10", "ndcg@5", "map", "mrr"):
+        print(f"  {key:12s} {result[key]:.4f}")
+    print(f"\ntop-10 for user 0: {model.recommend(0, k=10).tolist()}")
+
+
+if __name__ == "__main__":
+    main()

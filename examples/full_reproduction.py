@@ -1,0 +1,91 @@
+"""Regenerate every table and figure of the paper in one run.
+
+This is the EXPERIMENTS.md driver: it renders Table 1, all six Table-2
+blocks, the Fig. 2 top-k curves, the Fig. 3 lambda sweep, and the
+Fig. 4 sampler-convergence traces, writing everything to stdout and to
+``examples/output/`` text files.
+
+Usage::
+
+    python examples/full_reproduction.py            # quick (~2 min)
+    python examples/full_reproduction.py --paper    # full scale (~1-2 h)
+    python examples/full_reproduction.py --datasets ML100K ML1M
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.data.profiles import DATASET_PROFILES
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    figure2_topk_curves,
+    figure3_tradeoff_sweep,
+    figure4_convergence,
+)
+from repro.experiments.tables import (
+    render_table1,
+    table1_dataset_statistics,
+    table2_main_comparison,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{'=' * 78}\n{text}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true", help="full laptop-scale run")
+    parser.add_argument(
+        "--datasets", nargs="+", default=list(DATASET_PROFILES), choices=list(DATASET_PROFILES)
+    )
+    args = parser.parse_args(argv)
+    scale = ExperimentScale.paper() if args.paper else ExperimentScale.quick()
+    start = time.time()
+
+    emit("table1", render_table1(table1_dataset_statistics(scale=scale, datasets=args.datasets)))
+
+    blocks = {}
+    for dataset in args.datasets:
+        block = table2_main_comparison(dataset, scale=scale, max_users=400, tune_tradeoffs=True)
+        blocks[dataset] = block.results
+        emit(f"table2_{dataset.lower()}", block.render())
+
+    from repro.experiments.leaderboard import build_leaderboard, render_leaderboard
+
+    emit(
+        "leaderboard",
+        render_leaderboard(
+            build_leaderboard(blocks),
+            title="Cross-dataset leaderboard (mean rank over NDCG@5/MAP/MRR)",
+        ),
+    )
+
+    fig2 = figure2_topk_curves(
+        args.datasets[0],
+        methods=("PopRank", "WMF", "BPR", "MPR", "CLiMF", "CLAPF-MAP", "CLAPF+-MAP"),
+        scale=scale,
+        max_users=400,
+    )
+    emit(f"fig2_{args.datasets[0].lower()}", fig2.render())
+
+    fig3 = figure3_tradeoff_sweep(args.datasets[0], scale=scale, max_users=400)
+    emit(f"fig3_{args.datasets[0].lower()}", fig3.render())
+
+    fig4_dataset = "ML20M" if "ML20M" in args.datasets else args.datasets[0]
+    fig4 = figure4_convergence(
+        fig4_dataset, scale=scale, max_users=200, eval_every=max(scale.n_epochs // 10, 1)
+    )
+    emit(f"fig4_{fig4_dataset.lower()}", fig4.render())
+
+    print(f"\nall outputs written to {OUTPUT_DIR}/ in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,70 @@
+"""Scenario: a movie-streaming service picking tonight's shelf.
+
+The paper's motivating setting is top-k recommendation from implicit
+watch records (Section 1).  This example simulates a small streaming
+service, trains the full CLAPF line-up, and shows how the *order* of
+one user's shelf differs between a pairwise model (BPR, AUC-oriented)
+and the list-and-pairwise CLAPF (rank-biased), including how many of
+the user's actually-watched held-out movies land in the top 10.
+
+Run with::
+
+    python examples/movie_night.py
+"""
+
+import numpy as np
+
+from repro import BPR, clapf_map, clapf_plus_map, evaluate_model, train_test_split
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+
+
+def shelf(model, user: int, k: int = 10) -> list[int]:
+    return model.recommend(user, k=k).tolist()
+
+
+def hits(shelf_items, held_out) -> int:
+    held = set(int(i) for i in held_out)
+    return sum(1 for item in shelf_items if item in held)
+
+
+def main() -> None:
+    # A 500-viewer, 800-title catalog with strong taste clusters and a
+    # blockbuster-heavy long tail (Zipf 0.9).
+    config = SyntheticConfig(
+        n_users=500, n_items=800, density=0.02, latent_dim=6,
+        signal=9.0, popularity_weight=0.8, popularity_exponent=0.9,
+    )
+    catalog = generate_synthetic(config, seed=7, name="streaming")
+    split = train_test_split(catalog, seed=7)
+
+    models = {
+        "BPR": BPR(seed=7),
+        "CLAPF-MAP": clapf_map(tradeoff=0.4, seed=7),
+        "CLAPF+-MAP": clapf_plus_map(tradeoff=0.4, seed=7),
+    }
+    for model in models.values():
+        model.fit(split.train)
+
+    # Pick an active viewer with plenty of held-out watches to check.
+    test_counts = split.test.user_counts()
+    viewer = int(np.argmax(test_counts))
+    watched = split.train.positives(viewer)
+    held_out = split.test.positives(viewer)
+    print(f"viewer {viewer}: {len(watched)} watches in history, {len(held_out)} held out\n")
+
+    for name, model in models.items():
+        top10 = shelf(model, viewer, k=10)
+        print(f"{name:11s} shelf: {top10}  (hits in top-10: {hits(top10, held_out)})")
+
+    print("\nfull-catalog evaluation (all viewers):")
+    print(f"{'model':11s}  {'NDCG@5':>7s}  {'MAP':>7s}  {'MRR':>7s}  {'1-call@5':>8s}")
+    for name, model in models.items():
+        result = evaluate_model(model, split, ks=(5,))
+        print(
+            f"{name:11s}  {result['ndcg@5']:7.4f}  {result['map']:7.4f}"
+            f"  {result['mrr']:7.4f}  {result['1-call@5']:8.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Closed-loop simulation: which recommender earns the most feedback?
+
+The paper's implicit-feedback setting is inherently interactive — watch
+records and thumb-ups arrive *because* something was recommended.  This
+example closes the loop offline: the synthetic generator's latent
+ground truth plays the users, and three policies (PopRank, BPR,
+CLAPF+-MAP) compete over ten recommend→feedback→retrain rounds.
+
+Run with::
+
+    python examples/online_simulation.py
+"""
+
+from repro import BPR, PopRank, clapf_plus_map
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.mf.sgd import SGDConfig
+from repro.simulation import FeedbackSimulator, OnlineLoop
+from repro.utils.plotting import line_chart
+
+
+def main() -> None:
+    config = SyntheticConfig(
+        n_users=150, n_items=300, density=0.03, latent_dim=4,
+        signal=10.0, popularity_weight=0.5,
+    )
+    dataset, truth = generate_synthetic(config, seed=13, return_ground_truth=True)
+    print(f"world: {dataset}\n")
+
+    sgd = SGDConfig(n_epochs=40, learning_rate=0.08)
+    policies = {
+        "PopRank": lambda: PopRank(),
+        "BPR": lambda: BPR(sgd=sgd, seed=13),
+        "CLAPF+-MAP": lambda: clapf_plus_map(0.3, sgd=sgd, seed=13),
+    }
+
+    curves = {}
+    for name, factory in policies.items():
+        loop = OnlineLoop(
+            factory,
+            FeedbackSimulator(truth, seed=13),
+            slate_size=5,
+            retrain_every=2,
+            seed=13,
+        )
+        result = loop.run(dataset.interactions, n_rounds=10, measure_oracle=(name == "PopRank"))
+        curves[name] = result.acceptance_curve()
+        oracle = f"  (oracle skyline ≈ {result.oracle_acceptance_rate:.3f})" if name == "PopRank" else ""
+        print(
+            f"{name:11s} accepted {result.total_accepted():4d} items, "
+            f"final acceptance rate {curves[name][-1]:.3f}{oracle}"
+        )
+
+    print("\nacceptance rate per round:")
+    print(line_chart(curves, width=50, height=10, x_labels=["round 1", "round 10"]))
+
+
+if __name__ == "__main__":
+    main()

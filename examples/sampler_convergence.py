@@ -1,0 +1,42 @@
+"""Reproduce Fig. 4's sampler comparison as an ASCII convergence plot.
+
+Trains CLAPF-MAP four times — with Uniform, Positive-only,
+Negative-only, and the paper's DSS sampler — tracing test MAP per epoch,
+then prints the traces and a simple terminal chart.
+
+Run with::
+
+    python examples/sampler_convergence.py
+"""
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import figure4_convergence
+
+BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, low, high) -> str:
+    span = max(high - low, 1e-9)
+    return "".join(BARS[int((v - low) / span * (len(BARS) - 1))] for v in values)
+
+
+def main() -> None:
+    scale = ExperimentScale(dataset_scale=0.6, n_epochs=80, repeats=1)
+    result = figure4_convergence("ML20M", scale=scale, max_users=200, eval_every=4)
+
+    print(result.render())
+    print("\nconvergence sparklines (test MAP per epoch):")
+    low = min(min(t) for t in result.traces.values())
+    high = max(max(t) for t in result.traces.values())
+    for sampler, trace in result.traces.items():
+        print(f"  {sampler:9s} {sparkline(trace, low, high)}  final={trace[-1]:.4f}")
+
+    target = 0.9 * max(trace[-1] for trace in result.traces.values())
+    print(f"\nepochs to reach 90% of the best final MAP ({target:.4f}):")
+    for sampler in result.traces:
+        epoch = result.epochs_to_reach(sampler, target)
+        print(f"  {sampler:9s} {'-' if epoch is None else epoch}")
+
+
+if __name__ == "__main__":
+    main()

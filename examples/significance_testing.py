@@ -1,0 +1,46 @@
+"""Is CLAPF's win over BPR statistically significant?
+
+The paper states CLAPF "significantly outperforms" the baselines; this
+example makes that claim testable on a concrete run: both models are
+evaluated on the same users and the per-user metric differences go
+through a paired t-test and a Wilcoxon signed-rank test.
+
+Run with::
+
+    python examples/significance_testing.py
+"""
+
+from repro import BPR, PopRank, clapf_plus_map, train_test_split
+from repro.analysis import compare_models, dataset_report
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+
+
+def main() -> None:
+    config = SyntheticConfig(
+        n_users=400, n_items=500, density=0.04, latent_dim=5,
+        signal=9.0, popularity_weight=0.7,
+    )
+    dataset = generate_synthetic(config, seed=3, name="significance-demo")
+    split = train_test_split(dataset, seed=3)
+
+    report = dataset_report(split.train)
+    print(f"dataset: {dataset.name}  (item Gini = {report['item_gini']:.2f}, "
+          f"top-10% item share = {report['top10pct_item_share']:.0%})\n")
+
+    clapf = clapf_plus_map(tradeoff=0.4, seed=3).fit(split.train)
+    bpr = BPR(seed=3).fit(split.train)
+    pop = PopRank().fit(split.train)
+
+    print("CLAPF+-MAP (A) vs BPR (B):")
+    for comparison in compare_models(clapf, bpr, split).values():
+        print("  " + comparison.summary())
+
+    print("\nCLAPF+-MAP (A) vs PopRank (B):")
+    for comparison in compare_models(clapf, pop, split).values():
+        marker = "***" if comparison.significant(0.001) else (
+            "*" if comparison.significant(0.05) else "n.s.")
+        print(f"  {comparison.summary()}  [{marker}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim for legacy editable installs (offline environments
+without the ``wheel`` package; configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Analysis utilities for experiment results and datasets.
+
+* :mod:`repro.analysis.significance` — paired statistical tests between
+  two models' per-user metrics (the rigour behind "significantly
+  outperforms");
+* :mod:`repro.analysis.stats` — dataset diagnostics (long-tail skew,
+  Gini coefficient, activity distributions) for validating the
+  synthetic stand-ins against Table 1;
+* :mod:`repro.analysis.convergence` — learning-curve summaries used by
+  the Fig. 4 analysis (epochs-to-threshold, curve area).
+"""
+
+from repro.analysis.convergence import (
+    area_under_learning_curve,
+    epochs_to_fraction_of_final,
+    relative_speedup,
+)
+from repro.analysis.significance import (
+    PairedComparison,
+    compare_models,
+    holm_bonferroni,
+    paired_comparison,
+)
+from repro.analysis.stats import (
+    dataset_report,
+    gini_coefficient,
+    popularity_skew,
+    user_activity_quantiles,
+)
+
+__all__ = [
+    "area_under_learning_curve",
+    "epochs_to_fraction_of_final",
+    "relative_speedup",
+    "PairedComparison",
+    "compare_models",
+    "holm_bonferroni",
+    "paired_comparison",
+    "dataset_report",
+    "gini_coefficient",
+    "popularity_skew",
+    "user_activity_quantiles",
+]

@@ -1,0 +1,57 @@
+"""Learning-curve summaries for the sampler-convergence analysis (Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import DataError
+from repro.utils.validation import check_probability
+
+
+def _check_trace(trace) -> np.ndarray:
+    trace = np.asarray(trace, dtype=np.float64)
+    if trace.ndim != 1 or len(trace) == 0:
+        raise DataError("trace must be a non-empty 1-D sequence")
+    return trace
+
+
+def area_under_learning_curve(trace) -> float:
+    """Mean of the metric trace — higher = faster/better learning overall.
+
+    Equivalent to the (normalized) area under the learning curve, the
+    standard scalar summary for "converges faster at the same budget".
+    """
+    return float(_check_trace(trace).mean())
+
+
+def epochs_to_fraction_of_final(trace, fraction: float = 0.9) -> int | None:
+    """First index where the trace reaches ``fraction`` of its final value.
+
+    Returns ``None`` when the level is never reached (e.g. a collapsing
+    trace whose maximum precedes a decline below the target).
+    """
+    trace = _check_trace(trace)
+    check_probability(fraction, "fraction")
+    target = fraction * trace[-1]
+    reached = np.flatnonzero(trace >= target)
+    return int(reached[0]) if len(reached) else None
+
+
+def relative_speedup(fast_trace, slow_trace, *, fraction: float = 0.9) -> float | None:
+    """How many times faster ``fast_trace`` reaches the common target.
+
+    The target is ``fraction`` of the *lower* of the two final values,
+    so both traces are guaranteed to be measured against a level both
+    can reach.  Returns ``slow_epochs / fast_epochs`` (> 1 means the
+    first trace is faster), or ``None`` if either never reaches it.
+    """
+    fast = _check_trace(fast_trace)
+    slow = _check_trace(slow_trace)
+    target = fraction * min(fast[-1], slow[-1])
+    fast_hits = np.flatnonzero(fast >= target)
+    slow_hits = np.flatnonzero(slow >= target)
+    if not len(fast_hits) or not len(slow_hits):
+        return None
+    fast_epoch = int(fast_hits[0]) + 1  # 1-based: epoch counts, not indices
+    slow_epoch = int(slow_hits[0]) + 1
+    return slow_epoch / fast_epoch

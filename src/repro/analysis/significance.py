@@ -1,0 +1,142 @@
+"""Paired significance tests between two recommenders.
+
+Table 2 claims CLAPF "significantly outperforms" the baselines; this
+module provides the machinery to make such statements precise on any
+run: both models are evaluated on the *same users*, and the per-user
+metric differences are tested with a paired t-test and a Wilcoxon
+signed-rank test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.data.dataset import DatasetSplit
+from repro.metrics.evaluator import Evaluator
+from repro.utils.exceptions import ConfigError, DataError
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired comparison of two models on one metric.
+
+    Attributes
+    ----------
+    metric:
+        The metric key compared (e.g. ``"ndcg@5"``).
+    mean_a, mean_b:
+        Mean metric values of the two models.
+    mean_difference:
+        ``mean_a - mean_b`` (positive = model A better).
+    t_statistic, t_pvalue:
+        Paired t-test on the per-user differences.
+    wilcoxon_pvalue:
+        Wilcoxon signed-rank test p-value (``nan`` when all per-user
+        differences are zero, where the test is undefined).
+    n_users:
+        Number of paired users.
+    """
+
+    metric: str
+    mean_a: float
+    mean_b: float
+    mean_difference: float
+    t_statistic: float
+    t_pvalue: float
+    wilcoxon_pvalue: float
+    n_users: int
+
+    def significant(self, level: float = 0.05) -> bool:
+        """Whether A differs from B at the given level (paired t-test)."""
+        return bool(self.t_pvalue < level)
+
+    def summary(self) -> str:
+        direction = ">" if self.mean_difference > 0 else "<="
+        return (
+            f"{self.metric}: A={self.mean_a:.4f} {direction} B={self.mean_b:.4f} "
+            f"(diff={self.mean_difference:+.4f}, t p={self.t_pvalue:.4g}, "
+            f"wilcoxon p={self.wilcoxon_pvalue:.4g}, n={self.n_users})"
+        )
+
+
+def paired_comparison(
+    values_a: np.ndarray, values_b: np.ndarray, *, metric: str = "metric"
+) -> PairedComparison:
+    """Run the paired tests on two aligned per-user metric arrays."""
+    values_a = np.asarray(values_a, dtype=np.float64)
+    values_b = np.asarray(values_b, dtype=np.float64)
+    if values_a.shape != values_b.shape or values_a.ndim != 1:
+        raise DataError(
+            f"per-user arrays must be equal-length 1-D, got {values_a.shape} and {values_b.shape}"
+        )
+    if len(values_a) < 2:
+        raise DataError("paired tests need at least 2 users")
+    differences = values_a - values_b
+    if np.allclose(differences, 0.0):
+        t_stat, t_p, w_p = 0.0, 1.0, float("nan")
+    else:
+        t_stat, t_p = scipy_stats.ttest_rel(values_a, values_b)
+        try:
+            _, w_p = scipy_stats.wilcoxon(values_a, values_b, zero_method="wilcox")
+        except ValueError:  # all non-zero differences filtered out
+            w_p = float("nan")
+    return PairedComparison(
+        metric=metric,
+        mean_a=float(values_a.mean()),
+        mean_b=float(values_b.mean()),
+        mean_difference=float(differences.mean()),
+        t_statistic=float(t_stat),
+        t_pvalue=float(t_p),
+        wilcoxon_pvalue=float(w_p),
+        n_users=len(values_a),
+    )
+
+
+def holm_bonferroni(pvalues: dict[str, float], *, level: float = 0.05) -> dict[str, bool]:
+    """Holm-Bonferroni step-down correction for multiple comparisons.
+
+    Given a mapping of hypothesis name -> raw p-value, returns which
+    hypotheses remain significant at the family-wise ``level``.  Use
+    this when claiming several Table-2 metrics are simultaneously
+    significant.
+    """
+    if not pvalues:
+        return {}
+    ordered = sorted(pvalues.items(), key=lambda pair: pair[1])
+    m = len(ordered)
+    decisions: dict[str, bool] = {}
+    rejected_so_far = True
+    for rank, (name, pvalue) in enumerate(ordered):
+        threshold = level / (m - rank)
+        rejected_so_far = rejected_so_far and (pvalue <= threshold)
+        decisions[name] = rejected_so_far
+    return decisions
+
+
+def compare_models(
+    model_a,
+    model_b,
+    split: DatasetSplit,
+    *,
+    metrics: tuple[str, ...] = ("ndcg@5", "map", "mrr"),
+    max_users: int | None = None,
+) -> dict[str, PairedComparison]:
+    """Evaluate two *fitted* models on the same users and test each metric.
+
+    Returns a mapping from metric key to :class:`PairedComparison`.
+    """
+    ks = sorted({int(m.split("@")[1]) for m in metrics if "@" in m}) or [5]
+    evaluator = Evaluator(split, ks=ks, max_users=max_users, seed=0, keep_per_user=True)
+    result_a = evaluator.evaluate(model_a)
+    result_b = evaluator.evaluate(model_b)
+    comparisons = {}
+    for metric in metrics:
+        if metric not in result_a.per_user:
+            raise ConfigError(f"unknown metric {metric!r}")
+        comparisons[metric] = paired_comparison(
+            result_a.per_user[metric], result_b.per_user[metric], metric=metric
+        )
+    return comparisons

@@ -1,0 +1,74 @@
+"""Dataset diagnostics: popularity skew, Gini, activity distributions.
+
+Used to validate that the synthetic stand-ins reproduce the structural
+properties of the paper's datasets (long-tail popularity, sparse user
+profiles) and as general data-exploration tools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.utils.exceptions import DataError
+from repro.utils.validation import check_probability
+
+
+def gini_coefficient(counts: np.ndarray) -> float:
+    """Gini coefficient of a non-negative count vector.
+
+    0 = perfectly uniform consumption; → 1 = all interactions on one
+    item.  Real rating datasets typically sit around 0.6-0.9.
+    """
+    counts = np.sort(np.asarray(counts, dtype=np.float64))
+    if counts.size == 0:
+        raise DataError("counts must be non-empty")
+    if np.any(counts < 0):
+        raise DataError("counts must be non-negative")
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    n = len(counts)
+    cumulative = np.cumsum(counts)
+    # Gini = 1 - 2 * area under the Lorenz curve (trapezoid form).
+    lorenz_area = (cumulative.sum() - counts.sum() / 2.0) / (n * total)
+    return float(1.0 - 2.0 * lorenz_area)
+
+
+def popularity_skew(interactions: InteractionMatrix, *, head_fraction: float = 0.1) -> float:
+    """Share of all interactions owned by the most popular items.
+
+    ``head_fraction = 0.1`` asks: what fraction of interactions do the
+    top-10% items capture?  Long-tail datasets answer well above 0.1.
+    """
+    check_probability(head_fraction, "head_fraction")
+    counts = np.sort(interactions.item_counts())[::-1]
+    if counts.sum() == 0:
+        return 0.0
+    head = max(int(round(head_fraction * len(counts))), 1)
+    return float(counts[:head].sum() / counts.sum())
+
+
+def user_activity_quantiles(
+    interactions: InteractionMatrix,
+    quantiles: tuple[float, ...] = (0.1, 0.5, 0.9),
+) -> dict[float, float]:
+    """Quantiles of per-user positive counts."""
+    counts = interactions.user_counts()
+    return {q: float(np.quantile(counts, q)) for q in quantiles}
+
+
+def dataset_report(interactions: InteractionMatrix) -> dict:
+    """One-call structural summary of an interaction matrix."""
+    counts = interactions.user_counts()
+    return {
+        "n_users": interactions.n_users,
+        "n_items": interactions.n_items,
+        "n_interactions": interactions.n_interactions,
+        "density": interactions.density,
+        "item_gini": gini_coefficient(interactions.item_counts()),
+        "top10pct_item_share": popularity_skew(interactions, head_fraction=0.1),
+        "user_activity": user_activity_quantiles(interactions),
+        "cold_items": int(np.sum(interactions.item_counts() == 0)),
+        "mean_profile_size": float(counts.mean()) if len(counts) else 0.0,
+    }

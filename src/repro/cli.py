@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``profiles``
+    List the six dataset profiles with their paper-reported sizes.
+``stats``
+    Structural report (Gini, long-tail share, activity) of a profile or
+    a data file.
+``generate``
+    Write a synthetic profile dataset to a ``user<TAB>item`` pair file.
+``train``
+    Split a dataset, train one method, print the Table-2 metrics, and
+    optionally save the factor model.
+``reproduce``
+    Regenerate one of the paper's tables or figures.
+``compare``
+    Train two methods on the same splits and run paired significance
+    tests on their per-user metrics.
+``sweep``
+    Sensitivity sweep: vary one synthetic-dataset property and report
+    each method's metric across the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.data.loaders import load_pairs, save_pairs
+from repro.data.profiles import DATASET_PROFILES, make_profile_dataset
+from repro.data.split import train_test_split
+from repro.metrics.evaluator import evaluate_model
+from repro.utils.exceptions import ReproError
+from repro.utils.tables import format_table
+
+
+def _load_dataset(args):
+    if args.data:
+        return load_pairs(args.data)
+    return make_profile_dataset(args.profile, scale=args.scale, seed=args.seed)
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="ML100K", choices=sorted(DATASET_PROFILES),
+        help="synthetic dataset profile (ignored when --data is given)",
+    )
+    parser.add_argument("--data", type=Path, help="user<TAB>item pair file to load instead")
+    parser.add_argument("--scale", type=float, default=1.0, help="profile size multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_profiles(_args) -> int:
+    rows = [
+        [name, p.paper_users, p.paper_items, f"{p.paper_density:.2%}", p.n_users, p.n_items]
+        for name, p in DATASET_PROFILES.items()
+    ]
+    print(format_table(
+        ["Profile", "paper n", "paper m", "paper density", "sim n", "sim m"],
+        rows,
+        title="Dataset profiles (paper sizes vs synthetic stand-in sizes)",
+    ))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.analysis.stats import dataset_report
+
+    dataset = _load_dataset(args)
+    report = dataset_report(dataset.interactions)
+    print(f"dataset: {dataset.name}")
+    for key, value in report.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    dataset = _load_dataset(args)
+    save_pairs(dataset, args.out)
+    print(f"wrote {dataset.n_interactions} pairs ({dataset.n_users} users x "
+          f"{dataset.n_items} items) to {args.out}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.registry import TABLE2_METHODS, make_model
+
+    dataset = _load_dataset(args)
+    split = train_test_split(dataset, seed=args.seed)
+    scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
+    model = make_model(args.method, scale=scale, dataset=args.profile, seed=args.seed)
+    print(f"training {model.name} on {dataset.name} "
+          f"({split.train.n_interactions} train pairs, {args.epochs} epochs)...")
+    model.fit(split.train, split.validation)
+    result = evaluate_model(model, split, ks=(5,))
+    for key in ("precision@5", "recall@5", "f1@5", "1-call@5", "ndcg@5", "map", "mrr", "auc"):
+        print(f"  {key:12s} {result[key]:.4f}")
+    if args.save:
+        from repro.persistence import save_factors
+
+        params = getattr(model, "params_", None)
+        if params is None:
+            print(f"note: {model.name} is not a factor model; nothing to save")
+        else:
+            save_factors(args.save, params, metadata={"method": args.method, "dataset": dataset.name})
+            print(f"saved factors to {args.save}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.figures import (
+        figure2_topk_curves,
+        figure3_tradeoff_sweep,
+        figure4_convergence,
+    )
+    from repro.experiments.tables import (
+        render_table1,
+        table1_dataset_statistics,
+        table2_main_comparison,
+    )
+
+    scale = ExperimentScale.paper() if args.full else ExperimentScale.quick()
+    if args.target == "table1":
+        print(render_table1(table1_dataset_statistics(scale=scale)))
+    elif args.target == "table2":
+        block = table2_main_comparison(args.profile, scale=scale, max_users=400, tune_tradeoffs=True)
+        print(block.render())
+    elif args.target == "fig2":
+        print(figure2_topk_curves(args.profile, scale=scale, max_users=400).render())
+    elif args.target == "fig3":
+        print(figure3_tradeoff_sweep(args.profile, scale=scale, max_users=400).render())
+    elif args.target == "fig4":
+        print(figure4_convergence(args.profile, scale=scale, max_users=200).render())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.analysis.significance import compare_models, holm_bonferroni
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.registry import make_model
+
+    dataset = _load_dataset(args)
+    split = train_test_split(dataset, seed=args.seed)
+    scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
+    print(f"training {args.method_a} and {args.method_b} on {dataset.name}...")
+    model_a = make_model(args.method_a, scale=scale, dataset=args.profile, seed=args.seed)
+    model_b = make_model(args.method_b, scale=scale, dataset=args.profile, seed=args.seed)
+    model_a.fit(split.train, split.validation)
+    model_b.fit(split.train, split.validation)
+    comparisons = compare_models(model_a, model_b, split)
+    print(f"\nA = {args.method_a}, B = {args.method_b}")
+    for comparison in comparisons.values():
+        print("  " + comparison.summary())
+    corrected = holm_bonferroni({m: c.t_pvalue for m, c in comparisons.items()})
+    significant = [metric for metric, keep in corrected.items() if keep]
+    print(f"\nsignificant after Holm-Bonferroni (alpha=0.05): {significant or 'none'}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.registry import make_model
+    from repro.experiments.sensitivity import sweep_dataset_property
+
+    scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
+    factories = {
+        method: (
+            lambda seed, method=method: make_model(method, scale=scale, seed=seed)
+        )
+        for method in args.methods
+    }
+    result = sweep_dataset_property(
+        args.property, args.values, factories, seed=args.seed, metric=args.metric
+    )
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("profiles", help="list dataset profiles").set_defaults(func=cmd_profiles)
+
+    stats = subparsers.add_parser("stats", help="dataset structural report")
+    _add_dataset_arguments(stats)
+    stats.set_defaults(func=cmd_stats)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic dataset to a pair file")
+    _add_dataset_arguments(generate)
+    generate.add_argument("--out", type=Path, required=True)
+    generate.set_defaults(func=cmd_generate)
+
+    train = subparsers.add_parser("train", help="train and evaluate one method")
+    _add_dataset_arguments(train)
+    train.add_argument("--method", default="CLAPF-MAP")
+    train.add_argument("--epochs", type=int, default=60)
+    train.add_argument("--save", type=Path, help="save the trained factor model (.npz)")
+    train.set_defaults(func=cmd_train)
+
+    reproduce = subparsers.add_parser("reproduce", help="regenerate a paper table/figure")
+    reproduce.add_argument("target", choices=("table1", "table2", "fig2", "fig3", "fig4"))
+    reproduce.add_argument(
+        "--profile", default="ML100K", choices=sorted(DATASET_PROFILES)
+    )
+    reproduce.add_argument("--full", action="store_true", help="paper scale instead of quick")
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    compare = subparsers.add_parser("compare", help="paired significance test of two methods")
+    _add_dataset_arguments(compare)
+    compare.add_argument("--method-a", default="CLAPF-MAP")
+    compare.add_argument("--method-b", default="BPR")
+    compare.add_argument("--epochs", type=int, default=60)
+    compare.set_defaults(func=cmd_compare)
+
+    sweep = subparsers.add_parser("sweep", help="dataset-property sensitivity sweep")
+    sweep.add_argument("--property", default="signal")
+    sweep.add_argument("--values", type=float, nargs="+", default=[2.0, 6.0, 10.0])
+    sweep.add_argument("--methods", nargs="+", default=["PopRank", "BPR", "CLAPF-MAP"])
+    sweep.add_argument("--metric", default="ndcg@5")
+    sweep.add_argument("--epochs", type=int, default=40)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: CLAPF and its building blocks.
+
+* :mod:`repro.core.smoothing` — the smoothed MAP/MRR surrogates and
+  lower bounds (Section 4.1 / Eqs. 5-12);
+* :mod:`repro.core.clapf` — the CLAPF-MAP / CLAPF-MRR models and the
+  CLAPF+ (DSS-sampled) convenience constructors (Sections 4.2-5.2);
+* :mod:`repro.core.extensions` — CLAPF-NDCG, an instantiation of the
+  framework for a third rank-biased metric, following the conclusion's
+  invitation to plug more smoothed listwise metrics into CLAPF.
+"""
+
+from repro.core.clapf import CLAPF, clapf_map, clapf_mrr, clapf_plus_map, clapf_plus_mrr
+from repro.core.extensions import CLAPFNDCG
+from repro.core.smoothing import (
+    clapf_margin,
+    climf_objective,
+    exact_average_precision,
+    exact_reciprocal_rank,
+    l_map_objective,
+    margin_coefficients,
+    smoothed_average_precision,
+    smoothed_ap_jensen_bound,
+    smoothed_reciprocal_rank,
+    smoothed_rr_jensen_bound,
+)
+
+__all__ = [
+    "CLAPF",
+    "clapf_map",
+    "clapf_mrr",
+    "clapf_plus_map",
+    "clapf_plus_mrr",
+    "CLAPFNDCG",
+    "clapf_margin",
+    "climf_objective",
+    "exact_average_precision",
+    "exact_reciprocal_rank",
+    "l_map_objective",
+    "margin_coefficients",
+    "smoothed_average_precision",
+    "smoothed_ap_jensen_bound",
+    "smoothed_reciprocal_rank",
+    "smoothed_rr_jensen_bound",
+]

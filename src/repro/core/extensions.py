@@ -1,0 +1,87 @@
+"""CLAPF-NDCG: a third instantiation of the CLAPF framework.
+
+The paper's conclusion invites "more smoothed listwise metrics to be
+optimized with our CLAPF framework".  NDCG's listwise sensitivity is
+that swapping two observed items ``i, k`` matters in proportion to the
+gap of their positional discounts ``|1/log2(1+R_i) - 1/log2(1+R_k)|``.
+
+Following the paper's smoothing trick (``1/R_ui ~ sigma(f_ui)``), we
+approximate each observed item's discount by ``sigma(f)`` and weight the
+CLAPF-MRR listwise pair by the *smoothed discount gap*:
+
+``R = lambda * |sigma(f_ui) - sigma(f_uk)| * (f_ui - f_uk)
+      + (1 - lambda) * (f_ui - f_uj)``
+
+so pairs of observed items whose predicted positions are far apart —
+where an NDCG-style swap matters most — receive proportionally larger
+listwise gradient, while same-position pairs are left alone (a LambdaRank
+style weighting, derived here from the paper's own surrogate).  The
+gradient treats the weight as a per-tuple constant (a standard
+LambdaRank-style approximation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mf.sgd import RegularizationConfig, SGDConfig
+from repro.mf.functional import sigmoid
+from repro.models.base import TupleSGDRecommender
+from repro.sampling.base import Sampler, TupleBatch
+from repro.sampling.dss import DoubleSampler
+from repro.utils.validation import check_probability
+
+
+class CLAPFNDCG(TupleSGDRecommender):
+    """NDCG-flavoured CLAPF (our framework extension, not in the paper).
+
+    Parameters mirror :class:`~repro.core.clapf.CLAPF`; ``tradeoff`` is
+    the lambda fusing the discount-weighted listwise pair with the
+    pairwise BPR pair.
+    """
+
+    def __init__(
+        self,
+        *,
+        tradeoff: float = 0.4,
+        n_factors: int = 20,
+        sgd: SGDConfig | None = None,
+        reg: RegularizationConfig | None = None,
+        sampler: Sampler | None = None,
+        seed=None,
+        epoch_callback=None,
+        early_stopping=None,
+        warm_start=False,
+    ):
+        super().__init__(
+            n_factors,
+            sgd=sgd,
+            reg=reg,
+            sampler=sampler,
+            seed=seed,
+            epoch_callback=epoch_callback,
+            early_stopping=early_stopping,
+            warm_start=warm_start,
+        )
+        check_probability(tradeoff, "tradeoff")
+        self.tradeoff = tradeoff
+
+    @property
+    def name(self) -> str:
+        plus = "+" if isinstance(self.sampler, DoubleSampler) else ""
+        return f"CLAPF{plus}-NDCG"
+
+    def _tuple_terms(self, batch: TupleBatch) -> tuple[np.ndarray, np.ndarray]:
+        lam = self.tradeoff
+        params = self.params_
+        f_i = params.predict_pairs(batch.users, batch.pos_i)
+        f_k = params.predict_pairs(batch.users, batch.pos_k)
+        # Smoothed discount gap, treated as a constant per tuple.
+        gap = np.abs(sigmoid(f_i) - sigmoid(f_k))
+        items = np.stack([batch.pos_i, batch.pos_k, batch.neg_j], axis=1)
+        batch_size = len(batch)
+        coefficients = np.empty((batch_size, 3))
+        coefficients[:, 0] = lam * gap + (1.0 - lam)  # f_ui
+        coefficients[:, 1] = -lam * gap  # f_uk
+        coefficients[:, 2] = -(1.0 - lam)  # f_uj
+        return items, coefficients

@@ -1,0 +1,167 @@
+"""Smoothed rank-biased measures — the math of Sections 3.3 and 4.1.
+
+All functions operate on a full score vector ``scores`` (length ``m``)
+and a binary relevance vector ``relevance`` (``Y_u`` in the paper), or —
+for the smoothed quantities, which only involve observed items — on the
+vector ``f_pos`` of the observed items' predicted scores.
+
+Index conventions follow the paper's equations literally, including the
+``k = i`` diagonal terms of the double sums (they are constants with
+zero gradient, so keeping them preserves the printed formulas exactly).
+
+A note on Eq. (11): the paper's final manipulation drops the
+per-term ``1/n_u+`` weighting to reach Eq. (12); because
+``ln sigma(x) <= 0``, that last step is not itself an inequality in the
+claimed direction — it is an objective simplification (constants and
+positive scalings do not change the argmax).  The genuinely valid
+Jensen bound is exposed here as :func:`smoothed_ap_jensen_bound`, and
+the property tests verify it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mf.functional import log_sigmoid, sigmoid
+from repro.utils.exceptions import ConfigError, DataError
+from repro.utils.validation import check_probability
+
+
+def _check_scores_relevance(scores, relevance) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64)
+    relevance = np.asarray(relevance)
+    if scores.shape != relevance.shape or scores.ndim != 1:
+        raise DataError(f"scores {scores.shape} and relevance {relevance.shape} must be equal-length 1-D")
+    if not np.all((relevance == 0) | (relevance == 1)):
+        raise DataError("relevance must be binary")
+    return scores, relevance.astype(bool)
+
+
+def _ranks(scores: np.ndarray) -> np.ndarray:
+    """1-based descending ranks with stable tie-break."""
+    order = np.argsort(-scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.int64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    return ranks
+
+
+# ----------------------------------------------------------------------
+# Exact measures (Eqs. 5 and 8)
+# ----------------------------------------------------------------------
+def exact_reciprocal_rank(scores, relevance) -> float:
+    """Eq. (5): ``RR_u = sum_i (Y_i / R_i) * prod_k (1 - Y_k I(R_k < R_i))``.
+
+    The product zeroes every term except the best-ranked relevant item,
+    so this equals ``1 / min-rank`` — asserted by the property tests.
+    """
+    scores, relevant = _check_scores_relevance(scores, relevance)
+    if not relevant.any():
+        return 0.0
+    ranks = _ranks(scores)
+    return float(1.0 / ranks[relevant].min())
+
+
+def exact_average_precision(scores, relevance) -> float:
+    """Eq. (8): ``AP_u = (1/n+) sum_i (Y_i / R_i) sum_k Y_k I(R_k <= R_i)``."""
+    scores, relevant = _check_scores_relevance(scores, relevance)
+    n_pos = int(relevant.sum())
+    if n_pos == 0:
+        return 0.0
+    ranks = _ranks(scores)
+    rel_ranks = np.sort(ranks[relevant])
+    hits_above = np.arange(1, n_pos + 1, dtype=np.float64)  # includes R_k == R_i
+    return float(np.sum(hits_above / rel_ranks) / n_pos)
+
+
+# ----------------------------------------------------------------------
+# Smoothed measures (Eqs. 6 and 9)
+# ----------------------------------------------------------------------
+def smoothed_reciprocal_rank(f_pos) -> float:
+    """Eq. (6) restricted to observed items:
+    ``sum_i sigma(f_i) * prod_k (1 - sigma(f_k - f_i))`` (k = i included)."""
+    f_pos = np.asarray(f_pos, dtype=np.float64)
+    if f_pos.ndim != 1 or len(f_pos) == 0:
+        raise DataError("f_pos must be a non-empty 1-D score vector")
+    pair = sigmoid(f_pos[None, :] - f_pos[:, None])  # pair[i, k] = sigma(f_k - f_i)
+    return float(np.sum(sigmoid(f_pos) * np.prod(1.0 - pair, axis=1)))
+
+
+def smoothed_average_precision(f_pos) -> float:
+    """Eq. (9): ``(1/n+) sum_i sigma(f_i) sum_k sigma(f_k - f_i)``."""
+    f_pos = np.asarray(f_pos, dtype=np.float64)
+    if f_pos.ndim != 1 or len(f_pos) == 0:
+        raise DataError("f_pos must be a non-empty 1-D score vector")
+    pair = sigmoid(f_pos[None, :] - f_pos[:, None])
+    return float(np.sum(sigmoid(f_pos) * pair.sum(axis=1)) / len(f_pos))
+
+
+# ----------------------------------------------------------------------
+# Lower bounds and objectives (Eqs. 7, 11, 12)
+# ----------------------------------------------------------------------
+def smoothed_ap_jensen_bound(f_pos) -> float:
+    """The valid Jensen lower bound of ``ln`` Eq. (9) (middle of Eq. 11):
+    ``(1/n+) sum_i [ln sigma(f_i) + ln((1/n+) sum_k sigma(f_k - f_i))]``."""
+    f_pos = np.asarray(f_pos, dtype=np.float64)
+    n_pos = len(f_pos)
+    pair = sigmoid(f_pos[None, :] - f_pos[:, None])
+    inner = np.log(pair.sum(axis=1) / n_pos)
+    return float(np.mean(log_sigmoid(f_pos) + inner))
+
+
+def smoothed_rr_jensen_bound(f_pos) -> float:
+    """CLiMF's Jensen lower bound of ``ln`` Eq. (6):
+    ``(1/n+) sum_i [ln sigma(f_i) + sum_k ln(1 - sigma(f_k - f_i))]``."""
+    f_pos = np.asarray(f_pos, dtype=np.float64)
+    pair = sigmoid(f_pos[None, :] - f_pos[:, None])
+    inner = np.sum(np.log(np.maximum(1.0 - pair, 1e-300)), axis=1)
+    return float(np.mean(log_sigmoid(f_pos) + inner))
+
+
+def l_map_objective(f_pos) -> float:
+    """Eq. (12): ``sum_i ln sigma(f_i) + sum_{i,k} ln sigma(f_k - f_i)``.
+
+    The training objective of the MAP side of CLAPF (constants of
+    Eq. 11 dropped).  Note the direction: the pairwise term rewards
+    raising *the other* observed item ``k`` over ``i``.
+    """
+    f_pos = np.asarray(f_pos, dtype=np.float64)
+    pair = log_sigmoid(f_pos[None, :] - f_pos[:, None])  # ln sigma(f_k - f_i)
+    return float(np.sum(log_sigmoid(f_pos)) + np.sum(pair))
+
+
+def climf_objective(f_pos) -> float:
+    """Eq. (7): ``sum_i ln sigma(f_i) + sum_{i,k} ln sigma(f_i - f_k)``."""
+    f_pos = np.asarray(f_pos, dtype=np.float64)
+    pair = log_sigmoid(f_pos[:, None] - f_pos[None, :])  # ln sigma(f_i - f_k)
+    return float(np.sum(log_sigmoid(f_pos)) + np.sum(pair))
+
+
+# ----------------------------------------------------------------------
+# CLAPF fusion (Eqs. 16 and 19)
+# ----------------------------------------------------------------------
+def margin_coefficients(metric: str, tradeoff: float) -> dict[str, float]:
+    """Score coefficients of the fused CLAPF margin ``R_{>u}``.
+
+    For CLAPF-MAP (Eq. 16):
+    ``R = lambda (f_uk - f_ui) + (1 - lambda)(f_ui - f_uj)``
+    → coefficients ``{k: lambda, i: 1 - 2 lambda, j: -(1 - lambda)}``.
+
+    For CLAPF-MRR (Eq. 19):
+    ``R = lambda (f_ui - f_uk) + (1 - lambda)(f_ui - f_uj)``
+    → coefficients ``{i: 1, k: -lambda, j: -(1 - lambda)}``.
+    """
+    check_probability(tradeoff, "tradeoff")
+    if metric == "map":
+        return {"k": tradeoff, "i": 1.0 - 2.0 * tradeoff, "j": -(1.0 - tradeoff)}
+    if metric == "mrr":
+        return {"i": 1.0, "k": -tradeoff, "j": -(1.0 - tradeoff)}
+    raise ConfigError(f"metric must be 'map' or 'mrr', got {metric!r}")
+
+
+def clapf_margin(metric: str, tradeoff: float, f_i, f_k, f_j) -> np.ndarray:
+    """Evaluate the fused margin for (arrays of) scores ``f_i, f_k, f_j``."""
+    coeffs = margin_coefficients(metric, tradeoff)
+    f_i = np.asarray(f_i, dtype=np.float64)
+    f_k = np.asarray(f_k, dtype=np.float64)
+    f_j = np.asarray(f_j, dtype=np.float64)
+    return coeffs["i"] * f_i + coeffs["k"] * f_k + coeffs["j"] * f_j

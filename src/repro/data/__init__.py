@@ -1,0 +1,55 @@
+"""Implicit-feedback data substrate.
+
+Provides the interaction-matrix data structure every model consumes,
+dataset containers with Table-1 style statistics, the paper's
+train/test/validation split protocol, synthetic dataset generators that
+stand in for the six public datasets, and loaders for the real files.
+"""
+
+from repro.data.dataset import DatasetSplit, ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.data.loaders import (
+    load_csv_triplets,
+    load_movielens_100k,
+    load_movielens_1m,
+    load_pairs,
+)
+from repro.data.profiles import DATASET_PROFILES, DatasetProfile, make_profile_dataset
+from repro.data.split import (
+    holdout_validation_pairs,
+    repeated_splits,
+    split_pairs,
+    train_test_split,
+)
+from repro.data.synthetic import (
+    LatentFactorGroundTruth,
+    SyntheticConfig,
+    generate_synthetic,
+    generate_synthetic_with_views,
+)
+from repro.data.transforms import apply_k_core_dataset, compact_ids, k_core, subsample_users
+
+__all__ = [
+    "DatasetSplit",
+    "ImplicitDataset",
+    "InteractionMatrix",
+    "load_csv_triplets",
+    "load_movielens_100k",
+    "load_movielens_1m",
+    "load_pairs",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "make_profile_dataset",
+    "holdout_validation_pairs",
+    "repeated_splits",
+    "split_pairs",
+    "train_test_split",
+    "LatentFactorGroundTruth",
+    "SyntheticConfig",
+    "generate_synthetic",
+    "generate_synthetic_with_views",
+    "apply_k_core_dataset",
+    "compact_ids",
+    "k_core",
+    "subsample_users",
+]

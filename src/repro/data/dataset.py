@@ -1,0 +1,121 @@
+"""Dataset and split containers with Table-1 style statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.utils.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class ImplicitDataset:
+    """A named implicit-feedback dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (e.g. ``"ML100K-sim"``).
+    interactions:
+        The full observed positive-feedback matrix.
+    """
+
+    name: str
+    interactions: InteractionMatrix
+
+    @property
+    def n_users(self) -> int:
+        return self.interactions.n_users
+
+    @property
+    def n_items(self) -> int:
+        return self.interactions.n_items
+
+    @property
+    def n_interactions(self) -> int:
+        return self.interactions.n_interactions
+
+    @property
+    def density(self) -> float:
+        return self.interactions.density
+
+    def describe(self) -> dict:
+        """Statistics in the shape of the paper's Table 1."""
+        return {
+            "dataset": self.name,
+            "n": self.n_users,
+            "m": self.n_items,
+            "interactions": self.n_interactions,
+            "density": self.density,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ImplicitDataset(name={self.name!r}, n={self.n_users}, m={self.n_items}, "
+            f"pairs={self.n_interactions}, density={self.density:.4%})"
+        )
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """A train/test (and optional validation) split of one dataset.
+
+    The paper's protocol (Section 6.1): half the observed pairs form the
+    training data, the rest the test data; one training pair per user is
+    held out as validation for hyper-parameter selection.
+    """
+
+    name: str
+    train: InteractionMatrix
+    test: InteractionMatrix
+    validation: InteractionMatrix | None = None
+    seed: int | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        shape = (self.train.n_users, self.train.n_items)
+        if (self.test.n_users, self.test.n_items) != shape:
+            raise DataError("train/test shape mismatch")
+        if self.validation is not None and (self.validation.n_users, self.validation.n_items) != shape:
+            raise DataError("train/validation shape mismatch")
+        if self.train.intersects(self.test):
+            raise DataError("train and test overlap")
+        if self.validation is not None and self.validation.intersects(self.train):
+            raise DataError("validation and train overlap")
+        if self.validation is not None and self.validation.intersects(self.test):
+            raise DataError("validation and test overlap")
+
+    @property
+    def n_users(self) -> int:
+        return self.train.n_users
+
+    @property
+    def n_items(self) -> int:
+        return self.train.n_items
+
+    def describe(self) -> dict:
+        """Table-1 row: n, m, |P| (train), |P^te| (test), density."""
+        total = self.train.n_interactions + self.test.n_interactions
+        if self.validation is not None:
+            total += self.validation.n_interactions
+        cells = self.n_users * self.n_items
+        return {
+            "dataset": self.name,
+            "n": self.n_users,
+            "m": self.n_items,
+            "train_pairs": self.train.n_interactions,
+            "test_pairs": self.test.n_interactions,
+            "density": total / cells if cells else 0.0,
+        }
+
+    def observed_union(self) -> InteractionMatrix:
+        """All observed pairs (train + validation + test)."""
+        union = self.train.union(self.test)
+        if self.validation is not None:
+            union = union.union(self.validation)
+        return union
+
+    def test_users(self) -> np.ndarray:
+        """Users with at least one test positive (the evaluable users)."""
+        return np.flatnonzero(self.test.user_counts() > 0)

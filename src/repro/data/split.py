@@ -1,0 +1,125 @@
+"""Train/test/validation splitting per the paper's protocol.
+
+Section 6.1: *"we randomly split half of the observed user-item pairs as
+training data, and the rest as test data; we then randomly take one
+user-item pair for each user from the training data to construct a
+validation set. We repeat the above procedure for five times."*
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DatasetSplit, ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.utils.exceptions import ConfigError, DataError
+from repro.utils.rng import as_generator, permutation_seeds
+from repro.utils.validation import check_in_range
+
+
+def split_pairs(
+    interactions: InteractionMatrix,
+    train_fraction: float = 0.5,
+    *,
+    seed=None,
+) -> tuple[InteractionMatrix, InteractionMatrix]:
+    """Randomly split observed pairs into train/test matrices.
+
+    The split is over the global pair list (as in the paper), so a user
+    may land entirely in one side on tiny datasets.
+    """
+    check_in_range(train_fraction, "train_fraction", 0.0, 1.0)
+    rng = as_generator(seed)
+    pairs = interactions.pairs()
+    order = rng.permutation(len(pairs))
+    cut = int(round(train_fraction * len(pairs)))
+    train_pairs = pairs[order[:cut]]
+    test_pairs = pairs[order[cut:]]
+    shape = dict(n_users=interactions.n_users, n_items=interactions.n_items)
+    return (
+        InteractionMatrix.from_pairs(train_pairs, **shape),
+        InteractionMatrix.from_pairs(test_pairs, **shape),
+    )
+
+
+def holdout_validation_pairs(
+    train: InteractionMatrix,
+    *,
+    per_user: int = 1,
+    seed=None,
+) -> tuple[InteractionMatrix, InteractionMatrix]:
+    """Hold out ``per_user`` pairs per user from ``train`` as validation.
+
+    Users with fewer than ``per_user + 1`` training positives are left
+    untouched so no user loses all training signal.
+    """
+    if per_user < 1:
+        raise ConfigError(f"per_user must be >= 1, got {per_user}")
+    rng = as_generator(seed)
+    kept, held = [], []
+    for user in range(train.n_users):
+        row = train.positives(user)
+        if len(row) > per_user:
+            chosen = rng.choice(row, size=per_user, replace=False)
+            chosen_set = set(int(c) for c in chosen)
+            for item in row:
+                (held if int(item) in chosen_set else kept).append((user, item))
+        else:
+            kept.extend((user, item) for item in row)
+    shape = dict(n_users=train.n_users, n_items=train.n_items)
+    return (
+        InteractionMatrix.from_pairs(np.asarray(kept or np.zeros((0, 2))), **shape),
+        InteractionMatrix.from_pairs(np.asarray(held or np.zeros((0, 2))), **shape),
+    )
+
+
+def train_test_split(
+    dataset: ImplicitDataset,
+    *,
+    train_fraction: float = 0.5,
+    validation_per_user: int = 1,
+    seed=None,
+) -> DatasetSplit:
+    """One full paper-protocol split (train / validation / test)."""
+    rng = as_generator(seed)
+    train, test = split_pairs(dataset.interactions, train_fraction, seed=rng)
+    if validation_per_user > 0:
+        train, validation = holdout_validation_pairs(train, per_user=validation_per_user, seed=rng)
+    else:
+        validation = None
+    if train.n_interactions == 0:
+        raise DataError("split produced an empty training set")
+    return DatasetSplit(
+        name=dataset.name,
+        train=train,
+        test=test,
+        validation=validation,
+        seed=seed if isinstance(seed, int) else None,
+    )
+
+
+def repeated_splits(
+    dataset: ImplicitDataset,
+    *,
+    repeats: int = 5,
+    train_fraction: float = 0.5,
+    validation_per_user: int = 1,
+    seed: int = 0,
+) -> list[DatasetSplit]:
+    """The paper's five independent copies of the split procedure.
+
+    Results in the evaluation section are averaged over these copies.
+    """
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
+    splits = []
+    for repeat_seed in permutation_seeds(seed, repeats):
+        splits.append(
+            train_test_split(
+                dataset,
+                train_fraction=train_fraction,
+                validation_per_user=validation_per_user,
+                seed=repeat_seed,
+            )
+        )
+    return splits

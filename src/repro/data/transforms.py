@@ -1,0 +1,103 @@
+"""Dataset transforms: k-core filtering, subsampling, id compaction.
+
+Standard pre-processing for implicit-feedback experiments.  The paper's
+own pre-processing (keep ratings > 3) lives in the loaders; these
+transforms cover the k-core filtering and subsampling common in
+follow-up work and useful when running the pipeline on real dumps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.utils.exceptions import ConfigError, DataError
+from repro.utils.rng import as_generator
+
+
+def k_core(
+    interactions: InteractionMatrix,
+    *,
+    user_core: int = 5,
+    item_core: int = 5,
+    max_rounds: int = 100,
+) -> InteractionMatrix:
+    """Iteratively drop users/items with fewer than ``k`` interactions.
+
+    Repeats until both constraints hold simultaneously (dropping a user
+    can push an item below its threshold and vice versa).  Ids are
+    *preserved* — rows/columns become empty rather than being renumbered;
+    use :func:`compact_ids` afterwards to drop them.
+    """
+    if user_core < 1 or item_core < 1:
+        raise ConfigError("core thresholds must be >= 1")
+    current = interactions
+    for _ in range(max_rounds):
+        user_counts = current.user_counts()
+        item_counts = current.item_counts()
+        keep_user = user_counts >= user_core
+        keep_item = item_counts >= item_core
+        pairs = current.pairs()
+        if len(pairs) == 0:
+            return current
+        mask = keep_user[pairs[:, 0]] & keep_item[pairs[:, 1]]
+        if mask.all():
+            return current
+        current = InteractionMatrix.from_pairs(
+            pairs[mask], current.n_users, current.n_items
+        )
+    raise DataError(f"k-core did not converge within {max_rounds} rounds")
+
+
+def compact_ids(interactions: InteractionMatrix) -> tuple[InteractionMatrix, np.ndarray, np.ndarray]:
+    """Renumber users/items densely, dropping empty rows and columns.
+
+    Returns ``(matrix, user_map, item_map)`` where ``user_map[new_id] =
+    old_id`` (and likewise for items).
+    """
+    pairs = interactions.pairs()
+    active_users = np.flatnonzero(interactions.user_counts() > 0)
+    active_items = np.flatnonzero(interactions.item_counts() > 0)
+    user_lookup = np.full(interactions.n_users, -1, dtype=np.int64)
+    item_lookup = np.full(interactions.n_items, -1, dtype=np.int64)
+    user_lookup[active_users] = np.arange(len(active_users))
+    item_lookup[active_items] = np.arange(len(active_items))
+    if len(pairs):
+        remapped = np.stack([user_lookup[pairs[:, 0]], item_lookup[pairs[:, 1]]], axis=1)
+    else:
+        remapped = pairs
+    matrix = InteractionMatrix.from_pairs(
+        remapped, n_users=len(active_users), n_items=len(active_items)
+    )
+    return matrix, active_users, active_items
+
+
+def subsample_users(
+    interactions: InteractionMatrix,
+    n_users: int,
+    *,
+    seed=None,
+) -> InteractionMatrix:
+    """Keep a uniform random subset of users (ids preserved)."""
+    if n_users < 1:
+        raise ConfigError(f"n_users must be >= 1, got {n_users}")
+    active = np.flatnonzero(interactions.user_counts() > 0)
+    if n_users >= len(active):
+        return interactions
+    keep = set(int(u) for u in as_generator(seed).choice(active, size=n_users, replace=False))
+    pairs = interactions.pairs()
+    mask = np.fromiter((int(u) in keep for u in pairs[:, 0]), dtype=bool, count=len(pairs))
+    return InteractionMatrix.from_pairs(pairs[mask], interactions.n_users, interactions.n_items)
+
+
+def apply_k_core_dataset(
+    dataset: ImplicitDataset,
+    *,
+    user_core: int = 5,
+    item_core: int = 5,
+) -> ImplicitDataset:
+    """k-core + id compaction on a dataset, preserving its name."""
+    filtered = k_core(dataset.interactions, user_core=user_core, item_core=item_core)
+    compacted, _, _ = compact_ids(filtered)
+    return ImplicitDataset(name=f"{dataset.name}-{user_core}core", interactions=compacted)

@@ -1,0 +1,54 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.registry` — factories for all compared models
+  with the paper's tuned hyper-parameters per dataset;
+* :mod:`repro.experiments.runner` — fit/evaluate/time loops over
+  repeated splits, aggregating mean ± std as in Table 2;
+* :mod:`repro.experiments.grid` — validation-NDCG@5 hyper-parameter
+  search (the paper's model-selection protocol);
+* :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` —
+  the per-table / per-figure regeneration entry points used by the
+  benchmark suite.
+"""
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.grid import GridSearchResult, grid_search, random_search
+from repro.experiments.registry import (
+    PAPER_TRADEOFFS,
+    baseline_model_names,
+    clapf_model_names,
+    make_model,
+)
+from repro.experiments.leaderboard import LeaderboardRow, build_leaderboard, render_leaderboard
+from repro.experiments.runner import MethodResult, run_method, run_methods
+from repro.experiments.sensitivity import SensitivityResult, sweep_dataset_property
+from repro.experiments.tables import table1_dataset_statistics, table2_main_comparison
+from repro.experiments.figures import (
+    figure2_topk_curves,
+    figure3_tradeoff_sweep,
+    figure4_convergence,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "GridSearchResult",
+    "grid_search",
+    "random_search",
+    "PAPER_TRADEOFFS",
+    "baseline_model_names",
+    "clapf_model_names",
+    "make_model",
+    "LeaderboardRow",
+    "build_leaderboard",
+    "render_leaderboard",
+    "MethodResult",
+    "run_method",
+    "run_methods",
+    "SensitivityResult",
+    "sweep_dataset_property",
+    "table1_dataset_statistics",
+    "table2_main_comparison",
+    "figure2_topk_curves",
+    "figure3_tradeoff_sweep",
+    "figure4_convergence",
+]

@@ -1,0 +1,66 @@
+"""Experiment sizing knobs.
+
+One dataclass controls how large every experiment runs, so the
+benchmark suite can run the *same code paths* at different costs:
+``ExperimentScale.quick()`` for CI-speed smoke runs and
+``ExperimentScale.paper()`` for the full laptop-scale reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mf.sgd import RegularizationConfig, SGDConfig
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing of a reproduction run.
+
+    Attributes
+    ----------
+    dataset_scale:
+        Multiplier on the synthetic dataset profiles.
+    n_epochs:
+        SGD epochs for the MF models.
+    neural_epochs:
+        Epochs for the neural baselines (each epoch is pricier).
+    repeats:
+        Independent split copies to average over (paper uses 5).
+    seed:
+        Root seed for data generation and splits.
+    """
+
+    dataset_scale: float = 1.0
+    n_epochs: int = 60
+    neural_epochs: int = 40
+    repeats: int = 5
+    learning_rate: float = 0.08
+    regularization: float = 0.01
+    seed: int = 20230410
+
+    def __post_init__(self):
+        check_positive(self.dataset_scale, "dataset_scale")
+        check_positive(self.n_epochs, "n_epochs")
+        check_positive(self.neural_epochs, "neural_epochs")
+        check_positive(self.repeats, "repeats")
+        check_positive(self.learning_rate, "learning_rate")
+        check_positive(self.regularization, "regularization", strict=False)
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Small smoke-test scale (used by the benchmark suite's default)."""
+        return cls(dataset_scale=0.35, n_epochs=60, neural_epochs=6, repeats=2)
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """Full laptop-scale reproduction (5 repeats, full profiles)."""
+        return cls()
+
+    def sgd_config(self) -> SGDConfig:
+        """The SGD schedule for the MF models at this scale."""
+        return SGDConfig(learning_rate=self.learning_rate, n_epochs=self.n_epochs, batch_size=256)
+
+    def reg_config(self) -> RegularizationConfig:
+        return RegularizationConfig.uniform(self.regularization)

@@ -1,0 +1,247 @@
+"""Regeneration of the paper's figures (as data series + text tables).
+
+* :func:`figure2_topk_curves` — Fig. 2: Recall@k and NDCG@k for
+  k ∈ {3, 5, 10, 15, 20} for every method;
+* :func:`figure3_tradeoff_sweep` — Fig. 3: six metrics as the tradeoff
+  lambda sweeps {0.0, ..., 1.0} for CLAPF-MAP and CLAPF-MRR;
+* :func:`figure4_convergence` — Fig. 4: test MAP per training epoch for
+  CLAPF-MAP under Uniform / Positive / Negative / DSS sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.clapf import CLAPF
+from repro.data.profiles import make_profile_dataset
+from repro.data.split import repeated_splits
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import TABLE2_METHODS, make_model, tradeoff_for
+from repro.experiments.runner import run_method
+from repro.metrics.evaluator import Evaluator
+from repro.sampling.dss import DoubleSampler, NegativeOnlySampler, PositiveOnlySampler
+from repro.sampling.uniform import UniformSampler
+from repro.utils.exceptions import ConfigError
+from repro.utils.tables import format_table
+
+FIGURE2_KS = (3, 5, 10, 15, 20)
+FIGURE3_LAMBDAS = tuple(round(0.1 * i, 1) for i in range(11))
+FIGURE3_METRIC_KEYS = ("precision@5", "recall@5", "f1@5", "ndcg@5", "map", "mrr")
+FIGURE4_SAMPLERS = ("Uniform", "Positive", "Negative", "DSS")
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — top-k curves
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure2Result:
+    """Recall@k / NDCG@k series per method for one dataset."""
+
+    dataset: str
+    ks: tuple[int, ...]
+    recall: dict[str, list[float]]
+    ndcg: dict[str, list[float]]
+
+    def render(self) -> str:
+        recall_rows = [[name] + values for name, values in self.recall.items()]
+        ndcg_rows = [[name] + values for name, values in self.ndcg.items()]
+        headers = ["Method"] + [f"k={k}" for k in self.ks]
+        return "\n\n".join(
+            [
+                format_table(headers, recall_rows, title=f"Fig. 2 — Recall@k on {self.dataset}"),
+                format_table(headers, ndcg_rows, title=f"Fig. 2 — NDCG@k on {self.dataset}"),
+            ]
+        )
+
+    def chart(self, metric: str = "recall") -> str:
+        """Terminal line chart of the curves (``metric``: recall | ndcg)."""
+        from repro.utils.plotting import line_chart
+
+        series = self.recall if metric == "recall" else self.ndcg
+        return line_chart(
+            series,
+            title=f"Fig. 2 — {metric}@k on {self.dataset}",
+            x_labels=[f"k={self.ks[0]}", f"k={self.ks[-1]}"],
+        )
+
+
+def figure2_topk_curves(
+    dataset_name: str,
+    *,
+    methods: Sequence[str] | None = None,
+    scale: ExperimentScale | None = None,
+    max_users: int | None = None,
+) -> Figure2Result:
+    """Fig. 2: top-k recommendation curves for every method."""
+    scale = scale or ExperimentScale.paper()
+    methods = tuple(methods or TABLE2_METHODS)
+    dataset = make_profile_dataset(dataset_name, scale=scale.dataset_scale, seed=scale.seed)
+    splits = repeated_splits(dataset, repeats=scale.repeats, seed=scale.seed)
+    recall: dict[str, list[float]] = {}
+    ndcg: dict[str, list[float]] = {}
+    for method in methods:
+        result = run_method(
+            lambda repeat, method=method: make_model(
+                method, scale=scale, dataset=dataset_name, seed=scale.seed + 7919 * repeat
+            ),
+            splits,
+            name=method,
+            ks=FIGURE2_KS,
+            max_users=max_users,
+        )
+        recall[method] = [result.means[f"recall@{k}"] for k in FIGURE2_KS]
+        ndcg[method] = [result.means[f"ndcg@{k}"] for k in FIGURE2_KS]
+    return Figure2Result(dataset=dataset_name, ks=FIGURE2_KS, recall=recall, ndcg=ndcg)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — tradeoff sweep
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure3Result:
+    """Metric curves over lambda for both CLAPF instantiations."""
+
+    dataset: str
+    lambdas: tuple[float, ...]
+    curves: dict[str, dict[str, list[float]]]  # variant -> metric -> values
+
+    def render(self) -> str:
+        blocks = []
+        for variant, metrics in self.curves.items():
+            rows = [[metric] + values for metric, values in metrics.items()]
+            headers = ["Metric"] + [f"λ={lam:g}" for lam in self.lambdas]
+            blocks.append(
+                format_table(headers, rows, title=f"Fig. 3 — {variant} on {self.dataset}")
+            )
+        return "\n\n".join(blocks)
+
+
+def figure3_tradeoff_sweep(
+    dataset_name: str,
+    *,
+    lambdas: Sequence[float] = FIGURE3_LAMBDAS,
+    scale: ExperimentScale | None = None,
+    max_users: int | None = None,
+) -> Figure3Result:
+    """Fig. 3: CLAPF performance as the fusion parameter lambda sweeps.
+
+    ``lambda = 0`` removes the listwise pair (reducing CLAPF to BPR);
+    ``lambda = 1`` removes the pairwise pair.
+    """
+    scale = scale or ExperimentScale.paper()
+    dataset = make_profile_dataset(dataset_name, scale=scale.dataset_scale, seed=scale.seed)
+    splits = repeated_splits(dataset, repeats=scale.repeats, seed=scale.seed)
+    curves: dict[str, dict[str, list[float]]] = {}
+    for metric in ("map", "mrr"):
+        variant = f"CLAPF-{metric.upper()}"
+        per_metric: dict[str, list[float]] = {key: [] for key in FIGURE3_METRIC_KEYS}
+        for lam in lambdas:
+            result = run_method(
+                lambda repeat, lam=lam, metric=metric: CLAPF(
+                    metric,
+                    tradeoff=lam,
+                    sgd=scale.sgd_config(),
+                    reg=scale.reg_config(),
+                    seed=scale.seed + 7919 * repeat,
+                ),
+                splits,
+                name=f"{variant}(λ={lam:g})",
+                ks=(5,),
+                max_users=max_users,
+            )
+            for key in FIGURE3_METRIC_KEYS:
+                per_metric[key].append(result.means[key])
+        curves[variant] = per_metric
+    return Figure3Result(dataset=dataset_name, lambdas=tuple(lambdas), curves=curves)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — sampler convergence
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure4Result:
+    """Test-MAP trace per epoch for each sampling strategy."""
+
+    dataset: str
+    epochs: tuple[int, ...]
+    traces: dict[str, list[float]]
+
+    def render(self) -> str:
+        headers = ["Sampler"] + [f"ep{e}" for e in self.epochs]
+        rows = [[name] + values for name, values in self.traces.items()]
+        return format_table(headers, rows, title=f"Fig. 4 — MAP convergence on {self.dataset}")
+
+    def chart(self) -> str:
+        """Terminal line chart of the convergence traces."""
+        from repro.utils.plotting import line_chart
+
+        return line_chart(
+            self.traces,
+            title=f"Fig. 4 — MAP convergence on {self.dataset}",
+            x_labels=[f"ep{self.epochs[0]}", f"ep{self.epochs[-1]}"],
+        )
+
+    def epochs_to_reach(self, sampler: str, level: float) -> int | None:
+        """First epoch at which a sampler's MAP reaches ``level``."""
+        for epoch, value in zip(self.epochs, self.traces[sampler]):
+            if value >= level:
+                return epoch
+        return None
+
+
+def _make_sampler(kind: str, metric: str):
+    if kind == "Uniform":
+        return UniformSampler()
+    if kind == "Positive":
+        return PositiveOnlySampler(metric)
+    if kind == "Negative":
+        return NegativeOnlySampler(metric)
+    if kind == "DSS":
+        return DoubleSampler(metric)
+    raise ConfigError(f"unknown sampler kind {kind!r}; known: {FIGURE4_SAMPLERS}")
+
+
+def figure4_convergence(
+    dataset_name: str,
+    *,
+    samplers: Sequence[str] = FIGURE4_SAMPLERS,
+    metric: str = "map",
+    scale: ExperimentScale | None = None,
+    max_users: int | None = 200,
+    eval_every: int = 1,
+) -> Figure4Result:
+    """Fig. 4: learning convergence of CLAPF under different samplers.
+
+    Trains CLAPF once per sampler on the same split and records test
+    MAP after every ``eval_every`` epochs (over a fixed user subsample
+    for speed).
+    """
+    scale = scale or ExperimentScale.paper()
+    dataset = make_profile_dataset(dataset_name, scale=scale.dataset_scale, seed=scale.seed)
+    split = repeated_splits(dataset, repeats=1, seed=scale.seed)[0]
+    evaluator = Evaluator(split, ks=(5,), max_users=max_users, seed=scale.seed)
+
+    epochs = tuple(range(eval_every - 1, scale.n_epochs, eval_every))
+    traces: dict[str, list[float]] = {}
+    for kind in samplers:
+        trace: list[float] = []
+
+        def callback(model, epoch, trace=trace):
+            if (epoch + 1) % eval_every == 0:
+                trace.append(evaluator.evaluate(model)["map"])
+
+        model = CLAPF(
+            metric,
+            tradeoff=tradeoff_for(dataset_name, metric),
+            sgd=scale.sgd_config(),
+            reg=scale.reg_config(),
+            sampler=_make_sampler(kind, metric),
+            seed=scale.seed,
+            epoch_callback=callback,
+        )
+        model.fit(split.train, split.validation)
+        traces[kind] = trace
+    return Figure4Result(dataset=dataset_name, epochs=epochs, traces=traces)

@@ -1,0 +1,128 @@
+"""Hyper-parameter selection by validation NDCG@5 (the paper's protocol).
+
+Section 6.3: "The NDCG@5 performance on the validation data is used to
+select all the best parameters of CLAPF."  :func:`grid_search` fits one
+model per parameter combination and scores it on the *validation*
+positives (training positives excluded from candidates), returning the
+winning combination and the full score table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.data.dataset import DatasetSplit
+from repro.metrics.evaluator import Evaluator
+from repro.models.base import Recommender
+from repro.utils.exceptions import ConfigError
+
+ParamFactory = Callable[..., Recommender]
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of a validation grid search.
+
+    Attributes
+    ----------
+    best_params:
+        The winning parameter combination.
+    best_score:
+        Its validation score.
+    scores:
+        ``(params, score)`` for every combination evaluated.
+    metric:
+        The selection metric key (default ``ndcg@5``).
+    """
+
+    best_params: dict
+    best_score: float
+    scores: list[tuple[dict, float]]
+    metric: str
+
+    def ranked(self) -> list[tuple[dict, float]]:
+        """All combinations sorted best-first."""
+        return sorted(self.scores, key=lambda pair: -pair[1])
+
+
+def random_search(
+    factory: ParamFactory,
+    space: Mapping[str, Sequence | Callable],
+    split: DatasetSplit,
+    *,
+    n_iterations: int = 10,
+    metric: str = "ndcg@5",
+    max_users: int | None = None,
+    seed=None,
+) -> GridSearchResult:
+    """Random hyper-parameter search selecting by validation ``metric``.
+
+    ``space`` maps parameter names to either a finite sequence (sampled
+    uniformly) or a callable ``draw(rng) -> value`` (for continuous
+    ranges).  Cheaper than :func:`grid_search` on large spaces; returns
+    the same :class:`GridSearchResult`.
+    """
+    from repro.utils.rng import as_generator
+
+    if split.validation is None:
+        raise ConfigError("random_search requires a split with a validation set")
+    if not space:
+        raise ConfigError("space must contain at least one parameter")
+    if n_iterations < 1:
+        raise ConfigError(f"n_iterations must be >= 1, got {n_iterations}")
+    rng = as_generator(seed)
+    cutoff = int(metric.split("@")[1]) if "@" in metric else 5
+    evaluator = Evaluator(
+        split, ks=(cutoff,), max_users=max_users, use_validation_as_relevant=True
+    )
+    scores: list[tuple[dict, float]] = []
+    for _ in range(n_iterations):
+        params = {}
+        for name, candidates in space.items():
+            if callable(candidates):
+                params[name] = candidates(rng)
+            else:
+                params[name] = candidates[int(rng.integers(0, len(candidates)))]
+        model = factory(**params)
+        model.fit(split.train, split.validation)
+        scores.append((params, evaluator.evaluate(model)[metric]))
+    best_params, best_score = max(scores, key=lambda pair: pair[1])
+    return GridSearchResult(
+        best_params=best_params, best_score=best_score, scores=scores, metric=metric
+    )
+
+
+def grid_search(
+    factory: ParamFactory,
+    grid: Mapping[str, Sequence],
+    split: DatasetSplit,
+    *,
+    metric: str = "ndcg@5",
+    max_users: int | None = None,
+) -> GridSearchResult:
+    """Exhaustive search of ``grid`` selecting by validation ``metric``.
+
+    ``factory(**params)`` builds a fresh model for each combination.
+    """
+    if split.validation is None:
+        raise ConfigError("grid_search requires a split with a validation set")
+    if not grid:
+        raise ConfigError("grid must contain at least one parameter")
+    cutoff = int(metric.split("@")[1]) if "@" in metric else 5
+    evaluator = Evaluator(
+        split, ks=(cutoff,), max_users=max_users, use_validation_as_relevant=True
+    )
+    names = list(grid.keys())
+    scores: list[tuple[dict, float]] = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        model = factory(**params)
+        model.fit(split.train, split.validation)
+        result = evaluator.evaluate(model)
+        scores.append((params, result[metric]))
+    best_params, best_score = max(scores, key=lambda pair: pair[1])
+    return GridSearchResult(
+        best_params=best_params, best_score=best_score, scores=scores, metric=metric
+    )

@@ -1,0 +1,84 @@
+"""Cross-dataset leaderboard: average ranks over Table-2 blocks.
+
+Table 2 bolds per-dataset winners; this module aggregates across
+datasets the way shared-task leaderboards do — each method gets its rank
+per (dataset, metric) cell, and methods are ordered by mean rank, with
+win counts as a tiebreak-friendly second column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import MethodResult
+from repro.utils.exceptions import DataError
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class LeaderboardRow:
+    """One method's aggregate standing."""
+
+    method: str
+    mean_rank: float
+    wins: int
+    cells: int
+
+
+def build_leaderboard(
+    blocks: Mapping[str, Mapping[str, MethodResult]],
+    *,
+    metrics: Sequence[str] = ("ndcg@5", "map", "mrr"),
+) -> list[LeaderboardRow]:
+    """Aggregate Table-2 blocks (``dataset -> method -> result``).
+
+    Methods missing from some block (or timed out) are skipped in those
+    cells; ranks are 1-based, lower = better.
+    """
+    if not blocks:
+        raise DataError("at least one dataset block is required")
+    ranks: dict[str, list[int]] = {}
+    wins: dict[str, int] = {}
+    for dataset, results in blocks.items():
+        for metric in metrics:
+            scored = [
+                (name, result.means[metric])
+                for name, result in results.items()
+                if not result.timed_out and metric in result.means
+            ]
+            if not scored:
+                continue
+            scored.sort(key=lambda pair: -pair[1])
+            for position, (name, _) in enumerate(scored, start=1):
+                ranks.setdefault(name, []).append(position)
+                wins.setdefault(name, 0)
+                if position == 1:
+                    wins[name] += 1
+    if not ranks:
+        raise DataError(f"no results found for metrics {list(metrics)}")
+    rows = [
+        LeaderboardRow(
+            method=name,
+            mean_rank=float(np.mean(positions)),
+            wins=wins[name],
+            cells=len(positions),
+        )
+        for name, positions in ranks.items()
+    ]
+    rows.sort(key=lambda row: (row.mean_rank, -row.wins))
+    return rows
+
+
+def render_leaderboard(rows: Sequence[LeaderboardRow], *, title: str = "Leaderboard") -> str:
+    """Format leaderboard rows as a text table."""
+    return format_table(
+        ["#", "Method", "mean rank", "wins", "cells"],
+        [
+            [position, row.method, f"{row.mean_rank:.2f}", row.wins, row.cells]
+            for position, row in enumerate(rows, start=1)
+        ],
+        title=title,
+    )

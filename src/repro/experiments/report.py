@@ -1,0 +1,98 @@
+"""Assemble a reproduction report from saved benchmark outputs.
+
+Every benchmark writes its rendered table to ``benchmarks/results/``;
+this module collects those files into one markdown document grouped by
+experiment, so a full reproduction run leaves a single reviewable
+artifact (``python -m repro.experiments.report benchmarks/results``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils.exceptions import DataError
+
+# Maps result-file prefixes to report sections, in presentation order.
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table1", "Table 1 — dataset statistics"),
+    ("table2", "Table 2 — main comparison"),
+    ("fig2", "Figure 2 — top-k curves"),
+    ("fig3", "Figure 3 — tradeoff parameter sweep"),
+    ("fig4", "Figure 4 — sampler convergence"),
+    ("ablation", "Ablations"),
+    ("sensitivity", "Dataset-property sensitivity"),
+    ("extras", "Related-work extras"),
+)
+
+
+def collect_results(results_dir: str | Path) -> dict[str, str]:
+    """Read every ``*.txt`` result file into a name -> content mapping."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise DataError(f"{results_dir} is not a directory")
+    collected = {
+        path.stem: path.read_text(encoding="utf-8").rstrip()
+        for path in sorted(results_dir.glob("*.txt"))
+    }
+    if not collected:
+        raise DataError(
+            f"no result files in {results_dir}; run `pytest benchmarks/ --benchmark-only` first"
+        )
+    return collected
+
+
+def build_report(results_dir: str | Path, *, title: str = "CLAPF reproduction report") -> str:
+    """Compose the markdown report from a results directory."""
+    collected = collect_results(results_dir)
+    lines = [f"# {title}", ""]
+    used: set[str] = set()
+    for prefix, heading in SECTIONS:
+        matching = [name for name in collected if name.startswith(prefix)]
+        if not matching:
+            continue
+        lines.append(f"## {heading}")
+        lines.append("")
+        for name in sorted(matching):
+            used.add(name)
+            lines.append("```")
+            lines.append(collected[name])
+            lines.append("```")
+            lines.append("")
+    leftovers = sorted(set(collected) - used)
+    if leftovers:
+        lines.append("## Other results")
+        lines.append("")
+        for name in leftovers:
+            lines.append("```")
+            lines.append(collected[name])
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_report(
+    results_dir: str | Path,
+    output_path: str | Path,
+    *,
+    title: str = "CLAPF reproduction report",
+) -> Path:
+    """Write the assembled report to ``output_path``."""
+    output_path = Path(output_path)
+    output_path.write_text(build_report(results_dir, title=title), encoding="utf-8")
+    return output_path
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI shim
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", type=Path)
+    parser.add_argument("--out", type=Path, default=Path("REPRODUCTION_REPORT.md"))
+    args = parser.parse_args(argv)
+    path = write_report(args.results_dir, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

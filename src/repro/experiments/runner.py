@@ -1,0 +1,123 @@
+"""Fit / evaluate / time loops aggregating over repeated splits.
+
+Table 2 reports each metric as ``mean ± std`` over five independent
+split copies plus the training time; :func:`run_method` reproduces one
+such cell row and :func:`run_methods` a whole table block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import DatasetSplit
+from repro.metrics.evaluator import Evaluator
+from repro.models.base import Recommender
+from repro.utils.exceptions import ConfigError
+
+ModelFactory = Callable[[int], Recommender]
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """Aggregated results of one method over repeated splits.
+
+    Attributes
+    ----------
+    name:
+        Method display name.
+    means / stds:
+        Per-metric mean and standard deviation over repeats (empty when
+        the method timed out).
+    train_seconds:
+        Mean wall-clock training time per repeat.
+    timed_out:
+        True when the run exceeded its time budget — rendered as the
+        paper's ``-`` cells ("do not produce results within 200 hours").
+    """
+
+    name: str
+    means: dict[str, float]
+    stds: dict[str, float]
+    train_seconds: float
+    n_repeats: int
+    per_repeat: list[dict[str, float]] = field(default_factory=list, repr=False)
+    timed_out: bool = False
+
+    def cell(self, key: str) -> str:
+        """Render one metric as the paper's ``mean±std`` cell (or ``-``)."""
+        if self.timed_out:
+            return "-"
+        return f"{self.means[key]:.3f}±{self.stds[key]:.3f}"
+
+
+def run_method(
+    factory: ModelFactory,
+    splits: Sequence[DatasetSplit],
+    *,
+    name: str | None = None,
+    ks: Sequence[int] = (5,),
+    max_users: int | None = None,
+    time_budget_seconds: float | None = None,
+) -> MethodResult:
+    """Fit and evaluate one method on every split, aggregating metrics.
+
+    ``factory(repeat_index)`` must build a *fresh* model per repeat (use
+    the index to vary the seed).  With ``time_budget_seconds``, a method
+    whose cumulative training time exceeds the budget is reported as
+    timed out (the paper's ``-`` rows for CLiMF/RandomWalk on the large
+    datasets); the check runs between repeats, so the budget bounds
+    when no further repeat is *started*, not a hard kill.
+    """
+    if not splits:
+        raise ConfigError("at least one split is required")
+    per_repeat: list[dict[str, float]] = []
+    times: list[float] = []
+    display_name = name
+    for repeat, split in enumerate(splits):
+        model = factory(repeat)
+        if display_name is None:
+            display_name = model.name
+        start = time.perf_counter()
+        model.fit(split.train, split.validation)
+        times.append(time.perf_counter() - start)
+        if time_budget_seconds is not None and sum(times) > time_budget_seconds:
+            return MethodResult(
+                name=display_name,
+                means={},
+                stds={},
+                train_seconds=float(np.mean(times)),
+                n_repeats=repeat + 1,
+                timed_out=True,
+            )
+        evaluator = Evaluator(split, ks=ks, max_users=max_users, seed=repeat)
+        per_repeat.append(evaluator.evaluate(model).metrics)
+
+    keys = per_repeat[0].keys()
+    means = {key: float(np.mean([r[key] for r in per_repeat])) for key in keys}
+    stds = {key: float(np.std([r[key] for r in per_repeat])) for key in keys}
+    return MethodResult(
+        name=display_name,
+        means=means,
+        stds=stds,
+        train_seconds=float(np.mean(times)),
+        n_repeats=len(splits),
+        per_repeat=per_repeat,
+    )
+
+
+def run_methods(
+    factories: dict[str, ModelFactory],
+    splits: Sequence[DatasetSplit],
+    *,
+    ks: Sequence[int] = (5,),
+    max_users: int | None = None,
+) -> dict[str, MethodResult]:
+    """Run every named method over the same splits."""
+    return {
+        name: run_method(factory, splits, name=name, ks=ks, max_users=max_users)
+        for name, factory in factories.items()
+    }

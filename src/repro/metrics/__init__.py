@@ -1,0 +1,54 @@
+"""Evaluation metrics and the paper's full-ranking protocol.
+
+Top-k metrics (Precision@k, Recall@k, F1@k, 1-call@k, NDCG@k) and
+rank-biased list metrics (AP/MAP, RR/MRR, AUC), plus an
+:class:`Evaluator` implementing the paper's protocol of ranking *all*
+unobserved items per user (Section 6.3, footnote on NCF's protocol).
+"""
+
+from repro.metrics.beyond_accuracy import (
+    beyond_accuracy_report,
+    catalog_coverage,
+    intra_list_diversity,
+    novelty,
+)
+from repro.metrics.evaluator import EvaluationResult, Evaluator, evaluate_model
+from repro.metrics.propensity import item_propensities, unbiased_evaluate
+from repro.metrics.ranking import (
+    area_under_curve,
+    average_precision,
+    mean_metric,
+    rank_of_items,
+    reciprocal_rank,
+)
+from repro.metrics.topk import (
+    f1_at_k,
+    ndcg_at_k,
+    one_call_at_k,
+    precision_at_k,
+    recall_at_k,
+    top_k_items,
+)
+
+__all__ = [
+    "beyond_accuracy_report",
+    "catalog_coverage",
+    "intra_list_diversity",
+    "novelty",
+    "EvaluationResult",
+    "Evaluator",
+    "evaluate_model",
+    "item_propensities",
+    "unbiased_evaluate",
+    "area_under_curve",
+    "average_precision",
+    "mean_metric",
+    "rank_of_items",
+    "reciprocal_rank",
+    "f1_at_k",
+    "ndcg_at_k",
+    "one_call_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "top_k_items",
+]

@@ -1,0 +1,111 @@
+"""Beyond-accuracy metrics: coverage, novelty, diversity.
+
+Top-k quality (the paper's focus) is not the whole story in production;
+these metrics quantify the classic accuracy side effects:
+
+* **catalog coverage@k** — fraction of the catalog that appears in at
+  least one user's top-k list (popularity-biased models cover little);
+* **novelty@k** — mean self-information ``-log2 p(item)`` of recommended
+  items under the training popularity distribution (higher = less
+  mainstream);
+* **intra-list diversity@k** — mean pairwise distance of each user's
+  recommended items in a latent item representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.utils.exceptions import ConfigError, DataError
+
+
+def _check_lists(recommendations: np.ndarray) -> np.ndarray:
+    recommendations = np.asarray(recommendations, dtype=np.int64)
+    if recommendations.ndim != 2 or recommendations.shape[1] < 1:
+        raise DataError(
+            f"recommendations must be (n_users, k) shaped, got {recommendations.shape}"
+        )
+    return recommendations
+
+
+def catalog_coverage(recommendations: np.ndarray, n_items: int) -> float:
+    """Fraction of items recommended to at least one user."""
+    if n_items < 1:
+        raise ConfigError(f"n_items must be >= 1, got {n_items}")
+    recommendations = _check_lists(recommendations)
+    if recommendations.max() >= n_items:
+        raise DataError("recommended item id exceeds n_items")
+    return float(len(np.unique(recommendations)) / n_items)
+
+
+def novelty(recommendations: np.ndarray, train: InteractionMatrix) -> float:
+    """Mean self-information of recommended items (bits).
+
+    ``p(item)`` is its share of training interactions, Laplace-smoothed
+    so never-seen items are finite (and maximally novel).
+    """
+    recommendations = _check_lists(recommendations)
+    counts = train.item_counts().astype(np.float64) + 1.0
+    probabilities = counts / counts.sum()
+    return float(np.mean(-np.log2(probabilities[recommendations])))
+
+
+def intra_list_diversity(
+    recommendations: np.ndarray,
+    item_representations: np.ndarray,
+) -> float:
+    """Mean pairwise cosine *distance* within each user's list.
+
+    ``item_representations`` is an ``(n_items, d)`` matrix — trained item
+    factors work well.  Lists of length 1 contribute 0.
+    """
+    recommendations = _check_lists(recommendations)
+    item_representations = np.asarray(item_representations, dtype=np.float64)
+    if item_representations.ndim != 2:
+        raise DataError("item_representations must be (n_items, d)")
+    norms = np.linalg.norm(item_representations, axis=1, keepdims=True)
+    unit = item_representations / np.maximum(norms, 1e-12)
+    values = []
+    k = recommendations.shape[1]
+    if k < 2:
+        return 0.0
+    for row in recommendations:
+        vectors = unit[row]
+        cosine = vectors @ vectors.T
+        off_diagonal = ~np.eye(k, dtype=bool)
+        values.append(float(np.mean(1.0 - cosine[off_diagonal])))
+    return float(np.mean(values))
+
+
+def beyond_accuracy_report(
+    model,
+    train: InteractionMatrix,
+    *,
+    k: int = 10,
+    users=None,
+    item_representations: np.ndarray | None = None,
+) -> dict:
+    """Coverage / novelty (and diversity if representations given) for a
+    fitted model's top-k lists."""
+    if users is None:
+        users = np.flatnonzero(train.user_counts() > 0)
+    users = np.asarray(users, dtype=np.int64)
+    if len(users) == 0:
+        raise DataError("no users to evaluate")
+    recommendations = model.recommend_batch(users, k)
+    report = {
+        "k": k,
+        "n_users": len(users),
+        "catalog_coverage": catalog_coverage(recommendations, train.n_items),
+        "novelty_bits": novelty(recommendations, train),
+    }
+    if item_representations is None:
+        params = getattr(model, "params_", None)
+        if params is not None:
+            item_representations = params.item_factors
+    if item_representations is not None:
+        report["intra_list_diversity"] = intra_list_diversity(
+            recommendations, item_representations
+        )
+    return report

@@ -1,0 +1,209 @@
+"""Full-ranking evaluation protocol.
+
+The paper evaluates by ranking *all* unobserved items per user (not a
+100-item sample, see the note under Section 6.3) and averaging metrics
+over users with at least one test positive.  Training (and validation)
+positives are excluded from the candidate set; test positives are the
+relevant items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import DatasetSplit
+from repro.metrics import ranking, topk
+from repro.utils.exceptions import ConfigError, DataError
+from repro.utils.rng import as_generator
+
+ScoreFunction = Callable[[int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Aggregated evaluation metrics over test users.
+
+    Attributes
+    ----------
+    metrics:
+        Mapping from metric key (e.g. ``"ndcg@5"``, ``"map"``) to the
+        mean value over evaluated users.
+    n_users:
+        Number of users the means were taken over.
+    per_user:
+        Optional per-user metric arrays (same keys as ``metrics``).
+    """
+
+    metrics: dict[str, float]
+    n_users: int
+    per_user: dict[str, np.ndarray] | None = field(default=None, repr=False)
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+    def keys(self):
+        return self.metrics.keys()
+
+    def as_row(self, keys: Sequence[str]) -> list[float]:
+        """Metric values in the order of ``keys`` (for table rendering)."""
+        return [self.metrics[key] for key in keys]
+
+
+def _score_function(model) -> ScoreFunction:
+    if callable(getattr(model, "predict_user", None)):
+        return model.predict_user
+    if callable(model):
+        return model
+    raise ConfigError(
+        f"model {model!r} is not evaluable: needs a predict_user(user) method or to be callable"
+    )
+
+
+class Evaluator:
+    """Evaluates a model on one :class:`~repro.data.DatasetSplit`.
+
+    Parameters
+    ----------
+    split:
+        The dataset split; candidates per user are all items except
+        train (and validation) positives.
+    ks:
+        Cutoffs for the top-k metrics.
+    max_users:
+        If set, evaluate a random subsample of test users (useful for
+        per-epoch convergence traces on larger datasets).
+    use_validation_as_relevant:
+        When true, the *validation* positives (not test) are the
+        relevant items — this mode implements the paper's model
+        selection by ``NDCG@5`` on the validation set.
+    sampled_candidates:
+        When set, rank each user's relevant items against only this many
+        *sampled* unobserved items instead of the full catalog — the NCF
+        evaluation protocol ("only 100 unobserved items are sampled")
+        that the paper explicitly rejects in Section 6.3.  Provided so
+        the distortion can be measured; the paper's protocol is the
+        default (``None`` = rank everything).
+    """
+
+    def __init__(
+        self,
+        split: DatasetSplit,
+        *,
+        ks: Sequence[int] = (5,),
+        max_users: int | None = None,
+        seed=None,
+        keep_per_user: bool = False,
+        use_validation_as_relevant: bool = False,
+        sampled_candidates: int | None = None,
+    ):
+        if not ks:
+            raise ConfigError("ks must contain at least one cutoff")
+        if any(k < 1 for k in ks):
+            raise ConfigError(f"all ks must be >= 1, got {list(ks)}")
+        if max_users is not None and max_users < 1:
+            raise ConfigError(f"max_users must be >= 1, got {max_users}")
+        if sampled_candidates is not None and sampled_candidates < 1:
+            raise ConfigError(f"sampled_candidates must be >= 1, got {sampled_candidates}")
+        self.split = split
+        self.ks = tuple(int(k) for k in ks)
+        self.keep_per_user = keep_per_user
+        self.use_validation_as_relevant = use_validation_as_relevant
+        self.sampled_candidates = sampled_candidates
+        if use_validation_as_relevant and split.validation is None:
+            raise DataError("split has no validation set")
+
+        self._relevant_source = split.validation if use_validation_as_relevant else split.test
+        rng = as_generator(seed)
+        users = np.flatnonzero(self._relevant_source.user_counts() > 0)
+        if max_users is not None and len(users) > max_users:
+            users = np.sort(rng.choice(users, size=max_users, replace=False))
+        self.users = users
+        self._candidate_rng = rng
+
+    def metric_keys(self) -> list[str]:
+        """All metric keys this evaluator produces."""
+        keys = []
+        for k in self.ks:
+            keys.extend([f"precision@{k}", f"recall@{k}", f"f1@{k}", f"1-call@{k}", f"ndcg@{k}"])
+        keys.extend(["map", "mrr", "auc"])
+        return keys
+
+    def _candidate_mask(self, user: int) -> np.ndarray:
+        mask = np.ones(self.split.n_items, dtype=bool)
+        mask[self.split.train.positives(user)] = False
+        if self.split.validation is not None and not self.use_validation_as_relevant:
+            mask[self.split.validation.positives(user)] = False
+        if self.use_validation_as_relevant:
+            # Validation mode still hides train positives only; test items
+            # stay candidates, mimicking deployment-time uncertainty.
+            pass
+        return mask
+
+    def _subsample_candidates(self, mask: np.ndarray, relevant: np.ndarray) -> np.ndarray:
+        """NCF-protocol restriction: relevant items + N sampled others."""
+        eligible = np.flatnonzero(mask)
+        non_relevant = np.setdiff1d(eligible, relevant, assume_unique=False)
+        n_sample = min(self.sampled_candidates, len(non_relevant))
+        sampled = self._candidate_rng.choice(non_relevant, size=n_sample, replace=False)
+        restricted = np.zeros_like(mask)
+        restricted[relevant] = True
+        restricted[sampled] = True
+        return restricted
+
+    def evaluate(self, model) -> EvaluationResult:
+        """Run the protocol for ``model`` and return aggregated metrics."""
+        score_fn = _score_function(model)
+        keys = self.metric_keys()
+        accum: dict[str, list[float]] = {key: [] for key in keys}
+
+        for user in self.users:
+            relevant = self._relevant_source.positives(int(user))
+            mask = self._candidate_mask(int(user))
+            # Relevant items must be candidates; drop any that collide
+            # with exclusions (cannot happen with disjoint splits, but
+            # guards against user-supplied overlapping matrices).
+            relevant = relevant[mask[relevant]]
+            if len(relevant) == 0:
+                continue
+            if self.sampled_candidates is not None:
+                mask = self._subsample_candidates(mask, relevant)
+            scores = np.asarray(score_fn(int(user)), dtype=np.float64)
+            if scores.shape != (self.split.n_items,):
+                raise DataError(
+                    f"predict_user({user}) returned shape {scores.shape}, "
+                    f"expected ({self.split.n_items},)"
+                )
+            excluded = np.flatnonzero(~mask)
+            ranked = topk.top_k_items(scores, max(self.ks), exclude=excluded)
+            relevant_set = set(int(i) for i in relevant)
+            for k in self.ks:
+                accum[f"precision@{k}"].append(topk.precision_at_k(ranked, relevant_set, k))
+                accum[f"recall@{k}"].append(topk.recall_at_k(ranked, relevant_set, k))
+                accum[f"f1@{k}"].append(topk.f1_at_k(ranked, relevant_set, k))
+                accum[f"1-call@{k}"].append(topk.one_call_at_k(ranked, relevant_set, k))
+                accum[f"ndcg@{k}"].append(topk.ndcg_at_k(ranked, relevant_set, k))
+            accum["map"].append(ranking.average_precision(scores, relevant, candidate_mask=mask))
+            accum["mrr"].append(ranking.reciprocal_rank(scores, relevant, candidate_mask=mask))
+            accum["auc"].append(ranking.area_under_curve(scores, relevant, candidate_mask=mask))
+
+        n_users = len(accum["map"])
+        metrics = {key: ranking.mean_metric(values) for key, values in accum.items()}
+        per_user = (
+            {key: np.asarray(values) for key, values in accum.items()} if self.keep_per_user else None
+        )
+        return EvaluationResult(metrics=metrics, n_users=n_users, per_user=per_user)
+
+
+def evaluate_model(
+    model,
+    split: DatasetSplit,
+    *,
+    ks: Sequence[int] = (5,),
+    max_users: int | None = None,
+    seed=None,
+) -> EvaluationResult:
+    """Convenience wrapper: evaluate ``model`` on ``split`` in one call."""
+    return Evaluator(split, ks=ks, max_users=max_users, seed=seed).evaluate(model)

@@ -1,0 +1,115 @@
+"""Rank-biased list metrics: AP, RR, AUC, and rank utilities.
+
+These operate on a *full ranking* of candidate items, represented by a
+score vector and a candidate mask; relevant items are the user's test
+positives.  Ties are broken by (stable) item id so results are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import DataError
+
+
+def rank_of_items(
+    scores: np.ndarray,
+    items: np.ndarray,
+    *,
+    candidate_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """1-based ranks (by descending score) of ``items`` among candidates.
+
+    Parameters
+    ----------
+    scores:
+        Score vector over all items.
+    items:
+        Item ids whose ranks are requested (must be candidates).
+    candidate_mask:
+        Boolean mask of items participating in the ranking
+        (defaults to all items).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    items = np.asarray(items, dtype=np.int64)
+    if candidate_mask is None:
+        candidate_mask = np.ones(len(scores), dtype=bool)
+    if not np.all(candidate_mask[items]):
+        raise DataError("requested rank of an item outside the candidate set")
+    order = np.argsort(-scores, kind="stable")
+    order = order[candidate_mask[order]]
+    ranks = np.empty(len(scores), dtype=np.int64)
+    ranks.fill(-1)
+    ranks[order] = np.arange(1, len(order) + 1)
+    return ranks[items]
+
+
+def average_precision(
+    scores: np.ndarray,
+    relevant: np.ndarray,
+    *,
+    candidate_mask: np.ndarray | None = None,
+) -> float:
+    """Average precision of the full candidate ranking (Eq. 8).
+
+    ``AP_u = (1 / n_u+) * sum_i precision@rank(i)`` over relevant ``i``.
+    """
+    relevant = np.asarray(relevant, dtype=np.int64)
+    if len(relevant) == 0:
+        return 0.0
+    ranks = np.sort(rank_of_items(scores, relevant, candidate_mask=candidate_mask))
+    precisions = np.arange(1, len(ranks) + 1, dtype=np.float64) / ranks
+    return float(precisions.mean())
+
+
+def reciprocal_rank(
+    scores: np.ndarray,
+    relevant: np.ndarray,
+    *,
+    candidate_mask: np.ndarray | None = None,
+) -> float:
+    """Reciprocal of the best (smallest) rank of any relevant item (Eq. 5)."""
+    relevant = np.asarray(relevant, dtype=np.int64)
+    if len(relevant) == 0:
+        return 0.0
+    ranks = rank_of_items(scores, relevant, candidate_mask=candidate_mask)
+    return float(1.0 / ranks.min())
+
+
+def area_under_curve(
+    scores: np.ndarray,
+    relevant: np.ndarray,
+    *,
+    candidate_mask: np.ndarray | None = None,
+) -> float:
+    """AUC: probability a relevant candidate outranks an irrelevant one (Eq. 1).
+
+    Computed by the rank-sum (Mann-Whitney) identity; ties contribute
+    according to the stable tie-break, matching the ranking the other
+    metrics see.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    relevant = np.asarray(relevant, dtype=np.int64)
+    if candidate_mask is None:
+        candidate_mask = np.ones(len(scores), dtype=bool)
+    n_candidates = int(candidate_mask.sum())
+    n_pos = len(relevant)
+    n_neg = n_candidates - n_pos
+    if n_pos == 0 or n_neg <= 0:
+        return 0.0
+    ranks = rank_of_items(scores, relevant, candidate_mask=candidate_mask)
+    # Number of (pos, neg) pairs ranked correctly: for a positive at rank r,
+    # the negatives below it number (n_candidates - r) - (positives below it).
+    ranks_sorted = np.sort(ranks)
+    positives_below = n_pos - 1 - np.arange(n_pos)
+    correct = np.sum((n_candidates - ranks_sorted) - positives_below)
+    return float(correct) / (n_pos * n_neg)
+
+
+def mean_metric(values) -> float:
+    """Mean of per-user metric values; 0.0 for an empty collection."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return float(values.mean())

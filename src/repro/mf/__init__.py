@@ -1,0 +1,28 @@
+"""Matrix-factorization substrate.
+
+All non-neural models in the paper share the predictor
+``f_ui = U_u · V_i + b_i`` learned by stochastic gradient descent; this
+package provides the parameter store, numerically stable logistic
+helpers, and the SGD configuration shared by BPR, MPR, CLiMF and CLAPF.
+"""
+
+from repro.mf.fold_in import FoldInResult, fold_in_user_bpr, fold_in_user_ridge
+from repro.mf.functional import log_sigmoid, sigmoid
+from repro.mf.params import FactorParams
+from repro.mf.similarity import item_similarity_matrix, similar_items, similar_users
+from repro.mf.sgd import EarlyStoppingConfig, RegularizationConfig, SGDConfig
+
+__all__ = [
+    "FoldInResult",
+    "fold_in_user_bpr",
+    "fold_in_user_ridge",
+    "EarlyStoppingConfig",
+    "log_sigmoid",
+    "sigmoid",
+    "FactorParams",
+    "item_similarity_matrix",
+    "similar_items",
+    "similar_users",
+    "RegularizationConfig",
+    "SGDConfig",
+]

@@ -1,0 +1,123 @@
+"""Fold-in: scoring users who arrived after training.
+
+Production recommenders constantly see new users; retraining per user is
+wasteful.  Folding in computes a new user's latent vector against the
+*frozen* trained item factors:
+
+* :func:`fold_in_user_ridge` — closed-form weighted ridge regression, the
+  WMF-style fold-in (one linear solve, no sampling);
+* :func:`fold_in_user_bpr` — a few pairwise SGD steps on the user's
+  vector only, matching how the BPR/CLAPF family was trained.
+
+Both leave the model untouched and return the new user's score vector
+machinery via :class:`FoldInResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mf.functional import sigmoid
+from repro.mf.params import FactorParams
+from repro.utils.exceptions import DataError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FoldInResult:
+    """A folded-in user's latent vector plus conveniences.
+
+    Attributes
+    ----------
+    user_vector:
+        The inferred ``(d,)`` latent vector.
+    params:
+        The frozen model parameters the vector was fit against.
+    """
+
+    user_vector: np.ndarray
+    params: FactorParams
+
+    def predict(self) -> np.ndarray:
+        """Scores over all items, ``u V^T + b``."""
+        return self.user_vector @ self.params.item_factors.T + self.params.item_bias
+
+    def recommend(self, k: int = 5, *, exclude: np.ndarray | None = None) -> np.ndarray:
+        """Top-k items, optionally excluding the fold-in positives."""
+        from repro.metrics.topk import top_k_items
+
+        return top_k_items(self.predict(), k, exclude=exclude)
+
+
+def _check_positives(params: FactorParams, positives) -> np.ndarray:
+    positives = np.asarray(positives, dtype=np.int64)
+    if positives.ndim != 1 or len(positives) == 0:
+        raise DataError("fold-in needs at least one observed item")
+    if positives.min() < 0 or positives.max() >= params.n_items:
+        raise DataError("fold-in item ids out of range")
+    return positives
+
+
+def fold_in_user_ridge(
+    params: FactorParams,
+    positives,
+    *,
+    weight: float = 10.0,
+    reg: float = 0.1,
+) -> FoldInResult:
+    """WMF-style weighted ridge fold-in against frozen item factors.
+
+    Solves ``(V^T C V + reg I) u = (1 + weight) V_+^T 1`` where ``C``
+    puts confidence ``1 + weight`` on the observed items — the same
+    half-step :class:`~repro.models.WMF` uses per user.
+    """
+    check_positive(weight, "weight")
+    check_positive(reg, "reg")
+    positives = _check_positives(params, positives)
+    item_factors = params.item_factors
+    d = params.n_factors
+    gram = item_factors.T @ item_factors + reg * np.eye(d)
+    observed = item_factors[positives]
+    a = gram + weight * (observed.T @ observed)
+    b = (1.0 + weight) * observed.sum(axis=0)
+    return FoldInResult(user_vector=np.linalg.solve(a, b), params=params)
+
+
+def fold_in_user_bpr(
+    params: FactorParams,
+    positives,
+    *,
+    n_steps: int = 200,
+    learning_rate: float = 0.05,
+    reg: float = 0.01,
+    seed=None,
+) -> FoldInResult:
+    """Pairwise SGD fold-in: optimize only the new user's vector.
+
+    Runs ``n_steps`` BPR updates ``u += lr ((1 - sigma(R)) (V_i - V_j)
+    - reg u)`` with ``i`` uniform over the fold-in positives and ``j``
+    uniform over the rest of the catalog, item factors frozen.
+    """
+    check_positive(n_steps, "n_steps")
+    check_positive(learning_rate, "learning_rate")
+    check_positive(reg, "reg", strict=False)
+    positives = _check_positives(params, positives)
+    rng = as_generator(seed)
+    positive_set = set(int(i) for i in positives)
+    user_vector = np.zeros(params.n_factors)
+    item_factors = params.item_factors
+    bias = params.item_bias
+    for _ in range(n_steps):
+        i = int(positives[rng.integers(0, len(positives))])
+        j = int(rng.integers(0, params.n_items))
+        while j in positive_set:
+            j = int(rng.integers(0, params.n_items))
+        margin = user_vector @ (item_factors[i] - item_factors[j]) + bias[i] - bias[j]
+        residual = 1.0 - sigmoid(margin)
+        user_vector += learning_rate * (
+            residual * (item_factors[i] - item_factors[j]) - reg * user_vector
+        )
+    return FoldInResult(user_vector=user_vector, params=params)

@@ -1,0 +1,33 @@
+"""Numerically stable logistic functions used throughout the models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Stable elementwise sigmoid ``1 / (1 + exp(-x))``.
+
+    Avoids overflow for large negative inputs by branching on the sign.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def log_sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Stable elementwise ``ln sigma(x) = -log(1 + exp(-x))``.
+
+    Uses the identity ``ln sigma(x) = min(x, 0) - log1p(exp(-|x|))``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.minimum(x, 0.0) - np.log1p(np.exp(-np.abs(x)))
+    if out.ndim == 0:
+        return float(out)
+    return out

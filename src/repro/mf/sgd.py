@@ -1,0 +1,108 @@
+"""SGD and regularization configuration shared by all pairwise models.
+
+The paper learns every MF model by stochastic gradient descent over
+sampled tuples (Section 4.3, Eq. 22) with an L2 regularizer
+``R(Theta) = alpha_u ||U_u||^2 + alpha_v ||V_t||^2 + beta_v ||b_t||^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RegularizationConfig:
+    """L2 regularization weights (paper notation: alpha_u, alpha_v, beta_v).
+
+    The paper searches all three jointly over
+    ``{0.001, 0.002, 0.01, 0.02, 0.1}``.
+    """
+
+    alpha_u: float = 0.01
+    alpha_v: float = 0.01
+    beta_v: float = 0.01
+
+    def __post_init__(self):
+        check_positive(self.alpha_u, "alpha_u", strict=False)
+        check_positive(self.alpha_v, "alpha_v", strict=False)
+        check_positive(self.beta_v, "beta_v", strict=False)
+
+    @classmethod
+    def uniform(cls, weight: float) -> "RegularizationConfig":
+        """All three weights equal (the paper's search ties them)."""
+        return cls(alpha_u=weight, alpha_v=weight, beta_v=weight)
+
+
+@dataclass(frozen=True)
+class EarlyStoppingConfig:
+    """Validation-based early stopping for SGD training.
+
+    After every ``eval_every`` epochs the model is scored by NDCG@k on
+    the validation positives (training positives excluded from the
+    candidates — the paper's model-selection signal); training stops
+    when ``patience`` consecutive evaluations fail to improve, and the
+    best parameters seen are restored.
+
+    Attributes
+    ----------
+    patience:
+        Evaluations without improvement before stopping.
+    eval_every:
+        Epochs between validation evaluations.
+    k:
+        NDCG cutoff (the paper selects on NDCG@5).
+    max_users:
+        Validation-user subsample per evaluation (None = all).
+    min_delta:
+        Minimum improvement that resets the patience counter.
+    """
+
+    patience: int = 5
+    eval_every: int = 5
+    k: int = 5
+    max_users: int | None = 200
+    min_delta: float = 1e-4
+
+    def __post_init__(self):
+        check_positive(self.patience, "patience")
+        check_positive(self.eval_every, "eval_every")
+        check_positive(self.k, "k")
+        if self.max_users is not None:
+            check_positive(self.max_users, "max_users")
+        check_positive(self.min_delta, "min_delta", strict=False)
+
+
+@dataclass(frozen=True)
+class SGDConfig:
+    """Stochastic-gradient training schedule.
+
+    Attributes
+    ----------
+    learning_rate:
+        Step size ``gamma`` (paper searches {0.0001, 0.001, 0.01}).
+    n_epochs:
+        Number of passes; each epoch performs roughly one sampled update
+        per observed training pair (scaled by ``samples_per_pair``).
+    batch_size:
+        Tuples per vectorized SGD step.
+    samples_per_pair:
+        Sampled tuples per epoch, as a multiple of training pairs.
+    """
+
+    learning_rate: float = 0.08
+    n_epochs: int = 60
+    batch_size: int = 512
+    samples_per_pair: float = 1.0
+
+    def __post_init__(self):
+        check_positive(self.learning_rate, "learning_rate")
+        check_positive(self.n_epochs, "n_epochs")
+        check_positive(self.batch_size, "batch_size")
+        check_positive(self.samples_per_pair, "samples_per_pair")
+
+    def steps_per_epoch(self, n_training_pairs: int) -> int:
+        """Vectorized steps per epoch for a dataset of the given size."""
+        samples = max(int(round(self.samples_per_pair * n_training_pairs)), 1)
+        return max(samples // self.batch_size, 1)

@@ -1,0 +1,55 @@
+"""Latent-space similarity queries over trained factor models.
+
+Trained item factors encode taste structure; these helpers expose the
+standard production queries on top of them: "items like this one",
+"users like this one", and nearest-neighbour matrices for diversity
+metrics and explanation UIs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mf.params import FactorParams
+from repro.utils.exceptions import ConfigError, DataError
+
+
+def _unit_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, 1e-12)
+
+
+def _top_similar(vectors: np.ndarray, index: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    if not 0 <= index < len(vectors):
+        raise DataError(f"index {index} out of range [0, {len(vectors)})")
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    unit = _unit_rows(vectors)
+    similarity = unit @ unit[index]
+    similarity[index] = -np.inf  # never return the query itself
+    k = min(k, len(vectors) - 1)
+    top = np.argpartition(-similarity, k - 1)[:k]
+    top = top[np.argsort(-similarity[top], kind="stable")]
+    return top, similarity[top]
+
+
+def similar_items(params: FactorParams, item: int, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    """The ``k`` items most cosine-similar to ``item`` in latent space.
+
+    Returns ``(item_ids, similarities)``, best first, excluding the
+    query item.
+    """
+    return _top_similar(params.item_factors, item, k)
+
+
+def similar_users(params: FactorParams, user: int, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    """The ``k`` users most cosine-similar to ``user`` in latent space."""
+    return _top_similar(params.user_factors, user, k)
+
+
+def item_similarity_matrix(params: FactorParams) -> np.ndarray:
+    """Full cosine item-item similarity (small catalogs only)."""
+    unit = _unit_rows(params.item_factors)
+    similarity = unit @ unit.T
+    np.fill_diagonal(similarity, 0.0)
+    return similarity

@@ -1,0 +1,31 @@
+"""Baseline recommenders compared against CLAPF in the paper's Table 2.
+
+Matrix-factorization pairwise methods (BPR, MPR), the listwise method
+(CLiMF), the pointwise method (WMF) and the heuristics (PopRank,
+RandomWalk).  The neural baselines (NeuMF, NeuPR, DeepICF) live in
+:mod:`repro.neural`; CLAPF itself lives in :mod:`repro.core`.
+"""
+
+from repro.models.base import FactorRecommender, Recommender, TupleSGDRecommender
+from repro.models.bpr import BPR
+from repro.models.climf import CLiMF
+from repro.models.gbpr import GBPR
+from repro.models.itemknn import ItemKNN
+from repro.models.mpr import MPR
+from repro.models.poprank import PopRank
+from repro.models.random_walk import RandomWalk
+from repro.models.wmf import WMF
+
+__all__ = [
+    "FactorRecommender",
+    "Recommender",
+    "TupleSGDRecommender",
+    "BPR",
+    "CLiMF",
+    "GBPR",
+    "ItemKNN",
+    "MPR",
+    "PopRank",
+    "RandomWalk",
+    "WMF",
+]

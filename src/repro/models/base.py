@@ -1,0 +1,302 @@
+"""Recommender interfaces and the shared tuple-SGD training engine.
+
+Every pairwise / list-and-pairwise model in the paper maximizes an
+objective of the form ``sum ln sigma(R)`` where ``R`` is a *linear
+combination of predicted scores* over a sampled tuple of items
+(Section 4.3).  :class:`TupleSGDRecommender` implements that loop once —
+vectorized mini-batch SGD with L2 regularization and scatter-add
+updates — and concrete models only declare which items participate and
+with which coefficients:
+
+============  =======================  ==========================
+model         items                    coefficients
+============  =======================  ==========================
+BPR           (i, j)                   (1, -1)
+CLAPF-MAP     (k, i, j)                (λ, 1-2λ, -(1-λ))
+CLAPF-MRR     (i, k, j)                (1, -λ, -(1-λ))
+MPR           (i, v, j)                (λ, 1-2λ, -(1-λ))
+============  =======================  ==========================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics.topk import ndcg_at_k, top_k_items
+from repro.mf.functional import log_sigmoid, sigmoid
+from repro.mf.params import FactorParams
+from repro.mf.sgd import EarlyStoppingConfig, RegularizationConfig, SGDConfig
+from repro.sampling.base import Sampler, TupleBatch
+from repro.sampling.uniform import UniformSampler
+from repro.utils.exceptions import ConfigError, NotFittedError
+from repro.utils.rng import as_generator
+
+EpochCallback = Callable[["Recommender", int], None]
+
+
+def validation_ndcg(
+    predict_user: Callable[[int], np.ndarray],
+    train: InteractionMatrix,
+    validation: InteractionMatrix,
+    *,
+    k: int = 5,
+    max_users: int | None = None,
+    seed: int = 0,
+) -> float:
+    """Mean NDCG@k on the validation positives (train items excluded).
+
+    A lightweight version of the full evaluator used for early stopping
+    and model selection inside training loops.
+    """
+    users = np.flatnonzero(validation.user_counts() > 0)
+    if max_users is not None and len(users) > max_users:
+        users = np.sort(as_generator(seed).choice(users, size=max_users, replace=False))
+    if len(users) == 0:
+        return 0.0
+    values = []
+    for user in users:
+        relevant = set(int(i) for i in validation.positives(int(user)))
+        ranked = top_k_items(predict_user(int(user)), k, exclude=train.positives(int(user)))
+        values.append(ndcg_at_k(ranked, relevant, k))
+    return float(np.mean(values))
+
+
+class Recommender(ABC):
+    """Base interface every model in the library implements."""
+
+    def __init__(self):
+        self._train: InteractionMatrix | None = None
+
+    @property
+    def name(self) -> str:
+        """Display name used in tables (defaults to the class name)."""
+        return type(self).__name__
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train is not None
+
+    def _require_fitted(self) -> InteractionMatrix:
+        if self._train is None:
+            raise NotFittedError(f"{self.name} has not been fitted; call fit() first")
+        return self._train
+
+    @abstractmethod
+    def fit(self, train: InteractionMatrix, validation: InteractionMatrix | None = None) -> "Recommender":
+        """Train on the observed positive-feedback matrix."""
+
+    @abstractmethod
+    def predict_user(self, user: int) -> np.ndarray:
+        """Predicted relevance scores of one user over all items."""
+
+    def recommend(self, user: int, k: int = 5, *, exclude_observed: bool = True) -> np.ndarray:
+        """Top-k item ids for ``user``, best first.
+
+        Training positives are excluded by default (the deployment
+        setting: never re-recommend what the user already has).
+        """
+        train = self._require_fitted()
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        scores = np.asarray(self.predict_user(user), dtype=np.float64).copy()
+        if exclude_observed:
+            scores[train.positives(user)] = -np.inf
+        k = min(k, train.n_items)
+        top = np.argpartition(-scores, k - 1)[:k]
+        return top[np.argsort(-scores[top], kind="stable")]
+
+    def recommend_batch(
+        self,
+        users,
+        k: int = 5,
+        *,
+        exclude_observed: bool = True,
+    ) -> np.ndarray:
+        """Top-k recommendations for many users at once, shape ``(U, k)``.
+
+        Equivalent to calling :meth:`recommend` per user; provided as
+        the serving-path API (one matrix out, rows aligned to ``users``).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        return np.stack(
+            [self.recommend(int(user), k, exclude_observed=exclude_observed) for user in users]
+        )
+
+
+class FactorRecommender(Recommender):
+    """A recommender backed by :class:`FactorParams` (``f = U V^T + b``)."""
+
+    def __init__(self):
+        super().__init__()
+        self.params_: FactorParams | None = None
+
+    def predict_user(self, user: int) -> np.ndarray:
+        self._require_fitted()
+        return self.params_.predict_user(user)
+
+
+class TupleSGDRecommender(FactorRecommender):
+    """Generic maximizer of ``sum ln sigma(R(u, tuple))`` by mini-batch SGD.
+
+    Parameters
+    ----------
+    n_factors:
+        Latent dimensionality ``d`` (the paper fixes 20).
+    sgd:
+        Learning-rate / epoch / batch configuration.
+    reg:
+        L2 weights (alpha_u, alpha_v, beta_v).
+    sampler:
+        Tuple sampler; defaults to :class:`UniformSampler`.  Adaptive
+        samplers receive the live parameters at bind time.
+    seed:
+        Seed for initialization and sampling.
+    epoch_callback:
+        Called as ``callback(model, epoch)`` after each epoch — used by
+        the convergence experiments (Fig. 4) to trace metrics.
+    early_stopping:
+        Optional :class:`~repro.mf.sgd.EarlyStoppingConfig`; requires a
+        validation matrix to be passed to ``fit``.
+    warm_start:
+        When true, a second ``fit`` call continues from the current
+        parameters instead of re-initializing (shapes permitting) — the
+        online-loop refit path.
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 20,
+        *,
+        sgd: SGDConfig | None = None,
+        reg: RegularizationConfig | None = None,
+        sampler: Sampler | None = None,
+        seed=None,
+        epoch_callback: EpochCallback | None = None,
+        early_stopping: EarlyStoppingConfig | None = None,
+        warm_start: bool = False,
+    ):
+        super().__init__()
+        self.n_factors = int(n_factors)
+        self.sgd = sgd or SGDConfig()
+        self.reg = reg or RegularizationConfig()
+        self.sampler = sampler or UniformSampler()
+        self.seed = seed
+        self.epoch_callback = epoch_callback
+        self.early_stopping = early_stopping
+        self.warm_start = warm_start
+        self.loss_history_: list[float] = []
+        self.validation_history_: list[float] = []
+        self.best_epoch_: int | None = None
+        self.stopped_early_: bool = False
+
+    # -- model-specific structure --------------------------------------
+    @abstractmethod
+    def _tuple_terms(self, batch: TupleBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(items, coefficients)`` defining ``R`` for the batch.
+
+        ``items`` is ``(B, S)`` int64 — the item ids entering ``R``;
+        ``coefficients`` is ``(S,)`` or ``(B, S)`` float — their weights,
+        so ``R_b = sum_s coefficients[s] * f(u_b, items[b, s])``.
+        """
+
+    def _make_batch(self, batch_size: int, rng: np.random.Generator) -> TupleBatch:
+        """Hook for models that post-process the sampled batch (MPR)."""
+        return self.sampler.sample(batch_size, rng)
+
+    # -- training --------------------------------------------------------
+    def fit(self, train: InteractionMatrix, validation: InteractionMatrix | None = None) -> "TupleSGDRecommender":
+        if self.early_stopping is not None and validation is None:
+            raise ConfigError("early_stopping requires a validation matrix in fit()")
+        rng = as_generator(self.seed)
+        reusable = (
+            self.warm_start
+            and self.params_ is not None
+            and self.params_.n_users == train.n_users
+            and self.params_.n_items == train.n_items
+        )
+        if not reusable:
+            self.params_ = FactorParams.init(
+                train.n_users, train.n_items, self.n_factors, seed=rng
+            )
+        self._train = train
+        self.sampler.bind(train, self.params_)
+        self.loss_history_ = []
+        self.validation_history_ = []
+        self.best_epoch_ = None
+        self.stopped_early_ = False
+
+        stopping = self.early_stopping
+        best_score = -np.inf
+        best_params: FactorParams | None = None
+        stale_evals = 0
+
+        steps = self.sgd.steps_per_epoch(train.n_interactions)
+        for epoch in range(self.sgd.n_epochs):
+            epoch_loss = 0.0
+            for _ in range(steps):
+                batch = self._make_batch(self.sgd.batch_size, rng)
+                epoch_loss += self._sgd_step(batch)
+            self.loss_history_.append(epoch_loss / steps)
+            if self.epoch_callback is not None:
+                self.epoch_callback(self, epoch)
+            if stopping is not None and (epoch + 1) % stopping.eval_every == 0:
+                score = validation_ndcg(
+                    self.params_.predict_user, train, validation,
+                    k=stopping.k, max_users=stopping.max_users,
+                )
+                self.validation_history_.append(score)
+                if score > best_score + stopping.min_delta:
+                    best_score = score
+                    best_params = self.params_.copy()
+                    self.best_epoch_ = epoch
+                    stale_evals = 0
+                else:
+                    stale_evals += 1
+                    if stale_evals >= stopping.patience:
+                        self.stopped_early_ = True
+                        break
+        if best_params is not None:
+            self.params_ = best_params
+        return self
+
+    def _sgd_step(self, batch: TupleBatch) -> float:
+        """One vectorized ascent step on the batch; returns mean -ln sigma(R)."""
+        params = self.params_
+        users = batch.users
+        items, coefficients = self._tuple_terms(batch)
+        if coefficients.ndim == 1:
+            coefficients = np.broadcast_to(coefficients, items.shape)
+
+        user_vecs = params.user_factors[users]  # (B, d)
+        item_vecs = params.item_factors[items]  # (B, S, d)
+        scores = np.einsum("bd,bsd->bs", user_vecs, item_vecs) + params.item_bias[items]
+        margin = np.einsum("bs,bs->b", coefficients, scores)
+        residual = 1.0 - sigmoid(margin)  # (B,)
+
+        lr = self.sgd.learning_rate
+        # User factors: dR/dU_u = sum_s c_s V_s.
+        user_grad = np.einsum("bs,bsd->bd", coefficients, item_vecs)
+        np.add.at(
+            params.user_factors,
+            users,
+            lr * (residual[:, None] * user_grad - self.reg.alpha_u * user_vecs),
+        )
+        # Item factors and biases: dR/dV_s = c_s U_u, dR/db_s = c_s.
+        weight = residual[:, None] * coefficients  # (B, S)
+        flat_items = items.ravel()
+        item_grad = weight[:, :, None] * user_vecs[:, None, :]  # (B, S, d)
+        np.add.at(
+            params.item_factors,
+            flat_items,
+            lr * (item_grad.reshape(-1, params.n_factors) - self.reg.alpha_v * item_vecs.reshape(-1, params.n_factors)),
+        )
+        np.add.at(
+            params.item_bias,
+            flat_items,
+            lr * (weight.ravel() - self.reg.beta_v * params.item_bias[flat_items]),
+        )
+        return float(np.mean(-log_sigmoid(margin)))

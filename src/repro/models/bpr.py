@@ -1,0 +1,30 @@
+"""Bayesian Personalized Ranking (Rendle et al., UAI 2009).
+
+The seminal pairwise baseline: maximize ``ln sigma(f_ui - f_uj)`` over
+observed/unobserved pairs (Eq. 3 of the paper), which optimizes AUC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TupleSGDRecommender
+from repro.sampling.base import TupleBatch
+
+
+class BPR(TupleSGDRecommender):
+    """Matrix-factorization BPR trained by tuple SGD.
+
+    ``R = f_ui - f_uj`` with ``i`` observed and ``j`` unobserved; the
+    sampled second positive ``k`` is ignored.  CLAPF with ``lambda = 0``
+    is mathematically identical to this model (Section 6.4.2).
+    """
+
+    @property
+    def name(self) -> str:
+        return "BPR"
+
+    def _tuple_terms(self, batch: TupleBatch) -> tuple[np.ndarray, np.ndarray]:
+        items = np.stack([batch.pos_i, batch.neg_j], axis=1)
+        coefficients = np.array([1.0, -1.0])
+        return items, coefficients

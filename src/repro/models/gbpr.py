@@ -1,0 +1,148 @@
+"""GBPR — Group Bayesian Personalized Ranking (Pan & Chen, IJCAI 2013).
+
+The paper's related work (Section 2.1, class (1)) cites GBPR as the
+method relaxing BPR's *user independence* assumption: the preference of
+user ``u`` on her observed item ``i`` is blended with the preference of
+a sampled *group* ``G`` of other users who also consumed ``i``,
+
+``R = rho * mean_{w in G} f_wi + (1 - rho) * f_ui - f_uj``
+
+and the usual logistic objective ``ln sigma(R)`` is maximized.  The
+group preference does not fit the single-user linear-combination engine
+of :class:`~repro.models.base.TupleSGDRecommender`, so GBPR carries its
+own vectorized SGD step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.mf.functional import log_sigmoid, sigmoid
+from repro.mf.params import FactorParams
+from repro.mf.sgd import RegularizationConfig, SGDConfig
+from repro.models.base import EpochCallback, FactorRecommender
+from repro.sampling.uniform import UniformSampler
+from repro.utils.exceptions import ConfigError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+
+class GBPR(FactorRecommender):
+    """Group-preference BPR.
+
+    Parameters
+    ----------
+    rho:
+        Group-blend weight in ``[0, 1]``; ``rho = 0`` recovers BPR.
+    group_size:
+        Number of co-consumers sampled per tuple (the paper's |G|;
+        users are drawn with replacement from item ``i``'s consumers,
+        always including ``u`` itself when the item has no others).
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 20,
+        *,
+        rho: float = 0.4,
+        group_size: int = 3,
+        sgd: SGDConfig | None = None,
+        reg: RegularizationConfig | None = None,
+        seed=None,
+        epoch_callback: EpochCallback | None = None,
+    ):
+        super().__init__()
+        check_probability(rho, "rho")
+        if group_size < 1:
+            raise ConfigError(f"group_size must be >= 1, got {group_size}")
+        self.n_factors = int(n_factors)
+        self.rho = rho
+        self.group_size = group_size
+        self.sgd = sgd or SGDConfig()
+        self.reg = reg or RegularizationConfig()
+        self.seed = seed
+        self.epoch_callback = epoch_callback
+        self.loss_history_: list[float] = []
+        self._item_major: InteractionMatrix | None = None
+
+    @property
+    def name(self) -> str:
+        return "GBPR"
+
+    def _sample_groups(self, items: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """(B, group_size) users drawn from each item's consumer list."""
+        item_major = self._item_major
+        counts = item_major.user_counts()[items]
+        offsets = rng.integers(0, counts[:, None], size=(len(items), self.group_size))
+        return item_major.indices[item_major.indptr[items][:, None] + offsets]
+
+    def _sgd_step(self, batch, rng: np.random.Generator) -> float:
+        params = self.params_
+        users, pos_i, neg_j = batch.users, batch.pos_i, batch.neg_j
+        groups = self._sample_groups(pos_i, rng)  # (B, G)
+
+        user_vecs = params.user_factors[users]  # (B, d)
+        group_vecs = params.user_factors[groups]  # (B, G, d)
+        item_i = params.item_factors[pos_i]
+        item_j = params.item_factors[neg_j]
+
+        f_ui = np.einsum("bd,bd->b", user_vecs, item_i) + params.item_bias[pos_i]
+        f_uj = np.einsum("bd,bd->b", user_vecs, item_j) + params.item_bias[neg_j]
+        f_group = np.einsum("bgd,bd->b", group_vecs, item_i) / self.group_size
+        f_group = f_group + params.item_bias[pos_i]
+        margin = self.rho * f_group + (1.0 - self.rho) * f_ui - f_uj
+        residual = 1.0 - sigmoid(margin)
+
+        lr = self.sgd.learning_rate
+        reg = self.reg
+        # dR/dU_u = (1 - rho) V_i - V_j ; group members get rho/|G| V_i.
+        np.add.at(
+            params.user_factors,
+            users,
+            lr * (residual[:, None] * ((1 - self.rho) * item_i - item_j) - reg.alpha_u * user_vecs),
+        )
+        group_grad = np.broadcast_to(
+            (self.rho / self.group_size) * residual[:, None, None] * item_i[:, None, :],
+            group_vecs.shape,
+        )
+        np.add.at(
+            params.user_factors,
+            groups.ravel(),
+            lr * (group_grad.reshape(-1, params.n_factors)
+                  - reg.alpha_u * group_vecs.reshape(-1, params.n_factors)),
+        )
+        # dR/dV_i = rho mean(U_G) + (1 - rho) U_u ; dR/dV_j = -U_u.
+        mean_group = group_vecs.mean(axis=1)
+        np.add.at(
+            params.item_factors,
+            pos_i,
+            lr * (residual[:, None] * (self.rho * mean_group + (1 - self.rho) * user_vecs)
+                  - reg.alpha_v * item_i),
+        )
+        np.add.at(
+            params.item_factors,
+            neg_j,
+            lr * (-residual[:, None] * user_vecs - reg.alpha_v * item_j),
+        )
+        np.add.at(params.item_bias, pos_i, lr * (residual - reg.beta_v * params.item_bias[pos_i]))
+        np.add.at(params.item_bias, neg_j, lr * (-residual - reg.beta_v * params.item_bias[neg_j]))
+        return float(np.mean(-log_sigmoid(margin)))
+
+    def fit(self, train: InteractionMatrix, validation: InteractionMatrix | None = None) -> "GBPR":
+        rng = as_generator(self.seed)
+        self._train = train
+        self._item_major = train.transpose()
+        self.params_ = FactorParams.init(train.n_users, train.n_items, self.n_factors, seed=rng)
+        sampler = UniformSampler().bind(train, self.params_)
+        self.loss_history_ = []
+        steps = self.sgd.steps_per_epoch(train.n_interactions)
+        for epoch in range(self.sgd.n_epochs):
+            epoch_loss = 0.0
+            for _ in range(steps):
+                batch = sampler.sample(self.sgd.batch_size, rng)
+                epoch_loss += self._sgd_step(batch, rng)
+            self.loss_history_.append(epoch_loss / steps)
+            if self.epoch_callback is not None:
+                self.epoch_callback(self, epoch)
+        return self

@@ -1,0 +1,33 @@
+"""PopRank: non-personalized popularity baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.models.base import Recommender
+
+
+class PopRank(Recommender):
+    """Ranks items by their training popularity, identically for all users.
+
+    The weakest baseline in Table 2 — any personalized model should
+    beat it, and the integration tests assert exactly that.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.scores_: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return "PopRank"
+
+    def fit(self, train: InteractionMatrix, validation: InteractionMatrix | None = None) -> "PopRank":
+        self._train = train
+        self.scores_ = train.item_counts().astype(np.float64)
+        return self
+
+    def predict_user(self, user: int) -> np.ndarray:
+        self._require_fitted()
+        return self.scores_.copy()

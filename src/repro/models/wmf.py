@@ -1,0 +1,107 @@
+"""Weighted Matrix Factorization (Hu, Koren & Volinsky, ICDM 2008).
+
+The pointwise baseline in Table 2: every cell of the binary matrix gets
+a confidence weight (``1`` for unobserved, ``1 + alpha`` for observed)
+and the factors minimize the weighted square loss by alternating least
+squares, using the classic ``(V^T V + V^T (C^u - I) V + lambda I)``
+decomposition so each step costs ``O(d^2 N + d^3 n)`` rather than
+``O(d^2 n m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.models.base import Recommender
+from repro.utils.exceptions import ConfigError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+class WMF(Recommender):
+    """Implicit-feedback weighted ALS matrix factorization.
+
+    Parameters
+    ----------
+    n_factors:
+        Latent dimensionality (paper searches {10, 20}).
+    weight:
+        Observation confidence ``alpha`` (paper searches {10, 20, 40, 100}).
+    reg:
+        L2 regularization ``lambda`` (paper searches {0.001, 0.01, 0.1}).
+    n_iterations:
+        Alternating least-squares rounds.
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 20,
+        *,
+        weight: float = 20.0,
+        reg: float = 0.01,
+        n_iterations: int = 15,
+        seed=None,
+    ):
+        super().__init__()
+        if n_factors < 1:
+            raise ConfigError(f"n_factors must be >= 1, got {n_factors}")
+        check_positive(weight, "weight")
+        check_positive(reg, "reg")
+        check_positive(n_iterations, "n_iterations")
+        self.n_factors = n_factors
+        self.weight = weight
+        self.reg = reg
+        self.n_iterations = n_iterations
+        self.seed = seed
+        self.user_factors_: np.ndarray | None = None
+        self.item_factors_: np.ndarray | None = None
+
+    @property
+    def name(self) -> str:
+        return "WMF"
+
+    def _solve_side(
+        self,
+        fixed: np.ndarray,
+        rows: list[np.ndarray],
+    ) -> np.ndarray:
+        """One half-step of weighted ALS.
+
+        ``fixed`` are the other side's factors; ``rows[t]`` lists the
+        positives of entity ``t`` on that side.
+        """
+        d = self.n_factors
+        gram = fixed.T @ fixed + self.reg * np.eye(d)
+        solved = np.zeros((len(rows), d))
+        for t, positives in enumerate(rows):
+            if len(positives) == 0:
+                continue
+            factors = fixed[positives]  # (n_t, d)
+            # C - I has weight `alpha` only on the observed cells.
+            a = gram + self.weight * (factors.T @ factors)
+            b = (1.0 + self.weight) * factors.sum(axis=0)
+            solved[t] = np.linalg.solve(a, b)
+        return solved
+
+    def fit(self, train: InteractionMatrix, validation: InteractionMatrix | None = None) -> "WMF":
+        self._train = train
+        rng = as_generator(self.seed)
+        n, m, d = train.n_users, train.n_items, self.n_factors
+        self.user_factors_ = rng.normal(scale=0.01, size=(n, d))
+        self.item_factors_ = rng.normal(scale=0.01, size=(m, d))
+
+        user_rows = [train.positives(u) for u in range(n)]
+        item_rows: list[list[int]] = [[] for _ in range(m)]
+        for user, item in train.pairs():
+            item_rows[item].append(user)
+        item_rows = [np.asarray(row, dtype=np.int64) for row in item_rows]
+
+        for _ in range(self.n_iterations):
+            self.user_factors_ = self._solve_side(self.item_factors_, user_rows)
+            self.item_factors_ = self._solve_side(self.user_factors_, item_rows)
+        return self
+
+    def predict_user(self, user: int) -> np.ndarray:
+        self._require_fitted()
+        return self.user_factors_[user] @ self.item_factors_.T

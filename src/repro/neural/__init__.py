@@ -1,0 +1,38 @@
+"""Neural substrate and neural baselines.
+
+The paper implements NeuMF, NeuPR and DeepICF in TensorFlow; this
+package substitutes a small, self-contained reverse-mode automatic
+differentiation engine over numpy (:mod:`repro.neural.autograd`), layer
+and optimizer libraries on top of it, and faithful small-scale
+implementations of the three neural baselines.
+"""
+
+from repro.neural.autograd import Tensor, no_grad
+from repro.neural.deepicf import DeepICF
+from repro.neural.gmf import GMF, MLPRec
+from repro.neural.layers import MLP, Dense, Dropout, Embedding, Module, Parameter
+from repro.neural.losses import bce_with_logits, bpr_loss
+from repro.neural.neumf import NeuMF
+from repro.neural.neupr import NeuPR
+from repro.neural.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "DeepICF",
+    "GMF",
+    "MLPRec",
+    "MLP",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Module",
+    "Parameter",
+    "bce_with_logits",
+    "bpr_loss",
+    "NeuMF",
+    "NeuPR",
+    "SGD",
+    "Adam",
+    "Optimizer",
+]

@@ -1,0 +1,76 @@
+"""GMF and MLP — the two NCF components as standalone baselines.
+
+NeuMF (He et al., WWW 2017) is the fusion of these two; the original
+paper ablates each separately, and having them standalone lets the
+benchmark suite show how much of NeuMF's behaviour each branch carries.
+
+* **GMF** — Generalized Matrix Factorization: elementwise product of
+  user/item embeddings projected to a logit (a learned-weight dot
+  product).
+* **MLPRec** — concatenated embeddings through a pyramid MLP tower.
+
+Both train pointwise with BCE and sampled negatives, like NeuMF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+from repro.neural.base import PointwiseNeuralRecommender
+from repro.neural.layers import MLP, Dense, Embedding, Module
+from repro.utils.rng import spawn_generators
+
+
+class _GMFNet(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, rng: np.random.Generator):
+        seeds = spawn_generators(rng, 3)
+        self.user_emb = Embedding(n_users, dim, seed=seeds[0])
+        self.item_emb = Embedding(n_items, dim, seed=seeds[1])
+        self.output = Dense(dim, 1, seed=seeds[2])
+
+    def __call__(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        product = self.user_emb(users) * self.item_emb(items)
+        return self.output(product).reshape(-1)
+
+
+class GMF(PointwiseNeuralRecommender):
+    """Generalized Matrix Factorization (the linear NCF branch)."""
+
+    @property
+    def name(self) -> str:
+        return "GMF"
+
+    def _build(self, n_users: int, n_items: int, rng: np.random.Generator) -> None:
+        self._module = _GMFNet(n_users, n_items, self.embedding_dim, rng)
+
+    def _forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self._module(users, items)
+
+
+class _MLPNet(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, rng: np.random.Generator):
+        seeds = spawn_generators(rng, 4)
+        self.user_emb = Embedding(n_users, dim, seed=seeds[0])
+        self.item_emb = Embedding(n_items, dim, seed=seeds[1])
+        tower = (2 * dim, 2 * dim, dim, dim // 2 or 1)
+        self.mlp = MLP(tower, activation="relu", seed=seeds[2])
+        self.output = Dense(dim // 2 or 1, 1, seed=seeds[3])
+
+    def __call__(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        joined = Tensor.concat([self.user_emb(users), self.item_emb(items)], axis=1)
+        return self.output(self.mlp(joined)).reshape(-1)
+
+
+class MLPRec(PointwiseNeuralRecommender):
+    """Pure-MLP collaborative filtering (the nonlinear NCF branch)."""
+
+    @property
+    def name(self) -> str:
+        return "MLP"
+
+    def _build(self, n_users: int, n_items: int, rng: np.random.Generator) -> None:
+        self._module = _MLPNet(n_users, n_items, self.embedding_dim, rng)
+
+    def _forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self._module(users, items)

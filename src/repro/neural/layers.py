@@ -1,0 +1,140 @@
+"""Layers and modules on top of the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+from repro.utils.exceptions import ConfigError
+from repro.utils.rng import as_generator
+
+_ACTIVATIONS = ("linear", "relu", "sigmoid", "tanh")
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad`` always on)."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with recursive parameter collection."""
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        params: list[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for element in value:
+                    if isinstance(element, Module):
+                        params.extend(element.parameters())
+                    elif isinstance(element, Parameter):
+                        params.append(element)
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def n_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.data.size for p in self.parameters())
+
+
+class Dense(Module):
+    """Fully connected layer ``y = act(x W + b)``.
+
+    Weights use Glorot-uniform initialization; the activation is one of
+    ``linear``, ``relu``, ``sigmoid``, ``tanh``.
+    """
+
+    def __init__(self, in_features: int, out_features: int, activation: str = "linear", *, seed=None):
+        if activation not in _ACTIVATIONS:
+            raise ConfigError(f"activation must be one of {_ACTIVATIONS}, got {activation!r}")
+        if in_features < 1 or out_features < 1:
+            raise ConfigError("layer sizes must be >= 1")
+        rng = as_generator(seed)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-limit, limit, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self.activation = activation
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight + self.bias
+        if self.activation == "relu":
+            return out.relu()
+        if self.activation == "sigmoid":
+            return out.sigmoid()
+        if self.activation == "tanh":
+            return out.tanh()
+        return out
+
+
+class Embedding(Module):
+    """Lookup table of ``n`` rows of dimension ``d``."""
+
+    def __init__(self, n_rows: int, dim: int, *, scale: float = 0.01, seed=None):
+        if n_rows < 1 or dim < 1:
+            raise ConfigError("embedding sizes must be >= 1")
+        rng = as_generator(seed)
+        self.table = Parameter(rng.normal(scale=scale, size=(n_rows, dim)))
+
+    def __call__(self, indices: np.ndarray) -> Tensor:
+        return self.table.take_rows(indices)
+
+
+class Dropout(Module):
+    """Inverted dropout: zeroes activations with probability ``rate``.
+
+    Active only between :meth:`train` / :meth:`eval` calls (training
+    mode default off, matching inference-safe behaviour); surviving
+    units are scaled by ``1 / (1 - rate)`` so expectations match.
+    """
+
+    def __init__(self, rate: float = 0.5, *, seed=None):
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.training = False
+        self._rng = as_generator(seed)
+
+    def train(self) -> "Dropout":
+        self.training = True
+        return self
+
+    def eval(self) -> "Dropout":
+        self.training = False
+        return self
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = (self._rng.random(x.shape) >= self.rate) / (1.0 - self.rate)
+        return x * Tensor(keep)
+
+
+class MLP(Module):
+    """A stack of Dense layers with one hidden activation throughout.
+
+    ``layer_sizes`` includes the input size, e.g. ``(32, 16, 8)`` maps a
+    32-d input through a 16-unit hidden layer to an 8-d output.
+    """
+
+    def __init__(self, layer_sizes: tuple[int, ...], *, activation: str = "relu", seed=None):
+        if len(layer_sizes) < 2:
+            raise ConfigError("MLP needs at least input and output sizes")
+        rng = as_generator(seed)
+        self.layers = [
+            Dense(inp, out, activation, seed=rng)
+            for inp, out in zip(layer_sizes[:-1], layer_sizes[1:])
+        ]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,25 @@
+"""Loss functions for the neural baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+from repro.utils.exceptions import DataError
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Binary cross-entropy on raw logits, numerically stable.
+
+    ``loss = mean(softplus(x) - t * x)`` which equals
+    ``-mean(t log sigma(x) + (1 - t) log(1 - sigma(x)))``.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != logits.shape:
+        raise DataError(f"targets {targets.shape} must match logits {logits.shape}")
+    return (logits.softplus() - logits * Tensor(targets)).mean()
+
+
+def bpr_loss(pos_logits: Tensor, neg_logits: Tensor) -> Tensor:
+    """Pairwise logistic (BPR) loss: ``mean(softplus(-(pos - neg)))``."""
+    return (-(pos_logits - neg_logits)).softplus().mean()

@@ -1,0 +1,55 @@
+"""NeuPR — Neural Pairwise Ranking (Song et al., CIKM 2018).
+
+A pairwise neural model: the network scores a (user, item) interaction
+through concatenated embeddings and an MLP tower, and training
+maximizes the probability that an observed item outranks an unobserved
+one via the pairwise logistic loss on score differences.  Unlike the
+pointwise NCF models it needs no pointwise negative *labels* — every
+update consumes an (observed, unobserved) pair directly, which is what
+the paper means by "without negative sampling" (no sampled 0-targets;
+the ranking pair structure replaces them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.autograd import Tensor
+from repro.neural.base import NeuralRecommender
+from repro.neural.layers import MLP, Dense, Embedding, Module
+from repro.neural.losses import bpr_loss
+from repro.utils.rng import spawn_generators
+
+
+class _NeuPRNet(Module):
+    def __init__(self, n_users: int, n_items: int, dim: int, rng: np.random.Generator):
+        seeds = spawn_generators(rng, 4)
+        self.user_emb = Embedding(n_users, dim, seed=seeds[0])
+        self.item_emb = Embedding(n_items, dim, seed=seeds[1])
+        tower = (2 * dim, 2 * dim, dim, dim // 2 or 1)
+        self.mlp = MLP(tower, activation="relu", seed=seeds[2])
+        self.output = Dense(dim // 2 or 1, 1, seed=seeds[3])
+
+    def __call__(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        interaction = Tensor.concat([self.user_emb(users), self.item_emb(items)], axis=1)
+        return self.output(self.mlp(interaction)).reshape(-1)
+
+
+class NeuPR(NeuralRecommender):
+    """NeuPR baseline (pairwise neural ranking)."""
+
+    @property
+    def name(self) -> str:
+        return "NeuPR"
+
+    def _build(self, n_users: int, n_items: int, rng: np.random.Generator) -> None:
+        self._module = _NeuPRNet(n_users, n_items, self.embedding_dim, rng)
+
+    def _forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self._module(users, items)
+
+    def _batch_loss(self, users: np.ndarray, items: np.ndarray, rng: np.random.Generator) -> Tensor:
+        unobserved = self._sample_negatives(users, rng)
+        pos_logits = self._forward(users, items)
+        neg_logits = self._forward(users, unobserved)
+        return bpr_loss(pos_logits, neg_logits)

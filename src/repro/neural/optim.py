@@ -1,0 +1,84 @@
+"""Optimizers for the autograd parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.layers import Parameter
+from repro.utils.validation import check_in_range, check_positive
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, parameters: list[Parameter], learning_rate: float):
+        check_positive(learning_rate, "learning_rate")
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent, optional L2 weight decay."""
+
+    def __init__(self, parameters, learning_rate: float = 0.01, weight_decay: float = 0.0):
+        super().__init__(parameters, learning_rate)
+        check_positive(weight_decay, "weight_decay", strict=False)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            update = param.grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data -= self.learning_rate * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) — the optimizer NCF-family papers use."""
+
+    def __init__(
+        self,
+        parameters,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, learning_rate)
+        check_in_range(beta1, "beta1", 0.0, 1.0, inclusive=False)
+        check_in_range(beta2, "beta2", 0.0, 1.0, inclusive=False)
+        check_positive(epsilon, "epsilon")
+        check_positive(weight_decay, "weight_decay", strict=False)
+        self.beta1, self.beta2, self.epsilon = beta1, beta2, epsilon
+        self.weight_decay = weight_decay
+        self._moments = [np.zeros_like(p.data) for p in self.parameters]
+        self._velocities = [np.zeros_like(p.data) for p in self.parameters]
+        self._step_count = 0
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for param, moment, velocity in zip(self.parameters, self._moments, self._velocities):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            moment *= self.beta1
+            moment += (1.0 - self.beta1) * grad
+            velocity *= self.beta2
+            velocity += (1.0 - self.beta2) * grad**2
+            m_hat = moment / correction1
+            v_hat = velocity / correction2
+            param.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

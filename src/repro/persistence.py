@@ -1,0 +1,128 @@
+"""Saving and loading models, interaction matrices, and results.
+
+Factor models serialize to a single ``.npz`` (arrays + a JSON metadata
+blob), interaction matrices to ``.npz`` (CSR arrays), and experiment
+results to plain JSON — no pickling, so the files are portable and safe
+to load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.experiments.runner import MethodResult
+from repro.metrics.evaluator import EvaluationResult
+from repro.mf.params import FactorParams
+from repro.utils.exceptions import DataError
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Factor parameters
+# ----------------------------------------------------------------------
+def save_factors(path: str | Path, params: FactorParams, *, metadata: dict | None = None) -> Path:
+    """Write factor parameters (and optional JSON metadata) to ``.npz``."""
+    path = Path(path)
+    blob = json.dumps({"version": _FORMAT_VERSION, **(metadata or {})})
+    np.savez(
+        path,
+        user_factors=params.user_factors,
+        item_factors=params.item_factors,
+        item_bias=params.item_bias,
+        metadata=np.array(blob),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_factors(path: str | Path) -> tuple[FactorParams, dict]:
+    """Load factor parameters saved by :func:`save_factors`.
+
+    Returns ``(params, metadata)``.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        required = {"user_factors", "item_factors", "item_bias"}
+        missing = required - set(archive.files)
+        if missing:
+            raise DataError(f"{path} is not a factor-model file (missing {sorted(missing)})")
+        params = FactorParams(
+            user_factors=archive["user_factors"].copy(),
+            item_factors=archive["item_factors"].copy(),
+            item_bias=archive["item_bias"].copy(),
+        )
+        metadata = json.loads(str(archive["metadata"])) if "metadata" in archive.files else {}
+    return params, metadata
+
+
+# ----------------------------------------------------------------------
+# Interaction matrices
+# ----------------------------------------------------------------------
+def save_interactions(path: str | Path, matrix: InteractionMatrix) -> Path:
+    """Write an interaction matrix to ``.npz`` (CSR arrays)."""
+    path = Path(path)
+    np.savez(
+        path,
+        shape=np.array([matrix.n_users, matrix.n_items], dtype=np.int64),
+        indptr=matrix.indptr,
+        indices=matrix.indices,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_interactions(path: str | Path) -> InteractionMatrix:
+    """Load a matrix saved by :func:`save_interactions`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        required = {"shape", "indptr", "indices"}
+        missing = required - set(archive.files)
+        if missing:
+            raise DataError(f"{path} is not an interactions file (missing {sorted(missing)})")
+        n_users, n_items = (int(x) for x in archive["shape"])
+        return InteractionMatrix(
+            n_users, n_items, archive["indptr"].copy(), archive["indices"].copy()
+        )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def evaluation_to_dict(result: EvaluationResult) -> dict:
+    """JSON-ready dict of an evaluation (per-user arrays omitted)."""
+    return {"metrics": dict(result.metrics), "n_users": result.n_users}
+
+
+def method_result_to_dict(result: MethodResult) -> dict:
+    """JSON-ready dict of an aggregated method result."""
+    return {
+        "name": result.name,
+        "means": dict(result.means),
+        "stds": dict(result.stds),
+        "train_seconds": result.train_seconds,
+        "n_repeats": result.n_repeats,
+    }
+
+
+def save_results(path: str | Path, results) -> Path:
+    """Save evaluation / method results (single or dict of) as JSON."""
+    path = Path(path)
+
+    def convert(value):
+        if isinstance(value, EvaluationResult):
+            return evaluation_to_dict(value)
+        if isinstance(value, MethodResult):
+            return method_result_to_dict(value)
+        if isinstance(value, dict):
+            return {key: convert(item) for key, item in value.items()}
+        return value
+
+    path.write_text(json.dumps(convert(results), indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_results(path: str | Path) -> dict:
+    """Load a JSON results file written by :func:`save_results`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

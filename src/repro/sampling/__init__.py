@@ -1,0 +1,35 @@
+"""Tuple samplers for pairwise/list-and-pairwise SGD.
+
+Each SGD step consumes a batch of ``(u, i, k, j)`` tuples — a user, an
+observed item ``i``, a second observed item ``k`` (listwise pair) and an
+unobserved item ``j`` (pairwise pair).  This package provides:
+
+* :class:`UniformSampler` — the BPR default (everything uniform);
+* :class:`DynamicNegativeSampler` — DNS (Zhang et al., SIGIR'13);
+* :class:`AdaptiveOversampler` — AoBPR (Rendle & Freudenthaler, WSDM'14);
+* :class:`AlphaBetaSampler` — ABS (Cheng et al., ICDM'19);
+* :class:`DoubleSampler` — the paper's DSS (Section 5.2), plus its
+  Positive-only / Negative-only ablations (Fig. 4).
+"""
+
+from repro.sampling.abs import AlphaBetaSampler
+from repro.sampling.aobpr import AdaptiveOversampler
+from repro.sampling.base import Sampler, TupleBatch
+from repro.sampling.dns import DynamicNegativeSampler
+from repro.sampling.dss import DoubleSampler, NegativeOnlySampler, PositiveOnlySampler
+from repro.sampling.geometric import FactorRankingCache, truncated_geometric
+from repro.sampling.uniform import UniformSampler
+
+__all__ = [
+    "AlphaBetaSampler",
+    "AdaptiveOversampler",
+    "Sampler",
+    "TupleBatch",
+    "DynamicNegativeSampler",
+    "DoubleSampler",
+    "NegativeOnlySampler",
+    "PositiveOnlySampler",
+    "FactorRankingCache",
+    "truncated_geometric",
+    "UniformSampler",
+]

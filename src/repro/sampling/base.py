@@ -1,0 +1,152 @@
+"""Sampler interface and shared uniform-sampling machinery."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.mf.params import FactorParams
+from repro.utils.exceptions import DataError, NotFittedError
+
+_MAX_REJECTION_ROUNDS = 100
+
+
+@dataclass(frozen=True)
+class TupleBatch:
+    """A batch of sampled training tuples.
+
+    Attributes
+    ----------
+    users:
+        User ids, shape ``(B,)``.
+    pos_i:
+        Observed items ``i`` (the anchor positive), shape ``(B,)``.
+    pos_k:
+        Second observed items ``k`` (listwise partner), shape ``(B,)``.
+        For users with a single positive, ``k == i``.
+    neg_j:
+        Unobserved items ``j``, shape ``(B,)``.
+    """
+
+    users: np.ndarray
+    pos_i: np.ndarray
+    pos_k: np.ndarray
+    neg_j: np.ndarray
+
+    def __post_init__(self):
+        shape = self.users.shape
+        for name in ("pos_i", "pos_k", "neg_j"):
+            if getattr(self, name).shape != shape:
+                raise DataError(f"{name} shape {getattr(self, name).shape} != users shape {shape}")
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+class Sampler(ABC):
+    """Draws :class:`TupleBatch` batches against a bound training matrix.
+
+    Lifecycle: the owning model calls :meth:`bind` once at the start of
+    ``fit`` (providing the training data and, for adaptive samplers, the
+    live parameter object), then :meth:`sample` per SGD step.  Adaptive
+    samplers refresh internal ranking caches inside ``sample`` based on
+    a step counter.
+    """
+
+    def __init__(self):
+        self._train: InteractionMatrix | None = None
+        self._params: FactorParams | None = None
+        self._encoded_pairs: np.ndarray | None = None
+        self._step = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def bind(self, train: InteractionMatrix, params: FactorParams | None = None) -> "Sampler":
+        """Attach the sampler to a training matrix (and live parameters)."""
+        if train.n_interactions == 0:
+            raise DataError("cannot sample from an empty training matrix")
+        if train.n_interactions >= train.n_users * train.n_items:
+            raise DataError("training matrix has no unobserved items to sample")
+        self._train = train
+        self._params = params
+        users = np.repeat(np.arange(train.n_users, dtype=np.int64), train.user_counts())
+        self._encoded_pairs = np.sort(users * train.n_items + train.indices)
+        self._step = 0
+        self._on_bind()
+        return self
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses to build caches after binding."""
+
+    @property
+    def train(self) -> InteractionMatrix:
+        if self._train is None:
+            raise NotFittedError(f"{type(self).__name__} is not bound; call bind() first")
+        return self._train
+
+    @property
+    def params(self) -> FactorParams:
+        if self._params is None:
+            raise NotFittedError(f"{type(self).__name__} requires model parameters at bind time")
+        return self._params
+
+    # -- shared primitives ------------------------------------------------
+    def contains_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorized test: is each ``(users[t], items[t])`` observed?"""
+        encoded = np.asarray(users, dtype=np.int64) * self.train.n_items + np.asarray(items, dtype=np.int64)
+        positions = np.searchsorted(self._encoded_pairs, encoded)
+        positions = np.minimum(positions, len(self._encoded_pairs) - 1)
+        return self._encoded_pairs[positions] == encoded
+
+    def sample_anchor_pairs(self, batch_size: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform ``(u, i)`` over observed pairs (BPR's anchor draw)."""
+        train = self.train
+        idx = rng.integers(0, train.n_interactions, size=batch_size)
+        users = np.searchsorted(train.indptr, idx, side="right") - 1
+        return users.astype(np.int64), train.indices[idx]
+
+    def sample_second_positive_uniform(
+        self, users: np.ndarray, pos_i: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Uniform second positive ``k != i`` where the user allows it."""
+        train = self.train
+        counts = train.user_counts()[users]
+        offsets = rng.integers(0, counts)
+        pos_k = train.indices[train.indptr[users] + offsets]
+        for _ in range(_MAX_REJECTION_ROUNDS):
+            clash = (pos_k == pos_i) & (counts > 1)
+            if not clash.any():
+                break
+            offsets = rng.integers(0, counts[clash])
+            pos_k[clash] = train.indices[train.indptr[users[clash]] + offsets]
+        return pos_k
+
+    def sample_negative_uniform(self, users: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Uniform unobserved item per user, by vectorized rejection."""
+        train = self.train
+        neg_j = rng.integers(0, train.n_items, size=len(users))
+        for _ in range(_MAX_REJECTION_ROUNDS):
+            observed = self.contains_pairs(users, neg_j)
+            if not observed.any():
+                return neg_j
+            neg_j[observed] = rng.integers(0, train.n_items, size=int(observed.sum()))
+        raise DataError(
+            "rejection sampling failed to find unobserved items; matrix is too dense"
+        )
+
+    # -- main API ---------------------------------------------------------
+    def sample(self, batch_size: int, rng: np.random.Generator) -> TupleBatch:
+        """Draw one batch of training tuples."""
+        self._step += 1
+        return self._sample(batch_size, rng)
+
+    @abstractmethod
+    def _sample(self, batch_size: int, rng: np.random.Generator) -> TupleBatch:
+        """Subclass sampling logic (step counter already advanced)."""
+
+    @property
+    def step(self) -> int:
+        """Number of batches drawn since the last bind."""
+        return self._step

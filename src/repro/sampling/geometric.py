@@ -1,0 +1,165 @@
+"""Geometric rank sampling and factor-ranking caches.
+
+Both AoBPR and the paper's DSS sample items by *rank* in a list sorted
+by a single latent factor, with a geometric distribution concentrating
+probability at the head of the list ("most of the real-world data
+follow long-tail distributions, the geometric sampler is adopted",
+Section 5.1).  Sorting every step would dominate the cost, so — per the
+paper — the ranking lists are rebuilt only every ``log(m)``-ish steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mf.params import FactorParams
+from repro.utils.exceptions import ConfigError
+from repro.utils.validation import check_in_range, check_positive
+
+
+def truncated_geometric(
+    rng: np.random.Generator,
+    size: int,
+    n: int | np.ndarray,
+    tail: float,
+) -> np.ndarray:
+    """Sample ranks in ``[0, n)`` from a truncated geometric distribution.
+
+    ``P(r) ∝ (1 - p)^r`` with success probability ``p = 1 / (tail * n)``,
+    so ``tail`` is (approximately) the expected rank as a fraction of the
+    list length.  ``n`` may be a scalar or a per-sample array of list
+    lengths.  Sampling uses the exact inverse CDF of the truncated law,
+    so no rejection or wrap-around bias.
+    """
+    check_in_range(tail, "tail", 0.0, 1.0, inclusive=False)
+    n = np.asarray(n, dtype=np.int64)
+    if np.any(n < 1):
+        raise ConfigError("all list lengths must be >= 1")
+    p = np.minimum(1.0 / (tail * np.maximum(n, 2)), 0.999999)
+    q = 1.0 - p
+    log_q = np.log(q)
+    u = rng.random(size)
+    total_mass = 1.0 - q ** n.astype(np.float64)
+    ranks = np.floor(np.log1p(-u * total_mass) / log_q).astype(np.int64)
+    return np.clip(ranks, 0, n - 1)
+
+
+class FactorRankingCache:
+    """Items sorted by each latent factor, refreshed periodically.
+
+    ``order(q)`` returns item ids sorted by ``V[:, q]`` descending.  The
+    cache is rebuilt lazily once :meth:`maybe_refresh` has been called
+    ``refresh_interval`` times since the last rebuild — the paper resets
+    the lists every ``log(m)`` iterations so the sampler stays within a
+    constant factor of uniform sampling's cost.
+    """
+
+    def __init__(self, params: FactorParams, refresh_interval: int | None = None):
+        if refresh_interval is not None and refresh_interval < 1:
+            raise ConfigError(f"refresh_interval must be >= 1, got {refresh_interval}")
+        self._params = params
+        if refresh_interval is None:
+            refresh_interval = max(int(np.ceil(np.log(max(params.n_items, 2)))), 1)
+        self.refresh_interval = refresh_interval
+        self._orders: np.ndarray | None = None
+        self._calls_since_refresh = 0
+
+    @property
+    def n_factors(self) -> int:
+        return self._params.n_factors
+
+    def _rebuild(self) -> None:
+        # (d, m): row q holds item ids sorted by V[:, q] descending.
+        self._orders = np.argsort(-self._params.item_factors, axis=0, kind="stable").T.copy()
+
+    def maybe_refresh(self) -> None:
+        """Count one sampler step; rebuild if the interval elapsed."""
+        if self._orders is None or self._calls_since_refresh >= self.refresh_interval:
+            self._rebuild()
+            self._calls_since_refresh = 0
+        self._calls_since_refresh += 1
+
+    def order(self, factor: int, *, descending: bool = True) -> np.ndarray:
+        """Item ids ranked by the given factor (view; do not mutate)."""
+        if self._orders is None:
+            self._rebuild()
+        row = self._orders[factor]
+        return row if descending else row[::-1]
+
+    def items_at(
+        self,
+        factors: np.ndarray,
+        ranks: np.ndarray,
+        reverse: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized lookup: item at ``ranks[t]`` in factor ``factors[t]``'s list.
+
+        ``reverse[t]`` flips to the ascending list (the paper's
+        ``sgn(U_uq) < 0`` rule: "reverse the ranking list and then do
+        the same thing").
+        """
+        if self._orders is None:
+            self._rebuild()
+        n_items = self._params.n_items
+        idx = np.where(reverse, n_items - 1 - ranks, ranks)
+        return self._orders[factors, idx]
+
+    def item_values(self, factor: int) -> np.ndarray:
+        """Current factor column ``V[:, factor]`` (live view)."""
+        return self._params.item_factors[:, factor]
+
+
+class UserPositiveRankingCache:
+    """Each user's observed items sorted by each latent factor.
+
+    Backs DSS's *positive* draw: for factor ``q``, user ``u``'s positives
+    are kept in ascending ``V[:, q]`` order in a flat array aligned with
+    the training matrix's ``indptr``, so looking up "the item at position
+    ``t`` of user ``u``'s factor-``q`` ranking" is one fancy index — no
+    per-tuple sorting.  Rebuilt on the same ``log(m)`` schedule as
+    :class:`FactorRankingCache`.
+    """
+
+    def __init__(self, train, params: FactorParams, refresh_interval: int | None = None):
+        if refresh_interval is not None and refresh_interval < 1:
+            raise ConfigError(f"refresh_interval must be >= 1, got {refresh_interval}")
+        self._train = train
+        self._params = params
+        if refresh_interval is None:
+            refresh_interval = max(int(np.ceil(np.log(max(params.n_items, 2)))), 1)
+        self.refresh_interval = refresh_interval
+        self._orders: np.ndarray | None = None
+        self._segment_users: np.ndarray | None = None
+        self._calls_since_refresh = 0
+
+    def _rebuild(self) -> None:
+        train = self._train
+        if self._segment_users is None:
+            self._segment_users = np.repeat(
+                np.arange(train.n_users, dtype=np.int64), train.user_counts()
+            )
+        d = self._params.n_factors
+        self._orders = np.empty((d, train.n_interactions), dtype=np.int64)
+        for factor in range(d):
+            keys = self._params.item_factors[train.indices, factor]
+            perm = np.lexsort((keys, self._segment_users))
+            self._orders[factor] = train.indices[perm]
+
+    def maybe_refresh(self) -> None:
+        """Count one sampler step; rebuild if the interval elapsed."""
+        if self._orders is None or self._calls_since_refresh >= self.refresh_interval:
+            self._rebuild()
+            self._calls_since_refresh = 0
+        self._calls_since_refresh += 1
+
+    def positives_at(
+        self,
+        users: np.ndarray,
+        factors: np.ndarray,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Item at ``positions[t]`` (ascending factor order) of each user."""
+        if self._orders is None:
+            self._rebuild()
+        starts = self._train.indptr[users]
+        return self._orders[factors, starts + positions]

@@ -1,0 +1,22 @@
+"""Uniform tuple sampling — BPR's default and CLAPF's baseline sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import Sampler, TupleBatch
+
+
+class UniformSampler(Sampler):
+    """Everything uniform: ``(u, i)`` over pairs, ``k`` over the user's
+    positives, ``j`` over the user's unobserved items.
+
+    This is the sampler the paper calls "Uniform Sampling" in the Fig. 4
+    comparison and the one plain CLAPF (without the ``+``) uses.
+    """
+
+    def _sample(self, batch_size: int, rng: np.random.Generator) -> TupleBatch:
+        users, pos_i = self.sample_anchor_pairs(batch_size, rng)
+        pos_k = self.sample_second_positive_uniform(users, pos_i, rng)
+        neg_j = self.sample_negative_uniform(users, rng)
+        return TupleBatch(users=users, pos_i=pos_i, pos_k=pos_k, neg_j=neg_j)

@@ -1,0 +1,20 @@
+"""Online recommendation simulation.
+
+The paper's motivating scenarios (E-commerce transactions, thumb-ups,
+watch records) are *interactive*: the recommender shows a slate, the
+user accepts some items, and the new feedback flows back into training.
+This package closes that loop offline: the synthetic generator's latent
+ground truth acts as the user simulator, so recommendation policies can
+be compared by the feedback they actually earn over rounds — not just by
+one-shot holdout metrics.
+"""
+
+from repro.simulation.feedback import FeedbackSimulator
+from repro.simulation.loop import OnlineLoop, RoundLog, SimulationResult
+
+__all__ = [
+    "FeedbackSimulator",
+    "OnlineLoop",
+    "RoundLog",
+    "SimulationResult",
+]

@@ -1,0 +1,81 @@
+"""User feedback simulation from latent ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import LatentFactorGroundTruth
+from repro.mf.functional import sigmoid
+from repro.utils.exceptions import DataError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+class FeedbackSimulator:
+    """Simulates accept/skip feedback on recommended slates.
+
+    A user accepts a shown item with probability
+    ``sigma(sharpness * (affinity - threshold))`` where ``affinity`` is
+    the ground-truth latent preference.  ``threshold`` is calibrated per
+    user as an affinity quantile, so every user has a controllable base
+    acceptance rate regardless of their affinity scale.
+
+    Parameters
+    ----------
+    truth:
+        The generator's ground truth (from
+        ``generate_synthetic(..., return_ground_truth=True)``).
+    sharpness:
+        Slope of the acceptance sigmoid (higher = more deterministic).
+    acceptance_quantile:
+        Affinity quantile used as each user's acceptance threshold;
+        0.9 means roughly the top 10% of items would be accepted at
+        even odds.
+    """
+
+    def __init__(
+        self,
+        truth: LatentFactorGroundTruth,
+        *,
+        sharpness: float = 8.0,
+        acceptance_quantile: float = 0.9,
+        seed=None,
+    ):
+        check_positive(sharpness, "sharpness")
+        if not 0.0 < acceptance_quantile < 1.0:
+            raise DataError(
+                f"acceptance_quantile must be in (0, 1), got {acceptance_quantile}"
+            )
+        self.truth = truth
+        self.sharpness = sharpness
+        self.acceptance_quantile = acceptance_quantile
+        self._rng = as_generator(seed)
+        affinities = truth.user_factors @ truth.item_factors.T
+        self._thresholds = np.quantile(affinities, acceptance_quantile, axis=1)
+
+    @property
+    def n_users(self) -> int:
+        return self.truth.user_factors.shape[0]
+
+    @property
+    def n_items(self) -> int:
+        return self.truth.item_factors.shape[0]
+
+    def acceptance_probabilities(self, user: int, items: np.ndarray) -> np.ndarray:
+        """Per-item probability that ``user`` accepts each shown item."""
+        items = np.asarray(items, dtype=np.int64)
+        affinity = self.truth.affinity(user)[items]
+        return sigmoid(self.sharpness * (affinity - self._thresholds[user]))
+
+    def respond(self, user: int, items: np.ndarray) -> np.ndarray:
+        """Boolean accept mask for a shown slate (stochastic)."""
+        probabilities = self.acceptance_probabilities(user, items)
+        return self._rng.random(len(probabilities)) < probabilities
+
+    def oracle_slate(self, user: int, k: int, *, exclude=None) -> np.ndarray:
+        """The best possible slate under the true affinities (skyline)."""
+        affinity = self.truth.affinity(user).copy()
+        if exclude is not None and len(exclude):
+            affinity[np.asarray(exclude, dtype=np.int64)] = -np.inf
+        top = np.argpartition(-affinity, min(k, len(affinity) - 1))[:k]
+        return top[np.argsort(-affinity[top], kind="stable")]

@@ -1,0 +1,180 @@
+"""The online recommend → feedback → retrain loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.simulation.feedback import FeedbackSimulator
+from repro.utils.exceptions import ConfigError
+from repro.utils.rng import as_generator
+
+ModelFactory = Callable[[], "object"]
+
+
+@dataclass(frozen=True)
+class RoundLog:
+    """Telemetry of one simulation round.
+
+    Attributes
+    ----------
+    round_index:
+        0-based round number.
+    shown / accepted:
+        Total items shown and accepted this round.
+    acceptance_rate:
+        ``accepted / shown``.
+    cumulative_interactions:
+        Size of the interaction log after the round.
+    retrained:
+        Whether the model was refit at the start of this round.
+    """
+
+    round_index: int
+    shown: int
+    accepted: int
+    acceptance_rate: float
+    cumulative_interactions: int
+    retrained: bool
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Full outcome of an online simulation run."""
+
+    rounds: list[RoundLog]
+    final_interactions: InteractionMatrix
+    oracle_acceptance_rate: float = field(default=float("nan"))
+
+    def acceptance_curve(self) -> list[float]:
+        """Per-round acceptance rates (the learning curve of the loop)."""
+        return [entry.acceptance_rate for entry in self.rounds]
+
+    def total_accepted(self) -> int:
+        return sum(entry.accepted for entry in self.rounds)
+
+
+class OnlineLoop:
+    """Runs a recommendation policy against a feedback simulator.
+
+    Parameters
+    ----------
+    model_factory:
+        Builds a *fresh* recommender for each retraining (so optimizer
+        state never leaks between refits).
+    simulator:
+        The user feedback simulator.
+    slate_size:
+        Items shown per user per round.
+    retrain_every:
+        Rounds between refits (the model is always fit before round 0).
+    users_per_round:
+        Random subset of users served each round (None = everyone).
+    """
+
+    def __init__(
+        self,
+        model_factory: ModelFactory,
+        simulator: FeedbackSimulator,
+        *,
+        slate_size: int = 5,
+        retrain_every: int = 1,
+        users_per_round: int | None = None,
+        seed=None,
+    ):
+        if slate_size < 1:
+            raise ConfigError(f"slate_size must be >= 1, got {slate_size}")
+        if retrain_every < 1:
+            raise ConfigError(f"retrain_every must be >= 1, got {retrain_every}")
+        if users_per_round is not None and users_per_round < 1:
+            raise ConfigError(f"users_per_round must be >= 1, got {users_per_round}")
+        self.model_factory = model_factory
+        self.simulator = simulator
+        self.slate_size = slate_size
+        self.retrain_every = retrain_every
+        self.users_per_round = users_per_round
+        self.seed = seed
+
+    def _serve_round(
+        self,
+        model,
+        interactions: InteractionMatrix,
+        users: np.ndarray,
+    ) -> tuple[list[tuple[int, int]], int, int]:
+        """Show slates and collect acceptances for one round."""
+        new_pairs: list[tuple[int, int]] = []
+        shown = accepted = 0
+        for user in users:
+            consumed = interactions.positives(int(user))
+            slate = model.recommend(int(user), self.slate_size, exclude_observed=False)
+            # Never re-show consumed items (production dedup).
+            slate = np.asarray([s for s in slate if not interactions.contains(int(user), int(s))])
+            if len(slate) == 0:
+                continue
+            responses = self.simulator.respond(int(user), slate)
+            shown += len(slate)
+            accepted += int(responses.sum())
+            new_pairs.extend((int(user), int(item)) for item in slate[responses])
+        return new_pairs, shown, accepted
+
+    def run(
+        self,
+        initial_interactions: InteractionMatrix,
+        n_rounds: int,
+        *,
+        measure_oracle: bool = False,
+    ) -> SimulationResult:
+        """Execute the loop for ``n_rounds`` rounds."""
+        if n_rounds < 1:
+            raise ConfigError(f"n_rounds must be >= 1, got {n_rounds}")
+        rng = as_generator(self.seed)
+        interactions = initial_interactions
+        model = None
+        logs: list[RoundLog] = []
+        all_users = np.arange(interactions.n_users)
+
+        for round_index in range(n_rounds):
+            retrained = model is None or round_index % self.retrain_every == 0
+            if retrained:
+                model = self.model_factory()
+                model.fit(interactions)
+            if self.users_per_round is not None and self.users_per_round < len(all_users):
+                users = rng.choice(all_users, size=self.users_per_round, replace=False)
+            else:
+                users = all_users
+            new_pairs, shown, accepted = self._serve_round(model, interactions, users)
+            if new_pairs:
+                addition = InteractionMatrix.from_pairs(
+                    np.asarray(new_pairs), interactions.n_users, interactions.n_items
+                )
+                interactions = interactions.union(addition)
+            logs.append(
+                RoundLog(
+                    round_index=round_index,
+                    shown=shown,
+                    accepted=accepted,
+                    acceptance_rate=accepted / shown if shown else 0.0,
+                    cumulative_interactions=interactions.n_interactions,
+                    retrained=retrained,
+                )
+            )
+
+        oracle_rate = float("nan")
+        if measure_oracle:
+            oracle_rate = self._oracle_rate(initial_interactions)
+        return SimulationResult(
+            rounds=logs, final_interactions=interactions, oracle_acceptance_rate=oracle_rate
+        )
+
+    def _oracle_rate(self, interactions: InteractionMatrix) -> float:
+        """Acceptance probability of the true-affinity skyline policy."""
+        rates = []
+        for user in range(interactions.n_users):
+            slate = self.simulator.oracle_slate(
+                user, self.slate_size, exclude=interactions.positives(user)
+            )
+            rates.append(self.simulator.acceptance_probabilities(user, slate).mean())
+        return float(np.mean(rates))

@@ -1,0 +1,33 @@
+"""Shared utilities: RNG handling, validation, logging, text tables."""
+
+from repro.utils.exceptions import (
+    ConfigError,
+    DataError,
+    NotFittedError,
+    ReproError,
+)
+from repro.utils.rng import SeedSequenceFactory, as_generator, spawn_generators
+from repro.utils.plotting import bar_chart, line_chart, sparkline
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ConfigError",
+    "DataError",
+    "NotFittedError",
+    "ReproError",
+    "SeedSequenceFactory",
+    "as_generator",
+    "spawn_generators",
+    "bar_chart",
+    "line_chart",
+    "sparkline",
+    "format_table",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+]

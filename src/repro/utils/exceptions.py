@@ -1,0 +1,22 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures distinctly
+from programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data violates the invariants required by a component."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""

@@ -1,0 +1,123 @@
+"""Dependency-free terminal plotting for the figure reproductions.
+
+Matplotlib is not available offline, so the figure harness renders its
+curves as Unicode terminal charts: multi-series line charts (Figs. 2-4),
+sparklines (compact convergence traces) and horizontal bar charts
+(method comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import DataError
+
+_MARKERS = "ox+*#@%&"
+_SPARK_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _span(values: np.ndarray) -> tuple[float, float]:
+    low, high = float(values.min()), float(values.max())
+    if high - low < 1e-12:
+        high = low + 1.0
+    return low, high
+
+
+def sparkline(values: Sequence[float], *, low: float | None = None, high: float | None = None) -> str:
+    """One-line bar-glyph rendering of a numeric sequence."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise DataError("sparkline needs at least one value")
+    if low is None or high is None:
+        auto_low, auto_high = _span(values)
+        low = auto_low if low is None else low
+        high = auto_high if high is None else high
+    span = max(high - low, 1e-12)
+    scaled = np.clip((values - low) / span, 0.0, 1.0)
+    return "".join(_SPARK_BARS[int(round(v * (len(_SPARK_BARS) - 1)))] for v in scaled)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+    x_labels: Sequence | None = None,
+    y_format: str = "{:.3f}",
+) -> str:
+    """Multi-series terminal line chart with a marker legend.
+
+    Each series is resampled onto a ``width``-column grid; overlapping
+    points show the marker of the last series drawn.
+    """
+    if not series:
+        raise DataError("line_chart needs at least one series")
+    arrays = {name: np.asarray(list(values), dtype=np.float64) for name, values in series.items()}
+    for name, values in arrays.items():
+        if values.size == 0:
+            raise DataError(f"series {name!r} is empty")
+    all_values = np.concatenate(list(arrays.values()))
+    low, high = _span(all_values)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(arrays.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        columns = (
+            np.linspace(0, width - 1, num=len(values)).round().astype(int)
+            if len(values) > 1
+            else np.array([0])
+        )
+        rows = ((values - low) / (high - low) * (height - 1)).round().astype(int)
+        for column, row in zip(columns, rows):
+            grid[height - 1 - int(row)][int(column)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = y_format.format(high)
+    bottom_label = y_format.format(low)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    if x_labels is not None and len(x_labels) >= 2:
+        axis = f"{x_labels[0]}{' ' * max(width - len(str(x_labels[0])) - len(str(x_labels[-1])), 1)}{x_labels[-1]}"
+        lines.append(" " * (label_width + 2) + axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(arrays)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart (one row per label)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if len(labels) != len(values):
+        raise DataError(f"{len(labels)} labels but {len(values)} values")
+    if values.size == 0:
+        raise DataError("bar_chart needs at least one bar")
+    if np.any(values < 0):
+        raise DataError("bar_chart only renders non-negative values")
+    peak = max(float(values.max()), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "█" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{str(label).rjust(label_width)} |{bar} {value_format.format(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module renders them as aligned monospace tables (GitHub-flavoured
+markdown compatible) without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _render_cell(value, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    float_format: str = "{:.4f}",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a markdown-style text table.
+
+    Floats are formatted with ``float_format``; ``None`` renders as ``-``
+    (matching the paper's notation for runs that did not finish).
+    """
+    rendered = [[_render_cell(v, float_format) for v in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(r[col]) for r in rendered)) if rendered else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("| " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in rendered:
+        lines.append("| " + " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) + " |")
+    return "\n".join(lines)

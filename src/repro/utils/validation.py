@@ -1,0 +1,38 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+import numbers
+
+from repro.utils.exceptions import ConfigError
+
+
+def check_positive(value, name: str, *, strict: bool = True):
+    """Validate that ``value`` is a positive (or non-negative) number.
+
+    Returns the value so it can be used inline in assignments.
+    """
+    if not isinstance(value, numbers.Real):
+        raise ConfigError(f"{name} must be a number, got {type(value).__name__}")
+    if strict and value <= 0:
+        raise ConfigError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(value, name: str, low, high, *, inclusive: bool = True):
+    """Validate that ``low <= value <= high`` (or strict if not inclusive)."""
+    if not isinstance(value, numbers.Real):
+        raise ConfigError(f"{name} must be a number, got {type(value).__name__}")
+    if inclusive:
+        if not (low <= value <= high):
+            raise ConfigError(f"{name} must be in [{low}, {high}], got {value}")
+    elif not (low < value < high):
+        raise ConfigError(f"{name} must be in ({low}, {high}), got {value}")
+    return value
+
+
+def check_probability(value, name: str):
+    """Validate that ``value`` lies in the closed unit interval."""
+    return check_in_range(value, name, 0.0, 1.0)

@@ -1,0 +1,64 @@
+"""Shared fixtures: small deterministic datasets and splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.data.split import train_test_split
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_matrix() -> InteractionMatrix:
+    """4 users x 6 items with a hand-checked pattern.
+
+    user 0: items 0, 1, 2
+    user 1: items 2, 3
+    user 2: item 5
+    user 3: (no interactions)
+    """
+    pairs = [(0, 0), (0, 1), (0, 2), (1, 2), (1, 3), (2, 5)]
+    return InteractionMatrix.from_pairs(pairs, n_users=4, n_items=6)
+
+
+@pytest.fixture(scope="session")
+def learnable_dataset() -> ImplicitDataset:
+    """A small dataset with strong latent structure (MF can learn it)."""
+    config = SyntheticConfig(
+        n_users=120,
+        n_items=160,
+        density=0.06,
+        latent_dim=4,
+        signal=10.0,
+        popularity_weight=0.5,
+        popularity_exponent=0.6,
+    )
+    return generate_synthetic(config, seed=7, name="learnable")
+
+
+@pytest.fixture(scope="session")
+def learnable_split(learnable_dataset):
+    return train_test_split(learnable_dataset, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_split():
+    """A slightly larger split for integration/ordering tests."""
+    config = SyntheticConfig(
+        n_users=250,
+        n_items=300,
+        density=0.05,
+        latent_dim=5,
+        signal=9.0,
+        popularity_weight=0.7,
+    )
+    dataset = generate_synthetic(config, seed=11, name="medium")
+    return train_test_split(dataset, seed=11)

@@ -1,0 +1,140 @@
+"""Tests of the analysis subpackage (significance, stats, convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    area_under_learning_curve,
+    epochs_to_fraction_of_final,
+    relative_speedup,
+)
+from repro.analysis.significance import compare_models, paired_comparison
+from repro.analysis.stats import (
+    dataset_report,
+    gini_coefficient,
+    popularity_skew,
+    user_activity_quantiles,
+)
+from repro.data.interactions import InteractionMatrix
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.utils.exceptions import ConfigError, DataError
+
+
+class TestSignificance:
+    def test_clear_difference_detected(self, rng):
+        a = rng.normal(0.5, 0.05, size=200)
+        b = rng.normal(0.3, 0.05, size=200)
+        result = paired_comparison(a, b, metric="ndcg@5")
+        assert result.mean_difference > 0.15
+        assert result.significant(0.01)
+        assert result.wilcoxon_pvalue < 0.01
+        assert "ndcg@5" in result.summary()
+
+    def test_identical_arrays_not_significant(self):
+        values = np.full(50, 0.4)
+        result = paired_comparison(values, values)
+        assert not result.significant()
+        assert result.t_pvalue == 1.0
+        assert np.isnan(result.wilcoxon_pvalue)
+
+    def test_noise_not_significant(self, rng):
+        a = rng.normal(0.5, 0.1, size=40)
+        b = a + rng.normal(0.0, 1e-3, size=40)
+        result = paired_comparison(a, b)
+        assert abs(result.mean_difference) < 0.01
+
+    def test_shape_validation(self):
+        with pytest.raises(DataError):
+            paired_comparison(np.zeros(3), np.zeros(4))
+        with pytest.raises(DataError):
+            paired_comparison(np.zeros(1), np.zeros(1))
+
+    def test_compare_models_end_to_end(self, learnable_split):
+        from repro.models.poprank import PopRank
+
+        class Oracle:
+            def predict_user(self, user):
+                scores = np.zeros(learnable_split.n_items)
+                scores[learnable_split.test.positives(user)] = 1.0
+                return scores
+
+        pop = PopRank().fit(learnable_split.train)
+        comparisons = compare_models(Oracle(), pop, learnable_split, metrics=("ndcg@5", "map"))
+        assert comparisons["ndcg@5"].mean_difference > 0
+        assert comparisons["ndcg@5"].significant(0.01)
+
+    def test_compare_models_unknown_metric(self, learnable_split):
+        from repro.models.poprank import PopRank
+
+        pop = PopRank().fit(learnable_split.train)
+        with pytest.raises(ConfigError):
+            compare_models(pop, pop, learnable_split, metrics=("made-up",))
+
+
+class TestDatasetStats:
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_near_one(self):
+        counts = np.zeros(1000)
+        counts[0] = 500
+        assert gini_coefficient(counts) > 0.99
+
+    def test_gini_rejects_bad_input(self):
+        with pytest.raises(DataError):
+            gini_coefficient(np.array([]))
+        with pytest.raises(DataError):
+            gini_coefficient(np.array([-1, 2]))
+
+    def test_gini_zero_counts(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_popularity_skew_long_tail(self):
+        config = SyntheticConfig(
+            n_users=300, n_items=200, density=0.05,
+            popularity_exponent=1.2, signal=0.0, popularity_weight=3.0,
+        )
+        dataset = generate_synthetic(config, seed=0)
+        assert popularity_skew(dataset.interactions) > 0.25
+
+    def test_popularity_skew_empty(self):
+        assert popularity_skew(InteractionMatrix.empty(3, 5)) == 0.0
+
+    def test_activity_quantiles_sorted(self, tiny_matrix):
+        quantiles = user_activity_quantiles(tiny_matrix, (0.25, 0.75))
+        assert quantiles[0.25] <= quantiles[0.75]
+
+    def test_dataset_report_keys(self, tiny_matrix):
+        report = dataset_report(tiny_matrix)
+        assert report["n_users"] == 4
+        assert report["cold_items"] == 1  # item 4 is never observed
+        assert 0.0 <= report["item_gini"] <= 1.0
+
+
+class TestConvergence:
+    def test_area_is_mean(self):
+        assert area_under_learning_curve([0.1, 0.2, 0.3]) == pytest.approx(0.2)
+
+    def test_epochs_to_fraction(self):
+        trace = [0.0, 0.05, 0.2, 0.25, 0.26]
+        assert epochs_to_fraction_of_final(trace, 0.9) == 3  # 0.9 * 0.26 = 0.234
+
+    def test_epochs_to_fraction_never_reached(self):
+        # Final value is the max, so fraction=1.0 is reached at the end.
+        assert epochs_to_fraction_of_final([0.1, 0.3], 1.0) == 1
+        # A collapsing trace never reaches 100% of a value above its final.
+        assert epochs_to_fraction_of_final([0.0, 0.0, 0.0], 0.5) == 0
+
+    def test_relative_speedup(self):
+        fast = [0.0, 0.25, 0.26, 0.26]
+        slow = [0.0, 0.05, 0.15, 0.26]
+        speedup = relative_speedup(fast, slow, fraction=0.9)
+        assert speedup == pytest.approx(4 / 2)
+
+    def test_relative_speedup_unreachable(self):
+        # Negative-valued traces can have a target above every point.
+        assert relative_speedup([-1.0, -1.0], [-1.0, -1.0], fraction=0.9) is None
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(DataError):
+            area_under_learning_curve([])

@@ -1,0 +1,86 @@
+"""Tests of the beyond-accuracy metrics (coverage, novelty, diversity)."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics.beyond_accuracy import (
+    beyond_accuracy_report,
+    catalog_coverage,
+    intra_list_diversity,
+    novelty,
+)
+from repro.models.bpr import BPR
+from repro.models.poprank import PopRank
+from repro.mf.sgd import SGDConfig
+from repro.utils.exceptions import ConfigError, DataError
+
+
+class TestCatalogCoverage:
+    def test_full_coverage(self):
+        recs = np.array([[0, 1], [2, 3]])
+        assert catalog_coverage(recs, 4) == 1.0
+
+    def test_partial_coverage(self):
+        recs = np.array([[0, 0], [0, 0]])
+        assert catalog_coverage(recs, 10) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            catalog_coverage(np.array([[0]]), 0)
+        with pytest.raises(DataError):
+            catalog_coverage(np.array([0, 1]), 5)  # not 2-D
+        with pytest.raises(DataError):
+            catalog_coverage(np.array([[9]]), 5)
+
+
+class TestNovelty:
+    def test_rare_items_more_novel(self, tiny_matrix):
+        popular = novelty(np.array([[2]]), tiny_matrix)  # item 2: 2 users
+        rare = novelty(np.array([[4]]), tiny_matrix)  # item 4: never seen
+        assert rare > popular
+
+    def test_positive_and_finite(self, tiny_matrix):
+        value = novelty(np.array([[0, 1, 2], [3, 4, 5]]), tiny_matrix)
+        assert np.isfinite(value) and value > 0
+
+
+class TestDiversity:
+    def test_identical_items_zero_diversity(self):
+        reps = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert intra_list_diversity(np.array([[0, 1]]), reps) == pytest.approx(0.0)
+
+    def test_orthogonal_items_high_diversity(self):
+        reps = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert intra_list_diversity(np.array([[0, 1]]), reps) == pytest.approx(1.0)
+
+    def test_single_item_lists(self):
+        reps = np.eye(3)
+        assert intra_list_diversity(np.array([[0], [1]]), reps) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            intra_list_diversity(np.array([[0, 1]]), np.zeros(3))
+
+
+class TestReport:
+    def test_popularity_has_minimal_coverage(self, learnable_split):
+        pop = PopRank().fit(learnable_split.train)
+        bpr = BPR(n_factors=8, sgd=SGDConfig(n_epochs=30), seed=0).fit(learnable_split.train)
+        pop_report = beyond_accuracy_report(pop, learnable_split.train, k=10)
+        bpr_report = beyond_accuracy_report(bpr, learnable_split.train, k=10)
+        # PopRank shows (almost) the same list to everyone.
+        assert pop_report["catalog_coverage"] < bpr_report["catalog_coverage"]
+        # Personalized lists are more novel than pure popularity.
+        assert bpr_report["novelty_bits"] > pop_report["novelty_bits"]
+
+    def test_diversity_included_for_factor_models(self, learnable_split):
+        bpr = BPR(n_factors=8, sgd=SGDConfig(n_epochs=5), seed=0).fit(learnable_split.train)
+        report = beyond_accuracy_report(bpr, learnable_split.train, k=5)
+        assert "intra_list_diversity" in report
+        assert 0.0 <= report["intra_list_diversity"] <= 2.0
+
+    def test_no_users_rejected(self, learnable_split):
+        pop = PopRank().fit(learnable_split.train)
+        with pytest.raises(DataError):
+            beyond_accuracy_report(pop, learnable_split.train, users=np.array([], dtype=int))

@@ -1,0 +1,171 @@
+"""Tests of the CLAPF core model and its CLAPF-NDCG extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.clapf import CLAPF, clapf_map, clapf_mrr, clapf_plus_map, clapf_plus_mrr
+from repro.core.extensions import CLAPFNDCG
+from repro.metrics.evaluator import evaluate_model
+from repro.mf.sgd import RegularizationConfig, SGDConfig
+from repro.models.bpr import BPR
+from repro.models.poprank import PopRank
+from repro.sampling.base import TupleBatch
+from repro.sampling.dss import DoubleSampler
+from repro.utils.exceptions import ConfigError
+
+FAST_SGD = SGDConfig(n_epochs=25, learning_rate=0.08)
+# The fused objective splits each update across two pairs, so clearing
+# the popularity baseline takes a longer schedule than plain BPR.
+LONG_SGD = SGDConfig(n_epochs=60, learning_rate=0.08)
+
+
+class TestConstruction:
+    def test_invalid_metric(self):
+        with pytest.raises(ConfigError):
+            CLAPF("auc")
+
+    def test_invalid_tradeoff(self):
+        with pytest.raises(ConfigError):
+            CLAPF("map", tradeoff=-0.1)
+
+    def test_names(self):
+        assert clapf_map().name == "CLAPF-MAP"
+        assert clapf_mrr().name == "CLAPF-MRR"
+        assert clapf_plus_map().name == "CLAPF+-MAP"
+        assert clapf_plus_mrr().name == "CLAPF+-MRR"
+
+    def test_plus_variants_use_dss(self):
+        assert isinstance(clapf_plus_map().sampler, DoubleSampler)
+        assert clapf_plus_map().sampler.mode == "map"
+        assert clapf_plus_mrr().sampler.mode == "mrr"
+
+
+class TestTupleTerms:
+    def test_map_coefficients_order(self):
+        model = CLAPF("map", tradeoff=0.4)
+        batch = TupleBatch(
+            users=np.array([0]), pos_i=np.array([1]), pos_k=np.array([2]), neg_j=np.array([3])
+        )
+        items, coefficients = model._tuple_terms(batch)
+        assert items[0].tolist() == [1, 2, 3]  # i, k, j
+        assert coefficients.tolist() == pytest.approx([1 - 0.8, 0.4, -0.6])
+
+    def test_mrr_coefficients_order(self):
+        model = CLAPF("mrr", tradeoff=0.2)
+        batch = TupleBatch(
+            users=np.array([0]), pos_i=np.array([1]), pos_k=np.array([2]), neg_j=np.array([3])
+        )
+        items, coefficients = model._tuple_terms(batch)
+        assert items[0].tolist() == [1, 2, 3]
+        assert coefficients.tolist() == pytest.approx([1.0, -0.2, -0.8])
+
+
+class TestLambdaZeroReduction:
+    def test_lambda_zero_equals_bpr_exactly(self, learnable_split):
+        """Section 6.4.2: 'when lambda = 0, CLAPF reduces to BPR'.
+
+        With zero regularization the parameter trajectories coincide
+        exactly (the k item's coefficient is 0, so it gets no update).
+        """
+        no_reg = RegularizationConfig.uniform(0.0)
+        sgd = SGDConfig(n_epochs=3, learning_rate=0.05)
+        clapf = CLAPF("map", tradeoff=0.0, sgd=sgd, reg=no_reg, seed=3)
+        bpr = BPR(sgd=sgd, reg=no_reg, seed=3)
+        clapf.fit(learnable_split.train)
+        bpr.fit(learnable_split.train)
+        assert np.allclose(clapf.params_.user_factors, bpr.params_.user_factors)
+        assert np.allclose(clapf.params_.item_factors, bpr.params_.item_factors)
+        assert np.allclose(clapf.params_.item_bias, bpr.params_.item_bias)
+
+    def test_mrr_lambda_zero_also_reduces(self, learnable_split):
+        no_reg = RegularizationConfig.uniform(0.0)
+        sgd = SGDConfig(n_epochs=2, learning_rate=0.05)
+        clapf = CLAPF("mrr", tradeoff=0.0, sgd=sgd, reg=no_reg, seed=3)
+        bpr = BPR(sgd=sgd, reg=no_reg, seed=3)
+        clapf.fit(learnable_split.train)
+        bpr.fit(learnable_split.train)
+        assert np.allclose(clapf.params_.user_factors, bpr.params_.user_factors)
+
+
+class TestTraining:
+    @pytest.mark.parametrize("metric", ["map", "mrr"])
+    def test_loss_decreases(self, metric, learnable_split):
+        model = CLAPF(metric, tradeoff=0.3, sgd=FAST_SGD, seed=0)
+        model.fit(learnable_split.train)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_beats_popularity(self, learnable_split):
+        model = clapf_map(0.4, sgd=LONG_SGD, seed=0).fit(learnable_split.train)
+        pop = PopRank().fit(learnable_split.train)
+        model_result = evaluate_model(model, learnable_split)
+        pop_result = evaluate_model(pop, learnable_split)
+        assert model_result["auc"] > pop_result["auc"]
+        assert model_result["ndcg@5"] > pop_result["ndcg@5"]
+
+    def test_dss_variant_trains(self, learnable_split):
+        model = clapf_plus_map(0.4, sgd=FAST_SGD, seed=0).fit(learnable_split.train)
+        assert evaluate_model(model, learnable_split)["auc"] > 0.5
+
+    def test_epoch_callback_invoked(self, learnable_split):
+        epochs = []
+        model = CLAPF(
+            "map",
+            sgd=SGDConfig(n_epochs=4),
+            seed=0,
+            epoch_callback=lambda m, e: epochs.append(e),
+        )
+        model.fit(learnable_split.train)
+        assert epochs == [0, 1, 2, 3]
+
+    def test_deterministic_given_seed(self, learnable_split):
+        sgd = SGDConfig(n_epochs=3)
+        a = CLAPF("map", sgd=sgd, seed=11).fit(learnable_split.train)
+        b = CLAPF("map", sgd=sgd, seed=11).fit(learnable_split.train)
+        assert np.array_equal(a.params_.user_factors, b.params_.user_factors)
+
+    def test_recommend_returns_unobserved_topk(self, learnable_split):
+        model = clapf_map(0.4, sgd=SGDConfig(n_epochs=3), seed=0).fit(learnable_split.train)
+        recs = model.recommend(0, k=10)
+        assert len(recs) == 10
+        for item in recs:
+            assert not learnable_split.train.contains(0, int(item))
+
+
+class TestCLAPFNDCG:
+    def test_invalid_tradeoff(self):
+        with pytest.raises(ConfigError):
+            CLAPFNDCG(tradeoff=2.0)
+
+    def test_name(self):
+        assert CLAPFNDCG().name == "CLAPF-NDCG"
+        assert CLAPFNDCG(sampler=DoubleSampler("map")).name == "CLAPF+-NDCG"
+
+    def test_coefficients_weighted_by_discount_gap(self, learnable_split):
+        model = CLAPFNDCG(tradeoff=0.5, n_factors=4, seed=0)
+        model.fit(learnable_split.train)
+        batch = model.sampler.sample(64, np.random.default_rng(0))
+        items, coefficients = model._tuple_terms(batch)
+        assert coefficients.shape == (64, 3)
+        # Pairwise part is constant, listwise weight varies per tuple.
+        assert np.allclose(coefficients[:, 2], -0.5)
+        assert coefficients[:, 1].std() > 0
+
+    def test_beats_popularity(self, learnable_split):
+        model = CLAPFNDCG(tradeoff=0.4, sgd=LONG_SGD, seed=0).fit(learnable_split.train)
+        pop = PopRank().fit(learnable_split.train)
+        assert (
+            evaluate_model(model, learnable_split)["auc"]
+            > evaluate_model(pop, learnable_split)["auc"]
+        )
+
+    def test_lambda_zero_is_bpr_margin(self):
+        model = CLAPFNDCG(tradeoff=0.0, n_factors=3, seed=0)
+        from repro.data.interactions import InteractionMatrix
+
+        train = InteractionMatrix.from_pairs([(0, 0), (0, 1), (1, 2)], 2, 4)
+        model.fit(train)
+        batch = TupleBatch(
+            users=np.array([0]), pos_i=np.array([0]), pos_k=np.array([1]), neg_j=np.array([3])
+        )
+        _, coefficients = model._tuple_terms(batch)
+        assert coefficients[0].tolist() == pytest.approx([1.0, 0.0, -1.0])

@@ -1,0 +1,137 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestProfiles:
+    def test_lists_all_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ML100K", "ML1M", "UserTag", "ML20M", "Flixter", "Netflix"):
+            assert name in out
+        assert "480189" in out  # Netflix paper user count
+
+
+class TestStats:
+    def test_profile_stats(self, capsys):
+        assert main(["stats", "--profile", "ML100K", "--scale", "0.2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "item_gini" in out
+        assert "density" in out
+
+
+class TestGenerate:
+    def test_writes_pair_file(self, tmp_path, capsys):
+        out_file = tmp_path / "pairs.tsv"
+        code = main([
+            "generate", "--profile", "UserTag", "--scale", "0.15",
+            "--seed", "3", "--out", str(out_file),
+        ])
+        assert code == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert len(lines) > 10
+        user, item = lines[0].split("\t")
+        assert user.isdigit() and item.isdigit()
+
+    def test_generated_file_loads_back(self, tmp_path, capsys):
+        out_file = tmp_path / "pairs.tsv"
+        main(["generate", "--profile", "ML100K", "--scale", "0.15", "--seed", "3",
+              "--out", str(out_file)])
+        assert main(["stats", "--data", str(out_file)]) == 0
+
+
+class TestTrain:
+    def test_train_prints_metrics(self, capsys):
+        code = main([
+            "train", "--profile", "ML100K", "--scale", "0.2", "--seed", "0",
+            "--method", "BPR", "--epochs", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ndcg@5" in out and "auc" in out
+
+    def test_train_saves_model(self, tmp_path, capsys):
+        model_path = tmp_path / "bpr.npz"
+        code = main([
+            "train", "--profile", "ML100K", "--scale", "0.2", "--seed", "0",
+            "--method", "BPR", "--epochs", "2", "--save", str(model_path),
+        ])
+        assert code == 0
+        from repro.persistence import load_factors
+
+        params, metadata = load_factors(model_path)
+        assert metadata["method"] == "BPR"
+        assert params.n_factors == 20
+
+    def test_train_nonfactor_model_save_is_graceful(self, tmp_path, capsys):
+        code = main([
+            "train", "--profile", "ML100K", "--scale", "0.2", "--seed", "0",
+            "--method", "PopRank", "--epochs", "1", "--save", str(tmp_path / "pop.npz"),
+        ])
+        assert code == 0
+        assert "nothing to save" in capsys.readouterr().out
+
+    def test_unknown_method_exits_nonzero(self, capsys):
+        code = main([
+            "train", "--profile", "ML100K", "--scale", "0.2",
+            "--method", "SVD++", "--epochs", "1",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestReproduce:
+    def test_table1(self, capsys, monkeypatch):
+        assert main(["reproduce", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_runs_and_reports(self, capsys):
+        code = main([
+            "compare", "--profile", "ML100K", "--scale", "0.2", "--seed", "0",
+            "--method-a", "BPR", "--method-b", "PopRank", "--epochs", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "A = BPR, B = PopRank" in out
+        assert "Holm-Bonferroni" in out
+        assert "ndcg@5" in out
+
+
+class TestSweep:
+    def test_sweep_renders_table(self, capsys):
+        code = main([
+            "sweep", "--property", "signal", "--values", "2", "10",
+            "--methods", "PopRank", "BPR", "--epochs", "5", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity of ndcg@5 to signal" in out
+        assert "signal=2" in out and "signal=10" in out
+
+    def test_sweep_integer_property_coerced(self, capsys):
+        code = main([
+            "sweep", "--property", "n_items", "--values", "60", "120",
+            "--methods", "PopRank", "--epochs", "2", "--seed", "1",
+        ])
+        assert code == 0
+
+    def test_sweep_unknown_property_errors(self, capsys):
+        code = main([
+            "sweep", "--property", "sparkliness", "--values", "1",
+            "--methods", "PopRank", "--epochs", "2",
+        ])
+        assert code == 2
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--profile", "NotADataset"])

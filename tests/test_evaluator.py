@@ -1,0 +1,146 @@
+"""Tests of the full-ranking evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DatasetSplit
+from repro.data.interactions import InteractionMatrix
+from repro.metrics.evaluator import Evaluator, evaluate_model
+from repro.utils.exceptions import ConfigError, DataError
+
+
+@pytest.fixture
+def split():
+    """3 users, 6 items; train/test/validation hand-built."""
+    train = InteractionMatrix.from_pairs([(0, 0), (0, 1), (1, 2), (2, 3)], 3, 6)
+    test = InteractionMatrix.from_pairs([(0, 2), (1, 4), (2, 5)], 3, 6)
+    validation = InteractionMatrix.from_pairs([(0, 3)], 3, 6)
+    return DatasetSplit(name="hand", train=train, test=test, validation=validation)
+
+
+class OracleModel:
+    """Scores each user's test positives highest."""
+
+    def __init__(self, split):
+        self.split = split
+
+    def predict_user(self, user):
+        scores = np.zeros(self.split.n_items)
+        scores[self.split.test.positives(user)] = 10.0
+        return scores
+
+
+class AntiOracleModel:
+    """Scores the test positives lowest."""
+
+    def __init__(self, split):
+        self.split = split
+
+    def predict_user(self, user):
+        scores = np.ones(self.split.n_items)
+        scores[self.split.test.positives(user)] = -10.0
+        return scores
+
+
+class TestProtocol:
+    def test_oracle_scores_perfectly(self, split):
+        result = Evaluator(split, ks=(1,)).evaluate(OracleModel(split))
+        assert result["precision@1"] == pytest.approx(1.0)
+        assert result["mrr"] == pytest.approx(1.0)
+        assert result["map"] == pytest.approx(1.0)
+        assert result["auc"] == pytest.approx(1.0)
+
+    def test_anti_oracle_scores_zero_topk(self, split):
+        result = Evaluator(split, ks=(1,)).evaluate(AntiOracleModel(split))
+        assert result["precision@1"] == 0.0
+        assert result["auc"] == pytest.approx(0.0)
+
+    def test_train_positives_excluded_from_candidates(self, split):
+        """A model that puts all mass on train positives gains nothing."""
+
+        def train_lover(user):
+            scores = np.zeros(split.n_items)
+            scores[split.train.positives(user)] = 100.0
+            scores[split.test.positives(user)] = 1.0
+            return scores
+
+        result = Evaluator(split, ks=(1,)).evaluate(train_lover)
+        # Test items win rank 1 because the train items are not candidates.
+        assert result["precision@1"] == pytest.approx(1.0)
+
+    def test_validation_excluded_too(self, split):
+        def validation_lover(user):
+            scores = np.zeros(split.n_items)
+            if split.validation is not None:
+                scores[split.validation.positives(user)] = 100.0
+            scores[split.test.positives(user)] = 1.0
+            return scores
+
+        result = Evaluator(split, ks=(1,)).evaluate(validation_lover)
+        assert result["precision@1"] == pytest.approx(1.0)
+
+    def test_callable_model_accepted(self, split):
+        result = Evaluator(split, ks=(1,)).evaluate(lambda user: np.zeros(split.n_items))
+        assert result.n_users == 3
+
+    def test_non_model_rejected(self, split):
+        with pytest.raises(ConfigError):
+            Evaluator(split).evaluate(object())
+
+    def test_wrong_score_shape_rejected(self, split):
+        with pytest.raises(DataError):
+            Evaluator(split).evaluate(lambda user: np.zeros(3))
+
+    def test_validation_mode_selects_on_validation(self, split):
+        def validation_oracle(user):
+            scores = np.zeros(split.n_items)
+            if len(split.validation.positives(user)):
+                scores[split.validation.positives(user)] = 5.0
+            return scores
+
+        evaluator = Evaluator(split, ks=(1,), use_validation_as_relevant=True)
+        result = evaluator.evaluate(validation_oracle)
+        assert result.n_users == 1  # only user 0 has a validation pair
+        assert result["precision@1"] == pytest.approx(1.0)
+
+    def test_validation_mode_requires_validation(self):
+        train = InteractionMatrix.from_pairs([(0, 0)], 1, 3)
+        test = InteractionMatrix.from_pairs([(0, 1)], 1, 3)
+        split = DatasetSplit(name="noval", train=train, test=test)
+        with pytest.raises(DataError):
+            Evaluator(split, use_validation_as_relevant=True)
+
+
+class TestConfiguration:
+    def test_metric_keys_cover_all_ks(self, split):
+        evaluator = Evaluator(split, ks=(3, 5))
+        keys = evaluator.metric_keys()
+        assert "precision@3" in keys and "ndcg@5" in keys
+        assert keys[-3:] == ["map", "mrr", "auc"]
+
+    def test_empty_ks_rejected(self, split):
+        with pytest.raises(ConfigError):
+            Evaluator(split, ks=())
+
+    def test_invalid_k_rejected(self, split):
+        with pytest.raises(ConfigError):
+            Evaluator(split, ks=(0,))
+
+    def test_max_users_subsamples(self, split):
+        evaluator = Evaluator(split, ks=(1,), max_users=2, seed=0)
+        assert len(evaluator.users) == 2
+
+    def test_per_user_arrays_kept(self, split):
+        evaluator = Evaluator(split, ks=(1,), keep_per_user=True)
+        result = evaluator.evaluate(OracleModel(split))
+        assert result.per_user is not None
+        assert len(result.per_user["map"]) == result.n_users
+
+    def test_as_row(self, split):
+        result = Evaluator(split, ks=(1,)).evaluate(OracleModel(split))
+        row = result.as_row(["map", "mrr"])
+        assert row == [result["map"], result["mrr"]]
+
+    def test_convenience_wrapper(self, split):
+        result = evaluate_model(OracleModel(split), split, ks=(1,))
+        assert result["precision@1"] == pytest.approx(1.0)

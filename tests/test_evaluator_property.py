@@ -1,0 +1,72 @@
+"""Property test: the Evaluator agrees with a brute-force protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import DatasetSplit
+from repro.data.interactions import InteractionMatrix
+from repro.metrics.evaluator import Evaluator
+
+
+@st.composite
+def random_split_and_scores(draw):
+    n_users = draw(st.integers(2, 6))
+    n_items = draw(st.integers(4, 12))
+    cells = [(u, i) for u in range(n_users) for i in range(n_items)]
+    labels = draw(
+        st.lists(st.sampled_from(["none", "train", "test"]), min_size=len(cells), max_size=len(cells))
+    )
+    train_pairs = [c for c, l in zip(cells, labels) if l == "train"]
+    test_pairs = [c for c, l in zip(cells, labels) if l == "test"]
+    train = InteractionMatrix.from_pairs(train_pairs or [(0, 0)], n_users, n_items)
+    test_pairs = [p for p in test_pairs if not train.contains(*p)]
+    test = InteractionMatrix.from_pairs(test_pairs, n_users, n_items)
+    # Unique scores per cell: top-k selection's tie-break order is
+    # unspecified (argpartition), so the property is stated tie-free.
+    seed = draw(st.integers(0, 10_000))
+    scores = np.random.default_rng(seed).permutation(n_users * n_items).astype(float)
+    scores = scores.reshape(n_users, n_items)
+    return train, test, scores
+
+
+def brute_force_precision_at_1(train, test, scores):
+    """Literal protocol: exclude train positives, rank, check the top item."""
+    values = []
+    for user in range(train.n_users):
+        relevant = set(int(i) for i in test.positives(user))
+        if not relevant:
+            continue
+        masked = scores[user].copy()
+        masked[train.positives(user)] = -np.inf
+        # stable argmax consistent with the library's tie-break
+        order = np.argsort(-masked, kind="stable")
+        values.append(1.0 if int(order[0]) in relevant else 0.0)
+    return float(np.mean(values)) if values else 0.0
+
+
+class TestEvaluatorAgainstBruteForce:
+    @given(case=random_split_and_scores())
+    @settings(max_examples=40, deadline=None)
+    def test_precision_at_1_matches(self, case):
+        train, test, scores = case
+        if test.n_interactions == 0:
+            return
+        split = DatasetSplit(name="prop", train=train, test=test)
+        evaluator = Evaluator(split, ks=(1,))
+        result = evaluator.evaluate(lambda user: scores[user])
+        assert result["precision@1"] == pytest.approx(
+            brute_force_precision_at_1(train, test, scores)
+        )
+
+    @given(case=random_split_and_scores())
+    @settings(max_examples=40, deadline=None)
+    def test_all_metrics_bounded(self, case):
+        train, test, scores = case
+        if test.n_interactions == 0:
+            return
+        split = DatasetSplit(name="prop", train=train, test=test)
+        result = Evaluator(split, ks=(1, 3)).evaluate(lambda user: scores[user])
+        for key, value in result.metrics.items():
+            assert 0.0 <= value <= 1.0, key

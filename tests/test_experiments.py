@@ -1,0 +1,224 @@
+"""Tests of the experiment harness (registry, runner, grid, tables, figures)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clapf import CLAPF
+from repro.data.profiles import make_profile_dataset
+from repro.data.split import repeated_splits, train_test_split
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    FIGURE4_SAMPLERS,
+    figure2_topk_curves,
+    figure3_tradeoff_sweep,
+    figure4_convergence,
+)
+from repro.experiments.grid import grid_search
+from repro.experiments.registry import (
+    PAPER_TRADEOFFS,
+    TABLE2_METHODS,
+    make_model,
+    tradeoff_for,
+)
+from repro.experiments.runner import run_method, run_methods
+from repro.experiments.tables import (
+    render_table1,
+    table1_dataset_statistics,
+    table2_main_comparison,
+)
+from repro.mf.sgd import SGDConfig
+from repro.models.bpr import BPR
+from repro.models.poprank import PopRank
+from repro.utils.exceptions import ConfigError
+
+TINY = ExperimentScale(dataset_scale=0.15, n_epochs=4, neural_epochs=1, repeats=2)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", TABLE2_METHODS + ("CLAPF-NDCG", "CLAPF+-NDCG"))
+    def test_all_methods_constructible(self, name):
+        model = make_model(name, scale=TINY, dataset="ML100K", seed=0)
+        assert model is not None
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigError):
+            make_model("SVD++", scale=TINY)
+
+    def test_paper_tradeoffs_applied(self):
+        model = make_model("CLAPF-MAP", scale=TINY, dataset="ML1M", seed=0)
+        assert model.tradeoff == PAPER_TRADEOFFS["ML1M"]["map"]
+        model = make_model("CLAPF-MRR", scale=TINY, dataset="ML20M-sim@0.5", seed=0)
+        assert model.tradeoff == PAPER_TRADEOFFS["ML20M"]["mrr"]
+
+    def test_tradeoff_for_unknown_dataset_uses_default(self):
+        assert tradeoff_for("MyData", "map") == 0.4
+
+    def test_plus_methods_get_dss(self):
+        from repro.sampling.dss import DoubleSampler
+
+        model = make_model("CLAPF+-MRR", scale=TINY, dataset="ML100K", seed=0)
+        assert isinstance(model.sampler, DoubleSampler)
+        assert model.sampler.mode == "mrr"
+
+
+class TestRunner:
+    def test_run_method_aggregates(self, learnable_dataset):
+        splits = repeated_splits(learnable_dataset, repeats=3, seed=0)
+        result = run_method(lambda repeat: PopRank(), splits, ks=(5,))
+        assert result.n_repeats == 3
+        assert set(result.means) == set(result.stds)
+        assert "ndcg@5" in result.means
+        assert result.train_seconds >= 0
+        assert len(result.per_repeat) == 3
+
+    def test_cell_format(self, learnable_dataset):
+        splits = repeated_splits(learnable_dataset, repeats=2, seed=0)
+        result = run_method(lambda repeat: PopRank(), splits, ks=(5,))
+        cell = result.cell("ndcg@5")
+        assert "±" in cell
+
+    def test_run_method_requires_splits(self):
+        with pytest.raises(ConfigError):
+            run_method(lambda repeat: PopRank(), [])
+
+    def test_run_methods_named(self, learnable_dataset):
+        splits = repeated_splits(learnable_dataset, repeats=2, seed=0)
+        results = run_methods({"Pop": lambda r: PopRank()}, splits)
+        assert list(results) == ["Pop"]
+        assert results["Pop"].name == "Pop"
+
+    def test_time_budget_marks_timeout(self, learnable_dataset):
+        """Over-budget methods render as the paper's '-' cells."""
+        import time as time_module
+
+        class SlowModel(PopRank):
+            def fit(self, train, validation=None):
+                time_module.sleep(0.05)
+                return super().fit(train)
+
+        splits = repeated_splits(learnable_dataset, repeats=2, seed=0)
+        result = run_method(
+            lambda repeat: SlowModel(), splits, name="Slow", time_budget_seconds=0.01
+        )
+        assert result.timed_out
+        assert result.cell("ndcg@5") == "-"
+        assert result.means == {}
+
+    def test_time_budget_not_triggered_when_fast(self, learnable_dataset):
+        splits = repeated_splits(learnable_dataset, repeats=2, seed=0)
+        result = run_method(
+            lambda repeat: PopRank(), splits, time_budget_seconds=60.0
+        )
+        assert not result.timed_out
+        assert "ndcg@5" in result.means
+
+    def test_factory_receives_repeat_index(self, learnable_dataset):
+        splits = repeated_splits(learnable_dataset, repeats=3, seed=0)
+        seen = []
+
+        def factory(repeat):
+            seen.append(repeat)
+            return PopRank()
+
+        run_method(factory, splits)
+        assert seen == [0, 1, 2]
+
+
+class TestGridSearch:
+    def test_selects_best_by_validation_ndcg(self, learnable_dataset):
+        split = train_test_split(learnable_dataset, seed=0)
+        sgd = SGDConfig(n_epochs=8, learning_rate=0.08)
+        result = grid_search(
+            lambda tradeoff: CLAPF("map", tradeoff=tradeoff, sgd=sgd, seed=0),
+            {"tradeoff": [0.0, 0.4, 1.0]},
+            split,
+        )
+        assert result.best_params["tradeoff"] in (0.0, 0.4, 1.0)
+        assert len(result.scores) == 3
+        assert result.best_score == max(score for _, score in result.scores)
+        assert result.ranked()[0][1] == result.best_score
+
+    def test_requires_validation(self, learnable_dataset):
+        split = train_test_split(learnable_dataset, validation_per_user=0, seed=0)
+        with pytest.raises(ConfigError):
+            grid_search(lambda: BPR(), {"n_factors": [4]}, split)
+
+    def test_empty_grid_rejected(self, learnable_split):
+        with pytest.raises(ConfigError):
+            grid_search(lambda: BPR(), {}, learnable_split)
+
+
+class TestTables:
+    def test_table1_covers_all_profiles(self):
+        rows = table1_dataset_statistics(scale=TINY)
+        assert len(rows) == 6
+        rendered = render_table1(rows)
+        assert "ML100K" in rendered and "Netflix" in rendered
+
+    def test_table2_block(self):
+        block = table2_main_comparison(
+            "ML100K", methods=("PopRank", "BPR", "CLAPF-MAP"), scale=TINY
+        )
+        assert set(block.results) == {"PopRank", "BPR", "CLAPF-MAP"}
+        rendered = block.render()
+        assert "NDCG@5" in rendered and "CLAPF-MAP" in rendered
+        assert block.best_method("ndcg@5") in block.results
+
+
+class TestFigures:
+    def test_figure2_series_shapes(self):
+        result = figure2_topk_curves("ML100K", methods=("PopRank", "BPR"), scale=TINY)
+        assert result.ks == (3, 5, 10, 15, 20)
+        assert len(result.recall["BPR"]) == 5
+        assert "Recall@k" in result.render()
+
+    def test_figure3_lambda_grid(self):
+        result = figure3_tradeoff_sweep("ML100K", lambdas=(0.0, 0.5, 1.0), scale=TINY)
+        assert set(result.curves) == {"CLAPF-MAP", "CLAPF-MRR"}
+        assert len(result.curves["CLAPF-MAP"]["ndcg@5"]) == 3
+        assert "λ=0.5" in result.render()
+
+    def test_figure4_traces(self):
+        result = figure4_convergence(
+            "ML100K", samplers=("Uniform", "DSS"), scale=TINY, max_users=50
+        )
+        assert set(result.traces) == {"Uniform", "DSS"}
+        assert len(result.traces["DSS"]) == TINY.n_epochs
+        assert result.epochs_to_reach("DSS", 0.0) == 0
+        assert result.epochs_to_reach("DSS", 2.0) is None
+
+    def test_figure2_chart_renders(self):
+        result = figure2_topk_curves("ML100K", methods=("PopRank",), scale=TINY)
+        chart = result.chart("recall")
+        assert "Fig. 2" in chart and "PopRank" in chart
+        assert "k=3" in chart and "k=20" in chart
+
+    def test_figure4_chart_renders(self):
+        result = figure4_convergence("ML100K", samplers=("Uniform",), scale=TINY, max_users=30)
+        chart = result.chart()
+        assert "Fig. 4" in chart and "Uniform" in chart
+
+    def test_figure4_unknown_sampler(self):
+        with pytest.raises(ConfigError):
+            figure4_convergence("ML100K", samplers=("Magic",), scale=TINY)
+
+    def test_figure4_sampler_names(self):
+        assert FIGURE4_SAMPLERS == ("Uniform", "Positive", "Negative", "DSS")
+
+
+class TestScale:
+    def test_quick_smaller_than_paper(self):
+        quick, paper = ExperimentScale.quick(), ExperimentScale.paper()
+        assert quick.dataset_scale < paper.dataset_scale
+        assert quick.neural_epochs < paper.neural_epochs
+        assert quick.repeats < paper.repeats
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            ExperimentScale(dataset_scale=0)
+
+    def test_sgd_config_reflects_scale(self):
+        scale = ExperimentScale(n_epochs=7, learning_rate=0.02)
+        config = scale.sgd_config()
+        assert config.n_epochs == 7
+        assert config.learning_rate == 0.02

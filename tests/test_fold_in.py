@@ -1,0 +1,88 @@
+"""Tests of the cold-start fold-in machinery."""
+
+import numpy as np
+import pytest
+
+from repro.data.split import train_test_split
+from repro.metrics.topk import top_k_items
+from repro.mf.fold_in import FoldInResult, fold_in_user_bpr, fold_in_user_ridge
+from repro.mf.params import FactorParams
+from repro.models.bpr import BPR
+from repro.mf.sgd import SGDConfig
+from repro.utils.exceptions import ConfigError, DataError
+
+
+@pytest.fixture(scope="module")
+def trained(learnable_dataset):
+    split = train_test_split(learnable_dataset, seed=0)
+    model = BPR(n_factors=8, sgd=SGDConfig(n_epochs=40, learning_rate=0.08), seed=0)
+    model.fit(split.train)
+    return model, split
+
+
+class TestValidation:
+    def test_empty_positives_rejected(self):
+        params = FactorParams.init(3, 5, 2, seed=0)
+        with pytest.raises(DataError):
+            fold_in_user_ridge(params, [])
+        with pytest.raises(DataError):
+            fold_in_user_bpr(params, [])
+
+    def test_out_of_range_items_rejected(self):
+        params = FactorParams.init(3, 5, 2, seed=0)
+        with pytest.raises(DataError):
+            fold_in_user_ridge(params, [7])
+
+    def test_bad_hyperparameters(self):
+        params = FactorParams.init(3, 5, 2, seed=0)
+        with pytest.raises(ConfigError):
+            fold_in_user_ridge(params, [0], reg=0.0)
+        with pytest.raises(ConfigError):
+            fold_in_user_bpr(params, [0], n_steps=0)
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("fold_in", [fold_in_user_ridge, fold_in_user_bpr])
+    def test_fold_in_ranks_similar_items_high(self, fold_in, trained):
+        """A 'new user' cloned from an existing user's history should be
+        recommended roughly what that user would be."""
+        model, split = trained
+        user = int(np.argmax(split.train.user_counts()))
+        history = split.train.positives(user)
+        result = fold_in(model.params_, history, seed=0) if fold_in is fold_in_user_bpr else fold_in(model.params_, history)
+        assert isinstance(result, FoldInResult)
+
+        folded_top = set(int(i) for i in result.recommend(20, exclude=history))
+        native_top = set(
+            int(i) for i in top_k_items(model.predict_user(user), 20, exclude=history)
+        )
+        # Substantial overlap with the native user's recommendations.
+        assert len(folded_top & native_top) >= 5
+
+    def test_ridge_scores_history_items_high(self, trained):
+        model, split = trained
+        user = int(np.argmax(split.train.user_counts()))
+        history = split.train.positives(user)
+        result = fold_in_user_ridge(model.params_, history)
+        scores = result.predict()
+        mask = np.zeros(split.n_items, dtype=bool)
+        mask[history] = True
+        assert scores[mask].mean() > scores[~mask].mean()
+
+    def test_bpr_fold_in_deterministic_with_seed(self, trained):
+        model, _ = trained
+        a = fold_in_user_bpr(model.params_, [0, 1, 2], seed=5)
+        b = fold_in_user_bpr(model.params_, [0, 1, 2], seed=5)
+        assert np.array_equal(a.user_vector, b.user_vector)
+
+    def test_model_untouched(self, trained):
+        model, split = trained
+        before = model.params_.user_factors.copy()
+        fold_in_user_ridge(model.params_, split.train.positives(0))
+        fold_in_user_bpr(model.params_, split.train.positives(0), seed=0)
+        assert np.array_equal(model.params_.user_factors, before)
+
+    def test_predict_shape(self, trained):
+        model, split = trained
+        result = fold_in_user_ridge(model.params_, [0])
+        assert result.predict().shape == (split.n_items,)

@@ -1,0 +1,96 @@
+"""Tests of GBPR (group Bayesian personalized ranking)."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics.evaluator import evaluate_model
+from repro.mf.sgd import RegularizationConfig, SGDConfig
+from repro.models.bpr import BPR
+from repro.models.gbpr import GBPR
+from repro.models.poprank import PopRank
+from repro.utils.exceptions import ConfigError
+
+
+class TestConstruction:
+    def test_invalid_rho(self):
+        with pytest.raises(ConfigError):
+            GBPR(rho=1.2)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ConfigError):
+            GBPR(group_size=0)
+
+    def test_name(self):
+        assert GBPR().name == "GBPR"
+
+
+class TestGroupSampling:
+    def test_groups_are_co_consumers(self, learnable_split):
+        model = GBPR(n_factors=4, sgd=SGDConfig(n_epochs=1), seed=0)
+        model.fit(learnable_split.train)
+        rng = np.random.default_rng(0)
+        items = rng.integers(0, learnable_split.n_items, 200)
+        # Restrict to items someone consumed (group sampling needs >= 1).
+        counts = learnable_split.train.item_counts()
+        items = items[counts[items] > 0]
+        groups = model._sample_groups(items, rng)
+        item_major = learnable_split.train.transpose()
+        for item, group in zip(items, groups):
+            consumers = set(int(u) for u in item_major.positives(int(item)))
+            for user in group:
+                assert int(user) in consumers
+
+    def test_transpose_roundtrip(self, tiny_matrix):
+        assert tiny_matrix.transpose().transpose() == tiny_matrix
+
+    def test_transpose_rows_are_item_consumers(self, tiny_matrix):
+        item_major = tiny_matrix.transpose()
+        assert item_major.positives(2).tolist() == [0, 1]
+        assert item_major.positives(4).tolist() == []
+
+
+class TestTraining:
+    def test_loss_decreases(self, learnable_split):
+        model = GBPR(n_factors=8, sgd=SGDConfig(n_epochs=20, learning_rate=0.08), seed=0)
+        model.fit(learnable_split.train)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_beats_popularity(self, learnable_split):
+        model = GBPR(
+            n_factors=8, rho=0.4,
+            sgd=SGDConfig(n_epochs=60, learning_rate=0.08), seed=0,
+        )
+        model.fit(learnable_split.train)
+        pop = PopRank().fit(learnable_split.train)
+        assert (
+            evaluate_model(model, learnable_split)["auc"]
+            > evaluate_model(pop, learnable_split)["auc"]
+        )
+
+    def test_rho_zero_close_to_bpr_quality(self, learnable_split):
+        """rho = 0 removes the group term; quality should track BPR.
+
+        Exact parameter equality is not expected (the RNG consumes
+        group draws), so we compare evaluation quality instead.
+        """
+        sgd = SGDConfig(n_epochs=30, learning_rate=0.08)
+        gbpr = GBPR(rho=0.0, sgd=sgd, seed=0).fit(learnable_split.train)
+        bpr = BPR(sgd=sgd, seed=0).fit(learnable_split.train)
+        gbpr_auc = evaluate_model(gbpr, learnable_split)["auc"]
+        bpr_auc = evaluate_model(bpr, learnable_split)["auc"]
+        assert abs(gbpr_auc - bpr_auc) < 0.05
+
+    def test_predict_shape(self, learnable_split):
+        model = GBPR(n_factors=4, sgd=SGDConfig(n_epochs=2), seed=0)
+        model.fit(learnable_split.train)
+        assert model.predict_user(0).shape == (learnable_split.n_items,)
+
+    def test_epoch_callback(self, learnable_split):
+        epochs = []
+        model = GBPR(
+            n_factors=4, sgd=SGDConfig(n_epochs=3), seed=0,
+            epoch_callback=lambda m, e: epochs.append(e),
+        )
+        model.fit(learnable_split.train)
+        assert epochs == [0, 1, 2]

@@ -1,0 +1,135 @@
+"""End-to-end integration tests asserting the paper's qualitative claims.
+
+Each test trains real models on synthetic data and checks a *shape*
+claim from the evaluation section (who beats whom, complexity ratios),
+not absolute numbers.  Seeds are fixed so the assertions are
+deterministic.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.clapf import CLAPF, clapf_map, clapf_mrr, clapf_plus_map
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.data.split import train_test_split
+from repro.metrics.evaluator import Evaluator, evaluate_model
+from repro.mf.sgd import SGDConfig
+from repro.models import BPR, CLiMF, PopRank
+from repro.sampling.dss import DoubleSampler
+from repro.sampling.uniform import UniformSampler
+
+SGD = SGDConfig(n_epochs=60, learning_rate=0.08)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """Train the headline models once on the medium split."""
+    config = SyntheticConfig(
+        n_users=250, n_items=300, density=0.05, latent_dim=5,
+        signal=9.0, popularity_weight=0.7,
+    )
+    dataset = generate_synthetic(config, seed=11, name="medium")
+    split = train_test_split(dataset, seed=11)
+    models = {
+        "pop": PopRank(),
+        "bpr": BPR(sgd=SGD, seed=1),
+        "clapf_map": clapf_map(0.4, sgd=SGD, seed=1),
+        "clapf_mrr": clapf_mrr(0.2, sgd=SGD, seed=1),
+        "clapf_plus_map": clapf_plus_map(0.4, sgd=SGD, seed=1),
+    }
+    results = {}
+    for name, model in models.items():
+        model.fit(split.train)
+        results[name] = evaluate_model(model, split, ks=(5,))
+    return results
+
+
+class TestTable2Shape:
+    def test_personalized_models_crush_popularity(self, fitted):
+        for name in ("bpr", "clapf_map", "clapf_mrr", "clapf_plus_map"):
+            assert fitted[name]["ndcg@5"] > 2 * fitted["pop"]["ndcg@5"]
+            assert fitted[name]["map"] > 1.5 * fitted["pop"]["map"]
+
+    def test_clapf_map_beats_bpr_on_rank_metrics(self, fitted):
+        """The paper's headline: CLAPF improves top-k and rank-biased
+        metrics over BPR (Table 2)."""
+        assert fitted["clapf_map"]["ndcg@5"] > fitted["bpr"]["ndcg@5"]
+        assert fitted["clapf_map"]["map"] >= fitted["bpr"]["map"]
+        assert fitted["clapf_map"]["mrr"] > fitted["bpr"]["mrr"]
+
+    def test_dss_at_least_matches_uniform_clapf(self, fitted):
+        assert fitted["clapf_plus_map"]["ndcg@5"] >= fitted["clapf_map"]["ndcg@5"] - 0.01
+
+    def test_auc_similar_across_pairwise_models(self, fitted):
+        """CLAPF optimizes ranking, not AUC; its AUC stays in BPR's
+        neighbourhood (the listwise pair doesn't wreck the pairwise part)."""
+        assert abs(fitted["clapf_map"]["auc"] - fitted["bpr"]["auc"]) < 0.05
+
+
+class TestComplexityClaims:
+    def test_clapf_epoch_cost_comparable_to_bpr(self, medium_split):
+        """Section 4.3: CLAPF's extra cost over BPR is one more item
+        update — per-epoch wall time must stay within a small factor."""
+        short = SGDConfig(n_epochs=10, learning_rate=0.05)
+        start = time.perf_counter()
+        BPR(sgd=short, seed=0).fit(medium_split.train)
+        bpr_time = time.perf_counter() - start
+        start = time.perf_counter()
+        CLAPF("map", sgd=short, seed=0).fit(medium_split.train)
+        clapf_time = time.perf_counter() - start
+        assert clapf_time < 3 * bpr_time + 0.2
+
+    def test_climf_much_slower_than_clapf(self, medium_split):
+        """Table 2's time column: CLiMF is the slow method (quadratic in
+        profile size), CLAPF runs at BPR-like speed."""
+        short = SGDConfig(n_epochs=5, learning_rate=0.05)
+        start = time.perf_counter()
+        CLAPF("map", sgd=short, seed=0).fit(medium_split.train)
+        clapf_time = time.perf_counter() - start
+        start = time.perf_counter()
+        CLiMF(sgd=short, seed=0).fit(medium_split.train)
+        climf_time = time.perf_counter() - start
+        assert climf_time > 2 * clapf_time
+
+
+class TestFigure4Shape:
+    def test_dss_reaches_higher_map_on_wide_catalogs(self):
+        """On a wide sparse catalog (the regime the paper's datasets live
+        in), DSS-trained CLAPF ends at a higher test MAP than uniform
+        sampling with the same budget (Fig. 4's late-phase ordering)."""
+        config = SyntheticConfig(
+            n_users=300, n_items=1800, density=0.007, latent_dim=5,
+            signal=9.0, popularity_weight=0.8, popularity_exponent=0.9,
+        )
+        dataset = generate_synthetic(config, seed=3, name="widecat")
+        split = train_test_split(dataset, seed=3)
+        evaluator = Evaluator(split, ks=(5,), max_users=120, seed=0)
+        schedule = SGDConfig(n_epochs=120, learning_rate=0.08)
+
+        def final_map(sampler):
+            model = CLAPF("map", tradeoff=0.4, sgd=schedule, sampler=sampler, seed=1)
+            model.fit(split.train)
+            return evaluator.evaluate(model)["map"]
+
+        assert final_map(DoubleSampler("map")) > final_map(UniformSampler()) - 0.003
+
+
+class TestPublicApiRoundtrip:
+    def test_quickstart_flow(self):
+        """The README quickstart must work end to end."""
+        from repro import (
+            clapf_map,
+            evaluate_model,
+            make_profile_dataset,
+            train_test_split,
+        )
+
+        dataset = make_profile_dataset("ML100K", scale=0.3, seed=0)
+        split = train_test_split(dataset, seed=0)
+        model = clapf_map(0.4, sgd=SGDConfig(n_epochs=5), seed=0).fit(split.train)
+        result = evaluate_model(model, split, ks=(5,))
+        assert 0.0 <= result["ndcg@5"] <= 1.0
+        recommendations = model.recommend(0, k=5)
+        assert len(recommendations) == 5

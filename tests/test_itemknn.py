@@ -1,0 +1,77 @@
+"""Tests of the ItemKNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics.evaluator import evaluate_model
+from repro.models.itemknn import ItemKNN
+from repro.models.poprank import PopRank
+from repro.utils.exceptions import ConfigError
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            ItemKNN(n_neighbors=0)
+        with pytest.raises(ConfigError):
+            ItemKNN(shrinkage=-1)
+
+    def test_name(self):
+        assert ItemKNN().name == "ItemKNN"
+
+
+class TestSimilarity:
+    def test_cooccurring_items_similar(self):
+        """Items consumed together by the same users end up similar."""
+        pairs = [(u, 0) for u in range(5)] + [(u, 1) for u in range(5)] + [(9, 2)]
+        train = InteractionMatrix.from_pairs(pairs, 10, 3)
+        model = ItemKNN(n_neighbors=3, shrinkage=0.0).fit(train)
+        assert model.similarity_[0, 1] > 0.9
+        assert model.similarity_[0, 2] == 0.0
+
+    def test_diagonal_zeroed(self, learnable_split):
+        model = ItemKNN(n_neighbors=10).fit(learnable_split.train)
+        assert np.all(np.diag(model.similarity_) == 0.0)
+
+    def test_neighbor_truncation(self, learnable_split):
+        full = ItemKNN(n_neighbors=1_000_000).fit(learnable_split.train)
+        sparse = ItemKNN(n_neighbors=5).fit(learnable_split.train)
+        assert (sparse.similarity_ > 0).sum() <= (full.similarity_ > 0).sum()
+        per_row = (sparse.similarity_ > 0).sum(axis=1)
+        assert per_row.max() <= 5
+
+    def test_shrinkage_damps_rare_pairs(self):
+        pairs = [(0, 0), (0, 1), (1, 2), (1, 3)] + [(u + 2, 2) for u in range(8)] + [
+            (u + 2, 3) for u in range(8)
+        ]
+        train = InteractionMatrix.from_pairs(pairs, 10, 4)
+        raw = ItemKNN(n_neighbors=4, shrinkage=0.0).fit(train)
+        shrunk = ItemKNN(n_neighbors=4, shrinkage=5.0).fit(train)
+        # The single-co-occurrence pair (0,1) is damped more than the
+        # well-supported pair (2,3).
+        raw_ratio = raw.similarity_[0, 1] / raw.similarity_[2, 3]
+        shrunk_ratio = shrunk.similarity_[0, 1] / shrunk.similarity_[2, 3]
+        assert shrunk_ratio < raw_ratio
+
+
+class TestRecommendation:
+    def test_beats_popularity(self, learnable_split):
+        knn = ItemKNN(n_neighbors=30, shrinkage=5.0).fit(learnable_split.train)
+        pop = PopRank().fit(learnable_split.train)
+        assert (
+            evaluate_model(knn, learnable_split)["ndcg@5"]
+            > evaluate_model(pop, learnable_split)["ndcg@5"]
+        )
+
+    def test_empty_history_user_gets_zeros(self, tiny_matrix):
+        model = ItemKNN(n_neighbors=3).fit(tiny_matrix)
+        assert np.all(model.predict_user(3) == 0.0)
+
+    def test_recommend_batch_matches_single(self, learnable_split):
+        model = ItemKNN(n_neighbors=20).fit(learnable_split.train)
+        users = np.array([0, 3, 7])
+        batch = model.recommend_batch(users, k=5)
+        assert batch.shape == (3, 5)
+        for row, user in zip(batch, users):
+            assert row.tolist() == model.recommend(int(user), k=5).tolist()

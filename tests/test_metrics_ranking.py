@@ -1,0 +1,147 @@
+"""Tests of the rank-biased list metrics (AP, RR, AUC) vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ranking import (
+    area_under_curve,
+    average_precision,
+    mean_metric,
+    rank_of_items,
+    reciprocal_rank,
+)
+from repro.utils.exceptions import DataError
+
+
+def brute_force_ap(scores, relevant, mask):
+    """AP by literal definition over the candidate ranking."""
+    candidates = np.flatnonzero(mask)
+    order = candidates[np.argsort(-scores[candidates], kind="stable")]
+    relevant = set(relevant)
+    hits, total = 0, 0.0
+    for position, item in enumerate(order, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / position
+    return total / len(relevant) if relevant else 0.0
+
+
+def brute_force_auc(scores, relevant, mask):
+    candidates = np.flatnonzero(mask)
+    order = candidates[np.argsort(-scores[candidates], kind="stable")]
+    position = {int(item): p for p, item in enumerate(order)}
+    relevant = set(int(r) for r in relevant)
+    negatives = [c for c in candidates if int(c) not in relevant]
+    if not relevant or not negatives:
+        return 0.0
+    correct = sum(
+        1 for r in relevant for n in negatives if position[r] < position[int(n)]
+    )
+    return correct / (len(relevant) * len(negatives))
+
+
+class TestRankOfItems:
+    def test_simple_ranks(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert rank_of_items(scores, np.array([1, 2, 0])).tolist() == [1, 2, 3]
+
+    def test_candidate_mask_restricts_ranking(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        mask = np.array([True, False, True])
+        assert rank_of_items(scores, np.array([2, 0]), candidate_mask=mask).tolist() == [1, 2]
+
+    def test_item_outside_candidates_raises(self):
+        scores = np.array([0.1, 0.9])
+        mask = np.array([True, False])
+        with pytest.raises(DataError):
+            rank_of_items(scores, np.array([1]), candidate_mask=mask)
+
+
+class TestKnownValues:
+    def test_average_precision_hand_computed(self):
+        # ranking by score: [3, 1, 0, 2]; relevant {3, 0}: hits at ranks 1, 3.
+        scores = np.array([0.5, 0.7, 0.1, 0.9])
+        ap = average_precision(scores, np.array([3, 0]))
+        assert ap == pytest.approx((1 / 1 + 2 / 3) / 2)
+
+    def test_reciprocal_rank_best_hit(self):
+        scores = np.array([0.5, 0.7, 0.1, 0.9])
+        assert reciprocal_rank(scores, np.array([0, 2])) == pytest.approx(1 / 3)
+
+    def test_auc_hand_computed(self):
+        # ranking: [3, 1, 0, 2]; relevant {1}: beats items 0 and 2, loses to 3.
+        scores = np.array([0.5, 0.7, 0.1, 0.9])
+        assert area_under_curve(scores, np.array([1])) == pytest.approx(2 / 3)
+
+    def test_empty_relevant_gives_zero(self):
+        scores = np.array([0.5, 0.7])
+        assert average_precision(scores, np.array([], dtype=int)) == 0.0
+        assert reciprocal_rank(scores, np.array([], dtype=int)) == 0.0
+        assert area_under_curve(scores, np.array([], dtype=int)) == 0.0
+
+    def test_all_relevant_auc_zero(self):
+        scores = np.array([0.5, 0.7])
+        assert area_under_curve(scores, np.array([0, 1])) == 0.0
+
+    def test_mean_metric(self):
+        assert mean_metric([0.2, 0.4]) == pytest.approx(0.3)
+        assert mean_metric([]) == 0.0
+
+
+@st.composite
+def scored_case(draw):
+    n_items = draw(st.integers(min_value=3, max_value=25))
+    scores = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=-3, max_value=3, allow_nan=False),
+                min_size=n_items, max_size=n_items,
+            )
+        )
+    )
+    mask = np.array(draw(st.lists(st.booleans(), min_size=n_items, max_size=n_items)))
+    if not mask.any():
+        mask[0] = True
+    candidates = np.flatnonzero(mask)
+    relevant = draw(st.sets(st.sampled_from(list(candidates)), max_size=len(candidates)))
+    return scores, np.array(sorted(relevant), dtype=int), mask
+
+
+class TestAgainstBruteForce:
+    @given(case=scored_case())
+    @settings(max_examples=100, deadline=None)
+    def test_ap_matches_brute_force(self, case):
+        scores, relevant, mask = case
+        ap = average_precision(scores, relevant, candidate_mask=mask)
+        assert ap == pytest.approx(brute_force_ap(scores, relevant, mask))
+
+    @given(case=scored_case())
+    @settings(max_examples=100, deadline=None)
+    def test_auc_matches_brute_force(self, case):
+        scores, relevant, mask = case
+        auc = area_under_curve(scores, relevant, candidate_mask=mask)
+        assert auc == pytest.approx(brute_force_auc(scores, relevant, mask))
+
+    @given(case=scored_case())
+    @settings(max_examples=60, deadline=None)
+    def test_rr_is_inverse_best_rank(self, case):
+        scores, relevant, mask = case
+        if len(relevant) == 0:
+            return
+        rr = reciprocal_rank(scores, relevant, candidate_mask=mask)
+        ranks = rank_of_items(scores, relevant, candidate_mask=mask)
+        assert rr == pytest.approx(1.0 / ranks.min())
+
+    @given(case=scored_case())
+    @settings(max_examples=60, deadline=None)
+    def test_ap_at_least_rr_over_hits(self, case):
+        """AP's first summand is RR, so AP >= RR / n_relevant."""
+        scores, relevant, mask = case
+        if len(relevant) == 0:
+            return
+        ap = average_precision(scores, relevant, candidate_mask=mask)
+        rr = reciprocal_rank(scores, relevant, candidate_mask=mask)
+        assert ap >= rr / len(relevant) - 1e-12
+        assert 0.0 <= ap <= 1.0

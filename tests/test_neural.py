@@ -1,0 +1,189 @@
+"""Tests of the neural layers, optimizers, losses, and the three baselines."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.evaluator import evaluate_model
+from repro.models.poprank import PopRank
+from repro.neural.autograd import Tensor
+from repro.neural.base import NeuralRecommender
+from repro.neural.deepicf import DeepICF
+from repro.neural.layers import MLP, Dense, Embedding, Module, Parameter
+from repro.neural.losses import bce_with_logits, bpr_loss
+from repro.neural.neumf import NeuMF
+from repro.neural.neupr import NeuPR
+from repro.neural.optim import SGD, Adam
+from repro.utils.exceptions import ConfigError, DataError
+
+
+class TestLayers:
+    def test_dense_shapes_and_activation(self):
+        layer = Dense(4, 3, activation="relu", seed=0)
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+        assert (out.data >= 0).all()
+
+    def test_dense_invalid_activation(self):
+        with pytest.raises(ConfigError):
+            Dense(4, 3, activation="swish")
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, seed=0)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        assert np.array_equal(out.data[0], out.data[1])
+
+    def test_mlp_requires_two_sizes(self):
+        with pytest.raises(ConfigError):
+            MLP((4,))
+
+    def test_module_collects_parameters(self):
+        class Net(Module):
+            def __init__(self):
+                self.layer = Dense(3, 2, seed=0)
+                self.embedding = Embedding(5, 3, seed=0)
+                self.tower = [Dense(2, 2, seed=0), Dense(2, 1, seed=0)]
+
+        net = Net()
+        # dense (W+b) + embedding (table) + 2 tower denses (W+b each) = 7
+        assert len(net.parameters()) == 7
+        assert net.n_parameters() == (3 * 2 + 2) + 5 * 3 + (2 * 2 + 2) + (2 * 1 + 1)
+
+    def test_zero_grad_clears(self):
+        layer = Dense(2, 1, seed=0)
+        out = layer(Tensor(np.ones((1, 2)), requires_grad=False)).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestOptimizers:
+    def test_sgd_step_math(self):
+        param = Parameter(np.array([1.0, 2.0]))
+        param.grad = np.array([0.5, -0.5])
+        SGD([param], learning_rate=0.1).step()
+        assert np.allclose(param.data, [0.95, 2.05])
+
+    def test_sgd_weight_decay(self):
+        param = Parameter(np.array([1.0]))
+        param.grad = np.array([0.0])
+        SGD([param], learning_rate=0.1, weight_decay=0.5).step()
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_sgd_skips_gradless_params(self):
+        param = Parameter(np.array([1.0]))
+        SGD([param], learning_rate=0.1).step()
+        assert param.data[0] == 1.0
+
+    def test_adam_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = Adam([param], learning_rate=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = (Tensor(param.data) * 0).sum()  # placeholder
+            param.grad = 2 * (param.data - 1.5)  # d/dx (x - 1.5)^2
+            optimizer.step()
+        assert param.data[0] == pytest.approx(1.5, abs=1e-2)
+
+    def test_adam_invalid_betas(self):
+        with pytest.raises(ConfigError):
+            Adam([Parameter(np.zeros(1))], beta1=1.0)
+
+
+class TestLosses:
+    def test_bce_matches_manual(self):
+        logits = Tensor(np.array([0.3, -1.2, 2.0]), requires_grad=True)
+        targets = np.array([1.0, 0.0, 1.0])
+        loss = bce_with_logits(logits, targets)
+        probs = 1 / (1 + np.exp(-logits.data))
+        expected = -np.mean(targets * np.log(probs) + (1 - targets) * np.log(1 - probs))
+        assert loss.item() == pytest.approx(expected)
+
+    def test_bce_shape_mismatch(self):
+        with pytest.raises(DataError):
+            bce_with_logits(Tensor(np.zeros(3)), np.zeros(4))
+
+    def test_bpr_loss_decreases_with_margin(self):
+        tight = bpr_loss(Tensor(np.array([0.1])), Tensor(np.array([0.0]))).item()
+        wide = bpr_loss(Tensor(np.array([3.0])), Tensor(np.array([0.0]))).item()
+        assert wide < tight
+
+    def test_bce_gradient_direction(self):
+        logits = Tensor(np.array([0.0]), requires_grad=True)
+        loss = bce_with_logits(logits, np.array([1.0]))
+        loss.backward()
+        assert logits.grad[0] < 0  # pushing the logit up reduces the loss
+
+
+NEURAL_MODELS = [
+    lambda **kw: NeuMF(embedding_dim=8, **kw),
+    lambda **kw: NeuPR(embedding_dim=8, **kw),
+    lambda **kw: DeepICF(embedding_dim=8, **kw),
+]
+
+
+class TestNeuralRecommenders:
+    @pytest.mark.parametrize("factory", NEURAL_MODELS)
+    def test_fit_predict_shapes(self, factory, learnable_split):
+        model = factory(n_epochs=2, seed=0)
+        model.fit(learnable_split.train)
+        scores = model.predict_user(0)
+        assert scores.shape == (learnable_split.n_items,)
+        assert np.isfinite(scores).all()
+
+    @pytest.mark.parametrize("factory", NEURAL_MODELS)
+    def test_loss_decreases(self, factory, learnable_split):
+        model = factory(n_epochs=10, learning_rate=0.01, seed=0)
+        model.fit(learnable_split.train)
+        assert min(model.loss_history_) < model.loss_history_[0]
+
+    def test_neumf_learns_better_than_popularity_eventually(self, learnable_split):
+        model = NeuMF(embedding_dim=16, n_epochs=30, learning_rate=0.01, seed=0)
+        model.fit(learnable_split.train)
+        pop = PopRank().fit(learnable_split.train)
+        assert (
+            evaluate_model(model, learnable_split)["auc"]
+            > evaluate_model(pop, learnable_split)["auc"] - 0.05
+        )
+
+    def test_empty_train_rejected(self):
+        from repro.data.interactions import InteractionMatrix
+
+        with pytest.raises(DataError):
+            NeuMF(n_epochs=1, seed=0).fit(InteractionMatrix.empty(3, 4))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            NeuMF(embedding_dim=0)
+        with pytest.raises(ConfigError):
+            NeuMF(n_epochs=0)
+
+    def test_epoch_callback(self, learnable_split):
+        epochs = []
+        model = NeuPR(n_epochs=3, seed=0, epoch_callback=lambda m, e: epochs.append(e))
+        model.fit(learnable_split.train)
+        assert epochs == [0, 1, 2]
+
+    def test_negative_sampling_avoids_observed(self, learnable_split, rng):
+        model = NeuPR(n_epochs=1, seed=0)
+        model.fit(learnable_split.train)
+        users = rng.integers(0, learnable_split.n_users, 500)
+        negatives = model._sample_negatives(users, rng)
+        for user, item in zip(users, negatives):
+            assert not learnable_split.train.contains(int(user), int(item))
+
+    def test_deepicf_excludes_target_from_history(self, learnable_split):
+        model = DeepICF(n_epochs=1, seed=0)
+        model.fit(learnable_split.train)
+        user = int(learnable_split.train.user_counts().argmax())
+        items = learnable_split.train.positives(user)[:2]
+        weights = model._history_weights(np.array([user, user]), items)
+        for row, item in enumerate(items):
+            assert weights[row, item] == 0.0
+            assert weights[row].sum() == pytest.approx(1.0)
+
+    def test_names(self):
+        assert NeuMF().name == "NeuMF"
+        assert NeuPR().name == "NeuPR"
+        assert DeepICF().name == "DeepICF"

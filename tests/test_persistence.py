@@ -1,0 +1,80 @@
+"""Tests of model/data/result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics.evaluator import EvaluationResult
+from repro.experiments.runner import MethodResult
+from repro.mf.params import FactorParams
+from repro.persistence import (
+    load_factors,
+    load_interactions,
+    load_results,
+    save_factors,
+    save_interactions,
+    save_results,
+)
+from repro.utils.exceptions import DataError
+
+
+class TestFactorRoundtrip:
+    def test_roundtrip_preserves_arrays(self, tmp_path):
+        params = FactorParams.init(5, 8, 3, seed=0)
+        path = save_factors(tmp_path / "model.npz", params, metadata={"method": "CLAPF-MAP"})
+        loaded, metadata = load_factors(path)
+        assert np.array_equal(loaded.user_factors, params.user_factors)
+        assert np.array_equal(loaded.item_factors, params.item_factors)
+        assert np.array_equal(loaded.item_bias, params.item_bias)
+        assert metadata["method"] == "CLAPF-MAP"
+        assert metadata["version"] == 1
+
+    def test_loaded_predictions_identical(self, tmp_path):
+        params = FactorParams.init(4, 6, 2, seed=1)
+        path = save_factors(tmp_path / "model.npz", params)
+        loaded, _ = load_factors(path)
+        assert np.allclose(loaded.predict_user(2), params.predict_user(2))
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(DataError):
+            load_factors(path)
+
+
+class TestInteractionsRoundtrip:
+    def test_roundtrip(self, tmp_path, tiny_matrix):
+        path = save_interactions(tmp_path / "data.npz", tiny_matrix)
+        assert load_interactions(path) == tiny_matrix
+
+    def test_empty_matrix(self, tmp_path):
+        matrix = InteractionMatrix.empty(3, 4)
+        path = save_interactions(tmp_path / "empty.npz", matrix)
+        assert load_interactions(path) == matrix
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, indptr=np.zeros(2))
+        with pytest.raises(DataError):
+            load_interactions(path)
+
+
+class TestResults:
+    def test_evaluation_result_roundtrip(self, tmp_path):
+        result = EvaluationResult(metrics={"ndcg@5": 0.4, "map": 0.2}, n_users=10)
+        path = save_results(tmp_path / "eval.json", result)
+        loaded = load_results(path)
+        assert loaded["metrics"]["ndcg@5"] == 0.4
+        assert loaded["n_users"] == 10
+
+    def test_method_result_dict_roundtrip(self, tmp_path):
+        results = {
+            "BPR": MethodResult(
+                name="BPR", means={"map": 0.2}, stds={"map": 0.01},
+                train_seconds=1.5, n_repeats=5,
+            )
+        }
+        path = save_results(tmp_path / "table.json", results)
+        loaded = load_results(path)
+        assert loaded["BPR"]["means"]["map"] == 0.2
+        assert loaded["BPR"]["n_repeats"] == 5

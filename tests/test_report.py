@@ -1,0 +1,59 @@
+"""Tests of the reproduction-report assembler."""
+
+import pytest
+
+from repro.experiments.report import build_report, collect_results, write_report
+from repro.utils.exceptions import DataError
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table1_datasets.txt").write_text("TABLE ONE CONTENT\n")
+    (tmp_path / "table2_ml100k.txt").write_text("TABLE TWO ML100K\n")
+    (tmp_path / "fig4_convergence_ml20m.txt").write_text("FIG FOUR\n")
+    (tmp_path / "mystery_output.txt").write_text("UNKNOWN SECTION\n")
+    return tmp_path
+
+
+class TestCollect:
+    def test_reads_all_txt_files(self, results_dir):
+        collected = collect_results(results_dir)
+        assert set(collected) == {
+            "table1_datasets", "table2_ml100k", "fig4_convergence_ml20m", "mystery_output",
+        }
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DataError):
+            collect_results(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(DataError, match="no result files"):
+            collect_results(tmp_path)
+
+
+class TestBuild:
+    def test_sections_in_order(self, results_dir):
+        report = build_report(results_dir)
+        table1 = report.index("Table 1 — dataset statistics")
+        table2 = report.index("Table 2 — main comparison")
+        fig4 = report.index("Figure 4 — sampler convergence")
+        assert table1 < table2 < fig4
+
+    def test_contents_embedded(self, results_dir):
+        report = build_report(results_dir)
+        assert "TABLE TWO ML100K" in report
+        assert "FIG FOUR" in report
+
+    def test_unmatched_files_in_other_section(self, results_dir):
+        report = build_report(results_dir)
+        assert "## Other results" in report
+        assert "UNKNOWN SECTION" in report
+
+    def test_custom_title(self, results_dir):
+        assert build_report(results_dir, title="My run").startswith("# My run")
+
+
+class TestWrite:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "report.md")
+        assert out.read_text().startswith("# CLAPF reproduction report")

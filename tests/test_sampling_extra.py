@@ -1,0 +1,125 @@
+"""Tests of the ABS sampler and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.core.clapf import clapf_map
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.mf.params import FactorParams
+from repro.mf.sgd import EarlyStoppingConfig, SGDConfig
+from repro.models.base import validation_ndcg
+from repro.sampling.abs import AlphaBetaSampler
+from repro.sampling.uniform import UniformSampler
+from repro.utils.exceptions import ConfigError
+
+
+@pytest.fixture
+def train():
+    config = SyntheticConfig(n_users=60, n_items=120, density=0.08, latent_dim=3)
+    return generate_synthetic(config, seed=4).interactions
+
+
+@pytest.fixture
+def params(train):
+    return FactorParams.init(train.n_users, train.n_items, 6, seed=0, scale=0.5)
+
+
+class TestAlphaBetaSampler:
+    def test_invalid_window(self):
+        with pytest.raises(ConfigError):
+            AlphaBetaSampler(alpha=0.5, beta=0.5)
+        with pytest.raises(ConfigError):
+            AlphaBetaSampler(alpha=-0.1, beta=0.5)
+
+    def test_tuples_valid(self, train, params, rng):
+        sampler = AlphaBetaSampler(alpha=0.05, beta=0.4).bind(train, params)
+        batch = sampler.sample(300, rng)
+        for user, i, j in zip(batch.users, batch.pos_i, batch.neg_j):
+            assert train.contains(int(user), int(i))
+            assert not train.contains(int(user), int(j))
+
+    def test_negatives_avoid_head_and_tail(self, train, params, rng):
+        """Windowed negatives should be easier than AoBPR-style head
+        draws but harder than uniform's deep tail."""
+        window = AlphaBetaSampler(alpha=0.1, beta=0.3).bind(train, params)
+        head = AlphaBetaSampler(alpha=0.0, beta=0.05).bind(train, params)
+        uniform = UniformSampler().bind(train, params)
+
+        def mean_dot(sampler):
+            batch = sampler.sample(4000, rng)
+            return np.einsum(
+                "td,td->t",
+                params.user_factors[batch.users],
+                params.item_factors[batch.neg_j],
+            ).mean()
+
+        head_score = mean_dot(head)
+        window_score = mean_dot(window)
+        uniform_score = mean_dot(uniform)
+        assert head_score > window_score > uniform_score
+
+
+class TestEarlyStopping:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            EarlyStoppingConfig(patience=0)
+        with pytest.raises(ConfigError):
+            EarlyStoppingConfig(eval_every=0)
+
+    def test_requires_validation(self, learnable_split):
+        model = clapf_map(0.4, seed=0, early_stopping=EarlyStoppingConfig())
+        with pytest.raises(ConfigError):
+            model.fit(learnable_split.train)  # validation omitted
+
+    def test_stops_before_budget_and_restores_best(self, learnable_split):
+        model = clapf_map(
+            0.4,
+            seed=0,
+            sgd=SGDConfig(n_epochs=300, learning_rate=0.08),
+            early_stopping=EarlyStoppingConfig(patience=2, eval_every=5, max_users=100),
+        )
+        model.fit(learnable_split.train, learnable_split.validation)
+        assert model.stopped_early_
+        assert model.best_epoch_ is not None
+        assert len(model.loss_history_) < 300
+        # Restored parameters must score the recorded best.
+        score = validation_ndcg(
+            model.params_.predict_user,
+            learnable_split.train,
+            learnable_split.validation,
+            max_users=100,
+        )
+        assert score == pytest.approx(max(model.validation_history_), abs=1e-9)
+
+    def test_no_early_stopping_runs_full_budget(self, learnable_split):
+        model = clapf_map(0.4, seed=0, sgd=SGDConfig(n_epochs=4))
+        model.fit(learnable_split.train, learnable_split.validation)
+        assert len(model.loss_history_) == 4
+        assert not model.stopped_early_
+
+
+class TestValidationNdcg:
+    def test_oracle_scores_one(self, learnable_split):
+        def oracle(user):
+            scores = np.zeros(learnable_split.n_items)
+            scores[learnable_split.validation.positives(user)] = 10.0
+            return scores
+
+        value = validation_ndcg(oracle, learnable_split.train, learnable_split.validation)
+        assert value == pytest.approx(1.0)
+
+    def test_empty_validation_returns_zero(self, learnable_split):
+        from repro.data.interactions import InteractionMatrix
+
+        empty = InteractionMatrix.empty(learnable_split.n_users, learnable_split.n_items)
+        assert validation_ndcg(lambda u: np.zeros(learnable_split.n_items),
+                               learnable_split.train, empty) == 0.0
+
+    def test_max_users_subsamples(self, learnable_split):
+        value = validation_ndcg(
+            lambda user: np.arange(learnable_split.n_items, dtype=float),
+            learnable_split.train,
+            learnable_split.validation,
+            max_users=10,
+        )
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,57 @@
+"""Tests of the dataset-property sensitivity harness."""
+
+import pytest
+
+from repro.experiments.sensitivity import SensitivityResult, sweep_dataset_property
+from repro.data.synthetic import SyntheticConfig
+from repro.models.bpr import BPR
+from repro.models.poprank import PopRank
+from repro.mf.sgd import SGDConfig
+from repro.utils.exceptions import ConfigError
+
+TINY_CONFIG = SyntheticConfig(n_users=60, n_items=100, density=0.06, latent_dim=3)
+
+FACTORIES = {
+    "PopRank": lambda seed: PopRank(),
+    "BPR": lambda seed: BPR(n_factors=4, sgd=SGDConfig(n_epochs=25, learning_rate=0.08), seed=seed),
+}
+
+
+class TestValidation:
+    def test_unknown_property(self):
+        with pytest.raises(ConfigError):
+            sweep_dataset_property("sparkliness", [1, 2], FACTORIES)
+
+    def test_empty_values(self):
+        with pytest.raises(ConfigError):
+            sweep_dataset_property("signal", [], FACTORIES)
+
+    def test_empty_factories(self):
+        with pytest.raises(ConfigError):
+            sweep_dataset_property("signal", [1.0], {})
+
+
+class TestSweep:
+    def test_curves_have_one_point_per_value(self):
+        result = sweep_dataset_property(
+            "signal", (2.0, 10.0), FACTORIES, base_config=TINY_CONFIG, seed=1
+        )
+        assert isinstance(result, SensitivityResult)
+        assert len(result.curves["BPR"]) == 2
+        assert "signal" in result.render()
+
+    def test_signal_strength_drives_personalization_gap(self):
+        """The core substitution argument: the BPR-vs-PopRank gap must
+        grow with the latent signal the generator injects."""
+        result = sweep_dataset_property(
+            "signal", (0.5, 12.0), FACTORIES, base_config=TINY_CONFIG, seed=1
+        )
+        gaps = result.gap("BPR", "PopRank")
+        assert gaps[1] > gaps[0]
+
+    def test_gap_requires_known_methods(self):
+        result = sweep_dataset_property(
+            "signal", (2.0,), FACTORIES, base_config=TINY_CONFIG, seed=1
+        )
+        with pytest.raises(KeyError):
+            result.gap("BPR", "SVD")

@@ -1,0 +1,165 @@
+"""Tests of the online simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.models.bpr import BPR
+from repro.models.poprank import PopRank
+from repro.mf.sgd import SGDConfig
+from repro.simulation.feedback import FeedbackSimulator
+from repro.simulation.loop import OnlineLoop
+from repro.utils.exceptions import ConfigError, DataError
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = SyntheticConfig(
+        n_users=80, n_items=150, density=0.05, latent_dim=3,
+        signal=10.0, popularity_weight=0.3,
+    )
+    dataset, truth = generate_synthetic(config, seed=6, return_ground_truth=True)
+    return dataset, truth
+
+
+class TestFeedbackSimulator:
+    def test_probabilities_in_unit_interval(self, world):
+        _, truth = world
+        simulator = FeedbackSimulator(truth, seed=0)
+        probabilities = simulator.acceptance_probabilities(0, np.arange(10))
+        assert np.all((0 <= probabilities) & (probabilities <= 1))
+
+    def test_high_affinity_items_accepted_more(self, world):
+        _, truth = world
+        simulator = FeedbackSimulator(truth, seed=0)
+        affinity = truth.affinity(0)
+        best = np.argsort(-affinity)[:5]
+        worst = np.argsort(affinity)[:5]
+        assert (
+            simulator.acceptance_probabilities(0, best).mean()
+            > simulator.acceptance_probabilities(0, worst).mean()
+        )
+
+    def test_oracle_slate_is_top_affinity(self, world):
+        _, truth = world
+        simulator = FeedbackSimulator(truth, seed=0)
+        slate = simulator.oracle_slate(3, 5)
+        affinity = truth.affinity(3)
+        assert set(slate.tolist()) == set(np.argsort(-affinity)[:5].tolist())
+
+    def test_oracle_slate_respects_exclusions(self, world):
+        _, truth = world
+        simulator = FeedbackSimulator(truth, seed=0)
+        excluded = simulator.oracle_slate(3, 3)
+        slate = simulator.oracle_slate(3, 3, exclude=excluded)
+        assert not set(slate.tolist()) & set(excluded.tolist())
+
+    def test_invalid_quantile(self, world):
+        _, truth = world
+        with pytest.raises(DataError):
+            FeedbackSimulator(truth, acceptance_quantile=1.0)
+
+    def test_respond_reproducible(self, world):
+        _, truth = world
+        a = FeedbackSimulator(truth, seed=4).respond(0, np.arange(20))
+        b = FeedbackSimulator(truth, seed=4).respond(0, np.arange(20))
+        assert np.array_equal(a, b)
+
+
+class TestOnlineLoop:
+    def test_interactions_grow_monotonically(self, world):
+        dataset, truth = world
+        loop = OnlineLoop(
+            lambda: BPR(n_factors=4, sgd=SGDConfig(n_epochs=5), seed=0),
+            FeedbackSimulator(truth, seed=0),
+            slate_size=3,
+            seed=0,
+        )
+        result = loop.run(dataset.interactions, n_rounds=3)
+        sizes = [entry.cumulative_interactions for entry in result.rounds]
+        assert sizes == sorted(sizes)
+        assert result.final_interactions.n_interactions >= dataset.n_interactions
+
+    def test_never_reshows_consumed_items(self, world):
+        dataset, truth = world
+        accepted_twice = []
+
+        class TrackingSimulator(FeedbackSimulator):
+            def respond(self, user, items):
+                for item in items:
+                    if dataset.interactions.contains(int(user), int(item)):
+                        accepted_twice.append((user, item))
+                return super().respond(user, items)
+
+        loop = OnlineLoop(
+            lambda: PopRank(),
+            TrackingSimulator(truth, seed=0),
+            slate_size=3,
+            seed=0,
+        )
+        loop.run(dataset.interactions, n_rounds=2)
+        assert accepted_twice == []
+
+    def test_better_model_earns_more_acceptances(self, world):
+        dataset, truth = world
+        simulator_args = dict(sharpness=8.0, acceptance_quantile=0.9)
+
+        def run(factory):
+            loop = OnlineLoop(
+                factory,
+                FeedbackSimulator(truth, seed=1, **simulator_args),
+                slate_size=5,
+                seed=1,
+            )
+            return loop.run(dataset.interactions, n_rounds=3).total_accepted()
+
+        trained = run(lambda: BPR(n_factors=4, sgd=SGDConfig(n_epochs=40, learning_rate=0.08), seed=0))
+        popularity = run(lambda: PopRank())
+        assert trained > popularity
+
+    def test_retrain_every_controls_refits(self, world):
+        dataset, truth = world
+        loop = OnlineLoop(
+            lambda: PopRank(),
+            FeedbackSimulator(truth, seed=0),
+            slate_size=2,
+            retrain_every=2,
+            seed=0,
+        )
+        result = loop.run(dataset.interactions, n_rounds=4)
+        assert [entry.retrained for entry in result.rounds] == [True, False, True, False]
+
+    def test_oracle_rate_upper_bounds_policy(self, world):
+        dataset, truth = world
+        loop = OnlineLoop(
+            lambda: PopRank(),
+            FeedbackSimulator(truth, seed=0),
+            slate_size=5,
+            seed=0,
+        )
+        result = loop.run(dataset.interactions, n_rounds=2, measure_oracle=True)
+        assert result.oracle_acceptance_rate >= max(result.acceptance_curve()) - 0.05
+
+    def test_invalid_configuration(self, world):
+        _, truth = world
+        simulator = FeedbackSimulator(truth, seed=0)
+        with pytest.raises(ConfigError):
+            OnlineLoop(lambda: PopRank(), simulator, slate_size=0)
+        with pytest.raises(ConfigError):
+            OnlineLoop(lambda: PopRank(), simulator, retrain_every=0)
+        loop = OnlineLoop(lambda: PopRank(), simulator)
+        with pytest.raises(ConfigError):
+            loop.run(InteractionMatrix.empty(2, 2), n_rounds=0)
+
+    def test_users_per_round_subsamples(self, world):
+        dataset, truth = world
+        loop = OnlineLoop(
+            lambda: PopRank(),
+            FeedbackSimulator(truth, seed=0),
+            slate_size=2,
+            users_per_round=10,
+            seed=0,
+        )
+        result = loop.run(dataset.interactions, n_rounds=1)
+        assert result.rounds[0].shown <= 10 * 2

@@ -1,0 +1,179 @@
+"""Tests of the smoothed MAP/MRR math (Section 4.1 equations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.smoothing import (
+    clapf_margin,
+    climf_objective,
+    exact_average_precision,
+    exact_reciprocal_rank,
+    l_map_objective,
+    margin_coefficients,
+    smoothed_ap_jensen_bound,
+    smoothed_average_precision,
+    smoothed_reciprocal_rank,
+    smoothed_rr_jensen_bound,
+)
+from repro.metrics.ranking import average_precision, reciprocal_rank
+from repro.utils.exceptions import ConfigError, DataError
+
+scores_strategy = st.lists(
+    st.floats(min_value=-4, max_value=4, allow_nan=False), min_size=1, max_size=12
+)
+
+
+@st.composite
+def relevance_case(draw):
+    n = draw(st.integers(min_value=2, max_value=15))
+    scores = np.array(
+        draw(st.lists(st.floats(-3, 3, allow_nan=False), min_size=n, max_size=n))
+    )
+    relevance = np.array(draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)))
+    return scores, relevance
+
+
+class TestExactMeasures:
+    def test_exact_rr_equals_inverse_min_rank(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.2])
+        relevance = np.array([1, 0, 1, 0])
+        # ranking: [1, 2, 3, 0]; best relevant is item 2 at rank 2.
+        assert exact_reciprocal_rank(scores, relevance) == pytest.approx(0.5)
+
+    def test_exact_ap_hand_case(self):
+        scores = np.array([0.5, 0.7, 0.1, 0.9])
+        relevance = np.array([1, 0, 0, 1])
+        assert exact_average_precision(scores, relevance) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_no_relevant_items(self):
+        scores = np.array([0.3, 0.2])
+        zeros = np.zeros(2)
+        assert exact_reciprocal_rank(scores, zeros) == 0.0
+        assert exact_average_precision(scores, zeros) == 0.0
+
+    def test_input_validation(self):
+        with pytest.raises(DataError):
+            exact_reciprocal_rank(np.array([1.0]), np.array([2]))
+        with pytest.raises(DataError):
+            exact_average_precision(np.array([1.0, 2.0]), np.array([1]))
+
+    @given(case=relevance_case())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_measures_match_metrics_module(self, case):
+        """Eq. (5)/(8) must agree with the evaluation metrics on full rankings."""
+        scores, relevance = case
+        relevant = np.flatnonzero(relevance)
+        assert exact_reciprocal_rank(scores, relevance) == pytest.approx(
+            reciprocal_rank(scores, relevant)
+        )
+        assert exact_average_precision(scores, relevance) == pytest.approx(
+            average_precision(scores, relevant)
+        )
+
+
+class TestSmoothedMeasures:
+    def test_smoothed_ap_positive(self):
+        assert smoothed_average_precision(np.array([0.5, -1.0, 2.0])) > 0
+
+    def test_smoothed_rr_positive_for_single_item(self):
+        # With one item: sigma(f) * (1 - sigma(0)) = sigma(f) / 2.
+        value = smoothed_reciprocal_rank(np.array([1.0]))
+        from repro.mf.functional import sigmoid
+
+        assert value == pytest.approx(sigmoid(1.0) * 0.5)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(DataError):
+            smoothed_average_precision(np.array([]))
+        with pytest.raises(DataError):
+            smoothed_reciprocal_rank(np.array([]))
+
+    @given(f_pos=scores_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_ap_jensen_bound_holds(self, f_pos):
+        """ln(Eq. 9) >= the Jensen lower bound (middle of Eq. 11)."""
+        f_pos = np.array(f_pos)
+        lhs = np.log(smoothed_average_precision(f_pos))
+        rhs = smoothed_ap_jensen_bound(f_pos)
+        assert lhs >= rhs - 1e-9
+
+    @given(f_pos=scores_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_rr_jensen_bound_holds(self, f_pos):
+        """ln(Eq. 6) >= CLiMF's Jensen lower bound."""
+        f_pos = np.array(f_pos)
+        value = smoothed_reciprocal_rank(f_pos)
+        if value <= 0:
+            return  # product underflow on long adversarial inputs
+        assert np.log(value) >= smoothed_rr_jensen_bound(f_pos) - 1e-9
+
+    @given(f_pos=scores_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_objectives_are_finite_and_nonpositive(self, f_pos):
+        f_pos = np.array(f_pos)
+        for objective in (l_map_objective, climf_objective):
+            value = objective(f_pos)
+            assert np.isfinite(value)
+            assert value <= 1e-9  # sums of log-sigmoids
+
+    def test_l_map_and_climf_pairwise_terms_are_mirrored(self):
+        """Eq. (12) uses ln sigma(f_k - f_i); Eq. (7) uses ln sigma(f_i - f_k);
+        the first (per-item) terms coincide."""
+        f_pos = np.array([0.3, -0.7, 1.2])
+        from repro.mf.functional import log_sigmoid
+
+        first_term = float(np.sum(log_sigmoid(f_pos)))
+        map_pair = l_map_objective(f_pos) - first_term
+        climf_pair = climf_objective(f_pos) - first_term
+        diff = f_pos[:, None] - f_pos[None, :]
+        assert map_pair == pytest.approx(float(np.sum(log_sigmoid(-diff))))
+        assert climf_pair == pytest.approx(float(np.sum(log_sigmoid(diff))))
+
+
+class TestMarginCoefficients:
+    def test_map_coefficients(self):
+        coeffs = margin_coefficients("map", 0.4)
+        assert coeffs == {"k": 0.4, "i": pytest.approx(0.2), "j": pytest.approx(-0.6)}
+
+    def test_mrr_coefficients(self):
+        coeffs = margin_coefficients("mrr", 0.2)
+        assert coeffs == {"i": 1.0, "k": pytest.approx(-0.2), "j": pytest.approx(-0.8)}
+
+    def test_lambda_zero_reduces_to_bpr(self):
+        """At lambda = 0 both variants give the BPR margin f_i - f_j."""
+        for metric in ("map", "mrr"):
+            coeffs = margin_coefficients(metric, 0.0)
+            assert coeffs["i"] == pytest.approx(1.0)
+            assert coeffs["k"] == pytest.approx(0.0)
+            assert coeffs["j"] == pytest.approx(-1.0)
+
+    def test_lambda_one_is_pure_listwise(self):
+        map_coeffs = margin_coefficients("map", 1.0)
+        assert map_coeffs["j"] == pytest.approx(0.0)
+        assert map_coeffs["k"] == pytest.approx(1.0)
+        assert map_coeffs["i"] == pytest.approx(-1.0)
+        mrr_coeffs = margin_coefficients("mrr", 1.0)
+        assert mrr_coeffs["j"] == pytest.approx(0.0)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ConfigError):
+            margin_coefficients("auc", 0.5)
+
+    def test_invalid_tradeoff(self):
+        with pytest.raises(ConfigError):
+            margin_coefficients("map", 1.5)
+
+    @given(
+        lam=st.floats(0, 1),
+        f_i=st.floats(-3, 3),
+        f_k=st.floats(-3, 3),
+        f_j=st.floats(-3, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_margin_matches_paper_formulas(self, lam, f_i, f_k, f_j):
+        map_margin = clapf_margin("map", lam, f_i, f_k, f_j)
+        assert map_margin == pytest.approx(lam * (f_k - f_i) + (1 - lam) * (f_i - f_j))
+        mrr_margin = clapf_margin("mrr", lam, f_i, f_k, f_j)
+        assert mrr_margin == pytest.approx(lam * (f_i - f_k) + (1 - lam) * (f_i - f_j))

@@ -1,0 +1,151 @@
+"""Tests of the paper's train/test/validation split protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import DatasetSplit, ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.data.split import (
+    holdout_validation_pairs,
+    repeated_splits,
+    split_pairs,
+    train_test_split,
+)
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.utils.exceptions import ConfigError, DataError
+
+
+@pytest.fixture
+def dataset():
+    config = SyntheticConfig(n_users=40, n_items=60, density=0.08, latent_dim=3)
+    return generate_synthetic(config, seed=3, name="split-test")
+
+
+class TestSplitPairs:
+    def test_partition_is_disjoint_and_complete(self, dataset):
+        train, test = split_pairs(dataset.interactions, 0.5, seed=0)
+        assert not train.intersects(test)
+        assert train.union(test) == dataset.interactions
+
+    def test_fraction_respected(self, dataset):
+        train, test = split_pairs(dataset.interactions, 0.5, seed=0)
+        total = dataset.n_interactions
+        assert train.n_interactions == round(0.5 * total)
+        assert train.n_interactions + test.n_interactions == total
+
+    def test_extreme_fractions(self, dataset):
+        train, test = split_pairs(dataset.interactions, 1.0, seed=0)
+        assert test.n_interactions == 0
+        train, test = split_pairs(dataset.interactions, 0.0, seed=0)
+        assert train.n_interactions == 0
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(ConfigError):
+            split_pairs(dataset.interactions, 1.5)
+
+    def test_deterministic_given_seed(self, dataset):
+        a = split_pairs(dataset.interactions, 0.5, seed=42)
+        b = split_pairs(dataset.interactions, 0.5, seed=42)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_different_seeds_differ(self, dataset):
+        a, _ = split_pairs(dataset.interactions, 0.5, seed=1)
+        b, _ = split_pairs(dataset.interactions, 0.5, seed=2)
+        assert a != b
+
+
+class TestHoldoutValidation:
+    def test_one_pair_held_per_eligible_user(self, dataset):
+        train, _ = split_pairs(dataset.interactions, 0.7, seed=0)
+        kept, held = holdout_validation_pairs(train, per_user=1, seed=0)
+        held_counts = held.user_counts()
+        for user in range(train.n_users):
+            if train.n_positives(user) > 1:
+                assert held_counts[user] == 1
+            else:
+                assert held_counts[user] == 0
+
+    def test_held_plus_kept_equals_train(self, dataset):
+        train, _ = split_pairs(dataset.interactions, 0.7, seed=0)
+        kept, held = holdout_validation_pairs(train, per_user=1, seed=0)
+        assert not kept.intersects(held)
+        assert kept.union(held) == train
+
+    def test_single_positive_users_keep_their_pair(self):
+        train = InteractionMatrix.from_pairs([(0, 1)], 1, 3)
+        kept, held = holdout_validation_pairs(train, seed=0)
+        assert kept == train
+        assert held.n_interactions == 0
+
+    def test_invalid_per_user(self, dataset):
+        with pytest.raises(ConfigError):
+            holdout_validation_pairs(dataset.interactions, per_user=0)
+
+
+class TestTrainTestSplit:
+    def test_three_way_disjoint(self, dataset):
+        split = train_test_split(dataset, seed=5)
+        assert not split.train.intersects(split.test)
+        assert not split.train.intersects(split.validation)
+        assert not split.test.intersects(split.validation)
+
+    def test_observed_union_recovers_dataset(self, dataset):
+        split = train_test_split(dataset, seed=5)
+        assert split.observed_union() == dataset.interactions
+
+    def test_no_validation_mode(self, dataset):
+        split = train_test_split(dataset, validation_per_user=0, seed=5)
+        assert split.validation is None
+
+    def test_describe_matches_table1_shape(self, dataset):
+        split = train_test_split(dataset, seed=5)
+        stats = split.describe()
+        assert set(stats) == {"dataset", "n", "m", "train_pairs", "test_pairs", "density"}
+        assert stats["density"] == pytest.approx(dataset.density)
+
+    def test_test_users_have_test_positives(self, dataset):
+        split = train_test_split(dataset, seed=5)
+        for user in split.test_users():
+            assert split.test.n_positives(int(user)) > 0
+
+
+class TestRepeatedSplits:
+    def test_five_copies_differ(self, dataset):
+        splits = repeated_splits(dataset, repeats=5, seed=9)
+        assert len(splits) == 5
+        assert any(splits[0].train != s.train for s in splits[1:])
+
+    def test_reproducible(self, dataset):
+        a = repeated_splits(dataset, repeats=3, seed=9)
+        b = repeated_splits(dataset, repeats=3, seed=9)
+        for x, y in zip(a, b):
+            assert x.train == y.train and x.test == y.test
+
+    def test_invalid_repeats(self, dataset):
+        with pytest.raises(ConfigError):
+            repeated_splits(dataset, repeats=0)
+
+
+class TestDatasetSplitValidation:
+    def test_overlapping_train_test_rejected(self):
+        m = InteractionMatrix.from_pairs([(0, 0), (0, 1)], 2, 3)
+        with pytest.raises(DataError):
+            DatasetSplit(name="bad", train=m, test=m)
+
+    def test_shape_mismatch_rejected(self):
+        train = InteractionMatrix.from_pairs([(0, 0)], 2, 3)
+        test = InteractionMatrix.from_pairs([(0, 1)], 2, 4)
+        with pytest.raises(DataError):
+            DatasetSplit(name="bad", train=train, test=test)
+
+
+@given(fraction=st.floats(min_value=0.1, max_value=0.9), seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_split_partition_property(fraction, seed):
+    config = SyntheticConfig(n_users=15, n_items=25, density=0.15, latent_dim=2)
+    dataset = generate_synthetic(config, seed=1)
+    train, test = split_pairs(dataset.interactions, fraction, seed=seed)
+    assert not train.intersects(test)
+    assert train.union(test) == dataset.interactions

@@ -1,0 +1,113 @@
+"""Tests of the synthetic implicit-feedback generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.profiles import DATASET_PROFILES, make_profile_dataset
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.utils.exceptions import ConfigError
+
+
+class TestConfigValidation:
+    def test_rejects_full_density(self):
+        with pytest.raises(ConfigError):
+            SyntheticConfig(n_users=10, n_items=10, density=1.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ConfigError):
+            SyntheticConfig(n_users=0, n_items=10)
+
+    def test_rejects_negative_signal(self):
+        with pytest.raises(ConfigError):
+            SyntheticConfig(n_users=10, n_items=10, signal=-1.0)
+
+
+class TestGeneration:
+    def test_shape_and_name(self):
+        config = SyntheticConfig(n_users=30, n_items=50, density=0.05)
+        dataset = generate_synthetic(config, seed=0, name="demo")
+        assert dataset.name == "demo"
+        assert dataset.n_users == 30
+        assert dataset.n_items == 50
+
+    def test_every_user_has_at_least_one_positive(self):
+        config = SyntheticConfig(n_users=40, n_items=60, density=0.02)
+        dataset = generate_synthetic(config, seed=0)
+        assert (dataset.interactions.user_counts() >= 1).all()
+
+    def test_density_near_target(self):
+        config = SyntheticConfig(n_users=200, n_items=300, density=0.05)
+        dataset = generate_synthetic(config, seed=0)
+        assert dataset.density == pytest.approx(0.05, rel=0.3)
+
+    def test_reproducible(self):
+        config = SyntheticConfig(n_users=25, n_items=40, density=0.08)
+        a = generate_synthetic(config, seed=13)
+        b = generate_synthetic(config, seed=13)
+        assert a.interactions == b.interactions
+
+    def test_seeds_differ(self):
+        config = SyntheticConfig(n_users=25, n_items=40, density=0.08)
+        a = generate_synthetic(config, seed=1)
+        b = generate_synthetic(config, seed=2)
+        assert a.interactions != b.interactions
+
+    def test_ground_truth_returned(self):
+        config = SyntheticConfig(n_users=20, n_items=30, density=0.05, latent_dim=4)
+        dataset, truth = generate_synthetic(config, seed=0, return_ground_truth=True)
+        assert truth.user_factors.shape == (20, 4)
+        assert truth.item_factors.shape == (30, 4)
+        assert truth.affinity(0).shape == (30,)
+
+    def test_positives_align_with_ground_truth_affinity(self):
+        """Observed items should have higher true affinity than unobserved."""
+        config = SyntheticConfig(
+            n_users=60, n_items=120, density=0.08, latent_dim=3,
+            signal=12.0, popularity_weight=0.0, popularity_exponent=0.0,
+        )
+        dataset, truth = generate_synthetic(config, seed=5, return_ground_truth=True)
+        gaps = []
+        for user in range(dataset.n_users):
+            affinity = truth.affinity(user)
+            positives = dataset.interactions.positives(user)
+            mask = np.zeros(dataset.n_items, dtype=bool)
+            mask[positives] = True
+            gaps.append(affinity[mask].mean() - affinity[~mask].mean())
+        assert np.mean(gaps) > 0.1
+
+    def test_popularity_long_tail(self):
+        """With a Zipf exponent, the top decile of items should dominate."""
+        config = SyntheticConfig(
+            n_users=300, n_items=200, density=0.05,
+            popularity_exponent=1.0, signal=0.0, popularity_weight=3.0,
+        )
+        dataset = generate_synthetic(config, seed=0)
+        counts = np.sort(dataset.interactions.item_counts())[::-1]
+        top_decile = counts[: len(counts) // 10].sum()
+        assert top_decile > 0.3 * counts.sum()
+
+
+class TestProfiles:
+    def test_all_profiles_generate(self):
+        for name in DATASET_PROFILES:
+            dataset = make_profile_dataset(name, scale=0.1, seed=0)
+            assert dataset.n_users >= 10
+            assert dataset.n_interactions > 0
+
+    def test_profile_name_suffix(self):
+        assert make_profile_dataset("ML100K", scale=0.1, seed=0).name == "ML100K-sim@0.1"
+        assert make_profile_dataset("ML100K", seed=0).name == "ML100K-sim"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            make_profile_dataset("MovieTweets")
+
+    def test_dense_sparse_contrast_preserved(self):
+        dense = make_profile_dataset("ML100K", scale=0.4, seed=0)
+        sparse = make_profile_dataset("Flixter", scale=0.4, seed=0)
+        assert dense.density > 3 * sparse.density
+
+    def test_profile_records_paper_numbers(self):
+        profile = DATASET_PROFILES["Netflix"]
+        assert profile.paper_users == 480_189
+        assert profile.paper_items == 17_770

@@ -1,0 +1,99 @@
+"""Tests of the dataset transforms (k-core, compaction, subsampling)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ImplicitDataset
+from repro.data.interactions import InteractionMatrix
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.data.transforms import (
+    apply_k_core_dataset,
+    compact_ids,
+    k_core,
+    subsample_users,
+)
+from repro.utils.exceptions import ConfigError
+
+
+@pytest.fixture
+def matrix():
+    config = SyntheticConfig(n_users=60, n_items=80, density=0.05, latent_dim=3)
+    return generate_synthetic(config, seed=9).interactions
+
+
+class TestKCore:
+    def test_result_satisfies_cores(self, matrix):
+        filtered = k_core(matrix, user_core=3, item_core=2)
+        user_counts = filtered.user_counts()
+        item_counts = filtered.item_counts()
+        assert np.all(user_counts[user_counts > 0] >= 3)
+        assert np.all(item_counts[item_counts > 0] >= 2)
+
+    def test_subset_of_original(self, matrix):
+        filtered = k_core(matrix, user_core=3, item_core=2)
+        assert filtered.difference(matrix).n_interactions == 0
+
+    def test_already_satisfying_is_identity(self):
+        dense = InteractionMatrix.from_dense(np.ones((4, 4), dtype=int))
+        assert k_core(dense, user_core=2, item_core=2) == dense
+
+    def test_cascading_removal(self):
+        """Removing a user can push an item below its core."""
+        # item 1 is held only by user 0; user 0 has a single interaction.
+        pairs = [(0, 1)] + [(1, 0), (1, 2), (2, 0), (2, 2)]
+        matrix = InteractionMatrix.from_pairs(pairs, 3, 3)
+        filtered = k_core(matrix, user_core=2, item_core=2)
+        assert not filtered.contains(0, 1)
+        assert filtered.item_counts()[1] == 0
+
+    def test_everything_can_vanish(self):
+        matrix = InteractionMatrix.from_pairs([(0, 0), (1, 1)], 2, 2)
+        filtered = k_core(matrix, user_core=5, item_core=5)
+        assert filtered.n_interactions == 0
+
+    def test_invalid_core(self, matrix):
+        with pytest.raises(ConfigError):
+            k_core(matrix, user_core=0)
+
+
+class TestCompactIds:
+    def test_drops_empty_rows_and_columns(self):
+        pairs = [(0, 0), (5, 7)]
+        matrix = InteractionMatrix.from_pairs(pairs, 6, 8)
+        compacted, user_map, item_map = compact_ids(matrix)
+        assert compacted.n_users == 2
+        assert compacted.n_items == 2
+        assert user_map.tolist() == [0, 5]
+        assert item_map.tolist() == [0, 7]
+
+    def test_preserves_structure(self, matrix):
+        compacted, user_map, item_map = compact_ids(matrix)
+        assert compacted.n_interactions == matrix.n_interactions
+        # Spot-check: every compacted pair maps back to an original pair.
+        for user, item in compacted.pairs()[:50]:
+            assert matrix.contains(int(user_map[user]), int(item_map[item]))
+
+    def test_empty_matrix(self):
+        compacted, user_map, item_map = compact_ids(InteractionMatrix.empty(3, 4))
+        assert compacted.n_users == 0 and compacted.n_items == 0
+
+
+class TestSubsampleUsers:
+    def test_subsamples_to_target(self, matrix):
+        smaller = subsample_users(matrix, 20, seed=0)
+        assert int((smaller.user_counts() > 0).sum()) == 20
+
+    def test_noop_when_target_exceeds_population(self, matrix):
+        assert subsample_users(matrix, 10_000, seed=0) == matrix
+
+    def test_invalid_target(self, matrix):
+        with pytest.raises(ConfigError):
+            subsample_users(matrix, 0)
+
+
+class TestDatasetWrapper:
+    def test_apply_k_core_dataset(self, matrix):
+        dataset = ImplicitDataset(name="demo", interactions=matrix)
+        filtered = apply_k_core_dataset(dataset, user_core=3, item_core=2)
+        assert filtered.name == "demo-3core"
+        assert np.all(filtered.interactions.user_counts() >= 3)

@@ -1,0 +1,117 @@
+"""Tests of the shared utilities (rng, validation, tables, exceptions)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ConfigError, DataError, NotFittedError, ReproError
+from repro.utils.rng import (
+    SeedSequenceFactory,
+    as_generator,
+    permutation_seeds,
+    spawn_generators,
+)
+from repro.utils.tables import format_table
+from repro.utils.validation import check_in_range, check_positive, check_probability
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(DataError, ReproError)
+        assert issubclass(NotFittedError, ReproError)
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(NotFittedError, RuntimeError)
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        a = as_generator(42)
+        b = as_generator(42)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_as_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_as_generator_from_seed_sequence(self):
+        sequence = np.random.SeedSequence(5)
+        assert isinstance(as_generator(sequence), np.random.Generator)
+
+    def test_spawn_generators_independent(self):
+        children = spawn_generators(7, 3)
+        draws = [child.random() for child in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible_from_int(self):
+        a = [g.random() for g in spawn_generators(7, 2)]
+        b = [g.random() for g in spawn_generators(7, 2)]
+        assert a == b
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(7, -1)
+
+    def test_seed_factory_named_streams_stable(self):
+        a = SeedSequenceFactory(9).generator("sampler").random()
+        b = SeedSequenceFactory(9).generator("sampler").random()
+        c = SeedSequenceFactory(9).generator("init").random()
+        assert a == b
+        assert a != c
+
+    def test_seed_factory_generators_dict(self):
+        gens = SeedSequenceFactory(1).generators(["a", "b"])
+        assert set(gens) == {"a", "b"}
+
+    def test_permutation_seeds_deterministic(self):
+        assert permutation_seeds(3, 4) == permutation_seeds(3, 4)
+        assert len(permutation_seeds(3, 4)) == 4
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        with pytest.raises(ConfigError):
+            check_positive(0, "x")
+        assert check_positive(0, "x", strict=False) == 0
+        with pytest.raises(ConfigError):
+            check_positive(-1, "x", strict=False)
+        with pytest.raises(ConfigError):
+            check_positive("nope", "x")
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, "x", 0, 1) == 0.5
+        assert check_in_range(1.0, "x", 0, 1) == 1.0
+        with pytest.raises(ConfigError):
+            check_in_range(1.0, "x", 0, 1, inclusive=False)
+        with pytest.raises(ConfigError):
+            check_in_range(2, "x", 0, 1)
+
+    def test_check_probability(self):
+        assert check_probability(0.0, "p") == 0.0
+        with pytest.raises(ConfigError):
+            check_probability(-0.1, "p")
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert "2.5000" in text
+        assert "-" in lines[-1]  # None renders as dash
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_custom_float_format(self):
+        text = format_table(["a"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "bb"], [])
+        assert "bb" in text

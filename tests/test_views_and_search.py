@@ -1,0 +1,160 @@
+"""Tests of synthetic view data, MPR's view mode, random search, Holm,
+and the Dropout layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.significance import holm_bonferroni
+from repro.core.clapf import CLAPF
+from repro.data.synthetic import SyntheticConfig, generate_synthetic_with_views
+from repro.data.split import train_test_split
+from repro.experiments.grid import random_search
+from repro.mf.sgd import SGDConfig
+from repro.models.mpr import MPR
+from repro.neural.autograd import Tensor
+from repro.neural.layers import Dropout
+from repro.utils.exceptions import ConfigError
+
+
+@pytest.fixture(scope="module")
+def dataset_with_views():
+    config = SyntheticConfig(n_users=80, n_items=120, density=0.06, latent_dim=3)
+    return generate_synthetic_with_views(config, seed=5, view_ratio=1.0)
+
+
+class TestSyntheticViews:
+    def test_views_disjoint_from_positives(self, dataset_with_views):
+        dataset, views = dataset_with_views
+        assert not dataset.interactions.intersects(views)
+
+    def test_view_counts_track_ratio(self, dataset_with_views):
+        dataset, views = dataset_with_views
+        ratio = views.n_interactions / dataset.n_interactions
+        assert 0.7 < ratio < 1.3
+
+    def test_views_have_higher_logits_than_random(self):
+        """Views are exposed items — they should skew toward the user's taste."""
+        config = SyntheticConfig(
+            n_users=50, n_items=200, density=0.05, latent_dim=3,
+            signal=10.0, popularity_weight=0.0, popularity_exponent=0.0,
+        )
+        from repro.data.synthetic import _generate
+        rng = np.random.default_rng(2)
+        _, views, truth = _generate(config, rng, view_ratio=1.0)
+        gaps = []
+        for user in range(50):
+            viewed = views.positives(user)
+            if not len(viewed):
+                continue
+            affinity = truth.affinity(user)
+            gaps.append(affinity[viewed].mean() - affinity.mean())
+        assert np.mean(gaps) > 0.05
+
+    def test_invalid_ratio(self):
+        config = SyntheticConfig(n_users=10, n_items=20, density=0.1)
+        with pytest.raises(ConfigError):
+            generate_synthetic_with_views(config, view_ratio=0.0)
+
+
+class TestMPRWithViews:
+    def test_uncertain_items_come_from_views(self, dataset_with_views):
+        dataset, views = dataset_with_views
+        split = train_test_split(dataset, seed=5)
+        # Views are disjoint from all positives, so they stay unobserved
+        # relative to the training matrix.
+        model = MPR(n_factors=4, view_data=views, sgd=SGDConfig(n_epochs=1), seed=0)
+        model.fit(split.train)
+        rng = np.random.default_rng(0)
+        batch = model._make_batch(400, rng)
+        from_views = sum(
+            1 for user, item in zip(batch.users, batch.pos_k)
+            if views.contains(int(user), int(item))
+        )
+        assert from_views > 350  # nearly all users have views
+
+    def test_view_mode_trains(self, dataset_with_views):
+        dataset, views = dataset_with_views
+        split = train_test_split(dataset, seed=5)
+        model = MPR(
+            n_factors=8, view_data=views,
+            sgd=SGDConfig(n_epochs=10, learning_rate=0.08), seed=0,
+        )
+        model.fit(split.train)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+
+class TestRandomSearch:
+    def test_draws_from_sequences_and_callables(self, learnable_split):
+        result = random_search(
+            lambda tradeoff, lr: CLAPF(
+                "map", tradeoff=tradeoff,
+                sgd=SGDConfig(n_epochs=4, learning_rate=lr), seed=0,
+            ),
+            {
+                "tradeoff": [0.0, 0.3, 0.6],
+                "lr": lambda rng: float(rng.uniform(0.02, 0.1)),
+            },
+            learnable_split,
+            n_iterations=4,
+            seed=1,
+        )
+        assert len(result.scores) == 4
+        assert result.best_params["tradeoff"] in (0.0, 0.3, 0.6)
+        assert 0.02 <= result.best_params["lr"] <= 0.1
+
+    def test_validation_required(self, learnable_dataset):
+        split = train_test_split(learnable_dataset, validation_per_user=0, seed=0)
+        with pytest.raises(ConfigError):
+            random_search(lambda: None, {"x": [1]}, split)
+
+    def test_invalid_iterations(self, learnable_split):
+        with pytest.raises(ConfigError):
+            random_search(lambda: None, {"x": [1]}, learnable_split, n_iterations=0)
+
+
+class TestHolmBonferroni:
+    def test_all_tiny_pvalues_significant(self):
+        decisions = holm_bonferroni({"a": 1e-6, "b": 1e-5, "c": 1e-4})
+        assert all(decisions.values())
+
+    def test_step_down_blocks_later_hypotheses(self):
+        decisions = holm_bonferroni({"a": 0.001, "b": 0.04, "c": 0.9}, level=0.05)
+        assert decisions["a"] is True
+        # b: threshold 0.05/2 = 0.025 < 0.04 -> rejected, and c after it.
+        assert decisions["b"] is False
+        assert decisions["c"] is False
+
+    def test_empty(self):
+        assert holm_bonferroni({}) == {}
+
+
+class TestDropout:
+    def test_inactive_by_default(self):
+        layer = Dropout(0.5, seed=0)
+        x = Tensor(np.ones((4, 4)))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_training_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, seed=0).train()
+        x = Tensor(np.ones((200, 50)))
+        out = layer(x).data
+        zero_fraction = np.mean(out == 0.0)
+        assert 0.4 < zero_fraction < 0.6
+        surviving = out[out != 0]
+        assert np.allclose(surviving, 2.0)  # 1 / (1 - 0.5)
+
+    def test_eval_restores_identity(self):
+        layer = Dropout(0.5, seed=0).train().eval()
+        x = Tensor(np.ones(10))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_gradient_flows_through_mask(self):
+        layer = Dropout(0.5, seed=0).train()
+        x = Tensor(np.ones(100), requires_grad=True)
+        layer(x).sum().backward()
+        # Gradient equals the mask scaling: 0 or 2.
+        assert set(np.unique(x.grad)).issubset({0.0, 2.0})
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            Dropout(1.0)
