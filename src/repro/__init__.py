@@ -48,6 +48,8 @@ from repro.sampling import (
     DoubleSampler,
     DynamicNegativeSampler,
     UniformSampler,
+    make_sampler,
+    sampler_names,
 )
 
 __version__ = "1.0.0"
@@ -87,5 +89,7 @@ __all__ = [
     "DoubleSampler",
     "DynamicNegativeSampler",
     "UniformSampler",
+    "make_sampler",
+    "sampler_names",
     "__version__",
 ]

@@ -32,6 +32,7 @@ from repro.data.loaders import load_pairs, save_pairs
 from repro.data.profiles import DATASET_PROFILES, make_profile_dataset
 from repro.data.split import train_test_split
 from repro.metrics.evaluator import evaluate_model
+from repro.sampling import SAMPLER_REGISTRY
 from repro.utils.exceptions import ReproError
 from repro.utils.tables import format_table
 
@@ -91,11 +92,15 @@ def cmd_train(args) -> int:
     dataset = _load_dataset(args)
     split = train_test_split(dataset, seed=args.seed)
     scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
-    model = make_model(args.method, scale=scale, dataset=args.profile, seed=args.seed)
+    model = make_model(
+        args.method, scale=scale, dataset=args.profile, seed=args.seed, sampler=args.sampler
+    )
     print(f"training {model.name} on {dataset.name} "
           f"({split.train.n_interactions} train pairs, {args.epochs} epochs)...")
     model.fit(split.train, split.validation)
-    result = evaluate_model(model, split, ks=(5,))
+    result = evaluate_model(
+        model, split, ks=(5,), chunk_size=args.chunk_size, n_jobs=args.n_jobs
+    )
     for key in ("precision@5", "recall@5", "f1@5", "1-call@5", "ndcg@5", "map", "mrr", "auc"):
         print(f"  {key:12s} {result[key]:.4f}")
     if args.save:
@@ -199,6 +204,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(train)
     train.add_argument("--method", default="CLAPF-MAP")
     train.add_argument("--epochs", type=int, default=60)
+    train.add_argument(
+        "--sampler",
+        default=None,
+        choices=sorted(SAMPLER_REGISTRY),
+        help="tuple sampler override for the SGD models (default: the method's own)",
+    )
+    train.add_argument(
+        "--chunk-size", type=int, default=1024, help="users scored per predict_batch call"
+    )
+    train.add_argument(
+        "--n-jobs", type=int, default=1, help="evaluation worker threads (-1 = all cores)"
+    )
     train.add_argument("--save", type=Path, help="save the trained factor model (.npz)")
     train.set_defaults(func=cmd_train)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.mf.sgd import RegularizationConfig, SGDConfig
+from repro.utils.exceptions import ConfigError
 from repro.utils.validation import check_positive
 
 
@@ -30,6 +31,10 @@ class ExperimentScale:
         Independent split copies to average over (paper uses 5).
     seed:
         Root seed for data generation and splits.
+    sampler_spec:
+        Optional tuple-sampler spec (see
+        :func:`repro.sampling.make_sampler`) overriding each SGD
+        model's default sampler.
     """
 
     dataset_scale: float = 1.0
@@ -39,6 +44,7 @@ class ExperimentScale:
     learning_rate: float = 0.08
     regularization: float = 0.01
     seed: int = 20230410
+    sampler_spec: str | None = None
 
     def __post_init__(self):
         check_positive(self.dataset_scale, "dataset_scale")
@@ -47,6 +53,14 @@ class ExperimentScale:
         check_positive(self.repeats, "repeats")
         check_positive(self.learning_rate, "learning_rate")
         check_positive(self.regularization, "regularization", strict=False)
+        if self.sampler_spec is not None:
+            from repro.sampling import sampler_names
+
+            if self.sampler_spec not in sampler_names():
+                raise ConfigError(
+                    f"unknown sampler_spec {self.sampler_spec!r}; "
+                    f"known specs: {', '.join(sampler_names())}"
+                )
 
     @classmethod
     def quick(cls) -> "ExperimentScale":
@@ -64,3 +78,16 @@ class ExperimentScale:
 
     def reg_config(self) -> RegularizationConfig:
         return RegularizationConfig.uniform(self.regularization)
+
+    def make_training_sampler(self, **kwargs):
+        """Build the configured tuple sampler via the string registry.
+
+        Returns ``None`` when no ``sampler_spec`` is set, letting each
+        model fall back to its own default (uniform for BPR/MPR, the
+        tuned DSS for CLAPF+).
+        """
+        if self.sampler_spec is None:
+            return None
+        from repro.sampling import make_sampler
+
+        return make_sampler(self.sampler_spec, **kwargs)

@@ -17,7 +17,7 @@ from repro.mf.sgd import SGDConfig
 from repro.models import BPR, GBPR, MPR, WMF, CLiMF, ItemKNN, PopRank, RandomWalk
 from repro.models.base import Recommender
 from repro.neural import GMF, DeepICF, MLPRec, NeuMF, NeuPR
-from repro.sampling.dss import DoubleSampler
+from repro.sampling import Sampler, make_sampler
 from repro.utils.exceptions import ConfigError
 
 # Tuned lambda per dataset from Table 2 (rows "CLAPF (lambda=...)").
@@ -67,6 +67,17 @@ def tradeoff_for(dataset: str, metric: str) -> float:
     return PAPER_TRADEOFFS.get(base_name, _DEFAULT_TRADEOFFS)[metric]
 
 
+def _resolve_sampler(
+    sampler: str | Sampler | None,
+    scale: ExperimentScale,
+    default: Sampler | None = None,
+) -> Sampler | None:
+    """Sampler priority: explicit arg > scale.sampler_spec > model default."""
+    if sampler is None:
+        return scale.make_training_sampler() or default
+    return make_sampler(sampler)
+
+
 def make_model(
     name: str,
     *,
@@ -74,6 +85,7 @@ def make_model(
     dataset: str = "",
     seed=None,
     epoch_callback=None,
+    sampler: str | Sampler | None = None,
 ) -> Recommender:
     """Build one Table-2 method by name with paper-tuned settings.
 
@@ -86,11 +98,17 @@ def make_model(
         :meth:`ExperimentScale.paper`.
     dataset:
         Dataset (profile) name used to look up the tuned lambda.
+    sampler:
+        Optional tuple-sampler override for the SGD models: a spec
+        string for :func:`repro.sampling.make_sampler` (``"uniform"``,
+        ``"dss"``, ``"aobpr"``, ...) or a constructed sampler.  Ignored
+        by the non-SGD baselines.
     """
     scale = scale or ExperimentScale.paper()
     sgd = scale.sgd_config()
     reg = scale.reg_config()
     mf_kwargs = dict(n_factors=20, sgd=sgd, reg=reg, seed=seed, epoch_callback=epoch_callback)
+    tuple_kwargs = dict(sampler=_resolve_sampler(sampler, scale), **mf_kwargs)
     neural_kwargs = dict(
         embedding_dim=16,
         n_epochs=scale.neural_epochs,
@@ -106,9 +124,9 @@ def make_model(
     if name == "WMF":
         return WMF(n_factors=20, weight=10.0, reg=0.1, n_iterations=15, seed=seed)
     if name == "BPR":
-        return BPR(**mf_kwargs)
+        return BPR(**tuple_kwargs)
     if name == "MPR":
-        return MPR(tradeoff=0.5, **mf_kwargs)
+        return MPR(tradeoff=0.5, **tuple_kwargs)
     if name == "CLiMF":
         # CLiMF has no sampler; reuse the schedule without batch options.
         return CLiMF(n_factors=20, sgd=sgd, reg=reg, seed=seed, epoch_callback=epoch_callback)
@@ -129,14 +147,14 @@ def make_model(
     if name in ("CLAPF-MAP", "CLAPF-MRR", "CLAPF+-MAP", "CLAPF+-MRR"):
         metric = "map" if name.endswith("MAP") else "mrr"
         tradeoff = tradeoff_for(dataset, metric)
-        sampler = DoubleSampler(metric) if "+" in name else None
-        return CLAPF(metric, tradeoff=tradeoff, sampler=sampler, **mf_kwargs)
+        default = make_sampler("dss", mode=metric) if "+" in name else None
+        resolved = _resolve_sampler(sampler, scale, default)
+        return CLAPF(metric, tradeoff=tradeoff, sampler=resolved, **mf_kwargs)
     if name == "CLAPF-NDCG":
-        return CLAPFNDCG(tradeoff=tradeoff_for(dataset, "map"), **mf_kwargs)
+        return CLAPFNDCG(tradeoff=tradeoff_for(dataset, "map"), **tuple_kwargs)
     if name == "CLAPF+-NDCG":
-        return CLAPFNDCG(
-            tradeoff=tradeoff_for(dataset, "map"), sampler=DoubleSampler("map"), **mf_kwargs
-        )
+        resolved = _resolve_sampler(sampler, scale, make_sampler("dss", mode="map"))
+        return CLAPFNDCG(tradeoff=tradeoff_for(dataset, "map"), sampler=resolved, **mf_kwargs)
     raise ConfigError(
         f"unknown method {name!r}; known: "
         f"{TABLE2_METHODS + EXTRA_METHODS}"

@@ -55,35 +55,54 @@ class MethodResult:
 
 
 def run_method(
-    factory: ModelFactory,
+    factory: ModelFactory | Recommender,
     splits: Sequence[DatasetSplit],
     *,
     name: str | None = None,
     ks: Sequence[int] = (5,),
     max_users: int | None = None,
     time_budget_seconds: float | None = None,
+    chunk_size: int = 1024,
+    n_jobs: int | None = None,
 ) -> MethodResult:
     """Fit and evaluate one method on every split, aggregating metrics.
 
     ``factory(repeat_index)`` must build a *fresh* model per repeat (use
-    the index to vary the seed).  With ``time_budget_seconds``, a method
-    whose cumulative training time exceeds the budget is reported as
-    timed out (the paper's ``-`` rows for CLiMF/RandomWalk on the large
-    datasets); the check runs between repeats, so the budget bounds
-    when no further repeat is *started*, not a hard kill.
+    the index to vary the seed).  Alternatively, pass an already-fitted
+    :class:`~repro.models.base.Recommender` — it is evaluated as-is on
+    every split (the serving-path case: score a frozen model against
+    several test folds) with a training time of zero.  With
+    ``time_budget_seconds``, a method whose cumulative training time
+    exceeds the budget is reported as timed out (the paper's ``-`` rows
+    for CLiMF/RandomWalk on the large datasets); the check runs between
+    repeats, so the budget bounds when no further repeat is *started*,
+    not a hard kill.  ``chunk_size`` and ``n_jobs`` feed the batched
+    evaluator.
     """
     if not splits:
         raise ConfigError("at least one split is required")
+    fitted: Recommender | None = None
+    if isinstance(factory, Recommender):
+        fitted = factory
+        if not fitted.is_fitted:
+            raise ConfigError(
+                f"{fitted.name} is not fitted; pass a factory(repeat) -> Recommender "
+                "for models that still need training"
+            )
     per_repeat: list[dict[str, float]] = []
     times: list[float] = []
     display_name = name
     for repeat, split in enumerate(splits):
-        model = factory(repeat)
+        if fitted is not None:
+            model = fitted
+            times.append(0.0)
+        else:
+            model = factory(repeat)
+            start = time.perf_counter()
+            model.fit(split.train, split.validation)
+            times.append(time.perf_counter() - start)
         if display_name is None:
             display_name = model.name
-        start = time.perf_counter()
-        model.fit(split.train, split.validation)
-        times.append(time.perf_counter() - start)
         if time_budget_seconds is not None and sum(times) > time_budget_seconds:
             return MethodResult(
                 name=display_name,
@@ -93,7 +112,9 @@ def run_method(
                 n_repeats=repeat + 1,
                 timed_out=True,
             )
-        evaluator = Evaluator(split, ks=ks, max_users=max_users, seed=repeat)
+        evaluator = Evaluator(
+            split, ks=ks, max_users=max_users, seed=repeat, chunk_size=chunk_size, n_jobs=n_jobs
+        )
         per_repeat.append(evaluator.evaluate(model).metrics)
 
     keys = per_repeat[0].keys()
@@ -110,14 +131,24 @@ def run_method(
 
 
 def run_methods(
-    factories: dict[str, ModelFactory],
+    factories: dict[str, ModelFactory | Recommender],
     splits: Sequence[DatasetSplit],
     *,
     ks: Sequence[int] = (5,),
     max_users: int | None = None,
+    chunk_size: int = 1024,
+    n_jobs: int | None = None,
 ) -> dict[str, MethodResult]:
-    """Run every named method over the same splits."""
+    """Run every named method (factory or fitted model) over the same splits."""
     return {
-        name: run_method(factory, splits, name=name, ks=ks, max_users=max_users)
+        name: run_method(
+            factory,
+            splits,
+            name=name,
+            ks=ks,
+            max_users=max_users,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
         for name, factory in factories.items()
     }

@@ -14,6 +14,13 @@ from repro.metrics.beyond_accuracy import (
 )
 from repro.metrics.evaluator import EvaluationResult, Evaluator, evaluate_model
 from repro.metrics.propensity import item_propensities, unbiased_evaluate
+from repro.metrics.scoring import (
+    as_batch_scorer,
+    linear_scores,
+    positives_mask,
+    ranking_orders,
+    topk_from_matrix,
+)
 from repro.metrics.ranking import (
     area_under_curve,
     average_precision,
@@ -40,6 +47,11 @@ __all__ = [
     "evaluate_model",
     "item_propensities",
     "unbiased_evaluate",
+    "as_batch_scorer",
+    "linear_scores",
+    "positives_mask",
+    "ranking_orders",
+    "topk_from_matrix",
     "area_under_curve",
     "average_precision",
     "mean_metric",

@@ -5,6 +5,17 @@ The paper evaluates by ranking *all* unobserved items per user (not a
 over users with at least one test positive.  Training (and validation)
 positives are excluded from the candidate set; test positives are the
 relevant items.
+
+Evaluation runs on the batched scoring engine
+(:mod:`repro.metrics.scoring`): users are processed in chunks through
+``predict_batch``, candidate/relevance masks are built per chunk with a
+vectorized CSR scatter, top-k comes from a row-wise ``argpartition``,
+and the rank-biased metrics (MAP/MRR/AUC) derive from integer candidate
+ranks computed by sort + ``searchsorted``.  Every kernel is
+chunk-invariant, so the chunked (and ``n_jobs``-threaded) path
+reproduces the sequential per-user protocol bitwise — asserted by
+``evaluate_sequential``, the original per-user loop kept as the
+reference implementation.
 """
 
 from __future__ import annotations
@@ -15,7 +26,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.dataset import DatasetSplit
-from repro.metrics import ranking, topk
+from repro.metrics import ranking, scoring, topk
 from repro.utils.exceptions import ConfigError, DataError
 from repro.utils.rng import as_generator
 
@@ -53,6 +64,7 @@ class EvaluationResult:
 
 
 def _score_function(model) -> ScoreFunction:
+    """Legacy per-user adapter used by :meth:`Evaluator.evaluate_sequential`."""
     if callable(getattr(model, "predict_user", None)):
         return model.predict_user
     if callable(model):
@@ -64,6 +76,11 @@ def _score_function(model) -> ScoreFunction:
 
 class Evaluator:
     """Evaluates a model on one :class:`~repro.data.DatasetSplit`.
+
+    ``evaluate`` accepts a fitted :class:`~repro.models.base.Recommender`
+    (preferred — its ``predict_batch`` drives the chunked engine), any
+    object with ``predict_user``, or (deprecated) a bare ``user ->
+    scores`` callable.
 
     Parameters
     ----------
@@ -86,6 +103,14 @@ class Evaluator:
         that the paper explicitly rejects in Section 6.3.  Provided so
         the distortion can be measured; the paper's protocol is the
         default (``None`` = rank everything).
+    chunk_size:
+        Users scored per ``predict_batch`` call.  Any value yields the
+        same metrics bitwise; it only trades memory (``chunk_size *
+        n_items`` floats) against batching efficiency.
+    n_jobs:
+        Worker threads sharding chunks; ``-1`` uses all cores.  Results
+        are independent of ``n_jobs`` (chunks are independent and every
+        kernel is chunk-invariant).
     """
 
     def __init__(
@@ -98,6 +123,8 @@ class Evaluator:
         keep_per_user: bool = False,
         use_validation_as_relevant: bool = False,
         sampled_candidates: int | None = None,
+        chunk_size: int = 1024,
+        n_jobs: int | None = None,
     ):
         if not ks:
             raise ConfigError("ks must contain at least one cutoff")
@@ -107,11 +134,15 @@ class Evaluator:
             raise ConfigError(f"max_users must be >= 1, got {max_users}")
         if sampled_candidates is not None and sampled_candidates < 1:
             raise ConfigError(f"sampled_candidates must be >= 1, got {sampled_candidates}")
+        if chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
         self.split = split
         self.ks = tuple(int(k) for k in ks)
         self.keep_per_user = keep_per_user
         self.use_validation_as_relevant = use_validation_as_relevant
         self.sampled_candidates = sampled_candidates
+        self.chunk_size = int(chunk_size)
+        self.n_jobs = scoring.resolve_n_jobs(n_jobs)
         if use_validation_as_relevant and split.validation is None:
             raise DataError("split has no validation set")
 
@@ -153,8 +184,164 @@ class Evaluator:
         restricted[sampled] = True
         return restricted
 
+    def _restricted_masks(self) -> dict[int, np.ndarray]:
+        """Pre-draw the NCF candidate subsamples, sequentially per user.
+
+        The draws consume ``self._candidate_rng`` in user order — the
+        exact stream the sequential evaluator uses — so the chunked
+        (possibly threaded) pass stays deterministic.
+        """
+        restricted: dict[int, np.ndarray] = {}
+        for user in self.users:
+            relevant = self._relevant_source.positives(int(user))
+            mask = self._candidate_mask(int(user))
+            relevant = relevant[mask[relevant]]
+            if len(relevant) == 0:
+                continue  # skipped users draw nothing, matching the sequential loop
+            restricted[int(user)] = self._subsample_candidates(mask, relevant)
+        return restricted
+
+    # ------------------------------------------------------------------
+    # Batched protocol
+    # ------------------------------------------------------------------
     def evaluate(self, model) -> EvaluationResult:
         """Run the protocol for ``model`` and return aggregated metrics."""
+        scorer = scoring.as_batch_scorer(model)
+        keys = self.metric_keys()
+        restricted = self._restricted_masks() if self.sampled_candidates is not None else None
+        chunks = scoring.iter_user_chunks(self.users, self.chunk_size)
+        chunk_results = scoring.map_chunks(
+            lambda chunk: self._evaluate_chunk(scorer, chunk, restricted),
+            chunks,
+            self.n_jobs,
+        )
+
+        accum = {
+            key: (
+                np.concatenate([result[key] for result in chunk_results])
+                if chunk_results
+                else np.zeros(0)
+            )
+            for key in keys
+        }
+        n_users = len(accum["map"])
+        metrics = {key: ranking.mean_metric(values) for key, values in accum.items()}
+        per_user = dict(accum) if self.keep_per_user else None
+        return EvaluationResult(metrics=metrics, n_users=n_users, per_user=per_user)
+
+    def _evaluate_chunk(
+        self,
+        scorer: scoring.BatchScoreFunction,
+        chunk_users: np.ndarray,
+        restricted: dict[int, np.ndarray] | None,
+    ) -> dict[str, np.ndarray]:
+        """All metrics for one chunk of users, in user order."""
+        split = self.split
+        n_items = split.n_items
+        scores = np.asarray(scorer(chunk_users), dtype=np.float64)
+        if scores.shape != (len(chunk_users), n_items):
+            raise DataError(
+                f"batch scorer returned shape {scores.shape} for {len(chunk_users)} users, "
+                f"expected ({len(chunk_users)}, {n_items})"
+            )
+
+        relevant = scoring.positives_mask(self._relevant_source, chunk_users)
+        excluded = scoring.positives_mask(split.train, chunk_users)
+        if split.validation is not None and not self.use_validation_as_relevant:
+            excluded = scoring.positives_mask(split.validation, chunk_users, out=excluded)
+        candidates = ~excluded
+        relevant &= candidates
+
+        keep = relevant.sum(axis=1) > 0
+        chunk_users = chunk_users[keep]
+        if not len(chunk_users):
+            return {key: np.zeros(0) for key in self.metric_keys()}
+        scores = scores[keep]
+        relevant = relevant[keep]
+        candidates = candidates[keep]
+        if restricted is not None:
+            candidates = np.stack([restricted[int(user)] for user in chunk_users])
+        n_relevant = relevant.sum(axis=1)
+        n_candidates = candidates.sum(axis=1)
+        n_rows = len(chunk_users)
+
+        masked = np.where(candidates, scores, -np.inf)
+        k_max = max(self.ks)
+        ranked = scoring.topk_from_matrix(masked, k_max)  # (B, width)
+        width = ranked.shape[1]
+        hit_at = np.take_along_axis(relevant, ranked, axis=1)
+        cum_hits = np.cumsum(hit_at, axis=1)
+        discounts = 1.0 / np.log2(np.arange(2, width + 2))
+        idcg_cache: dict[int, float] = {}
+
+        out: dict[str, np.ndarray] = {}
+        for k in self.ks:
+            kk = min(k, width)
+            hits = cum_hits[:, kk - 1]
+            precision = hits / k
+            recall = hits / n_relevant
+            denominator = precision + recall
+            safe = np.where(denominator > 0.0, denominator, 1.0)
+            out[f"precision@{k}"] = precision
+            out[f"recall@{k}"] = recall
+            out[f"f1@{k}"] = np.where(
+                denominator > 0.0, 2.0 * precision * recall / safe, 0.0
+            )
+            out[f"1-call@{k}"] = np.where(hits > 0, 1.0, 0.0)
+            # NDCG keeps a tiny per-user dot product: each user's DCG is
+            # the same np.dot the scalar metric computes, so the values
+            # (not just their sum) match the sequential path bitwise.
+            gains = hit_at[:, :kk].astype(np.float64)
+            head_discounts = discounts[:kk]
+            ndcg = np.empty(n_rows)
+            for row in range(n_rows):
+                dcg = float(gains[row] @ head_discounts)
+                ideal = min(k, int(n_relevant[row]))
+                idcg = idcg_cache.get(ideal)
+                if idcg is None:
+                    idcg = float(np.sum(1.0 / np.log2(np.arange(2, ideal + 2))))
+                    idcg_cache[ideal] = idcg
+                ndcg[row] = min(dcg / idcg, 1.0)
+            out[f"ndcg@{k}"] = ndcg
+
+        # Rank-biased metrics from integer candidate ranks.
+        rel_rows, rel_items = np.nonzero(relevant)
+        ranks = scoring.candidate_ranks(masked, rel_rows, rel_items, candidate_mask=candidates)
+        segment_starts = np.searchsorted(rel_rows, np.arange(n_rows))
+        segment_stops = np.searchsorted(rel_rows, np.arange(n_rows), side="right")
+        ap = np.empty(n_rows)
+        mrr = np.empty(n_rows)
+        auc = np.empty(n_rows)
+        for row in range(n_rows):
+            row_ranks = ranks[segment_starts[row] : segment_stops[row]]
+            ranks_sorted = np.sort(row_ranks)
+            precisions = np.arange(1, len(ranks_sorted) + 1, dtype=np.float64) / ranks_sorted
+            ap[row] = float(precisions.mean())
+            mrr[row] = float(1.0 / row_ranks.min())
+            n_pos = len(row_ranks)
+            n_neg = int(n_candidates[row]) - n_pos
+            if n_neg <= 0:
+                auc[row] = 0.0
+            else:
+                positives_below = n_pos - 1 - np.arange(n_pos)
+                correct = np.sum((int(n_candidates[row]) - ranks_sorted) - positives_below)
+                auc[row] = float(correct) / (n_pos * n_neg)
+        out["map"] = ap
+        out["mrr"] = mrr
+        out["auc"] = auc
+        return out
+
+    # ------------------------------------------------------------------
+    # Sequential reference implementation
+    # ------------------------------------------------------------------
+    def evaluate_sequential(self, model) -> EvaluationResult:
+        """The original per-user protocol, kept as the reference path.
+
+        One ``predict_user`` call and one full candidate ranking per
+        user.  :meth:`evaluate` must (and, per the property tests, does)
+        reproduce its metrics bitwise; benchmarks measure their speed
+        ratio.
+        """
         score_fn = _score_function(model)
         keys = self.metric_keys()
         accum: dict[str, list[float]] = {key: [] for key in keys}
@@ -204,6 +391,10 @@ def evaluate_model(
     ks: Sequence[int] = (5,),
     max_users: int | None = None,
     seed=None,
+    chunk_size: int = 1024,
+    n_jobs: int | None = None,
 ) -> EvaluationResult:
     """Convenience wrapper: evaluate ``model`` on ``split`` in one call."""
-    return Evaluator(split, ks=ks, max_users=max_users, seed=seed).evaluate(model)
+    return Evaluator(
+        split, ks=ks, max_users=max_users, seed=seed, chunk_size=chunk_size, n_jobs=n_jobs
+    ).evaluate(model)

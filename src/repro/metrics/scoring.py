@@ -1,0 +1,260 @@
+"""Batched scoring engine: deterministic chunked kernels for ranking.
+
+This module is the shared substrate behind the full-ranking
+:class:`~repro.metrics.evaluator.Evaluator`, ``validation_ndcg`` early
+stopping, ``recommend_batch`` serving, the DSS factor-ranking refresh
+and fold-in scoring.  Everything here obeys one contract:
+
+    **chunk invariance** — for any row ``r``, the result computed in a
+    batch of ``B`` rows is bitwise identical to the result computed for
+    ``r`` alone.
+
+That property is what lets the evaluator shard users into chunks (and
+across threads) while reproducing the sequential per-user protocol
+*exactly*, not approximately.  It rules out straight GEMM for the
+``U V^T`` score matrix: BLAS blocks the reduction differently depending
+on the number of rows, so ``(U[users] @ V.T)[0]`` need not equal
+``U[users[0]] @ V.T`` in the last bits.  ``np.einsum`` with
+``optimize=False`` runs a fixed-order reduction per output element and
+is batch-size invariant, which is why :func:`linear_scores` is the one
+factor-scoring kernel in the library.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.utils.exceptions import ConfigError
+
+BatchScoreFunction = Callable[[np.ndarray], np.ndarray]
+"""``f(users) -> (len(users), n_items)`` score matrix."""
+
+LEGACY_CALLABLE_MESSAGE = (
+    "passing a bare per-user score callable is deprecated; pass a fitted "
+    "Recommender (or any object exposing predict_batch(users) or "
+    "predict_user(user)) so the batched scoring path can be used"
+)
+
+
+# ----------------------------------------------------------------------
+# Scoring kernels
+# ----------------------------------------------------------------------
+def linear_scores(
+    user_vectors: np.ndarray,
+    item_factors: np.ndarray,
+    item_bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched ``U V^T (+ b)`` with a chunk-invariant reduction.
+
+    Parameters
+    ----------
+    user_vectors:
+        ``(B, d)`` user vectors (or a single ``(d,)`` vector).
+    item_factors:
+        ``(n_items, d)`` item matrix ``V``.
+    item_bias:
+        Optional ``(n_items,)`` bias added to every row.
+
+    Returns the ``(B, n_items)`` score matrix (``(n_items,)`` for a
+    single vector).  Uses ``einsum(optimize=False)`` rather than GEMM so
+    each output row is bitwise independent of the batch it was computed
+    in — see the module docstring.
+    """
+    user_vectors = np.asarray(user_vectors)
+    single = user_vectors.ndim == 1
+    if single:
+        user_vectors = user_vectors[None, :]
+    scores = np.einsum("bd,id->bi", user_vectors, item_factors, optimize=False)
+    if item_bias is not None:
+        scores += item_bias
+    return scores[0] if single else scores
+
+
+def as_batch_scorer(model, *, warn_legacy: bool = True) -> BatchScoreFunction:
+    """Adapt ``model`` to a ``users -> (B, n_items)`` scoring function.
+
+    Accepted, in order of preference:
+
+    1. an object with ``predict_batch(users)`` (the Recommender API) —
+       used directly;
+    2. an object with ``predict_user(user)`` — wrapped in a stacking
+       adapter (one Python call per user; correct but slow);
+    3. a bare callable ``user -> scores`` — same adapter, plus a
+       :class:`DeprecationWarning` (silenced with ``warn_legacy=False``).
+    """
+    predict_batch = getattr(model, "predict_batch", None)
+    if callable(predict_batch):
+        return predict_batch
+    predict_user = getattr(model, "predict_user", None)
+    if callable(predict_user):
+        return _stacking_adapter(predict_user)
+    if callable(model):
+        if warn_legacy:
+            warnings.warn(LEGACY_CALLABLE_MESSAGE, DeprecationWarning, stacklevel=3)
+        return _stacking_adapter(model)
+    raise ConfigError(
+        f"model {model!r} is not evaluable: needs predict_batch(users), "
+        "a predict_user(user) method, or to be callable"
+    )
+
+
+def _stacking_adapter(predict_user: Callable[[int], np.ndarray]) -> BatchScoreFunction:
+    def scorer(users: np.ndarray) -> np.ndarray:
+        return np.stack([np.asarray(predict_user(int(user)), dtype=np.float64) for user in users])
+
+    return scorer
+
+
+# ----------------------------------------------------------------------
+# Chunking / parallelism
+# ----------------------------------------------------------------------
+def iter_user_chunks(users: np.ndarray, chunk_size: int) -> list[np.ndarray]:
+    """Split ``users`` into consecutive chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+    users = np.asarray(users, dtype=np.int64)
+    return [users[start : start + chunk_size] for start in range(0, len(users), chunk_size)]
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob: ``None``/1 serial, ``-1`` = all cores."""
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ConfigError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
+def map_chunks(fn: Callable, chunks: Sequence, n_jobs: int | None = None) -> list:
+    """``[fn(c) for c in chunks]``, optionally on a thread pool.
+
+    Results come back in input order.  Threads (not processes) because
+    the heavy work — einsum, argpartition, sparse matmul — runs in C
+    with the GIL released, and the model parameters are shared read-only
+    without pickling.  Each chunk is independent and every kernel is
+    chunk-invariant, so the result is identical for any ``n_jobs``.
+    """
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs == 1 or len(chunks) <= 1:
+        return [fn(chunk) for chunk in chunks]
+    with ThreadPoolExecutor(max_workers=min(n_jobs, len(chunks))) as pool:
+        return list(pool.map(fn, chunks))
+
+
+# ----------------------------------------------------------------------
+# Mask / top-k / rank primitives on a chunk matrix
+# ----------------------------------------------------------------------
+def positives_mask(
+    matrix: InteractionMatrix,
+    users: np.ndarray,
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean ``(len(users), n_items)`` matrix of each user's positives.
+
+    Vectorized CSR scatter: no per-user Python loop.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    if out is None:
+        out = np.zeros((len(users), matrix.n_items), dtype=bool)
+    counts = matrix.user_counts()[users]
+    total = int(counts.sum())
+    if total:
+        row_ids = np.repeat(np.arange(len(users), dtype=np.int64), counts)
+        # Offset of each interaction inside its own user's row.
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        flat = matrix.indices[np.repeat(matrix.indptr[users], counts) + offsets]
+        out[row_ids, flat] = True
+    return out
+
+
+def topk_from_matrix(scores: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise top-``k`` item ids, best first, ties broken by item id.
+
+    Exactly :func:`repro.metrics.topk.top_k_items` applied to each row
+    (argpartition, then a stable sort of the ``k`` survivors); excluded
+    items are expected to already be ``-inf`` in ``scores``.
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    k = min(k, scores.shape[1])
+    top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    top_scores = np.take_along_axis(scores, top, axis=1)
+    order = np.argsort(-top_scores, axis=1, kind="stable")
+    return np.take_along_axis(top, order, axis=1)
+
+
+def candidate_ranks(
+    masked_scores: np.ndarray,
+    rows: np.ndarray,
+    items: np.ndarray,
+    *,
+    candidate_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """1-based ranks of ``(rows[t], items[t])`` among each row's candidates.
+
+    ``masked_scores`` is the chunk score matrix with non-candidates set
+    to ``-inf``; ``rows`` must be sorted ascending (as produced by
+    ``np.nonzero`` on a mask).  Reproduces
+    :func:`repro.metrics.ranking.rank_of_items` — descending score,
+    stable tie-break by item id — without the per-user full argsort:
+    a row sort plus two ``searchsorted`` calls give the count of
+    strictly-greater candidates and the tie width; only genuinely tied
+    entries pay for an exact tie-position count.
+
+    ``candidate_mask`` is only consulted in the (rare) tie fix-up, to
+    keep ``-inf``-scoring *candidates* distinguishable from excluded
+    items (both sit at ``-inf`` in ``masked_scores``).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    items = np.asarray(items, dtype=np.int64)
+    n_items = masked_scores.shape[1]
+    values = masked_scores[rows, items]
+    sorted_rows = np.sort(masked_scores, axis=1)
+
+    greater = np.empty(len(rows), dtype=np.int64)
+    tie_width = np.empty(len(rows), dtype=np.int64)
+    boundaries = np.flatnonzero(np.diff(rows)) + 1
+    starts = np.concatenate(([0], boundaries))
+    stops = np.concatenate((boundaries, [len(rows)]))
+    for start, stop in zip(starts, stops):
+        if start == stop:
+            continue
+        row_sorted = sorted_rows[rows[start]]
+        segment = values[start:stop]
+        right = np.searchsorted(row_sorted, segment, side="right")
+        left = np.searchsorted(row_sorted, segment, side="left")
+        greater[start:stop] = n_items - right
+        tie_width[start:stop] = right - left
+
+    ranks = greater + 1
+    for t in np.flatnonzero(tie_width > 1):
+        row, item, value = rows[t], items[t], values[t]
+        tied_before = masked_scores[row, :item] == value
+        if candidate_mask is not None:
+            tied_before &= candidate_mask[row, :item]
+        ranks[t] += np.count_nonzero(tied_before)
+    return ranks
+
+
+def ranking_orders(keys: np.ndarray, *, descending: bool = True) -> np.ndarray:
+    """Row-wise stable ranking: ``orders[r]`` sorts ``keys[r]``.
+
+    Descending by default, ties broken by index — the ordering contract
+    shared by the evaluator and the AoBPR/DSS factor-ranking caches.
+    """
+    keys = np.asarray(keys)
+    if descending:
+        keys = -keys
+    return np.argsort(keys, axis=1, kind="stable")

@@ -6,7 +6,12 @@ package provides the parameter store, numerically stable logistic
 helpers, and the SGD configuration shared by BPR, MPR, CLiMF and CLAPF.
 """
 
-from repro.mf.fold_in import FoldInResult, fold_in_user_bpr, fold_in_user_ridge
+from repro.mf.fold_in import (
+    FoldInResult,
+    fold_in_user_bpr,
+    fold_in_user_ridge,
+    fold_in_users_ridge,
+)
 from repro.mf.functional import log_sigmoid, sigmoid
 from repro.mf.params import FactorParams
 from repro.mf.similarity import item_similarity_matrix, similar_items, similar_users
@@ -16,6 +21,7 @@ __all__ = [
     "FoldInResult",
     "fold_in_user_bpr",
     "fold_in_user_ridge",
+    "fold_in_users_ridge",
     "EarlyStoppingConfig",
     "log_sigmoid",
     "sigmoid",

@@ -42,8 +42,14 @@ class FoldInResult:
     params: FactorParams
 
     def predict(self) -> np.ndarray:
-        """Scores over all items, ``u V^T + b``."""
-        return self.user_vector @ self.params.item_factors.T + self.params.item_bias
+        """Scores over all items, ``u V^T + b``.
+
+        Runs the engine's chunk-invariant kernel, so a folded-in user
+        scores identically whether queried alone or inside a batch.
+        """
+        from repro.metrics.scoring import linear_scores
+
+        return linear_scores(self.user_vector, self.params.item_factors, self.params.item_bias)
 
     def recommend(self, k: int = 5, *, exclude: np.ndarray | None = None) -> np.ndarray:
         """Top-k items, optionally excluding the fold-in positives."""
@@ -84,6 +90,39 @@ def fold_in_user_ridge(
     a = gram + weight * (observed.T @ observed)
     b = (1.0 + weight) * observed.sum(axis=0)
     return FoldInResult(user_vector=np.linalg.solve(a, b), params=params)
+
+
+def fold_in_users_ridge(
+    params: FactorParams,
+    positives_per_user,
+    *,
+    weight: float = 10.0,
+    reg: float = 0.1,
+) -> list[FoldInResult]:
+    """Ridge fold-in for many new users with one stacked linear solve.
+
+    Builds every user's ``(d, d)`` system and hands the whole stack to
+    one batched ``np.linalg.solve`` — the cohort-onboarding path (a
+    nightly batch of new users) that amortizes the LAPACK dispatch the
+    per-user :func:`fold_in_user_ridge` pays ``B`` times.  Returns one
+    :class:`FoldInResult` per input, aligned with ``positives_per_user``.
+    """
+    check_positive(weight, "weight")
+    check_positive(reg, "reg")
+    rows = [_check_positives(params, positives) for positives in positives_per_user]
+    if not rows:
+        return []
+    item_factors = params.item_factors
+    d = params.n_factors
+    gram = item_factors.T @ item_factors + reg * np.eye(d)
+    lhs = np.empty((len(rows), d, d))
+    rhs = np.empty((len(rows), d))
+    for t, positives in enumerate(rows):
+        observed = item_factors[positives]
+        lhs[t] = gram + weight * (observed.T @ observed)
+        rhs[t] = (1.0 + weight) * observed.sum(axis=0)
+    vectors = np.linalg.solve(lhs, rhs[:, :, None])[:, :, 0]
+    return [FoldInResult(user_vector=vector, params=params) for vector in vectors]
 
 
 def fold_in_user_bpr(

@@ -76,7 +76,20 @@ class FactorParams:
 
     def predict_user(self, user: int) -> np.ndarray:
         """Scores of ``user`` over all items: ``U_u V^T + b``."""
-        return self.user_factors[user] @ self.item_factors.T + self.item_bias
+        return self.predict_batch(np.asarray([user], dtype=np.int64))[0]
+
+    def predict_batch(self, users) -> np.ndarray:
+        """Scores of many users, shape ``(len(users), n_items)``.
+
+        Runs the chunk-invariant ``einsum`` kernel, so each row is
+        bitwise identical to :meth:`predict_user` for that user no
+        matter how users are batched — the contract the chunked
+        evaluator depends on.
+        """
+        from repro.metrics.scoring import linear_scores
+
+        users = np.asarray(users, dtype=np.int64)
+        return linear_scores(self.user_factors[users], self.item_factors, self.item_bias)
 
     def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Scores of aligned ``(users[t], items[t])`` pairs."""

@@ -26,7 +26,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.interactions import InteractionMatrix
-from repro.metrics.topk import ndcg_at_k, top_k_items
+from repro.metrics import scoring
 from repro.mf.functional import log_sigmoid, sigmoid
 from repro.mf.params import FactorParams
 from repro.mf.sgd import EarlyStoppingConfig, RegularizationConfig, SGDConfig
@@ -39,29 +39,49 @@ EpochCallback = Callable[["Recommender", int], None]
 
 
 def validation_ndcg(
-    predict_user: Callable[[int], np.ndarray],
+    model,
     train: InteractionMatrix,
     validation: InteractionMatrix,
     *,
     k: int = 5,
     max_users: int | None = None,
     seed: int = 0,
+    chunk_size: int = 2048,
 ) -> float:
     """Mean NDCG@k on the validation positives (train items excluded).
 
     A lightweight version of the full evaluator used for early stopping
-    and model selection inside training loops.
+    and model selection inside training loops.  ``model`` is anything
+    :func:`repro.metrics.scoring.as_batch_scorer` accepts — a fitted
+    recommender, :class:`~repro.mf.params.FactorParams`, or a bare
+    ``user -> scores`` callable; users are scored in batches of
+    ``chunk_size`` through the chunk-invariant engine, so the result
+    does not depend on the chunking.
     """
     users = np.flatnonzero(validation.user_counts() > 0)
     if max_users is not None and len(users) > max_users:
         users = np.sort(as_generator(seed).choice(users, size=max_users, replace=False))
     if len(users) == 0:
         return 0.0
+    scorer = scoring.as_batch_scorer(model, warn_legacy=False)
+    validation_counts = validation.user_counts()
+    idcg_cache: dict[int, float] = {}
     values = []
-    for user in users:
-        relevant = set(int(i) for i in validation.positives(int(user)))
-        ranked = top_k_items(predict_user(int(user)), k, exclude=train.positives(int(user)))
-        values.append(ndcg_at_k(ranked, relevant, k))
+    for chunk in scoring.iter_user_chunks(users, chunk_size):
+        scores = np.asarray(scorer(chunk), dtype=np.float64)
+        masked = np.where(scoring.positives_mask(train, chunk), -np.inf, scores)
+        ranked = scoring.topk_from_matrix(masked, k)
+        hit_at = np.take_along_axis(scoring.positives_mask(validation, chunk), ranked, axis=1)
+        discounts = 1.0 / np.log2(np.arange(2, ranked.shape[1] + 2))
+        for row in range(len(chunk)):
+            gains = hit_at[row].astype(np.float64)
+            dcg = float(gains @ discounts)
+            ideal = min(k, int(validation_counts[chunk[row]]))
+            idcg = idcg_cache.get(ideal)
+            if idcg is None:
+                idcg = float(np.sum(1.0 / np.log2(np.arange(2, ideal + 2))))
+                idcg_cache[ideal] = idcg
+            values.append(min(dcg / idcg, 1.0))
     return float(np.mean(values))
 
 
@@ -93,6 +113,21 @@ class Recommender(ABC):
     def predict_user(self, user: int) -> np.ndarray:
         """Predicted relevance scores of one user over all items."""
 
+    def predict_batch(self, users) -> np.ndarray:
+        """Scores for many users at once, shape ``(len(users), n_items)``.
+
+        The batched scoring API: row ``r`` equals ``predict_user(users[r])``
+        *bitwise*, for any batch composition (the chunk-invariance
+        contract of :mod:`repro.metrics.scoring`, which the evaluator
+        relies on to shard users into chunks).  This default stacks
+        ``predict_user`` calls; models with a vectorizable scoring rule
+        override it with a native batch kernel.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if len(users) == 0 and self._train is not None:
+            return np.zeros((0, self._train.n_items))
+        return np.stack([np.asarray(self.predict_user(int(user)), dtype=np.float64) for user in users])
+
     def recommend(self, user: int, k: int = 5, *, exclude_observed: bool = True) -> np.ndarray:
         """Top-k item ids for ``user``, best first.
 
@@ -115,16 +150,30 @@ class Recommender(ABC):
         k: int = 5,
         *,
         exclude_observed: bool = True,
+        chunk_size: int = 1024,
     ) -> np.ndarray:
         """Top-k recommendations for many users at once, shape ``(U, k)``.
 
-        Equivalent to calling :meth:`recommend` per user; provided as
-        the serving-path API (one matrix out, rows aligned to ``users``).
+        The serving-path API: scores come from :meth:`predict_batch` in
+        chunks of ``chunk_size`` users, exclusion masks are built with a
+        vectorized CSR scatter, and top-k is a row-wise argpartition —
+        identical output to calling :meth:`recommend` per user, without
+        the per-user Python loop.
         """
+        train = self._require_fitted()
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
         users = np.asarray(users, dtype=np.int64)
-        return np.stack(
-            [self.recommend(int(user), k, exclude_observed=exclude_observed) for user in users]
-        )
+        k = min(k, train.n_items)
+        blocks = []
+        for chunk in scoring.iter_user_chunks(users, chunk_size):
+            scores = np.asarray(self.predict_batch(chunk), dtype=np.float64)
+            if exclude_observed:
+                scores = np.where(scoring.positives_mask(train, chunk), -np.inf, scores)
+            blocks.append(scoring.topk_from_matrix(scores, k))
+        if not blocks:
+            return np.zeros((0, k), dtype=np.int64)
+        return np.concatenate(blocks, axis=0)
 
 
 class FactorRecommender(Recommender):
@@ -137,6 +186,10 @@ class FactorRecommender(Recommender):
     def predict_user(self, user: int) -> np.ndarray:
         self._require_fitted()
         return self.params_.predict_user(user)
+
+    def predict_batch(self, users) -> np.ndarray:
+        self._require_fitted()
+        return self.params_.predict_batch(users)
 
 
 class TupleSGDRecommender(FactorRecommender):
@@ -245,7 +298,7 @@ class TupleSGDRecommender(FactorRecommender):
                 self.epoch_callback(self, epoch)
             if stopping is not None and (epoch + 1) % stopping.eval_every == 0:
                 score = validation_ndcg(
-                    self.params_.predict_user, train, validation,
+                    self.params_, train, validation,
                     k=stopping.k, max_users=stopping.max_users,
                 )
                 self.validation_history_.append(score)

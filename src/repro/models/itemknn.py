@@ -74,3 +74,27 @@ class ItemKNN(Recommender):
         if len(history) == 0:
             return np.zeros(train.n_items)
         return self.similarity_[history].sum(axis=0)
+
+    def predict_batch(self, users) -> np.ndarray:
+        """Batch scoring via one sparse history-by-similarity product.
+
+        The CSR matmul accumulates each user's history rows in index
+        order — the same sequential reduction ``similarity_[history]
+        .sum(axis=0)`` performs — so rows match :meth:`predict_user`
+        bitwise (users without history score zero either way).
+        """
+        train = self._require_fitted()
+        users = np.asarray(users, dtype=np.int64)
+        counts = train.user_counts()[users]
+        indptr = np.zeros(len(users) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(counts.sum())
+        if total:
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(indptr[:-1], counts)
+            columns = train.indices[np.repeat(train.indptr[users], counts) + offsets]
+        else:
+            columns = np.zeros(0, dtype=np.int64)
+        history = sparse.csr_matrix(
+            (np.ones(total), columns, indptr), shape=(len(users), train.n_items)
+        )
+        return history @ self.similarity_

@@ -31,3 +31,8 @@ class PopRank(Recommender):
     def predict_user(self, user: int) -> np.ndarray:
         self._require_fitted()
         return self.scores_.copy()
+
+    def predict_batch(self, users) -> np.ndarray:
+        self._require_fitted()
+        users = np.asarray(users, dtype=np.int64)
+        return np.repeat(self.scores_[None, :], len(users), axis=0)

@@ -97,3 +97,21 @@ class RandomWalk(Recommender):
         if total <= 0:
             return np.zeros(self._train.n_items)
         return (weights @ self._adjacency) / total
+
+    def predict_batch(self, users) -> np.ndarray:
+        """Batch scoring: one dense-by-CSR product for the whole chunk.
+
+        Rows match :meth:`predict_user` bitwise — the sparse matmul and
+        the row-wise sum both reduce each row independently in the same
+        order, and unreachable users (zero visit mass) score zero.
+        """
+        train = self._require_fitted()
+        users = np.asarray(users, dtype=np.int64)
+        weights = self.visit_matrix_[users]  # (B, n_users)
+        totals = weights.sum(axis=1)
+        out = np.zeros((len(users), train.n_items))
+        reachable = totals > 0
+        if np.any(reachable):
+            visits = weights @ self._adjacency  # (B, n_items)
+            out[reachable] = visits[reachable] / totals[reachable, None]
+        return out

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.interactions import InteractionMatrix
+from repro.metrics.scoring import linear_scores
 from repro.models.base import Recommender
 from repro.utils.exceptions import ConfigError
 from repro.utils.rng import as_generator
@@ -104,4 +105,9 @@ class WMF(Recommender):
 
     def predict_user(self, user: int) -> np.ndarray:
         self._require_fitted()
-        return self.user_factors_[user] @ self.item_factors_.T
+        return self.predict_batch(np.asarray([user], dtype=np.int64))[0]
+
+    def predict_batch(self, users) -> np.ndarray:
+        self._require_fitted()
+        users = np.asarray(users, dtype=np.int64)
+        return linear_scores(self.user_factors_[users], self.item_factors_)

@@ -131,6 +131,30 @@ class NeuralRecommender(Recommender):
                 chunks.append(logits.data.ravel())
         return np.concatenate(chunks)
 
+    def predict_batch(self, users) -> np.ndarray:
+        """Batched inference into one preallocated ``(B, n_items)`` matrix.
+
+        The forward passes keep the exact per-user 4096-item chunk
+        shapes of :meth:`predict_user`: fusing users into larger pair
+        batches would route the dense layers through differently-blocked
+        GEMMs and change low-order bits, breaking the chunk-invariance
+        contract the evaluator relies on.  The batch win here is holding
+        ``no_grad`` open and reusing the id buffers across users.
+        """
+        train = self._require_fitted()
+        users = np.asarray(users, dtype=np.int64)
+        items = np.arange(train.n_items, dtype=np.int64)
+        out = np.empty((len(users), train.n_items))
+        with no_grad():
+            for row, user in enumerate(users):
+                user_ids = np.full(train.n_items, int(user), dtype=np.int64)
+                for start in range(0, train.n_items, 4096):
+                    logits = self._forward(
+                        user_ids[start : start + 4096], items[start : start + 4096]
+                    )
+                    out[row, start : start + 4096] = logits.data.ravel()
+        return out
+
 
 class PointwiseNeuralRecommender(NeuralRecommender):
     """Pointwise training: BCE over positives plus sampled negatives."""

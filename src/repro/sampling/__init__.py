@@ -19,17 +19,66 @@ from repro.sampling.dns import DynamicNegativeSampler
 from repro.sampling.dss import DoubleSampler, NegativeOnlySampler, PositiveOnlySampler
 from repro.sampling.geometric import FactorRankingCache, truncated_geometric
 from repro.sampling.uniform import UniformSampler
+from repro.utils.exceptions import ConfigError
+
+#: String spec -> sampler class.  ``"geometric"`` aliases AoBPR, whose
+#: negative draw *is* the truncated-geometric rank sampler; the
+#: ``dss-positive`` / ``dss-negative`` entries are the Fig. 4 ablations.
+SAMPLER_REGISTRY: dict[str, type[Sampler]] = {
+    "uniform": UniformSampler,
+    "dns": DynamicNegativeSampler,
+    "aobpr": AdaptiveOversampler,
+    "geometric": AdaptiveOversampler,
+    "abs": AlphaBetaSampler,
+    "dss": DoubleSampler,
+    "dss-positive": PositiveOnlySampler,
+    "dss-negative": NegativeOnlySampler,
+}
+
+
+def sampler_names() -> tuple[str, ...]:
+    """Known sampler spec strings, sorted."""
+    return tuple(sorted(SAMPLER_REGISTRY))
+
+
+def make_sampler(spec, **kwargs) -> Sampler:
+    """Build a tuple sampler from a string spec (or pass one through).
+
+    ``spec`` is one of :func:`sampler_names` (case-insensitive), e.g.
+    ``make_sampler("dss", mode="mrr")``; constructor keyword arguments
+    pass through.  An already-constructed :class:`Sampler` is returned
+    as-is (so config plumbing can accept either form), in which case
+    extra kwargs are rejected rather than silently dropped.
+    """
+    if isinstance(spec, Sampler):
+        if kwargs:
+            raise ConfigError(
+                f"cannot apply kwargs {sorted(kwargs)} to an already-constructed sampler"
+            )
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigError(f"sampler spec must be a string or Sampler, got {type(spec).__name__}")
+    cls = SAMPLER_REGISTRY.get(spec.strip().lower())
+    if cls is None:
+        raise ConfigError(
+            f"unknown sampler {spec!r}; known specs: {', '.join(sampler_names())}"
+        )
+    return cls(**kwargs)
+
 
 __all__ = [
     "AlphaBetaSampler",
     "AdaptiveOversampler",
     "Sampler",
+    "SAMPLER_REGISTRY",
     "TupleBatch",
     "DynamicNegativeSampler",
     "DoubleSampler",
     "NegativeOnlySampler",
     "PositiveOnlySampler",
     "FactorRankingCache",
+    "make_sampler",
+    "sampler_names",
     "truncated_geometric",
     "UniformSampler",
 ]

@@ -69,8 +69,12 @@ class FactorRankingCache:
         return self._params.n_factors
 
     def _rebuild(self) -> None:
-        # (d, m): row q holds item ids sorted by V[:, q] descending.
-        self._orders = np.argsort(-self._params.item_factors, axis=0, kind="stable").T.copy()
+        from repro.metrics.scoring import ranking_orders
+
+        # (d, m): row q holds item ids sorted by V[:, q] descending,
+        # via the engine's stable row-wise ranking kernel (ties broken
+        # by item id, the same contract the evaluator uses).
+        self._orders = ranking_orders(self._params.item_factors.T)
 
     def maybe_refresh(self) -> None:
         """Count one sampler step; rebuild if the interval elapsed."""

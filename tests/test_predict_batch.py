@@ -1,0 +1,330 @@
+"""Properties of the batched scoring engine and the redesigned API.
+
+Two contracts anchor the whole engine:
+
+1. ``predict_batch(users)`` equals stacked ``predict_user(u)`` calls
+   *bit-for-bit* for every model in the library, for any batch
+   composition (chunk invariance);
+2. the chunked / threaded evaluator reproduces the sequential per-user
+   protocol's metrics exactly (``==``, not ``approx``).
+
+Plus coverage for the satellite API changes: ``recommend_batch``,
+batched ``validation_ndcg``, the ``make_sampler`` registry,
+``run_method`` with a fitted recommender, the fold-in batch path, and
+the deprecation of bare score callables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import make_profile_dataset, train_test_split
+from repro.core.clapf import CLAPF
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import make_model
+from repro.experiments.runner import run_method
+from repro.metrics import scoring
+from repro.metrics.evaluator import Evaluator
+from repro.mf.fold_in import fold_in_user_ridge, fold_in_users_ridge
+from repro.mf.params import FactorParams
+from repro.mf.sgd import SGDConfig
+from repro.models import BPR, GBPR, MPR, WMF, CLiMF, ItemKNN, PopRank, RandomWalk
+from repro.models.base import validation_ndcg
+from repro.neural import GMF, NeuPR
+from repro.sampling import (
+    AdaptiveOversampler,
+    DoubleSampler,
+    DynamicNegativeSampler,
+    Sampler,
+    UniformSampler,
+    make_sampler,
+    sampler_names,
+)
+from repro.utils.exceptions import ConfigError
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = make_profile_dataset("ML100K", scale=0.4, seed=11)
+    return train_test_split(dataset, seed=11)
+
+
+def _sgd(n_epochs=2):
+    return SGDConfig(n_epochs=n_epochs)
+
+
+@pytest.fixture(scope="module")
+def fitted_models(split):
+    """One fitted instance of every model family (tiny training budgets)."""
+    return {
+        "PopRank": PopRank().fit(split.train),
+        "ItemKNN": ItemKNN(n_neighbors=10).fit(split.train),
+        "RandomWalk": RandomWalk(walk_length=5).fit(split.train),
+        "WMF": WMF(n_factors=8, n_iterations=2, seed=1).fit(split.train),
+        "BPR": BPR(n_factors=8, sgd=_sgd(), seed=1).fit(split.train, split.validation),
+        "MPR": MPR(n_factors=8, sgd=_sgd(), seed=1).fit(split.train, split.validation),
+        "GBPR": GBPR(n_factors=8, sgd=_sgd(), seed=1).fit(split.train, split.validation),
+        "CLiMF": CLiMF(n_factors=8, sgd=_sgd(), seed=1).fit(split.train, split.validation),
+        "CLAPF-MAP": CLAPF("map", n_factors=8, sgd=_sgd(), seed=1).fit(
+            split.train, split.validation
+        ),
+        "GMF": GMF(embedding_dim=4, n_epochs=1, seed=1).fit(split.train),
+        "NeuPR": NeuPR(embedding_dim=4, n_epochs=1, seed=1).fit(split.train),
+    }
+
+
+class TestPredictBatchBitwise:
+    """predict_batch == stacked predict_user, bit for bit, for every model."""
+
+    def test_every_model_matches_stacked_predict_user(self, split, fitted_models):
+        users = np.arange(split.train.n_users)
+        for name, model in fitted_models.items():
+            batch = model.predict_batch(users)
+            stacked = np.stack([model.predict_user(int(user)) for user in users])
+            assert batch.shape == (split.train.n_users, split.train.n_items), name
+            assert np.array_equal(batch, stacked), f"{name}: batch != stacked predict_user"
+
+    def test_chunk_invariance(self, split, fitted_models):
+        """Rows are identical no matter how the batch is chunked."""
+        users = np.arange(split.train.n_users)
+        for name, model in fitted_models.items():
+            full = model.predict_batch(users)
+            pieces = [model.predict_batch(chunk) for chunk in np.array_split(users, 7)]
+            assert np.array_equal(np.concatenate(pieces), full), name
+            shuffled = users[::-1].copy()
+            assert np.array_equal(model.predict_batch(shuffled), full[::-1]), name
+
+    def test_factor_params_batch_kernel(self):
+        params = FactorParams.init(50, 80, 12, seed=3)
+        users = np.arange(50)
+        batch = params.predict_batch(users)
+        stacked = np.stack([params.predict_user(int(user)) for user in users])
+        assert np.array_equal(batch, stacked)
+
+    def test_default_stacking_path(self, split):
+        """Recommender subclasses without an override still get predict_batch."""
+
+        class Constant(PopRank):
+            def predict_batch(self, users):  # force the ABC default
+                from repro.models.base import Recommender
+
+                return Recommender.predict_batch(self, users)
+
+        model = Constant().fit(split.train)
+        users = np.arange(5)
+        assert np.array_equal(
+            model.predict_batch(users),
+            np.stack([model.predict_user(int(user)) for user in users]),
+        )
+
+
+class TestEvaluatorEquivalence:
+    """Chunked / threaded evaluation == the sequential reference, exactly."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 10_000])
+    def test_chunked_matches_sequential(self, split, fitted_models, chunk_size):
+        model = fitted_models["BPR"]
+        sequential = Evaluator(split, ks=(1, 5), seed=0).evaluate_sequential(model)
+        batched = Evaluator(split, ks=(1, 5), seed=0, chunk_size=chunk_size).evaluate(model)
+        assert batched.n_users == sequential.n_users
+        assert batched.metrics == sequential.metrics  # bitwise, not approx
+
+    def test_all_models_match_sequential(self, split, fitted_models):
+        for name, model in fitted_models.items():
+            sequential = Evaluator(split, ks=(5,), seed=2).evaluate_sequential(model)
+            batched = Evaluator(split, ks=(5,), seed=2, chunk_size=33).evaluate(model)
+            assert batched.metrics == sequential.metrics, name
+
+    def test_threaded_matches_sequential(self, split, fitted_models):
+        model = fitted_models["CLAPF-MAP"]
+        sequential = Evaluator(split, ks=(5,), seed=0).evaluate_sequential(model)
+        threaded = Evaluator(split, ks=(5,), seed=0, chunk_size=16, n_jobs=2).evaluate(model)
+        assert threaded.metrics == sequential.metrics
+
+    def test_per_user_arrays_match(self, split, fitted_models):
+        model = fitted_models["ItemKNN"]
+        sequential = Evaluator(split, ks=(5,), keep_per_user=True).evaluate_sequential(model)
+        batched = Evaluator(split, ks=(5,), keep_per_user=True, chunk_size=10).evaluate(model)
+        for key, values in sequential.per_user.items():
+            assert np.array_equal(batched.per_user[key], values), key
+
+    def test_validation_mode_matches(self, split, fitted_models):
+        model = fitted_models["WMF"]
+        kwargs = dict(ks=(5,), use_validation_as_relevant=True)
+        sequential = Evaluator(split, **kwargs).evaluate_sequential(model)
+        batched = Evaluator(split, chunk_size=13, **kwargs).evaluate(model)
+        assert batched.metrics == sequential.metrics
+
+    def test_max_users_matches(self, split, fitted_models):
+        model = fitted_models["BPR"]
+        sequential = Evaluator(split, ks=(5,), max_users=31, seed=7).evaluate_sequential(model)
+        batched = Evaluator(split, ks=(5,), max_users=31, seed=7, chunk_size=8).evaluate(model)
+        assert batched.n_users == sequential.n_users
+        assert batched.metrics == sequential.metrics
+
+    def test_sampled_candidates_matches(self, split, fitted_models):
+        """The NCF-protocol subsample draws the same RNG stream either way."""
+        model = fitted_models["BPR"]
+        sequential = Evaluator(
+            split, ks=(5,), seed=5, sampled_candidates=20
+        ).evaluate_sequential(model)
+        batched = Evaluator(
+            split, ks=(5,), seed=5, sampled_candidates=20, chunk_size=9
+        ).evaluate(model)
+        assert batched.metrics == sequential.metrics
+
+    def test_tied_scores_match(self, split):
+        """All-constant scores exercise the tie fix-up path end to end."""
+
+        class AllTied(PopRank):
+            def fit(self, train, validation=None):
+                super().fit(train, validation)
+                self.scores_ = np.zeros(train.n_items)
+                return self
+
+        model = AllTied().fit(split.train)
+        sequential = Evaluator(split, ks=(3,)).evaluate_sequential(model)
+        batched = Evaluator(split, ks=(3,), chunk_size=17).evaluate(model)
+        assert batched.metrics == sequential.metrics
+
+    def test_callable_is_deprecated_but_works(self, split):
+        scores = np.linspace(1.0, 0.0, split.n_items)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            result = Evaluator(split, ks=(1,)).evaluate(lambda user: scores)
+        assert result.n_users > 0
+
+
+class TestRecommendBatch:
+    def test_matches_per_user_recommend(self, split, fitted_models):
+        users = np.arange(0, split.train.n_users, 3)
+        for name, model in fitted_models.items():
+            batch = model.recommend_batch(users, k=4, chunk_size=11)
+            stacked = np.stack([model.recommend(int(user), k=4) for user in users])
+            assert np.array_equal(batch, stacked), name
+
+    def test_without_exclusion(self, split, fitted_models):
+        model = fitted_models["BPR"]
+        users = np.arange(10)
+        batch = model.recommend_batch(users, k=3, exclude_observed=False)
+        stacked = np.stack(
+            [model.recommend(int(user), k=3, exclude_observed=False) for user in users]
+        )
+        assert np.array_equal(batch, stacked)
+
+
+class TestValidationNdcg:
+    def test_accepts_params_and_callable_identically(self, split, fitted_models):
+        model = fitted_models["BPR"]
+        via_params = validation_ndcg(model.params_, split.train, split.validation, k=5)
+        via_model = validation_ndcg(model, split.train, split.validation, k=5)
+        via_callable = validation_ndcg(
+            model.params_.predict_user, split.train, split.validation, k=5
+        )
+        assert via_params == via_model == via_callable
+        assert 0.0 <= via_params <= 1.0
+
+    def test_chunking_does_not_change_result(self, split, fitted_models):
+        model = fitted_models["BPR"]
+        small = validation_ndcg(model.params_, split.train, split.validation, k=5, chunk_size=3)
+        big = validation_ndcg(model.params_, split.train, split.validation, k=5, chunk_size=4096)
+        assert small == big
+
+
+class TestMakeSampler:
+    def test_registry_specs(self):
+        expected = {
+            "uniform": UniformSampler,
+            "dns": DynamicNegativeSampler,
+            "aobpr": AdaptiveOversampler,
+            "geometric": AdaptiveOversampler,
+            "dss": DoubleSampler,
+        }
+        for spec, cls in expected.items():
+            assert spec in sampler_names()
+            assert isinstance(make_sampler(spec), cls)
+
+    def test_kwargs_pass_through(self):
+        sampler = make_sampler("dss", mode="mrr", tail=0.1)
+        assert sampler.mode == "mrr"
+
+    def test_spec_is_case_insensitive(self):
+        assert isinstance(make_sampler("  DSS "), DoubleSampler)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sampler"):
+            make_sampler("nope")
+
+    def test_instance_passes_through(self):
+        sampler = UniformSampler()
+        assert make_sampler(sampler) is sampler
+        with pytest.raises(ConfigError, match="already-constructed"):
+            make_sampler(sampler, tail=0.5)
+
+    def test_make_model_accepts_spec(self, split):
+        model = make_model("BPR", scale=ExperimentScale.quick(), sampler="dns")
+        assert isinstance(model.sampler, DynamicNegativeSampler)
+
+    def test_scale_sampler_spec_flows_through(self):
+        scale = ExperimentScale(sampler_spec="aobpr")
+        model = make_model("BPR", scale=scale)
+        assert isinstance(model.sampler, AdaptiveOversampler)
+        with pytest.raises(ConfigError, match="unknown sampler_spec"):
+            ExperimentScale(sampler_spec="bogus")
+
+    def test_clapf_plus_default_is_dss(self):
+        model = make_model("CLAPF+-MRR", scale=ExperimentScale.quick())
+        assert isinstance(model.sampler, DoubleSampler)
+        assert model.sampler.mode == "mrr"
+
+
+class TestRunMethodWithFittedModel:
+    def test_fitted_recommender_is_evaluated_directly(self, split, fitted_models):
+        model = fitted_models["PopRank"]
+        result = run_method(model, [split], ks=(5,), chunk_size=32)
+        assert result.name == "PopRank"
+        assert result.train_seconds == 0.0
+        expected = Evaluator(split, ks=(5,), seed=0).evaluate(model)
+        assert result.means["ndcg@5"] == expected["ndcg@5"]
+
+    def test_unfitted_recommender_rejected(self, split):
+        with pytest.raises(ConfigError, match="not fitted"):
+            run_method(PopRank(), [split])
+
+
+class TestFoldInBatch:
+    def test_batched_ridge_matches_per_user(self):
+        params = FactorParams.init(30, 60, 8, seed=5)
+        rng = np.random.default_rng(5)
+        cohort = [np.sort(rng.choice(60, size=size, replace=False)) for size in (3, 7, 1, 12)]
+        batched = fold_in_users_ridge(params, cohort)
+        assert len(batched) == len(cohort)
+        for result, positives in zip(batched, cohort):
+            single = fold_in_user_ridge(params, positives)
+            np.testing.assert_allclose(result.user_vector, single.user_vector, rtol=1e-10)
+            np.testing.assert_allclose(result.predict(), single.predict(), rtol=1e-10)
+
+    def test_empty_cohort(self):
+        params = FactorParams.init(5, 9, 4, seed=0)
+        assert fold_in_users_ridge(params, []) == []
+
+
+class TestEngineKernels:
+    def test_positives_mask_matches_positives(self, split):
+        users = np.arange(split.train.n_users)
+        mask = scoring.positives_mask(split.train, users)
+        for user in users[::13]:
+            row = np.zeros(split.train.n_items, dtype=bool)
+            row[split.train.positives(int(user))] = True
+            assert np.array_equal(mask[user], row)
+
+    def test_ranking_orders_matches_argsort(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 4, size=(6, 40)).astype(float)  # heavy ties
+        orders = scoring.ranking_orders(keys)
+        for row in range(len(keys)):
+            assert np.array_equal(orders[row], np.argsort(-keys[row], kind="stable"))
+
+    def test_as_batch_scorer_rejects_non_models(self):
+        with pytest.raises(ConfigError, match="not evaluable"):
+            scoring.as_batch_scorer(object())
