@@ -11,7 +11,10 @@ Commands
     Write a synthetic profile dataset to a ``user<TAB>item`` pair file.
 ``train``
     Split a dataset, train one method, print the Table-2 metrics, and
-    optionally save the factor model.
+    optionally save the factor model.  Supports fault-tolerant runs:
+    ``--checkpoint-dir``/``--checkpoint-every`` write atomic
+    epoch-boundary checkpoints, ``--resume`` continues a killed run
+    from the latest one, and ``--guard`` enables divergence recovery.
 ``reproduce``
     Regenerate one of the paper's tables or figures.
 ``compare``
@@ -88,6 +91,7 @@ def cmd_generate(args) -> int:
 def cmd_train(args) -> int:
     from repro.experiments.config import ExperimentScale
     from repro.experiments.registry import TABLE2_METHODS, make_model
+    from repro.resilience import CheckpointConfig, GuardConfig, latest_checkpoint
 
     dataset = _load_dataset(args)
     split = train_test_split(dataset, seed=args.seed)
@@ -95,9 +99,36 @@ def cmd_train(args) -> int:
     model = make_model(
         args.method, scale=scale, dataset=args.profile, seed=args.seed, sampler=args.sampler
     )
+
+    supports_resilience = hasattr(model, "checkpoint")
+    resume_from = None
+    if args.checkpoint_dir is not None:
+        if not supports_resilience:
+            print(f"note: {model.name} does not support checkpointing; ignoring --checkpoint-dir")
+        else:
+            model.checkpoint = CheckpointConfig(
+                args.checkpoint_dir, every=args.checkpoint_every
+            )
+            if args.resume:
+                resume_from = latest_checkpoint(args.checkpoint_dir)
+                if resume_from is None:
+                    print(f"no checkpoint under {args.checkpoint_dir}; starting fresh")
+    elif args.resume:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.guard != "off":
+        if not supports_resilience:
+            print(f"note: {model.name} does not support divergence guards; ignoring --guard")
+        else:
+            model.guard = GuardConfig(policy=args.guard)
+
     print(f"training {model.name} on {dataset.name} "
           f"({split.train.n_interactions} train pairs, {args.epochs} epochs)...")
-    model.fit(split.train, split.validation)
+    if resume_from is not None:
+        print(f"resuming from {resume_from}")
+        model.fit(split.train, split.validation, resume_from=resume_from)
+    else:
+        model.fit(split.train, split.validation)
     result = evaluate_model(
         model, split, ks=(5,), chunk_size=args.chunk_size, n_jobs=args.n_jobs
     )
@@ -217,6 +248,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-jobs", type=int, default=1, help="evaluation worker threads (-1 = all cores)"
     )
     train.add_argument("--save", type=Path, help="save the trained factor model (.npz)")
+    train.add_argument(
+        "--checkpoint-dir", type=Path,
+        help="write atomic epoch-boundary training checkpoints to this directory",
+    )
+    train.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="epochs between checkpoints (default: every epoch)",
+    )
+    train.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest checkpoint under --checkpoint-dir "
+             "(starts fresh when none exists)",
+    )
+    train.add_argument(
+        "--guard", default="off", choices=("off", "rollback", "abort"),
+        help="divergence guard policy: rollback = LR backoff to the last good "
+             "epoch on NaN/exploding loss, abort = raise immediately",
+    )
     train.set_defaults(func=cmd_train)
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate a paper table/figure")

@@ -40,8 +40,11 @@ class CLAPF(TupleSGDRecommender):
     tradeoff:
         The fusion parameter ``lambda`` in ``[0, 1]`` (paper: tuned on
         validation NDCG@5 over {0.0, 0.1, ..., 1.0}).
-    n_factors, sgd, reg, sampler, seed, epoch_callback:
-        As in :class:`~repro.models.base.TupleSGDRecommender`.
+    n_factors, sgd, reg, sampler, seed, epoch_callback, early_stopping,
+    warm_start, guard, checkpoint, fault_injector:
+        As in :class:`~repro.models.base.TupleSGDRecommender` —
+        including the resilience hooks (divergence guard, epoch-boundary
+        checkpointing, fault injection) and ``fit(resume_from=...)``.
     """
 
     def __init__(
@@ -57,6 +60,7 @@ class CLAPF(TupleSGDRecommender):
         epoch_callback=None,
         early_stopping=None,
         warm_start=False,
+        **kwargs,
     ):
         super().__init__(
             n_factors,
@@ -67,6 +71,7 @@ class CLAPF(TupleSGDRecommender):
             epoch_callback=epoch_callback,
             early_stopping=early_stopping,
             warm_start=warm_start,
+            **kwargs,
         )
         if metric not in ("map", "mrr"):
             raise ConfigError(f"metric must be 'map' or 'mrr', got {metric!r}")

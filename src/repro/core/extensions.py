@@ -52,6 +52,7 @@ class CLAPFNDCG(TupleSGDRecommender):
         epoch_callback=None,
         early_stopping=None,
         warm_start=False,
+        **kwargs,
     ):
         super().__init__(
             n_factors,
@@ -62,6 +63,7 @@ class CLAPFNDCG(TupleSGDRecommender):
             epoch_callback=epoch_callback,
             early_stopping=early_stopping,
             warm_start=warm_start,
+            **kwargs,
         )
         check_probability(tradeoff, "tradeoff")
         self.tradeoff = tradeoff

@@ -10,13 +10,14 @@ winning combination and the full score table.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from repro.data.dataset import DatasetSplit
 from repro.metrics.evaluator import Evaluator
 from repro.models.base import Recommender
-from repro.utils.exceptions import ConfigError
+from repro.resilience.journal import ExperimentJournal, cell_key
+from repro.utils.exceptions import ConfigError, ExperimentError
 
 ParamFactory = Callable[..., Recommender]
 
@@ -35,16 +36,66 @@ class GridSearchResult:
         ``(params, score)`` for every combination evaluated.
     metric:
         The selection metric key (default ``ndcg@5``).
+    failures:
+        ``(params, error)`` for combinations that crashed under
+        isolated execution — excluded from the winner selection.
     """
 
     best_params: dict
     best_score: float
     scores: list[tuple[dict, float]]
     metric: str
+    failures: list[tuple[dict, str]] = field(default_factory=list)
 
     def ranked(self) -> list[tuple[dict, float]]:
         """All combinations sorted best-first."""
         return sorted(self.scores, key=lambda pair: -pair[1])
+
+
+def _evaluate_cells(
+    factory: ParamFactory,
+    combos: Sequence[dict],
+    split: DatasetSplit,
+    evaluator: Evaluator,
+    metric: str,
+    *,
+    isolate: bool,
+    journal: ExperimentJournal | str | None,
+    search_name: str,
+) -> tuple[list[tuple[dict, float]], list[tuple[dict, str]]]:
+    """Fit/score each combination with per-cell isolation + journaling.
+
+    Shared engine of :func:`grid_search` and :func:`random_search`: a
+    journaled cell is loaded instead of re-trained, a finished cell is
+    journaled atomically, and with ``isolate`` a crashing cell is
+    recorded as a failure instead of killing the sweep.
+    """
+    if journal is not None and not isinstance(journal, ExperimentJournal):
+        journal = ExperimentJournal(journal)
+    scores: list[tuple[dict, float]] = []
+    failures: list[tuple[dict, str]] = []
+    for params in combos:
+        key = cell_key(search_name, params)
+        if journal is not None and journal.completed(key):
+            entry = journal.get(key)
+            scores.append((dict(entry["params"]), float(entry["score"])))
+            continue
+        try:
+            model = factory(**params)
+            model.fit(split.train, split.validation)
+            score = float(evaluator.evaluate(model)[metric])
+        except Exception as error:
+            if not isolate:
+                raise ExperimentError(
+                    f"{search_name} cell {params} failed: {error}",
+                    method=str(params), cause=error,
+                )
+            failures.append((params, str(error)))
+            continue
+        scores.append((params, score))
+        if journal is not None:
+            journal.record(key, {"params": params, "score": score})
+    return scores, failures
 
 
 def random_search(
@@ -56,13 +107,18 @@ def random_search(
     metric: str = "ndcg@5",
     max_users: int | None = None,
     seed=None,
+    isolate: bool = False,
+    journal=None,
 ) -> GridSearchResult:
     """Random hyper-parameter search selecting by validation ``metric``.
 
     ``space`` maps parameter names to either a finite sequence (sampled
     uniformly) or a callable ``draw(rng) -> value`` (for continuous
     ranges).  Cheaper than :func:`grid_search` on large spaces; returns
-    the same :class:`GridSearchResult`.
+    the same :class:`GridSearchResult`.  All parameter draws happen up
+    front, so with ``journal`` set a resumed search replays the same
+    combinations and skips the already-scored ones; ``isolate`` records
+    crashing combinations as failures instead of aborting the search.
     """
     from repro.utils.rng import as_generator
 
@@ -77,7 +133,7 @@ def random_search(
     evaluator = Evaluator(
         split, ks=(cutoff,), max_users=max_users, use_validation_as_relevant=True
     )
-    scores: list[tuple[dict, float]] = []
+    combos = []
     for _ in range(n_iterations):
         params = {}
         for name, candidates in space.items():
@@ -85,12 +141,19 @@ def random_search(
                 params[name] = candidates(rng)
             else:
                 params[name] = candidates[int(rng.integers(0, len(candidates)))]
-        model = factory(**params)
-        model.fit(split.train, split.validation)
-        scores.append((params, evaluator.evaluate(model)[metric]))
+        combos.append(params)
+    scores, failures = _evaluate_cells(
+        factory, combos, split, evaluator, metric,
+        isolate=isolate, journal=journal, search_name="random_search",
+    )
+    if not scores:
+        raise ExperimentError(
+            f"all {n_iterations} random-search combinations failed", method="random_search"
+        )
     best_params, best_score = max(scores, key=lambda pair: pair[1])
     return GridSearchResult(
-        best_params=best_params, best_score=best_score, scores=scores, metric=metric
+        best_params=best_params, best_score=best_score, scores=scores,
+        metric=metric, failures=failures,
     )
 
 
@@ -101,10 +164,17 @@ def grid_search(
     *,
     metric: str = "ndcg@5",
     max_users: int | None = None,
+    isolate: bool = False,
+    journal=None,
 ) -> GridSearchResult:
     """Exhaustive search of ``grid`` selecting by validation ``metric``.
 
     ``factory(**params)`` builds a fresh model for each combination.
+    With ``journal`` (an :class:`~repro.resilience.journal.ExperimentJournal`
+    or directory path) each scored combination is persisted atomically
+    and skipped on re-run, so an interrupted search resumes where it
+    stopped; ``isolate`` records crashing combinations in
+    ``result.failures`` instead of aborting the whole search.
     """
     if split.validation is None:
         raise ConfigError("grid_search requires a split with a validation set")
@@ -115,14 +185,20 @@ def grid_search(
         split, ks=(cutoff,), max_users=max_users, use_validation_as_relevant=True
     )
     names = list(grid.keys())
-    scores: list[tuple[dict, float]] = []
-    for combo in itertools.product(*(grid[name] for name in names)):
-        params = dict(zip(names, combo))
-        model = factory(**params)
-        model.fit(split.train, split.validation)
-        result = evaluator.evaluate(model)
-        scores.append((params, result[metric]))
+    combos = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(grid[name] for name in names))
+    ]
+    scores, failures = _evaluate_cells(
+        factory, combos, split, evaluator, metric,
+        isolate=isolate, journal=journal, search_name="grid_search",
+    )
+    if not scores:
+        raise ExperimentError(
+            f"all {len(combos)} grid-search combinations failed", method="grid_search"
+        )
     best_params, best_score = max(scores, key=lambda pair: pair[1])
     return GridSearchResult(
-        best_params=best_params, best_score=best_score, scores=scores, metric=metric
+        best_params=best_params, best_score=best_score, scores=scores,
+        metric=metric, failures=failures,
     )

@@ -3,6 +3,12 @@
 Table 2 reports each metric as ``mean ± std`` over five independent
 split copies plus the training time; :func:`run_method` reproduces one
 such cell row and :func:`run_methods` a whole table block.
+
+:func:`run_methods` is fault-tolerant: each method runs in isolation
+(a crash in one never discards the others' finished results), failures
+are retried with exponential backoff, and an optional
+:class:`~repro.resilience.journal.ExperimentJournal` records each
+completed method so an interrupted sweep resumes past finished cells.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ import numpy as np
 from repro.data.dataset import DatasetSplit
 from repro.metrics.evaluator import Evaluator
 from repro.models.base import Recommender
-from repro.utils.exceptions import ConfigError
+from repro.resilience.retry import retry_call
+from repro.utils.exceptions import ConfigError, ExperimentError
 
 ModelFactory = Callable[[int], Recommender]
 
@@ -37,6 +44,10 @@ class MethodResult:
     timed_out:
         True when the run exceeded its time budget — rendered as the
         paper's ``-`` cells ("do not produce results within 200 hours").
+    failed:
+        True when the method raised on every retry under isolated
+        execution (:func:`run_methods` with ``isolate=True``); ``error``
+        holds the stringified cause.
     """
 
     name: str
@@ -46,11 +57,23 @@ class MethodResult:
     n_repeats: int
     per_repeat: list[dict[str, float]] = field(default_factory=list, repr=False)
     timed_out: bool = False
+    failed: bool = False
+    error: str | None = None
+
+    @classmethod
+    def failure(cls, name: str, error: BaseException | str) -> "MethodResult":
+        """A placeholder result for a method that crashed."""
+        return cls(
+            name=name, means={}, stds={}, train_seconds=0.0, n_repeats=0,
+            failed=True, error=str(error),
+        )
 
     def cell(self, key: str) -> str:
         """Render one metric as the paper's ``mean±std`` cell (or ``-``)."""
         if self.timed_out:
             return "-"
+        if self.failed:
+            return "ERR"
         return f"{self.means[key]:.3f}±{self.stds[key]:.3f}"
 
 
@@ -138,17 +161,62 @@ def run_methods(
     max_users: int | None = None,
     chunk_size: int = 1024,
     n_jobs: int | None = None,
+    isolate: bool = True,
+    retries: int = 0,
+    retry_base_delay: float = 0.5,
+    journal=None,
 ) -> dict[str, MethodResult]:
-    """Run every named method (factory or fitted model) over the same splits."""
-    return {
-        name: run_method(
-            factory,
-            splits,
-            name=name,
-            ks=ks,
-            max_users=max_users,
-            chunk_size=chunk_size,
-            n_jobs=n_jobs,
-        )
-        for name, factory in factories.items()
-    }
+    """Run every named method (factory or fitted model) over the same splits.
+
+    Fault tolerance:
+
+    * ``isolate`` (default) wraps each method in its own try/except — a
+      crashing method yields a ``MethodResult(failed=True)`` placeholder
+      and the remaining methods still run.  With ``isolate=False`` the
+      first failure raises :class:`ExperimentError` (carrying the method
+      name and original cause).
+    * ``retries`` re-runs a crashing method with exponential backoff
+      (``retry_base_delay * 2**attempt`` seconds) before declaring it
+      failed.
+    * ``journal`` — an :class:`~repro.resilience.journal.ExperimentJournal`
+      (or a directory path for one).  Completed methods are recorded as
+      they finish and skipped (their journaled result loaded) on re-run,
+      so a killed sweep resumes where it stopped.  Failed methods are
+      *not* journaled and re-run on resume.
+    """
+    from repro.persistence import method_result_from_dict, method_result_to_dict
+    from repro.resilience.journal import ExperimentJournal
+
+    if journal is not None and not isinstance(journal, ExperimentJournal):
+        journal = ExperimentJournal(journal)
+
+    results: dict[str, MethodResult] = {}
+    for name, factory in factories.items():
+        if journal is not None and journal.completed(name):
+            results[name] = method_result_from_dict(journal.get(name))
+            continue
+        try:
+            result = retry_call(
+                lambda factory=factory, name=name: run_method(
+                    factory,
+                    splits,
+                    name=name,
+                    ks=ks,
+                    max_users=max_users,
+                    chunk_size=chunk_size,
+                    n_jobs=n_jobs,
+                ),
+                retries=retries,
+                base_delay=retry_base_delay,
+            )
+        except Exception as error:
+            if not isolate:
+                raise ExperimentError(
+                    f"method {name!r} failed: {error}", method=name, cause=error
+                )
+            results[name] = MethodResult.failure(name, error)
+            continue
+        results[name] = result
+        if journal is not None:
+            journal.record(name, method_result_to_dict(result))
+    return results

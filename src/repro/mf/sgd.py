@@ -7,7 +7,7 @@ sampled tuples (Section 4.3, Eq. 22) with an L2 regularizer
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.utils.validation import check_positive
 
@@ -106,3 +106,7 @@ class SGDConfig:
         """Vectorized steps per epoch for a dataset of the given size."""
         samples = max(int(round(self.samples_per_pair * n_training_pairs)), 1)
         return max(samples // self.batch_size, 1)
+
+    def with_learning_rate(self, learning_rate: float) -> "SGDConfig":
+        """A copy with a different step size (used by LR-backoff recovery)."""
+        return replace(self, learning_rate=learning_rate)

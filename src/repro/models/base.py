@@ -20,6 +20,7 @@ MPR           (i, v, j)                (λ, 1-2λ, -(1-λ))
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
@@ -32,7 +33,7 @@ from repro.mf.params import FactorParams
 from repro.mf.sgd import EarlyStoppingConfig, RegularizationConfig, SGDConfig
 from repro.sampling.base import Sampler, TupleBatch
 from repro.sampling.uniform import UniformSampler
-from repro.utils.exceptions import ConfigError, NotFittedError
+from repro.utils.exceptions import CheckpointError, ConfigError, NotFittedError
 from repro.utils.rng import as_generator
 
 EpochCallback = Callable[["Recommender", int], None]
@@ -218,6 +219,24 @@ class TupleSGDRecommender(FactorRecommender):
         When true, a second ``fit`` call continues from the current
         parameters instead of re-initializing (shapes permitting) — the
         online-loop refit path.
+    guard:
+        Optional divergence guard — a
+        :class:`~repro.resilience.guard.GuardConfig` or a ready
+        :class:`~repro.resilience.guard.TrainingGuard`.  Adds gradient
+        clipping inside the SGD step, NaN/Inf and exploding-loss
+        detection at epoch boundaries, and LR-backoff rollback to the
+        last healthy epoch (or a typed abort), per the configured
+        policy.
+    checkpoint:
+        Optional epoch-boundary checkpointing — a
+        :class:`~repro.resilience.checkpoint.CheckpointConfig` or a
+        ready :class:`~repro.resilience.checkpoint.CheckpointManager`.
+        Snapshots parameters + RNG/sampler/early-stopping state so a
+        killed run restarts with ``fit(..., resume_from=...)``.
+    fault_injector:
+        Testing hook — a
+        :class:`~repro.resilience.chaos.FaultInjector` ticked once per
+        SGD step, used by the fault-injection suite.
     """
 
     def __init__(
@@ -231,6 +250,9 @@ class TupleSGDRecommender(FactorRecommender):
         epoch_callback: EpochCallback | None = None,
         early_stopping: EarlyStoppingConfig | None = None,
         warm_start: bool = False,
+        guard=None,
+        checkpoint=None,
+        fault_injector=None,
     ):
         super().__init__()
         self.n_factors = int(n_factors)
@@ -241,6 +263,10 @@ class TupleSGDRecommender(FactorRecommender):
         self.epoch_callback = epoch_callback
         self.early_stopping = early_stopping
         self.warm_start = warm_start
+        self.guard = guard
+        self.checkpoint = checkpoint
+        self.fault_injector = fault_injector
+        self.learning_rate_: float | None = None
         self.loss_history_: list[float] = []
         self.validation_history_: list[float] = []
         self.best_epoch_: int | None = None
@@ -260,61 +286,227 @@ class TupleSGDRecommender(FactorRecommender):
         """Hook for models that post-process the sampled batch (MPR)."""
         return self.sampler.sample(batch_size, rng)
 
+    # -- resilience plumbing ---------------------------------------------
+    def _resolve_checkpoint_manager(self):
+        from repro.resilience.checkpoint import CheckpointConfig, CheckpointManager
+
+        if self.checkpoint is None:
+            return None
+        if isinstance(self.checkpoint, CheckpointManager):
+            return self.checkpoint
+        if isinstance(self.checkpoint, CheckpointConfig):
+            return CheckpointManager(self.checkpoint)
+        raise ConfigError(
+            f"checkpoint must be a CheckpointConfig or CheckpointManager, "
+            f"got {type(self.checkpoint).__name__}"
+        )
+
+    def _capture_snapshot(self, epoch: int, rng, stopping_state: dict) -> dict:
+        """In-memory copy of the training state at a healthy epoch boundary."""
+        return {
+            "epoch": epoch,
+            "params": self.params_.copy(),
+            "rng_state": copy.deepcopy(rng.bit_generator.state),
+            "sampler_step": self.sampler.step,
+            "n_losses": len(self.loss_history_),
+            "n_vals": len(self.validation_history_),
+            "best_score": stopping_state["best_score"],
+            "best_params": stopping_state["best_params"],
+            "stale": stopping_state["stale"],
+            "best_epoch": self.best_epoch_,
+        }
+
+    def _restore_snapshot(self, snapshot: dict, rng, stopping_state: dict) -> int:
+        """Roll training back to ``snapshot``; returns the epoch to rerun."""
+        self.params_ = snapshot["params"].copy()
+        rng.bit_generator.state = copy.deepcopy(snapshot["rng_state"])
+        self.sampler.bind(self._train, self.params_)
+        self.sampler.load_state_dict({"step": snapshot["sampler_step"]})
+        del self.loss_history_[snapshot["n_losses"]:]
+        del self.validation_history_[snapshot["n_vals"]:]
+        stopping_state.update(
+            best_score=snapshot["best_score"],
+            best_params=snapshot["best_params"],
+            stale=snapshot["stale"],
+        )
+        self.best_epoch_ = snapshot["best_epoch"]
+        return snapshot["epoch"] + 1
+
+    def _make_checkpoint(self, epoch: int, rng, stopping_state: dict):
+        from repro.resilience.checkpoint import TrainingCheckpoint
+
+        best_score = stopping_state["best_score"]
+        return TrainingCheckpoint(
+            epoch=epoch,
+            params=self.params_,
+            rng_state=rng.bit_generator.state,
+            sampler_step=self.sampler.step,
+            learning_rate=self.learning_rate_,
+            loss_history=list(self.loss_history_),
+            validation_history=list(self.validation_history_),
+            best_epoch=self.best_epoch_,
+            best_score=None if not np.isfinite(best_score) else float(best_score),
+            stale_evals=stopping_state["stale"],
+            best_params=stopping_state["best_params"],
+            extra={"model": self.name},
+        )
+
     # -- training --------------------------------------------------------
-    def fit(self, train: InteractionMatrix, validation: InteractionMatrix | None = None) -> "TupleSGDRecommender":
+    def fit(
+        self,
+        train: InteractionMatrix,
+        validation: InteractionMatrix | None = None,
+        *,
+        resume_from=None,
+    ) -> "TupleSGDRecommender":
+        """Train the model; optionally resume from a saved checkpoint.
+
+        ``resume_from`` accepts a
+        :class:`~repro.resilience.checkpoint.TrainingCheckpoint`, a
+        checkpoint file path, or a checkpoint directory (latest epoch
+        wins).  Resuming restores parameters, RNG and sampler state,
+        the effective learning rate, and the early-stopping bookkeeping,
+        so with a stateless (uniform) sampler the resumed run is bitwise
+        identical to the uninterrupted one.
+        """
+        from repro.resilience.checkpoint import resolve_checkpoint
+        from repro.resilience.guard import as_guard
+
         if self.early_stopping is not None and validation is None:
             raise ConfigError("early_stopping requires a validation matrix in fit()")
+        guard = as_guard(self.guard)
+        manager = self._resolve_checkpoint_manager()
+        injector = self.fault_injector
         rng = as_generator(self.seed)
-        reusable = (
-            self.warm_start
-            and self.params_ is not None
-            and self.params_.n_users == train.n_users
-            and self.params_.n_items == train.n_items
-        )
-        if not reusable:
-            self.params_ = FactorParams.init(
-                train.n_users, train.n_items, self.n_factors, seed=rng
+
+        stopping_state = {"best_score": -np.inf, "best_params": None, "stale": 0}
+        resumed = None
+        if resume_from is not None:
+            resumed = resolve_checkpoint(resume_from)
+            if (resumed.params.n_users, resumed.params.n_items) != (train.n_users, train.n_items):
+                raise CheckpointError(
+                    f"checkpoint shape ({resumed.params.n_users}x{resumed.params.n_items}) "
+                    f"does not match training data ({train.n_users}x{train.n_items})"
+                )
+            self.params_ = resumed.params.copy()
+        else:
+            reusable = (
+                self.warm_start
+                and self.params_ is not None
+                and self.params_.n_users == train.n_users
+                and self.params_.n_items == train.n_items
             )
+            if not reusable:
+                self.params_ = FactorParams.init(
+                    train.n_users, train.n_items, self.n_factors, seed=rng
+                )
         self._train = train
+        self._on_fit_start(train)
         self.sampler.bind(train, self.params_)
-        self.loss_history_ = []
-        self.validation_history_ = []
-        self.best_epoch_ = None
+
+        if resumed is not None:
+            try:
+                rng.bit_generator.state = copy.deepcopy(resumed.rng_state)
+            except (KeyError, TypeError, ValueError) as error:
+                raise CheckpointError(f"cannot restore RNG state: {error}") from error
+            self.sampler.load_state_dict({"step": resumed.sampler_step})
+            self.learning_rate_ = (
+                resumed.learning_rate
+                if resumed.learning_rate is not None
+                else self.sgd.learning_rate
+            )
+            self.loss_history_ = list(resumed.loss_history)
+            self.validation_history_ = list(resumed.validation_history)
+            self.best_epoch_ = resumed.best_epoch
+            stopping_state = {
+                "best_score": resumed.best_score if resumed.best_score is not None else -np.inf,
+                "best_params": resumed.best_params.copy() if resumed.best_params is not None else None,
+                "stale": resumed.stale_evals,
+            }
+            start_epoch = resumed.epoch + 1
+        else:
+            self.learning_rate_ = self.sgd.learning_rate
+            self.loss_history_ = []
+            self.validation_history_ = []
+            self.best_epoch_ = None
+            start_epoch = 0
         self.stopped_early_ = False
+        if guard is not None:
+            guard.reset()
+        self._active_guard = guard
+        if injector is not None:
+            injector.reset()
 
         stopping = self.early_stopping
-        best_score = -np.inf
-        best_params: FactorParams | None = None
-        stale_evals = 0
-
         steps = self.sgd.steps_per_epoch(train.n_interactions)
-        for epoch in range(self.sgd.n_epochs):
-            epoch_loss = 0.0
-            for _ in range(steps):
-                batch = self._make_batch(self.sgd.batch_size, rng)
-                epoch_loss += self._sgd_step(batch)
-            self.loss_history_.append(epoch_loss / steps)
-            if self.epoch_callback is not None:
-                self.epoch_callback(self, epoch)
-            if stopping is not None and (epoch + 1) % stopping.eval_every == 0:
-                score = validation_ndcg(
-                    self.params_, train, validation,
-                    k=stopping.k, max_users=stopping.max_users,
-                )
-                self.validation_history_.append(score)
-                if score > best_score + stopping.min_delta:
-                    best_score = score
-                    best_params = self.params_.copy()
-                    self.best_epoch_ = epoch
-                    stale_evals = 0
-                else:
-                    stale_evals += 1
-                    if stale_evals >= stopping.patience:
-                        self.stopped_early_ = True
+        snapshot = (
+            self._capture_snapshot(start_epoch - 1, rng, stopping_state)
+            if guard is not None
+            else None
+        )
+
+        try:
+            epoch = start_epoch
+            while epoch < self.sgd.n_epochs:
+                epoch_loss = 0.0
+                diverged: str | None = None
+                for _ in range(steps):
+                    batch = self._make_batch(self.sgd.batch_size, rng)
+                    loss = self._sgd_step(batch)
+                    epoch_loss += loss
+                    if injector is not None:
+                        injector.tick(self.params_)
+                    if guard is not None and not np.isfinite(loss):
+                        diverged = f"non-finite step loss ({loss})"
                         break
-        if best_params is not None:
-            self.params_ = best_params
+                mean_loss = epoch_loss / steps
+                if guard is not None:
+                    reason = diverged or guard.check_epoch(self.params_, mean_loss)
+                    if reason is not None:
+                        # May raise DivergenceError (abort policy / budget spent).
+                        guard.record_backoff(reason, epoch=epoch)
+                        self.learning_rate_ *= guard.config.backoff_factor
+                        epoch = self._restore_snapshot(snapshot, rng, stopping_state)
+                        continue
+                self.loss_history_.append(mean_loss)
+                if self.epoch_callback is not None:
+                    self.epoch_callback(self, epoch)
+                stop = False
+                if stopping is not None and (epoch + 1) % stopping.eval_every == 0:
+                    score = validation_ndcg(
+                        self.params_, train, validation,
+                        k=stopping.k, max_users=stopping.max_users,
+                    )
+                    self.validation_history_.append(score)
+                    if score > stopping_state["best_score"] + stopping.min_delta:
+                        stopping_state.update(
+                            best_score=score, best_params=self.params_.copy(), stale=0
+                        )
+                        self.best_epoch_ = epoch
+                    else:
+                        stopping_state["stale"] += 1
+                        if stopping_state["stale"] >= stopping.patience:
+                            self.stopped_early_ = True
+                            stop = True
+                    if guard is not None and not stop and guard.observe_validation(score):
+                        # Stalled validation: stop rather than burn epochs.
+                        self.stopped_early_ = True
+                        stop = True
+                if guard is not None:
+                    snapshot = self._capture_snapshot(epoch, rng, stopping_state)
+                if manager is not None and manager.should_save(epoch):
+                    manager.save(self._make_checkpoint(epoch, rng, stopping_state))
+                if stop:
+                    break
+                epoch += 1
+        finally:
+            self._active_guard = None
+        if stopping_state["best_params"] is not None:
+            self.params_ = stopping_state["best_params"]
         return self
+
+    def _on_fit_start(self, train: InteractionMatrix) -> None:
+        """Hook for subclasses that precompute per-fit structures (GBPR)."""
 
     def _sgd_step(self, batch: TupleBatch) -> float:
         """One vectorized ascent step on the batch; returns mean -ln sigma(R)."""
@@ -330,26 +522,25 @@ class TupleSGDRecommender(FactorRecommender):
         margin = np.einsum("bs,bs->b", coefficients, scores)
         residual = 1.0 - sigmoid(margin)  # (B,)
 
-        lr = self.sgd.learning_rate
+        lr = self.learning_rate_ if self.learning_rate_ is not None else self.sgd.learning_rate
+        guard = getattr(self, "_active_guard", None)
         # User factors: dR/dU_u = sum_s c_s V_s.
         user_grad = np.einsum("bs,bsd->bd", coefficients, item_vecs)
-        np.add.at(
-            params.user_factors,
-            users,
-            lr * (residual[:, None] * user_grad - self.reg.alpha_u * user_vecs),
-        )
+        user_update = lr * (residual[:, None] * user_grad - self.reg.alpha_u * user_vecs)
         # Item factors and biases: dR/dV_s = c_s U_u, dR/db_s = c_s.
         weight = residual[:, None] * coefficients  # (B, S)
         flat_items = items.ravel()
         item_grad = weight[:, :, None] * user_vecs[:, None, :]  # (B, S, d)
-        np.add.at(
-            params.item_factors,
-            flat_items,
-            lr * (item_grad.reshape(-1, params.n_factors) - self.reg.alpha_v * item_vecs.reshape(-1, params.n_factors)),
+        item_update = lr * (
+            item_grad.reshape(-1, params.n_factors)
+            - self.reg.alpha_v * item_vecs.reshape(-1, params.n_factors)
         )
-        np.add.at(
-            params.item_bias,
-            flat_items,
-            lr * (weight.ravel() - self.reg.beta_v * params.item_bias[flat_items]),
-        )
+        bias_update = lr * (weight.ravel() - self.reg.beta_v * params.item_bias[flat_items])
+        if guard is not None:
+            user_update = guard.clip_rows(user_update)
+            item_update = guard.clip_rows(item_update)
+            bias_update = guard.clip_rows(bias_update)
+        np.add.at(params.user_factors, users, user_update)
+        np.add.at(params.item_factors, flat_items, item_update)
+        np.add.at(params.item_bias, flat_items, bias_update)
         return float(np.mean(-log_sigmoid(margin)))

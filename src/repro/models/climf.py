@@ -14,6 +14,8 @@ size, which is exactly why Table 2 reports CLiMF as the slow method
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.data.interactions import InteractionMatrix
@@ -30,7 +32,10 @@ class CLiMF(FactorRecommender):
     Parameters mirror :class:`~repro.models.base.TupleSGDRecommender`
     but no sampler is involved: each epoch performs one exact
     full-profile gradient ascent step per user (the original CLiMF
-    learning scheme).
+    learning scheme).  ``guard``, ``checkpoint``, ``fault_injector``,
+    and ``fit(resume_from=...)`` behave as in the tuple-SGD models;
+    the fault injector ticks once per *epoch* here (CLiMF has no
+    sampled steps).
     """
 
     def __init__(
@@ -41,6 +46,9 @@ class CLiMF(FactorRecommender):
         reg: RegularizationConfig | None = None,
         seed=None,
         epoch_callback: EpochCallback | None = None,
+        guard=None,
+        checkpoint=None,
+        fault_injector=None,
     ):
         super().__init__()
         self.n_factors = int(n_factors)
@@ -48,6 +56,10 @@ class CLiMF(FactorRecommender):
         self.reg = reg or RegularizationConfig()
         self.seed = seed
         self.epoch_callback = epoch_callback
+        self.guard = guard
+        self.checkpoint = checkpoint
+        self.fault_injector = fault_injector
+        self.learning_rate_: float | None = None
         self.objective_history_: list[float] = []
 
     @property
@@ -57,7 +69,7 @@ class CLiMF(FactorRecommender):
     def _user_step(self, user: int, positives: np.ndarray) -> float:
         """Exact ascent step on user ``user``'s smoothed-MRR bound."""
         params = self.params_
-        lr = self.sgd.learning_rate
+        lr = self.learning_rate_ if self.learning_rate_ is not None else self.sgd.learning_rate
         # Copy: integer indexing returns a live view, and the item update
         # below must use the pre-step user vector (simultaneous update).
         user_vec = params.user_factors[user].copy()
@@ -82,18 +94,100 @@ class CLiMF(FactorRecommender):
         params.item_bias[positives] += lr * (coeff - self.reg.beta_v * bias)
         return objective
 
-    def fit(self, train: InteractionMatrix, validation: InteractionMatrix | None = None) -> "CLiMF":
+    def fit(
+        self,
+        train: InteractionMatrix,
+        validation: InteractionMatrix | None = None,
+        *,
+        resume_from=None,
+    ) -> "CLiMF":
+        from repro.resilience.checkpoint import (
+            CheckpointConfig,
+            CheckpointManager,
+            TrainingCheckpoint,
+            resolve_checkpoint,
+        )
+        from repro.resilience.guard import as_guard
+        from repro.utils.exceptions import CheckpointError
+
+        guard = as_guard(self.guard)
+        manager = self.checkpoint
+        if isinstance(manager, CheckpointConfig):
+            manager = CheckpointManager(manager)
+        injector = self.fault_injector
         rng = as_generator(self.seed)
         self._train = train
-        self.params_ = FactorParams.init(train.n_users, train.n_items, self.n_factors, seed=rng)
-        self.objective_history_ = []
+
+        if resume_from is not None:
+            resumed = resolve_checkpoint(resume_from)
+            if (resumed.params.n_users, resumed.params.n_items) != (train.n_users, train.n_items):
+                raise CheckpointError(
+                    f"checkpoint shape ({resumed.params.n_users}x{resumed.params.n_items}) "
+                    f"does not match training data ({train.n_users}x{train.n_items})"
+                )
+            self.params_ = resumed.params.copy()
+            rng.bit_generator.state = copy.deepcopy(resumed.rng_state)
+            self.learning_rate_ = (
+                resumed.learning_rate
+                if resumed.learning_rate is not None
+                else self.sgd.learning_rate
+            )
+            self.objective_history_ = list(resumed.loss_history)
+            start_epoch = resumed.epoch + 1
+        else:
+            self.params_ = FactorParams.init(
+                train.n_users, train.n_items, self.n_factors, seed=rng
+            )
+            self.learning_rate_ = self.sgd.learning_rate
+            self.objective_history_ = []
+            start_epoch = 0
+        if guard is not None:
+            guard.reset()
+        if injector is not None:
+            injector.reset()
 
         users_with_items = [user for user, _ in train.iter_users()]
-        for epoch in range(self.sgd.n_epochs):
+        n_users = max(len(users_with_items), 1)
+        snapshot = None
+        if guard is not None:
+            snapshot = (start_epoch - 1, self.params_.copy(),
+                        copy.deepcopy(rng.bit_generator.state), len(self.objective_history_))
+
+        epoch = start_epoch
+        while epoch < self.sgd.n_epochs:
             total = 0.0
             for user in rng.permutation(users_with_items):
                 total += self._user_step(int(user), train.positives(int(user)))
-            self.objective_history_.append(total / max(len(users_with_items), 1))
+            if injector is not None:
+                injector.tick(self.params_)
+            mean_objective = total / n_users
+            if guard is not None:
+                # CLiMF *maximizes* its bound, so feed the guard the
+                # negated objective (a loss-shaped, decreasing signal).
+                reason = guard.check_epoch(self.params_, -mean_objective)
+                if reason is not None:
+                    guard.record_backoff(reason, epoch=epoch)
+                    self.learning_rate_ *= guard.config.backoff_factor
+                    snap_epoch, snap_params, snap_rng, snap_len = snapshot
+                    self.params_ = snap_params.copy()
+                    rng.bit_generator.state = copy.deepcopy(snap_rng)
+                    del self.objective_history_[snap_len:]
+                    epoch = snap_epoch + 1
+                    continue
+            self.objective_history_.append(mean_objective)
             if self.epoch_callback is not None:
                 self.epoch_callback(self, epoch)
+            if guard is not None:
+                snapshot = (epoch, self.params_.copy(),
+                            copy.deepcopy(rng.bit_generator.state), len(self.objective_history_))
+            if manager is not None and manager.should_save(epoch):
+                manager.save(TrainingCheckpoint(
+                    epoch=epoch,
+                    params=self.params_,
+                    rng_state=rng.bit_generator.state,
+                    learning_rate=self.learning_rate_,
+                    loss_history=list(self.objective_history_),
+                    extra={"model": self.name},
+                ))
+            epoch += 1
         return self

@@ -8,9 +8,14 @@ a sampled *group* ``G`` of other users who also consumed ``i``,
 ``R = rho * mean_{w in G} f_wi + (1 - rho) * f_ui - f_uj``
 
 and the usual logistic objective ``ln sigma(R)`` is maximized.  The
-group preference does not fit the single-user linear-combination engine
-of :class:`~repro.models.base.TupleSGDRecommender`, so GBPR carries its
-own vectorized SGD step.
+group preference does not fit the single-user linear-combination
+``_tuple_terms`` contract, so GBPR overrides the SGD step itself —
+but it rides the shared :class:`~repro.models.base.TupleSGDRecommender`
+epoch loop, which gives it checkpoint/resume, divergence guards, early
+stopping, and warm starts for free.  Group members are drawn inside
+``_make_batch`` (immediately after the tuple draw, preserving the RNG
+call order of the original dedicated loop, so training is bitwise
+unchanged by the refactor).
 """
 
 from __future__ import annotations
@@ -19,16 +24,13 @@ import numpy as np
 
 from repro.data.interactions import InteractionMatrix
 from repro.mf.functional import log_sigmoid, sigmoid
-from repro.mf.params import FactorParams
-from repro.mf.sgd import RegularizationConfig, SGDConfig
-from repro.models.base import EpochCallback, FactorRecommender
-from repro.sampling.uniform import UniformSampler
+from repro.models.base import TupleSGDRecommender
+from repro.sampling.base import TupleBatch
 from repro.utils.exceptions import ConfigError
-from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
 
 
-class GBPR(FactorRecommender):
+class GBPR(TupleSGDRecommender):
     """Group-preference BPR.
 
     Parameters
@@ -47,28 +49,23 @@ class GBPR(FactorRecommender):
         *,
         rho: float = 0.4,
         group_size: int = 3,
-        sgd: SGDConfig | None = None,
-        reg: RegularizationConfig | None = None,
-        seed=None,
-        epoch_callback: EpochCallback | None = None,
+        **kwargs,
     ):
-        super().__init__()
+        super().__init__(n_factors, **kwargs)
         check_probability(rho, "rho")
         if group_size < 1:
             raise ConfigError(f"group_size must be >= 1, got {group_size}")
-        self.n_factors = int(n_factors)
         self.rho = rho
         self.group_size = group_size
-        self.sgd = sgd or SGDConfig()
-        self.reg = reg or RegularizationConfig()
-        self.seed = seed
-        self.epoch_callback = epoch_callback
-        self.loss_history_: list[float] = []
         self._item_major: InteractionMatrix | None = None
+        self._pending_groups: np.ndarray | None = None
 
     @property
     def name(self) -> str:
         return "GBPR"
+
+    def _on_fit_start(self, train: InteractionMatrix) -> None:
+        self._item_major = train.transpose()
 
     def _sample_groups(self, items: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """(B, group_size) users drawn from each item's consumer list."""
@@ -77,10 +74,18 @@ class GBPR(FactorRecommender):
         offsets = rng.integers(0, counts[:, None], size=(len(items), self.group_size))
         return item_major.indices[item_major.indptr[items][:, None] + offsets]
 
-    def _sgd_step(self, batch, rng: np.random.Generator) -> float:
+    def _make_batch(self, batch_size: int, rng: np.random.Generator) -> TupleBatch:
+        batch = self.sampler.sample(batch_size, rng)
+        self._pending_groups = self._sample_groups(batch.pos_i, rng)
+        return batch
+
+    def _tuple_terms(self, batch: TupleBatch):  # pragma: no cover - unused
+        raise NotImplementedError("GBPR overrides _sgd_step directly")
+
+    def _sgd_step(self, batch: TupleBatch) -> float:
         params = self.params_
         users, pos_i, neg_j = batch.users, batch.pos_i, batch.neg_j
-        groups = self._sample_groups(pos_i, rng)  # (B, G)
+        groups = self._pending_groups  # (B, G), drawn in _make_batch
 
         user_vecs = params.user_factors[users]  # (B, d)
         group_vecs = params.user_factors[groups]  # (B, G, d)
@@ -94,55 +99,45 @@ class GBPR(FactorRecommender):
         margin = self.rho * f_group + (1.0 - self.rho) * f_ui - f_uj
         residual = 1.0 - sigmoid(margin)
 
-        lr = self.sgd.learning_rate
+        lr = self.learning_rate_ if self.learning_rate_ is not None else self.sgd.learning_rate
+        guard = getattr(self, "_active_guard", None)
         reg = self.reg
+
         # dR/dU_u = (1 - rho) V_i - V_j ; group members get rho/|G| V_i.
-        np.add.at(
-            params.user_factors,
-            users,
-            lr * (residual[:, None] * ((1 - self.rho) * item_i - item_j) - reg.alpha_u * user_vecs),
+        user_update = lr * (
+            residual[:, None] * ((1 - self.rho) * item_i - item_j) - reg.alpha_u * user_vecs
         )
         group_grad = np.broadcast_to(
             (self.rho / self.group_size) * residual[:, None, None] * item_i[:, None, :],
             group_vecs.shape,
         )
-        np.add.at(
-            params.user_factors,
-            groups.ravel(),
-            lr * (group_grad.reshape(-1, params.n_factors)
-                  - reg.alpha_u * group_vecs.reshape(-1, params.n_factors)),
+        group_update = lr * (
+            group_grad.reshape(-1, params.n_factors)
+            - reg.alpha_u * group_vecs.reshape(-1, params.n_factors)
         )
         # dR/dV_i = rho mean(U_G) + (1 - rho) U_u ; dR/dV_j = -U_u.
         mean_group = group_vecs.mean(axis=1)
-        np.add.at(
-            params.item_factors,
-            pos_i,
-            lr * (residual[:, None] * (self.rho * mean_group + (1 - self.rho) * user_vecs)
-                  - reg.alpha_v * item_i),
+        item_i_update = lr * (
+            residual[:, None] * (self.rho * mean_group + (1 - self.rho) * user_vecs)
+            - reg.alpha_v * item_i
         )
-        np.add.at(
-            params.item_factors,
-            neg_j,
-            lr * (-residual[:, None] * user_vecs - reg.alpha_v * item_j),
-        )
-        np.add.at(params.item_bias, pos_i, lr * (residual - reg.beta_v * params.item_bias[pos_i]))
-        np.add.at(params.item_bias, neg_j, lr * (-residual - reg.beta_v * params.item_bias[neg_j]))
+        item_j_update = lr * (-residual[:, None] * user_vecs - reg.alpha_v * item_j)
+        bias_i_update = lr * (residual - reg.beta_v * params.item_bias[pos_i])
+        if guard is not None:
+            user_update = guard.clip_rows(user_update)
+            group_update = guard.clip_rows(group_update)
+            item_i_update = guard.clip_rows(item_i_update)
+            item_j_update = guard.clip_rows(item_j_update)
+            bias_i_update = guard.clip_rows(bias_i_update)
+        np.add.at(params.user_factors, users, user_update)
+        np.add.at(params.user_factors, groups.ravel(), group_update)
+        np.add.at(params.item_factors, pos_i, item_i_update)
+        np.add.at(params.item_factors, neg_j, item_j_update)
+        np.add.at(params.item_bias, pos_i, bias_i_update)
+        # The negative-bias regularizer reads the *post-positive-update*
+        # bias, matching the update order of the original GBPR loop.
+        bias_j_update = lr * (-residual - reg.beta_v * params.item_bias[neg_j])
+        if guard is not None:
+            bias_j_update = guard.clip_rows(bias_j_update)
+        np.add.at(params.item_bias, neg_j, bias_j_update)
         return float(np.mean(-log_sigmoid(margin)))
-
-    def fit(self, train: InteractionMatrix, validation: InteractionMatrix | None = None) -> "GBPR":
-        rng = as_generator(self.seed)
-        self._train = train
-        self._item_major = train.transpose()
-        self.params_ = FactorParams.init(train.n_users, train.n_items, self.n_factors, seed=rng)
-        sampler = UniformSampler().bind(train, self.params_)
-        self.loss_history_ = []
-        steps = self.sgd.steps_per_epoch(train.n_interactions)
-        for epoch in range(self.sgd.n_epochs):
-            epoch_loss = 0.0
-            for _ in range(steps):
-                batch = sampler.sample(self.sgd.batch_size, rng)
-                epoch_loss += self._sgd_step(batch, rng)
-            self.loss_history_.append(epoch_loss / steps)
-            if self.epoch_callback is not None:
-                self.epoch_callback(self, epoch)
-        return self

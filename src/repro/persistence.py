@@ -4,12 +4,18 @@ Factor models serialize to a single ``.npz`` (arrays + a JSON metadata
 blob), interaction matrices to ``.npz`` (CSR arrays), and experiment
 results to plain JSON — no pickling, so the files are portable and safe
 to load.
+
+All writers are *atomic*: content goes to a temporary file in the same
+directory and is moved into place with :func:`os.replace`, so a crash
+mid-write (power loss, OOM-kill, ``kill -9``) can never leave a
+truncated or corrupt artifact under the final name — the old version,
+if any, survives intact.  This is the persistence contract the
+checkpoint/resume machinery in :mod:`repro.resilience` builds on.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
@@ -18,6 +24,12 @@ from repro.data.interactions import InteractionMatrix
 from repro.experiments.runner import MethodResult
 from repro.metrics.evaluator import EvaluationResult
 from repro.mf.params import FactorParams
+from repro.utils.atomicio import (  # noqa: F401  (re-exported API)
+    array_checksum,
+    atomic_write,
+    write_json_atomic,
+    write_npz_atomic,
+)
 from repro.utils.exceptions import DataError
 
 _FORMAT_VERSION = 1
@@ -27,23 +39,56 @@ _FORMAT_VERSION = 1
 # Factor parameters
 # ----------------------------------------------------------------------
 def save_factors(path: str | Path, params: FactorParams, *, metadata: dict | None = None) -> Path:
-    """Write factor parameters (and optional JSON metadata) to ``.npz``."""
-    path = Path(path)
-    blob = json.dumps({"version": _FORMAT_VERSION, **(metadata or {})})
-    np.savez(
+    """Write factor parameters (and optional JSON metadata) to ``.npz``.
+
+    The write is atomic and the metadata records the latent shape plus a
+    CRC-32 checksum of the arrays, which :func:`load_factors` verifies.
+    """
+    blob = json.dumps({
+        "version": _FORMAT_VERSION,
+        "n_users": params.n_users,
+        "n_items": params.n_items,
+        "n_factors": params.n_factors,
+        "checksum": array_checksum(params.user_factors, params.item_factors, params.item_bias),
+        **(metadata or {}),
+    })
+    return write_npz_atomic(
         path,
-        user_factors=params.user_factors,
-        item_factors=params.item_factors,
-        item_bias=params.item_bias,
-        metadata=np.array(blob),
+        {
+            "user_factors": params.user_factors,
+            "item_factors": params.item_factors,
+            "item_bias": params.item_bias,
+            "metadata": np.array(blob),
+        },
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_factors(path: str | Path) -> tuple[FactorParams, dict]:
+def validate_factors(params: FactorParams, *, source: str = "factors") -> FactorParams:
+    """Reject non-finite factor parameters (NaN/Inf) with a :class:`DataError`.
+
+    Shape consistency is already enforced by ``FactorParams.__post_init__``;
+    this adds the finiteness check so a poisoned artifact fails loudly at
+    load time instead of silently propagating NaNs into serving.
+    """
+    for name in ("user_factors", "item_factors", "item_bias"):
+        array = getattr(params, name)
+        if not np.isfinite(array).all():
+            bad = int(np.size(array) - np.isfinite(array).sum())
+            raise DataError(
+                f"{source}: {name} contains {bad} non-finite values (NaN/Inf); "
+                "refusing to load poisoned parameters"
+            )
+    return params
+
+
+def load_factors(path: str | Path, *, validate: bool = True) -> tuple[FactorParams, dict]:
     """Load factor parameters saved by :func:`save_factors`.
 
-    Returns ``(params, metadata)``.
+    Returns ``(params, metadata)``.  With ``validate`` (the default) the
+    arrays are checked for finiteness, the shapes recorded in the
+    metadata must match the arrays, and a stored checksum, when present,
+    must verify — each failure raises :class:`DataError` rather than
+    returning corrupt parameters.
     """
     with np.load(Path(path), allow_pickle=False) as archive:
         required = {"user_factors", "item_factors", "item_bias"}
@@ -56,6 +101,26 @@ def load_factors(path: str | Path) -> tuple[FactorParams, dict]:
             item_bias=archive["item_bias"].copy(),
         )
         metadata = json.loads(str(archive["metadata"])) if "metadata" in archive.files else {}
+    if validate:
+        validate_factors(params, source=str(path))
+        for key, actual in (
+            ("n_users", params.n_users),
+            ("n_items", params.n_items),
+            ("n_factors", params.n_factors),
+        ):
+            expected = metadata.get(key)
+            if expected is not None and int(expected) != actual:
+                raise DataError(
+                    f"{path}: metadata says {key}={expected} but arrays have {actual}"
+                )
+        stored = metadata.get("checksum")
+        if stored is not None:
+            actual_crc = array_checksum(params.user_factors, params.item_factors, params.item_bias)
+            if int(stored) != actual_crc:
+                raise DataError(
+                    f"{path}: checksum mismatch (stored {stored}, computed {actual_crc}); "
+                    "file is corrupt"
+                )
     return params, metadata
 
 
@@ -63,15 +128,15 @@ def load_factors(path: str | Path) -> tuple[FactorParams, dict]:
 # Interaction matrices
 # ----------------------------------------------------------------------
 def save_interactions(path: str | Path, matrix: InteractionMatrix) -> Path:
-    """Write an interaction matrix to ``.npz`` (CSR arrays)."""
-    path = Path(path)
-    np.savez(
+    """Atomically write an interaction matrix to ``.npz`` (CSR arrays)."""
+    return write_npz_atomic(
         path,
-        shape=np.array([matrix.n_users, matrix.n_items], dtype=np.int64),
-        indptr=matrix.indptr,
-        indices=matrix.indices,
+        {
+            "shape": np.array([matrix.n_users, matrix.n_items], dtype=np.int64),
+            "indptr": matrix.indptr,
+            "indices": matrix.indices,
+        },
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_interactions(path: str | Path) -> InteractionMatrix:
@@ -103,12 +168,34 @@ def method_result_to_dict(result: MethodResult) -> dict:
         "stds": dict(result.stds),
         "train_seconds": result.train_seconds,
         "n_repeats": result.n_repeats,
+        "per_repeat": [dict(r) for r in result.per_repeat],
+        "timed_out": result.timed_out,
+        "failed": result.failed,
+        "error": result.error,
     }
+
+
+def method_result_from_dict(payload: dict) -> MethodResult:
+    """Rebuild a :class:`MethodResult` from :func:`method_result_to_dict`.
+
+    Used by the experiment journal to resume an interrupted sweep with
+    the completed cells' results intact.
+    """
+    return MethodResult(
+        name=payload["name"],
+        means=dict(payload.get("means", {})),
+        stds=dict(payload.get("stds", {})),
+        train_seconds=float(payload.get("train_seconds", 0.0)),
+        n_repeats=int(payload.get("n_repeats", 0)),
+        per_repeat=[dict(r) for r in payload.get("per_repeat", [])],
+        timed_out=bool(payload.get("timed_out", False)),
+        failed=bool(payload.get("failed", False)),
+        error=payload.get("error"),
+    )
 
 
 def save_results(path: str | Path, results) -> Path:
     """Save evaluation / method results (single or dict of) as JSON."""
-    path = Path(path)
 
     def convert(value):
         if isinstance(value, EvaluationResult):
@@ -119,8 +206,7 @@ def save_results(path: str | Path, results) -> Path:
             return {key: convert(item) for key, item in value.items()}
         return value
 
-    path.write_text(json.dumps(convert(results), indent=2, sort_keys=True), encoding="utf-8")
-    return path
+    return write_json_atomic(path, convert(results))
 
 
 def load_results(path: str | Path) -> dict:

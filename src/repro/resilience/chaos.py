@@ -1,0 +1,99 @@
+"""Deterministic fault injection for testing the resilience machinery.
+
+Every recovery path in this subsystem — checkpoint/resume, divergence
+rollback, experiment isolation — is only trustworthy if it can be
+exercised on demand.  :class:`FaultInjector` attaches to any SGD-family
+model (``model.fault_injector = FaultInjector(...)``) and fires at an
+exact global step:
+
+* ``nan_at_step`` — poisons a slice of the item factors with NaN,
+  simulating a sigmoid-saturated gradient blowup;
+* ``fail_at_step`` — raises :class:`InjectedFault`, an ordinary
+  exception, simulating a crashing method inside an experiment sweep;
+* ``kill_at_step`` — raises :class:`SimulatedKill`, which derives from
+  ``BaseException`` so that ``except Exception`` recovery code cannot
+  swallow it — the closest in-process analogue of ``kill -9``.
+
+Steps are counted by the injector itself (one :meth:`tick` per SGD
+step), so injection points are deterministic and independent of epoch
+boundaries.  Each fault fires at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mf.params import FactorParams
+from repro.utils.exceptions import ReproError
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deliberately injected, catchable failure."""
+
+
+class SimulatedKill(BaseException):
+    """An injected process kill.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so the
+    guard/retry layers, which catch ``Exception``, let it propagate —
+    exactly as a real ``SIGKILL`` would leave only on-disk state behind.
+    """
+
+
+@dataclass
+class FaultInjector:
+    """Injects one fault of each kind at configured global steps.
+
+    Attributes
+    ----------
+    nan_at_step / fail_at_step / kill_at_step:
+        1-based step numbers at which each fault fires (``None``
+        disables that fault).
+    nan_rows:
+        How many leading item-factor rows the NaN fault poisons.
+    """
+
+    nan_at_step: int | None = None
+    fail_at_step: int | None = None
+    kill_at_step: int | None = None
+    nan_rows: int = 1
+    step_: int = field(default=0, init=False)
+    fired_: list[str] = field(default_factory=list, init=False)
+
+    def reset(self) -> None:
+        self.step_ = 0
+        self.fired_ = []
+
+    def tick(self, params: FactorParams | None = None) -> None:
+        """Advance one step; fire any fault scheduled for it."""
+        self.step_ += 1
+        if self.nan_at_step == self.step_ and "nan" not in self.fired_:
+            self.fired_.append("nan")
+            if params is not None:
+                rows = min(self.nan_rows, params.n_items)
+                params.item_factors[:rows] = np.nan
+        if self.fail_at_step == self.step_ and "fail" not in self.fired_:
+            self.fired_.append("fail")
+            raise InjectedFault(f"injected failure at step {self.step_}")
+        if self.kill_at_step == self.step_ and "kill" not in self.fired_:
+            self.fired_.append("kill")
+            raise SimulatedKill(f"simulated kill at step {self.step_}")
+
+
+def flaky(fn, *, fail_times: int, exc: type[Exception] = InjectedFault):
+    """Wrap ``fn`` to raise ``exc`` on its first ``fail_times`` calls.
+
+    A tiny helper for testing retry-with-backoff paths: the wrapped
+    callable fails deterministically, then behaves normally.
+    """
+    calls = {"n": 0}
+
+    def wrapper(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] <= fail_times:
+            raise exc(f"injected flaky failure {calls['n']}/{fail_times}")
+        return fn(*args, **kwargs)
+
+    return wrapper

@@ -1,0 +1,198 @@
+"""Divergence detection and recovery policies for SGD training.
+
+The sigmoid-saturated gradients of the pairwise/listwise objectives
+(Eqs. 15–21) blow up under too-large learning rates — the failure mode
+the BPR replicability literature repeatedly reports.  A
+:class:`TrainingGuard` watches three signals:
+
+* **non-finite parameters** — any NaN/Inf in the factor matrices;
+* **exploding loss** — a non-finite epoch loss, or one exceeding
+  ``explode_factor`` times the best epoch loss seen so far;
+* **stalled validation** — ``stall_patience`` consecutive validation
+  scores without ``min_delta`` improvement (reported to the caller,
+  which typically lets early stopping handle it).
+
+and applies the configured recovery ``policy`` when training diverges:
+
+* ``"rollback"`` — restore the last healthy in-memory snapshot
+  (parameters *and* RNG state), multiply the learning rate by
+  ``backoff_factor``, and retry; after ``max_backoffs`` failed
+  recoveries a :class:`DivergenceError` is raised.
+* ``"abort"`` — raise :class:`DivergenceError` immediately.
+
+Independently of detection, ``clip_norm`` bounds the per-row norm of
+every gradient update (applied inside the SGD step), which prevents
+most blowups from happening at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mf.params import FactorParams
+from repro.utils.exceptions import ConfigError, DivergenceError
+
+_POLICIES = ("rollback", "abort")
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Tuning knobs of :class:`TrainingGuard`.
+
+    Attributes
+    ----------
+    policy:
+        ``"rollback"`` (restore last good state + LR backoff, the
+        default) or ``"abort"`` (raise on first divergence).
+    clip_norm:
+        Max L2 norm of any single row update in the SGD step
+        (``None`` disables clipping).
+    explode_factor:
+        An epoch loss above ``explode_factor * best_epoch_loss`` counts
+        as divergence (losses here are mean ``-ln sigma(R)`` values, so
+        positive and decreasing on healthy runs).
+    backoff_factor:
+        Learning-rate multiplier applied on each rollback.
+    max_backoffs:
+        Rollbacks allowed before giving up with :class:`DivergenceError`.
+    stall_patience:
+        Consecutive non-improving validation scores before
+        :meth:`TrainingGuard.observe_validation` reports a stall
+        (``None`` disables stall detection).
+    min_delta:
+        Improvement that resets the stall counter.
+    """
+
+    policy: str = "rollback"
+    clip_norm: float | None = 5.0
+    explode_factor: float = 10.0
+    backoff_factor: float = 0.5
+    max_backoffs: int = 3
+    stall_patience: int | None = None
+    min_delta: float = 1e-4
+
+    def __post_init__(self):
+        if self.policy not in _POLICIES:
+            raise ConfigError(f"policy must be one of {_POLICIES}, got {self.policy!r}")
+        if self.clip_norm is not None and self.clip_norm <= 0:
+            raise ConfigError(f"clip_norm must be positive, got {self.clip_norm}")
+        if self.explode_factor <= 1.0:
+            raise ConfigError(f"explode_factor must be > 1, got {self.explode_factor}")
+        if not 0.0 < self.backoff_factor < 1.0:
+            raise ConfigError(f"backoff_factor must be in (0, 1), got {self.backoff_factor}")
+        if self.max_backoffs < 0:
+            raise ConfigError(f"max_backoffs must be >= 0, got {self.max_backoffs}")
+        if self.stall_patience is not None and self.stall_patience < 1:
+            raise ConfigError(f"stall_patience must be >= 1, got {self.stall_patience}")
+
+
+class TrainingGuard:
+    """Stateful divergence watchdog owned by one training run.
+
+    The training loop calls :meth:`reset` at fit start,
+    :meth:`check_epoch` after each epoch, and (optionally)
+    :meth:`observe_validation` after each validation evaluation.  The
+    loop itself performs the rollback — the guard only detects, counts
+    backoffs, and decides when to abort via :meth:`record_backoff`.
+    """
+
+    def __init__(self, config: GuardConfig | None = None):
+        self.config = config or GuardConfig()
+        self.backoffs_ = 0
+        self.divergences_: list[str] = []
+        self._best_loss = np.inf
+        self._best_validation = -np.inf
+        self._stale_validations = 0
+
+    def reset(self) -> None:
+        self.backoffs_ = 0
+        self.divergences_ = []
+        self._best_loss = np.inf
+        self._best_validation = -np.inf
+        self._stale_validations = 0
+
+    # -- detection ------------------------------------------------------
+    def params_finite(self, params: FactorParams) -> bool:
+        return bool(
+            np.isfinite(params.user_factors).all()
+            and np.isfinite(params.item_factors).all()
+            and np.isfinite(params.item_bias).all()
+        )
+
+    def check_epoch(self, params: FactorParams, epoch_loss: float) -> str | None:
+        """Return a divergence reason string, or ``None`` when healthy."""
+        if not np.isfinite(epoch_loss):
+            return f"non-finite epoch loss ({epoch_loss})"
+        if not self.params_finite(params):
+            return "non-finite values in factor parameters"
+        if epoch_loss > self.config.explode_factor * self._best_loss:
+            return (
+                f"exploding loss: {epoch_loss:.4g} > "
+                f"{self.config.explode_factor:g} x best {self._best_loss:.4g}"
+            )
+        self._best_loss = min(self._best_loss, epoch_loss)
+        return None
+
+    def observe_validation(self, score: float) -> bool:
+        """Track validation progress; True when training has stalled."""
+        if self.config.stall_patience is None:
+            return False
+        if score > self._best_validation + self.config.min_delta:
+            self._best_validation = score
+            self._stale_validations = 0
+            return False
+        self._stale_validations += 1
+        return self._stale_validations >= self.config.stall_patience
+
+    # -- recovery accounting -------------------------------------------
+    def record_backoff(self, reason: str, *, epoch: int) -> None:
+        """Count one rollback; raise when the budget or policy forbids it.
+
+        Raises :class:`DivergenceError` under the ``"abort"`` policy or
+        once ``max_backoffs`` rollbacks have been spent.
+        """
+        self.divergences_.append(reason)
+        if self.config.policy == "abort":
+            raise DivergenceError(
+                f"training diverged at epoch {epoch}: {reason}", epoch=epoch
+            )
+        if self.backoffs_ >= self.config.max_backoffs:
+            raise DivergenceError(
+                f"training diverged at epoch {epoch} and did not recover after "
+                f"{self.backoffs_} learning-rate backoffs: {reason}",
+                epoch=epoch,
+            )
+        self.backoffs_ += 1
+
+    # -- in-step protection --------------------------------------------
+    def clip_rows(self, update: np.ndarray) -> np.ndarray:
+        """Scale rows of ``update`` down to ``clip_norm`` L2 norm.
+
+        ``update`` may be ``(N, d)`` or ``(N,)`` (bias vector); returns
+        the clipped array (possibly the input, unmodified, when clipping
+        is disabled or no row exceeds the bound).
+        """
+        clip = self.config.clip_norm
+        if clip is None:
+            return update
+        if update.ndim == 1:
+            norms = np.abs(update)
+        else:
+            norms = np.linalg.norm(update, axis=-1)
+        over = norms > clip
+        if not over.any():
+            return update
+        scale = np.ones_like(norms)
+        np.divide(clip, norms, out=scale, where=over)
+        return update * (scale[..., None] if update.ndim > 1 else scale)
+
+
+def as_guard(guard) -> TrainingGuard | None:
+    """Coerce ``None`` / :class:`GuardConfig` / :class:`TrainingGuard`."""
+    if guard is None or isinstance(guard, TrainingGuard):
+        return guard
+    if isinstance(guard, GuardConfig):
+        return TrainingGuard(guard)
+    raise ConfigError(f"expected GuardConfig or TrainingGuard, got {type(guard).__name__}")

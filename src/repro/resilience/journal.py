@@ -1,0 +1,86 @@
+"""Partial-result journaling for resumable experiment sweeps.
+
+An :class:`ExperimentJournal` is a directory of one atomically-written
+JSON file per completed cell (a method, a hyper-parameter combination,
+a repeat).  A sweep records each cell as it finishes; after a crash the
+re-run asks ``journal.completed(key)`` and skips straight past finished
+work, so a killed 5-repeat × multi-method × multi-λ grid loses at most
+the single cell that was in flight.
+
+Keys are arbitrary strings (method names, parameter-dict encodings via
+:func:`cell_key`); they are sanitized into file names, with a stable
+hash suffix guarding against collisions and over-long names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Iterator
+
+from repro.utils.atomicio import write_json_atomic
+
+_SAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]+")
+_MAX_STEM = 80
+
+
+def cell_key(name: str, params: dict | None = None) -> str:
+    """Canonical journal key for a named cell with optional parameters."""
+    if not params:
+        return name
+    encoded = json.dumps(params, sort_keys=True, default=str)
+    return f"{name}:{encoded}"
+
+
+class ExperimentJournal:
+    """A crash-safe record of completed experiment cells.
+
+    Parameters
+    ----------
+    directory:
+        Where cell files live (created lazily on first write).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        stem = _SAFE_CHARS.sub("_", key)[:_MAX_STEM].strip("_") or "cell"
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:12]
+        return self.directory / f"{stem}.{digest}.json"
+
+    def completed(self, key: str) -> bool:
+        """Has a result for ``key`` been journaled?"""
+        return self._path(key).exists()
+
+    def record(self, key: str, payload: dict) -> Path:
+        """Atomically persist ``payload`` as the result of cell ``key``."""
+        return write_json_atomic(self._path(key), {"key": key, "payload": payload})
+
+    def get(self, key: str) -> dict | None:
+        """The journaled payload for ``key``, or ``None``."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))["payload"]
+        except (json.JSONDecodeError, KeyError, OSError):
+            # A torn or foreign file: treat the cell as not completed
+            # (atomic writes make this unreachable for our own records).
+            return None
+
+    def items(self) -> Iterator[tuple[str, dict]]:
+        """Iterate ``(key, payload)`` over every journaled cell."""
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                yield entry["key"], entry["payload"]
+            except (json.JSONDecodeError, KeyError, OSError):
+                continue
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())

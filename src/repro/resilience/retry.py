@@ -1,0 +1,49 @@
+"""Retry-with-exponential-backoff for flaky experiment cells."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro.utils.exceptions import ConfigError
+
+T = TypeVar("T")
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    retries: int = 2,
+    base_delay: float = 0.5,
+    factor: float = 2.0,
+    retryable: tuple[type[Exception], ...] = (Exception,),
+    on_retry: Callable[[int, Exception], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` with up to ``retries`` retries and exponential backoff.
+
+    Attempt ``a`` (0-based) sleeps ``base_delay * factor**a`` before the
+    next try.  Only exceptions matching ``retryable`` are retried —
+    ``BaseException`` escapees such as
+    :class:`~repro.resilience.chaos.SimulatedKill` or
+    ``KeyboardInterrupt`` always propagate immediately, as do
+    exhausted-retry failures (the last exception is re-raised).
+    ``on_retry(attempt, error)`` is invoked before each sleep; ``sleep``
+    is injectable for tests.
+    """
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
+    if base_delay < 0:
+        raise ConfigError(f"base_delay must be >= 0, got {base_delay}")
+    for attempt in range(retries + 1):
+        try:
+            return fn()
+        except retryable as error:
+            if attempt >= retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            delay = base_delay * factor**attempt
+            if delay > 0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -150,3 +150,20 @@ class Sampler(ABC):
     def step(self) -> int:
         """Number of batches drawn since the last bind."""
         return self._step
+
+    # -- checkpoint/resume ------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable sampler state captured at a checkpoint.
+
+        The base state is just the step counter.  Adaptive samplers
+        rebuild their ranking caches from the restored parameters at
+        the next ``bind``, which is deterministic but may not reproduce
+        the exact mid-run cache timing; the uniform sampler is fully
+        stateless beyond the counter, so resumed runs are bitwise
+        identical to uninterrupted ones.
+        """
+        return {"step": self._step}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (after ``bind``)."""
+        self._step = int(state.get("step", 0))

@@ -1,0 +1,80 @@
+"""Low-level atomic file writers and checksums.
+
+Dependency-free primitives shared by :mod:`repro.persistence` and the
+:mod:`repro.resilience` subsystem (which cannot import ``persistence``
+directly without a cycle through the experiment runner).  The contract:
+content is written to a temporary file in the target's directory and
+moved into place with :func:`os.replace`, so a crash mid-write never
+leaves a truncated artifact under the final name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+
+def atomic_write(path: str | Path, writer: Callable[[Path], None]) -> Path:
+    """Run ``writer(tmp_path)`` then atomically move ``tmp_path`` to ``path``.
+
+    The temporary file lives in the *same directory* as the target so
+    :func:`os.replace` is a same-filesystem rename — atomic on POSIX.
+    On any failure the temporary file is removed and the original
+    ``path`` (if it existed) is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    os.close(fd)
+    tmp_path = Path(tmp_name)
+    try:
+        writer(tmp_path)
+        os.replace(tmp_path, path)
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def write_npz_atomic(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    """Atomically write ``arrays`` as an uncompressed ``.npz`` archive."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+
+    def writer(tmp_path: Path) -> None:
+        # np.savez appends ".npz" unless the name already ends with it,
+        # so write through a file handle to keep the tmp name exact.
+        with open(tmp_path, "wb") as handle:
+            np.savez(handle, **arrays)
+
+    return atomic_write(path, writer)
+
+
+def write_json_atomic(path: str | Path, payload) -> Path:
+    """Atomically write ``payload`` as indented, key-sorted JSON."""
+
+    def writer(tmp_path: Path) -> None:
+        tmp_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    return atomic_write(path, writer)
+
+
+def array_checksum(*arrays: np.ndarray) -> int:
+    """CRC-32 over the raw bytes of the arrays (order-sensitive).
+
+    Cheap enough to run on every checkpoint write yet catches the
+    torn-write / bit-rot corruption the resilience layer guards against.
+    """
+    crc = 0
+    for array in arrays:
+        crc = zlib.crc32(np.ascontiguousarray(array).tobytes(), crc)
+    return crc & 0xFFFFFFFF

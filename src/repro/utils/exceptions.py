@@ -20,3 +20,33 @@ class DataError(ReproError, ValueError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a fitted model was called before ``fit``."""
+
+
+class DivergenceError(ReproError, RuntimeError):
+    """Training diverged (NaN/Inf parameters or exploding loss) and the
+    configured guard policy could not recover it."""
+
+    def __init__(self, message: str, *, epoch: int | None = None, step: int | None = None):
+        super().__init__(message)
+        self.epoch = epoch
+        self.step = step
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A training checkpoint is missing, corrupt, or incompatible."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """One experiment cell (a method or parameter combination) failed.
+
+    Carries the failing ``method`` name and the original ``cause`` so a
+    harness can report precisely which cell died without losing the
+    traceback of the underlying error.
+    """
+
+    def __init__(self, message: str, *, method: str = "", cause: BaseException | None = None):
+        super().__init__(message)
+        self.method = method
+        self.cause = cause
+        if cause is not None:
+            self.__cause__ = cause

@@ -8,12 +8,16 @@ from repro.metrics.evaluator import EvaluationResult
 from repro.experiments.runner import MethodResult
 from repro.mf.params import FactorParams
 from repro.persistence import (
+    atomic_write,
     load_factors,
     load_interactions,
     load_results,
+    method_result_from_dict,
+    method_result_to_dict,
     save_factors,
     save_interactions,
     save_results,
+    validate_factors,
 )
 from repro.utils.exceptions import DataError
 
@@ -40,6 +44,100 @@ class TestFactorRoundtrip:
         np.savez(path, something=np.zeros(3))
         with pytest.raises(DataError):
             load_factors(path)
+
+    def test_nonfinite_factors_rejected_on_load(self, tmp_path):
+        params = FactorParams.init(5, 8, 3, seed=0)
+        params.user_factors[2, 1] = np.nan
+        with pytest.raises(DataError, match="non-finite"):
+            validate_factors(params)
+        path = tmp_path / "model.npz"
+        np.savez(
+            path,
+            user_factors=params.user_factors,
+            item_factors=params.item_factors,
+            item_bias=params.item_bias,
+            metadata=np.array("{}"),
+        )
+        with pytest.raises(DataError, match="non-finite"):
+            load_factors(path)
+
+    def test_checksum_mismatch_rejected(self, tmp_path):
+        params = FactorParams.init(5, 8, 3, seed=0)
+        path = save_factors(tmp_path / "model.npz", params)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name].copy() for name in archive.files}
+        arrays["item_bias"][0] += 1.0  # corrupt, keep stored metadata
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(DataError, match="checksum"):
+            load_factors(path)
+
+    def test_shape_metadata_mismatch_rejected(self, tmp_path):
+        params = FactorParams.init(5, 8, 3, seed=0)
+        path = save_factors(tmp_path / "model.npz", params)
+        other = FactorParams.init(6, 8, 3, seed=0)
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = archive["metadata"]
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                user_factors=other.user_factors,
+                item_factors=other.item_factors,
+                item_bias=other.item_bias,
+                metadata=metadata,
+            )
+        with pytest.raises(DataError, match="shape"):
+            load_factors(path)
+
+    def test_validation_can_be_disabled(self, tmp_path):
+        params = FactorParams.init(5, 8, 3, seed=0)
+        params.item_bias[0] = np.inf
+        path = tmp_path / "model.npz"
+        np.savez(
+            path,
+            user_factors=params.user_factors,
+            item_factors=params.item_factors,
+            item_bias=params.item_bias,
+            metadata=np.array("{}"),
+        )
+        loaded, _ = load_factors(path, validate=False)
+        assert np.isinf(loaded.item_bias[0])
+
+
+class TestAtomicWrites:
+    def test_failed_write_leaves_original_intact(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("original")
+
+        def exploding_writer(tmp):
+            tmp.write_text("partial")
+            raise RuntimeError("disk full")
+
+        with pytest.raises(RuntimeError, match="disk full"):
+            atomic_write(path, exploding_writer)
+        assert path.read_text() == "original"
+        assert list(tmp_path.iterdir()) == [path]  # no tmp litter
+
+    def test_failed_save_factors_leaves_original_intact(self, tmp_path, monkeypatch):
+        params = FactorParams.init(4, 6, 2, seed=1)
+        path = save_factors(tmp_path / "model.npz", params)
+        before = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError):
+            save_factors(path, FactorParams.init(4, 6, 2, seed=2))
+        assert path.read_bytes() == before
+
+    def test_save_replaces_existing_file(self, tmp_path):
+        first = FactorParams.init(4, 6, 2, seed=1)
+        second = FactorParams.init(4, 6, 2, seed=2)
+        path = save_factors(tmp_path / "model.npz", first)
+        save_factors(path, second)
+        loaded, _ = load_factors(path)
+        assert np.array_equal(loaded.user_factors, second.user_factors)
 
 
 class TestInteractionsRoundtrip:
@@ -78,3 +176,12 @@ class TestResults:
         loaded = load_results(path)
         assert loaded["BPR"]["means"]["map"] == 0.2
         assert loaded["BPR"]["n_repeats"] == 5
+
+    def test_method_result_from_dict_roundtrip(self):
+        result = MethodResult(
+            name="CLAPF-MAP", means={"map": 0.3}, stds={"map": 0.02},
+            train_seconds=2.0, n_repeats=3,
+            per_repeat=[{"map": 0.29}, {"map": 0.30}, {"map": 0.31}],
+        )
+        rebuilt = method_result_from_dict(method_result_to_dict(result))
+        assert rebuilt == result
