@@ -51,6 +51,11 @@ from repro.sampling import (
     make_sampler,
     sampler_names,
 )
+from repro.serving import (
+    RecommendationRequest,
+    RecommendationResponse,
+    RecommendationService,
+)
 
 __version__ = "1.0.0"
 
@@ -91,5 +96,8 @@ __all__ = [
     "UniformSampler",
     "make_sampler",
     "sampler_names",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "RecommendationService",
     "__version__",
 ]

@@ -23,6 +23,16 @@ Commands
 ``sweep``
     Sensitivity sweep: vary one synthetic-dataset property and report
     each method's metric across the sweep.
+``serve``
+    Boot the resilient serving layer over a freshly trained (or saved)
+    model and drive a synthetic request stream through the deadline /
+    fallback-cascade / circuit-breaker path, optionally with injected
+    faults (``--inject-nan``, ``--inject-latency``, ``--inject-fail``)
+    and hot-reload polling (``--watch``).
+``shadow-eval``
+    Serve every test user through the full service and compare the
+    served rankings with the raw model's — agreement@k, fallback rate,
+    and latency percentiles.
 """
 
 from __future__ import annotations
@@ -197,6 +207,214 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _fit_serving_model(args, split):
+    """The model behind ``serve``/``shadow-eval``: trained or loaded."""
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.registry import make_model
+
+    if getattr(args, "model", None):
+        from repro.persistence import load_factors
+        from repro.serving import LoadedFactorModel
+
+        params, metadata = load_factors(args.model)
+        model = LoadedFactorModel(params, split.train, version=str(args.model))
+        print(f"loaded factors from {args.model} ({metadata.get('method', 'unknown method')})")
+        return model
+    scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
+    model = make_model(args.method, scale=scale, dataset=args.profile, seed=args.seed)
+    print(f"training {model.name} ({args.epochs} epochs)...")
+    return model.fit(split.train, split.validation)
+
+
+def _build_service(args, split, model, chaos=None):
+    import numpy as np  # noqa: F401  (kept local: serving path only)
+
+    from repro.serving import (
+        BreakerConfig,
+        InlineExecutor,
+        RecommendationService,
+        ServiceConfig,
+        ThreadedExecutor,
+    )
+
+    executor = (
+        InlineExecutor() if getattr(args, "executor", "threaded") == "inline"
+        else ThreadedExecutor()
+    )
+    breaker = BreakerConfig(
+        window_seconds=args.breaker_window,
+        min_calls=args.breaker_min_calls,
+        cooldown_seconds=args.breaker_cooldown,
+        latency_threshold_ms=args.deadline_ms,
+    )
+    return RecommendationService.build(
+        model,
+        split.train,
+        fit_knn=not args.no_knn,
+        config=ServiceConfig(default_deadline_ms=args.deadline_ms, breaker=breaker),
+        executor=executor,
+        chaos=chaos,
+    )
+
+
+def _parse_faults(args, chaos) -> None:
+    for tier in args.inject_nan or ():
+        chaos.inject(tier, nan_scores=True)
+    for tier in args.inject_fail or ():
+        fault = chaos.faults.get(tier)
+        chaos.inject(
+            tier, exception=True,
+            latency_ms=fault.latency_ms if fault else 0.0,
+            nan_scores=fault.nan_scores if fault else False,
+        )
+    for spec in args.inject_latency or ():
+        tier, _, ms = spec.partition(":")
+        if not ms:
+            raise SystemExit(f"--inject-latency expects TIER:MS, got {spec!r}")
+        fault = chaos.faults.get(tier)
+        chaos.inject(
+            tier, latency_ms=float(ms),
+            exception=fault.exception if fault else False,
+            nan_scores=fault.nan_scores if fault else False,
+        )
+
+
+def _request_stream(split, n_requests: int, k: int, cold_fraction: float, seed: int):
+    """Synthetic traffic: test users plus a slice of unseen users."""
+    import numpy as np
+
+    from repro.serving import RecommendationRequest
+    from repro.utils.rng import as_generator
+
+    rng = as_generator(seed)
+    test_users = np.flatnonzero(split.test.user_counts() > 0)
+    if len(test_users) == 0:
+        test_users = np.arange(split.train.n_users)
+    for t in range(n_requests):
+        if rng.random() < cold_fraction:
+            # A user the model never saw, carrying a session history.
+            history = rng.choice(
+                split.train.n_items, size=min(5, split.train.n_items), replace=False
+            )
+            yield RecommendationRequest(
+                user=split.train.n_users + t, k=k, history=tuple(int(i) for i in history)
+            )
+        else:
+            yield RecommendationRequest(user=int(rng.choice(test_users)), k=k)
+
+
+def _print_serving_summary(service, responses) -> None:
+    import numpy as np
+
+    latencies = np.asarray([r.latency_ms for r in responses])
+    degraded = sum(r.degraded for r in responses)
+    by_tier: dict[str, int] = {}
+    for response in responses:
+        by_tier[response.served_by] = by_tier.get(response.served_by, 0) + 1
+    snapshot = service.snapshot()
+    rows = [
+        [
+            name,
+            by_tier.get(name, 0),
+            snapshot["breakers"].get(name, {}).get("state", "-"),
+            snapshot["breakers"].get(name, {}).get("times_opened", "-"),
+            snapshot["tiers"][name]["timeouts"],
+            snapshot["tiers"][name]["failures"],
+        ]
+        for name in snapshot["tiers"]
+    ]
+    print(format_table(
+        ["tier", "served", "breaker", "opened", "timeouts", "failures"],
+        rows,
+        title="Serving summary",
+    ))
+    print(f"requests: {len(responses)}  degraded: {degraded} "
+          f"({degraded / max(1, len(responses)):.1%})  "
+          f"fallback rate: {service.fallback_rate():.1%}")
+    print(f"latency ms: p50={np.percentile(latencies, 50):.2f} "
+          f"p99={np.percentile(latencies, 99):.2f} max={latencies.max():.2f}")
+    print(f"executor overruns: {snapshot['executor_overruns']}")
+
+
+def cmd_serve(args) -> int:
+    from repro.resilience.chaos import ServiceFaultInjector
+
+    dataset = _load_dataset(args)
+    split = train_test_split(dataset, seed=args.seed)
+    model = _fit_serving_model(args, split)
+    chaos = ServiceFaultInjector()
+    _parse_faults(args, chaos)
+    with _build_service(args, split, model, chaos=chaos) as service:
+        known = {tier.name for tier in service.tiers}
+        unknown = set(chaos.faults) - known
+        if unknown:
+            print(f"error: unknown tier(s) in fault spec: {sorted(unknown)} "
+                  f"(tiers: {sorted(known)})", file=sys.stderr)
+            return 2
+        reloader = None
+        if args.watch is not None:
+            from repro.serving import ModelReloader
+
+            reloader = ModelReloader(
+                service.slot, args.watch, split.train, split.validation
+            )
+            print(f"watching {args.watch} for model candidates "
+                  f"(poll every {args.poll_every} requests)")
+        if chaos.faults:
+            print(f"armed faults: { {t: vars(f) for t, f in chaos.faults.items()} }")
+
+        responses = []
+        for t, request in enumerate(
+            _request_stream(split, args.requests, args.k, args.cold_fraction, args.seed)
+        ):
+            if args.clear_faults_after is not None and t == args.clear_faults_after:
+                chaos.clear()
+                print(f"[request {t}] faults cleared; tiers should recover")
+            response = service.recommend(request)
+            responses.append(response)
+            if len(response.items) == 0:
+                print(f"error: empty ranking for user {request.user}", file=sys.stderr)
+                return 1
+            if reloader is not None and (t + 1) % args.poll_every == 0:
+                result = reloader.poll()
+                if result.status != "unchanged":
+                    print(f"[request {t}] reload {result.status}: {result.reason}")
+
+        _print_serving_summary(service, responses)
+        if args.expect_degraded:
+            not_degraded = [r for r in responses if not r.degraded]
+            if not_degraded:
+                print(f"error: {len(not_degraded)} responses were NOT degraded "
+                      "despite --expect-degraded", file=sys.stderr)
+                return 1
+            print("all responses degraded with provenance, none failed (as expected)")
+    return 0
+
+
+def cmd_shadow_eval(args) -> int:
+    import numpy as np
+
+    dataset = _load_dataset(args)
+    split = train_test_split(dataset, seed=args.seed)
+    model = _fit_serving_model(args, split)
+    with _build_service(args, split, model) as service:
+        test_users = np.flatnonzero(split.test.user_counts() > 0)
+        overlaps, identical = [], 0
+        responses = []
+        for user in test_users:
+            response = service.recommend(int(user), k=args.k)
+            responses.append(response)
+            reference = model.recommend(int(user), k=args.k)
+            overlap = len(set(response.items.tolist()) & set(reference.tolist()))
+            overlaps.append(overlap / max(1, len(reference)))
+            identical += int(np.array_equal(response.items, reference))
+        print(f"shadow-eval over {len(test_users)} test users (k={args.k})")
+        print(f"  exact-match rate:  {identical / max(1, len(test_users)):.1%}")
+        print(f"  mean overlap@{args.k}:   {float(np.mean(overlaps)):.1%}")
+        _print_serving_summary(service, responses)
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro.experiments.config import ExperimentScale
     from repro.experiments.registry import make_model
@@ -282,6 +500,52 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--method-b", default="BPR")
     compare.add_argument("--epochs", type=int, default=60)
     compare.set_defaults(func=cmd_compare)
+
+    def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+        _add_dataset_arguments(parser)
+        parser.add_argument("--method", default="BPR", help="method to train for serving")
+        parser.add_argument("--epochs", type=int, default=5)
+        parser.add_argument("--model", type=Path, help="serve saved factors (.npz) instead of training")
+        parser.add_argument("--k", type=int, default=5, help="items per response")
+        parser.add_argument("--deadline-ms", type=float, default=100.0,
+                            help="per-request time budget")
+        parser.add_argument("--executor", default="threaded", choices=("threaded", "inline"),
+                            help="threaded = hard cutoffs on worker threads; inline = post-hoc")
+        parser.add_argument("--no-knn", action="store_true", help="skip the ItemKNN tier")
+        parser.add_argument("--breaker-window", type=float, default=5.0,
+                            help="breaker rolling window (seconds)")
+        parser.add_argument("--breaker-min-calls", type=int, default=5)
+        parser.add_argument("--breaker-cooldown", type=float, default=1.0,
+                            help="seconds a tripped breaker stays open")
+
+    serve = subparsers.add_parser(
+        "serve", help="drive the resilient serving layer with synthetic traffic"
+    )
+    _add_serving_arguments(serve)
+    serve.add_argument("--requests", type=int, default=200, help="requests to serve")
+    serve.add_argument("--cold-fraction", type=float, default=0.1,
+                       help="fraction of requests from unseen users with session histories")
+    serve.add_argument("--inject-nan", action="append", metavar="TIER",
+                       help="poison TIER's scores with NaN (repeatable)")
+    serve.add_argument("--inject-latency", action="append", metavar="TIER:MS",
+                       help="delay TIER by MS milliseconds per call (repeatable)")
+    serve.add_argument("--inject-fail", action="append", metavar="TIER",
+                       help="make TIER raise on every call (repeatable)")
+    serve.add_argument("--clear-faults-after", type=int, metavar="N",
+                       help="disarm all faults after N requests (recovery demo)")
+    serve.add_argument("--expect-degraded", action="store_true",
+                       help="exit nonzero unless every response is served degraded")
+    serve.add_argument("--watch", type=Path,
+                       help="poll this factors file for hot model reload")
+    serve.add_argument("--poll-every", type=int, default=20,
+                       help="requests between reload polls")
+    serve.set_defaults(func=cmd_serve)
+
+    shadow = subparsers.add_parser(
+        "shadow-eval", help="compare served rankings against the raw model"
+    )
+    _add_serving_arguments(shadow)
+    shadow.set_defaults(func=cmd_shadow_eval)
 
     sweep = subparsers.add_parser("sweep", help="dataset-property sensitivity sweep")
     sweep.add_argument("--property", default="signal")

@@ -15,15 +15,82 @@ strictly greater than 3 as positive implicit feedback.
 from __future__ import annotations
 
 import csv
+import math
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
 from repro.data.dataset import ImplicitDataset
 from repro.data.interactions import InteractionMatrix
-from repro.utils.exceptions import DataError
+from repro.utils.exceptions import DataError, DataValidationError
 
 RATING_THRESHOLD = 3.0
 """Paper pre-processing: keep ratings > 3 as positive implicit feedback."""
+
+MAX_RAW_ID = 2**31 - 1
+"""Sanity bound on numeric raw ids: anything above this in a ratings
+file is treated as corruption, not a real user/item key."""
+
+
+@dataclass
+class LoadReport:
+    """Skip-and-count bookkeeping for lenient (``strict=False``) loads.
+
+    Pass an instance to a loader and it is filled in place: ``rows``
+    counts data rows inspected, ``kept`` the positive pairs that made
+    it through, and ``skipped`` maps each violation reason to how many
+    rows it removed.
+    """
+
+    rows: int = 0
+    kept: int = 0
+    skipped: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_skipped(self) -> int:
+        return sum(self.skipped.values())
+
+    def _count_skip(self, reason: str) -> None:
+        self.skipped[reason] = self.skipped.get(reason, 0) + 1
+
+
+def _reject(
+    reason: str,
+    message: str,
+    path: Path,
+    lineno: int,
+    *,
+    strict: bool,
+    report: LoadReport | None,
+) -> None:
+    """Raise in strict mode; count the skip otherwise."""
+    if strict:
+        raise DataValidationError(f"{path}:{lineno}: {message}", path=path, line=lineno)
+    if report is not None:
+        report._count_skip(reason)
+
+
+def _id_problem(value: str) -> str | None:
+    """Why ``value`` is not a usable raw user/item id (None when fine)."""
+    value = value.strip()
+    if not value:
+        return "empty id"
+    # Non-numeric keys (UserTag-style string ids) are legitimate;
+    # numeric keys must be sane non-negative integers.
+    try:
+        numeric = int(value)
+    except ValueError:
+        try:
+            # A float-looking id ("3.7", "nan") is corruption, not a key.
+            float(value)
+        except ValueError:
+            return None
+        return "non-integer numeric id"
+    if numeric < 0:
+        return "negative id"
+    if numeric > MAX_RAW_ID:
+        return "out-of-range id"
+    return None
 
 
 def _reindex(raw_pairs: Iterable[tuple]) -> tuple[list[tuple[int, int]], int, int]:
@@ -71,34 +138,92 @@ def _rating_rows_to_pairs(
     rows: Iterator[list[str]],
     threshold: float,
     path: Path,
+    *,
+    strict: bool = True,
+    report: LoadReport | None = None,
 ) -> Iterator[tuple]:
+    """Validated ``(user, item)`` stream from rating rows.
+
+    Strict mode raises :class:`DataValidationError` with ``path:line``
+    context on short rows, malformed ids, non-numeric / non-finite
+    ratings, and duplicate ``(user, item)`` pairs; lenient mode skips
+    the offending row and counts it in ``report``.
+    """
+    seen: set[tuple[str, str]] = set()
     for lineno, row in enumerate(rows, start=1):
+        if report is not None:
+            report.rows += 1
         if len(row) < 3:
-            raise DataError(f"{path}:{lineno}: expected at least 3 columns, got {row!r}")
+            _reject(
+                "short row", f"expected at least 3 columns, got {row!r}",
+                path, lineno, strict=strict, report=report,
+            )
+            continue
+        user_key, item_key = row[0].strip(), row[1].strip()
+        bad_id = _id_problem(user_key) or _id_problem(item_key)
+        if bad_id is not None:
+            _reject(
+                bad_id, f"{bad_id} in {row[:2]!r}",
+                path, lineno, strict=strict, report=report,
+            )
+            continue
         try:
             rating = float(row[2])
-        except ValueError as exc:
-            raise DataError(f"{path}:{lineno}: non-numeric rating {row[2]!r}") from exc
+        except ValueError:
+            _reject(
+                "non-numeric rating", f"non-numeric rating {row[2]!r}",
+                path, lineno, strict=strict, report=report,
+            )
+            continue
+        if not math.isfinite(rating):
+            _reject(
+                "non-finite rating", f"non-finite rating {row[2]!r}",
+                path, lineno, strict=strict, report=report,
+            )
+            continue
+        if (user_key, item_key) in seen:
+            _reject(
+                "duplicate pair", f"duplicate (user, item) pair {row[:2]!r}",
+                path, lineno, strict=strict, report=report,
+            )
+            continue
+        seen.add((user_key, item_key))
         if rating > threshold:
-            yield row[0], row[1]
+            if report is not None:
+                report.kept += 1
+            yield user_key, item_key
 
 
 def load_movielens_100k(
-    path: str | Path, *, threshold: float = RATING_THRESHOLD, name: str = "ML100K"
+    path: str | Path,
+    *,
+    threshold: float = RATING_THRESHOLD,
+    name: str = "ML100K",
+    strict: bool = True,
+    report: LoadReport | None = None,
 ) -> ImplicitDataset:
     """Load a MovieLens-100K ``u.data`` file (tab-separated ratings)."""
     path = Path(path)
     rows = _iter_delimited(path, "\t")
-    return _build(name, _rating_rows_to_pairs(rows, threshold, path))
+    return _build(
+        name, _rating_rows_to_pairs(rows, threshold, path, strict=strict, report=report)
+    )
 
 
 def load_movielens_1m(
-    path: str | Path, *, threshold: float = RATING_THRESHOLD, name: str = "ML1M"
+    path: str | Path,
+    *,
+    threshold: float = RATING_THRESHOLD,
+    name: str = "ML1M",
+    strict: bool = True,
+    report: LoadReport | None = None,
 ) -> ImplicitDataset:
     """Load a MovieLens-1M ``ratings.dat`` file (``::``-separated)."""
     path = Path(path)
     rows = _iter_delimited(path, "::")
-    return _build(name, _rating_rows_to_pairs(rows, threshold, path))
+    return _build(
+        name, _rating_rows_to_pairs(rows, threshold, path, strict=strict, report=report)
+    )
 
 
 def load_csv_triplets(
@@ -108,11 +233,16 @@ def load_csv_triplets(
     name: str | None = None,
     delimiter: str = ",",
     skip_header: bool = True,
+    strict: bool = True,
+    report: LoadReport | None = None,
 ) -> ImplicitDataset:
     """Load ``user,item,rating[,...]`` CSV files (ML20M/Flixter style)."""
     path = Path(path)
     rows = _iter_delimited(path, delimiter, skip_header=skip_header)
-    return _build(name or path.stem, _rating_rows_to_pairs(rows, threshold, path))
+    return _build(
+        name or path.stem,
+        _rating_rows_to_pairs(rows, threshold, path, strict=strict, report=report),
+    )
 
 
 def load_pairs(
@@ -121,15 +251,48 @@ def load_pairs(
     name: str | None = None,
     delimiter: str = "\t",
     skip_header: bool = False,
+    strict: bool = True,
+    report: LoadReport | None = None,
 ) -> ImplicitDataset:
-    """Load already-implicit ``user item`` pair files (UserTag style)."""
+    """Load already-implicit ``user item`` pair files (UserTag style).
+
+    Applies the same validation as the rating loaders minus the rating
+    column: malformed ids and duplicate pairs raise
+    :class:`DataValidationError` in strict mode and are skipped (and
+    counted in ``report``) otherwise.
+    """
     path = Path(path)
 
     def pairs() -> Iterator[tuple]:
-        for lineno, row in enumerate(_iter_delimited(path, delimiter, skip_header=skip_header), start=1):
+        seen: set[tuple[str, str]] = set()
+        rows = _iter_delimited(path, delimiter, skip_header=skip_header)
+        for lineno, row in enumerate(rows, start=1):
+            if report is not None:
+                report.rows += 1
             if len(row) < 2:
-                raise DataError(f"{path}:{lineno}: expected at least 2 columns, got {row!r}")
-            yield row[0], row[1]
+                _reject(
+                    "short row", f"expected at least 2 columns, got {row!r}",
+                    path, lineno, strict=strict, report=report,
+                )
+                continue
+            user_key, item_key = row[0].strip(), row[1].strip()
+            bad_id = _id_problem(user_key) or _id_problem(item_key)
+            if bad_id is not None:
+                _reject(
+                    bad_id, f"{bad_id} in {row[:2]!r}",
+                    path, lineno, strict=strict, report=report,
+                )
+                continue
+            if (user_key, item_key) in seen:
+                _reject(
+                    "duplicate pair", f"duplicate (user, item) pair {row[:2]!r}",
+                    path, lineno, strict=strict, report=report,
+                )
+                continue
+            seen.add((user_key, item_key))
+            if report is not None:
+                report.kept += 1
+            yield user_key, item_key
 
     return _build(name or path.stem, pairs())
 

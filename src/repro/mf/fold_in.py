@@ -59,9 +59,25 @@ class FoldInResult:
 
 
 def _check_positives(params: FactorParams, positives) -> np.ndarray:
-    positives = np.asarray(positives, dtype=np.int64)
-    if positives.ndim != 1 or len(positives) == 0:
+    """Sanitize a fold-in history: finite integral ids, deduplicated.
+
+    The serving path feeds this straight from request payloads, so the
+    checks fail with a typed :class:`DataError` instead of letting a
+    NaN or float id crash inside the numpy int cast, and repeated items
+    (a user re-watching something mid-session) collapse to one
+    observation rather than double-weighting the ridge system.
+    """
+    raw = np.asarray(positives)
+    if raw.ndim != 1 or len(raw) == 0:
         raise DataError("fold-in needs at least one observed item")
+    if raw.dtype.kind == "f":
+        if not np.isfinite(raw).all():
+            raise DataError("fold-in item ids contain non-finite values")
+        if not np.equal(np.mod(raw, 1), 0).all():
+            raise DataError("fold-in item ids must be integers")
+    elif raw.dtype.kind not in "iu":
+        raise DataError(f"fold-in item ids must be numeric, got dtype {raw.dtype}")
+    positives = np.unique(raw.astype(np.int64))
     if positives.min() < 0 or positives.max() >= params.n_items:
         raise DataError("fold-in item ids out of range")
     return positives

@@ -129,15 +129,33 @@ class Recommender(ABC):
             return np.zeros((0, self._train.n_items))
         return np.stack([np.asarray(self.predict_user(int(user)), dtype=np.float64) for user in users])
 
+    def _popularity_topk(self, train: InteractionMatrix, k: int) -> np.ndarray:
+        """The popularity tier's ordering: item counts ranked stably.
+
+        This is the defined serving behavior for *cold* users (zero
+        observed interactions): their scores under most models are
+        arbitrary — initialization noise for factor models, all-zero
+        ties for neighbourhood models — so instead of returning an
+        arbitrary ordering they get exactly what
+        :class:`~repro.models.poprank.PopRank` would serve, computed
+        through the same stable top-k kernel.
+        """
+        counts = train.item_counts().astype(np.float64)
+        return scoring.topk_from_matrix(counts[None, :], min(k, train.n_items))[0]
+
     def recommend(self, user: int, k: int = 5, *, exclude_observed: bool = True) -> np.ndarray:
         """Top-k item ids for ``user``, best first.
 
         Training positives are excluded by default (the deployment
-        setting: never re-recommend what the user already has).
+        setting: never re-recommend what the user already has).  Users
+        with zero observed interactions get the popularity ordering —
+        see :meth:`_popularity_topk`.
         """
         train = self._require_fitted()
         if k < 1:
             raise ConfigError(f"k must be >= 1, got {k}")
+        if not (0 <= user < train.n_users) or train.n_positives(user) == 0:
+            return self._popularity_topk(train, k)
         scores = np.asarray(self.predict_user(user), dtype=np.float64).copy()
         if exclude_observed:
             scores[train.positives(user)] = -np.inf
@@ -159,19 +177,29 @@ class Recommender(ABC):
         chunks of ``chunk_size`` users, exclusion masks are built with a
         vectorized CSR scatter, and top-k is a row-wise argpartition —
         identical output to calling :meth:`recommend` per user, without
-        the per-user Python loop.
+        the per-user Python loop.  Cold users (zero observed
+        interactions) get the popularity ordering on both paths, so the
+        native batch kernel and the generic per-user path agree.
         """
         train = self._require_fitted()
         if k < 1:
             raise ConfigError(f"k must be >= 1, got {k}")
         users = np.asarray(users, dtype=np.int64)
         k = min(k, train.n_items)
+        user_counts = train.user_counts()
+        cold_row: np.ndarray | None = None
         blocks = []
         for chunk in scoring.iter_user_chunks(users, chunk_size):
             scores = np.asarray(self.predict_batch(chunk), dtype=np.float64)
             if exclude_observed:
                 scores = np.where(scoring.positives_mask(train, chunk), -np.inf, scores)
-            blocks.append(scoring.topk_from_matrix(scores, k))
+            block = scoring.topk_from_matrix(scores, k)
+            cold = np.flatnonzero(user_counts[chunk] == 0)
+            if len(cold):
+                if cold_row is None:
+                    cold_row = self._popularity_topk(train, k)
+                block[cold] = cold_row
+            blocks.append(block)
         if not blocks:
             return np.zeros((0, k), dtype=np.int64)
         return np.concatenate(blocks, axis=0)

@@ -124,6 +124,22 @@ def load_factors(path: str | Path, *, validate: bool = True) -> tuple[FactorPara
     return params, metadata
 
 
+def file_fingerprint(path: str | Path) -> str | None:
+    """Cheap change-detection token for a model artifact on disk.
+
+    Built from the inode, size, and mtime (ns), so the hot-reload
+    watcher can poll a factors file without hashing its contents on
+    every tick; the atomic ``os.replace`` publish guarantees any new
+    content arrives under a new inode.  Returns ``None`` when the file
+    does not exist.
+    """
+    try:
+        stat = Path(path).stat()
+    except OSError:
+        return None
+    return f"{stat.st_ino}:{stat.st_size}:{stat.st_mtime_ns}"
+
+
 # ----------------------------------------------------------------------
 # Interaction matrices
 # ----------------------------------------------------------------------

@@ -18,7 +18,14 @@ survivable:
   testable.
 """
 
-from repro.resilience.chaos import FaultInjector, InjectedFault, SimulatedKill, flaky
+from repro.resilience.chaos import (
+    FaultInjector,
+    InjectedFault,
+    ServiceFaultInjector,
+    SimulatedKill,
+    TierFault,
+    flaky,
+)
 from repro.resilience.checkpoint import (
     CheckpointConfig,
     CheckpointManager,
@@ -41,7 +48,9 @@ __all__ = [
     "FaultInjector",
     "GuardConfig",
     "InjectedFault",
+    "ServiceFaultInjector",
     "SimulatedKill",
+    "TierFault",
     "TrainingCheckpoint",
     "TrainingGuard",
     "as_guard",

@@ -82,6 +82,106 @@ class FaultInjector:
             raise SimulatedKill(f"simulated kill at step {self.step_}")
 
 
+@dataclass
+class TierFault:
+    """The faults currently armed against one serving tier.
+
+    Attributes
+    ----------
+    latency_ms:
+        Injected delay before the tier runs (burned through the
+        service clock, so fake-clock tests stay sleep-free).
+    exception:
+        When true, the tier call raises :class:`InjectedFault`.
+    nan_scores:
+        When true, the tier's score vector is poisoned with NaN before
+        ranking — the serving analogue of a sigmoid-saturated model.
+    """
+
+    latency_ms: float = 0.0
+    exception: bool = False
+    nan_scores: bool = False
+
+    @property
+    def armed(self) -> bool:
+        return self.latency_ms > 0 or self.exception or self.nan_scores
+
+
+class ServiceFaultInjector:
+    """Query-time fault injection for the serving cascade.
+
+    Where :class:`FaultInjector` attacks the *training* loop at an exact
+    SGD step, this attacks the *request* path per tier: the
+    :class:`~repro.serving.service.RecommendationService` calls
+    :meth:`before_call` ahead of every tier execution (latency /
+    exception faults) and tiers pass their raw score vectors through
+    :meth:`poison_scores` (NaN fault).  Faults are armed and cleared by
+    name at any point — "the personalized tier is 100% broken for the
+    next N requests, then healthy" is two method calls — which is what
+    the breaker-recovery and zero-failed-request chaos tests exercise.
+
+    ``stale_model`` is a service-wide fault: while set, a hot-swapped
+    :class:`~repro.serving.reload.ModelSlot` keeps serving its previous
+    model, simulating a reload that silently failed to take.
+    """
+
+    def __init__(self, clock=None):
+        from repro.serving.clock import as_clock
+
+        self.clock = as_clock(clock)
+        self.faults: dict[str, TierFault] = {}
+        self.stale_model = False
+        self.fired_counts_: dict[str, int] = {}
+
+    def inject(
+        self,
+        tier: str,
+        *,
+        latency_ms: float = 0.0,
+        exception: bool = False,
+        nan_scores: bool = False,
+    ) -> "ServiceFaultInjector":
+        """Arm faults against ``tier`` (returns self for chaining)."""
+        self.faults[tier] = TierFault(
+            latency_ms=latency_ms, exception=exception, nan_scores=nan_scores
+        )
+        return self
+
+    def clear(self, tier: str | None = None) -> None:
+        """Disarm faults for ``tier`` (or all tiers and flags when None)."""
+        if tier is None:
+            self.faults.clear()
+            self.stale_model = False
+        else:
+            self.faults.pop(tier, None)
+
+    def _fired(self, tier: str, kind: str) -> None:
+        key = f"{tier}:{kind}"
+        self.fired_counts_[key] = self.fired_counts_.get(key, 0) + 1
+
+    def before_call(self, tier: str) -> None:
+        """Fire latency/exception faults armed against ``tier``."""
+        fault = self.faults.get(tier)
+        if fault is None:
+            return
+        if fault.latency_ms > 0:
+            self._fired(tier, "latency")
+            self.clock.sleep(fault.latency_ms / 1000.0)
+        if fault.exception:
+            self._fired(tier, "exception")
+            raise InjectedFault(f"injected serving failure in tier {tier!r}")
+
+    def poison_scores(self, tier: str, scores: np.ndarray) -> np.ndarray:
+        """Return ``scores`` NaN-poisoned when the fault is armed."""
+        fault = self.faults.get(tier)
+        if fault is None or not fault.nan_scores:
+            return scores
+        self._fired(tier, "nan")
+        poisoned = np.array(scores, dtype=np.float64, copy=True)
+        poisoned[..., : max(1, poisoned.shape[-1] // 2)] = np.nan
+        return poisoned
+
+
 def flaky(fn, *, fail_times: int, exc: type[Exception] = InjectedFault):
     """Wrap ``fn`` to raise ``exc`` on its first ``fail_times`` calls.
 

@@ -1,0 +1,95 @@
+"""Resilient query-time serving for fitted recommenders.
+
+``repro.serving`` wraps any fitted :class:`~repro.models.base.Recommender`
+behind a production-shaped request path:
+
+* :mod:`~repro.serving.service` — the deadline-bounded
+  :class:`RecommendationService` walking the fallback cascade with full
+  response provenance (``served_by`` / ``degraded`` /
+  ``deadline_ms_left``);
+* :mod:`~repro.serving.tiers` — the cascade itself: personalized →
+  ridge fold-in → ItemKNN → popularity, each an isolated, independently
+  testable scorer;
+* :mod:`~repro.serving.breaker` — rolling-window circuit breakers
+  (closed/open/half-open) so a sick tier is skipped, not retried;
+* :mod:`~repro.serving.deadline` — per-request budgets and the
+  executors that cut off overrunning tier calls;
+* :mod:`~repro.serving.reload` — checksum-validated, canary-gated,
+  atomically swapped hot model reload with instant rollback;
+* :mod:`~repro.serving.clock` — injectable clocks keeping all of the
+  above deterministic under test.
+
+Fault injection for this layer lives in
+:class:`repro.resilience.chaos.ServiceFaultInjector`.
+"""
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+from repro.serving.clock import Clock, FakeClock, SystemClock, as_clock
+from repro.serving.deadline import (
+    BudgetExecutor,
+    Deadline,
+    InlineExecutor,
+    ThreadedExecutor,
+)
+from repro.serving.reload import (
+    CanaryConfig,
+    LoadedFactorModel,
+    ModelReloader,
+    ModelSlot,
+    ReloadResult,
+)
+from repro.serving.service import (
+    STATIC_POPULARITY,
+    RecommendationResponse,
+    RecommendationService,
+    ServiceConfig,
+)
+from repro.serving.tiers import (
+    FOLD_IN,
+    ITEM_KNN,
+    PERSONALIZED,
+    POPULARITY,
+    FoldInTier,
+    ItemKNNTier,
+    PersonalizedTier,
+    PopularityTier,
+    RecommendationRequest,
+    ServingTier,
+    TierStats,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "BudgetExecutor",
+    "CLOSED",
+    "CanaryConfig",
+    "CircuitBreaker",
+    "Clock",
+    "Deadline",
+    "FakeClock",
+    "FOLD_IN",
+    "FoldInTier",
+    "HALF_OPEN",
+    "ITEM_KNN",
+    "InlineExecutor",
+    "ItemKNNTier",
+    "LoadedFactorModel",
+    "ModelReloader",
+    "ModelSlot",
+    "OPEN",
+    "PERSONALIZED",
+    "POPULARITY",
+    "PersonalizedTier",
+    "PopularityTier",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "RecommendationService",
+    "ReloadResult",
+    "STATIC_POPULARITY",
+    "ServiceConfig",
+    "ServingTier",
+    "SystemClock",
+    "ThreadedExecutor",
+    "TierStats",
+    "as_clock",
+]

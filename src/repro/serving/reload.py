@@ -1,0 +1,251 @@
+"""Hot model reload: validated, canary-gated, atomic, revertible.
+
+A long-lived service must pick up freshly trained factor files without
+restarting — but a bad artifact (torn write, NaN poisoning, a training
+run that silently regressed) must never reach traffic.  The pipeline:
+
+1. **watch** — :meth:`ModelReloader.poll` fingerprints the candidate
+   path (inode/size/mtime, cheap enough to run per request batch) and
+   does nothing while it is unchanged;
+2. **validate** — candidates load through
+   :func:`repro.persistence.load_factors`, which enforces shape
+   consistency, finiteness, and the stored CRC-32 checksum; a corrupt
+   file is rejected here without touching the live model;
+3. **canary** — the candidate is scored with
+   :func:`~repro.models.base.validation_ndcg` on a held-out slice and
+   must come within ``max_ndcg_drop`` of the live model's score (one
+   canary evaluation, cached per live model);
+4. **swap** — only then does :class:`ModelSlot` atomically publish the
+   candidate; in-flight requests keep the model object they already
+   read, the next request sees the new one.  :meth:`ModelSlot.rollback`
+   restores the previous model instantly.
+
+Every decision is recorded as a :class:`ReloadResult` in
+``reloader.history_`` so operators can audit why a candidate did or did
+not ship.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.data.interactions import InteractionMatrix
+from repro.mf.params import FactorParams
+from repro.models.base import FactorRecommender, Recommender, validation_ndcg
+from repro.utils.exceptions import ConfigError, DataError, ServingError
+
+
+class LoadedFactorModel(FactorRecommender):
+    """A ready-to-serve recommender wrapped around loaded factors.
+
+    Built from a factors file (or in-memory :class:`FactorParams`) plus
+    the training matrix used for exclusion masks; it is born fitted and
+    refuses :meth:`fit` — training happens elsewhere, this class only
+    serves.
+    """
+
+    def __init__(self, params: FactorParams, train: InteractionMatrix, *, version: str = ""):
+        super().__init__()
+        if params.n_users != train.n_users or params.n_items != train.n_items:
+            raise DataError(
+                f"factor shape ({params.n_users}x{params.n_items}) does not match "
+                f"interactions ({train.n_users}x{train.n_items})"
+            )
+        self.params_ = params
+        self._train = train
+        self.version = version
+
+    @property
+    def name(self) -> str:
+        return f"LoadedFactorModel({self.version})" if self.version else "LoadedFactorModel"
+
+    def fit(self, train, validation=None):
+        raise ServingError("LoadedFactorModel is serve-only; train elsewhere and reload")
+
+
+class ModelSlot:
+    """Thread-safe holder of the live model, with one-step rollback.
+
+    Readers (:meth:`get`) and the swapper (:meth:`swap`) synchronize on
+    a lock held only for the reference exchange, so a swap never blocks
+    an in-flight request for longer than a pointer read — the
+    "no dropped requests during reload" guarantee.
+    """
+
+    def __init__(self, model: Recommender, *, version: str = "initial", chaos=None):
+        self._lock = threading.Lock()
+        self._model = model
+        self._previous: Recommender | None = None
+        self._previous_version: str | None = None
+        self.version = version
+        self.chaos = chaos
+        self.swap_count_ = 0
+
+    def get(self) -> Recommender:
+        with self._lock:
+            if (
+                self.chaos is not None
+                and getattr(self.chaos, "stale_model", False)
+                and self._previous is not None
+            ):
+                return self._previous
+            return self._model
+
+    def swap(self, model: Recommender, *, version: str) -> None:
+        with self._lock:
+            self._previous = self._model
+            self._previous_version = self.version
+            self._model = model
+            self.version = version
+            self.swap_count_ += 1
+
+    def rollback(self) -> bool:
+        """Restore the previous model; returns False when there is none."""
+        with self._lock:
+            if self._previous is None:
+                return False
+            self._model, self._previous = self._previous, self._model
+            self.version, self._previous_version = self._previous_version, self.version
+            return True
+
+
+@dataclass(frozen=True)
+class CanaryConfig:
+    """How the held-out canary evaluation is run."""
+
+    k: int = 5
+    max_users: int | None = 200
+    seed: int = 0
+    max_ndcg_drop: float = 0.02
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.max_ndcg_drop < 0:
+            raise ConfigError(f"max_ndcg_drop must be >= 0, got {self.max_ndcg_drop}")
+
+
+@dataclass(frozen=True)
+class ReloadResult:
+    """Outcome of one :meth:`ModelReloader.poll` that saw a candidate."""
+
+    status: str  # "accepted" | "rejected" | "unchanged"
+    reason: str
+    version: str | None = None
+    candidate_ndcg: float | None = None
+    live_ndcg: float | None = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == "accepted"
+
+
+class ModelReloader:
+    """Watches a factors file and hot-swaps validated candidates in.
+
+    Parameters
+    ----------
+    slot:
+        The :class:`ModelSlot` traffic reads from.
+    watch_path:
+        The ``.npz`` factors file to poll (written atomically by
+        :func:`repro.persistence.save_factors`).
+    train / validation:
+        Matrices backing the served exclusion masks and the canary
+        NDCG gate.  Without ``validation`` the canary gate is skipped
+        (checksum/finiteness validation still applies).
+    canary:
+        :class:`CanaryConfig` thresholds.
+    """
+
+    def __init__(
+        self,
+        slot: ModelSlot,
+        watch_path: str | Path,
+        train: InteractionMatrix,
+        validation: InteractionMatrix | None = None,
+        *,
+        canary: CanaryConfig | None = None,
+    ):
+        self.slot = slot
+        self.watch_path = Path(watch_path)
+        self.train = train
+        self.validation = validation
+        self.canary = canary or CanaryConfig()
+        self.history_: list[ReloadResult] = []
+        self._seen_fingerprint: str | None = None
+        self._live_ndcg: float | None = None
+        self._live_ndcg_version: str | None = None
+
+    # -- canary ---------------------------------------------------------
+    def _canary_ndcg(self, model) -> float:
+        return validation_ndcg(
+            model,
+            self.train,
+            self.validation,
+            k=self.canary.k,
+            max_users=self.canary.max_users,
+            seed=self.canary.seed,
+        )
+
+    def _live_score(self) -> float:
+        if self._live_ndcg is None or self._live_ndcg_version != self.slot.version:
+            self._live_ndcg = self._canary_ndcg(self.slot.get())
+            self._live_ndcg_version = self.slot.version
+        return self._live_ndcg
+
+    # -- the poll loop ---------------------------------------------------
+    def poll(self) -> ReloadResult:
+        """Check the watch path once; swap, reject, or do nothing."""
+        from repro.persistence import file_fingerprint, load_factors
+
+        fingerprint = file_fingerprint(self.watch_path)
+        if fingerprint is None:
+            return ReloadResult("unchanged", "watch path does not exist")
+        if fingerprint == self._seen_fingerprint:
+            return ReloadResult("unchanged", "candidate fingerprint already processed")
+        # Mark the fingerprint up front: a rejected candidate is not
+        # re-validated every poll, only a *new* file is.
+        self._seen_fingerprint = fingerprint
+
+        try:
+            params, metadata = load_factors(self.watch_path, validate=True)
+            candidate = LoadedFactorModel(
+                params, self.train, version=str(metadata.get("version_tag", fingerprint))
+            )
+        except DataError as error:
+            result = ReloadResult("rejected", f"validation failed: {error}")
+            self.history_.append(result)
+            return result
+
+        candidate_ndcg = live_ndcg = None
+        if self.validation is not None:
+            candidate_ndcg = self._canary_ndcg(candidate)
+            live_ndcg = self._live_score()
+            if candidate_ndcg < live_ndcg - self.canary.max_ndcg_drop:
+                result = ReloadResult(
+                    "rejected",
+                    f"canary NDCG@{self.canary.k} regressed: "
+                    f"{candidate_ndcg:.4f} < {live_ndcg:.4f} - {self.canary.max_ndcg_drop}",
+                    version=candidate.version,
+                    candidate_ndcg=candidate_ndcg,
+                    live_ndcg=live_ndcg,
+                )
+                self.history_.append(result)
+                return result
+
+        self.slot.swap(candidate, version=candidate.version)
+        if candidate_ndcg is not None:
+            self._live_ndcg = candidate_ndcg
+            self._live_ndcg_version = candidate.version
+        result = ReloadResult(
+            "accepted",
+            "candidate passed validation and canary gates",
+            version=candidate.version,
+            candidate_ndcg=candidate_ndcg,
+            live_ndcg=live_ndcg,
+        )
+        self.history_.append(result)
+        return result

@@ -1,0 +1,309 @@
+"""The deadline-bounded, degradation-aware recommendation service.
+
+:class:`RecommendationService` is the request path that fronts a fitted
+:class:`~repro.models.base.Recommender` in production.  Per request it
+
+1. starts a :class:`~repro.serving.deadline.Deadline` from the request
+   (or service default) budget;
+2. walks the fallback cascade tier by tier, skipping any tier whose
+   :class:`~repro.serving.breaker.CircuitBreaker` is open, granting
+   each attempted tier only the *remaining* budget through a
+   :class:`~repro.serving.deadline.BudgetExecutor`;
+3. records every outcome into the tier's breaker (timeouts and slow
+   successes count against the latency threshold) and the per-tier
+   stats;
+4. returns a :class:`RecommendationResponse` carrying full provenance:
+   which tier answered (``served_by``), whether that was a degradation
+   (``degraded``), how much budget was left (``deadline_ms_left``), and
+   the live model version.
+
+If every tier is open, erroring, or out of budget, the request is still
+answered from a precomputed static popularity ranking — the service
+never raises on the request path and never returns an empty list (the
+zero-failed-requests property the chaos suite enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics import scoring
+from repro.models.base import Recommender
+from repro.models.itemknn import ItemKNN
+from repro.serving.breaker import BreakerConfig, CircuitBreaker
+from repro.serving.clock import Clock, as_clock
+from repro.serving.deadline import BudgetExecutor, Deadline, InlineExecutor, ThreadedExecutor
+from repro.serving.reload import ModelSlot
+from repro.serving.tiers import (
+    FoldInTier,
+    ItemKNNTier,
+    PersonalizedTier,
+    PopularityTier,
+    RecommendationRequest,
+    ServingTier,
+    TierStats,
+)
+from repro.utils.exceptions import ConfigError, DeadlineExceeded, TierError
+
+STATIC_POPULARITY = "static-popularity"
+
+
+@dataclass(frozen=True)
+class RecommendationResponse:
+    """A served ranking plus its provenance.
+
+    Attributes
+    ----------
+    user / items:
+        The request's user and the ranked item ids (best first).
+    served_by:
+        Name of the tier that produced the ranking
+        (``"static-popularity"`` for the emergency path).
+    degraded:
+        True whenever a tier below the primary answered.
+    deadline_ms_left:
+        Budget remaining when the response was assembled (negative
+        when only the emergency path was fast enough).
+    latency_ms:
+        Wall time from request arrival to response.
+    model_version:
+        Version tag of the live model slot at serve time.
+    tier_errors:
+        Why each earlier tier did not answer (breaker open, timeout,
+        error message) — the debugging breadcrumb trail.
+    """
+
+    user: int
+    items: np.ndarray
+    served_by: str
+    degraded: bool
+    deadline_ms_left: float
+    latency_ms: float
+    model_version: str | None = None
+    tier_errors: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-wide serving knobs."""
+
+    default_deadline_ms: float = 50.0
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+    def __post_init__(self):
+        if self.default_deadline_ms <= 0:
+            raise ConfigError(
+                f"default_deadline_ms must be > 0, got {self.default_deadline_ms}"
+            )
+
+
+class RecommendationService:
+    """Deadline-bounded fallback cascade over serving tiers.
+
+    Most callers should use :meth:`build`, which assembles the standard
+    personalized → fold-in → ItemKNN → popularity cascade around a
+    fitted model.  The explicit constructor exists for tests and exotic
+    cascades.
+    """
+
+    def __init__(
+        self,
+        tiers: list[ServingTier],
+        train: InteractionMatrix,
+        *,
+        config: ServiceConfig | None = None,
+        executor: BudgetExecutor | None = None,
+        clock: Clock | None = None,
+        chaos=None,
+        slot: ModelSlot | None = None,
+        breaker_configs: dict[str, BreakerConfig] | None = None,
+    ):
+        if not tiers:
+            raise ConfigError("the cascade needs at least one tier")
+        self.tiers = list(tiers)
+        self.train = train
+        self.config = config or ServiceConfig()
+        self.clock = as_clock(clock)
+        self.executor = executor or ThreadedExecutor(clock=self.clock)
+        self.chaos = chaos
+        self.slot = slot
+        for tier in self.tiers:
+            if getattr(tier, "chaos", None) is None:
+                tier.chaos = chaos
+        overrides = breaker_configs or {}
+        self.breakers: dict[str, CircuitBreaker] = {
+            tier.name: CircuitBreaker(
+                overrides.get(tier.name, self.config.breaker),
+                clock=self.clock,
+                name=tier.name,
+            )
+            for tier in self.tiers
+        }
+        self.stats: dict[str, TierStats] = {tier.name: TierStats() for tier in self.tiers}
+        self.stats[STATIC_POPULARITY] = TierStats()
+        self.requests_served_ = 0
+        # The emergency ranking is a plain argsort over popularity,
+        # computed once — nothing on this path can fail or take time.
+        counts = train.item_counts().astype(np.float64)
+        self._static_ranking = scoring.topk_from_matrix(counts[None, :], train.n_items)[0]
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        model: Recommender,
+        train: InteractionMatrix,
+        *,
+        knn: ItemKNN | None = None,
+        fit_knn: bool = True,
+        config: ServiceConfig | None = None,
+        executor: BudgetExecutor | None = None,
+        clock: Clock | None = None,
+        chaos=None,
+        breaker_configs: dict[str, BreakerConfig] | None = None,
+        version: str = "initial",
+    ) -> "RecommendationService":
+        """Assemble the standard four-tier cascade around ``model``.
+
+        ``knn`` may be a pre-fitted :class:`ItemKNN`; with ``fit_knn``
+        (the default) one is fitted here when not supplied.  Pass
+        ``fit_knn=False`` to skip that tier (large catalogs where the
+        item-item matrix is not worth building).
+        """
+        slot = ModelSlot(model, version=version, chaos=chaos)
+        tiers: list[ServingTier] = [PersonalizedTier(slot, train, chaos=chaos)]
+        if getattr(model, "params_", None) is not None:
+            tiers.append(FoldInTier(slot, train, chaos=chaos))
+        if knn is None and fit_knn:
+            knn = ItemKNN().fit(train)
+        if knn is not None:
+            tiers.append(ItemKNNTier(knn, train, chaos=chaos))
+        tiers.append(PopularityTier(train, chaos=chaos))
+        return cls(
+            tiers,
+            train,
+            config=config,
+            executor=executor,
+            clock=clock,
+            chaos=chaos,
+            slot=slot,
+            breaker_configs=breaker_configs,
+        )
+
+    # -- the request path -------------------------------------------------
+    def recommend(self, request: RecommendationRequest | int, *, k: int | None = None) -> RecommendationResponse:
+        """Serve one request; never raises, never returns an empty list."""
+        if not isinstance(request, RecommendationRequest):
+            request = RecommendationRequest(user=int(request), k=k or 5)
+        deadline = Deadline(
+            request.deadline_ms or self.config.default_deadline_ms, clock=self.clock
+        )
+        self.requests_served_ += 1
+        errors: dict[str, str] = {}
+        primary = self.tiers[0].name
+
+        for tier in self.tiers:
+            breaker = self.breakers[tier.name]
+            stats = self.stats[tier.name]
+            remaining = deadline.remaining_ms()
+            if remaining <= 0:
+                errors[tier.name] = "deadline exhausted"
+                break
+            if not breaker.allow():
+                stats.skipped_open += 1
+                errors[tier.name] = "breaker open"
+                continue
+            try:
+                items, latency_ms = self.executor.call(
+                    lambda tier=tier: self._run_tier(tier, request), remaining
+                )
+            except DeadlineExceeded as error:
+                breaker.record_failure(remaining)
+                stats.timeouts += 1
+                stats.record_error("deadline exceeded")
+                errors[tier.name] = f"deadline exceeded ({error})"
+                continue
+            except Exception as error:  # noqa: BLE001 - cascade boundary
+                breaker.record_failure(deadline.remaining_ms())
+                stats.failures += 1
+                stats.record_error(str(error) or type(error).__name__)
+                errors[tier.name] = str(error) or type(error).__name__
+                continue
+            breaker.record_success(latency_ms)
+            stats.served += 1
+            return RecommendationResponse(
+                user=request.user,
+                items=items,
+                served_by=tier.name,
+                degraded=tier.name != primary,
+                deadline_ms_left=deadline.remaining_ms(),
+                latency_ms=deadline.elapsed_ms(),
+                model_version=self.slot.version if self.slot is not None else None,
+                tier_errors=errors,
+            )
+
+        return self._emergency_response(request, deadline, errors)
+
+    def recommend_many(self, requests) -> list[RecommendationResponse]:
+        """Serve a sequence of requests (each with its own deadline)."""
+        return [self.recommend(request) for request in requests]
+
+    def _run_tier(self, tier: ServingTier, request: RecommendationRequest) -> np.ndarray:
+        if self.chaos is not None:
+            self.chaos.before_call(tier.name)
+        items = np.asarray(tier.serve(request), dtype=np.int64)
+        if items.ndim != 1 or len(items) == 0:
+            raise TierError(f"{tier.name}: returned an invalid ranking (shape {items.shape})")
+        if items.min() < 0 or items.max() >= self.train.n_items:
+            raise TierError(f"{tier.name}: returned out-of-catalog item ids")
+        return items
+
+    def _emergency_response(
+        self, request: RecommendationRequest, deadline: Deadline, errors: dict
+    ) -> RecommendationResponse:
+        """Answer from the precomputed popularity ranking, no matter what."""
+        k = min(request.k, self.train.n_items)
+        items = self._static_ranking[:k]
+        self.stats[STATIC_POPULARITY].served += 1
+        return RecommendationResponse(
+            user=request.user,
+            items=items.copy(),
+            served_by=STATIC_POPULARITY,
+            degraded=True,
+            deadline_ms_left=deadline.remaining_ms(),
+            latency_ms=deadline.elapsed_ms(),
+            model_version=self.slot.version if self.slot is not None else None,
+            tier_errors=errors,
+        )
+
+    # -- monitoring -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready operational state: breakers, stats, executor load."""
+        return {
+            "requests_served": self.requests_served_,
+            "model_version": self.slot.version if self.slot is not None else None,
+            "breakers": {name: b.snapshot() for name, b in self.breakers.items()},
+            "tiers": {name: s.to_dict() for name, s in self.stats.items()},
+            "executor_overruns": self.executor.overruns_,
+        }
+
+    def fallback_rate(self) -> float:
+        """Fraction of requests not served by the primary tier."""
+        total = sum(s.served for s in self.stats.values())
+        if total == 0:
+            return 0.0
+        primary = self.stats[self.tiers[0].name].served
+        return 1.0 - primary / total
+
+    def close(self) -> None:
+        """Release executor workers (idempotent)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

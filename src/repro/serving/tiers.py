@@ -1,0 +1,271 @@
+"""The fallback cascade: tiers a request degrades through.
+
+A production request must *always* come back with a ranked list, even
+when the personalized model is sick, the user is unknown, or the factor
+file on disk was corrupt.  The cascade orders serving strategies from
+best to most robust:
+
+1. :class:`PersonalizedTier` — the fitted model's own
+   ``predict_batch`` scores (validated finite before ranking);
+2. :class:`FoldInTier` — ridge fold-in of the request history against
+   the frozen item factors (:mod:`repro.mf.fold_in`), serving users the
+   model never saw;
+3. :class:`ItemKNNTier` — item-item cosine neighbours, model-free and
+   immune to factor-file corruption;
+4. :class:`PopularityTier` — the :class:`~repro.models.poprank.PopRank`
+   ordering, which cannot fail.
+
+Each tier raises :class:`~repro.utils.exceptions.TierError` when it
+cannot serve a request; the service interprets that (or a timeout, or
+an open breaker) as "try the next tier".  Tiers are deliberately free
+of breaker/deadline logic — they only know how to score — so each can
+be unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics import scoring
+from repro.models.base import FactorRecommender, Recommender
+from repro.utils.exceptions import ConfigError, TierError
+
+PERSONALIZED = "personalized"
+FOLD_IN = "fold-in"
+ITEM_KNN = "itemknn"
+POPULARITY = "popularity"
+
+
+@dataclass(frozen=True)
+class RecommendationRequest:
+    """One serving request.
+
+    Attributes
+    ----------
+    user:
+        Dense user id.  May be out of the training range — the fold-in
+        and popularity tiers still serve such users.
+    k:
+        Number of items to return.
+    history:
+        Optional item ids observed for this user *since training* (the
+        session/onboarding signal).  Unknown and cold users are served
+        personalized-adjacent results only if this is provided.
+    deadline_ms:
+        Per-request budget override (service default otherwise).
+    exclude_observed:
+        Exclude the user's training positives (and any ``history``)
+        from the returned ranking.
+    """
+
+    user: int
+    k: int = 5
+    history: tuple[int, ...] | None = None
+    deadline_ms: float | None = None
+    exclude_observed: bool = True
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.history is not None:
+            object.__setattr__(self, "history", tuple(int(i) for i in self.history))
+
+
+class ServingTier:
+    """Interface: produce a top-k ranking or raise :class:`TierError`."""
+
+    #: Cascade display name; also the breaker / chaos-injection key.
+    name: str = "tier"
+
+    def serve(self, request: RecommendationRequest) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------
+    def _rank(
+        self,
+        scores: np.ndarray,
+        request: RecommendationRequest,
+        train: InteractionMatrix,
+    ) -> np.ndarray:
+        """Validate, mask, and top-k one score vector."""
+        scores = np.asarray(scores, dtype=np.float64)
+        bad = ~np.isfinite(scores)
+        if bad.any():
+            raise TierError(
+                f"{self.name}: {int(bad.sum())} non-finite scores for user {request.user}"
+            )
+        scores = scores.copy()
+        if request.exclude_observed:
+            if 0 <= request.user < train.n_users:
+                scores[train.positives(request.user)] = -np.inf
+            if request.history:
+                inside = [i for i in request.history if 0 <= i < len(scores)]
+                scores[inside] = -np.inf
+        k = min(request.k, train.n_items)
+        return scoring.topk_from_matrix(scores[None, :], k)[0]
+
+    def _train_history(
+        self, request: RecommendationRequest, train: InteractionMatrix
+    ) -> np.ndarray:
+        """The user's combined train + request history (may be empty)."""
+        parts = []
+        if 0 <= request.user < train.n_users:
+            parts.append(train.positives(request.user))
+        if request.history:
+            inside = [i for i in request.history if 0 <= i < train.n_items]
+            if inside:
+                parts.append(np.asarray(inside, dtype=np.int64))
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+
+class PersonalizedTier(ServingTier):
+    """Tier 1: the fitted model itself (hot-swappable through a slot).
+
+    ``source`` is either a fitted :class:`Recommender` or a
+    :class:`~repro.serving.reload.ModelSlot`; reading through the slot
+    on every request is what makes hot reload take effect mid-stream.
+    """
+
+    name = PERSONALIZED
+
+    def __init__(self, source, train: InteractionMatrix, *, chaos=None):
+        self.source = source
+        self.train = train
+        self.chaos = chaos
+
+    def current_model(self) -> Recommender:
+        get = getattr(self.source, "get", None)
+        return get() if callable(get) else self.source
+
+    def serve(self, request: RecommendationRequest) -> np.ndarray:
+        model = self.current_model()
+        if not (0 <= request.user < self.train.n_users):
+            raise TierError(f"{self.name}: user {request.user} outside the trained range")
+        if self.train.n_positives(request.user) == 0:
+            # A cold user has no personalized signal; let the cascade
+            # pick fold-in (if the request carries history) or
+            # popularity, with honest provenance.
+            raise TierError(f"{self.name}: user {request.user} has no training history")
+        scores = np.asarray(
+            model.predict_batch(np.asarray([request.user], dtype=np.int64))[0]
+        )
+        if self.chaos is not None:
+            scores = self.chaos.poison_scores(self.name, scores)
+        return self._rank(scores, request, self.train)
+
+
+class FoldInTier(ServingTier):
+    """Tier 2: ridge fold-in against the current model's item factors.
+
+    Serves unseen/cold users from their request history (and known
+    users from their training history when the personalized scorer is
+    down) without touching the model.
+    """
+
+    name = FOLD_IN
+
+    def __init__(
+        self,
+        source,
+        train: InteractionMatrix,
+        *,
+        weight: float = 10.0,
+        reg: float = 0.1,
+        chaos=None,
+    ):
+        self.source = source
+        self.train = train
+        self.weight = weight
+        self.reg = reg
+        self.chaos = chaos
+
+    def _params(self):
+        get = getattr(self.source, "get", None)
+        model = get() if callable(get) else self.source
+        params = getattr(model, "params_", None)
+        if params is None:
+            raise TierError(f"{self.name}: current model has no factor parameters")
+        return params
+
+    def serve(self, request: RecommendationRequest) -> np.ndarray:
+        from repro.mf.fold_in import fold_in_user_ridge
+
+        history = self._train_history(request, self.train)
+        if len(history) == 0:
+            raise TierError(
+                f"{self.name}: user {request.user} has no history to fold in"
+            )
+        result = fold_in_user_ridge(
+            self._params(), history, weight=self.weight, reg=self.reg
+        )
+        scores = result.predict()
+        if self.chaos is not None:
+            scores = self.chaos.poison_scores(self.name, scores)
+        return self._rank(scores, request, self.train)
+
+
+class ItemKNNTier(ServingTier):
+    """Tier 3: item-item cosine neighbours, independent of the factors."""
+
+    name = ITEM_KNN
+
+    def __init__(self, knn, train: InteractionMatrix, *, chaos=None):
+        if getattr(knn, "similarity_", None) is None:
+            raise ConfigError("ItemKNNTier needs a fitted ItemKNN model")
+        self.knn = knn
+        self.train = train
+        self.chaos = chaos
+
+    def serve(self, request: RecommendationRequest) -> np.ndarray:
+        history = self._train_history(request, self.train)
+        if len(history) == 0:
+            raise TierError(f"{self.name}: user {request.user} has no history")
+        scores = self.knn.similarity_[history].sum(axis=0)
+        if self.chaos is not None:
+            scores = self.chaos.poison_scores(self.name, scores)
+        return self._rank(scores, request, self.train)
+
+
+class PopularityTier(ServingTier):
+    """Tier 4: training popularity — serves anyone, cannot go cold."""
+
+    name = POPULARITY
+
+    def __init__(self, train: InteractionMatrix, *, chaos=None):
+        self.train = train
+        self.chaos = chaos
+        self._scores = train.item_counts().astype(np.float64)
+
+    def serve(self, request: RecommendationRequest) -> np.ndarray:
+        scores = self._scores
+        if self.chaos is not None:
+            scores = self.chaos.poison_scores(self.name, scores)
+        return self._rank(scores, request, self.train)
+
+
+@dataclass
+class TierStats:
+    """Per-tier serving counters (service bookkeeping)."""
+
+    served: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    skipped_open: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+
+    def record_error(self, message: str) -> None:
+        self.errors[message] = self.errors.get(message, 0) + 1
+
+    def to_dict(self) -> dict:
+        return {
+            "served": self.served,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "skipped_open": self.skipped_open,
+            "errors": dict(self.errors),
+        }

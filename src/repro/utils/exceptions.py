@@ -18,6 +18,22 @@ class DataError(ReproError, ValueError):
     """Input data violates the invariants required by a component."""
 
 
+class DataValidationError(DataError):
+    """A data file failed validation, with file/line context attached.
+
+    Raised by the loaders in :mod:`repro.data.loaders` on malformed
+    rows — negative or non-numeric ids, NaN ratings, duplicate
+    ``(user, item)`` pairs — so bad files fail at the parsing boundary
+    with a pointer to the offending line instead of crashing deep in
+    numpy during matrix construction.
+    """
+
+    def __init__(self, message: str, *, path=None, line: int | None = None):
+        super().__init__(message)
+        self.path = path
+        self.line = line
+
+
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a fitted model was called before ``fit``."""
 
@@ -34,6 +50,28 @@ class DivergenceError(ReproError, RuntimeError):
 
 class CheckpointError(ReproError, RuntimeError):
     """A training checkpoint is missing, corrupt, or incompatible."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """Base class for failures on the query-time serving path."""
+
+
+class TierError(ServingError):
+    """One cascade tier could not serve a request (bad scores, unknown
+    user, missing history, ...); the cascade moves on to the next tier."""
+
+
+class DeadlineExceeded(ServingError):
+    """A tier call overran its per-request time budget and was cut off.
+
+    Carries the ``budget_ms`` that was granted and, when known, the
+    ``elapsed_ms`` actually spent before the cutoff.
+    """
+
+    def __init__(self, message: str, *, budget_ms: float | None = None, elapsed_ms: float | None = None):
+        super().__init__(message)
+        self.budget_ms = budget_ms
+        self.elapsed_ms = elapsed_ms
 
 
 class ExperimentError(ReproError, RuntimeError):

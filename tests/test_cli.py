@@ -127,6 +127,89 @@ class TestSweep:
         assert code == 2
 
 
+SERVE_BASE = [
+    "serve", "--profile", "ML100K", "--scale", "0.2", "--seed", "0",
+    "--method", "BPR", "--epochs", "2", "--executor", "inline",
+    "--deadline-ms", "200",
+]
+
+
+class TestServe:
+    def test_healthy_traffic_serves_and_summarizes(self, capsys):
+        assert main(SERVE_BASE + ["--requests", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving summary" in out
+        assert "personalized" in out
+        assert "fallback rate" in out
+
+    def test_injected_faults_degrade_every_request(self, capsys):
+        code = main(SERVE_BASE + [
+            "--requests", "40", "--cold-fraction", "0.0",
+            "--inject-nan", "personalized", "--expect-degraded",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all responses degraded with provenance, none failed" in out
+        assert "open" in out  # the personalized breaker opened
+
+    def test_faults_clear_and_tier_recovers(self, capsys):
+        code = main(SERVE_BASE + [
+            "--requests", "60", "--inject-fail", "personalized",
+            "--breaker-cooldown", "0.01", "--clear-faults-after", "30",
+        ])
+        assert code == 0
+        assert "faults cleared" in capsys.readouterr().out
+
+    def test_unknown_fault_tier_exits_2(self, capsys):
+        code = main(SERVE_BASE + ["--requests", "5", "--inject-nan", "nosuchtier"])
+        assert code == 2
+        assert "unknown tier" in capsys.readouterr().err
+
+    def test_watch_accepts_a_new_model(self, tmp_path, capsys):
+        # The candidate is trained identically to the live model, so its
+        # canary NDCG matches and the reload must be accepted.
+        model_path = tmp_path / "bpr.npz"
+        assert main([
+            "train", "--profile", "ML100K", "--scale", "0.2", "--seed", "0",
+            "--method", "BPR", "--epochs", "2", "--save", str(model_path),
+        ]) == 0
+        capsys.readouterr()
+        code = main(SERVE_BASE + [
+            "--requests", "30", "--watch", str(model_path), "--poll-every", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "watching" in out
+        assert "reload accepted" in out
+
+    def test_serve_saved_model(self, tmp_path, capsys):
+        model_path = tmp_path / "bpr.npz"
+        main([
+            "train", "--profile", "ML100K", "--scale", "0.2", "--seed", "0",
+            "--method", "BPR", "--epochs", "2", "--save", str(model_path),
+        ])
+        capsys.readouterr()
+        code = main(SERVE_BASE + [
+            "--requests", "10", "--model", str(model_path),
+        ])
+        assert code == 0
+        assert "Serving summary" in capsys.readouterr().out
+
+
+class TestShadowEval:
+    def test_reports_agreement(self, capsys):
+        code = main([
+            "shadow-eval", "--profile", "ML100K", "--scale", "0.15", "--seed", "0",
+            "--method", "BPR", "--epochs", "2", "--executor", "inline",
+            "--deadline-ms", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact-match rate" in out
+        assert "mean overlap@5" in out
+        assert "Serving summary" in out
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -3,13 +3,14 @@
 import pytest
 
 from repro.data.loaders import (
+    LoadReport,
     load_csv_triplets,
     load_movielens_100k,
     load_movielens_1m,
     load_pairs,
     save_pairs,
 )
-from repro.utils.exceptions import DataError
+from repro.utils.exceptions import DataError, DataValidationError
 
 
 @pytest.fixture
@@ -108,3 +109,108 @@ class TestPairFiles:
         loaded = load_pairs(path, name="tiny")
         # Re-indexing is dense first-seen, so compare pair counts per user.
         assert loaded.n_interactions == dataset.n_interactions
+
+
+class TestStrictValidation:
+    """Satellite: malformed rows raise DataValidationError with context."""
+
+    def write(self, tmp_path, rows):
+        path = tmp_path / "u.data"
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_negative_id_raises_with_line(self, tmp_path):
+        path = self.write(tmp_path, ["1\t10\t5\t0", "-2\t10\t5\t0"])
+        with pytest.raises(DataValidationError, match=r"u\.data:2: negative id") as excinfo:
+            load_movielens_100k(path)
+        assert excinfo.value.line == 2
+
+    def test_out_of_range_id_raises(self, tmp_path):
+        path = self.write(tmp_path, [f"1\t{2**40}\t5\t0"])
+        with pytest.raises(DataValidationError, match="out-of-range id"):
+            load_movielens_100k(path)
+
+    def test_float_id_is_corruption(self, tmp_path):
+        path = self.write(tmp_path, ["3.7\t10\t5\t0"])
+        with pytest.raises(DataValidationError, match="non-integer numeric id"):
+            load_movielens_100k(path)
+
+    def test_nan_rating_raises(self, tmp_path):
+        path = self.write(tmp_path, ["1\t10\tnan\t0"])
+        with pytest.raises(DataValidationError, match="non-finite rating"):
+            load_movielens_100k(path)
+
+    def test_duplicate_pair_raises(self, tmp_path):
+        path = self.write(tmp_path, ["1\t10\t5\t0", "1\t10\t4\t1"])
+        with pytest.raises(DataValidationError, match=r"u\.data:2: duplicate"):
+            load_movielens_100k(path)
+
+    def test_duplicate_pair_in_pair_file_raises(self, tmp_path):
+        path = tmp_path / "pairs.tsv"
+        path.write_text("alice\trock\nalice\trock\n")
+        with pytest.raises(DataValidationError, match="duplicate"):
+            load_pairs(path)
+
+    def test_string_keys_still_legitimate(self, tmp_path):
+        path = tmp_path / "pairs.tsv"
+        path.write_text("alice\trock\nbob\tjazz\n")
+        assert load_pairs(path).n_interactions == 2
+
+    def test_validation_error_is_a_data_error(self, tmp_path):
+        # Backward compatibility: callers catching DataError still work.
+        path = self.write(tmp_path, ["-1\t10\t5\t0"])
+        with pytest.raises(DataError):
+            load_movielens_100k(path)
+
+
+class TestLenientMode:
+    """Satellite: strict=False skips bad rows and counts them."""
+
+    def test_skip_and_count(self, tmp_path):
+        path = tmp_path / "u.data"
+        rows = [
+            "1\t10\t5\t0",        # kept
+            "-2\t10\t5\t0",       # negative id
+            "1\t10\t4\t1",        # duplicate pair
+            "2\t20\tnan\t0",      # non-finite rating
+            "3\t30\thigh\t0",     # non-numeric rating
+            "4\t40",              # short row
+            "2\t10\t5\t0",        # kept
+            "3\t20\t2\t0",        # valid but below threshold
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        report = LoadReport()
+        dataset = load_movielens_100k(path, strict=False, report=report)
+        assert dataset.n_interactions == 2
+        assert report.rows == 8
+        assert report.kept == 2
+        assert report.skipped == {
+            "negative id": 1,
+            "duplicate pair": 1,
+            "non-finite rating": 1,
+            "non-numeric rating": 1,
+            "short row": 1,
+        }
+        assert report.n_skipped == 5
+
+    def test_lenient_without_report_still_loads(self, tmp_path):
+        path = tmp_path / "u.data"
+        path.write_text("1\t10\t5\t0\nbad row\n")
+        assert load_movielens_100k(path, strict=False).n_interactions == 1
+
+    def test_lenient_pair_file(self, tmp_path):
+        path = tmp_path / "pairs.tsv"
+        path.write_text("alice\trock\nalice\trock\nonlyone\nbob\tjazz\n")
+        report = LoadReport()
+        dataset = load_pairs(path, strict=False, report=report)
+        assert dataset.n_interactions == 2
+        assert report.skipped == {"duplicate pair": 1, "short row": 1}
+
+    def test_lenient_csv(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("u,i,r\n1,100,4.5\n1,100,5.0\nx,nan,3\n2,100,5.0\n")
+        report = LoadReport()
+        dataset = load_csv_triplets(path, strict=False, report=report)
+        assert dataset.n_interactions == 2
+        assert report.skipped["duplicate pair"] == 1
+        assert report.skipped["non-integer numeric id"] == 1

@@ -1,0 +1,334 @@
+"""Tests of the serving layer: deadlines, tiers, and the cascade.
+
+Deterministic paths (deadline arithmetic, cascade ordering, provenance)
+run on :class:`FakeClock` + :class:`InlineExecutor`; one test exercises
+the real :class:`ThreadedExecutor` cut-off with a genuinely slow call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import make_profile_dataset, train_test_split
+from repro.mf.sgd import SGDConfig
+from repro.models import BPR, ItemKNN, PopRank
+from repro.serving import (
+    STATIC_POPULARITY,
+    BreakerConfig,
+    Deadline,
+    FakeClock,
+    FoldInTier,
+    InlineExecutor,
+    ItemKNNTier,
+    PersonalizedTier,
+    PopularityTier,
+    RecommendationRequest,
+    RecommendationService,
+    ServiceConfig,
+    ThreadedExecutor,
+)
+from repro.utils.exceptions import ConfigError, DeadlineExceeded, TierError
+
+
+def warm_users(train):
+    return np.flatnonzero(train.user_counts() > 0)
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = make_profile_dataset("ML100K", scale=0.25, seed=5)
+    return train_test_split(dataset, seed=5)
+
+
+@pytest.fixture(scope="module")
+def bpr(split):
+    return BPR(n_factors=8, sgd=SGDConfig(n_epochs=2), seed=0).fit(
+        split.train, split.validation
+    )
+
+
+def make_service(model, train, *, deadline_ms=50.0, breaker=None, chaos=None, **kwargs):
+    clock = FakeClock()
+    service = RecommendationService.build(
+        model,
+        train,
+        config=ServiceConfig(
+            default_deadline_ms=deadline_ms,
+            breaker=breaker or BreakerConfig(min_calls=3, cooldown_seconds=5.0),
+        ),
+        executor=InlineExecutor(clock=clock),
+        clock=clock,
+        chaos=chaos,
+        **kwargs,
+    )
+    return service, clock
+
+
+class TestDeadline:
+    def test_countdown(self):
+        clock = FakeClock()
+        deadline = Deadline(50.0, clock=clock)
+        assert deadline.remaining_ms() == pytest.approx(50.0)
+        clock.advance(0.030)
+        assert deadline.remaining_ms() == pytest.approx(20.0)
+        assert not deadline.expired()
+        clock.advance(0.025)
+        assert deadline.expired()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigError):
+            Deadline(0.0, clock=FakeClock())
+
+
+class TestInlineExecutor:
+    def test_within_budget_returns_result_and_latency(self):
+        clock = FakeClock()
+        executor = InlineExecutor(clock=clock)
+
+        def fn():
+            clock.advance(0.010)
+            return "ok"
+
+        result, latency_ms = executor.call(fn, 50.0)
+        assert result == "ok"
+        assert latency_ms == pytest.approx(10.0)
+        assert executor.overruns_ == 0
+
+    def test_overrun_raises_and_counts(self):
+        clock = FakeClock()
+        executor = InlineExecutor(clock=clock)
+
+        def slow():
+            clock.advance(0.120)
+            return "late"
+
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            executor.call(slow, 50.0)
+        assert excinfo.value.budget_ms == pytest.approx(50.0)
+        assert executor.overruns_ == 1
+        assert executor.overrun_ms_ == pytest.approx(70.0)
+
+    def test_fn_exceptions_propagate(self):
+        executor = InlineExecutor(clock=FakeClock())
+        with pytest.raises(ValueError):
+            executor.call(lambda: (_ for _ in ()).throw(ValueError("boom")), 50.0)
+
+
+class TestThreadedExecutor:
+    def test_fast_call_passes_through(self):
+        executor = ThreadedExecutor(max_workers=2)
+        try:
+            result, latency_ms = executor.call(lambda: 42, 1000.0)
+            assert result == 42
+            assert latency_ms < 1000.0
+        finally:
+            executor.shutdown()
+
+    def test_slow_call_cut_off_at_budget(self):
+        import time
+
+        executor = ThreadedExecutor(max_workers=2)
+        try:
+            with pytest.raises(DeadlineExceeded):
+                executor.call(lambda: time.sleep(0.5), 30.0)
+            assert executor.overruns_ == 1
+        finally:
+            executor.shutdown()
+
+
+class TestRequestValidation:
+    def test_history_coerced_to_int_tuple(self):
+        request = RecommendationRequest(user=0, history=[np.int64(3), 1.0])
+        assert request.history == (3, 1)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            RecommendationRequest(user=0, k=0)
+
+
+class TestTiers:
+    def test_personalized_matches_model_recommend(self, split, bpr):
+        tier = PersonalizedTier(bpr, split.train)
+        user = int(warm_users(split.train)[0])
+        served = tier.serve(RecommendationRequest(user=user, k=5))
+        expected = bpr.recommend(user, k=5)
+        np.testing.assert_array_equal(served, expected)
+
+    def test_personalized_rejects_cold_user(self, split, bpr):
+        tier = PersonalizedTier(bpr, split.train)
+        with pytest.raises(TierError, match="outside the trained range"):
+            tier.serve(RecommendationRequest(user=split.train.n_users + 7))
+
+    def test_fold_in_serves_unseen_user_from_history(self, split, bpr):
+        tier = FoldInTier(bpr, split.train)
+        request = RecommendationRequest(
+            user=split.train.n_users + 1, k=5, history=(0, 1, 2)
+        )
+        items = tier.serve(request)
+        assert len(items) == 5
+        assert not set(items.tolist()) & {0, 1, 2}  # history excluded
+
+    def test_fold_in_needs_history(self, split, bpr):
+        tier = FoldInTier(bpr, split.train)
+        with pytest.raises(TierError, match="no history"):
+            tier.serve(RecommendationRequest(user=split.train.n_users + 1))
+
+    def test_itemknn_requires_fitted_model(self, split):
+        with pytest.raises(ConfigError):
+            ItemKNNTier(ItemKNN(), split.train)
+
+    def test_itemknn_serves_from_history(self, split):
+        knn = ItemKNN().fit(split.train)
+        tier = ItemKNNTier(knn, split.train)
+        user = int(warm_users(split.train)[0])
+        items = tier.serve(RecommendationRequest(user=user, k=5))
+        assert len(items) == 5
+
+    def test_popularity_serves_anyone(self, split):
+        tier = PopularityTier(split.train)
+        items = tier.serve(RecommendationRequest(user=10**9, k=5))
+        expected = PopRank().fit(split.train).recommend(10**9, k=5)
+        np.testing.assert_array_equal(items, expected)
+
+
+class TestCascade:
+    def test_healthy_service_serves_personalized(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        user = int(warm_users(split.train)[0])
+        response = service.recommend(RecommendationRequest(user=user, k=5))
+        assert response.served_by == "personalized"
+        assert not response.degraded
+        assert response.model_version == "initial"
+        assert len(response.items) == 5
+        assert response.deadline_ms_left <= 50.0
+
+    def test_int_request_shorthand(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        user = int(warm_users(split.train)[0])
+        response = service.recommend(user, k=3)
+        assert len(response.items) == 3
+
+    def test_unseen_user_with_history_degrades_to_fold_in(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        response = service.recommend(
+            RecommendationRequest(user=split.train.n_users + 1, k=5, history=(0, 1))
+        )
+        assert response.served_by == "fold-in"
+        assert response.degraded
+        assert "personalized" in response.tier_errors
+
+    def test_unseen_user_without_history_gets_popularity(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        response = service.recommend(
+            RecommendationRequest(user=split.train.n_users + 1, k=5)
+        )
+        assert response.served_by == "popularity"
+        assert response.degraded
+
+    def test_deadline_exhaustion_falls_to_static_popularity(self, split, bpr):
+        service, clock = make_service(bpr, split.train, deadline_ms=10.0)
+        clock.advance(1.0)  # the request arrives, then time passes...
+        deadline_probe = RecommendationRequest(user=0, k=5, deadline_ms=10.0)
+        # Exhaust the budget before any tier can be attempted by making
+        # the first tier's call itself advance past the deadline.
+        original = service.tiers[0].serve
+
+        def slow_serve(request):
+            clock.advance(1.0)  # 1000 ms >> 10 ms budget
+            return original(request)
+
+        service.tiers[0].serve = slow_serve
+        response = service.recommend(deadline_probe)
+        assert response.served_by == STATIC_POPULARITY
+        assert response.degraded
+        assert len(response.items) == 5
+        assert response.deadline_ms_left < 0
+
+    def test_emergency_response_matches_popularity_order(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        expected = PopRank().fit(split.train).recommend(10**9, k=5)
+        request = RecommendationRequest(user=0, k=5, deadline_ms=5.0)
+        deadline_burner = service.clock
+        deadline_burner.advance(0.0)
+        # Force every tier to fail so only the emergency path remains.
+        for tier in service.tiers:
+            tier.serve = lambda request: (_ for _ in ()).throw(TierError("down"))
+        response = service.recommend(request)
+        assert response.served_by == STATIC_POPULARITY
+        np.testing.assert_array_equal(response.items, expected)
+
+    def test_breaker_opens_after_repeated_failures(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        service.tiers[0].serve = lambda request: (_ for _ in ()).throw(
+            TierError("personalized scorer down")
+        )
+        user = int(warm_users(split.train)[0])
+        for _ in range(3):
+            response = service.recommend(RecommendationRequest(user=user))
+            assert response.served_by != "personalized"
+        assert service.breakers["personalized"].state == "open"
+        response = service.recommend(RecommendationRequest(user=user))
+        assert response.tier_errors["personalized"] == "breaker open"
+        assert service.stats["personalized"].skipped_open >= 1
+
+    def test_stats_and_snapshot(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        user = int(warm_users(split.train)[0])
+        for _ in range(4):
+            service.recommend(RecommendationRequest(user=user))
+        snap = service.snapshot()
+        assert snap["requests_served"] == 4
+        assert snap["tiers"]["personalized"]["served"] == 4
+        assert snap["breakers"]["personalized"]["state"] == "closed"
+        assert service.fallback_rate() == 0.0
+
+    def test_recommend_many(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        users = warm_users(split.train)[:5]
+        responses = service.recommend_many(
+            [RecommendationRequest(user=int(u), k=3) for u in users]
+        )
+        assert len(responses) == 5
+        assert all(len(r.items) == 3 for r in responses)
+
+    def test_context_manager_closes_executor(self, split, bpr):
+        with make_service(bpr, split.train)[0] as service:
+            user = int(warm_users(split.train)[0])
+            service.recommend(RecommendationRequest(user=user))
+
+    def test_empty_cascade_rejected(self, split):
+        with pytest.raises(ConfigError):
+            RecommendationService([], split.train)
+
+    def test_invalid_tier_output_is_a_failure_not_a_crash(self, split, bpr):
+        service, _ = make_service(bpr, split.train)
+        service.tiers[0].serve = lambda request: np.zeros(0, dtype=np.int64)
+        user = int(warm_users(split.train)[0])
+        response = service.recommend(RecommendationRequest(user=user))
+        assert response.served_by != "personalized"
+        assert "invalid ranking" in response.tier_errors["personalized"]
+
+
+class TestColdUsersInModels:
+    """Satellite: zero-interaction users get the popularity ordering."""
+
+    def test_recommend_cold_user_matches_poprank(self, tiny_matrix):
+        pop = PopRank().fit(tiny_matrix)
+        bpr = BPR(n_factors=4, sgd=SGDConfig(n_epochs=1), seed=0).fit(tiny_matrix)
+        np.testing.assert_array_equal(
+            bpr.recommend(3, k=4), pop._popularity_topk(tiny_matrix, 4)
+        )
+
+    def test_recommend_batch_cold_rows_match_recommend(self, tiny_matrix):
+        bpr = BPR(n_factors=4, sgd=SGDConfig(n_epochs=1), seed=0).fit(tiny_matrix)
+        batch = bpr.recommend_batch(np.arange(4), k=4)
+        for user in range(4):
+            np.testing.assert_array_equal(batch[user], bpr.recommend(user, k=4))
+
+    def test_cold_user_ordering_is_popularity(self, tiny_matrix):
+        # item 2 appears twice in tiny_matrix; every other item once or
+        # zero times, so it must lead any cold-user ranking.
+        bpr = BPR(n_factors=4, sgd=SGDConfig(n_epochs=1), seed=0).fit(tiny_matrix)
+        assert bpr.recommend(3, k=6)[0] == 2
+        assert bpr.recommend_batch(np.asarray([3]), k=6)[0, 0] == 2

@@ -1,0 +1,220 @@
+"""Service-level chaos: zero failed requests under injected faults.
+
+The acceptance scenario: with the personalized tier failing 100% of the
+time (NaN-poisoned scores, injected latency, raised exceptions), every
+request is still answered with a ranked list by a lower tier within its
+deadline, the sick tier's breaker opens within the sample window, and
+half-open probes restore the tier once the faults stop.  All timing
+runs on a :class:`FakeClock`, so injected latency advances simulated
+time without the suite actually waiting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import make_profile_dataset, train_test_split
+from repro.mf.sgd import SGDConfig
+from repro.models import BPR
+from repro.resilience.chaos import InjectedFault, ServiceFaultInjector, TierFault
+from repro.serving import (
+    CLOSED,
+    OPEN,
+    STATIC_POPULARITY,
+    BreakerConfig,
+    FakeClock,
+    InlineExecutor,
+    RecommendationRequest,
+    RecommendationService,
+    ServiceConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = make_profile_dataset("ML100K", scale=0.25, seed=9)
+    return train_test_split(dataset, seed=9)
+
+
+@pytest.fixture(scope="module")
+def bpr(split):
+    return BPR(n_factors=8, sgd=SGDConfig(n_epochs=2), seed=0).fit(
+        split.train, split.validation
+    )
+
+
+@pytest.fixture
+def rig(split, bpr):
+    clock = FakeClock()
+    chaos = ServiceFaultInjector(clock)
+    service = RecommendationService.build(
+        bpr,
+        split.train,
+        config=ServiceConfig(
+            default_deadline_ms=50.0,
+            breaker=BreakerConfig(
+                window_seconds=30.0,
+                min_calls=4,
+                failure_rate_threshold=0.5,
+                cooldown_seconds=5.0,
+                half_open_successes=2,
+            ),
+        ),
+        executor=InlineExecutor(clock=clock),
+        clock=clock,
+        chaos=chaos,
+    )
+    users = np.flatnonzero(split.train.user_counts() > 0)
+    return service, chaos, clock, users
+
+
+def drive(service, users, n, *, spacing_s=0.01):
+    """Serve ``n`` requests round-robin over ``users``, spaced in time."""
+    responses = []
+    for t in range(n):
+        responses.append(
+            service.recommend(RecommendationRequest(user=int(users[t % len(users)]), k=5))
+        )
+        service.clock.advance(spacing_s)
+    return responses
+
+
+class TestFaultInjector:
+    def test_inject_and_clear(self):
+        chaos = ServiceFaultInjector(FakeClock())
+        chaos.inject("personalized", nan_scores=True, latency_ms=10.0)
+        assert chaos.faults["personalized"].armed
+        chaos.clear("personalized")
+        assert "personalized" not in chaos.faults
+
+    def test_exception_fault_raises(self):
+        chaos = ServiceFaultInjector(FakeClock())
+        chaos.inject("itemknn", exception=True)
+        with pytest.raises(InjectedFault):
+            chaos.before_call("itemknn")
+        assert chaos.fired_counts_["itemknn:exception"] == 1
+
+    def test_latency_fault_advances_clock(self):
+        clock = FakeClock()
+        chaos = ServiceFaultInjector(clock)
+        chaos.inject("personalized", latency_ms=80.0)
+        chaos.before_call("personalized")
+        assert clock.now == pytest.approx(0.080)
+
+    def test_poison_scores_nans_half(self):
+        chaos = ServiceFaultInjector(FakeClock())
+        chaos.inject("personalized", nan_scores=True)
+        poisoned = chaos.poison_scores("personalized", np.ones(10))
+        assert np.isnan(poisoned).sum() == 5
+
+    def test_unarmed_tier_untouched(self):
+        chaos = ServiceFaultInjector(FakeClock())
+        scores = np.ones(4)
+        assert chaos.poison_scores("personalized", scores) is scores
+        chaos.before_call("personalized")  # no-op
+
+    def test_tier_fault_armed(self):
+        assert not TierFault().armed
+        assert TierFault(latency_ms=5.0).armed
+        assert TierFault(exception=True).armed
+        assert TierFault(nan_scores=True).armed
+
+
+class TestZeroFailedRequests:
+    def test_nan_poisoned_primary_never_drops_a_request(self, rig):
+        """The headline acceptance test: 100% NaN faults, zero failures."""
+        service, chaos, clock, users = rig
+        chaos.inject("personalized", nan_scores=True)
+        responses = drive(service, users, 40)
+        # Every request answered, ranked, and within its deadline.
+        assert len(responses) == 40
+        for response in responses:
+            assert len(response.items) == 5
+            assert response.degraded
+            assert response.served_by != "personalized"
+            assert response.deadline_ms_left > 0
+        # The breaker opened within the window: after min_calls=4
+        # failures the tier stops being attempted at all.
+        assert service.breakers["personalized"].state == OPEN
+        assert service.stats["personalized"].failures == 4
+        assert service.stats["personalized"].skipped_open == 36
+
+    def test_latency_faulted_primary_times_out_not_blocks(self, rig):
+        service, chaos, clock, users = rig
+        chaos.inject("personalized", latency_ms=200.0)  # 4x the 50 ms budget
+        responses = drive(service, users, 12)
+        for response in responses:
+            assert len(response.items) == 5
+            assert response.degraded
+        stats = service.stats["personalized"]
+        assert stats.timeouts == 4  # min_calls timeouts, then breaker open
+        assert service.breakers["personalized"].state == OPEN
+        assert service.executor.overruns_ == 4
+
+    def test_exception_faulted_primary(self, rig):
+        service, chaos, clock, users = rig
+        chaos.inject("personalized", exception=True)
+        responses = drive(service, users, 10)
+        assert all(r.served_by == "fold-in" for r in responses)
+        assert "injected" in str(service.stats["personalized"].errors)
+
+    def test_two_sick_tiers_cascade_to_third(self, rig):
+        service, chaos, clock, users = rig
+        chaos.inject("personalized", nan_scores=True)
+        chaos.inject("fold-in", exception=True)
+        responses = drive(service, users, 20)
+        for response in responses:
+            assert len(response.items) == 5
+            assert response.served_by in ("itemknn", "popularity")
+        assert service.breakers["personalized"].state == OPEN
+        assert service.breakers["fold-in"].state == OPEN
+
+    def test_every_tier_sick_still_serves_static_popularity(self, rig):
+        service, chaos, clock, users = rig
+        for tier in service.tiers:
+            chaos.inject(tier.name, exception=True)
+        responses = drive(service, users, 20)
+        assert all(len(r.items) == 5 for r in responses)
+        assert any(r.served_by == STATIC_POPULARITY for r in responses)
+        assert service.stats[STATIC_POPULARITY].served > 0
+
+
+class TestRecovery:
+    def test_half_open_probes_restore_the_tier(self, rig):
+        """Faults stop -> cooldown -> probes succeed -> tier is primary again."""
+        service, chaos, clock, users = rig
+        chaos.inject("personalized", nan_scores=True)
+        drive(service, users, 10)
+        breaker = service.breakers["personalized"]
+        assert breaker.state == OPEN
+
+        chaos.clear()  # the incident ends
+        clock.advance(5.0)  # cooldown elapses -> half-open
+        responses = drive(service, users, 3)
+        # The first post-cooldown request is the successful probe; with
+        # half_open_successes=2 the second closes the breaker.
+        assert responses[0].served_by == "personalized"
+        assert not responses[0].degraded
+        assert breaker.state == CLOSED
+        assert all(r.served_by == "personalized" for r in responses)
+
+    def test_probe_failure_during_ongoing_incident_reopens(self, rig):
+        service, chaos, clock, users = rig
+        chaos.inject("personalized", nan_scores=True)
+        drive(service, users, 8)
+        breaker = service.breakers["personalized"]
+        opened_before = breaker.opened_count_
+        clock.advance(5.0)  # cooldown, but the fault is still armed
+        responses = drive(service, users, 4)
+        assert breaker.state == OPEN
+        assert breaker.opened_count_ == opened_before + 1
+        assert all(r.degraded for r in responses)
+
+    def test_fallback_rate_reflects_the_incident(self, rig):
+        service, chaos, clock, users = rig
+        drive(service, users, 10)  # healthy
+        assert service.fallback_rate() == 0.0
+        chaos.inject("personalized", nan_scores=True)
+        drive(service, users, 10)
+        assert 0.0 < service.fallback_rate() <= 0.5
