@@ -66,6 +66,47 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", type=Path, metavar="BASE",
+        help="export run metrics to BASE.jsonl / BASE.prom at command end",
+    )
+    parser.add_argument(
+        "--metrics-format", default="jsonl", choices=("jsonl", "prometheus", "both"),
+        help="exporter format(s) for --metrics-out",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="also record span timing events in the metrics log",
+    )
+
+
+def _make_obs(args):
+    """A live registry when any observability flag is set, else ``None``.
+
+    ``None`` keeps every instrumented component on the no-op
+    :class:`~repro.obs.registry.NullRegistry` default, so an
+    uninstrumented run stays bitwise identical.
+    """
+    if args.metrics_out is None and not args.trace:
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry(trace=args.trace)
+
+
+def _finish_obs(args, obs) -> None:
+    """Print the summary table and export files for an instrumented run."""
+    if obs is None:
+        return
+    from repro.obs import export_metrics, summary_table
+
+    print(summary_table(obs))
+    if args.metrics_out is not None:
+        for path in export_metrics(obs, args.metrics_out, fmt=args.metrics_format):
+            print(f"wrote metrics to {path}")
+
+
 def cmd_profiles(_args) -> int:
     rows = [
         [name, p.paper_users, p.paper_items, f"{p.paper_density:.2%}", p.n_users, p.n_items]
@@ -106,9 +147,12 @@ def cmd_train(args) -> int:
     dataset = _load_dataset(args)
     split = train_test_split(dataset, seed=args.seed)
     scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
+    obs = _make_obs(args)
     model = make_model(
         args.method, scale=scale, dataset=args.profile, seed=args.seed, sampler=args.sampler
     )
+    if obs is not None:
+        model.obs = obs
 
     supports_resilience = hasattr(model, "checkpoint")
     resume_from = None
@@ -140,7 +184,7 @@ def cmd_train(args) -> int:
     else:
         model.fit(split.train, split.validation)
     result = evaluate_model(
-        model, split, ks=(5,), chunk_size=args.chunk_size, n_jobs=args.n_jobs
+        model, split, ks=(5,), chunk_size=args.chunk_size, n_jobs=args.n_jobs, obs=obs
     )
     for key in ("precision@5", "recall@5", "f1@5", "1-call@5", "ndcg@5", "map", "mrr", "auc"):
         print(f"  {key:12s} {result[key]:.4f}")
@@ -153,6 +197,7 @@ def cmd_train(args) -> int:
         else:
             save_factors(args.save, params, metadata={"method": args.method, "dataset": dataset.name})
             print(f"saved factors to {args.save}")
+    _finish_obs(args, obs)
     return 0
 
 
@@ -207,7 +252,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def _fit_serving_model(args, split):
+def _fit_serving_model(args, split, obs=None):
     """The model behind ``serve``/``shadow-eval``: trained or loaded."""
     from repro.experiments.config import ExperimentScale
     from repro.experiments.registry import make_model
@@ -222,11 +267,13 @@ def _fit_serving_model(args, split):
         return model
     scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
     model = make_model(args.method, scale=scale, dataset=args.profile, seed=args.seed)
+    if obs is not None:
+        model.obs = obs
     print(f"training {model.name} ({args.epochs} epochs)...")
     return model.fit(split.train, split.validation)
 
 
-def _build_service(args, split, model, chaos=None):
+def _build_service(args, split, model, chaos=None, obs=None):
     import numpy as np  # noqa: F401  (kept local: serving path only)
 
     from repro.serving import (
@@ -254,6 +301,7 @@ def _build_service(args, split, model, chaos=None):
         config=ServiceConfig(default_deadline_ms=args.deadline_ms, breaker=breaker),
         executor=executor,
         chaos=chaos,
+        obs=obs,
     )
 
 
@@ -341,10 +389,11 @@ def cmd_serve(args) -> int:
 
     dataset = _load_dataset(args)
     split = train_test_split(dataset, seed=args.seed)
-    model = _fit_serving_model(args, split)
+    obs = _make_obs(args)
+    model = _fit_serving_model(args, split, obs=obs)
     chaos = ServiceFaultInjector()
     _parse_faults(args, chaos)
-    with _build_service(args, split, model, chaos=chaos) as service:
+    with _build_service(args, split, model, chaos=chaos, obs=obs) as service:
         known = {tier.name for tier in service.tiers}
         unknown = set(chaos.faults) - known
         if unknown:
@@ -356,7 +405,7 @@ def cmd_serve(args) -> int:
             from repro.serving import ModelReloader
 
             reloader = ModelReloader(
-                service.slot, args.watch, split.train, split.validation
+                service.slot, args.watch, split.train, split.validation, obs=obs
             )
             print(f"watching {args.watch} for model candidates "
                   f"(poll every {args.poll_every} requests)")
@@ -388,6 +437,7 @@ def cmd_serve(args) -> int:
                       "despite --expect-degraded", file=sys.stderr)
                 return 1
             print("all responses degraded with provenance, none failed (as expected)")
+    _finish_obs(args, obs)
     return 0
 
 
@@ -396,8 +446,9 @@ def cmd_shadow_eval(args) -> int:
 
     dataset = _load_dataset(args)
     split = train_test_split(dataset, seed=args.seed)
-    model = _fit_serving_model(args, split)
-    with _build_service(args, split, model) as service:
+    obs = _make_obs(args)
+    model = _fit_serving_model(args, split, obs=obs)
+    with _build_service(args, split, model, obs=obs) as service:
         test_users = np.flatnonzero(split.test.user_counts() > 0)
         overlaps, identical = [], 0
         responses = []
@@ -412,6 +463,7 @@ def cmd_shadow_eval(args) -> int:
         print(f"  exact-match rate:  {identical / max(1, len(test_users)):.1%}")
         print(f"  mean overlap@{args.k}:   {float(np.mean(overlaps)):.1%}")
         _print_serving_summary(service, responses)
+    _finish_obs(args, obs)
     return 0
 
 
@@ -427,10 +479,13 @@ def cmd_sweep(args) -> int:
         )
         for method in args.methods
     }
+    obs = _make_obs(args)
     result = sweep_dataset_property(
-        args.property, args.values, factories, seed=args.seed, metric=args.metric
+        args.property, args.values, factories, seed=args.seed, metric=args.metric,
+        obs=obs,
     )
     print(result.render())
+    _finish_obs(args, obs)
     return 0
 
 
@@ -484,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="divergence guard policy: rollback = LR backoff to the last good "
              "epoch on NaN/exploding loss, abort = raise immediately",
     )
+    _add_obs_arguments(train)
     train.set_defaults(func=cmd_train)
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate a paper table/figure")
@@ -517,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--breaker-min-calls", type=int, default=5)
         parser.add_argument("--breaker-cooldown", type=float, default=1.0,
                             help="seconds a tripped breaker stays open")
+        _add_obs_arguments(parser)
 
     serve = subparsers.add_parser(
         "serve", help="drive the resilient serving layer with synthetic traffic"
@@ -554,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metric", default="ndcg@5")
     sweep.add_argument("--epochs", type=int, default=40)
     sweep.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
     return parser
 

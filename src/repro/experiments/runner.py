@@ -87,6 +87,7 @@ def run_method(
     time_budget_seconds: float | None = None,
     chunk_size: int = 1024,
     n_jobs: int | None = None,
+    obs=None,
 ) -> MethodResult:
     """Fit and evaluate one method on every split, aggregating metrics.
 
@@ -100,8 +101,13 @@ def run_method(
     for CLiMF/RandomWalk on the large datasets); the check runs between
     repeats, so the budget bounds when no further repeat is *started*,
     not a hard kill.  ``chunk_size`` and ``n_jobs`` feed the batched
-    evaluator.
+    evaluator; ``obs`` (an optional
+    :class:`~repro.obs.registry.MetricsRegistry`) is shared with every
+    evaluator and records per-method fit/evaluate events.
     """
+    from repro.obs.registry import as_registry
+
+    obs = as_registry(obs)
     if not splits:
         raise ConfigError("at least one split is required")
     fitted: Recommender | None = None
@@ -124,8 +130,13 @@ def run_method(
             start = time.perf_counter()
             model.fit(split.train, split.validation)
             times.append(time.perf_counter() - start)
+            obs.histogram("experiment_fit_seconds", method=model.name).observe(times[-1])
         if display_name is None:
             display_name = model.name
+        obs.event(
+            "method_repeat", method=display_name, repeat=repeat,
+            train_seconds=times[-1],
+        )
         if time_budget_seconds is not None and sum(times) > time_budget_seconds:
             return MethodResult(
                 name=display_name,
@@ -136,7 +147,8 @@ def run_method(
                 timed_out=True,
             )
         evaluator = Evaluator(
-            split, ks=ks, max_users=max_users, seed=repeat, chunk_size=chunk_size, n_jobs=n_jobs
+            split, ks=ks, max_users=max_users, seed=repeat, chunk_size=chunk_size,
+            n_jobs=n_jobs, obs=obs,
         )
         per_repeat.append(evaluator.evaluate(model).metrics)
 
@@ -165,6 +177,7 @@ def run_methods(
     retries: int = 0,
     retry_base_delay: float = 0.5,
     journal=None,
+    obs=None,
 ) -> dict[str, MethodResult]:
     """Run every named method (factory or fitted model) over the same splits.
 
@@ -205,6 +218,7 @@ def run_methods(
                     max_users=max_users,
                     chunk_size=chunk_size,
                     n_jobs=n_jobs,
+                    obs=obs,
                 ),
                 retries=retries,
                 base_delay=retry_base_delay,

@@ -59,6 +59,7 @@ def sweep_dataset_property(
     metric: str = "ndcg@5",
     seed: int = 0,
     max_users: int | None = 300,
+    obs=None,
 ) -> SensitivityResult:
     """Sweep one :class:`SyntheticConfig` field and evaluate each method.
 
@@ -73,7 +74,13 @@ def sweep_dataset_property(
         ``name -> factory(seed)`` building a fresh model per run.
     base_config:
         The config whose other fields stay fixed.
+    obs:
+        Optional metrics registry shared with every evaluator; each
+        sweep point emits a ``sweep_point`` event.
     """
+    from repro.obs.registry import as_registry
+
+    obs = as_registry(obs)
     if property_name not in SWEEPABLE_FIELDS:
         raise ConfigError(
             f"{property_name!r} is not a SyntheticConfig field; choose from {SWEEPABLE_FIELDS}"
@@ -94,11 +101,16 @@ def sweep_dataset_property(
         config = dataclasses.replace(base_config, **{property_name: coerce(value)})
         dataset = generate_synthetic(config, seed=seed, name=f"sweep-{property_name}-{value}")
         split = train_test_split(dataset, seed=seed)
-        evaluator = Evaluator(split, ks=(cutoff,), max_users=max_users, seed=seed)
+        evaluator = Evaluator(split, ks=(cutoff,), max_users=max_users, seed=seed, obs=obs)
         for name, factory in factories.items():
             model = factory(seed)
             model.fit(split.train, split.validation)
-            curves[name].append(evaluator.evaluate(model)[metric])
+            score = evaluator.evaluate(model)[metric]
+            curves[name].append(score)
+            obs.event(
+                "sweep_point", property=property_name, value=coerce(value),
+                method=name, metric=metric, score=score,
+            )
     return SensitivityResult(
         property_name=property_name,
         values=tuple(values),

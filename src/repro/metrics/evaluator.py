@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.data.dataset import DatasetSplit
 from repro.metrics import ranking, scoring, topk
+from repro.obs.registry import MetricsRegistry, as_registry
 from repro.utils.exceptions import ConfigError, DataError
 from repro.utils.rng import as_generator
 
@@ -111,6 +112,10 @@ class Evaluator:
         Worker threads sharding chunks; ``-1`` uses all cores.  Results
         are independent of ``n_jobs`` (chunks are independent and every
         kernel is chunk-invariant).
+    obs:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; records
+        per-chunk timing (``eval_chunk_seconds``), chunk/user counters,
+        and end-of-run throughput.  Defaults to the no-op registry.
     """
 
     def __init__(
@@ -125,6 +130,7 @@ class Evaluator:
         sampled_candidates: int | None = None,
         chunk_size: int = 1024,
         n_jobs: int | None = None,
+        obs: MetricsRegistry | None = None,
     ):
         if not ks:
             raise ConfigError("ks must contain at least one cutoff")
@@ -143,6 +149,7 @@ class Evaluator:
         self.sampled_candidates = sampled_candidates
         self.chunk_size = int(chunk_size)
         self.n_jobs = scoring.resolve_n_jobs(n_jobs)
+        self.obs = as_registry(obs)
         if use_validation_as_relevant and split.validation is None:
             raise DataError("split has no validation set")
 
@@ -210,11 +217,16 @@ class Evaluator:
         keys = self.metric_keys()
         restricted = self._restricted_masks() if self.sampled_candidates is not None else None
         chunks = scoring.iter_user_chunks(self.users, self.chunk_size)
-        chunk_results = scoring.map_chunks(
-            lambda chunk: self._evaluate_chunk(scorer, chunk, restricted),
-            chunks,
-            self.n_jobs,
-        )
+        start = self.obs.clock.monotonic()
+
+        def timed_chunk(chunk: np.ndarray) -> dict[str, np.ndarray]:
+            with self.obs.span("eval_chunk"):
+                result = self._evaluate_chunk(scorer, chunk, restricted)
+            self.obs.counter("eval_chunks_total").inc()
+            self.obs.counter("eval_users_total").inc(len(result["map"]))
+            return result
+
+        chunk_results = scoring.map_chunks(timed_chunk, chunks, self.n_jobs)
 
         accum = {
             key: (
@@ -225,6 +237,10 @@ class Evaluator:
             for key in keys
         }
         n_users = len(accum["map"])
+        elapsed = self.obs.clock.monotonic() - start
+        if elapsed > 0:
+            self.obs.gauge("eval_users_per_second").set(n_users / elapsed)
+        self.obs.event("evaluation", n_users=n_users, seconds=elapsed)
         metrics = {key: ranking.mean_metric(values) for key, values in accum.items()}
         per_user = dict(accum) if self.keep_per_user else None
         return EvaluationResult(metrics=metrics, n_users=n_users, per_user=per_user)
@@ -313,7 +329,8 @@ class Evaluator:
         mrr = np.empty(n_rows)
         auc = np.empty(n_rows)
         for row in range(n_rows):
-            row_ranks = ranks[segment_starts[row] : segment_stops[row]]
+            segment = slice(segment_starts[row], segment_stops[row])
+            row_ranks = ranks[segment]
             ranks_sorted = np.sort(row_ranks)
             precisions = np.arange(1, len(ranks_sorted) + 1, dtype=np.float64) / ranks_sorted
             ap[row] = float(precisions.mean())
@@ -323,9 +340,15 @@ class Evaluator:
             if n_neg <= 0:
                 auc[row] = 0.0
             else:
-                positives_below = n_pos - 1 - np.arange(n_pos)
-                correct = np.sum((int(n_candidates[row]) - ranks_sorted) - positives_below)
-                auc[row] = float(correct) / (n_pos * n_neg)
+                # Midrank AUC (ties get 0.5 credit) from raw candidate
+                # scores, through the same helper — and therefore the
+                # same float ops — as the sequential path's
+                # ranking.area_under_curve, keeping chunk invariance.
+                auc[row] = ranking.auc_from_scores(
+                    scores[row][candidates[row]],
+                    scores[row][rel_items[segment]],
+                    n_neg,
+                )
         out["map"] = ap
         out["mrr"] = mrr
         out["auc"] = auc
@@ -393,8 +416,10 @@ def evaluate_model(
     seed=None,
     chunk_size: int = 1024,
     n_jobs: int | None = None,
+    obs=None,
 ) -> EvaluationResult:
     """Convenience wrapper: evaluate ``model`` on ``split`` in one call."""
     return Evaluator(
-        split, ks=ks, max_users=max_users, seed=seed, chunk_size=chunk_size, n_jobs=n_jobs
+        split, ks=ks, max_users=max_users, seed=seed, chunk_size=chunk_size,
+        n_jobs=n_jobs, obs=obs,
     ).evaluate(model)

@@ -31,6 +31,7 @@ from repro.metrics import scoring
 from repro.mf.functional import log_sigmoid, sigmoid
 from repro.mf.params import FactorParams
 from repro.mf.sgd import EarlyStoppingConfig, RegularizationConfig, SGDConfig
+from repro.obs.registry import MetricsRegistry, as_registry
 from repro.sampling.base import Sampler, TupleBatch
 from repro.sampling.uniform import UniformSampler
 from repro.utils.exceptions import CheckpointError, ConfigError, NotFittedError
@@ -265,6 +266,13 @@ class TupleSGDRecommender(FactorRecommender):
         Testing hook — a
         :class:`~repro.resilience.chaos.FaultInjector` ticked once per
         SGD step, used by the fault-injection suite.
+    obs:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  The
+        training loop records per-epoch loss / learning rate / wall
+        time, grad-clip activations, divergence-guard rollbacks, and
+        validation scores; the sampler shares the registry for draw and
+        rejection counters.  Defaults to the no-op registry, which
+        leaves training bitwise identical to the uninstrumented path.
     """
 
     def __init__(
@@ -281,6 +289,7 @@ class TupleSGDRecommender(FactorRecommender):
         guard=None,
         checkpoint=None,
         fault_injector=None,
+        obs: MetricsRegistry | None = None,
     ):
         super().__init__()
         self.n_factors = int(n_factors)
@@ -294,6 +303,7 @@ class TupleSGDRecommender(FactorRecommender):
         self.guard = guard
         self.checkpoint = checkpoint
         self.fault_injector = fault_injector
+        self.obs = as_registry(obs)
         self.learning_rate_: float | None = None
         self.loss_history_: list[float] = []
         self.validation_history_: list[float] = []
@@ -431,6 +441,7 @@ class TupleSGDRecommender(FactorRecommender):
         self._train = train
         self._on_fit_start(train)
         self.sampler.bind(train, self.params_)
+        self.sampler.obs = self.obs
 
         if resumed is not None:
             try:
@@ -473,9 +484,12 @@ class TupleSGDRecommender(FactorRecommender):
             else None
         )
 
+        obs = self.obs
         try:
             epoch = start_epoch
             while epoch < self.sgd.n_epochs:
+                epoch_start = obs.clock.monotonic()
+                clips_before = guard.clips_ if guard is not None else 0
                 epoch_loss = 0.0
                 diverged: str | None = None
                 for _ in range(steps):
@@ -489,14 +503,31 @@ class TupleSGDRecommender(FactorRecommender):
                         break
                 mean_loss = epoch_loss / steps
                 if guard is not None:
+                    clips = guard.clips_ - clips_before
+                    if clips:
+                        obs.counter("train_grad_clip_total", model=self.name).inc(clips)
                     reason = diverged or guard.check_epoch(self.params_, mean_loss)
                     if reason is not None:
+                        obs.counter("train_rollbacks_total", model=self.name).inc()
+                        obs.event(
+                            "rollback", model=self.name, epoch=epoch, reason=reason,
+                            learning_rate=self.learning_rate_,
+                        )
                         # May raise DivergenceError (abort policy / budget spent).
                         guard.record_backoff(reason, epoch=epoch)
                         self.learning_rate_ *= guard.config.backoff_factor
                         epoch = self._restore_snapshot(snapshot, rng, stopping_state)
                         continue
                 self.loss_history_.append(mean_loss)
+                epoch_seconds = obs.clock.monotonic() - epoch_start
+                obs.counter("train_epochs_total", model=self.name).inc()
+                obs.histogram("train_epoch_seconds", model=self.name).observe(epoch_seconds)
+                obs.gauge("train_loss", model=self.name).set(mean_loss)
+                obs.gauge("train_learning_rate", model=self.name).set(self.learning_rate_)
+                obs.event(
+                    "epoch", model=self.name, epoch=epoch, loss=mean_loss,
+                    learning_rate=self.learning_rate_, seconds=epoch_seconds,
+                )
                 if self.epoch_callback is not None:
                     self.epoch_callback(self, epoch)
                 stop = False
@@ -506,6 +537,8 @@ class TupleSGDRecommender(FactorRecommender):
                         k=stopping.k, max_users=stopping.max_users,
                     )
                     self.validation_history_.append(score)
+                    obs.gauge("train_validation_score", model=self.name).set(score)
+                    obs.event("validation", model=self.name, epoch=epoch, score=score)
                     if score > stopping_state["best_score"] + stopping.min_delta:
                         stopping_state.update(
                             best_score=score, best_params=self.params_.copy(), stale=0

@@ -23,6 +23,7 @@ from repro.mf.functional import sigmoid
 from repro.mf.params import FactorParams
 from repro.mf.sgd import RegularizationConfig, SGDConfig
 from repro.models.base import EpochCallback, FactorRecommender
+from repro.obs.registry import MetricsRegistry, as_registry
 from repro.utils.rng import as_generator
 
 
@@ -49,6 +50,7 @@ class CLiMF(FactorRecommender):
         guard=None,
         checkpoint=None,
         fault_injector=None,
+        obs: MetricsRegistry | None = None,
     ):
         super().__init__()
         self.n_factors = int(n_factors)
@@ -59,6 +61,7 @@ class CLiMF(FactorRecommender):
         self.guard = guard
         self.checkpoint = checkpoint
         self.fault_injector = fault_injector
+        self.obs = as_registry(obs)
         self.learning_rate_: float | None = None
         self.objective_history_: list[float] = []
 
@@ -153,8 +156,10 @@ class CLiMF(FactorRecommender):
             snapshot = (start_epoch - 1, self.params_.copy(),
                         copy.deepcopy(rng.bit_generator.state), len(self.objective_history_))
 
+        obs = self.obs
         epoch = start_epoch
         while epoch < self.sgd.n_epochs:
+            epoch_start = obs.clock.monotonic()
             total = 0.0
             for user in rng.permutation(users_with_items):
                 total += self._user_step(int(user), train.positives(int(user)))
@@ -166,6 +171,11 @@ class CLiMF(FactorRecommender):
                 # negated objective (a loss-shaped, decreasing signal).
                 reason = guard.check_epoch(self.params_, -mean_objective)
                 if reason is not None:
+                    obs.counter("train_rollbacks_total", model=self.name).inc()
+                    obs.event(
+                        "rollback", model=self.name, epoch=epoch, reason=reason,
+                        learning_rate=self.learning_rate_,
+                    )
                     guard.record_backoff(reason, epoch=epoch)
                     self.learning_rate_ *= guard.config.backoff_factor
                     snap_epoch, snap_params, snap_rng, snap_len = snapshot
@@ -175,6 +185,15 @@ class CLiMF(FactorRecommender):
                     epoch = snap_epoch + 1
                     continue
             self.objective_history_.append(mean_objective)
+            epoch_seconds = obs.clock.monotonic() - epoch_start
+            obs.counter("train_epochs_total", model=self.name).inc()
+            obs.histogram("train_epoch_seconds", model=self.name).observe(epoch_seconds)
+            obs.gauge("train_objective", model=self.name).set(mean_objective)
+            obs.gauge("train_learning_rate", model=self.name).set(self.learning_rate_)
+            obs.event(
+                "epoch", model=self.name, epoch=epoch, objective=mean_objective,
+                learning_rate=self.learning_rate_, seconds=epoch_seconds,
+            )
             if self.epoch_callback is not None:
                 self.epoch_callback(self, epoch)
             if guard is not None:

@@ -1,0 +1,51 @@
+"""``repro.obs`` — dependency-free metrics, tracing, and exporters.
+
+One :class:`MetricsRegistry` (counters, gauges, fixed-bucket
+histograms, ``span()`` tracing, an event log) is injected at
+construction time into the training loops, samplers, the batched
+evaluator, and the serving cascade.  The default everywhere is the
+shared no-op :data:`NULL_REGISTRY`, so uninstrumented call sites — and
+the bitwise-reproducibility guarantees they rely on — are untouched.
+
+See the README "Observability" section for the CLI flags
+(``--metrics-out``, ``--metrics-format``, ``--trace``) and exporter
+formats.
+"""
+
+from repro.obs.export import (
+    export_metrics,
+    lint_prometheus,
+    metric_records,
+    prometheus_text,
+    summary_table,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    as_registry,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "as_registry",
+    "export_metrics",
+    "lint_prometheus",
+    "metric_records",
+    "prometheus_text",
+    "summary_table",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,216 @@
+"""Exporters for :class:`~repro.obs.registry.MetricsRegistry`.
+
+Three output formats, all dependency-free:
+
+* **JSONL event log** — one JSON object per line: every recorded event
+  (epoch losses, breaker transitions, reload decisions, spans when
+  tracing) followed by one ``{"event": "metric", ...}`` line per
+  instrument with its final value.  Written through
+  :func:`repro.utils.atomicio.atomic_write`, so a crash mid-export
+  never leaves a truncated log.
+* **Prometheus text format** — ``# TYPE`` headers plus samples;
+  histograms expand to cumulative ``_bucket{le=...}`` series with
+  ``_sum``/``_count``, ready for a scrape endpoint or ``promtool``.
+  :func:`lint_prometheus` is a minimal format checker used by the CI
+  observability job.
+* **Summary table** — the end-of-run human-readable view rendered with
+  the repo's own :func:`repro.utils.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.utils.atomicio import atomic_write
+from repro.utils.tables import format_table
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""  # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"  # more labels
+    r" -?([0-9.eE+-]+|Inf|NaN)$"          # value
+)
+
+
+def _sanitize_name(name: str) -> str:
+    """Coerce a metric name into the Prometheus charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_RE.fullmatch(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _label_str(labels: tuple, extra: tuple = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{_sanitize_name(key)}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def metric_records(registry: MetricsRegistry) -> list[dict]:
+    """One JSON-ready record per instrument (the JSONL tail lines)."""
+    records = []
+    for instrument in registry.instruments():
+        record: dict = {
+            "event": "metric",
+            "name": instrument.name,
+            "labels": dict(instrument.labels),
+        }
+        if isinstance(instrument, Counter):
+            record.update(type="counter", value=instrument.value)
+        elif isinstance(instrument, Gauge):
+            record.update(type="gauge", value=instrument.value)
+        elif isinstance(instrument, Histogram):
+            record.update(type="histogram", **instrument.snapshot())
+        records.append(record)
+    return records
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Atomically write the event log + final metric values as JSONL."""
+    lines = [
+        json.dumps(record, sort_keys=True, default=str)
+        for record in [*registry.events(), *metric_records(registry)]
+    ]
+
+    def writer(tmp_path: Path) -> None:
+        tmp_path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+
+    return atomic_write(path, writer)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for instrument in registry.instruments():
+        name = _sanitize_name(instrument.name)
+        if isinstance(instrument, Counter):
+            kind = "counter"
+        elif isinstance(instrument, Gauge):
+            kind = "gauge"
+        elif isinstance(instrument, Histogram):
+            kind = "histogram"
+        else:  # pragma: no cover - registry only stores the three kinds
+            continue
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        if isinstance(instrument, Histogram):
+            cumulative = instrument.cumulative_counts()
+            bounds = [*(_format_value(b) for b in instrument.buckets), "+Inf"]
+            for bound, count in zip(bounds, cumulative):
+                labels = _label_str(instrument.labels, (("le", bound),))
+                lines.append(f"{name}_bucket{labels} {count}")
+            labels = _label_str(instrument.labels)
+            lines.append(f"{name}_sum{labels} {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
+        else:
+            labels = _label_str(instrument.labels)
+            lines.append(f"{name}{labels} {_format_value(instrument.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Atomically write :func:`prometheus_text` output to ``path``."""
+
+    def writer(tmp_path: Path) -> None:
+        tmp_path.write_text(prometheus_text(registry), encoding="utf-8")
+
+    return atomic_write(path, writer)
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Check exposition-format well-formedness; returns problem strings.
+
+    Not a full parser — it validates the line grammar (comments or
+    ``name{labels} value`` samples), that every sample is preceded by a
+    ``# TYPE`` declaration for its family, and that histogram bucket
+    counts are cumulative.  An empty return value means the text lints
+    clean; the CI observability job fails on any finding.
+    """
+    problems: list[str] = []
+    declared: set[str] = set()
+    bucket_runs: dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            problems.append(f"line {lineno}: blank line inside exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                declared.add(parts[2])
+            continue
+        if not _SAMPLE_RE.match(line):
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in declared and family not in declared:
+            problems.append(f"line {lineno}: sample {name!r} has no # TYPE declaration")
+        if name.endswith("_bucket"):
+            series = line.rsplit(" ", 1)[0]
+            series = re.sub(r'le="[^"]*",?', "", series)
+            count = float(line.rsplit(" ", 1)[1])
+            previous = bucket_runs.get(series)
+            if previous is not None and count < previous:
+                problems.append(f"line {lineno}: non-cumulative histogram buckets")
+            bucket_runs[series] = count
+    return problems
+
+
+def summary_table(registry: MetricsRegistry, *, title: str = "Run metrics") -> str:
+    """The end-of-run summary: one row per instrument."""
+    rows = []
+    for instrument in registry.instruments():
+        labels = ",".join(f"{k}={v}" for k, v in instrument.labels)
+        if isinstance(instrument, Histogram):
+            rows.append([
+                instrument.name, labels, "histogram",
+                f"n={instrument.count} mean={instrument.mean():.4g} "
+                f"max={instrument.snapshot()['max'] if instrument.count else '-'}",
+            ])
+        elif isinstance(instrument, Counter):
+            rows.append([instrument.name, labels, "counter", f"{instrument.value:g}"])
+        else:
+            rows.append([instrument.name, labels, "gauge", f"{instrument.value:.6g}"])
+    if not rows:
+        return f"{title}: (no metrics recorded)"
+    return format_table(["metric", "labels", "type", "value"], rows, title=title)
+
+
+def export_metrics(
+    registry: MetricsRegistry,
+    out: str | Path,
+    *,
+    fmt: str = "jsonl",
+) -> list[Path]:
+    """Write the registry to ``<out>.jsonl`` / ``<out>.prom`` per ``fmt``.
+
+    ``fmt`` is ``"jsonl"``, ``"prometheus"``, or ``"both"``; ``out`` is
+    treated as a base path and the format-specific suffix is appended.
+    Returns the paths written.
+    """
+    from repro.utils.exceptions import ConfigError
+
+    base = Path(out)
+    written: list[Path] = []
+    if fmt not in ("jsonl", "prometheus", "both"):
+        raise ConfigError(f"metrics format must be jsonl, prometheus, or both, got {fmt!r}")
+    if fmt in ("jsonl", "both"):
+        written.append(write_jsonl(registry, base.with_name(base.name + ".jsonl")))
+    if fmt in ("prometheus", "both"):
+        written.append(write_prometheus(registry, base.with_name(base.name + ".prom")))
+    return written

@@ -1,0 +1,336 @@
+"""Thread-safe metrics registry: counters, gauges, histograms, spans.
+
+The observability substrate for the whole library.  One
+:class:`MetricsRegistry` is injected at construction time into every
+instrumented component (trainer, sampler, evaluator, serving cascade);
+the default is the shared :data:`NULL_REGISTRY`, whose instruments are
+no-ops, so uninstrumented call sites pay nothing and — crucially — the
+bitwise-reproducibility guarantees of the training and evaluation paths
+are untouched (instruments only *observe* values; they never draw RNG
+numbers or alter float arithmetic).
+
+Design points:
+
+* **Dependency-free.**  Plain ``threading.Lock`` instruments; exporters
+  live in :mod:`repro.obs.export` and use only the standard library and
+  the repo's own atomic writers.
+* **Thread-safe.**  Instrument creation is serialized on a registry
+  lock; each instrument serializes its own updates, so the threaded
+  evaluator and the serving executor can record concurrently.
+* **Clock-injectable.**  All timings flow through a
+  :class:`~repro.utils.clock.Clock` (the registry's ``clock``
+  attribute), so span durations and event timestamps are exactly
+  testable with :class:`~repro.utils.clock.FakeClock` and zero
+  sleeps.
+* **Label-aware.**  Instruments are keyed by ``(name, sorted labels)``,
+  mirroring the Prometheus data model; the same name with different
+  labels (e.g. per-tier latency histograms) yields distinct series.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+
+from repro.utils.clock import Clock, as_clock
+from repro.utils.exceptions import ConfigError
+
+# Upper bucket bounds (inclusive, "le" semantics) used when a histogram
+# is created without explicit buckets.  Spans record seconds; serving
+# latencies record milliseconds — this 1-2-5 ladder covers both ranges.
+DEFAULT_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name} cannot decrease (inc({amount}))")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are ascending *inclusive* upper bounds; an observation
+    lands in the first bucket whose bound is ``>= value``, or in the
+    implicit ``+Inf`` overflow bucket.  ``bucket_counts`` are
+    per-bucket (non-cumulative); exporters cumulate them.
+    """
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS, labels: tuple = ()):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigError(f"histogram {name} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigError(f"histogram {name} bucket bounds must be strictly ascending")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._min = None
+        self._max = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def bucket_counts(self) -> list[int]:
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts of observations ``<=`` each bound, ending with +Inf."""
+        with self._lock:
+            total, out = 0, []
+            for count in self._counts:
+                total += count
+                out.append(total)
+            return out
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "buckets": dict(zip([*map(str, self.buckets), "+Inf"], self._counts)),
+            }
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Factory and store for named instruments, plus an event log.
+
+    Parameters
+    ----------
+    clock:
+        Time source for events and spans
+        (:class:`~repro.utils.clock.SystemClock` by default; tests
+        inject :class:`~repro.utils.clock.FakeClock`).
+    trace:
+        When true, every :meth:`span` additionally appends a
+        ``{"event": "span", ...}`` record to the event log (spans
+        always feed their duration histogram regardless).
+    """
+
+    def __init__(self, *, clock: Clock | None = None, trace: bool = False):
+        self.clock = as_clock(clock)
+        self.trace = bool(trace)
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._events: list[dict] = []
+
+    # -- instrument factories -------------------------------------------
+    def _get(self, kind, name: str, labels: dict, **kwargs):
+        key = (kind.__name__, name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = kind(name, labels=_label_key(labels), **kwargs)
+                self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, *, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- events ----------------------------------------------------------
+    def event(self, name: str, **fields) -> None:
+        """Append one timestamped record to the event log."""
+        record = {"ts": self.clock.monotonic(), "event": name, **fields}
+        with self._lock:
+            self._events.append(record)
+
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    # -- spans -----------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **labels):
+        """Time a block: duration goes to the ``<name>_seconds`` histogram.
+
+        With ``trace=True`` a ``span`` event (name, labels, start,
+        duration) is appended to the event log as well.  Timing uses
+        ``self.clock.monotonic()``, so a :class:`FakeClock` advanced
+        inside the block yields exact, sleep-free durations.
+        """
+        start = self.clock.monotonic()
+        try:
+            yield
+        finally:
+            seconds = self.clock.monotonic() - start
+            self.histogram(f"{name}_seconds", **labels).observe(seconds)
+            if self.trace:
+                self.event("span", span=name, start=start, seconds=seconds, **labels)
+
+    # -- introspection ----------------------------------------------------
+    def instruments(self) -> list:
+        """All instruments, sorted by (name, labels) for stable export."""
+        with self._lock:
+            return sorted(
+                self._instruments.values(), key=lambda i: (i.name, i.labels)
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: every instrument's current value."""
+        out: dict = {}
+        for instrument in self.instruments():
+            key = instrument.name
+            if instrument.labels:
+                key += "{" + ",".join(f"{k}={v}" for k, v in instrument.labels) + "}"
+            if isinstance(instrument, Histogram):
+                out[key] = instrument.snapshot()
+            else:
+                out[key] = instrument.value
+        return out
+
+
+class _NullInstrument:
+    """Absorbs every instrument call; shared by all names and labels."""
+
+    name = ""
+    labels: tuple = ()
+    buckets: tuple = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    bucket_counts: list = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_counts(self) -> list:
+        return []
+
+    def mean(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op default registry.
+
+    Every instrument call returns a shared do-nothing object and the
+    event log stays empty, so instrumented code paths behave — down to
+    the bit — exactly like their uninstrumented ancestors (asserted by
+    the identity tests in ``tests/test_obs.py``).
+    """
+
+    def __init__(self, *, clock: Clock | None = None, trace: bool = False):
+        super().__init__(clock=clock, trace=False)
+
+    def counter(self, name: str, **labels):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, *, buckets=DEFAULT_BUCKETS, **labels):
+        return _NULL_INSTRUMENT
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **labels):
+        yield
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def as_registry(obs: MetricsRegistry | None) -> MetricsRegistry:
+    """``None`` -> the shared :data:`NULL_REGISTRY`; else pass through."""
+    if obs is None:
+        return NULL_REGISTRY
+    if not isinstance(obs, MetricsRegistry):
+        raise ConfigError(
+            f"expected a MetricsRegistry (or None), got {type(obs).__name__}"
+        )
+    return obs

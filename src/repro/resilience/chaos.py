@@ -126,7 +126,7 @@ class ServiceFaultInjector:
     """
 
     def __init__(self, clock=None):
-        from repro.serving.clock import as_clock
+        from repro.utils.clock import as_clock
 
         self.clock = as_clock(clock)
         self.faults: dict[str, TierFault] = {}

@@ -101,6 +101,7 @@ class TrainingGuard:
     def __init__(self, config: GuardConfig | None = None):
         self.config = config or GuardConfig()
         self.backoffs_ = 0
+        self.clips_ = 0
         self.divergences_: list[str] = []
         self._best_loss = np.inf
         self._best_validation = -np.inf
@@ -108,6 +109,7 @@ class TrainingGuard:
 
     def reset(self) -> None:
         self.backoffs_ = 0
+        self.clips_ = 0
         self.divergences_ = []
         self._best_loss = np.inf
         self._best_validation = -np.inf
@@ -172,7 +174,8 @@ class TrainingGuard:
 
         ``update`` may be ``(N, d)`` or ``(N,)`` (bias vector); returns
         the clipped array (possibly the input, unmodified, when clipping
-        is disabled or no row exceeds the bound).
+        is disabled or no row exceeds the bound).  Clipped-row counts
+        accumulate in ``clips_`` (read by the training instrumentation).
         """
         clip = self.config.clip_norm
         if clip is None:
@@ -184,6 +187,7 @@ class TrainingGuard:
         over = norms > clip
         if not over.any():
             return update
+        self.clips_ += int(over.sum())
         scale = np.ones_like(norms)
         np.divide(clip, norms, out=scale, where=over)
         return update * (scale[..., None] if update.ndim > 1 else scale)

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.data.interactions import InteractionMatrix
 from repro.mf.params import FactorParams
+from repro.obs.registry import NULL_REGISTRY
 from repro.utils.exceptions import DataError, NotFittedError
 
 _MAX_REJECTION_ROUNDS = 100
@@ -54,6 +55,11 @@ class Sampler(ABC):
     live parameter object), then :meth:`sample` per SGD step.  Adaptive
     samplers refresh internal ranking caches inside ``sample`` based on
     a step counter.
+
+    The ``obs`` attribute is a metrics registry the owning model shares
+    at fit time (the no-op registry until then); samplers record draw
+    and rejection counters through it.  Instrumentation never draws from
+    ``rng`` or alters the returned batches.
     """
 
     def __init__(self):
@@ -61,6 +67,7 @@ class Sampler(ABC):
         self._params: FactorParams | None = None
         self._encoded_pairs: np.ndarray | None = None
         self._step = 0
+        self.obs = NULL_REGISTRY
 
     # -- lifecycle ------------------------------------------------------
     def bind(self, train: InteractionMatrix, params: FactorParams | None = None) -> "Sampler":
@@ -115,10 +122,13 @@ class Sampler(ABC):
         counts = train.user_counts()[users]
         offsets = rng.integers(0, counts)
         pos_k = train.indices[train.indptr[users] + offsets]
+        self.obs.counter("sampler_draws_total", kind="second_positive").inc(len(users))
         for _ in range(_MAX_REJECTION_ROUNDS):
             clash = (pos_k == pos_i) & (counts > 1)
             if not clash.any():
                 break
+            n_clash = int(clash.sum())
+            self.obs.counter("sampler_rejections_total", kind="second_positive").inc(n_clash)
             offsets = rng.integers(0, counts[clash])
             pos_k[clash] = train.indices[train.indptr[users[clash]] + offsets]
         return pos_k
@@ -127,11 +137,14 @@ class Sampler(ABC):
         """Uniform unobserved item per user, by vectorized rejection."""
         train = self.train
         neg_j = rng.integers(0, train.n_items, size=len(users))
+        self.obs.counter("sampler_draws_total", kind="negative").inc(len(users))
         for _ in range(_MAX_REJECTION_ROUNDS):
             observed = self.contains_pairs(users, neg_j)
             if not observed.any():
                 return neg_j
-            neg_j[observed] = rng.integers(0, train.n_items, size=int(observed.sum()))
+            n_observed = int(observed.sum())
+            self.obs.counter("sampler_rejections_total", kind="negative").inc(n_observed)
+            neg_j[observed] = rng.integers(0, train.n_items, size=n_observed)
         raise DataError(
             "rejection sampling failed to find unobserved items; matrix is too dense"
         )
@@ -140,7 +153,11 @@ class Sampler(ABC):
     def sample(self, batch_size: int, rng: np.random.Generator) -> TupleBatch:
         """Draw one batch of training tuples."""
         self._step += 1
-        return self._sample(batch_size, rng)
+        batch = self._sample(batch_size, rng)
+        sampler = type(self).__name__
+        self.obs.counter("sampler_batches_total", sampler=sampler).inc()
+        self.obs.counter("sampler_tuples_total", sampler=sampler).inc(len(batch))
+        return batch
 
     @abstractmethod
     def _sample(self, batch_size: int, rng: np.random.Generator) -> TupleBatch:

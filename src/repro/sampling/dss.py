@@ -70,12 +70,14 @@ class DoubleSampler(Sampler):
         self.negative_ranked = negative_ranked
         self._cache: FactorRankingCache | None = None
         self._positive_cache: UserPositiveRankingCache | None = None
+        self._observed_rebuilds = 0
 
     def _on_bind(self) -> None:
         self._cache = FactorRankingCache(self.params, self.refresh_interval)
         self._positive_cache = UserPositiveRankingCache(
             self.train, self.params, self.refresh_interval
         )
+        self._observed_rebuilds = 0
 
     # ------------------------------------------------------------------
     def _ranked_second_positive(
@@ -146,6 +148,13 @@ class DoubleSampler(Sampler):
             neg_j = self._ranked_negative(users, factors, reverse, rng)
         else:
             neg_j = self.sample_negative_uniform(users, rng)
+        rebuilds = self._cache.rebuilds_ + self._positive_cache.rebuilds_
+        if rebuilds > self._observed_rebuilds:
+            self.obs.counter(
+                "sampler_refreshes_total", sampler=type(self).__name__
+            ).inc(rebuilds - self._observed_rebuilds)
+            self.obs.event("dss_refresh", sampler=type(self).__name__, step=self.step)
+            self._observed_rebuilds = rebuilds
         return TupleBatch(users=users, pos_i=pos_i, pos_k=pos_k, neg_j=neg_j)
 
 

@@ -61,6 +61,7 @@ class FactorRankingCache:
         if refresh_interval is None:
             refresh_interval = max(int(np.ceil(np.log(max(params.n_items, 2)))), 1)
         self.refresh_interval = refresh_interval
+        self.rebuilds_ = 0
         self._orders: np.ndarray | None = None
         self._calls_since_refresh = 0
 
@@ -75,6 +76,7 @@ class FactorRankingCache:
         # via the engine's stable row-wise ranking kernel (ties broken
         # by item id, the same contract the evaluator uses).
         self._orders = ranking_orders(self._params.item_factors.T)
+        self.rebuilds_ += 1
 
     def maybe_refresh(self) -> None:
         """Count one sampler step; rebuild if the interval elapsed."""
@@ -132,6 +134,7 @@ class UserPositiveRankingCache:
         if refresh_interval is None:
             refresh_interval = max(int(np.ceil(np.log(max(params.n_items, 2)))), 1)
         self.refresh_interval = refresh_interval
+        self.rebuilds_ = 0
         self._orders: np.ndarray | None = None
         self._segment_users: np.ndarray | None = None
         self._calls_since_refresh = 0
@@ -148,6 +151,7 @@ class UserPositiveRankingCache:
             keys = self._params.item_factors[train.indices, factor]
             perm = np.lexsort((keys, self._segment_users))
             self._orders[factor] = train.indices[perm]
+        self.rebuilds_ += 1
 
     def maybe_refresh(self) -> None:
         """Count one sampler step; rebuild if the interval elapsed."""

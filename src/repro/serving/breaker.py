@@ -31,7 +31,8 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
-from repro.serving.clock import Clock, as_clock
+from repro.obs.registry import MetricsRegistry, as_registry
+from repro.utils.clock import Clock, as_clock
 from repro.utils.exceptions import ConfigError
 
 CLOSED = "closed"
@@ -100,10 +101,18 @@ class BreakerConfig:
 class CircuitBreaker:
     """Thread-safe closed/open/half-open breaker over a rolling window."""
 
-    def __init__(self, config: BreakerConfig | None = None, *, clock: Clock | None = None, name: str = ""):
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Clock | None = None,
+        name: str = "",
+        obs: MetricsRegistry | None = None,
+    ):
         self.config = config or BreakerConfig()
         self.clock = as_clock(clock)
         self.name = name
+        self.obs = as_registry(obs)
         self._lock = threading.Lock()
         self._events: deque[tuple[float, bool]] = deque()  # (timestamp, failed)
         self._state = CLOSED
@@ -183,6 +192,13 @@ class CircuitBreaker:
                 if failures / len(self._events) >= self.config.failure_rate_threshold:
                     self._open(now)
 
+    def _transition(self, to: str) -> None:
+        """Record one state transition (called with ``self._lock`` held;
+        the registry's own locks never call back into the breaker, so
+        the nesting is one-directional and deadlock-free)."""
+        self.obs.counter("breaker_transitions_total", tier=self.name, to=to).inc()
+        self.obs.event("breaker_transition", tier=self.name, to=to)
+
     def _open(self, now: float) -> None:
         self._state = OPEN
         self._opened_at = now
@@ -190,12 +206,14 @@ class CircuitBreaker:
         self._probes_in_flight = 0
         self._probe_successes = 0
         self.opened_count_ += 1
+        self._transition(OPEN)
 
     def _close(self) -> None:
         self._state = CLOSED
         self._events.clear()
         self._probes_in_flight = 0
         self._probe_successes = 0
+        self._transition(CLOSED)
 
     def _maybe_enter_half_open(self) -> None:
         if self._state == OPEN:
@@ -203,6 +221,7 @@ class CircuitBreaker:
                 self._state = HALF_OPEN
                 self._probes_in_flight = 0
                 self._probe_successes = 0
+                self._transition(HALF_OPEN)
 
     def _prune(self) -> None:
         horizon = self.clock.monotonic() - self.config.window_seconds

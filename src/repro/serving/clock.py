@@ -1,62 +1,10 @@
-"""Injectable monotonic clocks for the serving layer.
+"""Back-compat alias: the clocks now live in :mod:`repro.utils.clock`.
 
-Every time-dependent component in :mod:`repro.serving` — deadlines,
-circuit-breaker windows, latency accounting, the chaos latency fault —
-reads time through a :class:`Clock` instead of calling :mod:`time`
-directly.  Production uses :class:`SystemClock`; the test suite swaps in
-:class:`FakeClock` and advances time by hand, so the breaker state
-machine and deadline arithmetic are tested as pure functions with no
-``sleep`` calls and no wall-clock flakiness.
+The injectable clocks started life serving-only but are now shared with
+:mod:`repro.obs` (span timings, event timestamps), which must not import
+the serving package.  Import from :mod:`repro.utils.clock` in new code.
 """
 
-from __future__ import annotations
+from repro.utils.clock import Clock, FakeClock, SystemClock, as_clock
 
-import time
-
-
-class Clock:
-    """Minimal monotonic-clock interface (seconds)."""
-
-    def monotonic(self) -> float:
-        raise NotImplementedError
-
-    def sleep(self, seconds: float) -> None:
-        raise NotImplementedError
-
-
-class SystemClock(Clock):
-    """The real thing: ``time.monotonic`` / ``time.sleep``."""
-
-    def monotonic(self) -> float:
-        return time.monotonic()
-
-    def sleep(self, seconds: float) -> None:
-        if seconds > 0:
-            time.sleep(seconds)
-
-
-class FakeClock(Clock):
-    """A manually advanced clock for deterministic tests.
-
-    ``sleep`` advances the clock instead of blocking, so injected
-    latency faults "take time" without the test suite actually waiting.
-    """
-
-    def __init__(self, start: float = 0.0):
-        self.now = float(start)
-
-    def monotonic(self) -> float:
-        return self.now
-
-    def sleep(self, seconds: float) -> None:
-        if seconds > 0:
-            self.now += float(seconds)
-
-    def advance(self, seconds: float) -> None:
-        """Jump the clock forward (test helper)."""
-        self.now += float(seconds)
-
-
-def as_clock(clock: Clock | None) -> Clock:
-    """``None`` -> a :class:`SystemClock`; anything else passes through."""
-    return clock if clock is not None else SystemClock()
+__all__ = ["Clock", "FakeClock", "SystemClock", "as_clock"]

@@ -33,7 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Callable
 
-from repro.serving.clock import Clock, as_clock
+from repro.utils.clock import Clock, as_clock
 from repro.utils.exceptions import ConfigError, DeadlineExceeded
 
 

@@ -34,6 +34,7 @@ from pathlib import Path
 from repro.data.interactions import InteractionMatrix
 from repro.mf.params import FactorParams
 from repro.models.base import FactorRecommender, Recommender, validation_ndcg
+from repro.obs.registry import MetricsRegistry, as_registry
 from repro.utils.exceptions import ConfigError, DataError, ServingError
 
 
@@ -158,6 +159,10 @@ class ModelReloader:
         (checksum/finiteness validation still applies).
     canary:
         :class:`CanaryConfig` thresholds.
+    obs:
+        Optional metrics registry; every accept/reject decision emits a
+        ``reload`` event and a ``reload_polls_total{status=...}``
+        counter.  Defaults to the no-op registry.
     """
 
     def __init__(
@@ -168,16 +173,32 @@ class ModelReloader:
         validation: InteractionMatrix | None = None,
         *,
         canary: CanaryConfig | None = None,
+        obs: MetricsRegistry | None = None,
     ):
         self.slot = slot
         self.watch_path = Path(watch_path)
         self.train = train
         self.validation = validation
         self.canary = canary or CanaryConfig()
+        self.obs = as_registry(obs)
         self.history_: list[ReloadResult] = []
         self._seen_fingerprint: str | None = None
         self._live_ndcg: float | None = None
         self._live_ndcg_version: str | None = None
+
+    def _record(self, result: ReloadResult) -> ReloadResult:
+        """Append a decision to the audit history and the metrics log."""
+        self.history_.append(result)
+        self.obs.counter("reload_polls_total", status=result.status).inc()
+        self.obs.event(
+            "reload",
+            status=result.status,
+            reason=result.reason,
+            version=result.version,
+            candidate_ndcg=result.candidate_ndcg,
+            live_ndcg=result.live_ndcg,
+        )
+        return result
 
     # -- canary ---------------------------------------------------------
     def _canary_ndcg(self, model) -> float:
@@ -216,36 +237,30 @@ class ModelReloader:
                 params, self.train, version=str(metadata.get("version_tag", fingerprint))
             )
         except DataError as error:
-            result = ReloadResult("rejected", f"validation failed: {error}")
-            self.history_.append(result)
-            return result
+            return self._record(ReloadResult("rejected", f"validation failed: {error}"))
 
         candidate_ndcg = live_ndcg = None
         if self.validation is not None:
             candidate_ndcg = self._canary_ndcg(candidate)
             live_ndcg = self._live_score()
             if candidate_ndcg < live_ndcg - self.canary.max_ndcg_drop:
-                result = ReloadResult(
+                return self._record(ReloadResult(
                     "rejected",
                     f"canary NDCG@{self.canary.k} regressed: "
                     f"{candidate_ndcg:.4f} < {live_ndcg:.4f} - {self.canary.max_ndcg_drop}",
                     version=candidate.version,
                     candidate_ndcg=candidate_ndcg,
                     live_ndcg=live_ndcg,
-                )
-                self.history_.append(result)
-                return result
+                ))
 
         self.slot.swap(candidate, version=candidate.version)
         if candidate_ndcg is not None:
             self._live_ndcg = candidate_ndcg
             self._live_ndcg_version = candidate.version
-        result = ReloadResult(
+        return self._record(ReloadResult(
             "accepted",
             "candidate passed validation and canary gates",
             version=candidate.version,
             candidate_ndcg=candidate_ndcg,
             live_ndcg=live_ndcg,
-        )
-        self.history_.append(result)
-        return result
+        ))

@@ -33,8 +33,9 @@ from repro.data.interactions import InteractionMatrix
 from repro.metrics import scoring
 from repro.models.base import Recommender
 from repro.models.itemknn import ItemKNN
+from repro.obs.registry import MetricsRegistry, as_registry
 from repro.serving.breaker import BreakerConfig, CircuitBreaker
-from repro.serving.clock import Clock, as_clock
+from repro.utils.clock import Clock, as_clock
 from repro.serving.deadline import BudgetExecutor, Deadline, InlineExecutor, ThreadedExecutor
 from repro.serving.reload import ModelSlot
 from repro.serving.tiers import (
@@ -65,8 +66,9 @@ class RecommendationResponse:
     degraded:
         True whenever a tier below the primary answered.
     deadline_ms_left:
-        Budget remaining when the response was assembled (negative
-        when only the emergency path was fast enough).
+        Budget remaining when the response was assembled, clamped to
+        ``>= 0`` (0.0 means the budget was spent — e.g. only the
+        emergency path was fast enough).
     latency_ms:
         Wall time from request arrival to response.
     model_version:
@@ -84,6 +86,11 @@ class RecommendationResponse:
     latency_ms: float
     model_version: str | None = None
     tier_errors: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Budget overruns used to surface as negative remainders; the
+        # invariant is deadline_ms_left >= 0 (0.0 == budget exhausted).
+        object.__setattr__(self, "deadline_ms_left", max(0.0, float(self.deadline_ms_left)))
 
 
 @dataclass(frozen=True)
@@ -120,6 +127,7 @@ class RecommendationService:
         chaos=None,
         slot: ModelSlot | None = None,
         breaker_configs: dict[str, BreakerConfig] | None = None,
+        obs: MetricsRegistry | None = None,
     ):
         if not tiers:
             raise ConfigError("the cascade needs at least one tier")
@@ -130,6 +138,7 @@ class RecommendationService:
         self.executor = executor or ThreadedExecutor(clock=self.clock)
         self.chaos = chaos
         self.slot = slot
+        self.obs = as_registry(obs)
         for tier in self.tiers:
             if getattr(tier, "chaos", None) is None:
                 tier.chaos = chaos
@@ -139,6 +148,7 @@ class RecommendationService:
                 overrides.get(tier.name, self.config.breaker),
                 clock=self.clock,
                 name=tier.name,
+                obs=self.obs,
             )
             for tier in self.tiers
         }
@@ -165,6 +175,7 @@ class RecommendationService:
         chaos=None,
         breaker_configs: dict[str, BreakerConfig] | None = None,
         version: str = "initial",
+        obs: MetricsRegistry | None = None,
     ) -> "RecommendationService":
         """Assemble the standard four-tier cascade around ``model``.
 
@@ -191,6 +202,7 @@ class RecommendationService:
             chaos=chaos,
             slot=slot,
             breaker_configs=breaker_configs,
+            obs=obs,
         )
 
     # -- the request path -------------------------------------------------
@@ -205,6 +217,7 @@ class RecommendationService:
         errors: dict[str, str] = {}
         primary = self.tiers[0].name
 
+        obs = self.obs
         for tier in self.tiers:
             breaker = self.breakers[tier.name]
             stats = self.stats[tier.name]
@@ -214,6 +227,7 @@ class RecommendationService:
                 break
             if not breaker.allow():
                 stats.skipped_open += 1
+                obs.counter("serving_skipped_open_total", tier=tier.name).inc()
                 errors[tier.name] = "breaker open"
                 continue
             try:
@@ -224,21 +238,29 @@ class RecommendationService:
                 breaker.record_failure(remaining)
                 stats.timeouts += 1
                 stats.record_error("deadline exceeded")
+                obs.counter("serving_timeouts_total", tier=tier.name).inc()
                 errors[tier.name] = f"deadline exceeded ({error})"
                 continue
             except Exception as error:  # noqa: BLE001 - cascade boundary
                 breaker.record_failure(deadline.remaining_ms())
                 stats.failures += 1
                 stats.record_error(str(error) or type(error).__name__)
+                obs.counter("serving_failures_total", tier=tier.name).inc()
                 errors[tier.name] = str(error) or type(error).__name__
                 continue
             breaker.record_success(latency_ms)
             stats.served += 1
+            degraded = tier.name != primary
+            obs.counter("serving_served_total", tier=tier.name).inc()
+            obs.histogram("serving_tier_latency_ms", tier=tier.name).observe(latency_ms)
+            obs.histogram("serving_request_latency_ms").observe(deadline.elapsed_ms())
+            if degraded:
+                obs.counter("serving_degraded_total").inc()
             return RecommendationResponse(
                 user=request.user,
                 items=items,
                 served_by=tier.name,
-                degraded=tier.name != primary,
+                degraded=degraded,
                 deadline_ms_left=deadline.remaining_ms(),
                 latency_ms=deadline.elapsed_ms(),
                 model_version=self.slot.version if self.slot is not None else None,
@@ -268,6 +290,10 @@ class RecommendationService:
         k = min(request.k, self.train.n_items)
         items = self._static_ranking[:k]
         self.stats[STATIC_POPULARITY].served += 1
+        self.obs.counter("serving_served_total", tier=STATIC_POPULARITY).inc()
+        self.obs.counter("serving_degraded_total").inc()
+        self.obs.counter("serving_emergency_total").inc()
+        self.obs.histogram("serving_request_latency_ms").observe(deadline.elapsed_ms())
         return RecommendationResponse(
             user=request.user,
             items=items.copy(),

@@ -144,3 +144,52 @@ class TestConfiguration:
     def test_convenience_wrapper(self, split):
         result = evaluate_model(OracleModel(split), split, ks=(1,))
         assert result["precision@1"] == pytest.approx(1.0)
+
+
+class TestEmptyTestUsers:
+    """Users with no test positives must not dilute the metric means."""
+
+    @pytest.fixture
+    def sparse_split(self):
+        """4 users, 6 items; users 1 and 3 have NO test positives."""
+        train = InteractionMatrix.from_pairs(
+            [(0, 0), (1, 1), (2, 2), (3, 3)], 4, 6
+        )
+        test = InteractionMatrix.from_pairs([(0, 4), (2, 5)], 4, 6)
+        return DatasetSplit(name="sparse", train=train, test=test, validation=None)
+
+    def test_contributing_user_count_is_pinned(self, sparse_split):
+        """Regression: only the 2 users with test positives contribute."""
+        result = Evaluator(sparse_split, ks=(1,)).evaluate(OracleModel(sparse_split))
+        assert result.n_users == 2
+
+    def test_means_average_only_contributing_users(self, sparse_split):
+        result = Evaluator(sparse_split, ks=(1,), keep_per_user=True).evaluate(
+            OracleModel(sparse_split)
+        )
+        # An oracle is perfect on every *contributing* user; if empty-test
+        # users leaked in as zeros (or NaNs) the mean would drop below 1.
+        assert result["map"] == pytest.approx(1.0)
+        assert result["auc"] == pytest.approx(1.0)
+        assert len(result.per_user["map"]) == 2
+        assert not np.isnan(result.per_user["map"]).any()
+
+    def test_sequential_path_pins_the_same_count(self, sparse_split):
+        """The non-chunked protocol agrees on who contributes."""
+        chunked = Evaluator(sparse_split, ks=(1,), chunk_size=1).evaluate(
+            OracleModel(sparse_split)
+        )
+        wide = Evaluator(sparse_split, ks=(1,), chunk_size=1024).evaluate(
+            OracleModel(sparse_split)
+        )
+        assert chunked.n_users == wide.n_users == 2
+        assert chunked.metrics == wide.metrics
+
+    def test_constant_scorer_gets_exactly_half_auc(self, sparse_split):
+        """Tie-credit fix, end to end: constant scores -> AUC exactly 0.5."""
+
+        def constant(user):
+            return np.zeros(sparse_split.n_items)
+
+        result = Evaluator(sparse_split, ks=(1,)).evaluate(constant)
+        assert result["auc"] == 0.5

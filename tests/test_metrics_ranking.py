@@ -25,20 +25,25 @@ def brute_force_ap(scores, relevant, mask):
         if item in relevant:
             hits += 1
             total += hits / position
-    return total / len(relevant) if relevant else 0.0
+    return total / len(relevant) if relevant else float("nan")
 
 
 def brute_force_auc(scores, relevant, mask):
+    """Midrank AUC by literal pair enumeration: ties count 0.5."""
     candidates = np.flatnonzero(mask)
-    order = candidates[np.argsort(-scores[candidates], kind="stable")]
-    position = {int(item): p for p, item in enumerate(order)}
     relevant = set(int(r) for r in relevant)
-    negatives = [c for c in candidates if int(c) not in relevant]
-    if not relevant or not negatives:
+    negatives = [int(c) for c in candidates if int(c) not in relevant]
+    if not relevant:
+        return float("nan")
+    if not negatives:
         return 0.0
-    correct = sum(
-        1 for r in relevant for n in negatives if position[r] < position[int(n)]
-    )
+    correct = 0.0
+    for r in relevant:
+        for n in negatives:
+            if scores[r] > scores[n]:
+                correct += 1.0
+            elif scores[r] == scores[n]:
+                correct += 0.5
     return correct / (len(relevant) * len(negatives))
 
 
@@ -75,19 +80,40 @@ class TestKnownValues:
         scores = np.array([0.5, 0.7, 0.1, 0.9])
         assert area_under_curve(scores, np.array([1])) == pytest.approx(2 / 3)
 
-    def test_empty_relevant_gives_zero(self):
+    def test_empty_relevant_is_undefined(self):
+        # NaN (excluded from means), NOT 0.0 — a user with no test
+        # positives must not deflate the aggregate metrics.
         scores = np.array([0.5, 0.7])
-        assert average_precision(scores, np.array([], dtype=int)) == 0.0
-        assert reciprocal_rank(scores, np.array([], dtype=int)) == 0.0
-        assert area_under_curve(scores, np.array([], dtype=int)) == 0.0
+        assert np.isnan(average_precision(scores, np.array([], dtype=int)))
+        assert np.isnan(reciprocal_rank(scores, np.array([], dtype=int)))
+        assert np.isnan(area_under_curve(scores, np.array([], dtype=int)))
 
     def test_all_relevant_auc_zero(self):
         scores = np.array([0.5, 0.7])
         assert area_under_curve(scores, np.array([0, 1])) == 0.0
 
+    def test_constant_scores_auc_exactly_half(self):
+        # Regression: the stable-tie-break formulation credited tied
+        # (pos, neg) pairs by item order and scored this case 0.625;
+        # Eq. 1's expectation semantics demand exactly 0.5.
+        scores = np.zeros(8)
+        for relevant in ([0], [3, 5], [0, 1, 6, 7]):
+            auc = area_under_curve(scores, np.array(relevant, dtype=int))
+            assert auc == 0.5
+
+    def test_tied_pair_gets_half_credit(self):
+        # relevant item 0 ties one negative and beats the other:
+        # (1 + 0.5) / 2 pairs.
+        scores = np.array([0.5, 0.5, 0.1])
+        assert area_under_curve(scores, np.array([0])) == pytest.approx(0.75)
+
     def test_mean_metric(self):
         assert mean_metric([0.2, 0.4]) == pytest.approx(0.3)
         assert mean_metric([]) == 0.0
+
+    def test_mean_metric_excludes_nan(self):
+        assert mean_metric([0.2, float("nan"), 0.4]) == pytest.approx(0.3)
+        assert mean_metric([float("nan")]) == 0.0
 
 
 @st.composite
@@ -115,14 +141,14 @@ class TestAgainstBruteForce:
     def test_ap_matches_brute_force(self, case):
         scores, relevant, mask = case
         ap = average_precision(scores, relevant, candidate_mask=mask)
-        assert ap == pytest.approx(brute_force_ap(scores, relevant, mask))
+        assert ap == pytest.approx(brute_force_ap(scores, relevant, mask), nan_ok=True)
 
     @given(case=scored_case())
     @settings(max_examples=100, deadline=None)
     def test_auc_matches_brute_force(self, case):
         scores, relevant, mask = case
         auc = area_under_curve(scores, relevant, candidate_mask=mask)
-        assert auc == pytest.approx(brute_force_auc(scores, relevant, mask))
+        assert auc == pytest.approx(brute_force_auc(scores, relevant, mask), nan_ok=True)
 
     @given(case=scored_case())
     @settings(max_examples=60, deadline=None)

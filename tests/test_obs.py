@@ -1,0 +1,302 @@
+"""The observability layer: registry semantics, exporters, no-op identity.
+
+The load-bearing guarantee is the last test class: training with the
+default :class:`NullRegistry` must be *bitwise identical* to training
+with a live :class:`MetricsRegistry` — instrumentation only observes,
+it never draws RNG numbers or perturbs float arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    as_registry,
+    export_metrics,
+    lint_prometheus,
+    metric_records,
+    prometheus_text,
+    summary_table,
+    write_jsonl,
+)
+from repro.utils.clock import FakeClock
+from repro.utils.exceptions import ConfigError
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ConfigError):
+            Counter("c").inc(-1.0)
+
+    def test_threaded_increments_lose_nothing(self):
+        """The monotonicity contract under contention: no lost updates."""
+        counter = Counter("c")
+        n_threads, n_incs = 8, 2500
+
+        def work():
+            for _ in range(n_incs):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * n_incs
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_le_semantics_value_on_bound_lands_in_that_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(1.0)  # exactly on a bound -> that bucket (le)
+        histogram.observe(1.5)
+        histogram.observe(5.0)
+        histogram.observe(7.0)  # past the last bound -> +Inf overflow
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+        assert histogram.cumulative_counts() == [1, 2, 3, 4]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(14.5)
+
+    def test_snapshot_min_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.25)
+        histogram.observe(4.0)
+        snap = histogram.snapshot()
+        assert snap["min"] == 0.25
+        assert snap["max"] == 4.0
+        assert snap["buckets"] == {"1.0": 1, "+Inf": 1}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_bucket_placement_matches_le_definition(self, values):
+        """Property: each observation lands in the first bucket >= it."""
+        histogram = Histogram("h")
+        for value in values:
+            histogram.observe(value)
+        bounds = (*DEFAULT_BUCKETS, float("inf"))
+        expected = [0] * len(bounds)
+        for value in values:
+            expected[next(i for i, b in enumerate(bounds) if value <= b)] += 1
+        assert histogram.bucket_counts == expected
+        # Cumulative counts are monotone and end at the total.
+        cumulative = histogram.cumulative_counts()
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == len(values)
+        assert histogram.sum == pytest.approx(sum(float(v) for v in values))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_is_the_same_instrument(self):
+        obs = MetricsRegistry()
+        assert obs.counter("x", tier="a") is obs.counter("x", tier="a")
+        assert obs.counter("x", tier="a") is not obs.counter("x", tier="b")
+        # Distinct kinds never collide even on a shared name.
+        assert obs.counter("y") is not obs.gauge("y")
+
+    def test_label_order_does_not_matter(self):
+        obs = MetricsRegistry()
+        assert obs.counter("x", a="1", b="2") is obs.counter("x", b="2", a="1")
+
+    def test_events_are_timestamped_by_the_injected_clock(self):
+        clock = FakeClock()
+        obs = MetricsRegistry(clock=clock)
+        obs.event("first")
+        clock.advance(2.5)
+        obs.event("second", detail="x")
+        first, second = obs.events()
+        assert second["ts"] - first["ts"] == pytest.approx(2.5)
+        assert second["detail"] == "x"
+
+    def test_span_records_exact_fake_clock_duration(self):
+        clock = FakeClock()
+        obs = MetricsRegistry(clock=clock, trace=True)
+        with obs.span("work", stage="fit"):
+            clock.advance(0.125)
+        histogram = obs.histogram("work_seconds", stage="fit")
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(0.125)
+        (span_event,) = [e for e in obs.events() if e["event"] == "span"]
+        assert span_event["seconds"] == pytest.approx(0.125)
+        assert span_event["stage"] == "fit"
+
+    def test_span_without_trace_logs_no_event(self):
+        clock = FakeClock()
+        obs = MetricsRegistry(clock=clock)
+        with obs.span("work"):
+            clock.advance(0.5)
+        assert obs.events() == []
+        assert obs.histogram("work_seconds").count == 1
+
+    def test_as_registry(self):
+        assert as_registry(None) is NULL_REGISTRY
+        live = MetricsRegistry()
+        assert as_registry(live) is live
+        with pytest.raises(ConfigError):
+            as_registry("not a registry")
+
+
+class TestNullRegistry:
+    def test_all_instruments_are_shared_noops(self):
+        null = NullRegistry()
+        instrument = null.counter("a", tier="x")
+        assert instrument is null.gauge("b") is null.histogram("c")
+        instrument.inc()
+        instrument.set(5.0)
+        instrument.observe(1.0)
+        assert instrument.value == 0.0
+        assert null.events() == []
+        assert null.instruments() == []
+
+    def test_span_is_a_transparent_context(self):
+        with NULL_REGISTRY.span("anything"):
+            pass
+        assert NULL_REGISTRY.events() == []
+
+    def test_trace_flag_is_ignored(self):
+        null = NullRegistry(trace=True)
+        with null.span("work"):
+            pass
+        assert null.events() == []
+
+
+class TestExporters:
+    @pytest.fixture
+    def populated(self):
+        clock = FakeClock()
+        obs = MetricsRegistry(clock=clock, trace=True)
+        obs.counter("requests_total", tier="personalized").inc(3)
+        obs.gauge("loss").set(0.5)
+        with obs.span("epoch", model="BPR"):
+            clock.advance(0.01)
+        obs.event("rollback", epoch=4)
+        return obs
+
+    def test_jsonl_roundtrip(self, populated, tmp_path):
+        path = write_jsonl(populated, tmp_path / "metrics.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        events = [r for r in records if r["event"] not in ("metric",)]
+        metrics = [r for r in records if r["event"] == "metric"]
+        assert {e["event"] for e in events} == {"span", "rollback"}
+        by_name = {(m["name"], tuple(sorted(m["labels"].items()))): m for m in metrics}
+        assert by_name[("requests_total", (("tier", "personalized"),))]["value"] == 3
+        assert by_name[("loss", ())]["type"] == "gauge"
+        assert by_name[("epoch_seconds", (("model", "BPR"),))]["count"] == 1
+
+    def test_prometheus_text_lints_clean(self, populated):
+        text = prometheus_text(populated)
+        assert lint_prometheus(text) == []
+        assert '# TYPE requests_total counter' in text
+        assert 'requests_total{tier="personalized"} 3.0' in text
+        assert 'epoch_seconds_count{model="BPR"} 1' in text
+        assert 'le="+Inf"' in text
+
+    def test_lint_catches_malformations(self):
+        assert lint_prometheus("no_type_header 1\n")
+        assert lint_prometheus("# TYPE x counter\nx +garbage\n")
+        bad_buckets = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'  # cumulative count decreased
+        )
+        assert any("non-cumulative" in p for p in lint_prometheus(bad_buckets))
+
+    def test_export_metrics_writes_requested_formats(self, populated, tmp_path):
+        base = tmp_path / "run"
+        paths = export_metrics(populated, base, fmt="both")
+        assert [p.name for p in paths] == ["run.jsonl", "run.prom"]
+        assert all(p.exists() for p in paths)
+        with pytest.raises(ConfigError):
+            export_metrics(populated, base, fmt="xml")
+
+    def test_summary_table_mentions_every_instrument(self, populated):
+        table = summary_table(populated)
+        for name in ("requests_total", "loss", "epoch_seconds"):
+            assert name in table
+        assert "(no metrics recorded)" in summary_table(MetricsRegistry())
+
+    def test_metric_records_sorted_and_stable(self, populated):
+        names = [r["name"] for r in metric_records(populated)]
+        assert names == sorted(names)
+
+
+class TestNoOpIdentity:
+    """Instrumentation must never change what the models compute."""
+
+    @pytest.fixture(scope="class")
+    def split(self):
+        from repro import make_profile_dataset, train_test_split
+
+        dataset = make_profile_dataset("ML100K", scale=0.2, seed=3)
+        return train_test_split(dataset, seed=3)
+
+    def test_training_is_bitwise_identical_with_live_registry(self, split):
+        from repro.core.clapf import CLAPF
+        from repro.mf.sgd import SGDConfig
+
+        def train(obs):
+            model = CLAPF(n_factors=8, sgd=SGDConfig(n_epochs=3), seed=7, obs=obs)
+            model.fit(split.train, split.validation)
+            return model
+
+        bare = train(None)  # NullRegistry default
+        instrumented = train(MetricsRegistry(trace=True))
+        np.testing.assert_array_equal(bare.params_.user_factors,
+                                      instrumented.params_.user_factors)
+        np.testing.assert_array_equal(bare.params_.item_factors,
+                                      instrumented.params_.item_factors)
+        np.testing.assert_array_equal(bare.loss_history_, instrumented.loss_history_)
+
+    def test_evaluation_is_bitwise_identical_with_live_registry(self, split):
+        from repro.metrics.evaluator import Evaluator
+        from repro.mf.sgd import SGDConfig
+        from repro.models import BPR
+
+        model = BPR(n_factors=8, sgd=SGDConfig(n_epochs=2), seed=0).fit(
+            split.train, split.validation
+        )
+        bare = Evaluator(split, ks=(5,), seed=0).evaluate(model)
+        obs = MetricsRegistry()
+        instrumented = Evaluator(split, ks=(5,), seed=0, obs=obs).evaluate(model)
+        assert bare.metrics == instrumented.metrics
+        assert obs.counter("eval_chunks_total").value > 0

@@ -24,6 +24,7 @@ from repro.serving import (
     PersonalizedTier,
     PopularityTier,
     RecommendationRequest,
+    RecommendationResponse,
     RecommendationService,
     ServiceConfig,
     ThreadedExecutor,
@@ -243,7 +244,29 @@ class TestCascade:
         assert response.served_by == STATIC_POPULARITY
         assert response.degraded
         assert len(response.items) == 5
-        assert response.deadline_ms_left < 0
+        # The budget overran, but the reported remainder is clamped:
+        # deadline_ms_left == 0.0 marks exhaustion, never a negative.
+        assert response.deadline_ms_left == 0.0
+
+    def test_deadline_ms_left_never_negative(self, split, bpr):
+        # Invariant: every response reports deadline_ms_left >= 0, even
+        # when construction is handed a negative remainder directly.
+        clamped = RecommendationResponse(
+            user=0, items=np.array([1]), served_by=STATIC_POPULARITY,
+            degraded=True, deadline_ms_left=-123.4, latency_ms=173.4,
+        )
+        assert clamped.deadline_ms_left == 0.0
+        service, clock = make_service(bpr, split.train, deadline_ms=10.0)
+        original = service.tiers[0].serve
+
+        def slow_serve(request):
+            clock.advance(5.0)
+            return original(request)
+
+        service.tiers[0].serve = slow_serve
+        for user in range(4):
+            response = service.recommend(RecommendationRequest(user=user, k=3))
+            assert response.deadline_ms_left >= 0.0
 
     def test_emergency_response_matches_popularity_order(self, split, bpr):
         service, _ = make_service(bpr, split.train)

@@ -73,9 +73,13 @@ def drive(service, users, n, *, spacing_s=0.01):
     """Serve ``n`` requests round-robin over ``users``, spaced in time."""
     responses = []
     for t in range(n):
-        responses.append(
-            service.recommend(RecommendationRequest(user=int(users[t % len(users)]), k=5))
+        response = service.recommend(
+            RecommendationRequest(user=int(users[t % len(users)]), k=5)
         )
+        # Invariant under every fault mix: the reported budget remainder
+        # is clamped, never negative.
+        assert response.deadline_ms_left >= 0.0
+        responses.append(response)
         service.clock.advance(spacing_s)
     return responses
 

@@ -65,6 +65,13 @@ class TestExactMeasures:
         """Eq. (5)/(8) must agree with the evaluation metrics on full rankings."""
         scores, relevance = case
         relevant = np.flatnonzero(relevance)
+        if len(relevant) == 0:
+            # Intentional divergence: the evaluation metrics treat "no
+            # relevant items" as undefined (NaN, excluded from means)
+            # while the training-side measures use 0.
+            assert exact_reciprocal_rank(scores, relevance) == 0.0
+            assert np.isnan(reciprocal_rank(scores, relevant))
+            return
         assert exact_reciprocal_rank(scores, relevance) == pytest.approx(
             reciprocal_rank(scores, relevant)
         )
