@@ -7,8 +7,6 @@ bench sweeps each and reports final test MAP plus training time, so the
 sensitivity of CLAPF+ to its sampler is visible.
 """
 
-import time
-
 import pytest
 
 from repro.core.clapf import CLAPF
@@ -17,6 +15,7 @@ from repro.data.split import train_test_split
 from repro.metrics.evaluator import Evaluator
 from repro.sampling.dss import DoubleSampler, NegativeOnlySampler, PositiveOnlySampler
 from repro.sampling.uniform import UniformSampler
+from repro.utils.clock import Timer
 from repro.utils.tables import format_table
 
 
@@ -37,10 +36,9 @@ def _final_map(split, evaluator, sampler, scale):
         sampler=sampler,
         seed=2,
     )
-    start = time.perf_counter()
-    model.fit(split.train)
-    elapsed = time.perf_counter() - start
-    return evaluator.evaluate(model)["map"], elapsed
+    with Timer() as timer:
+        model.fit(split.train)
+    return evaluator.evaluate(model)["map"], timer.elapsed
 
 
 def test_dss_tail_sweep(benchmark, scale, record_result, setting):

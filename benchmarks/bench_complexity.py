@@ -68,13 +68,13 @@ def test_sampler_throughput(benchmark, train, name, factory):
 
 def test_clapf_epoch_within_factor_of_bpr(train):
     """Hard assertion on the headline complexity claim."""
-    import time
+    from repro.utils.clock import Timer
 
     def epoch_seconds(factory):
         model = factory()
-        start = time.perf_counter()
-        model.fit(train)
-        return time.perf_counter() - start
+        with Timer() as timer:
+            model.fit(train)
+        return timer.elapsed
 
     bpr = epoch_seconds(lambda: BPR(sgd=SGDConfig(n_epochs=5), seed=0))
     clapf = epoch_seconds(lambda: CLAPF("map", sgd=SGDConfig(n_epochs=5), seed=0))

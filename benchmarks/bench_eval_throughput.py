@@ -28,7 +28,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -37,6 +36,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro import BPR, make_profile_dataset, train_test_split  # noqa: E402
 from repro.metrics.evaluator import Evaluator  # noqa: E402
 from repro.mf.sgd import SGDConfig  # noqa: E402
+from repro.utils.clock import Timer  # noqa: E402
 
 #: The acceptance bar: the batched engine must be at least this much
 #: faster than the per-user reference loop at ML100K scale.
@@ -48,9 +48,9 @@ def best_of(fn, repeats: int):
     best = float("inf")
     result = None
     for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
+        with Timer() as timer:
+            result = fn()
+        best = min(best, timer.elapsed)
     return best, result
 
 

@@ -6,7 +6,6 @@ and the ABS rank-window sampler, each slotted into the same protocol so
 their numbers are directly comparable to the Table 2 blocks.
 """
 
-import pytest
 
 from repro.core.clapf import CLAPF
 from repro.data.profiles import make_profile_dataset

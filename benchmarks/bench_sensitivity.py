@@ -11,7 +11,6 @@ each method's NDCG@5 across the sweep:
 * **n_items** — catalog width: the regime where DSS starts paying off.
 """
 
-import pytest
 
 from repro.core.clapf import CLAPF, clapf_plus_map
 from repro.data.synthetic import SyntheticConfig

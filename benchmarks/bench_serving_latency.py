@@ -26,7 +26,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -43,6 +42,7 @@ from repro.serving import (  # noqa: E402
     ServiceConfig,
     ThreadedExecutor,
 )
+from repro.utils.clock import Timer  # noqa: E402
 
 CONCURRENCY_LEVELS = (1, 8, 32)
 
@@ -79,22 +79,22 @@ def run_level(service, requests, n_streams: int):
     def stream(chunk):
         latencies = []
         for request in chunk:
-            start = time.perf_counter()
-            response = service.recommend(request)
-            latencies.append((time.perf_counter() - start) * 1000.0)
+            with Timer() as timer:
+                response = service.recommend(request)
+            latencies.append(timer.elapsed * 1000.0)
             if len(response.items) == 0:
                 failures.append(f"empty response for user {request.user}")
             if not response.served_by:
                 failures.append(f"missing provenance for user {request.user}")
         return latencies
 
-    start = time.perf_counter()
-    if n_streams == 1:
-        per_stream = [stream(chunks[0])]
-    else:
-        with ThreadPoolExecutor(max_workers=n_streams) as pool:
-            per_stream = list(pool.map(stream, chunks))
-    wall = time.perf_counter() - start
+    with Timer() as wall_timer:
+        if n_streams == 1:
+            per_stream = [stream(chunks[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=n_streams) as pool:
+                per_stream = list(pool.map(stream, chunks))
+    wall = wall_timer.elapsed
     latencies = [latency for stream_latencies in per_stream for latency in stream_latencies]
     return latencies, wall, failures
 

@@ -38,14 +38,19 @@ def demo_file(directory: Path) -> Path:
     """A tiny MovieLens-100K-format file so the example runs offline."""
     import numpy as np
 
+    from repro.utils.atomicio import atomic_write
+
     rng = np.random.default_rng(0)
     path = directory / "u.data"
-    with path.open("w") as handle:
-        for user in range(60):
-            for item in rng.choice(120, size=12, replace=False):
-                rating = rng.integers(1, 6)
-                handle.write(f"{user}\t{item}\t{rating}\t0\n")
-    return path
+
+    def writer(tmp_path: Path) -> None:
+        with tmp_path.open("w") as handle:  # repro: allow(REP003)
+            for user in range(60):
+                for item in rng.choice(120, size=12, replace=False):
+                    rating = rng.integers(1, 6)
+                    handle.write(f"{user}\t{item}\t{rating}\t0\n")
+
+    return atomic_write(path, writer)
 
 
 def main() -> None:

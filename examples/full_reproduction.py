@@ -14,7 +14,6 @@ Usage::
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.data.profiles import DATASET_PROFILES
@@ -45,9 +44,11 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--datasets", nargs="+", default=list(DATASET_PROFILES), choices=list(DATASET_PROFILES)
     )
+    from repro.utils.clock import Timer
+
     args = parser.parse_args(argv)
     scale = ExperimentScale.paper() if args.paper else ExperimentScale.quick()
-    start = time.time()
+    timer = Timer().start()
 
     emit("table1", render_table1(table1_dataset_statistics(scale=scale, datasets=args.datasets)))
 
@@ -84,7 +85,7 @@ def main(argv=None) -> None:
     )
     emit(f"fig4_{fig4_dataset.lower()}", fig4.render())
 
-    print(f"\nall outputs written to {OUTPUT_DIR}/ in {time.time() - start:.0f}s")
+    print(f"\nall outputs written to {OUTPUT_DIR}/ in {timer.elapsed:.0f}s")
 
 
 if __name__ == "__main__":

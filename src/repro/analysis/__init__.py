@@ -7,7 +7,10 @@
   Gini coefficient, activity distributions) for validating the
   synthetic stand-ins against Table 1;
 * :mod:`repro.analysis.convergence` — learning-curve summaries used by
-  the Fig. 4 analysis (epochs-to-threshold, curve area).
+  the Fig. 4 analysis (epochs-to-threshold, curve area);
+* :mod:`repro.analysis.lint` — the dependency-free AST lint engine
+  enforcing the repo's reproducibility invariants (REP001–REP006),
+  runnable as ``python -m repro.analysis`` or ``python -m repro lint``.
 """
 
 from repro.analysis.convergence import (

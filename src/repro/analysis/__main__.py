@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run the reproducibility linter."""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+sys.exit(main())

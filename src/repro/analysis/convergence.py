@@ -2,20 +2,22 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.utils.exceptions import DataError
 from repro.utils.validation import check_probability
 
 
-def _check_trace(trace) -> np.ndarray:
+def _check_trace(trace: np.ndarray | Sequence[float]) -> np.ndarray:
     trace = np.asarray(trace, dtype=np.float64)
     if trace.ndim != 1 or len(trace) == 0:
         raise DataError("trace must be a non-empty 1-D sequence")
     return trace
 
 
-def area_under_learning_curve(trace) -> float:
+def area_under_learning_curve(trace: np.ndarray | Sequence[float]) -> float:
     """Mean of the metric trace — higher = faster/better learning overall.
 
     Equivalent to the (normalized) area under the learning curve, the
@@ -24,7 +26,9 @@ def area_under_learning_curve(trace) -> float:
     return float(_check_trace(trace).mean())
 
 
-def epochs_to_fraction_of_final(trace, fraction: float = 0.9) -> int | None:
+def epochs_to_fraction_of_final(
+    trace: np.ndarray | Sequence[float], fraction: float = 0.9
+) -> int | None:
     """First index where the trace reaches ``fraction`` of its final value.
 
     Returns ``None`` when the level is never reached (e.g. a collapsing
@@ -37,7 +41,12 @@ def epochs_to_fraction_of_final(trace, fraction: float = 0.9) -> int | None:
     return int(reached[0]) if len(reached) else None
 
 
-def relative_speedup(fast_trace, slow_trace, *, fraction: float = 0.9) -> float | None:
+def relative_speedup(
+    fast_trace: np.ndarray | Sequence[float],
+    slow_trace: np.ndarray | Sequence[float],
+    *,
+    fraction: float = 0.9,
+) -> float | None:
     """How many times faster ``fast_trace`` reaches the common target.
 
     The target is ``fraction`` of the *lower* of the two final values,

@@ -1,0 +1,155 @@
+"""Configuration for the ``repro`` lint engine.
+
+A :class:`LintConfig` answers two questions per (rule, file) pair:
+
+* *is the rule enabled at all* (``select`` — empty means "all"), and
+* *does it apply to this file* — ``only`` restricts a rule to matching
+  paths (REP005's lock discipline is only meaningful where locks guard
+  shared state: ``obs/`` and ``serving/``), while ``allow`` exempts the
+  one blessed implementation module per invariant (``utils/clock.py``
+  *is* the wall-clock gateway, ``utils/rng.py`` *is* the seed root,
+  ``utils/atomicio.py`` *is* the atomic writer).
+
+Patterns are :mod:`fnmatch` globs matched against the ``/``-separated
+path relative to the lint root, e.g. ``*/utils/clock.py`` or
+``src/repro/obs/*``.
+
+:data:`DEFAULT_CONFIG` encodes this repository's policy.  A
+``[tool.repro_lint]`` table in ``pyproject.toml`` can override or
+extend it (see :func:`load_config`), so downstream forks can tune the
+allowlists without touching code.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def _match(relpath: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch.fnmatch(relpath, pattern) for pattern in patterns)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, and where.
+
+    Attributes
+    ----------
+    select:
+        Rule ids to run; empty tuple means every registered rule.
+    exclude:
+        Path globs skipped entirely (no rule runs).
+    allow:
+        Per-rule path globs where that rule is exempt (the module that
+        legitimately owns the guarded primitive).
+    only:
+        Per-rule path globs the rule is *restricted* to; a rule absent
+        from this mapping applies everywhere not ``allow``-listed.
+    """
+
+    select: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    allow: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    only: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def is_selected(self, rule_id: str) -> bool:
+        return not self.select or rule_id in self.select
+
+    def is_excluded(self, relpath: str) -> bool:
+        return _match(relpath, self.exclude)
+
+    def applies_to(self, rule_id: str, relpath: str) -> bool:
+        """Whether ``rule_id`` should inspect the file at ``relpath``."""
+        restricted = self.only.get(rule_id)
+        if restricted is not None and not _match(relpath, restricted):
+            return False
+        return not _match(relpath, self.allow.get(rule_id, ()))
+
+    def merged_with(
+        self,
+        *,
+        select: Sequence[str] | None = None,
+        exclude: Sequence[str] | None = None,
+        allow: Mapping[str, Sequence[str]] | None = None,
+        only: Mapping[str, Sequence[str]] | None = None,
+    ) -> "LintConfig":
+        """A copy with the given overrides layered on top (additively
+        for ``exclude``/``allow``/``only``, replacing for ``select``)."""
+        new_allow = {key: tuple(value) for key, value in self.allow.items()}
+        for key, value in (allow or {}).items():
+            new_allow[key] = new_allow.get(key, ()) + tuple(value)
+        new_only = {key: tuple(value) for key, value in self.only.items()}
+        for key, value in (only or {}).items():
+            new_only[key] = tuple(value)
+        return replace(
+            self,
+            select=tuple(select) if select is not None else self.select,
+            exclude=self.exclude + tuple(exclude or ()),
+            allow=new_allow,
+            only=new_only,
+        )
+
+
+#: This repository's lint policy: every rule on, with the one module
+#: that implements each guarded primitive exempted from its own rule.
+DEFAULT_CONFIG = LintConfig(
+    exclude=(
+        # Generated/vendored trees would go here; none today.
+    ),
+    allow={
+        # utils/rng.py is the seed root: it may build SeedSequences and
+        # Generators (it still must not call the global-state API).
+        "REP001": ("*/utils/rng.py", "utils/rng.py"),
+        # utils/clock.py is the single sanctioned wall-clock gateway.
+        "REP002": ("*/utils/clock.py", "utils/clock.py"),
+        # utils/atomicio.py implements the atomic writers themselves.
+        "REP003": ("*/utils/atomicio.py", "utils/atomicio.py"),
+    },
+    only={
+        # Lock discipline is enforced where shared mutable state lives.
+        "REP005": (
+            "*/obs/*.py",
+            "obs/*.py",
+            "*/serving/*.py",
+            "serving/*.py",
+        ),
+    },
+)
+
+
+def load_config(pyproject: str | Path | None = None) -> LintConfig:
+    """:data:`DEFAULT_CONFIG`, optionally overlaid with pyproject settings.
+
+    Reads the ``[tool.repro_lint]`` table::
+
+        [tool.repro_lint]
+        select = ["REP001", "REP004"]      # default: all rules
+        exclude = ["build/*"]
+        [tool.repro_lint.allow]
+        REP002 = ["*/legacy/timing.py"]
+        [tool.repro_lint.only]
+        REP005 = ["src/repro/obs/*"]
+
+    Missing file or missing table -> the defaults, unchanged.
+    """
+    if pyproject is None:
+        return DEFAULT_CONFIG
+    path = Path(pyproject)
+    if not path.exists():
+        return DEFAULT_CONFIG
+    import tomllib
+
+    with path.open("rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("repro_lint")
+    if not isinstance(table, dict):
+        return DEFAULT_CONFIG
+    return DEFAULT_CONFIG.merged_with(
+        select=table.get("select"),
+        exclude=table.get("exclude"),
+        allow=table.get("allow"),
+        only=table.get("only"),
+    )

@@ -1,0 +1,63 @@
+"""Text and JSON reporters for lint results.
+
+The text form is the human/CI-log view (``path:line:col: RULE message``,
+one per line, stable sort).  The JSON form is the machine view uploaded
+as a CI artifact; :func:`result_from_json` round-trips it so downstream
+tooling (and the test suite) can rely on the schema.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.engine import Finding, LintResult
+
+#: Schema version stamped into every JSON report.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """One line per finding plus a summary tail line."""
+    lines = [finding.render() for finding in result.findings]
+    if verbose and result.findings:
+        from repro.analysis.lint.rules import RULE_REGISTRY
+
+        lines.append("")
+        for rule_id in sorted({f.rule for f in result.findings}):
+            rule = RULE_REGISTRY.get(rule_id)
+            if rule is not None:
+                lines.append(f"{rule_id} ({rule.name}): {rule.rationale}")
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_scanned} file(s)"
+        f" ({result.suppressed} suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def result_to_json(result: LintResult) -> dict:
+    """JSON-ready dict: ``{version, files_scanned, suppressed, counts, findings}``."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "counts": result.counts_by_rule(),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result_to_json(result), indent=2, sort_keys=True)
+
+
+def result_from_json(payload: str | dict) -> LintResult:
+    """Rebuild a :class:`LintResult` from :func:`render_json` output."""
+    data = json.loads(payload) if isinstance(payload, str) else payload
+    version = data.get("version")
+    if version != JSON_SCHEMA_VERSION:
+        raise ValueError(f"unsupported lint report version {version!r}")
+    return LintResult(
+        findings=[Finding.from_dict(entry) for entry in data["findings"]],
+        suppressed=int(data["suppressed"]),
+        files_scanned=int(data["files_scanned"]),
+    )

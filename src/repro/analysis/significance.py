@@ -16,6 +16,7 @@ from scipy import stats as scipy_stats
 
 from repro.data.dataset import DatasetSplit
 from repro.metrics.evaluator import Evaluator
+from repro.models.base import Recommender
 from repro.utils.exceptions import ConfigError, DataError
 
 
@@ -117,8 +118,8 @@ def holm_bonferroni(pvalues: dict[str, float], *, level: float = 0.05) -> dict[s
 
 
 def compare_models(
-    model_a,
-    model_b,
+    model_a: Recommender,
+    model_b: Recommender,
     split: DatasetSplit,
     *,
     metrics: tuple[str, ...] = ("ndcg@5", "map", "mrr"),

@@ -33,6 +33,10 @@ Commands
     Serve every test user through the full service and compare the
     served rankings with the raw model's — agreement@k, fallback rate,
     and latency percentiles.
+``lint``
+    Run the reproducibility linter (REP001–REP006) over source trees;
+    exits non-zero on any finding.  Same engine as
+    ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
@@ -141,7 +145,7 @@ def cmd_generate(args) -> int:
 
 def cmd_train(args) -> int:
     from repro.experiments.config import ExperimentScale
-    from repro.experiments.registry import TABLE2_METHODS, make_model
+    from repro.experiments.registry import make_model
     from repro.resilience import CheckpointConfig, GuardConfig, latest_checkpoint
 
     dataset = _load_dataset(args)
@@ -467,6 +471,12 @@ def cmd_shadow_eval(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_sweep(args) -> int:
     from repro.experiments.config import ExperimentScale
     from repro.experiments.registry import make_model
@@ -603,6 +613,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_arguments(shadow)
     shadow.set_defaults(func=cmd_shadow_eval)
+
+    from repro.analysis.lint.cli import add_lint_arguments
+
+    lint = subparsers.add_parser(
+        "lint", help="run the reproducibility linter (REP rules) over source trees"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     sweep = subparsers.add_parser("sweep", help="dataset-property sensitivity sweep")
     sweep.add_argument("--property", default="signal")

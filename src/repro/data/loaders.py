@@ -18,7 +18,7 @@ import csv
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import Iterable, Iterator
 
 from repro.data.dataset import ImplicitDataset
 from repro.data.interactions import InteractionMatrix
@@ -298,8 +298,17 @@ def load_pairs(
 
 
 def save_pairs(dataset: ImplicitDataset, path: str | Path, *, delimiter: str = "\t") -> None:
-    """Write a dataset back out as a ``user item`` pair file."""
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
-        for user, item in dataset.interactions.pairs():
-            handle.write(f"{user}{delimiter}{item}\n")
+    """Write a dataset back out as a ``user item`` pair file.
+
+    Written atomically (tmp file + ``os.replace``) so a crash mid-write
+    never leaves a truncated pair file under the final name — a torn
+    dataset would load without error and silently skew every split.
+    """
+    from repro.utils.atomicio import atomic_write
+
+    def writer(tmp_path: Path) -> None:
+        with tmp_path.open("w", encoding="utf-8") as handle:  # repro: allow(REP003)
+            for user, item in dataset.interactions.pairs():
+                handle.write(f"{user}{delimiter}{item}\n")
+
+    atomic_write(path, writer)

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from repro.core.clapf import CLAPF
 from repro.data.profiles import make_profile_dataset

@@ -8,12 +8,10 @@ hand-constructs models.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.core.clapf import CLAPF
 from repro.core.extensions import CLAPFNDCG
 from repro.experiments.config import ExperimentScale
-from repro.mf.sgd import SGDConfig
 from repro.models import BPR, GBPR, MPR, WMF, CLiMF, ItemKNN, PopRank, RandomWalk
 from repro.models.base import Recommender
 from repro.neural import GMF, DeepICF, MLPRec, NeuMF, NeuPR

@@ -13,7 +13,6 @@ completed method so an interrupted sweep resumes past finished cells.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -23,6 +22,7 @@ from repro.data.dataset import DatasetSplit
 from repro.metrics.evaluator import Evaluator
 from repro.models.base import Recommender
 from repro.resilience.retry import retry_call
+from repro.utils.clock import Clock, Timer, as_clock
 from repro.utils.exceptions import ConfigError, ExperimentError
 
 ModelFactory = Callable[[int], Recommender]
@@ -88,6 +88,7 @@ def run_method(
     chunk_size: int = 1024,
     n_jobs: int | None = None,
     obs=None,
+    clock: Clock | None = None,
 ) -> MethodResult:
     """Fit and evaluate one method on every split, aggregating metrics.
 
@@ -103,11 +104,15 @@ def run_method(
     not a hard kill.  ``chunk_size`` and ``n_jobs`` feed the batched
     evaluator; ``obs`` (an optional
     :class:`~repro.obs.registry.MetricsRegistry`) is shared with every
-    evaluator and records per-method fit/evaluate events.
+    evaluator and records per-method fit/evaluate events.  ``clock`` (an
+    injectable :class:`~repro.utils.clock.Clock`) drives the epoch/time
+    accounting — pass a :class:`~repro.utils.clock.FakeClock` to make
+    ``train_seconds`` and ``time_budget_seconds`` deterministic in tests.
     """
     from repro.obs.registry import as_registry
 
     obs = as_registry(obs)
+    clock = as_clock(clock)
     if not splits:
         raise ConfigError("at least one split is required")
     fitted: Recommender | None = None
@@ -127,9 +132,9 @@ def run_method(
             times.append(0.0)
         else:
             model = factory(repeat)
-            start = time.perf_counter()
-            model.fit(split.train, split.validation)
-            times.append(time.perf_counter() - start)
+            with Timer(clock) as fit_timer:
+                model.fit(split.train, split.validation)
+            times.append(fit_timer.elapsed)
             obs.histogram("experiment_fit_seconds", method=model.name).observe(times[-1])
         if display_name is None:
             display_name = model.name
@@ -178,6 +183,7 @@ def run_methods(
     retry_base_delay: float = 0.5,
     journal=None,
     obs=None,
+    clock: Clock | None = None,
 ) -> dict[str, MethodResult]:
     """Run every named method (factory or fitted model) over the same splits.
 
@@ -219,6 +225,7 @@ def run_methods(
                     chunk_size=chunk_size,
                     n_jobs=n_jobs,
                     obs=obs,
+                    clock=clock,
                 ),
                 retries=retries,
                 base_delay=retry_base_delay,

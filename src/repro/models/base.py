@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

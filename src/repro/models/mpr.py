@@ -23,8 +23,6 @@ import numpy as np
 
 from repro.models.base import TupleSGDRecommender
 from repro.sampling.base import TupleBatch, _MAX_REJECTION_ROUNDS
-from repro.utils.exceptions import DataError
-from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
 
 

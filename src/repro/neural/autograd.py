@@ -23,6 +23,11 @@ from repro.utils.exceptions import DataError
 
 _grad_enabled = True
 
+#: Largest exponent fed to ``np.exp`` — just under float64's ~709.78
+#: overflow point, so ``exp`` saturates at ~8.2e307 instead of emitting
+#: a RuntimeWarning and an ``inf`` that poisons the whole graph.
+_EXP_MAX = 709.0
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -183,7 +188,10 @@ class Tensor:
 
     # -- elementwise nonlinearities -----------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        # Saturate instead of overflowing: exp is the one op whose input
+        # is genuinely unbounded (logits), and a single inf here turns
+        # every downstream gradient into nan (REP004).
+        out_data = np.exp(np.minimum(self.data, _EXP_MAX))
 
         def backward(grad):
             self._accumulate(grad * out_data)

@@ -143,7 +143,7 @@ def lint_prometheus(text: str) -> list[str]:
     """
     problems: list[str] = []
     declared: set[str] = set()
-    bucket_runs: dict[str, int] = {}
+    bucket_runs: dict[str, float] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             problems.append(f"line {lineno}: blank line inside exposition")

@@ -32,6 +32,7 @@ from __future__ import annotations
 import bisect
 import threading
 from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
 
 from repro.utils.clock import Clock, as_clock
 from repro.utils.exceptions import ConfigError
@@ -98,7 +99,12 @@ class Histogram:
     per-bucket (non-cumulative); exporters cumulate them.
     """
 
-    def __init__(self, name: str, buckets=DEFAULT_BUCKETS, labels: tuple = ()):
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: tuple = (),
+    ):
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ConfigError(f"histogram {name} needs at least one bucket bound")
@@ -111,8 +117,8 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
         self._sum = 0.0
         self._count = 0
-        self._min = None
-        self._max = None
+        self._min: float | None = None
+        self._max: float | None = None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -199,17 +205,19 @@ class MetricsRegistry:
                 self._instruments[key] = instrument
             return instrument
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: Any) -> Counter:
         return self._get(Counter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: Any) -> Gauge:
         return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str, *, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+    def histogram(
+        self, name: str, *, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:
         return self._get(Histogram, name, labels, buckets=buckets)
 
     # -- events ----------------------------------------------------------
-    def event(self, name: str, **fields) -> None:
+    def event(self, name: str, **fields: Any) -> None:
         """Append one timestamped record to the event log."""
         record = {"ts": self.clock.monotonic(), "event": name, **fields}
         with self._lock:
@@ -221,7 +229,7 @@ class MetricsRegistry:
 
     # -- spans -----------------------------------------------------------
     @contextmanager
-    def span(self, name: str, **labels):
+    def span(self, name: str, **labels: Any) -> Iterator[None]:
         """Time a block: duration goes to the ``<name>_seconds`` histogram.
 
         With ``trace=True`` a ``span`` event (name, labels, start,
@@ -239,7 +247,7 @@ class MetricsRegistry:
                 self.event("span", span=name, start=start, seconds=seconds, **labels)
 
     # -- introspection ----------------------------------------------------
-    def instruments(self) -> list:
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
         """All instruments, sorted by (name, labels) for stable export."""
         with self._lock:
             return sorted(
@@ -305,20 +313,22 @@ class NullRegistry(MetricsRegistry):
     def __init__(self, *, clock: Clock | None = None, trace: bool = False):
         super().__init__(clock=clock, trace=False)
 
-    def counter(self, name: str, **labels):
+    def counter(self, name: str, **labels: Any) -> Any:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str, **labels):
+    def gauge(self, name: str, **labels: Any) -> Any:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str, *, buckets=DEFAULT_BUCKETS, **labels):
+    def histogram(
+        self, name: str, *, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Any:
         return _NULL_INSTRUMENT
 
-    def event(self, name: str, **fields) -> None:
+    def event(self, name: str, **fields: Any) -> None:
         pass
 
     @contextmanager
-    def span(self, name: str, **labels):
+    def span(self, name: str, **labels: Any) -> Iterator[None]:
         yield
 
 

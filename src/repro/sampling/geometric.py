@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.mf.params import FactorParams
 from repro.utils.exceptions import ConfigError
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import check_in_range
 
 
 def truncated_geometric(

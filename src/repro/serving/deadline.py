@@ -31,10 +31,12 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from typing import Callable
+from typing import Callable, TypeVar
 
 from repro.utils.clock import Clock, as_clock
 from repro.utils.exceptions import ConfigError, DeadlineExceeded
+
+T = TypeVar("T")
 
 
 class Deadline:
@@ -73,7 +75,7 @@ class BudgetExecutor:
     overruns_: int
     overrun_ms_: float
 
-    def call(self, fn: Callable[[], object], budget_ms: float):
+    def call(self, fn: Callable[[], T], budget_ms: float) -> tuple[T, float]:
         raise NotImplementedError
 
     def shutdown(self) -> None:
@@ -88,7 +90,7 @@ class InlineExecutor(BudgetExecutor):
         self.overruns_ = 0
         self.overrun_ms_ = 0.0
 
-    def call(self, fn: Callable[[], object], budget_ms: float):
+    def call(self, fn: Callable[[], T], budget_ms: float) -> tuple[T, float]:
         start = self.clock.monotonic()
         result = fn()
         latency_ms = (self.clock.monotonic() - start) * 1000.0
@@ -123,7 +125,7 @@ class ThreadedExecutor(BudgetExecutor):
         self.overruns_ = 0
         self.overrun_ms_ = 0.0
 
-    def call(self, fn: Callable[[], object], budget_ms: float):
+    def call(self, fn: Callable[[], T], budget_ms: float) -> tuple[T, float]:
         start = self.clock.monotonic()
         future = self._pool.submit(fn)
         try:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 from repro.data.interactions import InteractionMatrix
 from repro.mf.params import FactorParams
@@ -62,7 +63,7 @@ class LoadedFactorModel(FactorRecommender):
     def name(self) -> str:
         return f"LoadedFactorModel({self.version})" if self.version else "LoadedFactorModel"
 
-    def fit(self, train, validation=None):
+    def fit(self, train: Any, validation: Any = None) -> Recommender:
         raise ServingError("LoadedFactorModel is serve-only; train elsewhere and reload")
 
 
@@ -75,12 +76,12 @@ class ModelSlot:
     "no dropped requests during reload" guarantee.
     """
 
-    def __init__(self, model: Recommender, *, version: str = "initial", chaos=None):
+    def __init__(self, model: Recommender, *, version: str = "initial", chaos: Any = None):
         self._lock = threading.Lock()
         self._model = model
         self._previous: Recommender | None = None
         self._previous_version: str | None = None
-        self.version = version
+        self.version: str | None = version
         self.chaos = chaos
         self.swap_count_ = 0
 
@@ -201,7 +202,7 @@ class ModelReloader:
         return result
 
     # -- canary ---------------------------------------------------------
-    def _canary_ndcg(self, model) -> float:
+    def _canary_ndcg(self, model: Recommender) -> float:
         return validation_ndcg(
             model,
             self.train,

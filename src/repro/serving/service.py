@@ -26,6 +26,7 @@ zero-failed-requests property the chaos suite enforces).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -36,7 +37,7 @@ from repro.models.itemknn import ItemKNN
 from repro.obs.registry import MetricsRegistry, as_registry
 from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.utils.clock import Clock, as_clock
-from repro.serving.deadline import BudgetExecutor, Deadline, InlineExecutor, ThreadedExecutor
+from repro.serving.deadline import BudgetExecutor, Deadline, ThreadedExecutor
 from repro.serving.reload import ModelSlot
 from repro.serving.tiers import (
     FoldInTier,
@@ -124,7 +125,7 @@ class RecommendationService:
         config: ServiceConfig | None = None,
         executor: BudgetExecutor | None = None,
         clock: Clock | None = None,
-        chaos=None,
+        chaos: Any = None,
         slot: ModelSlot | None = None,
         breaker_configs: dict[str, BreakerConfig] | None = None,
         obs: MetricsRegistry | None = None,
@@ -172,7 +173,7 @@ class RecommendationService:
         config: ServiceConfig | None = None,
         executor: BudgetExecutor | None = None,
         clock: Clock | None = None,
-        chaos=None,
+        chaos: Any = None,
         breaker_configs: dict[str, BreakerConfig] | None = None,
         version: str = "initial",
         obs: MetricsRegistry | None = None,
@@ -269,7 +270,9 @@ class RecommendationService:
 
         return self._emergency_response(request, deadline, errors)
 
-    def recommend_many(self, requests) -> list[RecommendationResponse]:
+    def recommend_many(
+        self, requests: Iterable[RecommendationRequest | int]
+    ) -> list[RecommendationResponse]:
         """Serve a sequence of requests (each with its own deadline)."""
         return [self.recommend(request) for request in requests]
 
@@ -331,5 +334,5 @@ class RecommendationService:
     def __enter__(self) -> "RecommendationService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -25,12 +25,13 @@ be unit-tested in isolation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro.data.interactions import InteractionMatrix
 from repro.metrics import scoring
-from repro.models.base import FactorRecommender, Recommender
+from repro.models.base import Recommender
 from repro.utils.exceptions import ConfigError, TierError
 
 PERSONALIZED = "personalized"
@@ -79,6 +80,8 @@ class ServingTier:
 
     #: Cascade display name; also the breaker / chaos-injection key.
     name: str = "tier"
+    #: Optional chaos-injection policy, set by the service at assembly.
+    chaos: Any = None
 
     def serve(self, request: RecommendationRequest) -> np.ndarray:
         raise NotImplementedError
@@ -133,7 +136,7 @@ class PersonalizedTier(ServingTier):
 
     name = PERSONALIZED
 
-    def __init__(self, source, train: InteractionMatrix, *, chaos=None):
+    def __init__(self, source: Any, train: InteractionMatrix, *, chaos: Any = None):
         self.source = source
         self.train = train
         self.chaos = chaos
@@ -171,12 +174,12 @@ class FoldInTier(ServingTier):
 
     def __init__(
         self,
-        source,
+        source: Any,
         train: InteractionMatrix,
         *,
         weight: float = 10.0,
         reg: float = 0.1,
-        chaos=None,
+        chaos: Any = None,
     ):
         self.source = source
         self.train = train
@@ -214,7 +217,7 @@ class ItemKNNTier(ServingTier):
 
     name = ITEM_KNN
 
-    def __init__(self, knn, train: InteractionMatrix, *, chaos=None):
+    def __init__(self, knn: Any, train: InteractionMatrix, *, chaos: Any = None):
         if getattr(knn, "similarity_", None) is None:
             raise ConfigError("ItemKNNTier needs a fitted ItemKNN model")
         self.knn = knn
@@ -236,7 +239,7 @@ class PopularityTier(ServingTier):
 
     name = POPULARITY
 
-    def __init__(self, train: InteractionMatrix, *, chaos=None):
+    def __init__(self, train: InteractionMatrix, *, chaos: Any = None):
         self.train = train
         self.chaos = chaos
         self._scores = train.item_counts().astype(np.float64)

@@ -1,12 +1,16 @@
-"""Injectable monotonic clocks for the serving layer.
+"""Injectable monotonic clocks — the one sanctioned wall-clock gateway.
 
-Every time-dependent component in :mod:`repro.serving` — deadlines,
-circuit-breaker windows, latency accounting, the chaos latency fault —
-reads time through a :class:`Clock` instead of calling :mod:`time`
-directly.  Production uses :class:`SystemClock`; the test suite swaps in
-:class:`FakeClock` and advances time by hand, so the breaker state
-machine and deadline arithmetic are tested as pure functions with no
+Every time-dependent component in the repository — serving deadlines,
+circuit-breaker windows, latency accounting, experiment epoch timing,
+benchmarks — reads time through a :class:`Clock` (or the convenience
+:class:`Timer`) instead of calling :mod:`time` directly.  Production
+uses :class:`SystemClock`; tests swap in :class:`FakeClock` and advance
+time by hand, so timing logic is tested as pure functions with no
 ``sleep`` calls and no wall-clock flakiness.
+
+This module is the only place allowed to touch :mod:`time` — the
+REP002 lint rule (``repro.analysis.lint``) rejects wall-clock reads
+everywhere else.
 """
 
 from __future__ import annotations
@@ -60,3 +64,43 @@ class FakeClock(Clock):
 def as_clock(clock: Clock | None) -> Clock:
     """``None`` -> a :class:`SystemClock`; anything else passes through."""
     return clock if clock is not None else SystemClock()
+
+
+class Timer:
+    """Context manager measuring elapsed seconds on an injectable clock.
+
+    The standard way to time a block without reading the wall clock
+    directly::
+
+        with Timer() as timer:          # or Timer(FakeClock()) in tests
+            expensive_work()
+        print(timer.elapsed)
+
+    ``elapsed`` is also live *inside* the block (time since entry), so
+    loops can poll a budget while running.
+    """
+
+    def __init__(self, clock: Clock | None = None):
+        self.clock = as_clock(clock)
+        self._start: float | None = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since entry (frozen at exit)."""
+        if self._start is not None:
+            return self.clock.monotonic() - self._start
+        return self._elapsed
+
+    def __enter__(self) -> "Timer":
+        self._start = self.clock.monotonic()
+        return self
+
+    def start(self) -> "Timer":
+        """Begin timing without a ``with`` block; ``elapsed`` reads live."""
+        return self.__enter__()
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self._elapsed = self.clock.monotonic() - self._start
+            self._start = None

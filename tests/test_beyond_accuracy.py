@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.interactions import InteractionMatrix
 from repro.metrics.beyond_accuracy import (
     beyond_accuracy_report,
     catalog_coverage,

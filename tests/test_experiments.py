@@ -1,10 +1,8 @@
 """Tests of the experiment harness (registry, runner, grid, tables, figures)."""
 
-import numpy as np
 import pytest
 
 from repro.core.clapf import CLAPF
-from repro.data.profiles import make_profile_dataset
 from repro.data.split import repeated_splits, train_test_split
 from repro.experiments.config import ExperimentScale
 from repro.experiments.figures import (
@@ -111,6 +109,21 @@ class TestRunner:
         )
         assert not result.timed_out
         assert "ndcg@5" in result.means
+
+    def test_injected_clock_drives_train_seconds(self, learnable_dataset):
+        """run_method times fits through the Clock seam (REP002): a
+        FakeClock that jumps 2s per fit yields exactly 2.0s mean."""
+        from repro.utils.clock import FakeClock
+
+        class JumpyClock(FakeClock):
+            def monotonic(self):
+                now = self.now
+                self.now += 2.0
+                return now
+
+        splits = repeated_splits(learnable_dataset, repeats=3, seed=0)
+        result = run_method(lambda repeat: PopRank(), splits, ks=(5,), clock=JumpyClock())
+        assert result.train_seconds == pytest.approx(2.0)
 
     def test_factory_receives_repeat_index(self, learnable_dataset):
         splits = repeated_splits(learnable_dataset, repeats=3, seed=0)

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.data.interactions import InteractionMatrix
 from repro.metrics.evaluator import evaluate_model
-from repro.mf.sgd import RegularizationConfig, SGDConfig
+from repro.mf.sgd import SGDConfig
 from repro.models.bpr import BPR
 from repro.models.gbpr import GBPR
 from repro.models.poprank import PopRank

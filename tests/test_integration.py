@@ -6,9 +6,6 @@ not absolute numbers.  Seeds are fixed so the assertions are
 deterministic.
 """
 
-import time
-
-import numpy as np
 import pytest
 
 from repro.core.clapf import CLAPF, clapf_map, clapf_mrr, clapf_plus_map
@@ -18,6 +15,7 @@ from repro.metrics.evaluator import Evaluator, evaluate_model
 from repro.mf.sgd import SGDConfig
 from repro.models import BPR, CLiMF, PopRank
 from repro.sampling.dss import DoubleSampler
+from repro.utils.clock import Timer
 from repro.sampling.uniform import UniformSampler
 
 SGD = SGDConfig(n_epochs=60, learning_rate=0.08)
@@ -73,24 +71,24 @@ class TestComplexityClaims:
         """Section 4.3: CLAPF's extra cost over BPR is one more item
         update — per-epoch wall time must stay within a small factor."""
         short = SGDConfig(n_epochs=10, learning_rate=0.05)
-        start = time.perf_counter()
-        BPR(sgd=short, seed=0).fit(medium_split.train)
-        bpr_time = time.perf_counter() - start
-        start = time.perf_counter()
-        CLAPF("map", sgd=short, seed=0).fit(medium_split.train)
-        clapf_time = time.perf_counter() - start
+        with Timer() as bpr_timer:
+            BPR(sgd=short, seed=0).fit(medium_split.train)
+        bpr_time = bpr_timer.elapsed
+        with Timer() as clapf_timer:
+            CLAPF("map", sgd=short, seed=0).fit(medium_split.train)
+        clapf_time = clapf_timer.elapsed
         assert clapf_time < 3 * bpr_time + 0.2
 
     def test_climf_much_slower_than_clapf(self, medium_split):
         """Table 2's time column: CLiMF is the slow method (quadratic in
         profile size), CLAPF runs at BPR-like speed."""
         short = SGDConfig(n_epochs=5, learning_rate=0.05)
-        start = time.perf_counter()
-        CLAPF("map", sgd=short, seed=0).fit(medium_split.train)
-        clapf_time = time.perf_counter() - start
-        start = time.perf_counter()
-        CLiMF(sgd=short, seed=0).fit(medium_split.train)
-        climf_time = time.perf_counter() - start
+        with Timer() as clapf_timer:
+            CLAPF("map", sgd=short, seed=0).fit(medium_split.train)
+        clapf_time = clapf_timer.elapsed
+        with Timer() as climf_timer:
+            CLiMF(sgd=short, seed=0).fit(medium_split.train)
+        climf_time = climf_timer.elapsed
         assert climf_time > 2 * clapf_time
 
 

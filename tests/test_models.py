@@ -5,7 +5,7 @@ import pytest
 
 from repro.data.interactions import InteractionMatrix
 from repro.metrics.evaluator import evaluate_model
-from repro.mf.sgd import RegularizationConfig, SGDConfig
+from repro.mf.sgd import SGDConfig
 from repro.models import BPR, MPR, WMF, CLiMF, PopRank, RandomWalk
 from repro.utils.exceptions import ConfigError, NotFittedError
 

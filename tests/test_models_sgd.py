@@ -25,7 +25,7 @@ def tuple_objective(params, user, items, coefficients, reg):
     """f(u, S) = -ln sigma(R) + regularization (Section 4.3)."""
     scores = params.user_factors[user] @ params.item_factors[items].T + params.item_bias[items]
     margin = float(coefficients @ scores)
-    loss = np.log1p(np.exp(-margin))
+    loss = np.logaddexp(0.0, -margin)  # = log(1 + exp(-margin)), overflow-safe
     loss += 0.5 * reg.alpha_u * np.sum(params.user_factors[user] ** 2)
     loss += 0.5 * reg.alpha_v * np.sum(params.item_factors[items] ** 2)
     loss += 0.5 * reg.beta_v * np.sum(params.item_bias[items] ** 2)

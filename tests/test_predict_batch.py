@@ -36,7 +36,6 @@ from repro.sampling import (
     AdaptiveOversampler,
     DoubleSampler,
     DynamicNegativeSampler,
-    Sampler,
     UniformSampler,
     make_sampler,
     sampler_names,

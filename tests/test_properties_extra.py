@@ -6,7 +6,6 @@ smoothed-measure orderings, and leaderboard rank arithmetic.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

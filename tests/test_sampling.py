@@ -9,7 +9,7 @@ from repro.data.interactions import InteractionMatrix
 from repro.data.synthetic import SyntheticConfig, generate_synthetic
 from repro.mf.params import FactorParams
 from repro.sampling.aobpr import AdaptiveOversampler
-from repro.sampling.base import Sampler, TupleBatch
+from repro.sampling.base import TupleBatch
 from repro.sampling.dns import DynamicNegativeSampler
 from repro.sampling.dss import DoubleSampler, NegativeOnlySampler, PositiveOnlySampler
 from repro.sampling.geometric import (

@@ -8,7 +8,6 @@ while concurrent requests keep being served (no dropped requests).
 
 from __future__ import annotations
 
-import json
 import threading
 
 import numpy as np
@@ -167,7 +166,7 @@ class TestModelReloader:
         with np.load(path, allow_pickle=False) as archive:
             arrays = {name: archive[name].copy() for name in archive.files}
         arrays["item_bias"] = arrays["item_bias"] + 1.0
-        np.savez(path, **arrays)
+        np.savez(path, **arrays)  # repro: allow(REP003) — bit-rot fixture
         with pytest.raises(DataError, match="checksum mismatch"):
             load_factors(path)
         result = reloader.poll()

@@ -1,11 +1,10 @@
 """Tests of the paper's train/test/validation split protocol."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data.dataset import DatasetSplit, ImplicitDataset
+from repro.data.dataset import DatasetSplit
 from repro.data.interactions import InteractionMatrix
 from repro.data.split import (
     holdout_validation_pairs,
