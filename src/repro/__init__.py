@@ -27,6 +27,11 @@ Subpackages
     Top-k and rank-biased metrics plus the full-ranking evaluator.
 ``repro.experiments``
     Harness regenerating every table and figure of the paper.
+``repro.serving``
+    Deadline-bounded fallback-cascade serving with hot reload.
+``repro.edge``
+    The asyncio HTTP front end (versioned v1 JSON API) and the
+    Zipf/burst load generator.
 """
 
 from repro.core import CLAPF, CLAPFNDCG, clapf_map, clapf_mrr, clapf_plus_map, clapf_plus_mrr
@@ -55,6 +60,7 @@ from repro.serving import (
     RecommendationRequest,
     RecommendationResponse,
     RecommendationService,
+    ServedResponse,
 )
 
 __version__ = "1.0.0"
@@ -99,5 +105,6 @@ __all__ = [
     "RecommendationRequest",
     "RecommendationResponse",
     "RecommendationService",
+    "ServedResponse",
     "__version__",
 ]

@@ -115,6 +115,8 @@ DEFAULT_CONFIG = LintConfig(
             "obs/*.py",
             "*/serving/*.py",
             "serving/*.py",
+            "*/edge/*.py",
+            "edge/*.py",
         ),
     },
 )

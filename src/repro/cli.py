@@ -33,6 +33,15 @@ Commands
     Serve every test user through the full service and compare the
     served rankings with the raw model's — agreement@k, fallback rate,
     and latency percentiles.
+``serve-http``
+    Put the serving cascade on the network: the asyncio HTTP edge with
+    the versioned ``/v1`` JSON API (request coalescing, deadline
+    propagation, 429/503 load shedding, Prometheus metrics).
+``loadtest``
+    Zipf/diurnal/burst/replay traffic against a self-booted (or
+    ``--target``) edge server, with optional mid-run chaos
+    (``--chaos-at``), printing p50/p99, fallback rate, shed rate, and
+    failed-request count.
 ``lint``
     Run the reproducibility linter (REP001–REP006) over source trees;
     exits non-zero on any finding.  Same engine as
@@ -42,6 +51,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -471,6 +481,169 @@ def cmd_shadow_eval(args) -> int:
     return 0
 
 
+def _build_edge_server(args, service, obs=None):
+    from repro.edge import CoalesceConfig, EdgeConfig, EdgeServer
+
+    config = EdgeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_connections=args.max_connections,
+        max_deadline_ms=args.max_deadline_ms,
+        default_deadline_ms=args.deadline_ms,
+        workers=args.http_workers,
+        coalesce=CoalesceConfig(
+            max_batch=args.coalesce_batch, max_wait_ms=args.coalesce_wait_ms
+        ),
+        coalesce_singles=not args.no_coalesce,
+    )
+    return EdgeServer(service, config=config, obs=obs)
+
+
+def cmd_serve_http(args) -> int:
+    import asyncio
+
+    from repro.resilience.chaos import ServiceFaultInjector
+
+    dataset = _load_dataset(args)
+    split = train_test_split(dataset, seed=args.seed)
+    obs = _make_obs(args)
+    model = _fit_serving_model(args, split, obs=obs)
+    chaos = ServiceFaultInjector()
+    _parse_faults(args, chaos)
+    with _build_service(args, split, model, chaos=chaos, obs=obs) as service:
+        server = _build_edge_server(args, service, obs=obs)
+
+        async def run() -> None:
+            host, port = await server.start()
+            print(f"edge listening on http://{host}:{port} "
+                  f"(routes: /v1/recommend, /v1/recommend/batch, /v1/health, /v1/metrics)")
+            if args.duration_s is not None:
+                try:
+                    await asyncio.wait_for(server.serve_forever(), args.duration_s)
+                except asyncio.TimeoutError:
+                    print(f"duration {args.duration_s}s elapsed; draining")
+                    await server.stop()
+            else:
+                await server.serve_forever()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("interrupted; draining")
+    _finish_obs(args, obs)
+    return 0
+
+
+def _parse_chaos_events(specs):
+    """``AT_S:ACTION[:TIER[:MS]]`` specs -> ChaosEvents (see loadtest -h)."""
+    from repro.edge import ChaosEvent
+    from repro.serving.tiers import PERSONALIZED
+
+    events = []
+    for spec in specs or ():
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise SystemExit(
+                f"--chaos-at expects AT_S:ACTION[:TIER[:MS]], got {spec!r}"
+            )
+        at_s, action = float(parts[0]), parts[1]
+        tier = parts[2] if len(parts) > 2 else PERSONALIZED
+        latency_ms = float(parts[3]) if len(parts) > 3 else 0.0
+        events.append(ChaosEvent(at_s=at_s, action=action, tier=tier, latency_ms=latency_ms))
+    return events
+
+
+def cmd_loadtest(args) -> int:
+    import contextlib
+
+    from repro.edge import (
+        EdgeServerThread,
+        WorkloadConfig,
+        generate_schedule,
+        load_trace,
+        run_load_sync,
+        save_trace,
+    )
+    from repro.resilience.chaos import ServiceFaultInjector
+    from repro.utils.atomicio import write_json_atomic
+
+    chaos_events = _parse_chaos_events(args.chaos_at)
+    with contextlib.ExitStack() as stack:
+        if args.target:
+            host, _, port = args.target.partition(":")
+            address = (host or "127.0.0.1", int(port))
+            chaos = None
+            if chaos_events:
+                raise SystemExit(
+                    "--chaos-at needs the self-booted server (omit --target): "
+                    "faults are injected in-process"
+                )
+            n_users = args.n_users
+        else:
+            dataset = _load_dataset(args)
+            split = train_test_split(dataset, seed=args.seed)
+            obs = _make_obs(args)
+            model = _fit_serving_model(args, split, obs=obs)
+            chaos = ServiceFaultInjector()
+            service = stack.enter_context(
+                _build_service(args, split, model, chaos=chaos, obs=obs)
+            )
+            server = _build_edge_server(args, service, obs=obs)
+            address = stack.enter_context(EdgeServerThread(server))
+            print(f"self-booted edge on http://{address[0]}:{address[1]}")
+            n_users = args.n_users or split.train.n_users
+
+        if args.replay:
+            schedule = load_trace(args.replay)
+            mode = "replay"
+            print(f"replaying {len(schedule)} requests from {args.replay}")
+        else:
+            if not n_users:
+                raise SystemExit("--n-users is required with --target")
+            workload = WorkloadConfig(
+                n_users=n_users,
+                requests=args.requests,
+                rate_rps=args.rate,
+                mode=args.mode,
+                zipf_s=args.zipf_s,
+                k=args.k,
+                deadline_ms=args.request_deadline_ms,
+                diurnal_amplitude=args.diurnal_amplitude,
+                diurnal_period_s=args.diurnal_period_s,
+                burst_every_s=args.burst_every_s,
+                burst_duration_s=args.burst_duration_s,
+                burst_multiplier=args.burst_multiplier,
+                seed=args.seed,
+            )
+            schedule = generate_schedule(workload)
+            mode = args.mode
+        if args.save_trace:
+            print(f"wrote trace to {save_trace(args.save_trace, schedule)}")
+
+        report = run_load_sync(
+            address[0],
+            address[1],
+            schedule,
+            concurrency=args.concurrency,
+            mode=mode,
+            chaos=chaos,
+            chaos_events=chaos_events,
+            use_get_every=args.get_every,
+        )
+
+    summary = report.to_json_dict()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.json_out:
+        write_json_atomic(args.json_out, summary)
+        print(f"wrote report to {args.json_out}")
+    if args.expect_zero_failed and report.failed:
+        print(f"error: {report.failed} failed requests "
+              "(transport errors or non-200/non-shed statuses)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.lint.cli import run_lint
 
@@ -613,6 +786,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_arguments(shadow)
     shadow.set_defaults(func=cmd_shadow_eval)
+
+    def _add_edge_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--host", default="127.0.0.1")
+        parser.add_argument("--port", type=int, default=0,
+                            help="0 picks an ephemeral port (printed at boot)")
+        parser.add_argument("--max-inflight", type=int, default=64,
+                            help="concurrent requests before 429 shedding")
+        parser.add_argument("--max-connections", type=int, default=128,
+                            help="open sockets before 503 shedding")
+        parser.add_argument("--max-deadline-ms", type=float, default=2000.0,
+                            help="cap on client-requested deadlines")
+        parser.add_argument("--http-workers", type=int, default=8,
+                            help="scoring worker threads behind the event loop")
+        parser.add_argument("--coalesce-batch", type=int, default=16,
+                            help="micro-batch flush size for single requests")
+        parser.add_argument("--coalesce-wait-ms", type=float, default=2.0,
+                            help="max ms a single request waits to be batched")
+        parser.add_argument("--no-coalesce", action="store_true",
+                            help="serve singles directly instead of micro-batching")
+
+    serve_http = subparsers.add_parser(
+        "serve-http", help="serve the cascade over the versioned /v1 HTTP API"
+    )
+    _add_serving_arguments(serve_http)
+    _add_edge_arguments(serve_http)
+    serve_http.add_argument("--duration-s", type=float, default=None,
+                            help="stop after this many seconds (default: run until ^C)")
+    serve_http.add_argument("--inject-nan", action="append", metavar="TIER")
+    serve_http.add_argument("--inject-latency", action="append", metavar="TIER:MS")
+    serve_http.add_argument("--inject-fail", action="append", metavar="TIER")
+    serve_http.set_defaults(func=cmd_serve_http)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="Zipf/burst traffic (and chaos drills) against the HTTP edge"
+    )
+    _add_serving_arguments(loadtest)
+    _add_edge_arguments(loadtest)
+    loadtest.add_argument("--target", metavar="HOST:PORT",
+                          help="hit a running server instead of self-booting one")
+    loadtest.add_argument("--n-users", type=int, default=None,
+                          help="user-id space for generated traffic "
+                               "(default: the split's user count; required with --target)")
+    loadtest.add_argument("--mode", default="zipf",
+                          choices=("zipf", "diurnal", "burst"),
+                          help="arrival process (replay via --replay)")
+    loadtest.add_argument("--requests", type=int, default=500)
+    loadtest.add_argument("--rate", type=float, default=200.0, help="base arrivals/s")
+    loadtest.add_argument("--zipf-s", type=float, default=1.1,
+                          help="user-popularity Zipf exponent")
+    loadtest.add_argument("--concurrency", type=int, default=8,
+                          help="virtual clients (keep-alive connections)")
+    loadtest.add_argument("--request-deadline-ms", type=float, default=None,
+                          help="deadline_ms attached to each generated request")
+    loadtest.add_argument("--diurnal-amplitude", type=float, default=0.6)
+    loadtest.add_argument("--diurnal-period-s", type=float, default=60.0)
+    loadtest.add_argument("--burst-every-s", type=float, default=10.0)
+    loadtest.add_argument("--burst-duration-s", type=float, default=2.0)
+    loadtest.add_argument("--burst-multiplier", type=float, default=5.0)
+    loadtest.add_argument("--get-every", type=int, default=0, metavar="N",
+                          help="send every Nth request as GET /v1/recommend (0 = never)")
+    loadtest.add_argument("--replay", type=Path, metavar="TRACE",
+                          help="replay a saved trace instead of generating arrivals")
+    loadtest.add_argument("--save-trace", type=Path, metavar="TRACE",
+                          help="save the generated schedule for later --replay")
+    loadtest.add_argument("--chaos-at", action="append", metavar="AT_S:ACTION[:TIER[:MS]]",
+                          help="mid-run fault transition; ACTION is latency|exception|nan|clear "
+                               "(self-booted server only, repeatable)")
+    loadtest.add_argument("--json-out", type=Path, help="write the report JSON here")
+    loadtest.add_argument("--expect-zero-failed", action="store_true",
+                          help="exit nonzero if any request failed (shed excluded)")
+    loadtest.set_defaults(func=cmd_loadtest)
 
     from repro.analysis.lint.cli import add_lint_arguments
 

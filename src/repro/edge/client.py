@@ -1,0 +1,122 @@
+"""A minimal stdlib asyncio HTTP/1.1 client for the edge API.
+
+Just enough client to drive :class:`~repro.edge.http.EdgeServer` from
+the load generator and the tests — keep-alive on a single connection,
+``Content-Length`` bodies, JSON in/out.  One :class:`AsyncHttpClient`
+per worker coroutine (it is deliberately not task-safe; the load
+generator gives each virtual client its own connection, which also
+makes connection-cap shedding observable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class HttpReply:
+    """One parsed response."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class ClientError(ConnectionError):
+    """Transport-level failure (refused, reset, short read, timeout)."""
+
+
+class AsyncHttpClient:
+    """Keep-alive HTTP/1.1 client bound to one ``host:port``."""
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), timeout=self.timeout_s
+            )
+        except (OSError, asyncio.TimeoutError) as error:
+            raise ClientError(f"connect to {self.host}:{self.port} failed: {error}") from None
+
+    async def request(
+        self, method: str, path: str, *, payload: Any = None
+    ) -> HttpReply:
+        """Send one request; reconnects once if the kept-alive socket died."""
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        for attempt in (0, 1):
+            if self._writer is None or self._writer.is_closing():
+                await self._connect()
+            try:
+                return await self._roundtrip(method, path, body)
+            except ClientError:
+                await self.close()
+                if attempt == 1:
+                    raise
+        raise ClientError("unreachable")  # pragma: no cover - loop always returns/raises
+
+    async def _roundtrip(self, method: str, path: str, body: bytes) -> HttpReply:
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        )
+        try:
+            self._writer.write(head.encode("ascii") + body)
+            await self._writer.drain()
+            raw = await asyncio.wait_for(
+                self._reader.readuntil(b"\r\n\r\n"), timeout=self.timeout_s
+            )
+            status_line, *header_lines = raw.decode("latin-1").split("\r\n")
+            status = int(status_line.split(" ", 2)[1])
+            headers: dict[str, str] = {}
+            for line in header_lines:
+                if line:
+                    name, _, value = line.partition(":")
+                    headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            reply_body = (
+                await asyncio.wait_for(
+                    self._reader.readexactly(length), timeout=self.timeout_s
+                )
+                if length
+                else b""
+            )
+        except (OSError, ValueError, IndexError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as error:
+            raise ClientError(f"request {method} {path} failed: {error}") from None
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return HttpReply(status=status, headers=headers, body=reply_body)
+
+    async def get(self, path: str) -> HttpReply:
+        return await self.request("GET", path)
+
+    async def post(self, path: str, payload: Any) -> HttpReply:
+        return await self.request("POST", path, payload=payload)
+
+    async def close(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass  # repro: allow(REP006) - already torn down; nothing to report

@@ -1,0 +1,419 @@
+"""Versioned v1 wire schemas for the HTTP edge.
+
+Every ``/v1`` request and response body is an explicit dataclass with a
+``from_json_dict`` validator and a ``to_json_dict`` serializer, so the
+API contract is pinned by golden fixtures instead of implied by code
+paths.  The validation rules:
+
+* **typed errors with field paths** — every problem is a
+  :class:`FieldIssue` carrying the JSON path (``"requests[2].k"``) and
+  a message; parsing raises one :class:`SchemaError` aggregating all
+  issues, which the server renders as an :class:`ErrorResponseV1`;
+* **unknown fields are rejected** (not silently dropped) — a client
+  typo like ``"dead_line_ms"`` fails loudly with its path;
+* **version skew is explicit** — an absent ``version`` means the
+  current :data:`API_VERSION`; any other value is refused with error
+  code ``unsupported_version``, so a v2 client can never be silently
+  served v1 semantics;
+* **oversized batches are refused at parse time** with error code
+  ``batch_too_large`` (the server maps it to HTTP 413).
+
+Provenance on responses is *not* redefined here: the payload embeds
+:class:`repro.serving.schema.ServedResponse.to_json_dict` verbatim, so
+the in-process and wire representations are the same frozen schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.serving.schema import ServedResponse
+from repro.serving.tiers import RecommendationRequest
+from repro.utils.exceptions import ReproError
+
+#: The one wire version this server speaks.
+API_VERSION = "v1"
+
+#: Hard ceiling on ``/v1/recommend/batch`` fan-in (the server may
+#: configure a lower one).
+MAX_BATCH_SIZE = 256
+
+#: Error codes an :class:`ErrorResponseV1` may carry.
+ERROR_INVALID_REQUEST = "invalid_request"
+ERROR_UNSUPPORTED_VERSION = "unsupported_version"
+ERROR_BATCH_TOO_LARGE = "batch_too_large"
+ERROR_NOT_FOUND = "not_found"
+ERROR_METHOD_NOT_ALLOWED = "method_not_allowed"
+ERROR_PAYLOAD_TOO_LARGE = "payload_too_large"
+ERROR_OVERLOADED = "overloaded"
+ERROR_DRAINING = "draining"
+ERROR_INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class FieldIssue:
+    """One validation problem, anchored to a JSON field path."""
+
+    path: str
+    message: str
+
+    def to_json_dict(self) -> dict:
+        return {"path": self.path, "message": self.message}
+
+
+class SchemaError(ReproError):
+    """A request body failed v1 validation.
+
+    Carries every :class:`FieldIssue` found (not just the first) plus
+    the error ``code`` the server should map to an HTTP status.
+    """
+
+    def __init__(self, issues: list[FieldIssue], *, code: str = ERROR_INVALID_REQUEST):
+        self.issues = list(issues)
+        self.code = code
+        detail = "; ".join(f"{issue.path}: {issue.message}" for issue in self.issues)
+        super().__init__(f"invalid v1 payload ({code}): {detail}")
+
+
+class _Check:
+    """Collects :class:`FieldIssue`s while pulling typed fields."""
+
+    def __init__(self, payload: Any, *, path: str = ""):
+        self.payload = payload
+        self.path = path
+        self.issues: list[FieldIssue] = []
+
+    def _at(self, name: str) -> str:
+        return f"{self.path}.{name}" if self.path else name
+
+    def reject_unknown(self, allowed: frozenset[str]) -> None:
+        for key in self.payload:
+            if key not in allowed:
+                self.issues.append(
+                    FieldIssue(self._at(str(key)), "unknown field (v1 rejects unrecognized fields)")
+                )
+
+    def require_mapping(self) -> bool:
+        if not isinstance(self.payload, Mapping):
+            self.issues.append(
+                FieldIssue(self.path or "$", f"expected a JSON object, got {type(self.payload).__name__}")
+            )
+            return False
+        return True
+
+    def integer(self, name: str, *, required: bool = False, default=None, minimum=None):
+        if name not in self.payload:
+            if required:
+                self.issues.append(FieldIssue(self._at(name), "required field is missing"))
+            return default
+        value = self.payload[name]
+        # bool is an int subclass; a JSON true/false here is a type error.
+        if isinstance(value, bool) or not isinstance(value, int):
+            self.issues.append(
+                FieldIssue(self._at(name), f"expected an integer, got {type(value).__name__}")
+            )
+            return default
+        if minimum is not None and value < minimum:
+            self.issues.append(FieldIssue(self._at(name), f"must be >= {minimum}, got {value}"))
+            return default
+        return int(value)
+
+    def number(self, name: str, *, default=None, minimum=None, allow_none: bool = True):
+        if name not in self.payload or (allow_none and self.payload[name] is None):
+            return default
+        value = self.payload[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            self.issues.append(
+                FieldIssue(self._at(name), f"expected a number, got {type(value).__name__}")
+            )
+            return default
+        if minimum is not None and not value > minimum:
+            self.issues.append(FieldIssue(self._at(name), f"must be > {minimum}, got {value}"))
+            return default
+        return float(value)
+
+    def boolean(self, name: str, *, default=None):
+        if name not in self.payload:
+            return default
+        value = self.payload[name]
+        if not isinstance(value, bool):
+            self.issues.append(
+                FieldIssue(self._at(name), f"expected a boolean, got {type(value).__name__}")
+            )
+            return default
+        return value
+
+    def int_list(self, name: str, *, default=None):
+        if name not in self.payload or self.payload[name] is None:
+            return default
+        value = self.payload[name]
+        if not isinstance(value, list):
+            self.issues.append(
+                FieldIssue(self._at(name), f"expected a list of integers, got {type(value).__name__}")
+            )
+            return default
+        items = []
+        for index, item in enumerate(value):
+            if isinstance(item, bool) or not isinstance(item, int) or item < 0:
+                self.issues.append(
+                    FieldIssue(f"{self._at(name)}[{index}]", "expected a non-negative integer")
+                )
+                return default
+            items.append(int(item))
+        return tuple(items)
+
+    def version(self, name: str = "version") -> str:
+        value = self.payload.get(name, API_VERSION)
+        if not isinstance(value, str):
+            self.issues.append(
+                FieldIssue(self._at(name), f"expected a string, got {type(value).__name__}")
+            )
+            return API_VERSION
+        if value != API_VERSION:
+            raise SchemaError(
+                [FieldIssue(self._at(name), f"server speaks {API_VERSION!r}, got {value!r}")],
+                code=ERROR_UNSUPPORTED_VERSION,
+            )
+        return value
+
+    def raise_if_issues(self) -> None:
+        if self.issues:
+            raise SchemaError(self.issues)
+
+
+@dataclass(frozen=True)
+class RecommendRequestV1:
+    """``POST /v1/recommend`` body (and ``GET /v1/recommend`` query).
+
+    Mirrors :class:`~repro.serving.tiers.RecommendationRequest` field
+    for field; :meth:`to_serving` is the only bridge, so the wire and
+    in-process request surfaces cannot drift either.
+    """
+
+    user: int
+    k: int = 5
+    history: tuple[int, ...] | None = None
+    deadline_ms: float | None = None
+    exclude_observed: bool = True
+    version: str = API_VERSION
+
+    _FIELDS = frozenset({"user", "k", "history", "deadline_ms", "exclude_observed", "version"})
+
+    @classmethod
+    def from_json_dict(cls, payload: Any, *, path: str = "") -> "RecommendRequestV1":
+        check = _Check(payload, path=path)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        check.reject_unknown(cls._FIELDS)
+        user = check.integer("user", required=True, minimum=0)
+        k = check.integer("k", default=5, minimum=1)
+        history = check.int_list("history")
+        deadline_ms = check.number("deadline_ms", minimum=0.0)
+        exclude_observed = check.boolean("exclude_observed", default=True)
+        check.raise_if_issues()
+        return cls(
+            user=user, k=k, history=history, deadline_ms=deadline_ms,
+            exclude_observed=exclude_observed, version=version,
+        )
+
+    def to_json_dict(self) -> dict:
+        payload: dict = {"version": self.version, "user": self.user, "k": self.k}
+        if self.history is not None:
+            payload["history"] = list(self.history)
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        if not self.exclude_observed:
+            payload["exclude_observed"] = False
+        return payload
+
+    def to_serving(self) -> RecommendationRequest:
+        return RecommendationRequest(
+            user=self.user, k=self.k, history=self.history,
+            deadline_ms=self.deadline_ms, exclude_observed=self.exclude_observed,
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecommendRequestV1:
+    """``POST /v1/recommend/batch`` body."""
+
+    requests: tuple[RecommendRequestV1, ...]
+    version: str = API_VERSION
+
+    _FIELDS = frozenset({"requests", "version"})
+
+    @classmethod
+    def from_json_dict(
+        cls, payload: Any, *, max_batch: int = MAX_BATCH_SIZE
+    ) -> "BatchRecommendRequestV1":
+        check = _Check(payload)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        check.reject_unknown(cls._FIELDS)
+        raw = payload.get("requests")
+        if raw is None:
+            check.issues.append(FieldIssue("requests", "required field is missing"))
+            check.raise_if_issues()
+        if not isinstance(raw, list):
+            check.issues.append(
+                FieldIssue("requests", f"expected a list, got {type(raw).__name__}")
+            )
+            check.raise_if_issues()
+        if len(raw) == 0:
+            check.issues.append(FieldIssue("requests", "batch must contain at least one request"))
+        if len(raw) > max_batch:
+            raise SchemaError(
+                [FieldIssue("requests", f"batch size {len(raw)} exceeds the limit of {max_batch}")],
+                code=ERROR_BATCH_TOO_LARGE,
+            )
+        parsed = []
+        for index, item in enumerate(raw):
+            try:
+                parsed.append(RecommendRequestV1.from_json_dict(item, path=f"requests[{index}]"))
+            except SchemaError as error:
+                if error.code != ERROR_INVALID_REQUEST:
+                    raise
+                check.issues.extend(error.issues)
+        check.raise_if_issues()
+        return cls(requests=tuple(parsed), version=version)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "requests": [request.to_json_dict() for request in self.requests],
+        }
+
+
+@dataclass(frozen=True)
+class RecommendResponseV1:
+    """``/v1/recommend`` response: version + the shared provenance schema."""
+
+    served: ServedResponse
+    version: str = API_VERSION
+
+    def to_json_dict(self) -> dict:
+        return {"version": self.version, **self.served.to_json_dict()}
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "RecommendResponseV1":
+        check = _Check(payload)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        body = {key: value for key, value in payload.items() if key != "version"}
+        return cls(served=ServedResponse.from_json_dict(body), version=version)
+
+
+@dataclass(frozen=True)
+class BatchRecommendResponseV1:
+    """``/v1/recommend/batch`` response, responses in request order."""
+
+    responses: tuple[ServedResponse, ...]
+    version: str = API_VERSION
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "responses": [served.to_json_dict() for served in self.responses],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "BatchRecommendResponseV1":
+        check = _Check(payload)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        raw = payload.get("responses")
+        if not isinstance(raw, list):
+            raise SchemaError([FieldIssue("responses", "expected a list")])
+        return cls(
+            responses=tuple(ServedResponse.from_json_dict(item) for item in raw),
+            version=version,
+        )
+
+
+@dataclass(frozen=True)
+class HealthResponseV1:
+    """``GET /v1/health`` body: liveness plus cascade state at a glance."""
+
+    status: str
+    model_version: str | None
+    requests_served: int
+    breakers: dict = field(default_factory=dict)
+    version: str = API_VERSION
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "status": self.status,
+            "model_version": self.model_version,
+            "requests_served": self.requests_served,
+            "breakers": dict(self.breakers),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "HealthResponseV1":
+        check = _Check(payload)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        return cls(
+            status=str(payload.get("status", "")),
+            model_version=(
+                None if payload.get("model_version") is None
+                else str(payload["model_version"])
+            ),
+            requests_served=int(payload.get("requests_served", 0)),
+            breakers=dict(payload.get("breakers") or {}),
+            version=version,
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponseV1:
+    """Any non-2xx body: machine-readable code + per-field issues."""
+
+    code: str
+    message: str
+    issues: tuple[FieldIssue, ...] = ()
+    version: str = API_VERSION
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "issues": [issue.to_json_dict() for issue in self.issues],
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "ErrorResponseV1":
+        check = _Check(payload)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        error = payload.get("error")
+        if not isinstance(error, Mapping):
+            raise SchemaError([FieldIssue("error", "expected an object")])
+        return cls(
+            code=str(error.get("code", ERROR_INTERNAL)),
+            message=str(error.get("message", "")),
+            issues=tuple(
+                FieldIssue(str(item.get("path", "")), str(item.get("message", "")))
+                for item in error.get("issues", ())
+            ),
+            version=version,
+        )
+
+    @classmethod
+    def from_schema_error(cls, error: SchemaError) -> "ErrorResponseV1":
+        return cls(
+            code=error.code,
+            message="request failed v1 schema validation",
+            issues=tuple(error.issues),
+        )

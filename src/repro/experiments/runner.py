@@ -132,6 +132,12 @@ def run_method(
             times.append(0.0)
         else:
             model = factory(repeat)
+            if not isinstance(model, Recommender):
+                raise TypeError(
+                    f"factory(repeat={repeat}) returned {type(model).__name__}, "
+                    "not a Recommender; bare score callables are no longer "
+                    "accepted — return a model exposing fit/predict_batch"
+                )
             with Timer(clock) as fit_timer:
                 model.fit(split.train, split.validation)
             times.append(fit_timer.elapsed)

@@ -65,13 +65,13 @@ class EvaluationResult:
 
 
 def _score_function(model) -> ScoreFunction:
-    """Legacy per-user adapter used by :meth:`Evaluator.evaluate_sequential`."""
+    """Per-user adapter used by :meth:`Evaluator.evaluate_sequential`."""
     if callable(getattr(model, "predict_user", None)):
         return model.predict_user
     if callable(model):
-        return model
+        raise TypeError(scoring.LEGACY_CALLABLE_MESSAGE)
     raise ConfigError(
-        f"model {model!r} is not evaluable: needs a predict_user(user) method or to be callable"
+        f"model {model!r} is not evaluable: needs a predict_user(user) method"
     )
 
 
@@ -79,9 +79,10 @@ class Evaluator:
     """Evaluates a model on one :class:`~repro.data.DatasetSplit`.
 
     ``evaluate`` accepts a fitted :class:`~repro.models.base.Recommender`
-    (preferred — its ``predict_batch`` drives the chunked engine), any
-    object with ``predict_user``, or (deprecated) a bare ``user ->
-    scores`` callable.
+    (preferred — its ``predict_batch`` drives the chunked engine) or any
+    object with ``predict_user``.  Bare ``user -> scores`` callables are
+    rejected with a :class:`TypeError` (wrap them in an object exposing
+    ``predict_user`` instead).
 
     Parameters
     ----------

@@ -23,7 +23,6 @@ factor-scoring kernel in the library.
 from __future__ import annotations
 
 import os
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
@@ -36,9 +35,11 @@ BatchScoreFunction = Callable[[np.ndarray], np.ndarray]
 """``f(users) -> (len(users), n_items)`` score matrix."""
 
 LEGACY_CALLABLE_MESSAGE = (
-    "passing a bare per-user score callable is deprecated; pass a fitted "
+    "bare per-user score callables are no longer accepted; pass a fitted "
     "Recommender (or any object exposing predict_batch(users) or "
-    "predict_user(user)) so the batched scoring path can be used"
+    "predict_user(user)). Migration: wrap the callable in a class with a "
+    "`predict_user(self, user)` method (or use "
+    "types.SimpleNamespace(predict_user=fn))"
 )
 
 
@@ -76,7 +77,7 @@ def linear_scores(
     return scores[0] if single else scores
 
 
-def as_batch_scorer(model, *, warn_legacy: bool = True) -> BatchScoreFunction:
+def as_batch_scorer(model) -> BatchScoreFunction:
     """Adapt ``model`` to a ``users -> (B, n_items)`` scoring function.
 
     Accepted, in order of preference:
@@ -84,9 +85,11 @@ def as_batch_scorer(model, *, warn_legacy: bool = True) -> BatchScoreFunction:
     1. an object with ``predict_batch(users)`` (the Recommender API) —
        used directly;
     2. an object with ``predict_user(user)`` — wrapped in a stacking
-       adapter (one Python call per user; correct but slow);
-    3. a bare callable ``user -> scores`` — same adapter, plus a
-       :class:`DeprecationWarning` (silenced with ``warn_legacy=False``).
+       adapter (one Python call per user; correct but slow).
+
+    Bare ``user -> scores`` callables, deprecated since the batched
+    engine landed, are now rejected with a :class:`TypeError` carrying
+    a migration hint.
     """
     predict_batch = getattr(model, "predict_batch", None)
     if callable(predict_batch):
@@ -95,12 +98,10 @@ def as_batch_scorer(model, *, warn_legacy: bool = True) -> BatchScoreFunction:
     if callable(predict_user):
         return _stacking_adapter(predict_user)
     if callable(model):
-        if warn_legacy:
-            warnings.warn(LEGACY_CALLABLE_MESSAGE, DeprecationWarning, stacklevel=3)
-        return _stacking_adapter(model)
+        raise TypeError(LEGACY_CALLABLE_MESSAGE)
     raise ConfigError(
-        f"model {model!r} is not evaluable: needs predict_batch(users), "
-        "a predict_user(user) method, or to be callable"
+        f"model {model!r} is not evaluable: needs predict_batch(users) "
+        "or a predict_user(user) method"
     )
 
 

@@ -55,8 +55,8 @@ def validation_ndcg(
     A lightweight version of the full evaluator used for early stopping
     and model selection inside training loops.  ``model`` is anything
     :func:`repro.metrics.scoring.as_batch_scorer` accepts — a fitted
-    recommender, :class:`~repro.mf.params.FactorParams`, or a bare
-    ``user -> scores`` callable; users are scored in batches of
+    recommender, or any object exposing ``predict_batch(users)`` or
+    ``predict_user(user)``; users are scored in batches of
     ``chunk_size`` through the chunk-invariant engine, so the result
     does not depend on the chunking.
     """
@@ -65,7 +65,7 @@ def validation_ndcg(
         users = np.sort(as_generator(seed).choice(users, size=max_users, replace=False))
     if len(users) == 0:
         return 0.0
-    scorer = scoring.as_batch_scorer(model, warn_legacy=False)
+    scorer = scoring.as_batch_scorer(model)
     validation_counts = validation.user_counts()
     idcg_cache: dict[int, float] = {}
     values = []

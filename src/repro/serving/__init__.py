@@ -38,9 +38,9 @@ from repro.serving.reload import (
     ModelSlot,
     ReloadResult,
 )
+from repro.serving.schema import RecommendationResponse, ServedResponse
 from repro.serving.service import (
     STATIC_POPULARITY,
-    RecommendationResponse,
     RecommendationService,
     ServiceConfig,
 )
@@ -86,6 +86,7 @@ __all__ = [
     "RecommendationService",
     "ReloadResult",
     "STATIC_POPULARITY",
+    "ServedResponse",
     "ServiceConfig",
     "ServingTier",
     "SystemClock",

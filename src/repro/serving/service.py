@@ -26,7 +26,7 @@ zero-failed-requests property the chaos suite enforces).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -39,6 +39,7 @@ from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.utils.clock import Clock, as_clock
 from repro.serving.deadline import BudgetExecutor, Deadline, ThreadedExecutor
 from repro.serving.reload import ModelSlot
+from repro.serving.schema import RecommendationResponse, ServedResponse
 from repro.serving.tiers import (
     FoldInTier,
     ItemKNNTier,
@@ -51,47 +52,6 @@ from repro.serving.tiers import (
 from repro.utils.exceptions import ConfigError, DeadlineExceeded, TierError
 
 STATIC_POPULARITY = "static-popularity"
-
-
-@dataclass(frozen=True)
-class RecommendationResponse:
-    """A served ranking plus its provenance.
-
-    Attributes
-    ----------
-    user / items:
-        The request's user and the ranked item ids (best first).
-    served_by:
-        Name of the tier that produced the ranking
-        (``"static-popularity"`` for the emergency path).
-    degraded:
-        True whenever a tier below the primary answered.
-    deadline_ms_left:
-        Budget remaining when the response was assembled, clamped to
-        ``>= 0`` (0.0 means the budget was spent — e.g. only the
-        emergency path was fast enough).
-    latency_ms:
-        Wall time from request arrival to response.
-    model_version:
-        Version tag of the live model slot at serve time.
-    tier_errors:
-        Why each earlier tier did not answer (breaker open, timeout,
-        error message) — the debugging breadcrumb trail.
-    """
-
-    user: int
-    items: np.ndarray
-    served_by: str
-    degraded: bool
-    deadline_ms_left: float
-    latency_ms: float
-    model_version: str | None = None
-    tier_errors: dict = field(default_factory=dict)
-
-    def __post_init__(self):
-        # Budget overruns used to surface as negative remainders; the
-        # invariant is deadline_ms_left >= 0 (0.0 == budget exhausted).
-        object.__setattr__(self, "deadline_ms_left", max(0.0, float(self.deadline_ms_left)))
 
 
 @dataclass(frozen=True)
@@ -275,6 +235,104 @@ class RecommendationService:
     ) -> list[RecommendationResponse]:
         """Serve a sequence of requests (each with its own deadline)."""
         return [self.recommend(request) for request in requests]
+
+    def recommend_batch(
+        self, requests: Sequence[RecommendationRequest | int], *, k: int | None = None
+    ) -> list[RecommendationResponse]:
+        """Serve a coalesced batch through one primary-tier scoring call.
+
+        The micro-batching fast path behind the HTTP edge: all warm,
+        in-range users are scored in a *single* ``predict_batch`` call
+        on the primary tier (one einsum instead of one per request),
+        under one shared deadline (the smallest budget in the batch)
+        and one breaker verdict.  Because the scoring kernel is
+        chunk-invariant, each batched ranking is bitwise identical to
+        what :meth:`recommend` would have produced for that request.
+
+        Requests the batch path cannot serve — cold or out-of-range
+        users, rows poisoned non-finite, a thrown/timed-out batch call,
+        an open breaker — fall back to the per-request cascade, so the
+        zero-failed-requests property is inherited unchanged.
+        """
+        normalized = [
+            request
+            if isinstance(request, RecommendationRequest)
+            else RecommendationRequest(user=int(request), k=k or 5)
+            for request in requests
+        ]
+        if not normalized:
+            return []
+        responses: list[ServedResponse | None] = [None] * len(normalized)
+        primary = self.tiers[0]
+        if isinstance(primary, PersonalizedTier):
+            budget = min(
+                request.deadline_ms or self.config.default_deadline_ms
+                for request in normalized
+            )
+            deadline = Deadline(budget, clock=self.clock)
+            eligible = [
+                index
+                for index, request in enumerate(normalized)
+                if primary.eligible(request)
+            ]
+            breaker = self.breakers[primary.name]
+            stats = self.stats[primary.name]
+            obs = self.obs
+            if eligible and breaker.allow():
+                batch_requests = [normalized[index] for index in eligible]
+
+                def scored() -> list[np.ndarray | None]:
+                    if self.chaos is not None:
+                        self.chaos.before_call(primary.name)
+                    return primary.serve_batch(batch_requests)
+
+                try:
+                    rankings, latency_ms = self.executor.call(
+                        scored, deadline.remaining_ms()
+                    )
+                except DeadlineExceeded:
+                    breaker.record_failure(deadline.remaining_ms())
+                    stats.timeouts += 1
+                    stats.record_error("deadline exceeded (batch)")
+                    obs.counter("serving_timeouts_total", tier=primary.name).inc()
+                except Exception as error:  # noqa: BLE001 - cascade boundary
+                    breaker.record_failure(deadline.remaining_ms())
+                    stats.failures += 1
+                    stats.record_error(str(error) or type(error).__name__)
+                    obs.counter("serving_failures_total", tier=primary.name).inc()
+                else:
+                    breaker.record_success(latency_ms)
+                    obs.histogram(
+                        "serving_batch_size", tier=primary.name
+                    ).observe(len(batch_requests))
+                    version = self.slot.version if self.slot is not None else None
+                    for offset, index in enumerate(eligible):
+                        items = rankings[offset]
+                        if items is None:
+                            continue  # non-finite row; per-request cascade decides
+                        stats.served += 1
+                        self.requests_served_ += 1
+                        obs.counter("serving_served_total", tier=primary.name).inc()
+                        obs.histogram(
+                            "serving_tier_latency_ms", tier=primary.name
+                        ).observe(latency_ms)
+                        obs.histogram("serving_request_latency_ms").observe(
+                            deadline.elapsed_ms()
+                        )
+                        responses[index] = ServedResponse(
+                            user=normalized[index].user,
+                            items=items,
+                            served_by=primary.name,
+                            degraded=False,
+                            deadline_ms_left=deadline.remaining_ms(),
+                            latency_ms=deadline.elapsed_ms(),
+                            model_version=version,
+                            tier_errors={},
+                        )
+        return [
+            response if response is not None else self.recommend(normalized[index])
+            for index, response in enumerate(responses)
+        ]
 
     def _run_tier(self, tier: ServingTier, request: RecommendationRequest) -> np.ndarray:
         if self.chaos is not None:

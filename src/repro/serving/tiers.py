@@ -145,6 +145,13 @@ class PersonalizedTier(ServingTier):
         get = getattr(self.source, "get", None)
         return get() if callable(get) else self.source
 
+    def eligible(self, request: RecommendationRequest) -> bool:
+        """Whether this tier could serve ``request`` at all (warm, in range)."""
+        return (
+            0 <= request.user < self.train.n_users
+            and self.train.n_positives(request.user) > 0
+        )
+
     def serve(self, request: RecommendationRequest) -> np.ndarray:
         model = self.current_model()
         if not (0 <= request.user < self.train.n_users):
@@ -160,6 +167,31 @@ class PersonalizedTier(ServingTier):
         if self.chaos is not None:
             scores = self.chaos.poison_scores(self.name, scores)
         return self._rank(scores, request, self.train)
+
+    def serve_batch(
+        self, requests: list[RecommendationRequest]
+    ) -> list[np.ndarray | None]:
+        """Score every request through one ``predict_batch`` call.
+
+        All requests must be :meth:`eligible`.  Returns one ranking per
+        request, in order; a request whose score row cannot be ranked
+        (e.g. poisoned non-finite) yields ``None`` so the caller's
+        cascade can degrade it individually.  The scoring kernel is
+        chunk-invariant, so each ranking is bitwise identical to the
+        one :meth:`serve` computes for the same request alone.
+        """
+        model = self.current_model()
+        users = np.asarray([request.user for request in requests], dtype=np.int64)
+        scores = np.asarray(model.predict_batch(users))
+        if self.chaos is not None:
+            scores = self.chaos.poison_scores(self.name, scores)
+        rankings: list[np.ndarray | None] = []
+        for row, request in enumerate(requests):
+            try:
+                rankings.append(self._rank(scores[row], request, self.train))
+            except TierError:
+                rankings.append(None)
+        return rankings
 
 
 class FoldInTier(ServingTier):

@@ -1,0 +1,261 @@
+"""Coalescing determinism and workload-generator tests.
+
+The micro-batching *policy* lives in :class:`CoalesceBuffer`, a pure
+function of an injectable clock — so every flush boundary here is pinned
+exactly on :class:`FakeClock`, no sleeps, no tolerance windows.  The
+:class:`MicroBatcher` asyncio glue is exercised with a real loop but a
+recording runner, asserting arrival-order fan-out and exception fan-out.
+The loadgen tests pin schedule determinism (same seed → identical
+arrivals), trace round-trips, and the shed/failed/ok classification.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.edge.coalesce import CoalesceBuffer, CoalesceConfig, MicroBatcher
+from repro.edge.loadgen import (
+    ChaosEvent,
+    LoadReport,
+    RequestOutcome,
+    WorkloadConfig,
+    generate_schedule,
+    load_trace,
+    save_trace,
+    zipf_user_probabilities,
+)
+from repro.resilience.chaos import ServiceFaultInjector
+from repro.utils.clock import FakeClock
+from repro.utils.exceptions import ConfigError
+from repro.utils.rng import as_generator
+
+
+class TestCoalesceBuffer:
+    def test_flushes_exactly_at_max_batch(self):
+        buffer = CoalesceBuffer(CoalesceConfig(max_batch=3, max_wait_ms=100.0), clock=FakeClock())
+        assert buffer.add("a") is None
+        assert buffer.add("b") is None
+        assert buffer.add("c") == ["a", "b", "c"]
+        assert len(buffer) == 0
+        assert buffer.flushes_full_ == 1
+        assert buffer.flushes_timed_ == 0
+
+    def test_timed_flush_boundary_is_exact(self):
+        clock = FakeClock()
+        buffer = CoalesceBuffer(CoalesceConfig(max_batch=16, max_wait_ms=2.0), clock=clock)
+        buffer.add("a")
+        clock.advance(0.0019)  # 1.9ms: one tick short of the deadline
+        assert buffer.poll() is None
+        assert buffer.wait_remaining_ms() == pytest.approx(0.1)
+        clock.advance(0.0001)  # exactly 2.0ms since the first arrival
+        assert buffer.poll() == ["a"]
+        assert buffer.flushes_timed_ == 1
+
+    def test_wait_is_anchored_to_first_item_not_latest(self):
+        # A steady trickle must not postpone the flush forever.
+        clock = FakeClock()
+        buffer = CoalesceBuffer(CoalesceConfig(max_batch=16, max_wait_ms=2.0), clock=clock)
+        buffer.add("a")
+        clock.advance(0.0015)
+        buffer.add("b")  # late arrival does NOT reset the deadline
+        clock.advance(0.0005)
+        assert buffer.poll() == ["a", "b"]
+
+    def test_interleaved_sequence_is_deterministic(self):
+        clock = FakeClock()
+        buffer = CoalesceBuffer(CoalesceConfig(max_batch=2, max_wait_ms=5.0), clock=clock)
+        batches = []
+        for item in range(5):
+            flushed = buffer.add(item)
+            if flushed is not None:
+                batches.append(flushed)
+            clock.advance(0.001)
+        flushed = buffer.poll()  # item 4 is 1ms old: not due yet
+        assert flushed is None
+        clock.advance(0.004)
+        batches.append(buffer.poll())
+        assert batches == [[0, 1], [2, 3], [4]]
+        assert buffer.flushes_full_ == 2
+        assert buffer.flushes_timed_ == 1
+
+    def test_flush_drains_unconditionally(self):
+        buffer = CoalesceBuffer(CoalesceConfig(max_batch=16, max_wait_ms=60_000.0), clock=FakeClock())
+        buffer.add("a")
+        buffer.add("b")
+        assert buffer.flush() == ["a", "b"]
+        assert buffer.wait_remaining_ms() is None
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            CoalesceConfig(max_batch=0)
+        with pytest.raises(ConfigError):
+            CoalesceConfig(max_wait_ms=-1.0)
+
+
+class TestMicroBatcher:
+    def test_concurrent_submits_coalesce_and_map_back_in_order(self):
+        batch_sizes = []
+
+        def runner(requests):
+            batch_sizes.append(len(requests))
+            return [f"served:{request}" for request in requests]
+
+        async def scenario():
+            batcher = MicroBatcher(runner, CoalesceConfig(max_batch=4, max_wait_ms=50.0))
+            results = await asyncio.gather(*(batcher.submit(f"r{i}") for i in range(4)))
+            await batcher.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == ["served:r0", "served:r1", "served:r2", "served:r3"]
+        assert batch_sizes == [4]
+
+    def test_straggler_flushes_on_timer_not_only_on_full_batch(self):
+        def runner(requests):
+            return [f"served:{request}" for request in requests]
+
+        async def scenario():
+            batcher = MicroBatcher(runner, CoalesceConfig(max_batch=64, max_wait_ms=1.0))
+            result = await batcher.submit("lonely")
+            assert batcher.buffer.flushes_timed_ == 1
+            await batcher.close()
+            return result
+
+        assert asyncio.run(scenario()) == "served:lonely"
+
+    def test_runner_failure_fans_out_to_every_caller(self):
+        def runner(requests):
+            raise RuntimeError("scoring backend down")
+
+        async def scenario():
+            batcher = MicroBatcher(runner, CoalesceConfig(max_batch=2, max_wait_ms=50.0))
+            results = await asyncio.gather(
+                batcher.submit("a"), batcher.submit("b"), return_exceptions=True
+            )
+            await batcher.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(results) == 2
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_close_flushes_stragglers(self):
+        served = []
+
+        def runner(requests):
+            served.extend(requests)
+            return [None] * len(requests)
+
+        async def scenario():
+            batcher = MicroBatcher(runner, CoalesceConfig(max_batch=64, max_wait_ms=60_000.0))
+            task = asyncio.ensure_future(batcher.submit("parked"))
+            await asyncio.sleep(0)  # let submit park on the buffer
+            await batcher.close()
+            await task
+
+        asyncio.run(scenario())
+        assert served == ["parked"]
+
+
+class TestZipfWorkload:
+    def test_probabilities_are_a_distribution(self):
+        probabilities = zipf_user_probabilities(50, 1.1, as_generator(0))
+        assert probabilities.shape == (50,)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert (probabilities > 0).all()
+
+    def test_probabilities_are_skewed_and_seeded(self):
+        first = zipf_user_probabilities(50, 1.1, as_generator(0))
+        again = zipf_user_probabilities(50, 1.1, as_generator(0))
+        other = zipf_user_probabilities(50, 1.1, as_generator(1))
+        np.testing.assert_array_equal(first, again)
+        assert not np.array_equal(first, other)  # rank permutation is seeded
+        assert first.max() / first.min() > 10.0  # heavy head, long tail
+
+    def test_schedule_is_deterministic_per_seed(self):
+        config = WorkloadConfig(n_users=30, requests=40, rate_rps=500.0, seed=3)
+        first = generate_schedule(config)
+        again = generate_schedule(config)
+        assert first == again
+        assert len(first) == 40
+        ats = [request.at_s for request in first]
+        assert ats == sorted(ats)
+        assert all(0 <= request.user < 30 for request in first)
+
+    def test_different_seeds_differ(self):
+        base = WorkloadConfig(n_users=30, requests=40, seed=3)
+        other = WorkloadConfig(n_users=30, requests=40, seed=4)
+        assert generate_schedule(base) != generate_schedule(other)
+
+    def test_burst_mode_compresses_arrivals_inside_the_window(self):
+        calm = WorkloadConfig(n_users=10, requests=200, rate_rps=50.0, mode="zipf", seed=0)
+        burst = WorkloadConfig(
+            n_users=10, requests=200, rate_rps=50.0, mode="burst", seed=0,
+            burst_every_s=1.0, burst_duration_s=0.5, burst_multiplier=10.0,
+        )
+        assert generate_schedule(burst)[-1].at_s < generate_schedule(calm)[-1].at_s
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(n_users=0)
+        with pytest.raises(ConfigError):
+            WorkloadConfig(n_users=5, mode="tsunami")
+        with pytest.raises(ConfigError):
+            WorkloadConfig(n_users=5, requests=0)
+
+    def test_trace_round_trip(self, tmp_path):
+        schedule = generate_schedule(WorkloadConfig(n_users=12, requests=25, seed=9))
+        path = tmp_path / "trace.json"
+        save_trace(path, schedule)
+        replayed = load_trace(path)
+        assert len(replayed) == len(schedule)
+        for loaded, original in zip(replayed, schedule):
+            # at_s is rounded to microseconds on disk; everything else exact.
+            assert loaded.at_s == pytest.approx(original.at_s, abs=1e-6)
+            assert (loaded.user, loaded.k, loaded.deadline_ms) == (
+                original.user, original.k, original.deadline_ms,
+            )
+
+    def test_chaos_event_drives_injector(self):
+        chaos = ServiceFaultInjector()
+        ChaosEvent(at_s=0.0, action="exception", tier="personalized").apply(chaos)
+        with pytest.raises(Exception):
+            chaos.before_call("personalized")
+        ChaosEvent(at_s=1.0, action="clear").apply(chaos)
+        chaos.before_call("personalized")  # cleared: no longer raises
+
+
+class TestLoadReport:
+    def make_report(self):
+        outcomes = [
+            RequestOutcome(status=200, latency_ms=2.0, served_by="personalized", degraded=False),
+            RequestOutcome(status=200, latency_ms=4.0, served_by="popularity", degraded=True),
+            RequestOutcome(status=429, latency_ms=0.5),
+            RequestOutcome(status=503, latency_ms=0.5),
+            RequestOutcome(status=0, latency_ms=10.0, transport_error=True),
+        ]
+        return LoadReport(outcomes=outcomes, duration_s=1.0)
+
+    def test_shed_is_not_failed(self):
+        report = self.make_report()
+        assert report.total == 5
+        assert report.ok == 2
+        assert report.shed == 2
+        assert report.failed == 1
+        assert report.shed_rate() == pytest.approx(0.4)
+
+    def test_fallback_rate_counts_non_personalized_200s(self):
+        report = self.make_report()
+        assert report.fallback_rate() == pytest.approx(0.5)
+        assert report.degraded == 1
+
+    def test_json_dict_is_complete(self):
+        summary = self.make_report().to_json_dict()
+        for key in ("total", "ok", "shed", "failed", "p50_ms", "p99_ms",
+                    "fallback_rate", "shed_rate", "throughput_rps", "tier_mix"):
+            assert key in summary
+        assert summary["failed"] == 1
+        assert summary["tier_mix"] == {"personalized": 1, "popularity": 1}

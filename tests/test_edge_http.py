@@ -1,0 +1,282 @@
+"""Live-socket tests of the HTTP edge.
+
+A real :class:`EdgeServer` (hosted by :class:`EdgeServerThread` on an
+ephemeral port, backed by a BPR model over the hand-checked 4x6 tiny
+matrix) is driven with stdlib ``http.client``.  Routes, error mappings,
+and the cold-user degradation contract are asserted against the same
+golden fixtures that pin the schema layer, so the wire behavior and the
+schema behavior cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.edge import (
+    CoalesceConfig,
+    EdgeConfig,
+    EdgeServer,
+    EdgeServerThread,
+    WorkloadConfig,
+    generate_schedule,
+    run_load_sync,
+)
+from repro.edge.schema import HealthResponseV1, RecommendResponseV1
+from repro.mf.sgd import SGDConfig
+from repro.models import BPR
+from repro.serving import (
+    RecommendationService,
+    ServiceConfig,
+    ThreadedExecutor,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "http"
+
+#: Same pattern as the ``tiny_matrix`` conftest fixture (module-scoped
+#: copy): user 3 is cold, item 2 is the unambiguous popularity leader.
+TINY_PAIRS = [(0, 0), (0, 1), (0, 2), (1, 2), (1, 3), (2, 5)]
+
+
+def load_golden(name: str) -> dict:
+    with open(GOLDEN_DIR / f"{name}.json", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def http_json(host, port, method, path, payload=None, *, timeout=10.0):
+    """One request over a fresh connection; returns (status, decoded body)."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        data = json.loads(raw) if content_type.startswith("application/json") else raw
+        return response.status, data
+    finally:
+        connection.close()
+
+
+@pytest.fixture(scope="module")
+def stack():
+    matrix = InteractionMatrix.from_pairs(TINY_PAIRS, n_users=4, n_items=6)
+    model = BPR(n_factors=4, sgd=SGDConfig(n_epochs=1), seed=0).fit(matrix)
+    service = RecommendationService.build(
+        model,
+        matrix,
+        config=ServiceConfig(default_deadline_ms=250.0),
+        executor=ThreadedExecutor(max_workers=2),
+    )
+    yield matrix, model, service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def edge(stack):
+    _, _, service = stack
+    server = EdgeServer(
+        service,
+        config=EdgeConfig(workers=2, coalesce=CoalesceConfig(max_batch=8, max_wait_ms=1.0)),
+    )
+    with EdgeServerThread(server) as (host, port):
+        yield host, port
+
+
+class TestLiveRoutes:
+    def test_health(self, edge):
+        status, body = http_json(*edge, "GET", "/v1/health")
+        assert status == 200
+        parsed = HealthResponseV1.from_json_dict(body)
+        assert parsed.status == "ok"
+        assert "personalized" in parsed.breakers
+        assert "popularity" in parsed.breakers
+
+    def test_post_recommend_round_trips_through_the_schema(self, edge):
+        status, body = http_json(*edge, "POST", "/v1/recommend", {"user": 0, "k": 3})
+        assert status == 200
+        parsed = RecommendResponseV1.from_json_dict(body)
+        assert parsed.served.user == 0
+        assert len(parsed.served.items) == 3
+        assert parsed.served.latency_ms >= 0.0
+        # Wire body is exactly the parsed form re-serialized: no extras.
+        assert parsed.to_json_dict() == body
+
+    def test_cold_user_get_is_served_degraded_not_404(self, edge):
+        # Satellite: a valid-but-cold user is an expected case, not an
+        # error — the popularity tier answers with degraded provenance.
+        status, body = http_json(*edge, "GET", "/v1/recommend?user=3&k=4")
+        assert status == 200
+        assert body["served_by"] == "popularity"
+        assert body["degraded"] is True
+        assert body["items"][0] == 2  # item 2 is the popularity leader
+        assert "personalized" in body["tier_errors"]
+
+    def test_batch_matches_singles_bitwise(self, edge):
+        singles = [
+            http_json(*edge, "POST", "/v1/recommend", {"user": user, "k": 4})[1]
+            for user in range(4)
+        ]
+        status, batch = http_json(
+            *edge, "POST", "/v1/recommend/batch",
+            {"requests": [{"user": user, "k": 4} for user in range(4)]},
+        )
+        assert status == 200
+        assert len(batch["responses"]) == 4
+        for single, batched in zip(singles, batch["responses"]):
+            assert batched["user"] == single["user"]
+            assert batched["items"] == single["items"]
+
+    def test_metrics_scrape(self, edge):
+        host, port = edge
+        connection = http.client.HTTPConnection(host, port, timeout=10.0)
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            assert response.status == 200
+            assert response.getheader("Content-Type", "").startswith("text/plain")
+        finally:
+            connection.close()
+        assert "http_request_latency_ms" in text
+        assert "http_responses_total" in text
+
+    def test_keep_alive_serves_sequential_requests(self, edge):
+        host, port = edge
+        connection = http.client.HTTPConnection(host, port, timeout=10.0)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/v1/health")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+
+
+class TestLiveGoldenErrors:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "recommend_malformed_field",
+            "recommend_wrong_version",
+            "batch_malformed_nested",
+            "batch_oversized",
+        ],
+    )
+    def test_request_fixtures_get_their_pinned_error_body(self, edge, name):
+        fixture = load_golden(name)
+        status, body = http_json(
+            *edge, fixture["method"], fixture["route"], fixture["request"]
+        )
+        assert status == fixture["expect"]["status"]
+        assert body == fixture["expect"]["body"]
+
+    @pytest.mark.parametrize("name", ["error_not_found", "error_method_not_allowed"])
+    def test_routing_fixtures_get_their_pinned_error_body(self, edge, name):
+        fixture = load_golden(name)
+        status, body = http_json(*edge, fixture["method"], fixture["route"])
+        assert status == fixture["expect"]["status"]
+        assert body == fixture["expect"]["body"]
+
+    def test_invalid_json_body_is_a_400(self, edge):
+        host, port = edge
+        connection = http.client.HTTPConnection(host, port, timeout=10.0)
+        try:
+            connection.request(
+                "POST", "/v1/recommend", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert body["error"]["code"] == "invalid_request"
+            assert body["error"]["issues"][0]["path"] == "$"
+        finally:
+            connection.close()
+
+    def test_bad_query_param_is_a_400_with_path(self, edge):
+        status, body = http_json(*edge, "GET", "/v1/recommend?user=abc")
+        assert status == 400
+        assert body["error"]["issues"][0]["path"] == "user"
+
+
+class TestSheddingAndDraining:
+    """Shed paths unit-tested on an unstarted server: deterministic."""
+
+    def make_server(self, **overrides):
+        dummy = SimpleNamespace(recommend_batch=lambda requests: [])
+        config = EdgeConfig(workers=1, **overrides)
+        return EdgeServer(dummy, config=config)
+
+    def request(self):
+        from repro.edge.http import HttpRequest
+
+        return HttpRequest(method="GET", path="/v1/health", query={}, headers={}, body=b"")
+
+    def test_inflight_cap_sheds_429(self):
+        server = self.make_server(max_inflight=1)
+        try:
+            server._inflight = 1
+            route = server._routes["/v1/health"]
+            response = asyncio.run(server._route(self.request(), route))
+            assert response.status == 429
+            assert response.payload["error"]["code"] == "overloaded"
+        finally:
+            server._pool.shutdown(wait=False)
+
+    def test_draining_sheds_503(self):
+        server = self.make_server()
+        try:
+            server._draining = True
+            route = server._routes["/v1/health"]
+            response = asyncio.run(server._route(self.request(), route))
+            assert response.status == 503
+            assert response.payload["error"]["code"] == "draining"
+        finally:
+            server._pool.shutdown(wait=False)
+
+    def test_shed_responses_are_counted_not_hidden(self):
+        server = self.make_server(max_inflight=1)
+        try:
+            server._inflight = 1
+            route = server._routes["/v1/health"]
+            asyncio.run(server._route(self.request(), route))
+            assert server.obs.counter("http_shed_total", reason="inflight").value == 1.0
+        finally:
+            server._pool.shutdown(wait=False)
+
+    def test_connection_cap_sheds_503(self, stack):
+        _, _, service = stack
+        server = EdgeServer(service, config=EdgeConfig(max_connections=1, workers=1))
+        with EdgeServerThread(server) as (host, port):
+            first = http.client.HTTPConnection(host, port, timeout=10.0)
+            try:
+                first.request("GET", "/v1/health")
+                assert first.getresponse().status == 200
+                # keep-alive: `first` still occupies the one slot
+                status, body = http_json(host, port, "GET", "/v1/health")
+                assert status == 503
+                assert body["error"]["code"] == "overloaded"
+            finally:
+                first.close()
+
+
+class TestLoadgenAgainstLiveServer:
+    def test_zipf_drill_has_zero_failed_requests(self, edge):
+        host, port = edge
+        schedule = generate_schedule(
+            WorkloadConfig(n_users=4, requests=30, rate_rps=500.0, k=3, seed=1)
+        )
+        report = run_load_sync(host, port, schedule, concurrency=4, use_get_every=5)
+        assert report.total == 30
+        assert report.failed == 0
+        assert report.ok + report.shed == 30
+        assert report.to_json_dict()["p99_ms"] > 0.0

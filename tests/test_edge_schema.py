@@ -1,0 +1,175 @@
+"""Golden-fixture tests pinning the /v1 wire contract.
+
+Every request/response body the HTTP edge speaks is pinned by a JSON
+fixture in ``tests/golden/http/``: valid forms round-trip through the
+schema dataclasses bit-for-bit, and every failure mode (malformed
+field, unknown field, wrong version, oversized batch) produces the
+exact typed :class:`ErrorResponseV1` body in the fixture.  If a schema
+change alters the wire format, these tests fail before any client
+notices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.edge.schema import (
+    API_VERSION,
+    ERROR_BATCH_TOO_LARGE,
+    ERROR_INVALID_REQUEST,
+    ERROR_UNSUPPORTED_VERSION,
+    MAX_BATCH_SIZE,
+    BatchRecommendRequestV1,
+    BatchRecommendResponseV1,
+    ErrorResponseV1,
+    FieldIssue,
+    HealthResponseV1,
+    RecommendRequestV1,
+    RecommendResponseV1,
+    SchemaError,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "http"
+
+
+def load_golden(name: str) -> dict:
+    with open(GOLDEN_DIR / f"{name}.json", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def parse_route_body(fixture: dict):
+    """Parse a request fixture with the schema class its route uses."""
+    if fixture["route"] == "/v1/recommend/batch":
+        return BatchRecommendRequestV1.from_json_dict(fixture["request"])
+    return RecommendRequestV1.from_json_dict(fixture["request"])
+
+
+class TestGoldenValidRequests:
+    @pytest.mark.parametrize("name", ["recommend_valid", "batch_valid"])
+    def test_canonical_form_is_pinned(self, name):
+        fixture = load_golden(name)
+        parsed = parse_route_body(fixture)
+        assert parsed.to_json_dict() == fixture["expect"]["canonical"]
+
+    @pytest.mark.parametrize("name", ["recommend_valid", "batch_valid"])
+    def test_canonical_form_round_trips(self, name):
+        fixture = load_golden(name)
+        parsed = parse_route_body(fixture)
+        reparsed = type(parsed).from_json_dict(parsed.to_json_dict())
+        assert reparsed == parsed
+        assert reparsed.to_json_dict() == fixture["expect"]["canonical"]
+
+    def test_defaults_are_applied(self):
+        parsed = RecommendRequestV1.from_json_dict({"user": 9})
+        assert parsed.k == 5
+        assert parsed.history is None
+        assert parsed.deadline_ms is None
+        assert parsed.exclude_observed is True
+        assert parsed.version == API_VERSION
+
+    def test_to_serving_mirrors_fields(self):
+        fixture = load_golden("recommend_valid")
+        serving = RecommendRequestV1.from_json_dict(fixture["request"]).to_serving()
+        assert serving.user == 7
+        assert serving.k == 3
+        assert tuple(serving.history) == (1, 2)
+        assert serving.deadline_ms == pytest.approx(40.0)
+
+
+class TestGoldenRejectedRequests:
+    @pytest.mark.parametrize(
+        "name, code",
+        [
+            ("recommend_malformed_field", ERROR_INVALID_REQUEST),
+            ("recommend_wrong_version", ERROR_UNSUPPORTED_VERSION),
+            ("batch_malformed_nested", ERROR_INVALID_REQUEST),
+            ("batch_oversized", ERROR_BATCH_TOO_LARGE),
+        ],
+    )
+    def test_error_body_is_pinned(self, name, code):
+        fixture = load_golden(name)
+        with pytest.raises(SchemaError) as excinfo:
+            parse_route_body(fixture)
+        assert excinfo.value.code == code
+        body = ErrorResponseV1.from_schema_error(excinfo.value).to_json_dict()
+        assert body == fixture["expect"]["body"]
+
+    def test_all_issues_reported_at_once(self):
+        fixture = load_golden("recommend_malformed_field")
+        with pytest.raises(SchemaError) as excinfo:
+            parse_route_body(fixture)
+        paths = [issue.path for issue in excinfo.value.issues]
+        assert paths == ["kk", "user", "k", "history[1]"]
+
+    def test_oversized_fixture_is_actually_oversized(self):
+        fixture = load_golden("batch_oversized")
+        assert len(fixture["request"]["requests"]) == MAX_BATCH_SIZE + 1
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(SchemaError) as excinfo:
+            RecommendRequestV1.from_json_dict({"user": True})
+        assert excinfo.value.issues[0].path == "user"
+        assert "expected an integer" in excinfo.value.issues[0].message
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(SchemaError) as excinfo:
+            RecommendRequestV1.from_json_dict([1, 2, 3])
+        assert excinfo.value.issues[0].path == "$"
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SchemaError) as excinfo:
+            BatchRecommendRequestV1.from_json_dict({"requests": []})
+        assert "at least one request" in excinfo.value.issues[0].message
+
+    def test_server_side_lower_batch_cap(self):
+        payload = {"requests": [{"user": 0}, {"user": 1}, {"user": 2}]}
+        with pytest.raises(SchemaError) as excinfo:
+            BatchRecommendRequestV1.from_json_dict(payload, max_batch=2)
+        assert excinfo.value.code == ERROR_BATCH_TOO_LARGE
+
+
+class TestGoldenResponses:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("recommend_response", RecommendResponseV1),
+            ("batch_response", BatchRecommendResponseV1),
+            ("health_response", HealthResponseV1),
+        ],
+    )
+    def test_wire_form_round_trips(self, name, cls):
+        fixture = load_golden(name)
+        parsed = cls.from_json_dict(fixture["wire"])
+        assert parsed.to_json_dict() == fixture["wire"]
+
+    def test_recommend_response_embeds_served_response_verbatim(self):
+        fixture = load_golden("recommend_response")
+        parsed = RecommendResponseV1.from_json_dict(fixture["wire"])
+        served_wire = parsed.served.to_json_dict()
+        assert {"version": API_VERSION, **served_wire} == fixture["wire"]
+
+    def test_batch_response_preserves_degraded_provenance(self):
+        fixture = load_golden("batch_response")
+        parsed = BatchRecommendResponseV1.from_json_dict(fixture["wire"])
+        degraded = parsed.responses[1]
+        assert degraded.served_by == "popularity"
+        assert degraded.degraded is True
+        assert "personalized" in degraded.tier_errors
+
+    @pytest.mark.parametrize("name", ["error_not_found", "error_method_not_allowed"])
+    def test_error_wire_form_round_trips(self, name):
+        fixture = load_golden(name)
+        parsed = ErrorResponseV1.from_json_dict(fixture["expect"]["body"])
+        assert parsed.to_json_dict() == fixture["expect"]["body"]
+
+    def test_error_response_carries_field_paths(self):
+        error = ErrorResponseV1(
+            code=ERROR_INVALID_REQUEST,
+            message="nope",
+            issues=(FieldIssue("requests[2].k", "must be >= 1, got 0"),),
+        )
+        body = error.to_json_dict()
+        assert body["error"]["issues"][0]["path"] == "requests[2].k"

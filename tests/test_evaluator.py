@@ -1,5 +1,7 @@
 """Tests of the full-ranking evaluation protocol."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -64,7 +66,7 @@ class TestProtocol:
             scores[split.test.positives(user)] = 1.0
             return scores
 
-        result = Evaluator(split, ks=(1,)).evaluate(train_lover)
+        result = Evaluator(split, ks=(1,)).evaluate(SimpleNamespace(predict_user=train_lover))
         # Test items win rank 1 because the train items are not candidates.
         assert result["precision@1"] == pytest.approx(1.0)
 
@@ -76,11 +78,18 @@ class TestProtocol:
             scores[split.test.positives(user)] = 1.0
             return scores
 
-        result = Evaluator(split, ks=(1,)).evaluate(validation_lover)
+        result = Evaluator(split, ks=(1,)).evaluate(
+            SimpleNamespace(predict_user=validation_lover)
+        )
         assert result["precision@1"] == pytest.approx(1.0)
 
-    def test_callable_model_accepted(self, split):
-        result = Evaluator(split, ks=(1,)).evaluate(lambda user: np.zeros(split.n_items))
+    def test_bare_callable_rejected_with_migration_hint(self, split):
+        with pytest.raises(TypeError, match="predict_user"):
+            Evaluator(split, ks=(1,)).evaluate(lambda user: np.zeros(split.n_items))
+
+    def test_predict_user_object_accepted(self, split):
+        scorer = SimpleNamespace(predict_user=lambda user: np.zeros(split.n_items))
+        result = Evaluator(split, ks=(1,)).evaluate(scorer)
         assert result.n_users == 3
 
     def test_non_model_rejected(self, split):
@@ -88,8 +97,9 @@ class TestProtocol:
             Evaluator(split).evaluate(object())
 
     def test_wrong_score_shape_rejected(self, split):
+        scorer = SimpleNamespace(predict_user=lambda user: np.zeros(3))
         with pytest.raises(DataError):
-            Evaluator(split).evaluate(lambda user: np.zeros(3))
+            Evaluator(split).evaluate(scorer)
 
     def test_validation_mode_selects_on_validation(self, split):
         def validation_oracle(user):
@@ -99,7 +109,7 @@ class TestProtocol:
             return scores
 
         evaluator = Evaluator(split, ks=(1,), use_validation_as_relevant=True)
-        result = evaluator.evaluate(validation_oracle)
+        result = evaluator.evaluate(SimpleNamespace(predict_user=validation_oracle))
         assert result.n_users == 1  # only user 0 has a validation pair
         assert result["precision@1"] == pytest.approx(1.0)
 
@@ -191,5 +201,7 @@ class TestEmptyTestUsers:
         def constant(user):
             return np.zeros(sparse_split.n_items)
 
-        result = Evaluator(sparse_split, ks=(1,)).evaluate(constant)
+        result = Evaluator(sparse_split, ks=(1,)).evaluate(
+            SimpleNamespace(predict_user=constant)
+        )
         assert result["auc"] == 0.5

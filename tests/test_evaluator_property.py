@@ -1,5 +1,7 @@
 """Property test: the Evaluator agrees with a brute-force protocol."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -55,7 +57,7 @@ class TestEvaluatorAgainstBruteForce:
             return
         split = DatasetSplit(name="prop", train=train, test=test)
         evaluator = Evaluator(split, ks=(1,))
-        result = evaluator.evaluate(lambda user: scores[user])
+        result = evaluator.evaluate(SimpleNamespace(predict_user=lambda user: scores[user]))
         assert result["precision@1"] == pytest.approx(
             brute_force_precision_at_1(train, test, scores)
         )
@@ -67,6 +69,8 @@ class TestEvaluatorAgainstBruteForce:
         if test.n_interactions == 0:
             return
         split = DatasetSplit(name="prop", train=train, test=test)
-        result = Evaluator(split, ks=(1, 3)).evaluate(lambda user: scores[user])
+        result = Evaluator(split, ks=(1, 3)).evaluate(
+            SimpleNamespace(predict_user=lambda user: scores[user])
+        )
         for key, value in result.metrics.items():
             assert 0.0 <= value <= 1.0, key

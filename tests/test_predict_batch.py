@@ -187,11 +187,12 @@ class TestEvaluatorEquivalence:
         batched = Evaluator(split, ks=(3,), chunk_size=17).evaluate(model)
         assert batched.metrics == sequential.metrics
 
-    def test_callable_is_deprecated_but_works(self, split):
+    def test_bare_callable_raises_with_migration_hint(self, split):
         scores = np.linspace(1.0, 0.0, split.n_items)
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            result = Evaluator(split, ks=(1,)).evaluate(lambda user: scores)
-        assert result.n_users > 0
+        with pytest.raises(TypeError, match="predict_user"):
+            Evaluator(split, ks=(1,)).evaluate(lambda user: scores)
+        with pytest.raises(TypeError, match="no longer accepted"):
+            scoring.as_batch_scorer(lambda user: scores)
 
 
 class TestRecommendBatch:
@@ -213,15 +214,16 @@ class TestRecommendBatch:
 
 
 class TestValidationNdcg:
-    def test_accepts_params_and_callable_identically(self, split, fitted_models):
+    def test_accepts_params_and_model_identically(self, split, fitted_models):
         model = fitted_models["BPR"]
         via_params = validation_ndcg(model.params_, split.train, split.validation, k=5)
         via_model = validation_ndcg(model, split.train, split.validation, k=5)
-        via_callable = validation_ndcg(
-            model.params_.predict_user, split.train, split.validation, k=5
-        )
-        assert via_params == via_model == via_callable
+        assert via_params == via_model
         assert 0.0 <= via_params <= 1.0
+        with pytest.raises(TypeError, match="no longer accepted"):
+            validation_ndcg(
+                model.params_.predict_user, split.train, split.validation, k=5
+            )
 
     def test_chunking_does_not_change_result(self, split, fitted_models):
         model = fitted_models["BPR"]

@@ -1,5 +1,7 @@
 """Tests of the ABS sampler and early stopping."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -84,7 +86,7 @@ class TestEarlyStopping:
         assert len(model.loss_history_) < 300
         # Restored parameters must score the recorded best.
         score = validation_ndcg(
-            model.params_.predict_user,
+            model.params_,
             learnable_split.train,
             learnable_split.validation,
             max_users=100,
@@ -105,19 +107,25 @@ class TestValidationNdcg:
             scores[learnable_split.validation.positives(user)] = 10.0
             return scores
 
-        value = validation_ndcg(oracle, learnable_split.train, learnable_split.validation)
+        value = validation_ndcg(
+            SimpleNamespace(predict_user=oracle),
+            learnable_split.train,
+            learnable_split.validation,
+        )
         assert value == pytest.approx(1.0)
 
     def test_empty_validation_returns_zero(self, learnable_split):
         from repro.data.interactions import InteractionMatrix
 
         empty = InteractionMatrix.empty(learnable_split.n_users, learnable_split.n_items)
-        assert validation_ndcg(lambda u: np.zeros(learnable_split.n_items),
-                               learnable_split.train, empty) == 0.0
+        zeros = SimpleNamespace(predict_user=lambda u: np.zeros(learnable_split.n_items))
+        assert validation_ndcg(zeros, learnable_split.train, empty) == 0.0
 
     def test_max_users_subsamples(self, learnable_split):
         value = validation_ndcg(
-            lambda user: np.arange(learnable_split.n_items, dtype=float),
+            SimpleNamespace(
+                predict_user=lambda user: np.arange(learnable_split.n_items, dtype=float)
+            ),
             learnable_split.train,
             learnable_split.validation,
             max_users=10,

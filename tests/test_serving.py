@@ -355,3 +355,29 @@ class TestColdUsersInModels:
         bpr = BPR(n_factors=4, sgd=SGDConfig(n_epochs=1), seed=0).fit(tiny_matrix)
         assert bpr.recommend(3, k=6)[0] == 2
         assert bpr.recommend_batch(np.asarray([3]), k=6)[0, 0] == 2
+
+    def test_service_serves_cold_user_degraded_not_error(self, tiny_matrix):
+        # Regression for the HTTP edge contract: a valid-but-cold user
+        # is an expected case the cascade absorbs — the popularity tier
+        # answers with degraded provenance, never an error/404.
+        bpr = BPR(n_factors=4, sgd=SGDConfig(n_epochs=1), seed=0).fit(tiny_matrix)
+        service, _ = make_service(bpr, tiny_matrix)
+        response = service.recommend(RecommendationRequest(user=3, k=4))
+        assert response.served_by == "popularity"
+        assert response.degraded is True
+        assert response.items[0] == 2
+        assert "no training history" in response.tier_errors["personalized"]
+
+    def test_service_batch_cold_rows_match_singles(self, tiny_matrix):
+        # recommend_batch must inherit the cold-user behavior bitwise:
+        # cold rows fall out of the batched einsum into the cascade.
+        bpr = BPR(n_factors=4, sgd=SGDConfig(n_epochs=1), seed=0).fit(tiny_matrix)
+        service, _ = make_service(bpr, tiny_matrix)
+        requests = [RecommendationRequest(user=user, k=4) for user in range(4)]
+        batched = service.recommend_batch(requests)
+        for request, response in zip(requests, batched):
+            single = service.recommend(request)
+            np.testing.assert_array_equal(response.items, single.items)
+            assert response.served_by == single.served_by
+        assert batched[3].served_by == "popularity"
+        assert batched[3].degraded is True

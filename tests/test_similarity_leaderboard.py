@@ -1,6 +1,8 @@
 """Tests of similarity queries, the leaderboard, warm start, and the
 sampled-candidates evaluation protocol."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -142,7 +144,8 @@ class TestSampledCandidatesProtocol:
             scores[medium_split.test.positives(user)] = 10.0
             return scores
 
-        assert evaluator.evaluate(oracle)["precision@1"] == pytest.approx(1.0)
+        scorer = SimpleNamespace(predict_user=oracle)
+        assert evaluator.evaluate(scorer)["precision@1"] == pytest.approx(1.0)
 
     def test_invalid_count(self, medium_split):
         with pytest.raises(ConfigError):
