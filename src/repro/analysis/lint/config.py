@@ -117,6 +117,8 @@ DEFAULT_CONFIG = LintConfig(
             "serving/*.py",
             "*/edge/*.py",
             "edge/*.py",
+            "*/streaming/*.py",
+            "streaming/*.py",
         ),
     },
 )

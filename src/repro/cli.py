@@ -42,6 +42,20 @@ Commands
     ``--target``) edge server, with optional mid-run chaos
     (``--chaos-at``), printing p50/p99, fallback rate, shed rate, and
     failed-request count.
+``ingest``
+    Consume the durable feedback WAL into a fitted model in crash-safe
+    batches: ridge fold-in for new users, warm-start SGD epochs, and an
+    atomically committed (checkpoint, interactions, offset) state
+    triple.  ``--resume`` replays from the last committed batch and
+    reproduces bitwise-identical factors (printed as
+    ``factors crc32:``); ``--synthesize`` appends a deterministic
+    record stream first (idempotent under re-delivery).
+``retrain-daemon``
+    The full streaming loop as a drill: boot the service + HTTP edge
+    (with ``POST /v1/feedback``), drive loadgen rounds (optionally with
+    injected tier faults), ingest fresh feedback, check the drift
+    monitor, and let the auto-retrain manager promote candidates only
+    through the canary-gated hot reload.
 ``lint``
     Run the reproducibility linter (REP001–REP006) over source trees;
     exits non-zero on any finding.  Same engine as
@@ -287,7 +301,7 @@ def _fit_serving_model(args, split, obs=None):
     return model.fit(split.train, split.validation)
 
 
-def _build_service(args, split, model, chaos=None, obs=None):
+def _build_service(args, split, model, chaos=None, obs=None, reranker=None):
     import numpy as np  # noqa: F401  (kept local: serving path only)
 
     from repro.serving import (
@@ -316,6 +330,7 @@ def _build_service(args, split, model, chaos=None, obs=None):
         executor=executor,
         chaos=chaos,
         obs=obs,
+        reranker=reranker,
     )
 
 
@@ -481,7 +496,7 @@ def cmd_shadow_eval(args) -> int:
     return 0
 
 
-def _build_edge_server(args, service, obs=None):
+def _build_edge_server(args, service, obs=None, wal=None):
     from repro.edge import CoalesceConfig, EdgeConfig, EdgeServer
 
     config = EdgeConfig(
@@ -497,7 +512,7 @@ def _build_edge_server(args, service, obs=None):
         ),
         coalesce_singles=not args.no_coalesce,
     )
-    return EdgeServer(service, config=config, obs=obs)
+    return EdgeServer(service, config=config, obs=obs, wal=wal)
 
 
 def cmd_serve_http(args) -> int:
@@ -641,6 +656,235 @@ def cmd_loadtest(args) -> int:
         print(f"error: {report.failed} failed requests "
               "(transport errors or non-200/non-shed statuses)", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.registry import make_model
+    from repro.streaming import (
+        IngestConfig,
+        StreamIngestor,
+        WalConfig,
+        WriteAheadLog,
+        append_all,
+        synthesize_records,
+    )
+
+    dataset = _load_dataset(args)
+    split = train_test_split(dataset, seed=args.seed)
+    obs = _make_obs(args)
+    scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
+    model = make_model(args.method, scale=scale, dataset=args.profile, seed=args.seed)
+    # The base fit is deterministic for a given seed, so a killed run
+    # and its --resume replacement start from identical parameters.
+    print(f"training base {model.name} ({args.epochs} epochs)...")
+    model.fit(split.train, split.validation)
+
+    config = IngestConfig(
+        batch_records=args.batch_records, epochs_per_batch=args.epochs_per_batch
+    )
+    with WriteAheadLog(args.wal_dir, WalConfig(fsync=args.fsync), obs=obs) as wal:
+        if args.synthesize:
+            records = synthesize_records(
+                args.synthesize,
+                n_users=split.train.n_users,
+                n_items=split.train.n_items,
+                seed=args.seed,
+            )
+            fresh = append_all(wal, records)
+            print(f"appended {fresh} fresh records "
+                  f"({len(records) - fresh} duplicates) to {args.wal_dir}")
+        if args.resume:
+            ingestor = StreamIngestor.resume(
+                wal, model, args.state_dir, config=config, obs=obs
+            )
+            if ingestor.batch_index_ >= 0:
+                print(f"resumed at committed batch {ingestor.batch_index_} "
+                      f"(position {ingestor.position})")
+            else:
+                print(f"no committed state under {args.state_dir}; starting fresh")
+        else:
+            ingestor = StreamIngestor(wal, model, args.state_dir, config=config, obs=obs)
+        reports = ingestor.run(max_batches=args.max_batches)
+
+    for report in reports:
+        print(f"  batch {report.batch_index}: {report.records} records -> "
+              f"{report.pairs} pairs, +{report.new_users} users "
+              f"({report.folded_users} folded in), "
+              f"{report.skipped_items} out-of-catalog items skipped")
+    print(f"ingested {ingestor.records_total_} records total over "
+          f"{ingestor.batch_index_ + 1} batches: "
+          f"{ingestor.train.n_users} users, "
+          f"{ingestor.train.n_interactions} interactions")
+    print(f"factors crc32: {ingestor.factors_checksum()}")
+    _finish_obs(args, obs)
+    return 0
+
+
+def cmd_retrain_daemon(args) -> int:
+    from repro.edge import (
+        EdgeServerThread,
+        WorkloadConfig,
+        generate_schedule,
+        run_load_sync,
+    )
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.registry import make_model
+    from repro.persistence import save_factors
+    from repro.resilience.chaos import ServiceFaultInjector
+    from repro.serving import ModelReloader
+    from repro.streaming import (
+        AutoRetrainManager,
+        DriftMonitor,
+        DriftThresholds,
+        IngestConfig,
+        RetrainConfig,
+        StreamIngestor,
+        TimeDecayReranker,
+        WriteAheadLog,
+        append_all,
+        synthesize_records,
+    )
+    from repro.utils.atomicio import write_json_atomic
+
+    if getattr(args, "model", None):
+        print("note: retrain-daemon always trains its own base model; ignoring --model")
+    dataset = _load_dataset(args)
+    split = train_test_split(dataset, seed=args.seed)
+    obs = _make_obs(args)
+    scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
+    model = make_model(args.method, scale=scale, dataset=args.profile, seed=args.seed)
+    print(f"training base {model.name} ({args.epochs} epochs)...")
+    model.fit(split.train, split.validation)
+    # Two instances of the same fitted state (identical seed => bitwise
+    # identical fit): the slot serves one, the ingester mutates the
+    # other.  Incremental updates reach traffic only through the
+    # canary-gated reload, never by aliasing.
+    serve_model = make_model(
+        args.method, scale=scale, dataset=args.profile, seed=args.seed
+    ).fit(split.train, split.validation)
+
+    chaos = ServiceFaultInjector()
+    state_dir = Path(args.state_dir)
+    candidate_path = state_dir / "candidate.npz"
+    ingest_config = IngestConfig(
+        batch_records=args.batch_records, epochs_per_batch=args.epochs_per_batch
+    )
+    rounds: list[dict] = []
+    total_failed = 0
+    with WriteAheadLog(args.wal_dir, obs=obs) as wal:
+        ingestor = StreamIngestor(wal, model, state_dir, config=ingest_config, obs=obs)
+        reranker = None
+        if args.decay_half_life_s is not None:
+            reranker = TimeDecayReranker(
+                ingestor.item_last_seen_, half_life_s=args.decay_half_life_s
+            )
+        with _build_service(
+            args, split, serve_model, chaos=chaos, obs=obs, reranker=reranker
+        ) as service:
+            reloader = ModelReloader(
+                service.slot, candidate_path, split.train, split.validation, obs=obs
+            )
+            monitor = DriftMonitor(
+                service,
+                thresholds=DriftThresholds(min_requests=args.drift_min_requests),
+                obs=obs,
+            )
+
+            def trainer() -> None:
+                # The candidate is the ingester's current factors over
+                # the *grown* matrix, so the canary must validate
+                # against the same shape.
+                reloader.train = ingestor.train
+                save_factors(
+                    candidate_path,
+                    ingestor.model.params_,
+                    metadata={
+                        "version_tag": f"stream-{ingestor.batch_index_:05d}",
+                        "method": args.method,
+                    },
+                )
+
+            manager = AutoRetrainManager(
+                trainer, reloader,
+                config=RetrainConfig(max_retries=args.max_retries), obs=obs,
+            )
+            server = _build_edge_server(args, service, obs=obs, wal=wal)
+            with EdgeServerThread(server) as (host, port):
+                print(f"edge listening on http://{host}:{port} "
+                      "(feedback route enabled)")
+                for round_index in range(args.rounds):
+                    if round_index == args.fault_at_round:
+                        _parse_faults(args, chaos)
+                        if chaos.faults:
+                            print(f"[round {round_index}] armed faults: "
+                                  f"{sorted(chaos.faults)}")
+                    if round_index == args.clear_at_round and chaos.faults:
+                        chaos.clear()
+                        print(f"[round {round_index}] faults cleared")
+                    schedule = generate_schedule(WorkloadConfig(
+                        n_users=split.train.n_users,
+                        requests=args.requests_per_round,
+                        rate_rps=args.rate,
+                        k=args.k,
+                        seed=args.seed + round_index,
+                    ))
+                    load = run_load_sync(
+                        host, port, schedule, concurrency=args.concurrency
+                    )
+                    total_failed += load.failed
+                    records = synthesize_records(
+                        args.synthesize,
+                        n_users=split.train.n_users,
+                        n_items=split.train.n_items,
+                        seed=args.seed + round_index,
+                    )
+                    fresh = append_all(wal, records)
+                    for report in ingestor.run():
+                        monitor.observe_volume(report.records)
+                    drift = monitor.check()
+                    outcome = manager.maybe_retrain(drift)
+                    if outcome.promoted:
+                        monitor.rebase()
+                    load_dict = load.to_json_dict()
+                    rounds.append({
+                        "round": round_index,
+                        "load": load_dict,
+                        "fresh_records": fresh,
+                        "drift": drift.to_json_dict(),
+                        "retrain": outcome.to_json_dict(),
+                    })
+                    print(f"[round {round_index}] failed={load.failed} "
+                          f"p99={load_dict['p99_ms']:.1f}ms "
+                          f"fallback={load_dict['fallback_rate']:.1%} "
+                          f"drift={drift.drifted} retrain={outcome.status}")
+            summary = {
+                "rounds": rounds,
+                "total_failed": total_failed,
+                "retrain_statuses": [r["retrain"]["status"] for r in rounds],
+                "records_total": ingestor.records_total_,
+                "factors_crc32": ingestor.factors_checksum(),
+                "slot_version": service.slot.version,
+            }
+    print(f"served version: {summary['slot_version']}  "
+          f"retrains: {summary['retrain_statuses']}  "
+          f"failed requests: {total_failed}")
+    if args.json_out:
+        write_json_atomic(args.json_out, summary)
+        print(f"wrote report to {args.json_out}")
+    _finish_obs(args, obs)
+    if args.expect_zero_failed and total_failed:
+        print(f"error: {total_failed} failed requests during the drill",
+              file=sys.stderr)
+        return 1
+    if args.expect_retrain:
+        terminal = [s for s in summary["retrain_statuses"]
+                    if s in ("promoted", "rejected")]
+        if not terminal:
+            print("error: no retrain reached the canary gate despite "
+                  "--expect-retrain", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -857,6 +1101,72 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--expect-zero-failed", action="store_true",
                           help="exit nonzero if any request failed (shed excluded)")
     loadtest.set_defaults(func=cmd_loadtest)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="consume the feedback WAL into the model (crash-safe, resumable)"
+    )
+    _add_dataset_arguments(ingest)
+    ingest.add_argument("--method", default="BPR", help="base model to train and fold into")
+    ingest.add_argument("--epochs", type=int, default=5, help="base-model training epochs")
+    ingest.add_argument("--wal-dir", type=Path, required=True,
+                        help="write-ahead log directory (created if absent)")
+    ingest.add_argument("--state-dir", type=Path, required=True,
+                        help="per-batch (checkpoint, interactions, offset) state directory")
+    ingest.add_argument("--synthesize", type=int, default=0, metavar="N",
+                        help="append N deterministic synthetic records before consuming "
+                             "(idempotent: re-appending the same stream dedupes)")
+    ingest.add_argument("--batch-records", type=int, default=64,
+                        help="WAL records per committed ingest batch")
+    ingest.add_argument("--epochs-per-batch", type=int, default=1,
+                        help="warm-start SGD epochs after each batch (0 = fold-in only)")
+    ingest.add_argument("--max-batches", type=int, default=None,
+                        help="stop after this many batches (default: drain the WAL)")
+    ingest.add_argument("--resume", action="store_true",
+                        help="resume from the committed state triple under --state-dir "
+                             "(starts fresh when none exists)")
+    ingest.add_argument("--fsync", default="always", choices=("always", "batch", "never"),
+                        help="WAL durability policy (always = fsync per append)")
+    _add_obs_arguments(ingest)
+    ingest.set_defaults(func=cmd_ingest)
+
+    daemon = subparsers.add_parser(
+        "retrain-daemon",
+        help="drift-triggered auto-retrain drill: loadgen + ingest + canary-gated reload",
+    )
+    _add_serving_arguments(daemon)
+    _add_edge_arguments(daemon)
+    daemon.add_argument("--wal-dir", type=Path, required=True)
+    daemon.add_argument("--state-dir", type=Path, required=True,
+                        help="ingest state; candidate factors land at STATE_DIR/candidate.npz")
+    daemon.add_argument("--rounds", type=int, default=3,
+                        help="loadgen -> ingest -> drift-check -> maybe-retrain cycles")
+    daemon.add_argument("--requests-per-round", type=int, default=60)
+    daemon.add_argument("--rate", type=float, default=200.0, help="arrivals/s per round")
+    daemon.add_argument("--concurrency", type=int, default=4)
+    daemon.add_argument("--synthesize", type=int, default=40, metavar="N",
+                        help="synthetic feedback records appended per round")
+    daemon.add_argument("--batch-records", type=int, default=64)
+    daemon.add_argument("--epochs-per-batch", type=int, default=1)
+    daemon.add_argument("--inject-nan", action="append", metavar="TIER",
+                        help="fault armed at --fault-at-round (repeatable)")
+    daemon.add_argument("--inject-latency", action="append", metavar="TIER:MS")
+    daemon.add_argument("--inject-fail", action="append", metavar="TIER")
+    daemon.add_argument("--fault-at-round", type=int, default=1,
+                        help="round index at which the faults arm")
+    daemon.add_argument("--clear-at-round", type=int, default=2,
+                        help="round index at which the faults clear")
+    daemon.add_argument("--drift-min-requests", type=int, default=20,
+                        help="requests since rebase before the fallback signal counts")
+    daemon.add_argument("--max-retries", type=int, default=2,
+                        help="trainer retries (exponential backoff) per trigger")
+    daemon.add_argument("--decay-half-life-s", type=float, default=None,
+                        help="enable time-decay re-ranking with this half-life")
+    daemon.add_argument("--json-out", type=Path, help="write the round-by-round report here")
+    daemon.add_argument("--expect-zero-failed", action="store_true",
+                        help="exit nonzero if any request failed (shed excluded)")
+    daemon.add_argument("--expect-retrain", action="store_true",
+                        help="exit nonzero unless a retrain reached the canary gate")
+    daemon.set_defaults(func=cmd_retrain_daemon)
 
     from repro.analysis.lint.cli import add_lint_arguments
 

@@ -42,6 +42,8 @@ from repro.edge.schema import (
     BatchRecommendRequestV1,
     BatchRecommendResponseV1,
     ErrorResponseV1,
+    FeedbackRequestV1,
+    FeedbackResponseV1,
     FieldIssue,
     HealthResponseV1,
     RecommendRequestV1,
@@ -62,6 +64,8 @@ __all__ = [
     "EdgeServer",
     "EdgeServerThread",
     "ErrorResponseV1",
+    "FeedbackRequestV1",
+    "FeedbackResponseV1",
     "FieldIssue",
     "HealthResponseV1",
     "HttpReply",

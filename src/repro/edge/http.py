@@ -9,7 +9,8 @@ method    path                        behavior
 POST      ``/v1/recommend``           one request; coalesced + micro-batched
 GET       ``/v1/recommend``           same, query-string form (curl-friendly)
 POST      ``/v1/recommend/batch``     explicit batch → ``recommend_batch``
-GET       ``/v1/health``              liveness + breaker states
+POST      ``/v1/feedback``            durable WAL append (when ``wal=`` given)
+GET       ``/v1/health``              liveness + breakers + model staleness
 GET       ``/v1/metrics``             Prometheus text (``repro.obs`` export)
 ========  ==========================  =======================================
 
@@ -29,8 +30,9 @@ Design points:
 * **load shedding** — beyond :attr:`EdgeConfig.max_inflight` concurrent
   requests the server answers 429 immediately; beyond
   :attr:`EdgeConfig.max_connections` open sockets, or while draining,
-  it answers 503.  Shedding is deliberate and counted — a shed request
-  is *not* a failed request;
+  it answers 503.  Every shed carries a ``Retry-After`` header
+  (:attr:`EdgeConfig.retry_after_s`) and is counted per reason *and*
+  per route — a shed request is *not* a failed request;
 * **observability** — per-route latency histograms and per-status
   counters in the shared :class:`~repro.obs.registry.MetricsRegistry`,
   scraped back out through ``/v1/metrics``.
@@ -42,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -61,6 +64,8 @@ from repro.edge.schema import (
     BatchRecommendRequestV1,
     BatchRecommendResponseV1,
     ErrorResponseV1,
+    FeedbackRequestV1,
+    FeedbackResponseV1,
     FieldIssue,
     HealthResponseV1,
     RecommendRequestV1,
@@ -70,6 +75,7 @@ from repro.edge.schema import (
 from repro.obs.export import prometheus_text
 from repro.obs.registry import MetricsRegistry
 from repro.serving.service import RecommendationService
+from repro.streaming.wal import WalRecord, WriteAheadLog
 from repro.utils.clock import Clock, as_clock
 from repro.utils.exceptions import ConfigError
 
@@ -105,6 +111,7 @@ class EdgeConfig:
     workers: int = 8
     coalesce: CoalesceConfig = field(default_factory=CoalesceConfig)
     coalesce_singles: bool = True
+    retry_after_s: float = 1.0  # Retry-After hint on every 429/503 shed
 
     def __post_init__(self):
         if self.max_connections < 1 or self.max_inflight < 1:
@@ -113,6 +120,8 @@ class EdgeConfig:
             raise ConfigError(f"max_batch must be in [1, {MAX_BATCH_SIZE}], got {self.max_batch}")
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.retry_after_s <= 0:
+            raise ConfigError(f"retry_after_s must be > 0, got {self.retry_after_s}")
 
 
 @dataclass(frozen=True)
@@ -140,26 +149,31 @@ class HttpResponse:
     payload: Any = None
     content_type: str = "application/json"
     body: bytes | None = None
+    extra_headers: tuple[tuple[str, str], ...] = ()
 
     def encode(self, *, keep_alive: bool) -> bytes:
         body = self.body
         if body is None:
             body = (json.dumps(self.payload, sort_keys=True) + "\n").encode("utf-8")
         reason = _REASONS.get(self.status, "Unknown")
+        extra = "".join(f"{name}: {value}\r\n" for name, value in self.extra_headers)
         head = (
             f"HTTP/1.1 {self.status} {reason}\r\n"
             f"Content-Type: {self.content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Server: repro-edge/{API_VERSION}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         return head.encode("ascii") + body
 
 
-def _error_response(status: int, code: str, message: str, issues=()) -> HttpResponse:
+def _error_response(status: int, code: str, message: str, issues=(), *, headers=()) -> HttpResponse:
     return HttpResponse(
-        status, ErrorResponseV1(code=code, message=message, issues=tuple(issues)).to_json_dict()
+        status,
+        ErrorResponseV1(code=code, message=message, issues=tuple(issues)).to_json_dict(),
+        extra_headers=tuple(headers),
     )
 
 
@@ -178,6 +192,7 @@ class EdgeServer:
         config: EdgeConfig | None = None,
         obs: MetricsRegistry | None = None,
         clock: Clock | None = None,
+        wal: WriteAheadLog | None = None,
     ):
         self.service = service
         self.config = config or EdgeConfig()
@@ -185,6 +200,7 @@ class EdgeServer:
         # /v1/metrics is part of the API surface.
         self.obs = obs if obs is not None else MetricsRegistry()
         self.clock = as_clock(clock)
+        self.wal = wal
         self._server: asyncio.base_events.Server | None = None
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-edge"
@@ -202,6 +218,22 @@ class EdgeServer:
             "/v1/health": {"GET": self._handle_health},
             "/v1/metrics": {"GET": self._handle_metrics},
         }
+        # The ingestion endpoint exists only when the server is given a
+        # durable log to acknowledge into — a read-only edge has no
+        # business returning 200 for feedback it cannot persist.
+        if self.wal is not None:
+            self._routes["/v1/feedback"] = {"POST": self._handle_feedback}
+
+    def _retry_after(self) -> tuple[tuple[str, str], ...]:
+        """The ``Retry-After`` header every 429/503 shed carries."""
+        return (("Retry-After", str(max(1, math.ceil(self.config.retry_after_s)))),)
+
+    def _shed(
+        self, status: int, code: str, message: str, *, reason: str, route: str
+    ) -> HttpResponse:
+        """Count one shed (per reason *and* per route) and build its response."""
+        self.obs.counter("http_shed_total", reason=reason, route=route).inc()
+        return _error_response(status, code, message, headers=self._retry_after())
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -239,10 +271,12 @@ class EdgeServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         if self._connections >= self.config.max_connections:
-            self.obs.counter("http_shed_total", reason="connections").inc()
+            # No request line has been read yet, so there is no route to
+            # attribute this shed to — "none" keeps the label total.
             writer.write(
-                _error_response(
-                    503, ERROR_OVERLOADED, "server at connection capacity"
+                self._shed(
+                    503, ERROR_OVERLOADED, "server at connection capacity",
+                    reason="connections", route="none",
                 ).encode(keep_alive=False)
             )
             await self._close(writer)
@@ -301,8 +335,12 @@ class EdgeServer:
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
+        split = urlsplit(target)
         if length > self.config.max_body_bytes:
-            self.obs.counter("http_shed_total", reason="body_size").inc()
+            self.obs.counter(
+                "http_shed_total", reason="body_size",
+                route=split.path if split.path in self._routes else "unknown",
+            ).inc()
             writer.write(
                 _error_response(
                     413, ERROR_PAYLOAD_TOO_LARGE,
@@ -311,7 +349,6 @@ class EdgeServer:
             )
             return None
         body = await reader.readexactly(length) if length else b""
-        split = urlsplit(target)
         query = dict(parse_qsl(split.query, keep_blank_values=True))
         return HttpRequest(
             method=method.upper(), path=split.path, query=query, headers=headers, body=body
@@ -330,9 +367,12 @@ class EdgeServer:
         return response
 
     async def _route(self, request: HttpRequest, route) -> HttpResponse:
+        label = request.path if route is not None else "unknown"
         if self._draining:
-            self.obs.counter("http_shed_total", reason="draining").inc()
-            return _error_response(503, ERROR_DRAINING, "server is draining")
+            return self._shed(
+                503, ERROR_DRAINING, "server is draining",
+                reason="draining", route=label,
+            )
         if route is None:
             return _error_response(
                 404, ERROR_NOT_FOUND, f"no such route: {request.path} (API root is /v1)"
@@ -345,10 +385,10 @@ class EdgeServer:
                 f"(allowed: {', '.join(sorted(route))})",
             )
         if self._inflight >= self.config.max_inflight:
-            self.obs.counter("http_shed_total", reason="inflight").inc()
-            return _error_response(
+            return self._shed(
                 429, ERROR_OVERLOADED,
                 f"more than {self.config.max_inflight} requests in flight; retry",
+                reason="inflight", route=label,
             )
         self._inflight += 1
         try:
@@ -422,10 +462,36 @@ class EdgeServer:
                 status="draining" if self._draining else "ok",
                 model_version=snapshot["model_version"],
                 requests_served=snapshot["requests_served"],
+                model_age_s=snapshot.get("model_age_s"),
                 breakers={
                     name: state.get("state", "unknown")
                     for name, state in snapshot["breakers"].items()
                 },
+            ).to_json_dict(),
+        )
+
+    async def _handle_feedback(self, request: HttpRequest) -> HttpResponse:
+        assert self.wal is not None  # route registered only with a WAL
+        parsed = FeedbackRequestV1.from_json_dict(request.json())
+        record = WalRecord(
+            key=parsed.record_key(), user=parsed.user, items=parsed.items, ts=parsed.ts
+        )
+        # The append fsyncs before returning (per the WAL's policy), so
+        # run it on the worker pool — the event loop must not block on
+        # disk flushes while other connections wait.
+        wal = self.wal
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(self._pool, lambda: wal.append(record))
+        self.obs.counter(
+            "http_feedback_total", duplicate=str(result.duplicate).lower()
+        ).inc()
+        return HttpResponse(
+            200,
+            FeedbackResponseV1(
+                duplicate=result.duplicate,
+                segment=result.position.segment,
+                offset=result.position.offset,
+                records=len(wal),
             ).to_json_dict(),
         )
 

@@ -25,6 +25,8 @@ the in-process and wire representations are the same frozen schema.
 
 from __future__ import annotations
 
+import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -337,11 +339,17 @@ class BatchRecommendResponseV1:
 
 @dataclass(frozen=True)
 class HealthResponseV1:
-    """``GET /v1/health`` body: liveness plus cascade state at a glance."""
+    """``GET /v1/health`` body: liveness plus cascade state at a glance.
+
+    ``model_age_s`` is the staleness signal — seconds since the live
+    model was (re)loaded into its slot, on the service's injectable
+    clock — so operators can alert on "serving, but serving old".
+    """
 
     status: str
     model_version: str | None
     requests_served: int
+    model_age_s: float | None = None
     breakers: dict = field(default_factory=dict)
     version: str = API_VERSION
 
@@ -350,6 +358,7 @@ class HealthResponseV1:
             "version": self.version,
             "status": self.status,
             "model_version": self.model_version,
+            "model_age_s": None if self.model_age_s is None else float(self.model_age_s),
             "requests_served": self.requests_served,
             "breakers": dict(self.breakers),
         }
@@ -367,7 +376,113 @@ class HealthResponseV1:
                 else str(payload["model_version"])
             ),
             requests_served=int(payload.get("requests_served", 0)),
+            model_age_s=(
+                None if payload.get("model_age_s") is None
+                else float(payload["model_age_s"])
+            ),
             breakers=dict(payload.get("breakers") or {}),
+            version=version,
+        )
+
+
+@dataclass(frozen=True)
+class FeedbackRequestV1:
+    """``POST /v1/feedback`` body: one interaction event for the WAL.
+
+    ``key`` is the duplicate-delivery idempotency key.  Clients that
+    retry should send their own; when absent the server derives a
+    content key (CRC-32 of the canonical ``user``/``items``/``ts``
+    form via :meth:`record_key`), so a bitwise-identical retry still
+    deduplicates.  ``ts`` is the client-side event timestamp in
+    seconds (any epoch — the time-decay reranker only uses deltas).
+    """
+
+    user: int
+    items: tuple[int, ...]
+    key: str | None = None
+    ts: float | None = None
+    version: str = API_VERSION
+
+    _FIELDS = frozenset({"user", "items", "key", "ts", "version"})
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "FeedbackRequestV1":
+        check = _Check(payload)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        check.reject_unknown(cls._FIELDS)
+        user = check.integer("user", required=True, minimum=0)
+        items = check.int_list("items")
+        if "items" not in payload:
+            check.issues.append(FieldIssue("items", "required field is missing"))
+        elif items is not None and len(items) == 0:
+            check.issues.append(FieldIssue("items", "must contain at least one item"))
+        key = payload.get("key")
+        if key is not None and (not isinstance(key, str) or not key):
+            check.issues.append(FieldIssue("key", "expected a non-empty string"))
+            key = None
+        ts = check.number("ts")
+        check.raise_if_issues()
+        return cls(user=user, items=tuple(items or ()), key=key, ts=ts, version=version)
+
+    def to_json_dict(self) -> dict:
+        payload: dict = {"version": self.version, "user": self.user, "items": list(self.items)}
+        if self.key is not None:
+            payload["key"] = self.key
+        if self.ts is not None:
+            payload["ts"] = self.ts
+        return payload
+
+    def record_key(self) -> str:
+        """The idempotency key: the client's, or a derived content CRC."""
+        if self.key is not None:
+            return self.key
+        canonical = json.dumps(
+            {"user": self.user, "items": list(self.items), "ts": self.ts},
+            sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        return f"fb-{zlib.crc32(canonical) & 0xFFFFFFFF:08x}"
+
+
+@dataclass(frozen=True)
+class FeedbackResponseV1:
+    """``POST /v1/feedback`` 200: the durable acknowledgement.
+
+    ``duplicate`` marks an idempotent re-delivery (acknowledged, not
+    re-appended); ``segment``/``offset`` are the WAL position *after*
+    the record, and ``records`` the WAL's total acknowledged count.
+    """
+
+    duplicate: bool
+    segment: int
+    offset: int
+    records: int
+    status: str = "acknowledged"
+    version: str = API_VERSION
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "status": self.status,
+            "duplicate": bool(self.duplicate),
+            "segment": int(self.segment),
+            "offset": int(self.offset),
+            "records": int(self.records),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "FeedbackResponseV1":
+        check = _Check(payload)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        return cls(
+            duplicate=bool(payload.get("duplicate", False)),
+            segment=int(payload.get("segment", 0)),
+            offset=int(payload.get("offset", 0)),
+            records=int(payload.get("records", 0)),
+            status=str(payload.get("status", "acknowledged")),
             version=version,
         )
 

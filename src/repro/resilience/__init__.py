@@ -21,6 +21,7 @@ survivable:
 from repro.resilience.chaos import (
     FaultInjector,
     InjectedFault,
+    KillSwitch,
     ServiceFaultInjector,
     SimulatedKill,
     TierFault,
@@ -48,6 +49,7 @@ __all__ = [
     "FaultInjector",
     "GuardConfig",
     "InjectedFault",
+    "KillSwitch",
     "ServiceFaultInjector",
     "SimulatedKill",
     "TierFault",

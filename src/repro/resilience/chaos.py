@@ -83,6 +83,48 @@ class FaultInjector:
 
 
 @dataclass
+class KillSwitch:
+    """Named-site kill injection for multi-step durable protocols.
+
+    :class:`FaultInjector` counts *SGD steps*; the streaming ingestion
+    path instead has a handful of named crash sites ("after the WAL
+    write, before the fsync", "after the checkpoint, before the offset
+    advance", ...).  A ``KillSwitch`` arms a 1-based tick count per site
+    name and raises :class:`SimulatedKill` when that site's counter
+    reaches the armed value, so a test can assert the recovery invariant
+    at *every* interleaving point by iterating sites x counts.
+
+    Each armed site fires at most once; a disarmed site's ticks are
+    counted but harmless, which keeps production call sites free of
+    ``if kill_switch is not None`` noise (use :meth:`tick` through a
+    ``None``-safe module-level helper or guard at the caller).
+    """
+
+    kill_at: dict[str, int] = field(default_factory=dict)
+    ticks_: dict[str, int] = field(default_factory=dict, init=False)
+    fired_: list[str] = field(default_factory=list, init=False)
+
+    def arm(self, site: str, at_tick: int = 1) -> "KillSwitch":
+        """Arm ``site`` to kill at its ``at_tick``-th tick (1-based)."""
+        if at_tick < 1:
+            raise ValueError(f"at_tick must be >= 1, got {at_tick}")
+        self.kill_at[site] = at_tick
+        return self
+
+    def reset(self) -> None:
+        self.ticks_ = {}
+        self.fired_ = []
+
+    def tick(self, site: str) -> None:
+        """Record one pass through ``site``; kill if armed for it."""
+        count = self.ticks_.get(site, 0) + 1
+        self.ticks_[site] = count
+        if self.kill_at.get(site) == count and site not in self.fired_:
+            self.fired_.append(site)
+            raise SimulatedKill(f"simulated kill at site {site!r} tick {count}")
+
+
+@dataclass
 class TierFault:
     """The faults currently armed against one serving tier.
 

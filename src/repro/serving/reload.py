@@ -76,14 +76,34 @@ class ModelSlot:
     "no dropped requests during reload" guarantee.
     """
 
-    def __init__(self, model: Recommender, *, version: str = "initial", chaos: Any = None):
+    def __init__(
+        self,
+        model: Recommender,
+        *,
+        version: str = "initial",
+        chaos: Any = None,
+        clock: Any = None,
+    ):
+        from repro.utils.clock import as_clock
+
         self._lock = threading.Lock()
         self._model = model
         self._previous: Recommender | None = None
         self._previous_version: str | None = None
         self.version: str | None = version
         self.chaos = chaos
+        self.clock = as_clock(clock)
+        self._loaded_at = self.clock.monotonic()
         self.swap_count_ = 0
+
+    def age_s(self) -> float:
+        """Seconds since the live model was (re)loaded into the slot.
+
+        The staleness signal surfaced in ``/v1/health`` and response
+        provenance; resets on every :meth:`swap` and :meth:`rollback`.
+        """
+        with self._lock:
+            return max(self.clock.monotonic() - self._loaded_at, 0.0)
 
     def get(self) -> Recommender:
         with self._lock:
@@ -101,6 +121,7 @@ class ModelSlot:
             self._previous_version = self.version
             self._model = model
             self.version = version
+            self._loaded_at = self.clock.monotonic()
             self.swap_count_ += 1
 
     def rollback(self) -> bool:
@@ -110,6 +131,7 @@ class ModelSlot:
                 return False
             self._model, self._previous = self._previous, self._model
             self.version, self._previous_version = self._previous_version, self.version
+            self._loaded_at = self.clock.monotonic()
             return True
 
 

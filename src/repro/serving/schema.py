@@ -43,6 +43,10 @@ class ServedResponse:
         Wall time from request arrival to response.
     model_version:
         Version tag of the live model slot at serve time.
+    model_age_s:
+        Seconds since the live model was loaded into its slot (from the
+        service's injectable clock) — degraded-but-stale serving is
+        visible right in the provenance, not just in ``/v1/health``.
     tier_errors:
         Why each earlier tier did not answer (breaker open, timeout,
         error message) — the debugging breadcrumb trail.
@@ -55,6 +59,7 @@ class ServedResponse:
     deadline_ms_left: float
     latency_ms: float
     model_version: str | None = None
+    model_age_s: float | None = None
     tier_errors: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -73,6 +78,7 @@ class ServedResponse:
             "deadline_ms_left": float(self.deadline_ms_left),
             "latency_ms": float(self.latency_ms),
             "model_version": None if self.model_version is None else str(self.model_version),
+            "model_age_s": None if self.model_age_s is None else float(self.model_age_s),
             "tier_errors": {str(k): str(v) for k, v in self.tier_errors.items()},
         }
 
@@ -94,6 +100,10 @@ class ServedResponse:
             model_version=(
                 None if payload.get("model_version") is None
                 else str(payload["model_version"])
+            ),
+            model_age_s=(
+                None if payload.get("model_age_s") is None
+                else float(payload["model_age_s"])
             ),
             tier_errors=dict(payload.get("tier_errors") or {}),
         )

@@ -89,6 +89,7 @@ class RecommendationService:
         slot: ModelSlot | None = None,
         breaker_configs: dict[str, BreakerConfig] | None = None,
         obs: MetricsRegistry | None = None,
+        reranker: Any = None,
     ):
         if not tiers:
             raise ConfigError("the cascade needs at least one tier")
@@ -100,6 +101,9 @@ class RecommendationService:
         self.chaos = chaos
         self.slot = slot
         self.obs = as_registry(obs)
+        # Opt-in post-scoring hook (e.g. streaming.TimeDecayReranker);
+        # None keeps every ranking bitwise identical to the tier output.
+        self.reranker = reranker
         for tier in self.tiers:
             if getattr(tier, "chaos", None) is None:
                 tier.chaos = chaos
@@ -137,6 +141,7 @@ class RecommendationService:
         breaker_configs: dict[str, BreakerConfig] | None = None,
         version: str = "initial",
         obs: MetricsRegistry | None = None,
+        reranker: Any = None,
     ) -> "RecommendationService":
         """Assemble the standard four-tier cascade around ``model``.
 
@@ -145,7 +150,7 @@ class RecommendationService:
         ``fit_knn=False`` to skip that tier (large catalogs where the
         item-item matrix is not worth building).
         """
-        slot = ModelSlot(model, version=version, chaos=chaos)
+        slot = ModelSlot(model, version=version, chaos=chaos, clock=clock)
         tiers: list[ServingTier] = [PersonalizedTier(slot, train, chaos=chaos)]
         if getattr(model, "params_", None) is not None:
             tiers.append(FoldInTier(slot, train, chaos=chaos))
@@ -164,7 +169,17 @@ class RecommendationService:
             slot=slot,
             breaker_configs=breaker_configs,
             obs=obs,
+            reranker=reranker,
         )
+
+    # -- provenance helpers -----------------------------------------------
+    def _model_age_s(self) -> float | None:
+        return self.slot.age_s() if self.slot is not None else None
+
+    def _finalize_ranking(self, items: np.ndarray) -> np.ndarray:
+        if self.reranker is None:
+            return items
+        return np.asarray(self.reranker.rerank(items), dtype=np.int64)
 
     # -- the request path -------------------------------------------------
     def recommend(self, request: RecommendationRequest | int, *, k: int | None = None) -> RecommendationResponse:
@@ -219,12 +234,13 @@ class RecommendationService:
                 obs.counter("serving_degraded_total").inc()
             return RecommendationResponse(
                 user=request.user,
-                items=items,
+                items=self._finalize_ranking(items),
                 served_by=tier.name,
                 degraded=degraded,
                 deadline_ms_left=deadline.remaining_ms(),
                 latency_ms=deadline.elapsed_ms(),
                 model_version=self.slot.version if self.slot is not None else None,
+                model_age_s=self._model_age_s(),
                 tier_errors=errors,
             )
 
@@ -306,6 +322,7 @@ class RecommendationService:
                         "serving_batch_size", tier=primary.name
                     ).observe(len(batch_requests))
                     version = self.slot.version if self.slot is not None else None
+                    model_age_s = self._model_age_s()
                     for offset, index in enumerate(eligible):
                         items = rankings[offset]
                         if items is None:
@@ -321,12 +338,13 @@ class RecommendationService:
                         )
                         responses[index] = ServedResponse(
                             user=normalized[index].user,
-                            items=items,
+                            items=self._finalize_ranking(items),
                             served_by=primary.name,
                             degraded=False,
                             deadline_ms_left=deadline.remaining_ms(),
                             latency_ms=deadline.elapsed_ms(),
                             model_version=version,
+                            model_age_s=model_age_s,
                             tier_errors={},
                         )
         return [
@@ -357,12 +375,13 @@ class RecommendationService:
         self.obs.histogram("serving_request_latency_ms").observe(deadline.elapsed_ms())
         return RecommendationResponse(
             user=request.user,
-            items=items.copy(),
+            items=self._finalize_ranking(items.copy()),
             served_by=STATIC_POPULARITY,
             degraded=True,
             deadline_ms_left=deadline.remaining_ms(),
             latency_ms=deadline.elapsed_ms(),
             model_version=self.slot.version if self.slot is not None else None,
+            model_age_s=self._model_age_s(),
             tier_errors=errors,
         )
 
@@ -372,6 +391,7 @@ class RecommendationService:
         return {
             "requests_served": self.requests_served_,
             "model_version": self.slot.version if self.slot is not None else None,
+            "model_age_s": self._model_age_s(),
             "breakers": {name: b.snapshot() for name, b in self.breakers.items()},
             "tiers": {name: s.to_dict() for name, s in self.stats.items()},
             "executor_overruns": self.executor.overruns_,

@@ -1,0 +1,91 @@
+"""Post-scoring exponential time-decay re-ranking.
+
+An opt-in serving hook: tiers rank items by model score alone, and a
+:class:`TimeDecayReranker` re-orders the returned ranking so recently
+interacted-with items outrank long-dormant ones.  The blend is
+rank-based, not score-based — tiers expose item ids, not comparable
+scores — so the combined weight of the item at rank ``r`` is::
+
+    weight(r, item) = 1 / (r + 1) * decay(item)
+    decay(item)     = 2 ** (-age / half_life)        # tracked items
+                    = floor                          # untracked items
+
+``age`` is ``now - last_seen`` from the ingest path's per-item
+timestamps (:attr:`StreamIngestor.item_last_seen_`); ``now`` comes from
+an injectable clock or an explicit argument, so the reranker is a pure
+function under test.  The ``floor`` keeps items with no streaming
+history (the whole catalog, before any feedback arrives) competitive
+rather than nuking them to zero — with no timestamps at all the
+reranking is the identity.
+
+Re-sorting is stable, so ties preserve the tier's original order and
+the opt-out (``reranker=None``) path stays bitwise identical.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.utils.clock import Clock, as_clock
+from repro.utils.exceptions import ConfigError
+
+_LN2 = float(np.log(2.0))
+
+
+class TimeDecayReranker:
+    """Re-orders a ranked item list by recency-decayed rank weight.
+
+    Parameters
+    ----------
+    item_last_seen:
+        ``item id -> last interaction timestamp`` (seconds, any epoch —
+        only differences against ``now`` matter).  Pass the *live*
+        mapping maintained by the ingester; lookups happen per call.
+    half_life_s:
+        Seconds for a tracked item's decay factor to halve.
+    floor:
+        Decay factor assigned to untracked items and the asymptotic
+        minimum for tracked ones (in ``[0, 1]``).
+    clock:
+        Source of ``now`` when :meth:`rerank` is not given one.
+    """
+
+    def __init__(
+        self,
+        item_last_seen: Mapping[int, float],
+        *,
+        half_life_s: float = 3600.0,
+        floor: float = 0.5,
+        clock: Clock | None = None,
+    ):
+        if half_life_s <= 0:
+            raise ConfigError(f"half_life_s must be > 0, got {half_life_s}")
+        if not 0.0 <= floor <= 1.0:
+            raise ConfigError(f"floor must be in [0, 1], got {floor}")
+        self.item_last_seen = item_last_seen
+        self.half_life_s = float(half_life_s)
+        self.floor = float(floor)
+        self.clock = as_clock(clock)
+
+    def decay(self, item: int, now: float) -> float:
+        """The decay factor of one item at time ``now``."""
+        last_seen = self.item_last_seen.get(int(item))
+        if last_seen is None:
+            return self.floor
+        age = max(now - float(last_seen), 0.0)
+        value = float(np.exp(-np.abs(_LN2 * age / self.half_life_s)))
+        return max(value, self.floor)
+
+    def rerank(self, items, *, now: float | None = None) -> np.ndarray:
+        """Stable re-sort of ``items`` (best first) by decayed weight."""
+        ranked = np.asarray(items, dtype=np.int64)
+        if ranked.size == 0 or not self.item_last_seen:
+            return ranked
+        if now is None:
+            now = self.clock.monotonic()
+        rank_weight = 1.0 / (np.arange(len(ranked), dtype=np.float64) + 1.0)
+        decay = np.array([self.decay(item, now) for item in ranked])
+        order = np.argsort(-rank_weight * decay, kind="stable")
+        return ranked[order]

@@ -1,0 +1,223 @@
+"""Drift detection over live serving signals.
+
+"Revisiting BPR" style implicit-feedback models are acutely sensitive
+to training-state drift, so retraining must be *triggered* by evidence,
+not scheduled blindly.  :class:`DriftMonitor` watches three cheap
+signals, all derived from state the serving layer already maintains:
+
+* **fallback rate** — the fraction of requests the primary tier failed
+  to serve (:meth:`RecommendationService.fallback_rate`); a healthy
+  model answers almost everything personalized;
+* **score-distribution shift** — summary statistics of the live model's
+  scores over a fixed probe-user panel, compared against the baseline
+  captured at the last :meth:`rebase`; a hot-swap that silently failed,
+  NaN-poisoned factors, or a genuinely stale model all move this;
+* **interaction-volume anomaly** — each ingest batch size is compared
+  against an EWMA of previous batches; a surge or collapse in feedback
+  volume means the trained distribution no longer matches traffic.
+
+:meth:`check` returns a :class:`DriftReport` listing every threshold
+that tripped; the retrain manager treats any non-empty report as a
+trigger and calls :meth:`rebase` after a successful promotion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, as_registry
+from repro.utils.exceptions import ConfigError
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """When each signal counts as drift.
+
+    ``min_requests`` gates only the fallback-rate signal: with too
+    little traffic since the last rebase, a couple of degraded requests
+    would dominate the rate.
+    """
+
+    max_fallback_rate: float = 0.3
+    max_score_shift: float = 3.0
+    volume_ratio_high: float = 4.0
+    volume_ratio_low: float = 0.25
+    min_requests: int = 20
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_fallback_rate <= 1.0:
+            raise ConfigError(
+                f"max_fallback_rate must be in (0, 1], got {self.max_fallback_rate}"
+            )
+        if self.max_score_shift <= 0:
+            raise ConfigError(
+                f"max_score_shift must be > 0, got {self.max_score_shift}"
+            )
+        if self.volume_ratio_high <= 1.0 or not 0.0 < self.volume_ratio_low < 1.0:
+            raise ConfigError(
+                "volume thresholds must satisfy low in (0, 1) < 1 < high, got "
+                f"low={self.volume_ratio_low}, high={self.volume_ratio_high}"
+            )
+        if self.min_requests < 0:
+            raise ConfigError(f"min_requests must be >= 0, got {self.min_requests}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+
+
+@dataclass(frozen=True)
+class DriftSignals:
+    """The raw signal values behind one :meth:`DriftMonitor.check`."""
+
+    fallback_rate: float
+    score_shift: float
+    volume_ratio: float
+    requests: int
+
+    def to_json_dict(self) -> dict:
+        return {
+            "fallback_rate": self.fallback_rate,
+            "score_shift": self.score_shift,
+            "volume_ratio": self.volume_ratio,
+            "requests": self.requests,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One drift verdict: tripped thresholds plus the raw signals."""
+
+    drifted: bool
+    reasons: tuple[str, ...]
+    signals: DriftSignals
+
+    def to_json_dict(self) -> dict:
+        return {
+            "drifted": self.drifted,
+            "reasons": list(self.reasons),
+            "signals": self.signals.to_json_dict(),
+        }
+
+
+class DriftMonitor:
+    """Watches a :class:`RecommendationService` for the three signals.
+
+    Parameters
+    ----------
+    service:
+        The live service; must carry a ``slot`` (the standard
+        :meth:`RecommendationService.build` cascade does).
+    probe_users:
+        Fixed user panel scored for the distribution-shift signal;
+        defaults to the first 64 warm users of the training matrix, so
+        the panel is deterministic for a given dataset.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        probe_users=None,
+        thresholds: DriftThresholds | None = None,
+        obs: MetricsRegistry | None = None,
+    ):
+        if service.slot is None:
+            raise ConfigError("DriftMonitor needs a service with a model slot")
+        self.service = service
+        self.thresholds = thresholds or DriftThresholds()
+        self.obs = as_registry(obs)
+        if probe_users is None:
+            warm = np.flatnonzero(service.train.user_counts() > 0)
+            probe_users = warm[:64]
+        self.probe_users = np.asarray(probe_users, dtype=np.int64)
+        if len(self.probe_users) == 0:
+            raise ConfigError("DriftMonitor needs at least one probe user")
+        self.baseline_mean_ = 0.0
+        self.baseline_std_ = 0.0
+        self.volume_ewma_: float | None = None
+        self.volume_ratio_ = 1.0
+        self.requests_at_rebase_ = 0
+        self.rebase()
+
+    def _score_stats(self) -> tuple[float, float]:
+        scores = np.asarray(
+            self.service.slot.get().predict_batch(self.probe_users), dtype=np.float64
+        )
+        finite = scores[np.isfinite(scores)]
+        if finite.size == 0:
+            # An all-NaN model scores as infinitely shifted, not a crash.
+            return float("nan"), 0.0
+        return float(finite.mean()), float(finite.std())
+
+    def rebase(self) -> None:
+        """Capture the current model/traffic state as the new baseline.
+
+        Call after a successful retrain promotion: the new model's
+        scores *are* the expected distribution from here on.
+        """
+        self.baseline_mean_, self.baseline_std_ = self._score_stats()
+        self.volume_ewma_ = None
+        self.volume_ratio_ = 1.0
+        self.requests_at_rebase_ = self.service.requests_served_
+        self.obs.counter("drift_rebases_total").inc()
+
+    def observe_volume(self, n_records: int) -> float:
+        """Feed one ingest batch size; returns its ratio to the EWMA."""
+        n = float(n_records)
+        if self.volume_ewma_ is None:
+            self.volume_ratio_ = 1.0
+            self.volume_ewma_ = n
+        else:
+            self.volume_ratio_ = n / max(self.volume_ewma_, _EPS)
+            alpha = self.thresholds.ewma_alpha
+            self.volume_ewma_ = alpha * n + (1.0 - alpha) * self.volume_ewma_
+        self.obs.gauge("drift_volume_ratio").set(self.volume_ratio_)
+        return self.volume_ratio_
+
+    def check(self) -> DriftReport:
+        """Evaluate all three signals against the thresholds."""
+        thresholds = self.thresholds
+        reasons: list[str] = []
+
+        requests = self.service.requests_served_ - self.requests_at_rebase_
+        fallback_rate = self.service.fallback_rate()
+        if requests >= thresholds.min_requests and fallback_rate > thresholds.max_fallback_rate:
+            reasons.append(
+                f"fallback rate {fallback_rate:.3f} > {thresholds.max_fallback_rate}"
+            )
+
+        mean, _ = self._score_stats()
+        if np.isnan(mean) or np.isnan(self.baseline_mean_):
+            score_shift = float("inf")
+        else:
+            score_shift = abs(mean - self.baseline_mean_) / (self.baseline_std_ + _EPS)
+        if score_shift > thresholds.max_score_shift:
+            reasons.append(
+                f"score distribution shifted {score_shift:.2f} baseline stds "
+                f"(> {thresholds.max_score_shift})"
+            )
+
+        if self.volume_ewma_ is not None and (
+            self.volume_ratio_ > thresholds.volume_ratio_high
+            or self.volume_ratio_ < thresholds.volume_ratio_low
+        ):
+            reasons.append(
+                f"interaction volume ratio {self.volume_ratio_:.2f} outside "
+                f"[{thresholds.volume_ratio_low}, {thresholds.volume_ratio_high}]"
+            )
+
+        signals = DriftSignals(
+            fallback_rate=fallback_rate,
+            score_shift=score_shift,
+            volume_ratio=self.volume_ratio_,
+            requests=requests,
+        )
+        drifted = bool(reasons)
+        self.obs.counter("drift_checks_total", drifted=str(drifted).lower()).inc()
+        if drifted:
+            self.obs.event("drift", reasons=list(reasons), **signals.to_json_dict())
+        return DriftReport(drifted=drifted, reasons=tuple(reasons), signals=signals)

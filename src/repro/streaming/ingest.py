@@ -1,0 +1,435 @@
+"""Crash-safe WAL consumer: fold-in, incremental epochs, replayable state.
+
+The ingester turns acknowledged WAL records into model updates in
+deterministic batches:
+
+1. read up to ``batch_records`` records past the persisted offset;
+2. grow the interaction matrix (new users extend ``n_users``; items
+   outside the trained catalog are skipped and counted — the item side
+   is fixed until the next full retrain);
+3. fold genuinely new users in with :func:`fold_in_users_ridge` against
+   the frozen item factors (users that arrive with no in-catalog items
+   get a zero vector — the cold-start popularity path serves them);
+4. run ``epochs_per_batch`` warm-start SGD epochs through the model's
+   ordinary ``fit`` — which re-seeds its generator from ``model.seed``
+   every call, so a batch's update is a pure function of
+   ``(parameters, matrix, batch)``;
+5. persist, in order: the training checkpoint (PR 2 machinery, with the
+   WAL position in ``extra``), the grown interaction matrix, and last
+   the consumer offset — each file versioned by batch index and written
+   atomically.
+
+The offset file is the *commit point*.  A crash anywhere before it
+leaves the previous triple intact, and because step 4 is deterministic,
+replaying the batch from that triple reproduces bitwise-identical
+factors — the streaming extension of PR 2's kill-and-resume discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.mf.fold_in import fold_in_users_ridge
+from repro.mf.params import FactorParams
+from repro.obs import MetricsRegistry, as_registry
+from repro.persistence import load_interactions, save_interactions
+from repro.resilience.checkpoint import (
+    TrainingCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.streaming.wal import WalPosition, WalRecord, WriteAheadLog
+from repro.utils.atomicio import write_json_atomic
+from repro.utils.exceptions import ConfigError, DataError, NotFittedError
+from repro.utils.rng import as_generator
+
+OFFSET_FILE = "offset.json"
+_STATE_VERSION = 1
+
+
+def _checkpoint_name(batch_index: int) -> str:
+    return f"ckpt_epoch_{batch_index:05d}.npz"
+
+
+def _interactions_name(batch_index: int) -> str:
+    return f"interactions_{batch_index:05d}.npz"
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Batching and fold-in policy for the WAL consumer.
+
+    ``keep_states`` must stay >= 2: the newest state may be orphaned by
+    a crash before the offset advance, in which case resume needs the
+    one before it.
+    """
+
+    batch_records: int = 64
+    epochs_per_batch: int = 1
+    fold_in_weight: float = 10.0
+    fold_in_reg: float = 0.1
+    keep_states: int = 2
+
+    def __post_init__(self) -> None:
+        if self.batch_records < 1:
+            raise ConfigError(f"batch_records must be >= 1, got {self.batch_records}")
+        if self.epochs_per_batch < 0:
+            raise ConfigError(
+                f"epochs_per_batch must be >= 0, got {self.epochs_per_batch}"
+            )
+        if self.keep_states < 2:
+            raise ConfigError(f"keep_states must be >= 2, got {self.keep_states}")
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one committed ingest batch did."""
+
+    batch_index: int
+    records: int
+    pairs: int
+    new_users: int
+    folded_users: int
+    skipped_items: int
+    position: WalPosition
+    epochs: int
+
+
+@dataclass
+class _PendingBatch:
+    records: list[WalRecord] = field(default_factory=list)
+    position: WalPosition | None = None
+
+
+class StreamIngestor:
+    """Consumes a :class:`WriteAheadLog` into a warm-startable model.
+
+    Parameters
+    ----------
+    wal:
+        The log to consume.  Only records past the persisted offset are
+        ever applied, so producer and consumer restart independently.
+    model:
+        A *fitted* ``TupleSGDRecommender`` (or compatible
+        ``FactorRecommender`` exposing ``params_``/``seed``/``fit``).
+        The ingester forces ``warm_start=True`` and rewrites
+        ``model.sgd.n_epochs`` to ``config.epochs_per_batch``.
+    state_dir:
+        Where the per-batch (checkpoint, interactions, offset) triples
+        live.  Pass the same directory to :meth:`resume` after a crash.
+    kill_switch:
+        Optional :class:`~repro.resilience.chaos.KillSwitch`; tick sites
+        are ``ingest.before_checkpoint`` / ``ingest.after_checkpoint`` /
+        ``ingest.after_interactions`` / ``ingest.after_offset``.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        model,
+        state_dir: str | Path,
+        *,
+        config: IngestConfig | None = None,
+        obs: MetricsRegistry | None = None,
+        kill_switch=None,
+    ):
+        if getattr(model, "params_", None) is None:
+            raise NotFittedError("StreamIngestor requires a fitted factor model")
+        self.wal = wal
+        self.model = model
+        self.state_dir = Path(state_dir)
+        self.config = config or IngestConfig()
+        self.obs = as_registry(obs)
+        self.kill_switch = kill_switch
+        self.model.warm_start = True
+        if self.config.epochs_per_batch > 0:
+            self.model.sgd = replace(
+                self.model.sgd, n_epochs=self.config.epochs_per_batch
+            )
+        self.train: InteractionMatrix = model._require_fitted()
+        self.position: WalPosition | None = None
+        self.batch_index_ = -1
+        self.records_total_ = 0
+        self.skipped_items_total_ = 0
+        self.item_last_seen_: dict[int, float] = {}
+
+    # -- resume --------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        wal: WriteAheadLog,
+        model,
+        state_dir: str | Path,
+        *,
+        config: IngestConfig | None = None,
+        obs: MetricsRegistry | None = None,
+        kill_switch=None,
+    ) -> "StreamIngestor":
+        """Rebuild an ingester from the last *committed* batch triple.
+
+        Anything written after the committed offset (an orphaned
+        checkpoint or matrix from a crashed batch) is ignored and will
+        be rewritten identically when the batch replays.  A state
+        directory without an offset file resumes as a fresh start from
+        the model's own fitted state.
+        """
+        state_dir = Path(state_dir)
+        offset_path = state_dir / OFFSET_FILE
+        if not offset_path.exists():
+            return cls(
+                wal, model, state_dir, config=config, obs=obs, kill_switch=kill_switch
+            )
+        import json
+
+        state = json.loads(offset_path.read_text(encoding="utf-8"))
+        if state.get("version") != _STATE_VERSION:
+            raise DataError(
+                f"unsupported ingest state version {state.get('version')!r} "
+                f"in {offset_path}"
+            )
+        batch_index = int(state["batch_index"])
+        checkpoint = load_checkpoint(state_dir / _checkpoint_name(batch_index))
+        train = load_interactions(state_dir / _interactions_name(batch_index))
+        if (checkpoint.params.n_users, checkpoint.params.n_items) != (
+            train.n_users,
+            train.n_items,
+        ):
+            raise DataError(
+                f"ingest state mismatch in {state_dir}: checkpoint is "
+                f"{checkpoint.params.n_users}x{checkpoint.params.n_items}, "
+                f"interactions are {train.n_users}x{train.n_items}"
+            )
+        model.params_ = checkpoint.params.copy()
+        model._train = train
+        ingestor = cls(
+            wal, model, state_dir, config=config, obs=obs, kill_switch=kill_switch
+        )
+        ingestor.position = WalPosition.from_json_dict(state["position"])
+        ingestor.batch_index_ = batch_index
+        ingestor.records_total_ = int(state.get("records_total", 0))
+        ingestor.skipped_items_total_ = int(state.get("skipped_items_total", 0))
+        ingestor.item_last_seen_ = {
+            int(item): float(ts) for item, ts in state.get("item_last_seen", {}).items()
+        }
+        return ingestor
+
+    # -- consume loop --------------------------------------------------
+
+    def _tick(self, site: str) -> None:
+        if self.kill_switch is not None:
+            self.kill_switch.tick(site)
+
+    def _take_batch(self) -> _PendingBatch:
+        batch = _PendingBatch()
+        for position, record in self.wal.read(after=self.position):
+            batch.records.append(record)
+            batch.position = position
+            if len(batch.records) >= self.config.batch_records:
+                break
+        return batch
+
+    def run(self, *, max_batches: int | None = None) -> list[BatchReport]:
+        """Consume every unapplied record; returns one report per batch."""
+        reports: list[BatchReport] = []
+        while max_batches is None or len(reports) < max_batches:
+            batch = self._take_batch()
+            if not batch.records:
+                break
+            reports.append(self._apply_batch(batch))
+        return reports
+
+    # -- one batch -----------------------------------------------------
+
+    def _apply_batch(self, batch: _PendingBatch) -> BatchReport:
+        assert batch.position is not None
+        n_items = self.train.n_items
+        pairs: list[tuple[int, int]] = []
+        skipped = 0
+        max_user = self.train.n_users - 1
+        positives_by_new_user: dict[int, list[int]] = {}
+        for record in batch.records:
+            max_user = max(max_user, record.user)
+            in_catalog = [item for item in record.items if item < n_items]
+            skipped += len(record.items) - len(in_catalog)
+            for item in in_catalog:
+                pairs.append((record.user, item))
+                if record.ts is not None:
+                    previous = self.item_last_seen_.get(item)
+                    if previous is None or record.ts > previous:
+                        self.item_last_seen_[item] = record.ts
+            if record.user >= self.train.n_users and in_catalog:
+                positives_by_new_user.setdefault(record.user, []).extend(in_catalog)
+
+        new_users = max_user + 1 - self.train.n_users
+        params = self._grow_params(new_users, positives_by_new_user)
+        grown = InteractionMatrix.from_pairs(
+            np.concatenate(
+                [self.train.pairs(), np.asarray(pairs, dtype=np.int64).reshape(-1, 2)]
+            ),
+            n_users=max_user + 1,
+            n_items=n_items,
+        )
+
+        self.model.params_ = params
+        epochs = 0
+        if self.config.epochs_per_batch > 0 and grown.n_interactions > 0:
+            self.model.fit(grown)
+            epochs = self.config.epochs_per_batch
+        else:
+            self.model._train = grown
+        self.train = grown
+
+        batch_index = self.batch_index_ + 1
+        self.records_total_ += len(batch.records)
+        self.skipped_items_total_ += skipped
+        self._persist(batch_index, batch.position)
+        self.batch_index_ = batch_index
+        self.position = batch.position
+
+        self.obs.counter("ingest_batches_total").inc()
+        self.obs.counter("ingest_records_total").inc(len(batch.records))
+        if skipped:
+            self.obs.counter("ingest_skipped_items_total").inc(skipped)
+        if new_users > 0:
+            self.obs.counter("ingest_new_users_total").inc(new_users)
+        self.obs.gauge("ingest_n_users").set(grown.n_users)
+        self.obs.gauge("ingest_n_interactions").set(grown.n_interactions)
+        return BatchReport(
+            batch_index=batch_index,
+            records=len(batch.records),
+            pairs=len(pairs),
+            new_users=new_users,
+            folded_users=len(positives_by_new_user),
+            skipped_items=skipped,
+            position=batch.position,
+            epochs=epochs,
+        )
+
+    def _grow_params(
+        self, new_users: int, positives_by_new_user: dict[int, list[int]]
+    ) -> FactorParams:
+        """Extend ``user_factors`` for this batch's new users.
+
+        Users with at least one in-catalog positive get the batched
+        ridge fold-in vector (computed against the *pre-batch* frozen
+        item factors); id gaps and item-less arrivals get zero rows.
+        """
+        params = self.model.params_
+        if new_users <= 0:
+            return params
+        grown_users = np.vstack(
+            [params.user_factors, np.zeros((new_users, params.n_factors))]
+        )
+        if positives_by_new_user:
+            users = sorted(positives_by_new_user)
+            results = fold_in_users_ridge(
+                params,
+                [positives_by_new_user[user] for user in users],
+                weight=self.config.fold_in_weight,
+                reg=self.config.fold_in_reg,
+            )
+            for user, result in zip(users, results):
+                grown_users[user] = result.user_vector
+        return FactorParams(grown_users, params.item_factors, params.item_bias)
+
+    def _persist(self, batch_index: int, position: WalPosition) -> None:
+        """Write the batch triple; the offset file commits the batch."""
+        checkpoint = TrainingCheckpoint(
+            epoch=batch_index,
+            params=self.model.params_,
+            rng_state=as_generator(self.model.seed).bit_generator.state,
+            extra={
+                "wal_segment": position.segment,
+                "wal_offset": position.offset,
+                "batch_index": batch_index,
+                "stream": True,
+            },
+        )
+        self._tick("ingest.before_checkpoint")
+        save_checkpoint(self.state_dir / _checkpoint_name(batch_index), checkpoint)
+        self._tick("ingest.after_checkpoint")
+        save_interactions(self.state_dir / _interactions_name(batch_index), self.train)
+        self._tick("ingest.after_interactions")
+        write_json_atomic(
+            self.state_dir / OFFSET_FILE,
+            {
+                "version": _STATE_VERSION,
+                "batch_index": batch_index,
+                "position": position.to_json_dict(),
+                "records_total": self.records_total_,
+                "skipped_items_total": self.skipped_items_total_,
+                "item_last_seen": {
+                    str(item): ts for item, ts in sorted(self.item_last_seen_.items())
+                },
+                "n_users": self.train.n_users,
+                "n_interactions": self.train.n_interactions,
+            },
+        )
+        self._tick("ingest.after_offset")
+        self._prune(batch_index)
+
+    def _prune(self, batch_index: int) -> None:
+        """Drop state triples older than the newest ``keep_states``."""
+        cutoff = batch_index - self.config.keep_states + 1
+        for index in range(max(cutoff - 2, 0), cutoff):
+            (self.state_dir / _checkpoint_name(index)).unlink(missing_ok=True)
+            (self.state_dir / _interactions_name(index)).unlink(missing_ok=True)
+
+    # -- introspection -------------------------------------------------
+
+    def factors_checksum(self) -> int:
+        """CRC-32 of the current factors — the bitwise-replay witness."""
+        from repro.utils.atomicio import array_checksum
+
+        params = self.model.params_
+        return array_checksum(params.user_factors, params.item_factors, params.item_bias)
+
+
+def synthesize_records(
+    n: int,
+    *,
+    n_users: int,
+    n_items: int,
+    seed: int = 0,
+    new_user_fraction: float = 0.25,
+    items_per_record: int = 3,
+    start_ts: float = 0.0,
+) -> list[WalRecord]:
+    """Deterministic synthetic feedback for drills and benchmarks.
+
+    Record ``i`` always gets key ``syn-{seed}-{i}``, so re-producing the
+    same stream into a WAL after a crash dedupes to a no-op — the CI
+    kill drill leans on this to prove idempotency end to end.
+    """
+    if n < 0:
+        raise ConfigError(f"n must be >= 0, got {n}")
+    rng = as_generator(seed)
+    records = []
+    for i in range(n):
+        if rng.random() < new_user_fraction:
+            user = int(n_users + rng.integers(0, max(n_users // 4, 1)))
+        else:
+            user = int(rng.integers(0, n_users))
+        size = int(rng.integers(1, items_per_record + 1))
+        items = tuple(
+            int(item) for item in rng.choice(n_items, size=size, replace=False)
+        )
+        records.append(
+            WalRecord(key=f"syn-{seed}-{i}", user=user, items=items, ts=start_ts + i)
+        )
+    return records
+
+
+def append_all(wal: WriteAheadLog, records: Iterable[WalRecord]) -> int:
+    """Append records, returning how many were new (not duplicates)."""
+    fresh = 0
+    for record in records:
+        if not wal.append(record).duplicate:
+            fresh += 1
+    return fresh

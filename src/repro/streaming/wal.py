@@ -1,0 +1,398 @@
+"""Durable write-ahead log for interaction events.
+
+The WAL is the trust boundary of the streaming path: once
+:meth:`WriteAheadLog.append` returns, the interaction is *acknowledged*
+and must survive ``kill -9`` at any byte.  Everything downstream
+(fold-in, incremental epochs, retraining) is derived state that can be
+rebuilt by replaying the log, so the WAL is the only component that has
+to get durability exactly right.
+
+Record framing (little-endian)::
+
+    [length: uint32][crc32: uint32][payload: `length` JSON bytes]
+
+The CRC is :func:`zlib.crc32` over the payload bytes.  On open, every
+segment is scanned front to back; the first frame that fails the length
+or CRC check marks a *torn tail* — bytes written but never acknowledged
+before a crash — and the file is truncated back to the last valid
+record boundary.  Nothing behind an acknowledged record can ever be
+cut: frames are strictly append-ordered and an append is only
+acknowledged after the fsync its policy requires.
+
+Segments rotate at ``segment_bytes`` (``segment_00000000.wal``,
+``segment_00000001.wal``, ...) so replay positions are stable
+``(segment_index, byte_offset)`` pairs and old segments can be archived
+without touching the active one.
+
+Duplicate delivery — an at-least-once producer retrying an already-
+acknowledged send — is absorbed by per-record idempotency keys: a key
+already present in the log makes :meth:`append` a durable no-op that
+reports ``duplicate=True``.  The key index is rebuilt from the segments
+on open, so dedup survives restarts without a separate store.
+
+All raw file primitives (append handles, fsync, truncation) come from
+:mod:`repro.utils.atomicio`, the one module sanctioned to own them
+(REP003).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs import MetricsRegistry, as_registry
+from repro.utils.atomicio import DurableAppender, fsync_directory, truncate_file
+from repro.utils.exceptions import ConfigError, DataError
+
+_HEADER = struct.Struct("<II")  # length, crc32
+_SEGMENT_PREFIX = "segment_"
+_SEGMENT_SUFFIX = ".wal"
+
+#: fsync after every append: an acknowledged record is on stable storage.
+FSYNC_ALWAYS = "always"
+#: fsync every ``batch_every`` appends (and on close/rotation): bounded loss
+#: window of un-synced acknowledgements, much higher throughput.
+FSYNC_BATCH = "batch"
+#: never fsync (tests/benchmarks only): the OS decides.
+FSYNC_NEVER = "never"
+
+_FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+
+
+def segment_name(index: int) -> str:
+    return f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_index(path: Path) -> int:
+    return int(path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)])
+
+
+@dataclass(frozen=True, order=True)
+class WalPosition:
+    """A replay cursor: byte offset *after* a record, within a segment.
+
+    Positions are totally ordered (segment first, then offset), so
+    "every record after position P" is well defined across rotations.
+    """
+
+    segment: int
+    offset: int
+
+    def to_json_dict(self) -> dict:
+        return {"segment": self.segment, "offset": self.offset}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "WalPosition":
+        return cls(segment=int(payload["segment"]), offset=int(payload["offset"]))
+
+
+#: The replay origin: before the first record of the first segment.
+WAL_START = WalPosition(segment=0, offset=0)
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One acknowledged interaction event.
+
+    Attributes
+    ----------
+    key:
+        Idempotency key.  Producers that can retry must send a stable
+        key per logical event; the edge derives one from the content
+        CRC when the client omits it.
+    user / items:
+        The interacting user and the items interacted with (a feedback
+        POST may carry several).
+    ts:
+        Producer-side event timestamp (seconds); optional, used only by
+        the time-decay reranker.  Never read from the wall clock here —
+        the WAL layer must stay deterministic (REP002).
+    """
+
+    key: str
+    user: int
+    items: tuple[int, ...]
+    ts: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise DataError("WAL record key must be a non-empty string")
+        if self.user < 0:
+            raise DataError(f"WAL record user must be >= 0, got {self.user}")
+        if not self.items:
+            raise DataError("WAL record must carry at least one item")
+        if any(item < 0 for item in self.items):
+            raise DataError(f"WAL record items must be >= 0, got {self.items}")
+        object.__setattr__(self, "items", tuple(int(item) for item in self.items))
+
+    def to_payload(self) -> bytes:
+        body: dict = {"key": self.key, "user": int(self.user), "items": list(self.items)}
+        if self.ts is not None:
+            body["ts"] = float(self.ts)
+        return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "WalRecord":
+        body = json.loads(payload.decode("utf-8"))
+        return cls(
+            key=body["key"],
+            user=int(body["user"]),
+            items=tuple(int(item) for item in body["items"]),
+            ts=float(body["ts"]) if "ts" in body else None,
+        )
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """``[length][crc32][payload]`` — the only bytes ever appended."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def decode_frames(data: bytes) -> tuple[list[bytes], int]:
+    """Decode consecutive frames; returns (payloads, valid_length).
+
+    Stops at the first frame whose header is short, whose payload is
+    short, or whose CRC mismatches — ``valid_length`` is the byte
+    offset of the last frame that checked out, i.e. the truncation
+    target for a torn tail.
+    """
+    payloads: list[bytes] = []
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(data):
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break
+        payloads.append(payload)
+        offset = end
+    return payloads, offset
+
+
+@dataclass(frozen=True)
+class WalConfig:
+    """Durability and rotation policy.
+
+    ``segment_bytes`` is a rotation *threshold*, not a hard cap: a
+    record is never split across segments, so the active segment may
+    exceed it by one frame.
+    """
+
+    segment_bytes: int = 1 << 20
+    fsync: str = FSYNC_ALWAYS
+    batch_every: int = 32
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes < 1:
+            raise ConfigError(f"segment_bytes must be >= 1, got {self.segment_bytes}")
+        if self.fsync not in _FSYNC_POLICIES:
+            raise ConfigError(
+                f"fsync must be one of {_FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+        if self.batch_every < 1:
+            raise ConfigError(f"batch_every must be >= 1, got {self.batch_every}")
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """Outcome of one :meth:`WriteAheadLog.append`."""
+
+    position: WalPosition
+    duplicate: bool = False
+
+
+@dataclass
+class RecoveryReport:
+    """What opening the log found (and repaired)."""
+
+    segments: int = 0
+    records: int = 0
+    truncated_bytes: int = 0
+    truncated_segment: int | None = None
+    keys: set[str] = field(default_factory=set)
+
+
+class WriteAheadLog:
+    """Append-only, segment-rotated, crash-safe interaction log.
+
+    Thread-safe: the edge appends from executor threads while the
+    ingester reads, so every mutation happens under ``self._lock``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        config: WalConfig | None = None,
+        *,
+        obs: MetricsRegistry | None = None,
+        kill_switch=None,
+    ):
+        self.directory = Path(directory)
+        self.config = config or WalConfig()
+        self.obs = as_registry(obs)
+        self.kill_switch = kill_switch
+        self._lock = threading.Lock()
+        self._closed = False
+        self._unsynced = 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.recovery_ = self._recover()
+        self._keys = self.recovery_.keys
+        segments = self._segment_paths()
+        self._active_index = _segment_index(segments[-1]) if segments else 0
+        self._appender = DurableAppender(self.directory / segment_name(self._active_index))
+
+    # -- recovery ------------------------------------------------------
+
+    def _segment_paths(self) -> list[Path]:
+        return sorted(self.directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+    def _recover(self) -> RecoveryReport:
+        """Scan all segments, truncate the torn tail, rebuild the key index."""
+        report = RecoveryReport()
+        segments = self._segment_paths()
+        report.segments = len(segments)
+        for path in segments:
+            data = path.read_bytes()
+            payloads, valid_length = decode_frames(data)
+            if valid_length < len(data):
+                # Torn tail: bytes past the last valid frame were never
+                # acknowledged (ack requires the full frame + fsync), so
+                # cutting them loses nothing the producer was promised.
+                truncate_file(path, valid_length)
+                report.truncated_bytes += len(data) - valid_length
+                report.truncated_segment = _segment_index(path)
+            for payload in payloads:
+                report.records += 1
+                report.keys.add(WalRecord.from_payload(payload).key)
+        if report.truncated_bytes:
+            self.obs.counter("wal_truncated_bytes_total").inc(report.truncated_bytes)
+            self.obs.event(
+                "wal_torn_tail_truncated",
+                segment=report.truncated_segment,
+                bytes=report.truncated_bytes,
+            )
+        return report
+
+    # -- append path ---------------------------------------------------
+
+    def _tick(self, site: str) -> None:
+        if self.kill_switch is not None:
+            self.kill_switch.tick(site)
+
+    def _maybe_rotate(self) -> None:
+        if self._appender.tell() < self.config.segment_bytes:
+            return
+        self._appender.close(sync=True)
+        self._active_index += 1
+        self._appender = DurableAppender(self.directory / segment_name(self._active_index))
+        self._unsynced = 0
+        self.obs.counter("wal_rotations_total").inc()
+
+    def append(self, record: WalRecord) -> AppendResult:
+        """Durably append ``record``; acknowledged once this returns.
+
+        A record whose idempotency key is already in the log is not
+        re-written: the duplicate ack carries the current end-of-log
+        position and ``duplicate=True``.
+        """
+        with self._lock:
+            if self._closed:
+                raise DataError("append on a closed WriteAheadLog")
+            if record.key in self._keys:
+                self.obs.counter("wal_duplicates_total").inc()
+                return AppendResult(position=self._position_locked(), duplicate=True)
+            self._maybe_rotate()
+            frame = encode_frame(record.to_payload())
+            self._tick("wal.append.before_write")
+            offset = self._appender.append(frame)
+            self._tick("wal.append.after_write")
+            self._unsynced += 1
+            if self.config.fsync == FSYNC_ALWAYS or (
+                self.config.fsync == FSYNC_BATCH
+                and self._unsynced >= self.config.batch_every
+            ):
+                self._appender.sync()
+                self._unsynced = 0
+            self._tick("wal.append.after_sync")
+            self._keys.add(record.key)
+            self.obs.counter("wal_appends_total").inc()
+            return AppendResult(
+                position=WalPosition(segment=self._active_index, offset=offset)
+            )
+
+    def sync(self) -> None:
+        """Force-fsync the active segment (flushes a batch window)."""
+        with self._lock:
+            self._appender.sync()
+            self._unsynced = 0
+
+    def _position_locked(self) -> WalPosition:
+        return WalPosition(segment=self._active_index, offset=self._appender.tell())
+
+    def position(self) -> WalPosition:
+        """The current end of the log (next append lands here or later)."""
+        with self._lock:
+            return self._position_locked()
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._keys
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)
+
+    # -- read path -----------------------------------------------------
+
+    def read(
+        self, after: WalPosition | None = None
+    ) -> Iterator[tuple[WalPosition, WalRecord]]:
+        """Yield ``(position, record)`` for every record past ``after``.
+
+        ``position`` is the cursor *after* the record — persist it and
+        pass it back as ``after`` to resume exactly where you stopped.
+        Reads a consistent snapshot: records appended after the call
+        starts may or may not be seen.
+        """
+        cursor = after or WAL_START
+        with self._lock:
+            if not self._closed:
+                self._appender.sync()  # make buffered frames visible to the read
+                self._unsynced = 0
+            segments = self._segment_paths()
+        for path in segments:
+            index = _segment_index(path)
+            if index < cursor.segment:
+                continue
+            data = path.read_bytes()
+            payloads, _ = decode_frames(data)
+            offset = 0
+            for payload in payloads:
+                offset += _HEADER.size + len(payload)
+                if index == cursor.segment and offset <= cursor.offset:
+                    continue
+                yield (
+                    WalPosition(segment=index, offset=offset),
+                    WalRecord.from_payload(payload),
+                )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._appender.close(sync=self.config.fsync != FSYNC_NEVER)
+            fsync_directory(self.directory)
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -68,6 +68,93 @@ def write_json_atomic(path: str | Path, payload) -> Path:
     return atomic_write(path, writer)
 
 
+def fsync_directory(path: str | Path) -> None:
+    """``fsync`` the directory entry so a rename/creation survives a crash.
+
+    ``os.replace`` makes the *content* swap atomic, but the new directory
+    entry itself is only durable once the directory inode is synced.
+    Platforms that refuse ``open(O_RDONLY)`` on directories are skipped
+    silently — the rename is still atomic there, just not yet durable.
+    """
+    try:
+        fd = os.open(str(Path(path)), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class DurableAppender:
+    """An append-only file handle with explicit durability control.
+
+    The write-ahead log in :mod:`repro.streaming.wal` is the one
+    structure in the repository that *cannot* use the write-temp-then-
+    rename pattern — a log grows by appending, it is never rewritten.
+    The crash-safety contract moves instead to the record framing
+    (length + CRC, validated on open): a torn tail is detected and
+    truncated, so an append is only "acknowledged" once :meth:`sync`
+    returns.  This class owns the raw ``open(..., "ab")`` so every other
+    module still goes through this file for durable writes (REP003).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self.path.exists()
+        self._handle = open(self.path, "ab")
+        if not existed:
+            # A brand-new segment's directory entry must survive a crash
+            # before any record in it can be acknowledged.
+            fsync_directory(self.path.parent)
+
+    def append(self, data: bytes) -> int:
+        """Append ``data``; returns the file size after the write.
+
+        The bytes are in the OS page cache only — call :meth:`sync`
+        before acknowledging anything to the producer.
+        """
+        self._handle.write(data)
+        return self._handle.tell()
+
+    def tell(self) -> int:
+        return self._handle.tell()
+
+    def sync(self) -> None:
+        """Flush user-space buffers and ``fsync`` to stable storage."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self, *, sync: bool = True) -> None:
+        if self._handle.closed:
+            return
+        if sync:
+            self.sync()
+        self._handle.close()
+
+    def __enter__(self) -> "DurableAppender":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(sync=exc_info[0] is None)
+
+
+def truncate_file(path: str | Path, length: int) -> None:
+    """Truncate ``path`` to ``length`` bytes and sync the result.
+
+    Used by WAL recovery to discard a torn tail: truncation to a known
+    record boundary is idempotent, so a crash mid-recovery just means
+    the same truncation runs again on the next open.
+    """
+    os.truncate(str(Path(path)), length)
+    fd = os.open(str(Path(path)), os.O_RDWR)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def array_checksum(*arrays: np.ndarray) -> int:
     """CRC-32 over the raw bytes of the arrays (order-sensitive).
 

@@ -36,6 +36,7 @@ from repro.serving import (
     ServiceConfig,
     ThreadedExecutor,
 )
+from repro.streaming import WriteAheadLog
 
 GOLDEN_DIR = Path(__file__).parent / "golden" / "http"
 
@@ -98,6 +99,15 @@ class TestLiveRoutes:
         assert parsed.status == "ok"
         assert "personalized" in parsed.breakers
         assert "popularity" in parsed.breakers
+        # Model staleness: slot age on the real clock, >= 0 and present.
+        assert parsed.model_age_s is not None
+        assert parsed.model_age_s >= 0.0
+
+    def test_recommend_carries_model_age_provenance(self, edge):
+        status, body = http_json(*edge, "POST", "/v1/recommend", {"user": 0, "k": 2})
+        assert status == 200
+        assert body["model_age_s"] is not None
+        assert body["model_age_s"] >= 0.0
 
     def test_post_recommend_round_trips_through_the_schema(self, edge):
         status, body = http_json(*edge, "POST", "/v1/recommend", {"user": 0, "k": 3})
@@ -221,7 +231,7 @@ class TestSheddingAndDraining:
 
         return HttpRequest(method="GET", path="/v1/health", query={}, headers={}, body=b"")
 
-    def test_inflight_cap_sheds_429(self):
+    def test_inflight_cap_sheds_429_with_retry_after(self):
         server = self.make_server(max_inflight=1)
         try:
             server._inflight = 1
@@ -229,31 +239,38 @@ class TestSheddingAndDraining:
             response = asyncio.run(server._route(self.request(), route))
             assert response.status == 429
             assert response.payload["error"]["code"] == "overloaded"
+            assert ("Retry-After", "1") in response.extra_headers
+            assert b"Retry-After: 1\r\n" in response.encode(keep_alive=True)
         finally:
             server._pool.shutdown(wait=False)
 
-    def test_draining_sheds_503(self):
-        server = self.make_server()
+    def test_draining_sheds_503_with_retry_after(self):
+        server = self.make_server(retry_after_s=2.5)
         try:
             server._draining = True
             route = server._routes["/v1/health"]
             response = asyncio.run(server._route(self.request(), route))
             assert response.status == 503
             assert response.payload["error"]["code"] == "draining"
+            # Retry-After is RFC delay-seconds: an integer, rounded up.
+            assert ("Retry-After", "3") in response.extra_headers
         finally:
             server._pool.shutdown(wait=False)
 
-    def test_shed_responses_are_counted_not_hidden(self):
+    def test_shed_responses_are_counted_per_reason_and_route(self):
         server = self.make_server(max_inflight=1)
         try:
             server._inflight = 1
             route = server._routes["/v1/health"]
             asyncio.run(server._route(self.request(), route))
-            assert server.obs.counter("http_shed_total", reason="inflight").value == 1.0
+            counter = server.obs.counter(
+                "http_shed_total", reason="inflight", route="/v1/health"
+            )
+            assert counter.value == 1.0
         finally:
             server._pool.shutdown(wait=False)
 
-    def test_connection_cap_sheds_503(self, stack):
+    def test_connection_cap_sheds_503_with_retry_after(self, stack):
         _, _, service = stack
         server = EdgeServer(service, config=EdgeConfig(max_connections=1, workers=1))
         with EdgeServerThread(server) as (host, port):
@@ -262,11 +279,77 @@ class TestSheddingAndDraining:
                 first.request("GET", "/v1/health")
                 assert first.getresponse().status == 200
                 # keep-alive: `first` still occupies the one slot
-                status, body = http_json(host, port, "GET", "/v1/health")
-                assert status == 503
-                assert body["error"]["code"] == "overloaded"
+                second = http.client.HTTPConnection(host, port, timeout=10.0)
+                try:
+                    second.request("GET", "/v1/health")
+                    response = second.getresponse()
+                    body = json.loads(response.read())
+                    assert response.status == 503
+                    assert body["error"]["code"] == "overloaded"
+                    assert response.getheader("Retry-After") == "1"
+                finally:
+                    second.close()
             finally:
                 first.close()
+        counter = server.obs.counter(
+            "http_shed_total", reason="connections", route="none"
+        )
+        assert counter.value == 1.0
+
+
+class TestFeedbackRoute:
+    """POST /v1/feedback: durable acknowledgement into the WAL."""
+
+    @pytest.fixture()
+    def feedback_edge(self, stack, tmp_path):
+        _, _, service = stack
+        wal = WriteAheadLog(tmp_path / "wal")
+        server = EdgeServer(
+            service, config=EdgeConfig(workers=2), wal=wal
+        )
+        with EdgeServerThread(server) as (host, port):
+            yield host, port, wal
+        wal.close()
+
+    def test_feedback_is_acknowledged_and_durable(self, feedback_edge):
+        host, port, wal = feedback_edge
+        status, body = http_json(
+            host, port, "POST", "/v1/feedback",
+            {"user": 1, "items": [2, 3], "key": "evt-1", "ts": 10.0},
+        )
+        assert status == 200
+        assert body["status"] == "acknowledged"
+        assert body["duplicate"] is False
+        assert body["records"] == 1
+        assert "evt-1" in wal
+        record = next(iter(wal.read()))[1]
+        assert record.user == 1 and record.items == (2, 3)
+
+    def test_duplicate_delivery_is_idempotent(self, feedback_edge):
+        host, port, wal = feedback_edge
+        payload = {"user": 2, "items": [0], "key": "evt-dup"}
+        first = http_json(host, port, "POST", "/v1/feedback", payload)[1]
+        second = http_json(host, port, "POST", "/v1/feedback", payload)[1]
+        assert first["duplicate"] is False
+        assert second["duplicate"] is True
+        assert second["records"] == first["records"]
+        assert len(wal) == 1
+
+    def test_invalid_feedback_is_a_400_not_an_append(self, feedback_edge):
+        host, port, wal = feedback_edge
+        status, body = http_json(
+            host, port, "POST", "/v1/feedback", {"user": -1, "items": []}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+        assert len(wal) == 0
+
+    def test_feedback_route_absent_without_a_wal(self, edge):
+        status, body = http_json(
+            *edge, "POST", "/v1/feedback", {"user": 0, "items": [1]}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
 
 
 class TestLoadgenAgainstLiveServer:

@@ -25,6 +25,8 @@ from repro.edge.schema import (
     BatchRecommendRequestV1,
     BatchRecommendResponseV1,
     ErrorResponseV1,
+    FeedbackRequestV1,
+    FeedbackResponseV1,
     FieldIssue,
     HealthResponseV1,
     RecommendRequestV1,
@@ -44,17 +46,19 @@ def parse_route_body(fixture: dict):
     """Parse a request fixture with the schema class its route uses."""
     if fixture["route"] == "/v1/recommend/batch":
         return BatchRecommendRequestV1.from_json_dict(fixture["request"])
+    if fixture["route"] == "/v1/feedback":
+        return FeedbackRequestV1.from_json_dict(fixture["request"])
     return RecommendRequestV1.from_json_dict(fixture["request"])
 
 
 class TestGoldenValidRequests:
-    @pytest.mark.parametrize("name", ["recommend_valid", "batch_valid"])
+    @pytest.mark.parametrize("name", ["recommend_valid", "batch_valid", "feedback_valid"])
     def test_canonical_form_is_pinned(self, name):
         fixture = load_golden(name)
         parsed = parse_route_body(fixture)
         assert parsed.to_json_dict() == fixture["expect"]["canonical"]
 
-    @pytest.mark.parametrize("name", ["recommend_valid", "batch_valid"])
+    @pytest.mark.parametrize("name", ["recommend_valid", "batch_valid", "feedback_valid"])
     def test_canonical_form_round_trips(self, name):
         fixture = load_golden(name)
         parsed = parse_route_body(fixture)
@@ -69,6 +73,22 @@ class TestGoldenValidRequests:
         assert parsed.deadline_ms is None
         assert parsed.exclude_observed is True
         assert parsed.version == API_VERSION
+
+    def test_feedback_derived_key_is_content_stable(self):
+        # No client key: the derived key is a pure function of the
+        # canonical content, so a bitwise-identical retry deduplicates.
+        one = FeedbackRequestV1.from_json_dict({"user": 3, "items": [1, 2]})
+        two = FeedbackRequestV1.from_json_dict({"user": 3, "items": [1, 2]})
+        other = FeedbackRequestV1.from_json_dict({"user": 3, "items": [2, 1]})
+        assert one.record_key() == two.record_key()
+        assert one.record_key() != other.record_key()
+        assert one.record_key().startswith("fb-")
+
+    def test_feedback_client_key_wins(self):
+        parsed = FeedbackRequestV1.from_json_dict(
+            {"user": 3, "items": [1], "key": "evt-9"}
+        )
+        assert parsed.record_key() == "evt-9"
 
     def test_to_serving_mirrors_fields(self):
         fixture = load_golden("recommend_valid")
@@ -124,6 +144,21 @@ class TestGoldenRejectedRequests:
             BatchRecommendRequestV1.from_json_dict({"requests": []})
         assert "at least one request" in excinfo.value.issues[0].message
 
+    @pytest.mark.parametrize(
+        "payload, path",
+        [
+            ({"items": [1]}, "user"),
+            ({"user": 0}, "items"),
+            ({"user": 0, "items": []}, "items"),
+            ({"user": 0, "items": [1], "key": ""}, "key"),
+            ({"user": 0, "items": [1], "typo": 1}, "typo"),
+        ],
+    )
+    def test_feedback_rejections_carry_field_paths(self, payload, path):
+        with pytest.raises(SchemaError) as excinfo:
+            FeedbackRequestV1.from_json_dict(payload)
+        assert path in [issue.path for issue in excinfo.value.issues]
+
     def test_server_side_lower_batch_cap(self):
         payload = {"requests": [{"user": 0}, {"user": 1}, {"user": 2}]}
         with pytest.raises(SchemaError) as excinfo:
@@ -138,6 +173,7 @@ class TestGoldenResponses:
             ("recommend_response", RecommendResponseV1),
             ("batch_response", BatchRecommendResponseV1),
             ("health_response", HealthResponseV1),
+            ("feedback_response", FeedbackResponseV1),
         ],
     )
     def test_wire_form_round_trips(self, name, cls):

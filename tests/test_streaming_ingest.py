@@ -1,0 +1,221 @@
+"""Ingest crash discipline: kill at every site, resume bitwise-identical.
+
+The ingester's contract is the streaming extension of the PR 2
+kill-and-resume invariant: a crash at *any* persistence site, on any
+batch, followed by :meth:`StreamIngestor.resume`, must reproduce
+factors bitwise-identical to a run that never crashed — and redelivered
+WAL records must fold in exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import make_profile_dataset, train_test_split
+from repro.mf.sgd import SGDConfig
+from repro.models import BPR
+from repro.resilience.chaos import KillSwitch, SimulatedKill
+from repro.streaming import (
+    IngestConfig,
+    StreamIngestor,
+    WalConfig,
+    WalRecord,
+    WriteAheadLog,
+    append_all,
+    synthesize_records,
+)
+from repro.utils.exceptions import ConfigError, NotFittedError
+
+KILL_SITES = (
+    "ingest.before_checkpoint",
+    "ingest.after_checkpoint",
+    "ingest.after_interactions",
+    "ingest.after_offset",
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = make_profile_dataset("ML100K", scale=0.15, seed=3)
+    return train_test_split(dataset, seed=3)
+
+
+def fresh_model(split):
+    return BPR(n_factors=8, sgd=SGDConfig(n_epochs=1), seed=0).fit(
+        split.train, split.validation
+    )
+
+
+def make_stream(split, n=60, seed=11):
+    return synthesize_records(
+        n, n_users=split.train.n_users, n_items=split.train.n_items, seed=seed
+    )
+
+
+def make_wal(path, records):
+    wal = WriteAheadLog(path, WalConfig(fsync="batch"))
+    append_all(wal, records)
+    return wal
+
+
+CONFIG = IngestConfig(batch_records=20)
+
+
+class TestIngestBasics:
+    def test_requires_fitted_model(self, tmp_path, split):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            with pytest.raises(NotFittedError):
+                StreamIngestor(wal, BPR(), tmp_path / "state")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            IngestConfig(batch_records=0)
+        with pytest.raises(ConfigError):
+            IngestConfig(epochs_per_batch=-1)
+        with pytest.raises(ConfigError):
+            IngestConfig(keep_states=1)
+
+    def test_consumes_stream_in_batches(self, tmp_path, split):
+        records = make_stream(split)
+        with make_wal(tmp_path / "wal", records) as wal:
+            ingestor = StreamIngestor(wal, fresh_model(split), tmp_path / "s", config=CONFIG)
+            before = ingestor.factors_checksum()
+            reports = ingestor.run()
+            assert [r.batch_index for r in reports] == [0, 1, 2]
+            assert sum(r.records for r in reports) == len(records)
+            assert ingestor.records_total_ == len(records)
+            assert ingestor.position == reports[-1].position
+            assert ingestor.factors_checksum() != before  # epochs actually ran
+            assert ingestor.run() == []  # nothing left past the offset
+
+    def test_duplicate_redelivery_is_noop(self, tmp_path, split):
+        records = make_stream(split)
+        with make_wal(tmp_path / "wal", records) as wal:
+            ingestor = StreamIngestor(wal, fresh_model(split), tmp_path / "s", config=CONFIG)
+            ingestor.run()
+            crc = ingestor.factors_checksum()
+            assert append_all(wal, records) == 0  # all dedup to durable no-ops
+            assert ingestor.run() == []
+            assert ingestor.factors_checksum() == crc
+
+    def test_new_users_grow_and_fold_in(self, tmp_path, split):
+        n_users = split.train.n_users
+        n_items = split.train.n_items
+        records = [
+            WalRecord(key="warm", user=0, items=(0, 1), ts=5.0),
+            WalRecord(key="new-with-items", user=n_users + 1, items=(2, 3), ts=6.0),
+            WalRecord(key="new-out-of-catalog", user=n_users + 2, items=(n_items + 7,)),
+        ]
+        with make_wal(tmp_path / "wal", records) as wal:
+            ingestor = StreamIngestor(
+                wal,
+                fresh_model(split),
+                tmp_path / "s",
+                config=IngestConfig(batch_records=10, epochs_per_batch=0),
+            )
+            (report,) = ingestor.run()
+        assert report.new_users == 3  # id gap user n_users counts too
+        assert report.folded_users == 1
+        assert report.skipped_items == 1
+        assert ingestor.train.n_users == n_users + 3
+        factors = ingestor.model.params_.user_factors
+        assert np.any(factors[n_users + 1] != 0.0)  # ridge fold-in vector
+        assert np.all(factors[n_users + 2] == 0.0)  # item-less arrival
+        assert ingestor.item_last_seen_[0] == 5.0
+        assert ingestor.item_last_seen_[2] == 6.0
+
+    def test_item_last_seen_keeps_maximum_ts(self, tmp_path, split):
+        records = [
+            WalRecord(key="a", user=0, items=(4,), ts=100.0),
+            WalRecord(key="b", user=1, items=(4,), ts=40.0),
+        ]
+        with make_wal(tmp_path / "wal", records) as wal:
+            ingestor = StreamIngestor(
+                wal,
+                fresh_model(split),
+                tmp_path / "s",
+                config=IngestConfig(batch_records=10, epochs_per_batch=0),
+            )
+            ingestor.run()
+        assert ingestor.item_last_seen_[4] == 100.0
+
+
+class TestResume:
+    def test_resume_without_state_is_a_fresh_start(self, tmp_path, split):
+        records = make_stream(split)
+        with make_wal(tmp_path / "wal", records) as wal:
+            fresh = StreamIngestor(wal, fresh_model(split), tmp_path / "a", config=CONFIG)
+            fresh.run()
+        with make_wal(tmp_path / "wal2", records) as wal:
+            resumed = StreamIngestor.resume(
+                wal, fresh_model(split), tmp_path / "b", config=CONFIG
+            )
+            resumed.run()
+        assert resumed.factors_checksum() == fresh.factors_checksum()
+
+    def test_resume_after_clean_stop_continues_exactly(self, tmp_path, split):
+        records = make_stream(split)
+        reference_wal = make_wal(tmp_path / "ref-wal", records)
+        with reference_wal as wal:
+            reference = StreamIngestor(wal, fresh_model(split), tmp_path / "ref", config=CONFIG)
+            reference.run()
+
+        with make_wal(tmp_path / "wal", records) as wal:
+            first = StreamIngestor(wal, fresh_model(split), tmp_path / "s", config=CONFIG)
+            first.run(max_batches=1)
+        with WriteAheadLog(tmp_path / "wal", WalConfig(fsync="batch")) as wal:
+            second = StreamIngestor.resume(
+                wal, fresh_model(split), tmp_path / "s", config=CONFIG
+            )
+            reports = second.run()
+        assert [r.batch_index for r in reports] == [1, 2]
+        assert second.records_total_ == len(records)
+        assert second.factors_checksum() == reference.factors_checksum()
+
+    @pytest.mark.parametrize("site", KILL_SITES)
+    @pytest.mark.parametrize("batch", [1, 2])
+    def test_kill_anywhere_resume_is_bitwise_identical(
+        self, tmp_path, split, site, batch
+    ):
+        records = make_stream(split)
+        with make_wal(tmp_path / "ref-wal", records) as wal:
+            reference = StreamIngestor(wal, fresh_model(split), tmp_path / "ref", config=CONFIG)
+            reference.run()
+
+        model = fresh_model(split)
+        switch = KillSwitch().arm(site, at_tick=batch + 1)
+        with make_wal(tmp_path / "wal", records) as wal:
+            crashed = StreamIngestor(
+                wal, model, tmp_path / "s", config=CONFIG, kill_switch=switch
+            )
+            with pytest.raises(SimulatedKill):
+                crashed.run()
+        with WriteAheadLog(tmp_path / "wal", WalConfig(fsync="batch")) as wal:
+            resumed = StreamIngestor.resume(wal, model, tmp_path / "s", config=CONFIG)
+            resumed.run()
+            assert resumed.factors_checksum() == reference.factors_checksum()
+            assert resumed.records_total_ == reference.records_total_
+            assert resumed.position == reference.position
+            assert resumed.train.n_users == reference.train.n_users
+            assert resumed.item_last_seen_ == reference.item_last_seen_
+
+    def test_orphaned_state_from_crash_is_replayed_identically(self, tmp_path, split):
+        # A crash after the interactions write but before the offset
+        # leaves an orphaned (checkpoint, interactions) pair for batch 1;
+        # resume must ignore it and rewrite it bit-for-bit.
+        records = make_stream(split)
+        model = fresh_model(split)
+        switch = KillSwitch().arm("ingest.after_interactions", at_tick=2)
+        with make_wal(tmp_path / "wal", records) as wal:
+            crashed = StreamIngestor(
+                wal, model, tmp_path / "s", config=CONFIG, kill_switch=switch
+            )
+            with pytest.raises(SimulatedKill):
+                crashed.run()
+        orphan = (tmp_path / "s" / "ckpt_epoch_00001.npz").read_bytes()
+        with WriteAheadLog(tmp_path / "wal", WalConfig(fsync="batch")) as wal:
+            resumed = StreamIngestor.resume(wal, model, tmp_path / "s", config=CONFIG)
+            reports = resumed.run()
+        assert reports[0].batch_index == 1  # replays the uncommitted batch
+        assert (tmp_path / "s" / "ckpt_epoch_00001.npz").read_bytes() == orphan

@@ -1,0 +1,358 @@
+"""Drift signals, the auto-retrain manager, and time-decay reranking.
+
+Drift detection runs against a real :class:`RecommendationService` with
+fault injection (fallback rate), slot swaps (score shift), and fed
+batch sizes (volume anomaly).  The retrain manager's retry/backoff
+schedule is asserted on a :class:`FakeClock`; promotion and rejection
+go through a real :class:`ModelReloader` canary over held-out NDCG.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import make_profile_dataset, train_test_split
+from repro.mf.params import FactorParams
+from repro.mf.sgd import SGDConfig
+from repro.models import BPR
+from repro.persistence import save_factors
+from repro.resilience.chaos import InjectedFault, ServiceFaultInjector
+from repro.serving import (
+    FakeClock,
+    InlineExecutor,
+    ModelReloader,
+    RecommendationService,
+    ServiceConfig,
+)
+from repro.streaming import (
+    AutoRetrainManager,
+    DriftMonitor,
+    DriftThresholds,
+    RetrainConfig,
+    TimeDecayReranker,
+)
+from repro.utils.exceptions import ConfigError
+
+THRESHOLDS = DriftThresholds(min_requests=5)
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = make_profile_dataset("ML100K", scale=0.2, seed=7)
+    return train_test_split(dataset, seed=7)
+
+
+@pytest.fixture(scope="module")
+def bpr(split):
+    return BPR(n_factors=8, sgd=SGDConfig(n_epochs=2), seed=0).fit(
+        split.train, split.validation
+    )
+
+
+@pytest.fixture
+def rig(split, bpr):
+    clock = FakeClock()
+    chaos = ServiceFaultInjector(clock)
+    service = RecommendationService.build(
+        bpr,
+        split.train,
+        config=ServiceConfig(default_deadline_ms=50.0),
+        executor=InlineExecutor(clock=clock),
+        clock=clock,
+        chaos=chaos,
+    )
+    users = np.flatnonzero(split.train.user_counts() > 0)
+    return service, chaos, users
+
+
+class _ShiftedModel:
+    """Slot stand-in whose probe scores sit far from the baseline."""
+
+    def __init__(self, shift: float):
+        self.shift = shift
+
+    def predict_batch(self, users):
+        return np.full((len(users), 3), self.shift)
+
+
+class TestDriftMonitor:
+    def test_healthy_service_is_clean(self, rig):
+        service, _, users = rig
+        monitor = DriftMonitor(service, thresholds=THRESHOLDS)
+        for user in users[:10]:
+            service.recommend(int(user))
+        report = monitor.check()
+        assert not report.drifted
+        assert report.reasons == ()
+        assert report.signals.requests == 10
+        assert report.to_json_dict()["drifted"] is False
+
+    def test_fallback_rate_trips_after_min_requests(self, rig):
+        service, chaos, users = rig
+        monitor = DriftMonitor(service, thresholds=THRESHOLDS)
+        chaos.inject("personalized", exception=True)
+        chaos.inject("itemknn", exception=True)
+        chaos.inject("fold_in", exception=True)
+        for user in users[:10]:
+            service.recommend(int(user))  # all served by popularity
+        report = monitor.check()
+        assert report.drifted
+        assert any("fallback rate" in reason for reason in report.reasons)
+
+    def test_min_requests_gates_the_fallback_signal(self, rig):
+        service, chaos, users = rig
+        monitor = DriftMonitor(
+            service, thresholds=DriftThresholds(min_requests=1000)
+        )
+        chaos.inject("personalized", exception=True)
+        chaos.inject("itemknn", exception=True)
+        chaos.inject("fold_in", exception=True)
+        for user in users[:10]:
+            service.recommend(int(user))
+        assert not monitor.check().drifted
+
+    def test_score_shift_trips_and_rebase_clears(self, rig):
+        service, _, _ = rig
+        monitor = DriftMonitor(service, thresholds=THRESHOLDS)
+        service.slot.swap(_ShiftedModel(1e6), version="shifted")
+        report = monitor.check()
+        assert report.drifted
+        assert any("score distribution" in reason for reason in report.reasons)
+        monitor.rebase()  # the shifted model is the new normal
+        assert not monitor.check().drifted
+
+    def test_nan_poisoned_model_is_infinitely_shifted(self, rig):
+        service, _, _ = rig
+        monitor = DriftMonitor(service, thresholds=THRESHOLDS)
+        service.slot.swap(_ShiftedModel(float("nan")), version="poisoned")
+        report = monitor.check()
+        assert report.drifted
+        assert report.signals.score_shift == float("inf")
+
+    def test_volume_anomaly_surge_and_collapse(self, rig):
+        service, _, _ = rig
+        monitor = DriftMonitor(service, thresholds=THRESHOLDS)
+        assert monitor.observe_volume(50) == 1.0  # first batch seeds the EWMA
+        monitor.observe_volume(50)
+        assert not monitor.check().drifted
+        monitor.observe_volume(500)  # 10x surge
+        report = monitor.check()
+        assert report.drifted
+        assert any("volume" in reason for reason in report.reasons)
+        monitor.rebase()
+        monitor.observe_volume(50)
+        monitor.observe_volume(2)  # collapse
+        assert monitor.check().drifted
+
+    def test_requires_slot_and_probe_users(self, rig, split):
+        service, _, _ = rig
+        with pytest.raises(ConfigError):
+            DriftMonitor(service, probe_users=[])
+        service.slot = None
+        with pytest.raises(ConfigError):
+            DriftMonitor(service)
+
+
+class _StubReloader:
+    """Minimal reloader double: returns a scripted poll result."""
+
+    def __init__(self, result):
+        self.result = result
+        self.polls = 0
+
+    def poll(self):
+        self.polls += 1
+        return self.result
+
+
+class _Result:
+    def __init__(self, status, reason="r", version=None):
+        self.status = status
+        self.reason = reason
+        self.version = version
+
+    @property
+    def accepted(self):
+        return self.status == "accepted"
+
+
+class TestAutoRetrainManager:
+    def test_clean_drift_report_skips(self, rig):
+        service, _, _ = rig
+        monitor = DriftMonitor(service, thresholds=THRESHOLDS)
+        calls = []
+        manager = AutoRetrainManager(
+            lambda: calls.append(1), _StubReloader(_Result("accepted"))
+        )
+        report = manager.maybe_retrain(monitor.check())
+        assert report.status == "skipped"
+        assert calls == []
+
+    def test_single_flight_rejects_reentrant_trigger(self):
+        inner: list = []
+        reloader = _StubReloader(_Result("accepted", version="v2"))
+
+        def trainer():
+            inner.append(manager.maybe_retrain())
+
+        manager = AutoRetrainManager(trainer, reloader)
+        report = manager.maybe_retrain()
+        assert report.status == "promoted"
+        assert inner[0].status == "skipped"
+        assert "in flight" in inner[0].reason
+
+    def test_retry_backoff_schedule_on_fake_clock(self):
+        clock = FakeClock()
+        attempts: list[int] = []
+
+        def flaky_trainer():
+            attempts.append(len(attempts))
+            if len(attempts) < 3:
+                raise InjectedFault("transient")
+
+        manager = AutoRetrainManager(
+            flaky_trainer,
+            _StubReloader(_Result("accepted", version="v2")),
+            config=RetrainConfig(max_retries=2, base_delay_s=0.5, backoff_factor=2.0),
+            clock=clock,
+        )
+        report = manager.maybe_retrain()
+        assert report.status == "promoted"
+        assert report.attempts == 3
+        assert clock.now == pytest.approx(0.5 + 1.0)  # 0.5 * 2**a
+
+    def test_exhausted_retries_fail_without_promotion(self):
+        clock = FakeClock()
+        reloader = _StubReloader(_Result("accepted"))
+
+        def dead_trainer():
+            raise InjectedFault("permanently broken")
+
+        manager = AutoRetrainManager(
+            dead_trainer,
+            reloader,
+            config=RetrainConfig(max_retries=2, base_delay_s=0.5),
+            clock=clock,
+        )
+        report = manager.maybe_retrain()
+        assert report.status == "failed"
+        assert report.attempts == 3
+        assert reloader.polls == 0  # a failed trainer never reaches the gate
+        assert not report.promoted
+
+    def test_trainer_that_writes_nothing_fails(self):
+        manager = AutoRetrainManager(
+            lambda: None, _StubReloader(_Result("unchanged", reason="no candidate"))
+        )
+        report = manager.maybe_retrain()
+        assert report.status == "failed"
+        assert "no new candidate" in report.reason
+
+    def test_concurrent_triggers_run_exactly_one_trainer(self):
+        started = threading.Event()
+        release = threading.Event()
+        runs = []
+
+        def slow_trainer():
+            runs.append(1)
+            started.set()
+            release.wait(timeout=5)
+
+        manager = AutoRetrainManager(
+            slow_trainer, _StubReloader(_Result("accepted", version="v2"))
+        )
+        results = {}
+        thread = threading.Thread(
+            target=lambda: results.update(first=manager.maybe_retrain())
+        )
+        thread.start()
+        assert started.wait(timeout=5)
+        results["second"] = manager.maybe_retrain()  # lock is held
+        release.set()
+        thread.join(timeout=5)
+        assert runs == [1]
+        assert results["second"].status == "skipped"
+        assert results["first"].status == "promoted"
+
+
+class TestCanaryEndToEnd:
+    def make_gate(self, rig, split, tmp_path):
+        service, _, _ = rig
+        candidate_path = tmp_path / "candidate.npz"
+        reloader = ModelReloader(
+            service.slot, candidate_path, split.train, split.validation
+        )
+        return service, candidate_path, reloader
+
+    def test_identical_candidate_promotes(self, rig, split, bpr, tmp_path):
+        service, candidate_path, reloader = self.make_gate(rig, split, tmp_path)
+
+        def trainer():
+            save_factors(
+                candidate_path, bpr.params_, metadata={"version_tag": "retrained-1"}
+            )
+
+        manager = AutoRetrainManager(trainer, reloader)
+        report = manager.maybe_retrain()
+        assert report.status == "promoted"
+        assert report.reload is not None and report.reload.accepted
+        assert service.slot.version == "retrained-1"
+        assert report.to_json_dict()["reload_status"] == "accepted"
+
+    def test_poisoned_candidate_is_rejected_and_last_good_serves(
+        self, rig, split, bpr, tmp_path
+    ):
+        service, candidate_path, reloader = self.make_gate(rig, split, tmp_path)
+        before = service.slot.version
+        poisoned = FactorParams(
+            np.full_like(bpr.params_.user_factors, np.nan),
+            bpr.params_.item_factors.copy(),
+            bpr.params_.item_bias.copy(),
+        )
+
+        def trainer():
+            save_factors(
+                candidate_path, poisoned, metadata={"version_tag": "poisoned-1"}
+            )
+
+        manager = AutoRetrainManager(trainer, reloader)
+        report = manager.maybe_retrain()
+        assert report.status == "rejected"
+        assert service.slot.version == before  # last-good keeps serving
+
+
+class TestTimeDecayReranker:
+    def test_no_history_is_identity(self):
+        reranker = TimeDecayReranker({})
+        ranked = [5, 3, 9]
+        assert list(reranker.rerank(ranked, now=100.0)) == ranked
+
+    def test_recent_item_climbs_over_untracked(self):
+        # Ranks [a, b, c]; c was just seen, a and b decay to the floor:
+        # weights 1*0.5, 0.5*0.5, (1/3)*1.0 -> order a, c, b.
+        reranker = TimeDecayReranker({9: 100.0}, half_life_s=60.0, floor=0.5)
+        assert list(reranker.rerank([5, 3, 9], now=100.0)) == [5, 9, 3]
+
+    def test_decay_halves_per_half_life(self):
+        reranker = TimeDecayReranker({1: 0.0}, half_life_s=10.0, floor=0.0)
+        assert reranker.decay(1, now=0.0) == pytest.approx(1.0)
+        assert reranker.decay(1, now=10.0) == pytest.approx(0.5)
+        assert reranker.decay(1, now=20.0) == pytest.approx(0.25)
+        assert reranker.decay(2, now=0.0) == 0.0  # untracked -> floor
+
+    def test_floor_bounds_tracked_decay(self):
+        reranker = TimeDecayReranker({1: 0.0}, half_life_s=1.0, floor=0.4)
+        assert reranker.decay(1, now=1e6) == 0.4
+
+    def test_ties_are_stable(self):
+        reranker = TimeDecayReranker({7: 50.0, 8: 50.0}, half_life_s=60.0)
+        assert list(reranker.rerank([7, 8], now=50.0)) == [7, 8]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TimeDecayReranker({}, half_life_s=0.0)
+        with pytest.raises(ConfigError):
+            TimeDecayReranker({}, floor=1.5)
