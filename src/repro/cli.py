@@ -712,7 +712,8 @@ def cmd_ingest(args) -> int:
         print(f"  batch {report.batch_index}: {report.records} records -> "
               f"{report.pairs} pairs, +{report.new_users} users "
               f"({report.folded_users} folded in), "
-              f"{report.skipped_items} out-of-catalog items skipped")
+              f"{report.skipped_items} out-of-catalog items skipped, "
+              f"{report.skipped_users} over-cap user records skipped")
     print(f"ingested {ingestor.records_total_} records total over "
           f"{ingestor.batch_index_ + 1} batches: "
           f"{ingestor.train.n_users} users, "

@@ -112,6 +112,10 @@ class EdgeConfig:
     coalesce: CoalesceConfig = field(default_factory=CoalesceConfig)
     coalesce_singles: bool = True
     retry_after_s: float = 1.0  # Retry-After hint on every 429/503 shed
+    # Highest feedback user id accepted = served n_users + this headroom.
+    # Acknowledged ids are replayed forever and grow the factor matrix,
+    # so the cap bounds what one hostile POST can commit into the WAL.
+    feedback_user_headroom: int = 100_000
 
     def __post_init__(self):
         if self.max_connections < 1 or self.max_inflight < 1:
@@ -122,6 +126,10 @@ class EdgeConfig:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.retry_after_s <= 0:
             raise ConfigError(f"retry_after_s must be > 0, got {self.retry_after_s}")
+        if self.feedback_user_headroom < 0:
+            raise ConfigError(
+                f"feedback_user_headroom must be >= 0, got {self.feedback_user_headroom}"
+            )
 
 
 @dataclass(frozen=True)
@@ -472,7 +480,10 @@ class EdgeServer:
 
     async def _handle_feedback(self, request: HttpRequest) -> HttpResponse:
         assert self.wal is not None  # route registered only with a WAL
-        parsed = FeedbackRequestV1.from_json_dict(request.json())
+        parsed = FeedbackRequestV1.from_json_dict(
+            request.json(),
+            max_user=self.service.train.n_users - 1 + self.config.feedback_user_headroom,
+        )
         record = WalRecord(
             key=parsed.record_key(), user=parsed.user, items=parsed.items, ts=parsed.ts
         )

@@ -25,8 +25,8 @@ the in-process and wire representations are the same frozen schema.
 
 from __future__ import annotations
 
+import hashlib
 import json
-import zlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -40,6 +40,11 @@ API_VERSION = "v1"
 #: Hard ceiling on ``/v1/recommend/batch`` fan-in (the server may
 #: configure a lower one).
 MAX_BATCH_SIZE = 256
+
+#: Hard ceiling on items per ``/v1/feedback`` event.  One POST is one
+#: logical interaction, not a bulk-load channel; a bound here keeps a
+#: single request from inflating the WAL and the ingest batch.
+MAX_FEEDBACK_ITEMS = 1024
 
 #: Error codes an :class:`ErrorResponseV1` may carry.
 ERROR_INVALID_REQUEST = "invalid_request"
@@ -391,10 +396,18 @@ class FeedbackRequestV1:
 
     ``key`` is the duplicate-delivery idempotency key.  Clients that
     retry should send their own; when absent the server derives a
-    content key (CRC-32 of the canonical ``user``/``items``/``ts``
+    content key (SHA-256 of the canonical ``user``/``items``/``ts``
     form via :meth:`record_key`), so a bitwise-identical retry still
-    deduplicates.  ``ts`` is the client-side event timestamp in
-    seconds (any epoch — the time-decay reranker only uses deltas).
+    deduplicates.  Corollary: keyless events that also omit ``ts`` make
+    *genuine* repeats of the same interaction collapse to one WAL
+    record — clients that need repeat semantics must send ``key`` or a
+    distinct ``ts``.  ``ts`` is the client-side event timestamp in
+    epoch seconds (the timebase the time-decay reranker ages against).
+
+    ``from_json_dict`` takes the server's ``max_user`` cap: the WAL
+    acknowledges durably and the ingester grows ``n_users`` to cover
+    every acknowledged id, so an unbounded id would let one request
+    commit an absurd allocation into the replay path forever.
     """
 
     user: int
@@ -406,18 +419,31 @@ class FeedbackRequestV1:
     _FIELDS = frozenset({"user", "items", "key", "ts", "version"})
 
     @classmethod
-    def from_json_dict(cls, payload: Any) -> "FeedbackRequestV1":
+    def from_json_dict(
+        cls, payload: Any, *, max_user: int | None = None
+    ) -> "FeedbackRequestV1":
         check = _Check(payload)
         if not check.require_mapping():
             check.raise_if_issues()
         version = check.version()
         check.reject_unknown(cls._FIELDS)
         user = check.integer("user", required=True, minimum=0)
+        if max_user is not None and user is not None and user > max_user:
+            check.issues.append(
+                FieldIssue("user", f"must be <= {max_user} (server growth cap), got {user}")
+            )
         items = check.int_list("items")
         if "items" not in payload:
             check.issues.append(FieldIssue("items", "required field is missing"))
         elif items is not None and len(items) == 0:
             check.issues.append(FieldIssue("items", "must contain at least one item"))
+        elif items is not None and len(items) > MAX_FEEDBACK_ITEMS:
+            check.issues.append(
+                FieldIssue(
+                    "items",
+                    f"must contain at most {MAX_FEEDBACK_ITEMS} items, got {len(items)}",
+                )
+            )
         key = payload.get("key")
         if key is not None and (not isinstance(key, str) or not key):
             check.issues.append(FieldIssue("key", "expected a non-empty string"))
@@ -435,14 +461,20 @@ class FeedbackRequestV1:
         return payload
 
     def record_key(self) -> str:
-        """The idempotency key: the client's, or a derived content CRC."""
+        """The idempotency key: the client's, or a derived content hash.
+
+        The derived key is the full SHA-256 of the canonical content:
+        WAL dedup is exact-match over the whole log lifetime, so a
+        narrow hash (a 32-bit CRC reaches ~50% collision odds around
+        80k keys) would silently drop distinct events as duplicates.
+        """
         if self.key is not None:
             return self.key
         canonical = json.dumps(
             {"user": self.user, "items": list(self.items), "ts": self.ts},
             sort_keys=True, separators=(",", ":"),
         ).encode("utf-8")
-        return f"fb-{zlib.crc32(canonical) & 0xFFFFFFFF:08x}"
+        return f"fb-{hashlib.sha256(canonical).hexdigest()}"
 
 
 @dataclass(frozen=True)

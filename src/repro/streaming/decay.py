@@ -12,8 +12,11 @@ scores — so the combined weight of the item at rank ``r`` is::
 
 ``age`` is ``now - last_seen`` from the ingest path's per-item
 timestamps (:attr:`StreamIngestor.item_last_seen_`); ``now`` comes from
-an injectable clock or an explicit argument, so the reranker is a pure
-function under test.  The ``floor`` keeps items with no streaming
+an explicit argument or the injectable clock's *wall* time, so the
+reranker is a pure function under test.  The wall timebase matters:
+``last_seen`` holds client-supplied feedback ``ts`` values (epoch
+seconds), so defaulting to a monotonic reading would make every age
+negative and silently disable the decay.  The ``floor`` keeps items with no streaming
 history (the whole catalog, before any feedback arrives) competitive
 rather than nuking them to zero — with no timestamps at all the
 reranking is the identity.
@@ -49,7 +52,9 @@ class TimeDecayReranker:
         Decay factor assigned to untracked items and the asymptotic
         minimum for tracked ones (in ``[0, 1]``).
     clock:
-        Source of ``now`` when :meth:`rerank` is not given one.
+        Source of ``now`` (via :meth:`~repro.utils.clock.Clock.wall`,
+        matching the feedback-``ts`` timebase) when :meth:`rerank` is
+        not given one.
     """
 
     def __init__(
@@ -84,7 +89,9 @@ class TimeDecayReranker:
         if ranked.size == 0 or not self.item_last_seen:
             return ranked
         if now is None:
-            now = self.clock.monotonic()
+            # Wall time, not monotonic: last_seen holds client epoch
+            # timestamps, and ages must come out non-negative.
+            now = self.clock.wall()
         rank_weight = 1.0 / (np.arange(len(ranked), dtype=np.float64) + 1.0)
         decay = np.array([self.decay(item, now) for item in ranked])
         order = np.argsort(-rank_weight * decay, kind="stable")

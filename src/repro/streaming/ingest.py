@@ -4,9 +4,11 @@ The ingester turns acknowledged WAL records into model updates in
 deterministic batches:
 
 1. read up to ``batch_records`` records past the persisted offset;
-2. grow the interaction matrix (new users extend ``n_users``; items
-   outside the trained catalog are skipped and counted — the item side
-   is fixed until the next full retrain);
+2. grow the interaction matrix (new users extend ``n_users`` up to the
+   ``max_user_growth`` cap — records with absurdly large user ids are
+   skipped and counted rather than allowed to size the factor matrix;
+   items outside the trained catalog are likewise skipped and counted —
+   the item side is fixed until the next full retrain);
 3. fold genuinely new users in with :func:`fold_in_users_ridge` against
    the frozen item factors (users that arrive with no in-catalog items
    get a zero vector — the cold-start popularity path serves them);
@@ -67,6 +69,15 @@ class IngestConfig:
     ``keep_states`` must stay >= 2: the newest state may be orphaned by
     a crash before the offset advance, in which case resume needs the
     one before it.
+
+    ``max_user_growth`` caps how far one batch may extend ``n_users``
+    past its pre-batch value: a WAL record whose user id is at or above
+    the cap is skipped and counted, never applied.  The edge already
+    rejects such ids, but the WAL is replayed verbatim forever, so the
+    consumer must also refuse to let a single durable record commit an
+    absurd ``np.zeros((10**12, k))`` allocation into every resume.  The
+    skip rule depends only on replayed state, so it is deterministic
+    under crash-and-replay.
     """
 
     batch_records: int = 64
@@ -74,6 +85,7 @@ class IngestConfig:
     fold_in_weight: float = 10.0
     fold_in_reg: float = 0.1
     keep_states: int = 2
+    max_user_growth: int = 100_000
 
     def __post_init__(self) -> None:
         if self.batch_records < 1:
@@ -84,6 +96,10 @@ class IngestConfig:
             )
         if self.keep_states < 2:
             raise ConfigError(f"keep_states must be >= 2, got {self.keep_states}")
+        if self.max_user_growth < 0:
+            raise ConfigError(
+                f"max_user_growth must be >= 0, got {self.max_user_growth}"
+            )
 
 
 @dataclass(frozen=True)
@@ -96,6 +112,7 @@ class BatchReport:
     new_users: int
     folded_users: int
     skipped_items: int
+    skipped_users: int
     position: WalPosition
     epochs: int
 
@@ -156,6 +173,7 @@ class StreamIngestor:
         self.batch_index_ = -1
         self.records_total_ = 0
         self.skipped_items_total_ = 0
+        self.skipped_users_total_ = 0
         self.item_last_seen_: dict[int, float] = {}
 
     # -- resume --------------------------------------------------------
@@ -214,6 +232,7 @@ class StreamIngestor:
         ingestor.batch_index_ = batch_index
         ingestor.records_total_ = int(state.get("records_total", 0))
         ingestor.skipped_items_total_ = int(state.get("skipped_items_total", 0))
+        ingestor.skipped_users_total_ = int(state.get("skipped_users_total", 0))
         ingestor.item_last_seen_ = {
             int(item): float(ts) for item, ts in state.get("item_last_seen", {}).items()
         }
@@ -251,9 +270,16 @@ class StreamIngestor:
         n_items = self.train.n_items
         pairs: list[tuple[int, int]] = []
         skipped = 0
+        skipped_users = 0
         max_user = self.train.n_users - 1
+        # Pre-batch limit: a pure function of replayed state, so the
+        # skip decision replays identically after a crash.
+        user_limit = self.train.n_users + self.config.max_user_growth
         positives_by_new_user: dict[int, list[int]] = {}
         for record in batch.records:
+            if record.user >= user_limit:
+                skipped_users += 1
+                continue
             max_user = max(max_user, record.user)
             in_catalog = [item for item in record.items if item < n_items]
             skipped += len(record.items) - len(in_catalog)
@@ -288,6 +314,7 @@ class StreamIngestor:
         batch_index = self.batch_index_ + 1
         self.records_total_ += len(batch.records)
         self.skipped_items_total_ += skipped
+        self.skipped_users_total_ += skipped_users
         self._persist(batch_index, batch.position)
         self.batch_index_ = batch_index
         self.position = batch.position
@@ -296,6 +323,8 @@ class StreamIngestor:
         self.obs.counter("ingest_records_total").inc(len(batch.records))
         if skipped:
             self.obs.counter("ingest_skipped_items_total").inc(skipped)
+        if skipped_users:
+            self.obs.counter("ingest_skipped_users_total").inc(skipped_users)
         if new_users > 0:
             self.obs.counter("ingest_new_users_total").inc(new_users)
         self.obs.gauge("ingest_n_users").set(grown.n_users)
@@ -307,6 +336,7 @@ class StreamIngestor:
             new_users=new_users,
             folded_users=len(positives_by_new_user),
             skipped_items=skipped,
+            skipped_users=skipped_users,
             position=batch.position,
             epochs=epochs,
         )
@@ -364,6 +394,7 @@ class StreamIngestor:
                 "position": position.to_json_dict(),
                 "records_total": self.records_total_,
                 "skipped_items_total": self.skipped_items_total_,
+                "skipped_users_total": self.skipped_users_total_,
                 "item_last_seen": {
                     str(item): ts for item, ts in sorted(self.item_last_seen_.items())
                 },

@@ -156,14 +156,22 @@ def decode_frames(data: bytes) -> tuple[list[bytes], int]:
     """Decode consecutive frames; returns (payloads, valid_length).
 
     Stops at the first frame whose header is short, whose payload is
-    short, or whose CRC mismatches — ``valid_length`` is the byte
-    offset of the last frame that checked out, i.e. the truncation
-    target for a torn tail.
+    short, whose length is zero, or whose CRC mismatches —
+    ``valid_length`` is the byte offset of the last frame that checked
+    out, i.e. the truncation target for a torn tail.
+
+    Zero-length frames are rejected outright: no valid record payload
+    is empty, and ``zlib.crc32(b"") == 0`` means a zero-filled torn
+    tail (file size extended but data pages never flushed — a real
+    post-power-loss state) would otherwise parse as a run of "valid"
+    empty frames.
     """
     payloads: list[bytes] = []
     offset = 0
     while offset + _HEADER.size <= len(data):
         length, crc = _HEADER.unpack_from(data, offset)
+        if length == 0:
+            break
         start = offset + _HEADER.size
         end = start + length
         if end > len(data):
@@ -261,6 +269,20 @@ class WriteAheadLog:
         for path in segments:
             data = path.read_bytes()
             payloads, valid_length = decode_frames(data)
+            records: list[WalRecord] = []
+            offset = 0
+            for payload in payloads:
+                # A frame can survive the CRC check yet not decode to a
+                # record (torn garbage that happens to frame, or a
+                # foreign writer).  Treat it exactly like a torn tail:
+                # truncate at the bad frame's start instead of letting
+                # the exception wedge every subsequent open.
+                try:
+                    records.append(WalRecord.from_payload(payload))
+                except (DataError, ValueError, KeyError, TypeError):
+                    valid_length = offset
+                    break
+                offset += _HEADER.size + len(payload)
             if valid_length < len(data):
                 # Torn tail: bytes past the last valid frame were never
                 # acknowledged (ack requires the full frame + fsync), so
@@ -268,9 +290,9 @@ class WriteAheadLog:
                 truncate_file(path, valid_length)
                 report.truncated_bytes += len(data) - valid_length
                 report.truncated_segment = _segment_index(path)
-            for payload in payloads:
+            for record in records:
                 report.records += 1
-                report.keys.add(WalRecord.from_payload(payload).key)
+                report.keys.add(record.key)
         if report.truncated_bytes:
             self.obs.counter("wal_truncated_bytes_total").inc(report.truncated_bytes)
             self.obs.event(

@@ -19,9 +19,18 @@ import time
 
 
 class Clock:
-    """Minimal monotonic-clock interface (seconds)."""
+    """Minimal clock interface (seconds).
+
+    ``monotonic`` is for measuring intervals; ``wall`` is for comparing
+    against externally produced epoch timestamps (e.g. client-supplied
+    event times) — the two run on different timebases on a real system
+    and must never be mixed.
+    """
 
     def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def wall(self) -> float:
         raise NotImplementedError
 
     def sleep(self, seconds: float) -> None:
@@ -29,10 +38,13 @@ class Clock:
 
 
 class SystemClock(Clock):
-    """The real thing: ``time.monotonic`` / ``time.sleep``."""
+    """The real thing: ``time.monotonic`` / ``time.time`` / ``time.sleep``."""
 
     def monotonic(self) -> float:
         return time.monotonic()
+
+    def wall(self) -> float:
+        return time.time()
 
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
@@ -50,6 +62,10 @@ class FakeClock(Clock):
         self.now = float(start)
 
     def monotonic(self) -> float:
+        return self.now
+
+    def wall(self) -> float:
+        # One fake timebase: tests advance `now` and both views agree.
         return self.now
 
     def sleep(self, seconds: float) -> None:

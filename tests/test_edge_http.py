@@ -344,6 +344,19 @@ class TestFeedbackRoute:
         assert body["error"]["code"] == "invalid_request"
         assert len(wal) == 0
 
+    def test_absurd_user_id_is_rejected_not_acknowledged(self, feedback_edge):
+        # A durably acknowledged user=10**12 would be replayed forever
+        # and size the factor matrix on every resume; the edge must
+        # bounce it as a 400 before the WAL sees it.
+        host, port, wal = feedback_edge
+        status, body = http_json(
+            host, port, "POST", "/v1/feedback", {"user": 10**12, "items": [1]}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+        assert body["error"]["issues"][0]["path"] == "user"
+        assert len(wal) == 0
+
     def test_feedback_route_absent_without_a_wal(self, edge):
         status, body = http_json(
             *edge, "POST", "/v1/feedback", {"user": 0, "items": [1]}

@@ -83,6 +83,9 @@ class TestGoldenValidRequests:
         assert one.record_key() == two.record_key()
         assert one.record_key() != other.record_key()
         assert one.record_key().startswith("fb-")
+        # Full-width hash: WAL dedup is exact-match over the log's
+        # lifetime, so a 32-bit CRC would collide by the birthday bound.
+        assert len(one.record_key()) == len("fb-") + 64
 
     def test_feedback_client_key_wins(self):
         parsed = FeedbackRequestV1.from_json_dict(
@@ -127,6 +130,42 @@ class TestGoldenRejectedRequests:
     def test_oversized_fixture_is_actually_oversized(self):
         fixture = load_golden("batch_oversized")
         assert len(fixture["request"]["requests"]) == MAX_BATCH_SIZE + 1
+
+    def test_feedback_user_above_server_cap_is_rejected(self):
+        # Acknowledged user ids size the factor matrix on replay, so
+        # the server's growth cap must bounce absurd ids at the edge.
+        with pytest.raises(SchemaError) as excinfo:
+            FeedbackRequestV1.from_json_dict(
+                {"user": 10**12, "items": [1]}, max_user=1000
+            )
+        assert excinfo.value.code == ERROR_INVALID_REQUEST
+        assert [issue.path for issue in excinfo.value.issues] == ["user"]
+        # At the cap is fine; no cap means any non-negative id parses.
+        assert FeedbackRequestV1.from_json_dict(
+            {"user": 1000, "items": [1]}, max_user=1000
+        ).user == 1000
+        assert FeedbackRequestV1.from_json_dict(
+            {"user": 10**12, "items": [1]}
+        ).user == 10**12
+
+    def test_feedback_negative_item_is_a_schema_error(self):
+        with pytest.raises(SchemaError) as excinfo:
+            FeedbackRequestV1.from_json_dict({"user": 1, "items": [2, -3]})
+        assert excinfo.value.code == ERROR_INVALID_REQUEST
+        assert [issue.path for issue in excinfo.value.issues] == ["items[1]"]
+
+    def test_feedback_item_list_length_is_capped(self):
+        from repro.edge.schema import MAX_FEEDBACK_ITEMS
+
+        ok = FeedbackRequestV1.from_json_dict(
+            {"user": 1, "items": list(range(MAX_FEEDBACK_ITEMS))}
+        )
+        assert len(ok.items) == MAX_FEEDBACK_ITEMS
+        with pytest.raises(SchemaError) as excinfo:
+            FeedbackRequestV1.from_json_dict(
+                {"user": 1, "items": list(range(MAX_FEEDBACK_ITEMS + 1))}
+            )
+        assert [issue.path for issue in excinfo.value.issues] == ["items"]
 
     def test_bool_is_not_an_integer(self):
         with pytest.raises(SchemaError) as excinfo:

@@ -75,6 +75,8 @@ class TestIngestBasics:
             IngestConfig(epochs_per_batch=-1)
         with pytest.raises(ConfigError):
             IngestConfig(keep_states=1)
+        with pytest.raises(ConfigError):
+            IngestConfig(max_user_growth=-1)
 
     def test_consumes_stream_in_batches(self, tmp_path, split):
         records = make_stream(split)
@@ -124,6 +126,44 @@ class TestIngestBasics:
         assert np.all(factors[n_users + 2] == 0.0)  # item-less arrival
         assert ingestor.item_last_seen_[0] == 5.0
         assert ingestor.item_last_seen_[2] == 6.0
+
+    def test_over_cap_user_records_are_skipped_not_allocated(self, tmp_path, split):
+        # A WAL record with an absurd user id (the log is replayed
+        # verbatim, so one such durable record is permanent) must be
+        # skipped and counted — never allowed to size the factor matrix.
+        n_users = split.train.n_users
+        records = [
+            WalRecord(key="ok", user=0, items=(0,), ts=1.0),
+            WalRecord(key="grows", user=n_users + 3, items=(1,), ts=2.0),
+            WalRecord(key="absurd", user=n_users + 10**9, items=(2,), ts=3.0),
+        ]
+        with make_wal(tmp_path / "wal", records) as wal:
+            ingestor = StreamIngestor(
+                wal,
+                fresh_model(split),
+                tmp_path / "s",
+                config=IngestConfig(
+                    batch_records=10, epochs_per_batch=0, max_user_growth=100
+                ),
+            )
+            (report,) = ingestor.run()
+        assert report.skipped_users == 1
+        assert report.new_users == 4  # the in-cap arrival still grows
+        assert ingestor.skipped_users_total_ == 1
+        assert ingestor.train.n_users == n_users + 4
+        # The skipped record contributes nothing — no pair, no recency.
+        assert 2 not in ingestor.item_last_seen_
+        # Resume from the committed state keeps the running count.
+        with make_wal(tmp_path / "wal", []) as wal:
+            resumed = StreamIngestor.resume(
+                wal,
+                fresh_model(split),
+                tmp_path / "s",
+                config=IngestConfig(
+                    batch_records=10, epochs_per_batch=0, max_user_growth=100
+                ),
+            )
+            assert resumed.skipped_users_total_ == 1
 
     def test_item_last_seen_keeps_maximum_ts(self, tmp_path, split):
         records = [

@@ -356,3 +356,19 @@ class TestTimeDecayReranker:
             TimeDecayReranker({}, half_life_s=0.0)
         with pytest.raises(ConfigError):
             TimeDecayReranker({}, floor=1.5)
+
+    def test_default_now_shares_the_feedback_ts_timebase(self):
+        # item_last_seen_ holds client wall-clock epoch timestamps, so
+        # the default `now` must be the clock's *wall* reading — a
+        # monotonic default would make every age negative (clamped to
+        # 0), decay everything to 1.0, and silently disable recency.
+        clock = FakeClock(start=100.0)
+        reranker = TimeDecayReranker(
+            {9: 100.0, 5: 40.0}, half_life_s=60.0, floor=0.5, clock=clock
+        )
+        # At wall time 100: item 9 just seen (decay 1.0), item 5 aged
+        # 60s (decay 0.5) -> same ordering as an explicit now=100.
+        assert list(reranker.rerank([5, 3, 9])) == list(
+            reranker.rerank([5, 3, 9], now=100.0)
+        )
+        assert list(reranker.rerank([5, 3, 9])) == [5, 9, 3]

@@ -39,7 +39,7 @@ def read_all(wal: WriteAheadLog) -> list[WalRecord]:
 
 class TestFraming:
     def test_frame_round_trips(self):
-        payloads = [b"alpha", b"", b"x" * 300]
+        payloads = [b"alpha", b"x" * 300]
         data = b"".join(encode_frame(p) for p in payloads)
         decoded, valid = decode_frames(data)
         assert decoded == payloads
@@ -50,6 +50,16 @@ class TestFraming:
         decoded, valid = decode_frames(good + b"\xff\xff\xff\xff torn")
         assert decoded == [b"kept"]
         assert valid == len(good)
+
+    def test_zero_filled_tail_is_torn_not_valid(self):
+        # crc32(b"") == 0, so an all-zeros tail (size extended, data
+        # pages never flushed) would frame as "valid" empty records if
+        # length == 0 were accepted.
+        good = encode_frame(b"kept")
+        for pad in (8, 16, 64):
+            decoded, valid = decode_frames(good + b"\x00" * pad)
+            assert decoded == [b"kept"]
+            assert valid == len(good)
 
     def test_record_payload_round_trips(self):
         record = WalRecord(key="k", user=3, items=(1, 2), ts=9.5)
@@ -195,6 +205,38 @@ class TestEveryByteBoundary:
             frame_index = sum(1 for b in boundaries if b <= index)
             with WriteAheadLog(directory) as wal:
                 assert read_all(wal) == records[:frame_index], f"flip at byte {index}"
+
+    def test_zero_filled_tail_recovers_every_acknowledged_record(
+        self, tmp_path, log_bytes
+    ):
+        # Post-power-loss reality on ext4/XFS: the file grew but the
+        # data pages are zeros.  Recovery must truncate, not crash.
+        records, data, boundaries = log_bytes
+        (tmp_path / segment_name(0)).write_bytes(data + b"\x00" * 128)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.recovery_.truncated_bytes == 128
+            assert read_all(wal) == records
+        assert (tmp_path / segment_name(0)).stat().st_size == len(data)
+
+    def test_crc_valid_but_unparseable_frame_is_a_torn_tail(
+        self, tmp_path, log_bytes
+    ):
+        # A frame that passes the CRC but does not decode to a WAL
+        # record (foreign writer, framed garbage) must become the
+        # truncation point — not a JSONDecodeError that wedges every
+        # subsequent open.
+        records, data, boundaries = log_bytes
+        for junk in (b"", b"not json", b"{}", b'{"user": 1}'):
+            directory = tmp_path / f"junk{len(junk)}"
+            directory.mkdir()
+            bad = encode_frame(junk)
+            (directory / segment_name(0)).write_bytes(data + bad)
+            with WriteAheadLog(directory) as wal:
+                assert read_all(wal) == records
+            assert (directory / segment_name(0)).stat().st_size == len(data)
+        # Reopening after the repair is clean: nothing left to cut.
+        with WriteAheadLog(tmp_path / "junk0") as wal:
+            assert wal.recovery_.truncated_bytes == 0
 
     def test_append_after_torn_tail_recovery_continues_the_log(
         self, tmp_path, log_bytes
