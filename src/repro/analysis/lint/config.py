@@ -119,6 +119,8 @@ DEFAULT_CONFIG = LintConfig(
             "edge/*.py",
             "*/streaming/*.py",
             "streaming/*.py",
+            "*/runtime/*.py",
+            "runtime/*.py",
         ),
     },
 )

@@ -56,6 +56,26 @@ Commands
     injected tier faults), ingest fresh feedback, check the drift
     monitor, and let the auto-retrain manager promote candidates only
     through the canary-gated hot reload.
+``run``
+    The self-healing runtime as a disaster drill: every streaming
+    component (edge, ingest, retrain, reload, scrub) under one
+    supervisor with restart-on-crash, while the load generator keeps
+    traffic flowing.  ``--kill COMPONENT[:ROUND]`` SIGKILL-simulates
+    components mid-round, ``--corrupt-state-at`` / ``--corrupt-wal-at``
+    flip bits in durable files for the scrubber to repair from its
+    mirror, and the run ends with a snapshot → wipe → restore roundtrip
+    that must reproduce bitwise-identical factors.  ``--expect-*``
+    flags turn each recovery property into an exit gate for CI.
+``snapshot``
+    Create, list, or verify disaster-recovery bundles (manifest +
+    per-file SHA-256) of a runtime data directory.
+``restore``
+    Rebuild the ``wal/`` and ``state/`` directories from a snapshot
+    bundle — verify-everything-first, atomic per file, idempotent.
+``scrub``
+    One offline verify-and-repair pass over a runtime data directory
+    against its ``mirror/`` replicas; ``--expect-clean`` exits non-zero
+    on any unrepaired or deferred finding.
 ``lint``
     Run the reproducibility linter (REP001–REP006) over source trees;
     exits non-zero on any finding.  Same engine as
@@ -119,8 +139,13 @@ def _make_obs(args):
     if args.metrics_out is None and not args.trace:
         return None
     from repro.obs import MetricsRegistry
+    from repro.utils.atomicio import set_metrics_registry
 
-    return MetricsRegistry(trace=args.trace)
+    registry = MetricsRegistry(trace=args.trace)
+    # Durability-failure counters (fsync) have no obs plumbing of their
+    # own — point the module-level hook at this run's registry.
+    set_metrics_registry(registry)
+    return registry
 
 
 def _finish_obs(args, obs) -> None:
@@ -128,6 +153,9 @@ def _finish_obs(args, obs) -> None:
     if obs is None:
         return
     from repro.obs import export_metrics, summary_table
+    from repro.utils.atomicio import set_metrics_registry
+
+    set_metrics_registry(None)
 
     print(summary_table(obs))
     if args.metrics_out is not None:
@@ -496,10 +524,10 @@ def cmd_shadow_eval(args) -> int:
     return 0
 
 
-def _build_edge_server(args, service, obs=None, wal=None):
-    from repro.edge import CoalesceConfig, EdgeConfig, EdgeServer
+def _edge_config_from_args(args):
+    from repro.edge import CoalesceConfig, EdgeConfig
 
-    config = EdgeConfig(
+    return EdgeConfig(
         host=args.host,
         port=args.port,
         max_inflight=args.max_inflight,
@@ -512,7 +540,12 @@ def _build_edge_server(args, service, obs=None, wal=None):
         ),
         coalesce_singles=not args.no_coalesce,
     )
-    return EdgeServer(service, config=config, obs=obs, wal=wal)
+
+
+def _build_edge_server(args, service, obs=None, wal=None):
+    from repro.edge import EdgeServer
+
+    return EdgeServer(service, config=_edge_config_from_args(args), obs=obs, wal=wal)
 
 
 def cmd_serve_http(args) -> int:
@@ -889,6 +922,430 @@ def cmd_retrain_daemon(args) -> int:
     return 0
 
 
+def _data_layout(data_dir) -> dict[str, Path]:
+    """The on-disk layout ``RuntimeStack`` builds under ``--data-dir``."""
+    root = Path(data_dir)
+    return {
+        "wal": root / "wal",
+        "state": root / "state",
+        "mirror": root / "mirror",
+        "snapshots": root / "snapshots",
+    }
+
+
+def _parse_kills(specs, default_round: int) -> list[tuple[str, int]]:
+    from repro.runtime import COMPONENTS
+
+    kills: list[tuple[str, int]] = []
+    for spec in specs or ():
+        name, _, at = spec.partition(":")
+        if name not in COMPONENTS:
+            raise SystemExit(
+                f"--kill expects COMPONENT[:ROUND] with COMPONENT in "
+                f"{'/'.join(COMPONENTS)}, got {spec!r}"
+            )
+        kills.append((name, int(at) if at else default_round))
+    return kills
+
+
+def cmd_run(args) -> int:
+    import shutil
+    import threading
+
+    from repro.edge import WorkloadConfig, generate_schedule, run_load_sync
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.registry import make_model
+    from repro.resilience.chaos import ProcessFaultInjector, flip_bits
+    from repro.runtime import (
+        COMPONENTS,
+        RUNNING,
+        RuntimeStack,
+        SupervisorConfig,
+    )
+    from repro.streaming import (
+        DriftThresholds,
+        IngestConfig,
+        RetrainConfig,
+        StreamIngestor,
+        WalConfig,
+        WriteAheadLog,
+        append_all,
+        synthesize_records,
+    )
+    from repro.utils.atomicio import write_json_atomic
+    from repro.utils.clock import Timer, as_clock
+
+    if getattr(args, "model", None):
+        print("note: run always trains its own base model; ignoring --model")
+    dataset = _load_dataset(args)
+    split = train_test_split(dataset, seed=args.seed)
+    obs = _make_obs(args)
+    clock = as_clock(None)
+    scale = ExperimentScale(n_epochs=args.epochs, repeats=1, seed=args.seed)
+    model = make_model(args.method, scale=scale, dataset=args.profile, seed=args.seed)
+    print(f"training base {model.name} ({args.epochs} epochs)...")
+    model.fit(split.train, split.validation)
+    # Same two-instance discipline as retrain-daemon: the slot serves
+    # one fitted copy, the ingest component mutates the other, and
+    # updates reach traffic only through the canary-gated reload.
+    serve_model = make_model(
+        args.method, scale=scale, dataset=args.profile, seed=args.seed
+    ).fit(split.train, split.validation)
+
+    kills = _parse_kills(args.kill, default_round=1)
+    if args.kill_all_at is not None:
+        kills.extend((name, args.kill_all_at) for name in COMPONENTS)
+    faults = ProcessFaultInjector()
+    ingest_config = IngestConfig(
+        batch_records=args.batch_records, epochs_per_batch=args.epochs_per_batch
+    )
+    layout = _data_layout(args.data_dir)
+    service = _build_service(args, split, serve_model, obs=obs)
+    stack = RuntimeStack(
+        service, model, split.train, split.validation, args.data_dir,
+        edge_config=_edge_config_from_args(args),
+        ingest_config=ingest_config,
+        wal_config=WalConfig(segment_bytes=args.wal_segment_bytes),
+        supervisor_config=SupervisorConfig(
+            backoff_base_s=args.backoff_base_s, backoff_max_s=args.backoff_max_s
+        ),
+        retrain_config=RetrainConfig(max_retries=args.max_retries),
+        drift_thresholds=DriftThresholds(min_requests=args.drift_min_requests),
+        obs=obs, faults=faults,
+    )
+
+    # The supervisor's monitor step must keep running while the main
+    # thread blocks inside the load generator, or a killed component
+    # would never be restarted and every client retry would fail.
+    stop_pump = threading.Event()
+
+    def _pump() -> None:
+        while not stop_pump.is_set():
+            stack.poll()
+            stop_pump.wait(0.02)
+
+    def _await(predicate, timeout_s: float, what: str) -> bool:
+        with Timer(clock) as timer:
+            while timer.elapsed < timeout_s:
+                if predicate():
+                    return True
+                clock.sleep(0.05)
+        print(f"note: timed out after {timeout_s:.0f}s waiting for {what}")
+        return False
+
+    def _inject_corruption(kinds: list[str]) -> list[str]:
+        """Flip one bit in each targeted durable file (scrubber's job to fix).
+
+        Only files the scrubber has already mirrored are maimed —
+        corruption of a never-replicated file is unrepairable by
+        construction and belongs in the unit tests, not the drill.
+        """
+        targets: list[tuple[str, Path]] = []
+        if "state" in kinds:
+            blobs = sorted(layout["state"].glob("*.npz"), reverse=True)
+            if blobs:
+                targets.append(("state", blobs[0]))
+            else:
+                print("note: no state checkpoint to corrupt yet; skipping")
+        if "wal" in kinds:
+            active = stack.wal.active_segment_path()
+            rotated = [p for p in sorted(layout["wal"].glob("*.wal")) if p != active]
+            if rotated:
+                targets.append(("wal", rotated[-1]))
+            else:
+                print("note: no rotated WAL segment to corrupt yet; skipping")
+        injected: list[str] = []
+        for kind, path in targets:
+            mirror = layout["mirror"] / kind / path.name
+            size = path.stat().st_size
+
+            def _fully_mirrored(mirror=mirror, size=size) -> bool:
+                return mirror.exists() and mirror.stat().st_size >= size
+
+            if not _await(_fully_mirrored, args.recovery_timeout_s,
+                          f"the scrubber to mirror {path.name}"):
+                continue
+            flip_bits(path, [max(0, size // 2)])
+            injected.append(f"{kind}/{path.name}")
+            print(f"[corrupt] flipped a bit in {path}")
+        return injected
+
+    pump = threading.Thread(target=_pump, name="drill-monitor", daemon=True)
+    rounds_report: list[dict] = []
+    total_failed = 0
+    total_retried = 0
+    corruption_injected = 0
+    corruption_repaired = True
+    try:
+        host, port = stack.start()
+        pump.start()
+        print(f"supervised stack on http://{host}:{port} "
+              f"(components: {', '.join(COMPONENTS)})")
+        for round_index in range(args.rounds):
+            round_info: dict = {"round": round_index}
+            kinds = [
+                kind
+                for kind, at in (("state", args.corrupt_state_at),
+                                 ("wal", args.corrupt_wal_at))
+                if at == round_index
+            ]
+            if kinds:
+                before = stack.scrub_totals().repairs
+                injected = _inject_corruption(kinds)
+                corruption_injected += len(injected)
+                if injected:
+                    repaired = _await(
+                        lambda: stack.scrub_totals().repairs - before >= len(injected),
+                        args.recovery_timeout_s, "scrub repair of injected corruption",
+                    )
+                    corruption_repaired = corruption_repaired and repaired
+                    round_info["corrupted"] = injected
+                    round_info["repaired"] = repaired
+            armed = [name for name, at in kills if at == round_index]
+            restarts_before = {
+                name: stack.supervisor.component(name).restarts for name in armed
+            }
+            for name in armed:
+                faults.kill(name)
+            if armed:
+                print(f"[round {round_index}] armed kills: {', '.join(armed)}")
+            schedule = generate_schedule(WorkloadConfig(
+                n_users=split.train.n_users,
+                requests=args.requests_per_round,
+                rate_rps=args.rate,
+                k=args.k,
+                seed=args.seed + round_index,
+            ))
+            load = run_load_sync(
+                host, port, schedule, concurrency=args.concurrency,
+                max_attempts=args.retry_attempts,
+                retry_backoff_s=args.retry_backoff_s,
+            )
+            total_failed += load.failed
+            total_retried += load.retried
+            records = synthesize_records(
+                args.synthesize,
+                n_users=split.train.n_users,
+                n_items=split.train.n_items,
+                seed=args.seed + round_index,
+            )
+            fresh = append_all(stack.wal, records)
+            _await(stack.caught_up, args.recovery_timeout_s,
+                   "ingest to drain the WAL")
+            if armed:
+                def _recovered() -> bool:
+                    states = stack.supervisor.states()
+                    return all(
+                        states[name] == RUNNING
+                        and stack.supervisor.component(name).restarts
+                        > restarts_before[name]
+                        for name in armed
+                    )
+
+                round_info["recovered"] = _await(
+                    _recovered, args.recovery_timeout_s,
+                    f"restart of {', '.join(armed)}",
+                )
+            load_dict = load.to_json_dict()
+            round_info.update({"load": load_dict, "fresh_records": fresh})
+            rounds_report.append(round_info)
+            print(f"[round {round_index}] failed={load.failed} "
+                  f"retried={load.retried} p99={load_dict['p99_ms']:.1f}ms "
+                  f"fallback={load_dict['fallback_rate']:.1%}")
+        status = stack.status()
+    finally:
+        stop_pump.set()
+        if pump.is_alive():
+            pump.join(timeout=5.0)
+        drain_report = stack.drain()
+        stack.close()
+    checksum = stack.factors_checksum()
+    scrub_totals = stack.scrub_totals()
+    restarts = {
+        name: stack.supervisor.component(name).restarts for name in COMPONENTS
+    }
+    print(f"drained {drain_report['order']}; factors crc32: {checksum}")
+
+    manifest = stack.snapshot(tag=args.snapshot_tag)
+    print(f"snapshot {manifest.snapshot_id}: {len(manifest.files)} files")
+
+    restore_info = None
+    if not args.no_restore:
+        # The actual disaster: lose every durable directory, rebuild
+        # from the bundle, and replay to bitwise-identical factors.
+        shutil.rmtree(layout["wal"], ignore_errors=True)
+        shutil.rmtree(layout["state"], ignore_errors=True)
+        report = stack.restore(manifest.snapshot_id, wipe=True)
+        restored_checksum = None
+        if report.ok:
+            fresh_model = make_model(
+                args.method, scale=scale, dataset=args.profile, seed=args.seed
+            ).fit(split.train, split.validation)
+            with WriteAheadLog(layout["wal"], obs=obs) as replay_wal:
+                replayed = StreamIngestor.resume(
+                    replay_wal, fresh_model, layout["state"],
+                    config=ingest_config, obs=obs,
+                )
+                replayed.run()
+                restored_checksum = replayed.factors_checksum()
+        restore_info = {
+            "ok": report.ok,
+            "files_restored": report.files_restored,
+            "problems": list(report.problems),
+            "factors_crc32": restored_checksum,
+            "identical": report.ok and restored_checksum == checksum,
+        }
+        print(f"restore: ok={report.ok} files={report.files_restored} "
+              f"identical={restore_info['identical']}")
+
+    summary = {
+        "rounds": rounds_report,
+        "total_failed": total_failed,
+        "total_retried": total_retried,
+        "kills_requested": [[name, at] for name, at in kills],
+        "kills_fired": list(faults.fired_),
+        "restarts": restarts,
+        "corruption_injected": corruption_injected,
+        "scrub": scrub_totals.to_json_dict(),
+        "factors_crc32": checksum,
+        "snapshot_id": manifest.snapshot_id,
+        "restore": restore_info,
+        "status": status,
+    }
+    if args.json_out:
+        write_json_atomic(args.json_out, summary)
+        print(f"wrote report to {args.json_out}")
+    _finish_obs(args, obs)
+
+    failures: list[str] = []
+    if args.expect_zero_failed and total_failed:
+        failures.append(f"{total_failed} failed requests during the drill")
+    if args.expect_recovery:
+        if len(faults.fired_) < len(kills):
+            failures.append(
+                f"only {len(faults.fired_)} of {len(kills)} armed kills fired"
+            )
+        lazy = sorted({name for name, _ in kills if restarts[name] == 0})
+        if lazy:
+            failures.append(f"killed components never restarted: {lazy}")
+        if not all(r.get("recovered", True) for r in rounds_report):
+            failures.append("a killed component did not return to running")
+    if args.expect_all_repaired:
+        if corruption_injected == 0:
+            failures.append("--expect-all-repaired set but no corruption "
+                            "was injected (use --corrupt-state-at/--corrupt-wal-at)")
+        elif not corruption_repaired or scrub_totals.unrepaired:
+            failures.append(
+                f"scrub repaired {scrub_totals.repairs} with "
+                f"{len(scrub_totals.unrepaired)} unrepaired of "
+                f"{corruption_injected} injected corruptions"
+            )
+    if args.expect_restore_identical:
+        if restore_info is None:
+            failures.append("--expect-restore-identical set with --no-restore")
+        elif not restore_info["identical"]:
+            failures.append(
+                f"restored factors crc32 {restore_info['factors_crc32']} != "
+                f"live {checksum}"
+            )
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_snapshot(args) -> int:
+    from repro.runtime import (
+        create_snapshot,
+        list_snapshots,
+        load_manifest,
+        verify_snapshot,
+    )
+
+    layout = _data_layout(args.data_dir)
+    if args.list:
+        ids = list_snapshots(layout["snapshots"])
+        if not ids:
+            print("no snapshots")
+            return 0
+        for snapshot_id in ids:
+            manifest = load_manifest(layout["snapshots"], snapshot_id)
+            total = sum(entry["size"] for entry in manifest.files.values())
+            print(f"{snapshot_id}  {len(manifest.files)} files  {total} bytes")
+        return 0
+    if args.verify:
+        problems = verify_snapshot(layout["snapshots"], args.verify)
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+        print(f"snapshot {args.verify} verified clean")
+        return 0
+    obs = _make_obs(args)
+    sources = {"wal": layout["wal"], "state": layout["state"]}
+    manifest = create_snapshot(layout["snapshots"], sources, tag=args.tag, obs=obs)
+    total = sum(entry["size"] for entry in manifest.files.values())
+    print(f"created {manifest.snapshot_id}: {len(manifest.files)} files, "
+          f"{total} bytes under {layout['snapshots'] / manifest.snapshot_id}")
+    _finish_obs(args, obs)
+    return 0
+
+
+def cmd_restore(args) -> int:
+    from repro.runtime import list_snapshots, restore_snapshot
+
+    layout = _data_layout(args.data_dir)
+    snapshot_id = args.snapshot
+    if snapshot_id == "latest":
+        ids = list_snapshots(layout["snapshots"])
+        if not ids:
+            print(f"error: no snapshots under {layout['snapshots']}",
+                  file=sys.stderr)
+            return 1
+        snapshot_id = ids[-1]
+    obs = _make_obs(args)
+    targets = {"wal": layout["wal"], "state": layout["state"]}
+    report = restore_snapshot(
+        layout["snapshots"], snapshot_id, targets, wipe=not args.no_wipe, obs=obs
+    )
+    print(f"restore {snapshot_id}: {report.files_restored} files, "
+          f"{report.bytes_restored} bytes, {report.files_removed} stale removed")
+    for problem in report.problems:
+        print(f"error: {problem}", file=sys.stderr)
+    _finish_obs(args, obs)
+    return 0 if report.ok else 1
+
+
+def cmd_scrub(args) -> int:
+    from repro.runtime import ReplicaPair, Scrubber
+    from repro.utils.atomicio import write_json_atomic
+
+    layout = _data_layout(args.data_dir)
+    obs = _make_obs(args)
+    scrubber = Scrubber(
+        [
+            ReplicaPair.of("wal", layout["wal"], layout["mirror"] / "wal"),
+            ReplicaPair.of("state", layout["state"], layout["mirror"] / "state"),
+        ],
+        obs=obs,
+    )
+    report = scrubber.scrub_once()
+    print(f"checked {report.files_checked} files: {report.mirrored} mirrored, "
+          f"{report.updated} updated, {report.repairs} repaired "
+          f"({report.repaired_primary} primary / {report.repaired_mirror} mirror), "
+          f"{report.torn_tails} torn tails, {len(report.unrepaired)} unrepaired")
+    for finding in report.findings:
+        print(f"  [{finding.pair}] {finding.file}: {finding.problem} "
+              f"-> {finding.action}")
+    if args.json_out:
+        write_json_atomic(args.json_out, report.to_json_dict())
+        print(f"wrote report to {args.json_out}")
+    _finish_obs(args, obs)
+    if args.expect_clean and not report.clean:
+        print("error: scrub pass was not clean", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.lint.cli import run_lint
 
@@ -1168,6 +1625,100 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--expect-retrain", action="store_true",
                         help="exit nonzero unless a retrain reached the canary gate")
     daemon.set_defaults(func=cmd_retrain_daemon)
+
+    run = subparsers.add_parser(
+        "run",
+        help="the supervised self-healing runtime as a disaster drill "
+             "(kills, disk faults, snapshot/restore)",
+    )
+    _add_serving_arguments(run)
+    _add_edge_arguments(run)
+    run.add_argument("--data-dir", type=Path, required=True,
+                     help="root of all durable state "
+                          "(wal/, state/, mirror/, snapshots/)")
+    run.add_argument("--rounds", type=int, default=3,
+                     help="loadgen -> feedback -> ingest cycles")
+    run.add_argument("--requests-per-round", type=int, default=60)
+    run.add_argument("--rate", type=float, default=200.0, help="arrivals/s per round")
+    run.add_argument("--concurrency", type=int, default=4)
+    run.add_argument("--synthesize", type=int, default=40, metavar="N",
+                     help="synthetic feedback records appended per round")
+    run.add_argument("--batch-records", type=int, default=16)
+    run.add_argument("--epochs-per-batch", type=int, default=1)
+    run.add_argument("--wal-segment-bytes", type=int, default=4096,
+                     help="small segments force rotation so the scrubber's "
+                          "WAL-splice path is exercised")
+    run.add_argument("--kill", action="append", metavar="COMPONENT[:ROUND]",
+                     help="simulate a SIGKILL of a supervised component at the "
+                          "start of ROUND (default round 1; repeatable)")
+    run.add_argument("--kill-all-at", type=int, metavar="ROUND",
+                     help="kill every supervised component once at ROUND")
+    run.add_argument("--corrupt-state-at", type=int, default=None, metavar="ROUND",
+                     help="flip a bit in the newest state checkpoint at ROUND "
+                          "(the scrubber must repair it from the mirror)")
+    run.add_argument("--corrupt-wal-at", type=int, default=None, metavar="ROUND",
+                     help="flip a bit in a rotated WAL segment at ROUND")
+    run.add_argument("--retry-attempts", type=int, default=4,
+                     help="client transport-retry budget per request "
+                          "(rides out edge restarts)")
+    run.add_argument("--retry-backoff-s", type=float, default=0.25)
+    run.add_argument("--backoff-base-s", type=float, default=0.05,
+                     help="supervisor restart backoff base")
+    run.add_argument("--backoff-max-s", type=float, default=0.5)
+    run.add_argument("--recovery-timeout-s", type=float, default=30.0,
+                     help="budget for each restart / repair / drain wait")
+    run.add_argument("--drift-min-requests", type=int, default=20)
+    run.add_argument("--max-retries", type=int, default=2,
+                     help="trainer retries per drift trigger")
+    run.add_argument("--snapshot-tag", default="drill")
+    run.add_argument("--no-restore", action="store_true",
+                     help="skip the final snapshot -> wipe -> restore roundtrip")
+    run.add_argument("--json-out", type=Path, help="write the drill report here")
+    run.add_argument("--expect-zero-failed", action="store_true",
+                     help="exit nonzero if any request failed (shed excluded)")
+    run.add_argument("--expect-recovery", action="store_true",
+                     help="exit nonzero unless every armed kill fired and the "
+                          "component returned to running")
+    run.add_argument("--expect-all-repaired", action="store_true",
+                     help="exit nonzero unless the scrubber repaired every "
+                          "injected corruption")
+    run.add_argument("--expect-restore-identical", action="store_true",
+                     help="exit nonzero unless the restored state replays to "
+                          "bitwise-identical factors")
+    run.set_defaults(func=cmd_run)
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="create / list / verify disaster-recovery bundles"
+    )
+    snapshot.add_argument("--data-dir", type=Path, required=True)
+    snapshot.add_argument("--tag", default="snap")
+    snapshot.add_argument("--list", action="store_true",
+                          help="list existing snapshots instead of creating one")
+    snapshot.add_argument("--verify", metavar="ID",
+                          help="verify a bundle's hashes instead of creating one")
+    _add_obs_arguments(snapshot)
+    snapshot.set_defaults(func=cmd_snapshot)
+
+    restore = subparsers.add_parser(
+        "restore", help="rebuild wal/ and state/ from a snapshot bundle"
+    )
+    restore.add_argument("--data-dir", type=Path, required=True)
+    restore.add_argument("--snapshot", default="latest", metavar="ID",
+                         help="bundle id (default: the newest)")
+    restore.add_argument("--no-wipe", action="store_true",
+                         help="keep files not present in the bundle")
+    _add_obs_arguments(restore)
+    restore.set_defaults(func=cmd_restore)
+
+    scrub = subparsers.add_parser(
+        "scrub", help="one offline verify-and-repair pass against mirror/"
+    )
+    scrub.add_argument("--data-dir", type=Path, required=True)
+    scrub.add_argument("--json-out", type=Path)
+    scrub.add_argument("--expect-clean", action="store_true",
+                       help="exit nonzero on any unrepaired or deferred finding")
+    _add_obs_arguments(scrub)
+    scrub.set_defaults(func=cmd_scrub)
 
     from repro.analysis.lint.cli import add_lint_arguments
 

@@ -68,6 +68,7 @@ from repro.edge.schema import (
     FeedbackResponseV1,
     FieldIssue,
     HealthResponseV1,
+    ReadyResponseV1,
     RecommendRequestV1,
     RecommendResponseV1,
     SchemaError,
@@ -201,6 +202,7 @@ class EdgeServer:
         obs: MetricsRegistry | None = None,
         clock: Clock | None = None,
         wal: WriteAheadLog | None = None,
+        readiness: Callable[[], tuple[bool, dict]] | None = None,
     ):
         self.service = service
         self.config = config or EdgeConfig()
@@ -209,6 +211,10 @@ class EdgeServer:
         self.obs = obs if obs is not None else MetricsRegistry()
         self.clock = as_clock(clock)
         self.wal = wal
+        # Readiness is delegated to whoever owns the component tree (the
+        # runtime supervisor); a standalone edge with no supervisor is
+        # ready whenever it is not draining.
+        self.readiness = readiness
         self._server: asyncio.base_events.Server | None = None
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-edge"
@@ -224,6 +230,7 @@ class EdgeServer:
             "/v1/recommend": {"POST": self._handle_recommend, "GET": self._handle_recommend_get},
             "/v1/recommend/batch": {"POST": self._handle_batch},
             "/v1/health": {"GET": self._handle_health},
+            "/v1/ready": {"GET": self._handle_ready},
             "/v1/metrics": {"GET": self._handle_metrics},
         }
         # The ingestion endpoint exists only when the server is given a
@@ -477,6 +484,23 @@ class EdgeServer:
                 },
             ).to_json_dict(),
         )
+
+    async def _handle_ready(self, _request: HttpRequest) -> HttpResponse:
+        # Reached only when not draining (_route sheds every request
+        # with 503 while draining, which is the correct ready answer).
+        if self.readiness is None:
+            return HttpResponse(200, ReadyResponseV1(status="ready").to_json_dict())
+        is_ready, detail = self.readiness()
+        payload = ReadyResponseV1(
+            status="ready" if is_ready else "not_ready",
+            reason=detail.get("gate"),
+            components=detail.get("components", {}),
+            blocked_on=tuple(detail.get("blocked_on", ())),
+        ).to_json_dict()
+        if is_ready:
+            return HttpResponse(200, payload)
+        self.obs.counter("http_not_ready_total").inc()
+        return HttpResponse(503, payload, extra_headers=self._retry_after())
 
     async def _handle_feedback(self, request: HttpRequest) -> HttpResponse:
         assert self.wal is not None  # route registered only with a WAL

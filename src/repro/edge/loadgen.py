@@ -194,13 +194,21 @@ def load_trace(path: str | Path) -> list[ScheduledRequest]:
 
 @dataclass(frozen=True)
 class RequestOutcome:
-    """What happened to one scheduled request."""
+    """What happened to one scheduled request.
+
+    ``retries`` counts transport-level resends: a real client facing a
+    snapped connection retries against the restarted server, so a
+    request that eventually succeeds is a success with a retry count,
+    not a failure.  Only retries-exhausted surfaces as
+    ``transport_error=True``.
+    """
 
     status: int
     latency_ms: float
     served_by: str | None = None
     degraded: bool = False
     transport_error: bool = False
+    retries: int = 0
 
 
 #: Statuses that count as deliberate load shedding, not failure.
@@ -248,6 +256,11 @@ class LoadReport:
     def degraded(self) -> int:
         return sum(1 for o in self.outcomes if o.status == 200 and o.degraded)
 
+    @property
+    def retried(self) -> int:
+        """Requests that needed at least one transport-level resend."""
+        return sum(1 for o in self.outcomes if o.retries > 0)
+
     def fallback_rate(self) -> float:
         """Fraction of 200s served by any tier below ``personalized``."""
         served = [o for o in self.outcomes if o.status == 200]
@@ -288,6 +301,7 @@ class LoadReport:
             "shed": self.shed,
             "failed": self.failed,
             "degraded": self.degraded,
+            "retried": self.retried,
             "fallback_rate": round(self.fallback_rate(), 4),
             "shed_rate": round(self.shed_rate(), 4),
             "duration_s": round(self.duration_s, 3),
@@ -309,6 +323,8 @@ async def run_load(
     chaos_events: Sequence[ChaosEvent] = (),
     use_get_every: int = 0,
     timeout_s: float = 10.0,
+    max_attempts: int = 1,
+    retry_backoff_s: float = 0.05,
 ) -> LoadReport:
     """Play ``schedule`` against a live edge server.
 
@@ -320,9 +336,18 @@ async def run_load(
     ``chaos_events`` fire from a side task at their scheduled times.
     Every ``use_get_every``-th request uses the ``GET`` form of
     ``/v1/recommend`` to keep both entry points exercised.
+
+    ``max_attempts > 1`` enables transport-error retries with linear
+    backoff (``retry_backoff_s * attempt``): the disaster drills kill
+    the edge component mid-traffic, and the contract under test is
+    "every request eventually succeeds against the restarted server",
+    so the virtual clients must behave like real retrying clients.
+    Non-200 *responses* are never retried — only snapped connections.
     """
     if concurrency < 1:
         raise ConfigError(f"concurrency must be >= 1, got {concurrency}")
+    if max_attempts < 1:
+        raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
     clock = as_clock(clock)
     report = LoadReport(concurrency=concurrency, mode=mode)
     queue: asyncio.Queue = asyncio.Queue()
@@ -349,7 +374,10 @@ async def run_load(
                 if delay > 0:
                     await asyncio.sleep(delay)
                 report.record(
-                    await _fire(client, request, clock, use_get_every, index)
+                    await _fire(
+                        client, request, clock, use_get_every, index,
+                        max_attempts=max_attempts, retry_backoff_s=retry_backoff_s,
+                    )
                 )
         finally:
             await client.close()
@@ -368,25 +396,37 @@ async def _fire(
     clock: Clock,
     use_get_every: int,
     index: int,
+    *,
+    max_attempts: int = 1,
+    retry_backoff_s: float = 0.05,
 ) -> RequestOutcome:
     sent = clock.monotonic()
-    try:
-        if use_get_every and index % use_get_every == 0:
-            query = f"/v1/recommend?user={request.user}&k={request.k}"
-            if request.deadline_ms is not None:
-                query += f"&deadline_ms={request.deadline_ms}"
-            reply = await client.get(query)
-        else:
-            payload: dict = {"user": request.user, "k": request.k}
-            if request.deadline_ms is not None:
-                payload["deadline_ms"] = request.deadline_ms
-            reply = await client.post("/v1/recommend", payload)
-    except ClientError:
-        return RequestOutcome(
-            status=0,
-            latency_ms=(clock.monotonic() - sent) * 1000.0,
-            transport_error=True,
-        )
+    reply = None
+    retries = 0
+    for attempt in range(max_attempts):
+        try:
+            if use_get_every and index % use_get_every == 0:
+                query = f"/v1/recommend?user={request.user}&k={request.k}"
+                if request.deadline_ms is not None:
+                    query += f"&deadline_ms={request.deadline_ms}"
+                reply = await client.get(query)
+            else:
+                payload: dict = {"user": request.user, "k": request.k}
+                if request.deadline_ms is not None:
+                    payload["deadline_ms"] = request.deadline_ms
+                reply = await client.post("/v1/recommend", payload)
+            break
+        except ClientError:
+            if attempt + 1 >= max_attempts:
+                return RequestOutcome(
+                    status=0,
+                    latency_ms=(clock.monotonic() - sent) * 1000.0,
+                    transport_error=True,
+                    retries=retries,
+                )
+            retries += 1
+            await asyncio.sleep(retry_backoff_s * (attempt + 1))
+    assert reply is not None
     latency_ms = (clock.monotonic() - sent) * 1000.0
     served_by = None
     degraded = False
@@ -397,13 +437,15 @@ async def _fire(
             degraded = bool(body.get("degraded", False))
         except ValueError:
             return RequestOutcome(
-                status=reply.status, latency_ms=latency_ms, transport_error=True
+                status=reply.status, latency_ms=latency_ms,
+                transport_error=True, retries=retries,
             )
     return RequestOutcome(
         status=reply.status,
         latency_ms=latency_ms,
         served_by=served_by,
         degraded=degraded,
+        retries=retries,
     )
 
 

@@ -391,6 +391,49 @@ class HealthResponseV1:
 
 
 @dataclass(frozen=True)
+class ReadyResponseV1:
+    """``GET /v1/ready`` body: routability, as distinct from liveness.
+
+    ``/v1/health`` answers "is this process alive" — it stays 200 while
+    the stack limps along on fallbacks.  ``/v1/ready`` answers "should a
+    load balancer route traffic here" and goes 503 while a supervised
+    component is quarantined or restarting, or while an operator gate
+    (e.g. a snapshot restore) is in force.  ``components`` carries the
+    supervisor's per-component states and ``blocked_on`` names the ones
+    holding readiness back; ``reason`` is the operator gate, if any.
+    """
+
+    status: str
+    reason: str | None = None
+    components: dict = field(default_factory=dict)
+    blocked_on: tuple[str, ...] = ()
+    version: str = API_VERSION
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "status": self.status,
+            "reason": self.reason,
+            "components": dict(self.components),
+            "blocked_on": list(self.blocked_on),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Any) -> "ReadyResponseV1":
+        check = _Check(payload)
+        if not check.require_mapping():
+            check.raise_if_issues()
+        version = check.version()
+        return cls(
+            status=str(payload.get("status", "")),
+            reason=None if payload.get("reason") is None else str(payload["reason"]),
+            components=dict(payload.get("components") or {}),
+            blocked_on=tuple(str(name) for name in payload.get("blocked_on") or ()),
+            version=version,
+        )
+
+
+@dataclass(frozen=True)
 class FeedbackRequestV1:
     """``POST /v1/feedback`` body: one interaction event for the WAL.
 

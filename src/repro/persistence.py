@@ -143,7 +143,9 @@ def file_fingerprint(path: str | Path) -> str | None:
 # ----------------------------------------------------------------------
 # Interaction matrices
 # ----------------------------------------------------------------------
-def save_interactions(path: str | Path, matrix: InteractionMatrix) -> Path:
+def save_interactions(
+    path: str | Path, matrix: InteractionMatrix, *, durable: bool = False
+) -> Path:
     """Atomically write an interaction matrix to ``.npz`` (CSR arrays)."""
     return write_npz_atomic(
         path,
@@ -152,6 +154,7 @@ def save_interactions(path: str | Path, matrix: InteractionMatrix) -> Path:
             "indptr": matrix.indptr,
             "indices": matrix.indices,
         },
+        durable=durable,
     )
 
 

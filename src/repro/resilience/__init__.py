@@ -19,13 +19,17 @@ survivable:
 """
 
 from repro.resilience.chaos import (
+    DiskFault,
+    DiskFaultInjector,
     FaultInjector,
     InjectedFault,
     KillSwitch,
+    ProcessFaultInjector,
     ServiceFaultInjector,
     SimulatedKill,
     TierFault,
     flaky,
+    flip_bits,
 )
 from repro.resilience.checkpoint import (
     CheckpointConfig,
@@ -45,11 +49,14 @@ from repro.resilience.retry import retry_call
 __all__ = [
     "CheckpointConfig",
     "CheckpointManager",
+    "DiskFault",
+    "DiskFaultInjector",
     "ExperimentJournal",
     "FaultInjector",
     "GuardConfig",
     "InjectedFault",
     "KillSwitch",
+    "ProcessFaultInjector",
     "ServiceFaultInjector",
     "SimulatedKill",
     "TierFault",
@@ -59,6 +66,7 @@ __all__ = [
     "cell_key",
     "checkpoint_path",
     "flaky",
+    "flip_bits",
     "latest_checkpoint",
     "list_checkpoints",
     "load_checkpoint",

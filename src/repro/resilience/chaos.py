@@ -21,11 +21,16 @@ boundaries.  Each fault fires at most once.
 
 from __future__ import annotations
 
+import errno as _errno
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable
 
 import numpy as np
 
 from repro.mf.params import FactorParams
+from repro.utils.atomicio import FileOps
 from repro.utils.exceptions import ReproError
 
 
@@ -222,6 +227,210 @@ class ServiceFaultInjector:
         poisoned = np.array(scores, dtype=np.float64, copy=True)
         poisoned[..., : max(1, poisoned.shape[-1] // 2)] = np.nan
         return poisoned
+
+
+@dataclass
+class DiskFault:
+    """One armed filesystem fault.
+
+    Attributes
+    ----------
+    op:
+        Which :class:`~repro.utils.atomicio.FileOps` primitive to attack:
+        ``"write"``, ``"fsync"``, ``"replace"``, ``"open_append"``, or
+        ``"truncate"``.
+    path_substring:
+        Only paths containing this substring are hit (empty matches all).
+        ``fsync`` calls carry an advisory path for exactly this purpose.
+    errno_code:
+        The ``OSError`` errno to raise — ``EIO`` for a dying device,
+        ``ENOSPC`` for a full disk, etc.
+    times:
+        How many matching calls fail before the fault disarms itself.
+    short_write_bytes:
+        For ``op="write"`` only: write this many leading bytes through
+        to the real handle *then* raise, leaving a torn frame on disk —
+        the post-power-loss state the WAL's CRC framing must truncate.
+    """
+
+    op: str
+    path_substring: str = ""
+    errno_code: int = _errno.EIO
+    times: int = 1
+    short_write_bytes: int | None = None
+
+    _VALID_OPS = ("write", "fsync", "replace", "open_append", "truncate")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID_OPS:
+            raise ValueError(f"op must be one of {self._VALID_OPS}, got {self.op!r}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+class DiskFaultInjector(FileOps):
+    """A fault-injecting :class:`~repro.utils.atomicio.FileOps`.
+
+    Install with :func:`repro.utils.atomicio.set_file_ops` (or the
+    ``injected_file_ops`` context manager) and every durable write in
+    the repository becomes attackable: ENOSPC on append, EIO on fsync,
+    failed renames, short writes that tear a frame mid-record.  Faults
+    are armed per operation with optional path matching and a fire
+    budget; unarmed operations pass straight through to the real
+    primitives, so a test can maim one checkpoint write while the rest
+    of the system keeps its durability guarantees.
+    """
+
+    def __init__(self) -> None:
+        self.faults: list[DiskFault] = []
+        self.fired_: list[str] = []
+
+    def arm(
+        self,
+        op: str,
+        *,
+        path_substring: str = "",
+        errno_code: int = _errno.EIO,
+        times: int = 1,
+        short_write_bytes: int | None = None,
+    ) -> "DiskFaultInjector":
+        """Arm one fault (returns self for chaining)."""
+        self.faults.append(
+            DiskFault(
+                op=op,
+                path_substring=path_substring,
+                errno_code=errno_code,
+                times=times,
+                short_write_bytes=short_write_bytes,
+            )
+        )
+        return self
+
+    def clear(self) -> None:
+        self.faults = []
+
+    def _take(self, op: str, path: Path | None) -> DiskFault | None:
+        """Pop a matching armed fault's charge, if any."""
+        for fault in self.faults:
+            if fault.op != op:
+                continue
+            if fault.path_substring and (
+                path is None or fault.path_substring not in str(path)
+            ):
+                continue
+            fault.times -= 1
+            if fault.times <= 0:
+                self.faults.remove(fault)
+            self.fired_.append(f"{op}:{path}")
+            return fault
+        return None
+
+    def _raise(self, fault: DiskFault, op: str, path: Path | None) -> None:
+        raise OSError(
+            fault.errno_code,
+            f"injected disk fault: {op} on {path} "
+            f"({_errno.errorcode.get(fault.errno_code, fault.errno_code)})",
+        )
+
+    def open_append(self, path: Path) -> IO[bytes]:
+        fault = self._take("open_append", path)
+        if fault is not None:
+            self._raise(fault, "open_append", path)
+        return super().open_append(path)
+
+    def write(self, handle: IO[bytes], data: bytes) -> int:
+        path = Path(getattr(handle, "name", "")) if getattr(handle, "name", None) else None
+        fault = self._take("write", path)
+        if fault is None:
+            return super().write(handle, data)
+        if fault.short_write_bytes is not None:
+            # Tear the write: some bytes land, then the device dies.
+            super().write(handle, data[: fault.short_write_bytes])
+            handle.flush()
+        self._raise(fault, "write", path)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def fsync(self, fd: int, *, path: Path | None = None) -> None:
+        fault = self._take("fsync", path)
+        if fault is not None:
+            self._raise(fault, "fsync", path)
+        super().fsync(fd, path=path)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        fault = self._take("replace", dst)
+        if fault is not None:
+            self._raise(fault, "replace", dst)
+        super().replace(src, dst)
+
+    def truncate(self, path: Path, length: int) -> None:
+        fault = self._take("truncate", path)
+        if fault is not None:
+            self._raise(fault, "truncate", path)
+        super().truncate(path, length)
+
+
+def flip_bits(path: str | Path, offsets: Iterable[int], *, mask: int = 0x01) -> int:
+    """XOR ``mask`` into the byte at each offset of ``path`` — bit rot.
+
+    In-place corruption (same inode, no rename) is exactly what
+    distinguishes silent media decay from a legitimate atomic rewrite,
+    which is how the scrubber decides repair-from-mirror vs
+    accept-new-version.  Returns the number of bytes actually flipped;
+    offsets past EOF are ignored so callers can corrupt "somewhere in
+    the middle" without sizing the file first.
+    """
+    target = Path(path)
+    size = target.stat().st_size
+    flipped = 0
+    fd = os.open(str(target), os.O_RDWR)
+    try:
+        for offset in offsets:
+            if not 0 <= offset < size:
+                continue
+            original = os.pread(fd, 1, offset)
+            os.pwrite(fd, bytes((original[0] ^ mask,)), offset)
+            flipped += 1
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return flipped
+
+
+@dataclass
+class ProcessFaultInjector:
+    """Armed in-process "SIGKILL"s for supervised components.
+
+    Real threads cannot be killed from outside, so the supervisor's
+    components cooperate the same way the streaming path does with
+    :class:`KillSwitch`: every component loop calls
+    ``ctx.heartbeat()``, and an armed kill raises
+    :class:`SimulatedKill` *inside the component thread* at its next
+    heartbeat — tearing the component down mid-work without unwinding
+    anything else, exactly like the asynchronous signal it stands in
+    for.  Each armed kill fires once.
+    """
+
+    armed: dict[str, int] = field(default_factory=dict)
+    fired_: list[str] = field(default_factory=list, init=False)
+
+    def kill(self, component: str, *, times: int = 1) -> "ProcessFaultInjector":
+        """Arm ``times`` kills against ``component`` (returns self)."""
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        self.armed[component] = self.armed.get(component, 0) + times
+        return self
+
+    def check(self, component: str) -> None:
+        """Called from the component's heartbeat; raises if armed."""
+        remaining = self.armed.get(component, 0)
+        if remaining <= 0:
+            return
+        if remaining == 1:
+            self.armed.pop(component, None)
+        else:
+            self.armed[component] = remaining - 1
+        self.fired_.append(component)
+        raise SimulatedKill(f"simulated kill of component {component!r}")
 
 
 def flaky(fn, *, fail_times: int, exc: type[Exception] = InjectedFault):

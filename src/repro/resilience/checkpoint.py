@@ -55,8 +55,16 @@ class TrainingCheckpoint:
     extra: dict = field(default_factory=dict)
 
 
-def save_checkpoint(path: str | Path, checkpoint: TrainingCheckpoint) -> Path:
-    """Atomically write ``checkpoint`` to ``path`` (``.npz``)."""
+def save_checkpoint(
+    path: str | Path, checkpoint: TrainingCheckpoint, *, durable: bool = False
+) -> Path:
+    """Atomically write ``checkpoint`` to ``path`` (``.npz``).
+
+    ``durable=True`` fsyncs content and directory entry before
+    returning — required on paths that acknowledge the checkpoint as
+    committed (the streaming ingest triple), optional for the best-
+    effort epoch snapshots of offline training.
+    """
     params = checkpoint.params
     arrays: dict[str, np.ndarray] = {
         "user_factors": params.user_factors,
@@ -83,7 +91,7 @@ def save_checkpoint(path: str | Path, checkpoint: TrainingCheckpoint) -> Path:
         "checksum": array_checksum(*(arrays[key] for key in sorted(arrays))),
     }
     arrays["metadata"] = np.array(json.dumps(metadata))
-    return write_npz_atomic(path, arrays)
+    return write_npz_atomic(path, arrays, durable=durable)
 
 
 def load_checkpoint(path: str | Path) -> TrainingCheckpoint:

@@ -16,6 +16,7 @@ def retry_call(
     retries: int = 2,
     base_delay: float = 0.5,
     factor: float = 2.0,
+    max_delay: float | None = None,
     retryable: tuple[type[Exception], ...] = (Exception,),
     on_retry: Callable[[int, Exception], None] | None = None,
     sleep: Callable[[float], None] = time.sleep,
@@ -23,8 +24,10 @@ def retry_call(
     """Call ``fn`` with up to ``retries`` retries and exponential backoff.
 
     Attempt ``a`` (0-based) sleeps ``base_delay * factor**a`` before the
-    next try.  Only exceptions matching ``retryable`` are retried —
-    ``BaseException`` escapees such as
+    next try, clamped to ``max_delay`` when one is given (an uncapped
+    schedule with many retries quickly reaches hours — supervision loops
+    always pass a cap).  Only exceptions matching ``retryable`` are
+    retried — ``BaseException`` escapees such as
     :class:`~repro.resilience.chaos.SimulatedKill` or
     ``KeyboardInterrupt`` always propagate immediately, as do
     exhausted-retry failures (the last exception is re-raised).
@@ -35,6 +38,8 @@ def retry_call(
         raise ConfigError(f"retries must be >= 0, got {retries}")
     if base_delay < 0:
         raise ConfigError(f"base_delay must be >= 0, got {base_delay}")
+    if max_delay is not None and max_delay < 0:
+        raise ConfigError(f"max_delay must be >= 0, got {max_delay}")
     for attempt in range(retries + 1):
         try:
             return fn()
@@ -44,6 +49,8 @@ def retry_call(
             if on_retry is not None:
                 on_retry(attempt, error)
             delay = base_delay * factor**attempt
+            if max_delay is not None:
+                delay = min(delay, max_delay)
             if delay > 0:
                 sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -124,6 +124,12 @@ class RecommendationService:
         # computed once — nothing on this path can fail or take time.
         counts = train.item_counts().astype(np.float64)
         self._static_ranking = scoring.topk_from_matrix(counts[None, :], train.n_items)[0]
+        # Supervisor-driven kill switch: while set, every request is
+        # answered from the static-popularity ranking (no model, no
+        # executor, no breakers), so a quarantined model pipeline can
+        # never take serving down with it.
+        self._degraded_mode = False
+        self._degraded_reason = ""
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -181,6 +187,27 @@ class RecommendationService:
             return items
         return np.asarray(self.reranker.rerank(items), dtype=np.int64)
 
+    # -- degraded mode ------------------------------------------------------
+    def set_degraded(self, active: bool, *, reason: str = "") -> None:
+        """Force (or lift) static-popularity-only serving.
+
+        Wired to the supervisor's quarantine hook: when a critical
+        pipeline component crash-loops, serving degrades to the
+        precomputed popularity ranking instead of trusting a model
+        whose feeding machinery is dead.
+        """
+        self._degraded_mode = bool(active)
+        self._degraded_reason = reason if active else ""
+        if active:
+            self.obs.counter("serving_forced_degraded_total").inc()
+            self.obs.event("serving_degraded_mode", active=True, reason=reason)
+        else:
+            self.obs.event("serving_degraded_mode", active=False)
+
+    def degraded_mode(self) -> bool:
+        """Whether forced static-popularity serving is active."""
+        return self._degraded_mode
+
     # -- the request path -------------------------------------------------
     def recommend(self, request: RecommendationRequest | int, *, k: int | None = None) -> RecommendationResponse:
         """Serve one request; never raises, never returns an empty list."""
@@ -190,6 +217,10 @@ class RecommendationService:
             request.deadline_ms or self.config.default_deadline_ms, clock=self.clock
         )
         self.requests_served_ += 1
+        if self._degraded_mode:
+            return self._emergency_response(
+                request, deadline, {"degraded_mode": self._degraded_reason or "forced"}
+            )
         errors: dict[str, str] = {}
         primary = self.tiers[0].name
 
@@ -280,7 +311,7 @@ class RecommendationService:
             return []
         responses: list[ServedResponse | None] = [None] * len(normalized)
         primary = self.tiers[0]
-        if isinstance(primary, PersonalizedTier):
+        if not self._degraded_mode and isinstance(primary, PersonalizedTier):
             budget = min(
                 request.deadline_ms or self.config.default_deadline_ms
                 for request in normalized
@@ -390,6 +421,8 @@ class RecommendationService:
         """JSON-ready operational state: breakers, stats, executor load."""
         return {
             "requests_served": self.requests_served_,
+            "degraded_mode": self._degraded_mode,
+            "degraded_reason": self._degraded_reason,
             "model_version": self.slot.version if self.slot is not None else None,
             "model_age_s": self._model_age_s(),
             "breakers": {name: b.snapshot() for name, b in self.breakers.items()},

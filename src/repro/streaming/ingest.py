@@ -382,9 +382,16 @@ class StreamIngestor:
             },
         )
         self._tick("ingest.before_checkpoint")
-        save_checkpoint(self.state_dir / _checkpoint_name(batch_index), checkpoint)
+        # The whole triple is fsynced (durable=True): the offset file is
+        # the commit point, and a committed offset must never point at a
+        # checkpoint or matrix the page cache still owed to the disk.
+        save_checkpoint(
+            self.state_dir / _checkpoint_name(batch_index), checkpoint, durable=True
+        )
         self._tick("ingest.after_checkpoint")
-        save_interactions(self.state_dir / _interactions_name(batch_index), self.train)
+        save_interactions(
+            self.state_dir / _interactions_name(batch_index), self.train, durable=True
+        )
         self._tick("ingest.after_interactions")
         write_json_atomic(
             self.state_dir / OFFSET_FILE,
@@ -401,6 +408,7 @@ class StreamIngestor:
                 "n_users": self.train.n_users,
                 "n_interactions": self.train.n_interactions,
             },
+            durable=True,
         )
         self._tick("ingest.after_offset")
         self._prune(batch_index)

@@ -225,6 +225,10 @@ class RecoveryReport:
     truncated_bytes: int = 0
     truncated_segment: int | None = None
     keys: set[str] = field(default_factory=set)
+    #: First durable position of each key.  Replay yields only the first
+    #: frame per key, so a duplicate frame (producer retry after an
+    #: acknowledged-but-unsynced append failure) can never double-apply.
+    key_positions: dict[str, WalPosition] = field(default_factory=dict)
 
 
 class WriteAheadLog:
@@ -251,7 +255,7 @@ class WriteAheadLog:
         self._unsynced = 0
         self.directory.mkdir(parents=True, exist_ok=True)
         self.recovery_ = self._recover()
-        self._keys = self.recovery_.keys
+        self._keys = self.recovery_.key_positions
         segments = self._segment_paths()
         self._active_index = _segment_index(segments[-1]) if segments else 0
         self._appender = DurableAppender(self.directory / segment_name(self._active_index))
@@ -290,9 +294,15 @@ class WriteAheadLog:
                 truncate_file(path, valid_length)
                 report.truncated_bytes += len(data) - valid_length
                 report.truncated_segment = _segment_index(path)
-            for record in records:
+            index = _segment_index(path)
+            offset = 0
+            for record, payload in zip(records, payloads):
+                offset += _HEADER.size + len(payload)
                 report.records += 1
                 report.keys.add(record.key)
+                report.key_positions.setdefault(
+                    record.key, WalPosition(segment=index, offset=offset)
+                )
         if report.truncated_bytes:
             self.obs.counter("wal_truncated_bytes_total").inc(report.truncated_bytes)
             self.obs.event(
@@ -317,6 +327,25 @@ class WriteAheadLog:
         self._unsynced = 0
         self.obs.counter("wal_rotations_total").inc()
 
+    def _heal_appender_locked(self) -> None:
+        """Reopen the active segment after a poisoned (failed-fsync) handle.
+
+        A failed fsync leaves the kernel's view of the tail undefined, so
+        the handle cannot be trusted again (see ``DurableAppender``).  A
+        fresh descriptor restores the append path; whatever unsynced
+        frames the failure may have cost are exactly the ones that were
+        never acknowledged, and the CRC framing truncates any torn tail
+        on the next open.  Replay-side key dedup makes the producer's
+        retry safe even if the original frame did survive.
+        """
+        if not self._appender.failed_:
+            return
+        self._appender.close(sync=False)
+        self._appender = DurableAppender(self.directory / segment_name(self._active_index))
+        self._unsynced = 0
+        self.obs.counter("wal_appender_reopens_total").inc()
+        self.obs.event("wal_appender_reopened", segment=self._active_index)
+
     def append(self, record: WalRecord) -> AppendResult:
         """Durably append ``record``; acknowledged once this returns.
 
@@ -330,6 +359,7 @@ class WriteAheadLog:
             if record.key in self._keys:
                 self.obs.counter("wal_duplicates_total").inc()
                 return AppendResult(position=self._position_locked(), duplicate=True)
+            self._heal_appender_locked()
             self._maybe_rotate()
             frame = encode_frame(record.to_payload())
             self._tick("wal.append.before_write")
@@ -343,15 +373,15 @@ class WriteAheadLog:
                 self._appender.sync()
                 self._unsynced = 0
             self._tick("wal.append.after_sync")
-            self._keys.add(record.key)
+            position = WalPosition(segment=self._active_index, offset=offset)
+            self._keys[record.key] = position
             self.obs.counter("wal_appends_total").inc()
-            return AppendResult(
-                position=WalPosition(segment=self._active_index, offset=offset)
-            )
+            return AppendResult(position=position)
 
     def sync(self) -> None:
         """Force-fsync the active segment (flushes a batch window)."""
         with self._lock:
+            self._heal_appender_locked()
             self._appender.sync()
             self._unsynced = 0
 
@@ -362,6 +392,16 @@ class WriteAheadLog:
         """The current end of the log (next append lands here or later)."""
         with self._lock:
             return self._position_locked()
+
+    def active_segment_path(self) -> Path:
+        """The segment currently open for append.
+
+        The scrubber must not rewrite this file — the live append handle
+        would keep writing to the replaced inode — so it mirrors the
+        active segment read-only and defers repairs until rotation.
+        """
+        with self._lock:
+            return self.directory / segment_name(self._active_index)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -386,9 +426,15 @@ class WriteAheadLog:
         cursor = after or WAL_START
         with self._lock:
             if not self._closed:
+                self._heal_appender_locked()
                 self._appender.sync()  # make buffered frames visible to the read
                 self._unsynced = 0
             segments = self._segment_paths()
+            # Snapshot of the first-occurrence index: a frame whose key
+            # first appeared at an earlier position is a duplicate write
+            # (producer retry across an append failure) and must stay
+            # invisible to replay, or it would double-apply downstream.
+            first_positions = dict(self._keys)
         for path in segments:
             index = _segment_index(path)
             if index < cursor.segment:
@@ -400,10 +446,12 @@ class WriteAheadLog:
                 offset += _HEADER.size + len(payload)
                 if index == cursor.segment and offset <= cursor.offset:
                     continue
-                yield (
-                    WalPosition(segment=index, offset=offset),
-                    WalRecord.from_payload(payload),
-                )
+                position = WalPosition(segment=index, offset=offset)
+                record = WalRecord.from_payload(payload)
+                if first_positions.get(record.key, position) != position:
+                    self.obs.counter("wal_replay_duplicates_skipped_total").inc()
+                    continue
+                yield (position, record)
 
     def close(self) -> None:
         with self._lock:

@@ -1,4 +1,4 @@
-"""Low-level atomic file writers and checksums.
+"""Low-level atomic file writers, durability primitives, and checksums.
 
 Dependency-free primitives shared by :mod:`repro.persistence` and the
 :mod:`repro.resilience` subsystem (which cannot import ``persistence``
@@ -6,27 +6,134 @@ directly without a cycle through the experiment runner).  The contract:
 content is written to a temporary file in the target's directory and
 moved into place with :func:`os.replace`, so a crash mid-write never
 leaves a truncated artifact under the final name.
+
+Every raw file primitive (append handles, writes, fsync, rename,
+truncation) is routed through a single :class:`FileOps` instance so the
+chaos layer can swap in a fault-injecting implementation
+(:class:`repro.resilience.chaos.DiskFaultInjector`) and exercise ENOSPC,
+EIO, short writes, and fsync failures without monkey-patching ``os``.
+Production code never notices the seam: the default :class:`FileOps`
+delegates straight to the standard library.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
 import zlib
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable
+from typing import IO, Callable, Iterator
 
 import numpy as np
 
+#: errno values that mean "this platform cannot fsync that" rather than
+#: "the device failed" — the rename is still atomic there, just not yet
+#: durable, so they are counted but never escalated.
+_FSYNC_UNSUPPORTED_ERRNO = frozenset(
+    code
+    for code in (
+        errno.EINVAL,
+        errno.ENOTSUP if hasattr(errno, "ENOTSUP") else None,
+        errno.EOPNOTSUPP if hasattr(errno, "EOPNOTSUPP") else None,
+        errno.EBADF,
+    )
+    if code is not None
+)
 
-def atomic_write(path: str | Path, writer: Callable[[Path], None]) -> Path:
+
+class FileOps:
+    """The raw file primitives behind every writer in this module.
+
+    This is the injection seam for disk-fault testing: the chaos layer
+    subclasses it to raise ``OSError`` (ENOSPC, EIO, ...) or perform
+    short writes at chosen call sites, then installs the instance with
+    :func:`set_file_ops` / :func:`injected_file_ops`.  Keeping the seam
+    here (rather than patching ``os``) means fault coverage follows the
+    REP003 discipline automatically — code that bypasses ``atomicio``
+    also escapes fault injection, and the linter catches it.
+    """
+
+    def open_append(self, path: Path) -> IO[bytes]:
+        return open(path, "ab")
+
+    def write(self, handle: IO[bytes], data: bytes) -> int:
+        return handle.write(data)
+
+    def fsync(self, fd: int, *, path: Path | None = None) -> None:
+        # ``path`` is advisory — it lets fault injectors target files by
+        # name even though the kernel call only needs the descriptor.
+        os.fsync(fd)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        os.replace(src, dst)
+
+    def truncate(self, path: Path, length: int) -> None:
+        os.truncate(str(path), length)
+
+
+_DEFAULT_FILE_OPS = FileOps()
+_file_ops: FileOps = _DEFAULT_FILE_OPS
+
+#: Optional metrics sink (an ``obs.MetricsRegistry``-compatible object).
+#: A module-level hook instead of a parameter because durability
+#: failures surface in code (``fsync_directory``) that is called from
+#: layers which have no obs plumbing of their own.
+_metrics = None
+
+
+def file_ops() -> FileOps:
+    """The currently installed file-primitive implementation."""
+    return _file_ops
+
+
+def set_file_ops(ops: FileOps | None) -> FileOps:
+    """Install ``ops`` (``None`` restores the default); returns the previous."""
+    global _file_ops
+    previous = _file_ops
+    _file_ops = ops if ops is not None else _DEFAULT_FILE_OPS
+    return previous
+
+
+@contextmanager
+def injected_file_ops(ops: FileOps) -> Iterator[FileOps]:
+    """Temporarily install ``ops`` for the duration of the ``with`` block."""
+    previous = set_file_ops(ops)
+    try:
+        yield ops
+    finally:
+        set_file_ops(previous)
+
+
+def set_metrics_registry(registry) -> None:
+    """Point atomicio's durability counters at ``registry`` (or ``None``)."""
+    global _metrics
+    _metrics = registry
+
+
+def _count(name: str, amount: int = 1) -> None:
+    if _metrics is not None:
+        _metrics.counter(name).inc(amount)
+
+
+def atomic_write(
+    path: str | Path, writer: Callable[[Path], None], *, durable: bool = False
+) -> Path:
     """Run ``writer(tmp_path)`` then atomically move ``tmp_path`` to ``path``.
 
     The temporary file lives in the *same directory* as the target so
     :func:`os.replace` is a same-filesystem rename — atomic on POSIX.
     On any failure the temporary file is removed and the original
     ``path`` (if it existed) is left untouched.
+
+    With ``durable=True`` the temporary file's contents are fsynced
+    before the rename and the directory entry is fsynced after it, so
+    the *new* content survives a power loss once this returns.  Without
+    it (the default, matching the historical behavior) the rename is
+    atomic but the OS decides when the bytes reach stable storage —
+    fine for derived artifacts, not for commit points.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -35,14 +142,24 @@ def atomic_write(path: str | Path, writer: Callable[[Path], None]) -> Path:
     tmp_path = Path(tmp_name)
     try:
         writer(tmp_path)
-        os.replace(tmp_path, path)
+        if durable:
+            sync_fd = os.open(str(tmp_path), os.O_RDONLY)
+            try:
+                _file_ops.fsync(sync_fd, path=tmp_path)
+            finally:
+                os.close(sync_fd)
+        _file_ops.replace(tmp_path, path)
     except BaseException:
         tmp_path.unlink(missing_ok=True)
         raise
+    if durable:
+        fsync_directory(path.parent, required=True)
     return path
 
 
-def write_npz_atomic(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+def write_npz_atomic(
+    path: str | Path, arrays: dict[str, np.ndarray], *, durable: bool = False
+) -> Path:
     """Atomically write ``arrays`` as an uncompressed ``.npz`` archive."""
     path = Path(path)
     if path.suffix != ".npz":
@@ -54,10 +171,10 @@ def write_npz_atomic(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
         with open(tmp_path, "wb") as handle:
             np.savez(handle, **arrays)
 
-    return atomic_write(path, writer)
+    return atomic_write(path, writer, durable=durable)
 
 
-def write_json_atomic(path: str | Path, payload) -> Path:
+def write_json_atomic(path: str | Path, payload, *, durable: bool = False) -> Path:
     """Atomically write ``payload`` as indented, key-sorted JSON."""
 
     def writer(tmp_path: Path) -> None:
@@ -65,25 +182,57 @@ def write_json_atomic(path: str | Path, payload) -> Path:
             json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
         )
 
-    return atomic_write(path, writer)
+    return atomic_write(path, writer, durable=durable)
 
 
-def fsync_directory(path: str | Path) -> None:
+def write_bytes_atomic(path: str | Path, data: bytes, *, durable: bool = False) -> Path:
+    """Atomically write raw ``data`` — the scrubber/snapshot copy primitive."""
+
+    def writer(tmp_path: Path) -> None:
+        tmp_path.write_bytes(data)
+
+    return atomic_write(path, writer, durable=durable)
+
+
+def fsync_directory(path: str | Path, *, required: bool = True) -> bool:
     """``fsync`` the directory entry so a rename/creation survives a crash.
 
     ``os.replace`` makes the *content* swap atomic, but the new directory
     entry itself is only durable once the directory inode is synced.
-    Platforms that refuse ``open(O_RDONLY)`` on directories are skipped
-    silently — the rename is still atomic there, just not yet durable.
+
+    Returns ``True`` when the directory was synced.  Two failure modes
+    are distinguished — and, unlike the historical version of this
+    helper, neither disappears silently:
+
+    * Platforms that refuse ``open(O_RDONLY)`` on directories (or whose
+      filesystems reject directory fsync with EINVAL/ENOTSUP) are
+      counted under ``atomicio_fsync_dir_unsupported_total`` and
+      skipped: the rename is still atomic there, just not yet durable,
+      and no amount of retrying changes that.
+    * A *real* fsync failure (EIO, ENOSPC, ...) means the directory
+      entry may not survive a crash.  It is counted under
+      ``atomicio_fsync_failures_total`` and re-raised when
+      ``required=True`` (the default) — callers on an acknowledged-
+      durability path must not swallow it and report success.
     """
     try:
         fd = os.open(str(Path(path)), os.O_RDONLY)
     except OSError:
-        return
+        _count("atomicio_fsync_dir_unsupported_total")
+        return False
     try:
-        os.fsync(fd)
+        _file_ops.fsync(fd, path=Path(path))
+    except OSError as error:
+        if error.errno in _FSYNC_UNSUPPORTED_ERRNO:
+            _count("atomicio_fsync_dir_unsupported_total")
+            return False
+        _count("atomicio_fsync_failures_total")
+        if required:
+            raise
+        return False
     finally:
         os.close(fd)
+    return True
 
 
 class DurableAppender:
@@ -97,17 +246,25 @@ class DurableAppender:
     truncated, so an append is only "acknowledged" once :meth:`sync`
     returns.  This class owns the raw ``open(..., "ab")`` so every other
     module still goes through this file for durable writes (REP003).
+
+    After a failed :meth:`sync` the handle is *poisoned*
+    (``failed_ = True``): on Linux a failed fsync may drop the dirty
+    pages, and a later fsync on the same descriptor can report success
+    for data that never reached the platter.  Callers must reopen the
+    file (the WAL does this automatically) rather than retry on the
+    same handle.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existed = self.path.exists()
-        self._handle = open(self.path, "ab")
+        self._handle = _file_ops.open_append(self.path)
+        self.failed_ = False
         if not existed:
             # A brand-new segment's directory entry must survive a crash
             # before any record in it can be acknowledged.
-            fsync_directory(self.path.parent)
+            fsync_directory(self.path.parent, required=True)
 
     def append(self, data: bytes) -> int:
         """Append ``data``; returns the file size after the write.
@@ -115,7 +272,13 @@ class DurableAppender:
         The bytes are in the OS page cache only — call :meth:`sync`
         before acknowledging anything to the producer.
         """
-        self._handle.write(data)
+        if self.failed_:
+            raise OSError(
+                errno.EIO,
+                f"appender for {self.path} is poisoned by an earlier fsync "
+                "failure; reopen the file before appending",
+            )
+        _file_ops.write(self._handle, data)
         return self._handle.tell()
 
     def tell(self) -> int:
@@ -124,12 +287,17 @@ class DurableAppender:
     def sync(self) -> None:
         """Flush user-space buffers and ``fsync`` to stable storage."""
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            _file_ops.fsync(self._handle.fileno(), path=self.path)
+        except OSError:
+            self.failed_ = True
+            _count("atomicio_fsync_failures_total")
+            raise
 
     def close(self, *, sync: bool = True) -> None:
         if self._handle.closed:
             return
-        if sync:
+        if sync and not self.failed_:
             self.sync()
         self._handle.close()
 
@@ -147,10 +315,10 @@ def truncate_file(path: str | Path, length: int) -> None:
     record boundary is idempotent, so a crash mid-recovery just means
     the same truncation runs again on the next open.
     """
-    os.truncate(str(Path(path)), length)
+    _file_ops.truncate(Path(path), length)
     fd = os.open(str(Path(path)), os.O_RDWR)
     try:
-        os.fsync(fd)
+        _file_ops.fsync(fd, path=Path(path))
     finally:
         os.close(fd)
 

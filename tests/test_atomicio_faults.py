@@ -1,0 +1,176 @@
+"""Disk-fault injection against the durable-write primitives.
+
+``DiskFaultInjector`` is a drop-in :class:`FileOps` installed through
+``injected_file_ops``; each test arms exactly one fault and asserts two
+things — the failure is *loud* (raised, counted) and the on-disk state
+is the one the durability contract promises (old content intact, torn
+tail detectable, poisoned handle refusing to lie).
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience.chaos import DiskFaultInjector
+from repro.streaming.wal import decode_frames, encode_frame
+from repro.utils.atomicio import (
+    DurableAppender,
+    fsync_directory,
+    injected_file_ops,
+    set_metrics_registry,
+    truncate_file,
+    write_bytes_atomic,
+)
+
+
+@pytest.fixture
+def metrics():
+    registry = MetricsRegistry()
+    set_metrics_registry(registry)
+    yield registry
+    set_metrics_registry(None)
+
+
+class TestAtomicWrite:
+    def test_enospc_on_replace_leaves_the_original_untouched(self, tmp_path):
+        target = tmp_path / "ckpt.json"
+        target.write_bytes(b"committed state")
+        ops = DiskFaultInjector().arm("replace", errno_code=errno.ENOSPC)
+        with injected_file_ops(ops):
+            with pytest.raises(OSError) as excinfo:
+                write_bytes_atomic(target, b"new state", durable=True)
+        assert excinfo.value.errno == errno.ENOSPC
+        assert target.read_bytes() == b"committed state"
+        assert not list(tmp_path.glob(".*.tmp"))  # tmp file cleaned up
+
+    def test_eio_on_tmp_fsync_aborts_before_the_rename(self, tmp_path):
+        target = tmp_path / "ckpt.json"
+        target.write_bytes(b"committed state")
+        ops = DiskFaultInjector().arm("fsync", path_substring=".tmp")
+        with injected_file_ops(ops):
+            with pytest.raises(OSError):
+                write_bytes_atomic(target, b"new state", durable=True)
+        assert target.read_bytes() == b"committed state"
+        assert ops.fired_  # the fault actually fired
+
+    def test_fault_budget_disarms_after_n_hits(self, tmp_path):
+        ops = DiskFaultInjector().arm("replace", times=2)
+        with injected_file_ops(ops):
+            for _ in range(2):
+                with pytest.raises(OSError):
+                    write_bytes_atomic(tmp_path / "f", b"x")
+            write_bytes_atomic(tmp_path / "f", b"x")  # third succeeds
+        assert (tmp_path / "f").read_bytes() == b"x"
+
+    def test_path_substring_scopes_the_blast_radius(self, tmp_path):
+        ops = DiskFaultInjector().arm("replace", path_substring="victim")
+        with injected_file_ops(ops):
+            write_bytes_atomic(tmp_path / "bystander.json", b"ok")
+            with pytest.raises(OSError):
+                write_bytes_atomic(tmp_path / "victim.json", b"boom")
+        assert (tmp_path / "bystander.json").read_bytes() == b"ok"
+
+
+class TestDurableAppender:
+    def test_short_write_leaves_a_torn_frame_crc_detects(self, tmp_path):
+        wal = tmp_path / "segment.wal"
+        first = encode_frame(b"acknowledged record")
+        with DurableAppender(wal) as appender:
+            appender.append(first)
+            appender.sync()
+        ops = DiskFaultInjector().arm("write", short_write_bytes=3)
+        with injected_file_ops(ops):
+            appender = DurableAppender(wal)
+            with pytest.raises(OSError):
+                appender.append(encode_frame(b"torn record"))
+            appender.close(sync=False)
+        data = wal.read_bytes()
+        assert len(data) == len(first) + 3
+        payloads, valid = decode_frames(data)
+        assert payloads == [b"acknowledged record"]
+        assert valid == len(first)  # framing truncates exactly the tear
+
+    def test_failed_sync_poisons_the_handle(self, tmp_path, metrics):
+        wal = tmp_path / "segment.wal"
+        appender = DurableAppender(wal)
+        appender.append(encode_frame(b"r1"))
+        ops = DiskFaultInjector().arm("fsync", path_substring="segment.wal")
+        with injected_file_ops(ops):
+            with pytest.raises(OSError):
+                appender.sync()
+        assert appender.failed_
+        with pytest.raises(OSError) as excinfo:
+            appender.append(encode_frame(b"r2"))
+        assert "poisoned" in str(excinfo.value)
+        appender.close(sync=False)
+        assert metrics.counter("atomicio_fsync_failures_total").value == 1
+        # The mandated recovery: a fresh handle on the same file works.
+        with DurableAppender(wal) as reopened:
+            reopened.append(encode_frame(b"r2"))
+            reopened.sync()
+
+    def test_truncate_fault_propagates(self, tmp_path):
+        wal = tmp_path / "segment.wal"
+        wal.write_bytes(b"0123456789")
+        ops = DiskFaultInjector().arm("truncate")
+        with injected_file_ops(ops):
+            with pytest.raises(OSError):
+                truncate_file(wal, 4)
+        assert wal.read_bytes() == b"0123456789"
+        truncate_file(wal, 4)
+        assert wal.read_bytes() == b"0123"
+
+
+class TestFsyncDirectory:
+    def test_real_failure_is_counted_and_reraised_when_required(
+        self, tmp_path, metrics
+    ):
+        ops = DiskFaultInjector().arm("fsync", path_substring=tmp_path.name)
+        with injected_file_ops(ops):
+            with pytest.raises(OSError):
+                fsync_directory(tmp_path, required=True)
+        assert metrics.counter("atomicio_fsync_failures_total").value == 1
+
+    def test_real_failure_returns_false_when_not_required(self, tmp_path, metrics):
+        ops = DiskFaultInjector().arm("fsync", path_substring=tmp_path.name)
+        with injected_file_ops(ops):
+            assert fsync_directory(tmp_path, required=False) is False
+        assert metrics.counter("atomicio_fsync_failures_total").value == 1
+
+    def test_unsupported_platform_errno_is_skipped_not_raised(
+        self, tmp_path, metrics
+    ):
+        ops = DiskFaultInjector().arm(
+            "fsync", path_substring=tmp_path.name, errno_code=errno.EINVAL
+        )
+        with injected_file_ops(ops):
+            # EINVAL = "this filesystem can't fsync directories": counted
+            # as unsupported and skipped even on the required path.
+            assert fsync_directory(tmp_path, required=True) is False
+        assert metrics.counter("atomicio_fsync_dir_unsupported_total").value == 1
+        assert metrics.counter("atomicio_fsync_failures_total").value == 0
+
+    def test_clean_directory_sync_returns_true(self, tmp_path):
+        assert fsync_directory(tmp_path) is True
+
+
+class TestInstallation:
+    def test_injected_file_ops_restores_the_previous_ops(self, tmp_path):
+        ops = DiskFaultInjector().arm("replace", times=100)
+        with injected_file_ops(ops):
+            with pytest.raises(OSError):
+                write_bytes_atomic(tmp_path / "f", b"x")
+        # Outside the context the real primitives are back.
+        write_bytes_atomic(tmp_path / "f", b"x")
+        assert (tmp_path / "f").read_bytes() == b"x"
+
+    def test_counters_are_inert_without_a_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        set_metrics_registry(None)
+        ops = DiskFaultInjector().arm("fsync", path_substring=tmp_path.name)
+        with injected_file_ops(ops):
+            assert fsync_directory(tmp_path, required=False) is False
+        assert registry.counter("atomicio_fsync_failures_total").value == 0

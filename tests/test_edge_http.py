@@ -376,3 +376,61 @@ class TestLoadgenAgainstLiveServer:
         assert report.failed == 0
         assert report.ok + report.shed == 30
         assert report.to_json_dict()["p99_ms"] > 0.0
+
+
+class TestReadiness:
+    """``/v1/ready``: routability as the supervisor sees it (satellite 2)."""
+
+    def test_ready_without_a_supervisor_matches_golden(self, edge):
+        status, body = http_json(*edge, "GET", "/v1/ready")
+        assert status == 200
+        assert body == load_golden("ready_response")["wire"]
+
+    def test_gated_stack_answers_503_with_retry_after(self, stack):
+        _, _, service = stack
+        fixture = load_golden("ready_not_ready_response")
+
+        def readiness():
+            detail = {
+                "gate": fixture["wire"]["reason"],
+                "components": fixture["wire"]["components"],
+                "blocked_on": fixture["wire"]["blocked_on"],
+            }
+            return False, detail
+
+        server = EdgeServer(service, config=EdgeConfig(workers=1), readiness=readiness)
+        with EdgeServerThread(server) as (host, port):
+            connection = http.client.HTTPConnection(host, port, timeout=10.0)
+            try:
+                connection.request("GET", "/v1/ready")
+                response = connection.getresponse()
+                body = json.loads(response.read())
+                assert response.status == fixture["expect_status"]
+                assert response.getheader("Retry-After") == "1"
+            finally:
+                connection.close()
+            assert body == fixture["wire"]
+            # Liveness stays 200 while readiness gates: a load balancer
+            # drains this replica without the supervisor killing it.
+            status, _ = http_json(host, port, "GET", "/v1/health")
+            assert status == 200
+
+    def test_readiness_flips_back_to_200_when_the_gate_lifts(self, stack):
+        _, _, service = stack
+        gate = {"reason": "restoring"}
+
+        def readiness():
+            if gate["reason"] is None:
+                return True, {"components": {"edge": "running"}, "blocked_on": []}
+            return False, {"gate": gate["reason"], "components": {}, "blocked_on": []}
+
+        server = EdgeServer(service, config=EdgeConfig(workers=1), readiness=readiness)
+        with EdgeServerThread(server) as (host, port):
+            status, body = http_json(host, port, "GET", "/v1/ready")
+            assert status == 503
+            assert body["reason"] == "restoring"
+            gate["reason"] = None
+            status, body = http_json(host, port, "GET", "/v1/ready")
+            assert status == 200
+            assert body["status"] == "ready"
+            assert body["components"] == {"edge": "running"}

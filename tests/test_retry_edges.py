@@ -1,0 +1,145 @@
+"""Edge cases for ``retry_call`` on an injected (fake) sleep.
+
+The real supervision paths pass ``sleep=clock.sleep``; here every test
+records the requested delays instead of sleeping, so the exact backoff
+schedule — including the zero-delay and capped variants — is asserted
+without any wall-clock time passing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.chaos import SimulatedKill
+from repro.resilience.retry import retry_call
+from repro.utils.clock import FakeClock
+from repro.utils.exceptions import ConfigError
+
+
+class Flaky:
+    """Fails with ``error`` until ``fail_times`` calls have happened."""
+
+    def __init__(self, fail_times: int, error: type[BaseException] = ValueError):
+        self.fail_times = fail_times
+        self.error = error
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise self.error(f"attempt {self.calls} failed")
+        return "ok"
+
+
+@pytest.fixture
+def delays():
+    return []
+
+
+@pytest.fixture
+def sleep(delays):
+    return delays.append
+
+
+class TestExhaustion:
+    def test_exhausted_retries_reraise_the_last_error(self, sleep, delays):
+        fn = Flaky(fail_times=10)
+        with pytest.raises(ValueError, match="attempt 3 failed"):
+            retry_call(fn, retries=2, base_delay=1.0, sleep=sleep)
+        assert fn.calls == 3  # initial call + 2 retries
+        assert delays == [1.0, 2.0]  # no sleep after the final failure
+
+    def test_retries_zero_means_exactly_one_attempt(self, sleep, delays):
+        fn = Flaky(fail_times=1)
+        with pytest.raises(ValueError, match="attempt 1"):
+            retry_call(fn, retries=0, sleep=sleep)
+        assert fn.calls == 1
+        assert delays == []
+
+    def test_success_on_the_last_allowed_attempt(self, sleep):
+        fn = Flaky(fail_times=2)
+        assert retry_call(fn, retries=2, base_delay=1.0, sleep=sleep) == "ok"
+        assert fn.calls == 3
+
+
+class TestSchedule:
+    def test_zero_base_delay_never_calls_sleep(self, sleep, delays):
+        fn = Flaky(fail_times=3)
+        assert retry_call(fn, retries=3, base_delay=0.0, sleep=sleep) == "ok"
+        assert delays == []  # zero-delay schedule skips sleep entirely
+
+    def test_uncapped_schedule_is_geometric(self, sleep, delays):
+        fn = Flaky(fail_times=4)
+        retry_call(fn, retries=4, base_delay=0.5, factor=2.0, sleep=sleep)
+        assert delays == [0.5, 1.0, 2.0, 4.0]
+
+    def test_max_delay_clamps_the_tail(self, sleep, delays):
+        fn = Flaky(fail_times=4)
+        retry_call(
+            fn, retries=4, base_delay=0.5, factor=2.0, max_delay=1.5, sleep=sleep
+        )
+        assert delays == [0.5, 1.0, 1.5, 1.5]
+
+    def test_fake_clock_sleep_is_a_valid_injected_sleep(self):
+        clock = FakeClock()
+        fn = Flaky(fail_times=2)
+        assert retry_call(fn, retries=2, base_delay=1.0, sleep=clock.sleep) == "ok"
+        assert clock.now == pytest.approx(3.0)  # 1.0 + 2.0 advanced, not slept
+
+
+class TestFiltering:
+    def test_non_retryable_exception_propagates_immediately(self, sleep, delays):
+        fn = Flaky(fail_times=5, error=KeyError)
+        with pytest.raises(KeyError):
+            retry_call(fn, retries=5, retryable=(ValueError,), sleep=sleep)
+        assert fn.calls == 1
+        assert delays == []
+
+    def test_base_exceptions_are_never_swallowed(self, sleep):
+        fn = Flaky(fail_times=5, error=SimulatedKill)
+        with pytest.raises(SimulatedKill):
+            retry_call(fn, retries=5, sleep=sleep)
+        assert fn.calls == 1
+
+
+class TestCallbacks:
+    def test_on_retry_sees_each_attempt_and_error(self, sleep):
+        seen = []
+        fn = Flaky(fail_times=2)
+        retry_call(
+            fn,
+            retries=2,
+            base_delay=0.0,
+            on_retry=lambda attempt, error: seen.append((attempt, str(error))),
+            sleep=sleep,
+        )
+        assert seen == [(0, "attempt 1 failed"), (1, "attempt 2 failed")]
+
+    def test_on_retry_not_called_on_the_final_failure(self, sleep):
+        seen = []
+        fn = Flaky(fail_times=10)
+        with pytest.raises(ValueError):
+            retry_call(
+                fn,
+                retries=1,
+                base_delay=0.0,
+                on_retry=lambda attempt, error: seen.append(attempt),
+                sleep=sleep,
+            )
+        assert seen == [0]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+        ],
+    )
+    def test_bad_config_is_rejected_before_any_call(self, kwargs):
+        calls = []
+        with pytest.raises(ConfigError):
+            retry_call(lambda: calls.append(1), **kwargs)
+        assert calls == []
