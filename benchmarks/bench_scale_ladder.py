@@ -1,0 +1,264 @@
+"""The million-user scale ladder: sharded mmap store + IVF retrieval.
+
+Climbs the user axis (10^4 -> 10^5 -> 10^6 users) and, at each rung,
+builds a float32 sharded factor store *streamed shard by shard* (the
+full user matrix is never materialized), then measures:
+
+* request latency p50/p99 of the dense full-catalog scan vs the
+  IVF shortlist-then-exact-rerank path, both reading user rows through
+  the mmap store;
+* memory honesty — resident set size against the bytes a dense load of
+  the user matrix would have cost, plus the bytes actually mapped;
+* retrieval honesty — measured recall@k of the IVF shortlist against
+  the exact ranking, which must clear ``--recall-floor`` at the
+  default index config (never assumed, always measured);
+* the ``metrics_identical`` gate — a float64 store reads back bitwise
+  equal to the in-memory factors it was written from, and the exact
+  retrieval path reproduces the dense engine ranking exactly.
+
+Factors are mixture-of-Gaussians (clustered catalogs are the workload
+IVF exists for); the ladder fails loudly if any gate is violated.
+Results land in ``BENCH_scale.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale_ladder.py
+    PYTHONPATH=src python benchmarks/bench_scale_ladder.py --smoke
+
+``--smoke`` runs only the 10^4 rung (CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.metrics import scoring  # noqa: E402
+from repro.mf.params import FactorParams  # noqa: E402
+from repro.retrieval import IVFConfig, IVFIndex, measure_recall  # noqa: E402
+from repro.store import (  # noqa: E402
+    FactorStoreWriter,
+    ShardedFactorStore,
+    write_factor_store,
+)
+from repro.utils.clock import Timer  # noqa: E402
+from repro.utils.rng import as_generator  # noqa: E402
+
+LADDER = (10_000, 100_000, 1_000_000)
+
+
+def rss_bytes() -> int:
+    """Peak resident set size of this process (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q))
+
+
+def make_item_side(n_items: int, dim: int, n_clusters: int, seed: int):
+    """Clustered item factors + bias, and the mixture centers."""
+    rng = as_generator(seed)
+    centers = rng.normal(size=(n_clusters, dim)) * 3.0
+    assignment = rng.integers(0, n_clusters, size=n_items)
+    item_factors = centers[assignment] + rng.normal(size=(n_items, dim)) * 0.2
+    item_bias = rng.normal(size=n_items) * 0.1
+    return item_factors, item_bias, centers
+
+
+def user_chunk(centers: np.ndarray, n_rows: int, seed: int) -> np.ndarray:
+    """One shard's worth of user vectors, drawn near the mixture centers."""
+    rng = as_generator(seed)
+    assignment = rng.integers(0, len(centers), size=n_rows)
+    return centers[assignment] * 0.5 + rng.normal(size=(n_rows, centers.shape[1]))
+
+
+def build_store(directory, n_users, centers, item_factors, item_bias,
+                shard_size, seed) -> float:
+    """Stream-write the float32 store shard by shard; returns build seconds."""
+    with Timer() as timer:
+        writer = FactorStoreWriter(
+            directory, centers.shape[1], dtype="float32", shard_size=shard_size,
+            metadata={"ladder_users": int(n_users)},
+        )
+        written = 0
+        shard = 0
+        while written < n_users:
+            rows = min(shard_size, n_users - written)
+            writer.add_users(user_chunk(centers, rows, seed * 1_000_003 + shard))
+            written += rows
+            shard += 1
+        writer.set_items(item_factors, item_bias)
+        writer.finalize()
+    return timer.elapsed
+
+
+def metrics_identical_gate(seed: int) -> dict:
+    """The exactness gates: bitwise store round-trip, unchanged exact path."""
+    rng = as_generator(seed)
+    params = FactorParams(
+        user_factors=rng.normal(size=(2_000, 16)),
+        item_factors=rng.normal(size=(500, 16)),
+        item_bias=rng.normal(size=500),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        write_factor_store(tmp, params, dtype="float64", shard_size=256)
+        store = ShardedFactorStore.open(tmp)
+        users = np.arange(params.n_users, dtype=np.int64)
+        store_bitwise = bool(
+            np.array_equal(store.user_rows(users), params.user_factors)
+            and np.array_equal(
+                store.predict_batch(users[:200]),
+                scoring.linear_scores(
+                    params.user_factors[:200], params.item_factors, params.item_bias
+                ),
+            )
+        )
+        store.close()
+    dense = scoring.linear_scores(
+        params.user_factors[:64], params.item_factors, params.item_bias
+    )
+    expected = scoring.topk_from_matrix(dense, 10)
+    via_seam = scoring.topk_with_retrieval(
+        params.user_factors[:64], params.item_factors, params.item_bias, 10
+    )
+    exact_path_identical = all(
+        np.array_equal(expected[row], via_seam[row]) for row in range(len(expected))
+    )
+    return {
+        "store_float64_bitwise": store_bitwise,
+        "exact_path_identical": bool(exact_path_identical),
+        "ok": bool(store_bitwise and exact_path_identical),
+    }
+
+
+def run_rung(n_users: int, args, item_factors, item_bias, centers, index) -> dict:
+    with tempfile.TemporaryDirectory(dir=args.workdir) as tmp:
+        build_s = build_store(
+            tmp, n_users, centers, item_factors, item_bias, args.shard_size, args.seed
+        )
+        with Timer() as open_timer:
+            store = ShardedFactorStore.open(tmp, verify="all")
+        try:
+            rng = as_generator(args.seed + n_users)
+            dense_ms: list[float] = []
+            ivf_ms: list[float] = []
+            for _ in range(args.requests):
+                users = rng.integers(0, n_users, size=args.batch).astype(np.int64)
+                with Timer() as timer:
+                    rows = store.user_rows(users)
+                    scores = scoring.linear_scores(rows, item_factors, item_bias)
+                    scoring.topk_from_matrix(scores, args.k)
+                dense_ms.append(timer.elapsed * 1000.0)
+                with Timer() as timer:
+                    rows = store.user_rows(users)
+                    scoring.topk_with_retrieval(
+                        rows, item_factors, item_bias, args.k, retriever=index
+                    )
+                ivf_ms.append(timer.elapsed * 1000.0)
+            sample = store.user_rows(
+                rng.integers(0, n_users, size=args.recall_sample).astype(np.int64)
+            ).astype(np.float64)
+            recall = measure_recall(index, sample, item_factors, item_bias, args.k)
+            return {
+                "n_users": n_users,
+                "n_shards": store.n_shards,
+                "build_s": build_s,
+                "open_verify_s": open_timer.elapsed,
+                "dense_ms_p50": percentile(dense_ms, 50),
+                "dense_ms_p99": percentile(dense_ms, 99),
+                "ivf_ms_p50": percentile(ivf_ms, 50),
+                "ivf_ms_p99": percentile(ivf_ms, 99),
+                "recall_at_k": recall,
+                "rss_bytes": rss_bytes(),
+                "mapped_bytes": store.mapped_bytes(),
+                "dense_user_bytes": store.total_user_bytes(),
+            }
+        finally:
+            store.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-items", type=int, default=8192)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--clusters", type=int, default=64,
+                        help="mixture components in the synthetic factors")
+    parser.add_argument("--shard-size", type=int, default=65536)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--requests", type=int, default=200,
+                        help="timed requests per rung and path")
+    parser.add_argument("--batch", type=int, default=32, help="users per request")
+    parser.add_argument("--recall-sample", type=int, default=256,
+                        help="users sampled for the recall measurement")
+    parser.add_argument("--recall-floor", type=float, default=0.95)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="where the temporary stores live (default: $TMPDIR)")
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_scale.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="only the 10^4 rung (CI)")
+    args = parser.parse_args(argv)
+
+    gates = metrics_identical_gate(args.seed)
+    print(f"metrics_identical: store_float64_bitwise={gates['store_float64_bitwise']} "
+          f"exact_path_identical={gates['exact_path_identical']}")
+    if not gates["ok"]:
+        print("FAIL: metrics_identical gate violated", file=sys.stderr)
+        return 1
+
+    item_factors, item_bias, centers = make_item_side(
+        args.n_items, args.dim, args.clusters, args.seed
+    )
+    index_config = IVFConfig(seed=args.seed)
+    index = IVFIndex.build(item_factors, index_config)
+
+    ladder = LADDER[:1] if args.smoke else LADDER
+    rungs = {}
+    failed = False
+    for n_users in ladder:
+        rung = run_rung(n_users, args, item_factors, item_bias, centers, index)
+        rungs[str(n_users)] = rung
+        speedup = rung["dense_ms_p50"] / max(rung["ivf_ms_p50"], 1e-9)
+        print(
+            f"users=10^{len(str(n_users)) - 1} shards={rung['n_shards']:<3} "
+            f"dense p50={rung['dense_ms_p50']:.2f}ms "
+            f"ivf p50={rung['ivf_ms_p50']:.2f}ms ({speedup:.1f}x) "
+            f"recall@{args.k}={rung['recall_at_k']:.3f} "
+            f"rss={rung['rss_bytes'] / 2**20:.0f}MiB "
+            f"dense-would-be={rung['dense_user_bytes'] / 2**20:.0f}MiB"
+        )
+        if rung["recall_at_k"] < args.recall_floor:
+            print(f"FAIL: recall {rung['recall_at_k']:.3f} below floor "
+                  f"{args.recall_floor} at {n_users} users", file=sys.stderr)
+            failed = True
+
+    report = {
+        "n_items": args.n_items,
+        "dim": args.dim,
+        "k": args.k,
+        "shard_size": args.shard_size,
+        "requests_per_rung": args.requests,
+        "batch": args.batch,
+        "index": index.describe(),
+        "recall_floor": args.recall_floor,
+        "metrics_identical": gates,
+        "rungs": rungs,
+        "smoke": bool(args.smoke),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

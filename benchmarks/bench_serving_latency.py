@@ -72,21 +72,31 @@ def build_requests(train, n_requests: int, k: int, seed: int):
 
 
 def run_level(service, requests, n_streams: int):
-    """Drive ``n_streams`` concurrent streams; return latencies + failures."""
+    """Drive ``n_streams`` concurrent streams.
+
+    Returns latencies, wall time, failures, and the per-tier
+    ``served_by`` counts of exactly this level's responses.  Accounting
+    from the responses themselves (rather than service-lifetime
+    counters) is what makes the per-level fallback rate honest: it
+    reflects what *these* requests experienced under *this* much
+    contention, not an average over whatever ran before.
+    """
     chunks = [requests[stream::n_streams] for stream in range(n_streams)]
     failures: list[str] = []
 
     def stream(chunk):
         latencies = []
+        served_by: dict[str, int] = {}
         for request in chunk:
             with Timer() as timer:
                 response = service.recommend(request)
             latencies.append(timer.elapsed * 1000.0)
+            served_by[response.served_by] = served_by.get(response.served_by, 0) + 1
             if len(response.items) == 0:
                 failures.append(f"empty response for user {request.user}")
             if not response.served_by:
                 failures.append(f"missing provenance for user {request.user}")
-        return latencies
+        return latencies, served_by
 
     with Timer() as wall_timer:
         if n_streams == 1:
@@ -95,8 +105,12 @@ def run_level(service, requests, n_streams: int):
             with ThreadPoolExecutor(max_workers=n_streams) as pool:
                 per_stream = list(pool.map(stream, chunks))
     wall = wall_timer.elapsed
-    latencies = [latency for stream_latencies in per_stream for latency in stream_latencies]
-    return latencies, wall, failures
+    latencies = [latency for stream_latencies, _ in per_stream for latency in stream_latencies]
+    served_by: dict[str, int] = {}
+    for _, stream_counts in per_stream:
+        for tier, count in stream_counts.items():
+            served_by[tier] = served_by.get(tier, 0) + count
+    return latencies, wall, failures, served_by
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -125,20 +139,29 @@ def main(argv: list[str] | None = None) -> int:
     model.fit(split.train, split.validation)
 
     levels = {}
-    for n_streams in CONCURRENCY_LEVELS:
+    for level_index, n_streams in enumerate(CONCURRENCY_LEVELS):
         service = RecommendationService.build(
             model,
             split.train,
             config=ServiceConfig(default_deadline_ms=args.deadline_ms),
             executor=ThreadedExecutor(max_workers=max(8, n_streams)),
         )
-        requests = build_requests(split.train, args.requests, args.k, args.seed)
+        # Distinct seed per level: reusing one seed replayed the exact
+        # same warm/cold/unseen draw at every concurrency, which (with
+        # service-lifetime counters) froze the reported fallback rate
+        # into one constant across the whole ladder.
+        requests = build_requests(
+            split.train, args.requests, args.k, args.seed + level_index
+        )
         try:
-            latencies, wall, failures = run_level(service, requests, n_streams)
+            latencies, wall, failures, served_by = run_level(
+                service, requests, n_streams
+            )
             if failures:
                 print(f"FAIL: {len(failures)} bad responses at {n_streams} streams: "
                       f"{failures[:3]}")
                 return 1
+            primary = service.tiers[0].name
             level = {
                 "streams": n_streams,
                 "requests": len(latencies),
@@ -146,7 +169,8 @@ def main(argv: list[str] | None = None) -> int:
                 "latency_ms_p99": percentile(latencies, 99),
                 "latency_ms_max": max(latencies),
                 "throughput_rps": len(latencies) / wall,
-                "fallback_rate": service.fallback_rate(),
+                "fallback_rate": 1.0 - served_by.get(primary, 0) / len(latencies),
+                "served_by": dict(sorted(served_by.items())),
                 "executor_overruns": service.executor.overruns_,
             }
         finally:

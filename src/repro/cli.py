@@ -1346,6 +1346,55 @@ def cmd_scrub(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    from repro.store import ShardedFactorStore, write_factor_store
+    from repro.store.shards import MANIFEST_NAME
+
+    if args.store_command == "build":
+        from repro.persistence import load_factors
+
+        params, metadata = load_factors(args.factors)
+        manifest_path = write_factor_store(
+            args.directory,
+            params,
+            dtype=args.dtype,
+            shard_size=args.shard_size,
+            metadata={**metadata, "source": str(args.factors)},
+        )
+        store = ShardedFactorStore.open(args.directory)
+        print(f"built {args.directory}: {store.n_users} users x "
+              f"{store.n_items} items (d={store.n_factors}, {store.dtype.name}) "
+              f"in {store.n_shards} shards of {store.shard_size}")
+        print(f"manifest: {manifest_path}")
+        return 0
+
+    if args.store_command == "verify":
+        store = ShardedFactorStore.open(args.directory, verify="all")
+        if store.quarantined_:
+            for index, reason in sorted(store.quarantined_.items()):
+                print(f"error: shard {index} quarantined: {reason}",
+                      file=sys.stderr)
+            return 1
+        print(f"{args.directory}: all {store.n_shards} shards + item files "
+              "verified clean")
+        return 0
+
+    # info: manifest summary without the hash pass
+    store = ShardedFactorStore.open(args.directory, verify="manifest")
+    manifest = store.manifest
+    print(f"store:      {args.directory}")
+    print(f"users:      {store.n_users} in {store.n_shards} shards "
+          f"of {store.shard_size}")
+    print(f"items:      {store.n_items}  factors: {store.n_factors}  "
+          f"dtype: {store.dtype.name}")
+    print(f"user bytes: {store.total_user_bytes()} dense "
+          f"({store.mapped_bytes()} currently mapped)")
+    if manifest.get("metadata"):
+        print(f"metadata:   {manifest['metadata']}")
+    print(f"manifest:   {args.directory / MANIFEST_NAME}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.lint.cli import run_lint
 
@@ -1719,6 +1768,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit nonzero on any unrepaired or deferred finding")
     _add_obs_arguments(scrub)
     scrub.set_defaults(func=cmd_scrub)
+
+    store = subparsers.add_parser(
+        "store", help="build / verify / inspect a sharded mmap factor store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_build = store_sub.add_parser(
+        "build", help="shard a saved factors file into a store directory"
+    )
+    store_build.add_argument("factors", type=Path,
+                             help="factors file written by `train --save`")
+    store_build.add_argument("directory", type=Path, help="store directory")
+    store_build.add_argument("--dtype", default="float32",
+                             choices=("float32", "float64"),
+                             help="float32 = serving policy, float64 = "
+                                  "bitwise paper protocol")
+    store_build.add_argument("--shard-size", type=int, default=65536,
+                             help="user rows per shard file")
+    store_build.set_defaults(func=cmd_store)
+    store_verify = store_sub.add_parser(
+        "verify", help="hash-check every shard + item file against the manifest"
+    )
+    store_verify.add_argument("directory", type=Path)
+    store_verify.set_defaults(func=cmd_store)
+    store_info = store_sub.add_parser(
+        "info", help="manifest summary (no hash pass)"
+    )
+    store_info.add_argument("directory", type=Path)
+    store_info.set_defaults(func=cmd_store)
 
     from repro.analysis.lint.cli import add_lint_arguments
 

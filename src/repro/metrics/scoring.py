@@ -96,7 +96,7 @@ def as_batch_scorer(model) -> BatchScoreFunction:
         return predict_batch
     predict_user = getattr(model, "predict_user", None)
     if callable(predict_user):
-        return _stacking_adapter(predict_user)
+        return _stacking_adapter(predict_user, model)
     if callable(model):
         raise TypeError(LEGACY_CALLABLE_MESSAGE)
     raise ConfigError(
@@ -105,9 +105,19 @@ def as_batch_scorer(model) -> BatchScoreFunction:
     )
 
 
-def _stacking_adapter(predict_user: Callable[[int], np.ndarray]) -> BatchScoreFunction:
+def _stacking_adapter(
+    predict_user: Callable[[int], np.ndarray], model=None
+) -> BatchScoreFunction:
+    # The stacked rows follow the model's declared dtype policy rather
+    # than an unconditional float64: a float32 store-backed model keeps
+    # its float32 scores (no silent upcast doubling the batch memory),
+    # while the paper-protocol default remains bitwise float64.
+    from repro.store.dtype import resolve_scoring_dtype
+
+    dtype = resolve_scoring_dtype(model if model is not None else predict_user)
+
     def scorer(users: np.ndarray) -> np.ndarray:
-        return np.stack([np.asarray(predict_user(int(user)), dtype=np.float64) for user in users])
+        return np.stack([np.asarray(predict_user(int(user)), dtype=dtype) for user in users])
 
     return scorer
 
@@ -183,17 +193,91 @@ def positives_mask(
 def topk_from_matrix(scores: np.ndarray, k: int) -> np.ndarray:
     """Row-wise top-``k`` item ids, best first, ties broken by item id.
 
-    Exactly :func:`repro.metrics.topk.top_k_items` applied to each row
-    (argpartition, then a stable sort of the ``k`` survivors); excluded
-    items are expected to already be ``-inf`` in ``scores``.
+    Deterministic for *every* ``k``: the ranking is the first ``k``
+    entries of the stable full sort (score descending, item id
+    ascending among ties), so ``topk(k)`` is always a prefix of
+    ``topk(n_items)`` — the property that keeps the dense path, the
+    truncated emergency ranking, and the shortlist rerank in exact
+    agreement on tied scores.
+
+    Both ``k`` boundaries are clamped deterministically rather than fed
+    to ``argpartition`` raw: ``k == 0`` returns an empty ``(B, 0)``
+    ranking (``kth = -1`` would partition around the *largest* element
+    — the wrong end), and ``k >= n_items`` skips the partition entirely
+    in favor of one stable full sort (``kth = n_items`` and beyond
+    raises inside numpy).  Negative ``k`` is still a
+    :class:`~repro.utils.exceptions.ConfigError`.
+
+    Implementation: ``k < n_items`` takes the O(n) argpartition, then
+    (a) sorts each row's survivors ascending before the stable
+    score-sort so within-top ties come out id-ascending, and (b) redoes
+    — with the full sort — only the rows where more than ``k`` items
+    tie at the boundary score, where argpartition's *selection* (not
+    just its order) is unspecified.  Non-degenerate rows never pay the
+    O(n log n) fallback.
     """
-    if k < 1:
-        raise ConfigError(f"k must be >= 1, got {k}")
-    k = min(k, scores.shape[1])
+    if k < 0:
+        raise ConfigError(f"k must be >= 0, got {k}")
+    n_items = scores.shape[1]
+    if k == 0 or n_items == 0:
+        return np.zeros((scores.shape[0], 0), dtype=np.int64)
+    if k >= n_items:
+        return np.argsort(-scores, axis=1, kind="stable")
     top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    top.sort(axis=1)
     top_scores = np.take_along_axis(scores, top, axis=1)
     order = np.argsort(-top_scores, axis=1, kind="stable")
-    return np.take_along_axis(top, order, axis=1)
+    top = np.take_along_axis(top, order, axis=1)
+    boundary = np.take_along_axis(scores, top[:, -1:], axis=1)
+    ambiguous = np.flatnonzero((scores >= boundary).sum(axis=1) > k)
+    if len(ambiguous):
+        top[ambiguous] = np.argsort(-scores[ambiguous], axis=1, kind="stable")[:, :k]
+    return top
+
+
+def topk_with_retrieval(
+    user_vectors: np.ndarray,
+    item_factors: np.ndarray,
+    item_bias: np.ndarray | None,
+    k: int,
+    *,
+    retriever=None,
+    exclude: Sequence[np.ndarray] | None = None,
+) -> list[np.ndarray]:
+    """Top-``k`` item ids per user vector, through a pluggable retriever.
+
+    The one seam where candidate retrieval plugs into the scoring
+    engine.  With ``retriever=None`` (the exact path) this is the
+    unchanged dense pipeline — ``linear_scores`` over the full catalog,
+    exclusion mask, :func:`topk_from_matrix` — and stays under the
+    ``metrics_identical`` gate.  With a
+    :class:`repro.retrieval.CandidateRetriever` the retriever proposes a
+    shortlist that is *exactly* reranked (every candidate's score bitwise
+    equal to its dense entry); the shortlist's measured recall@k is the
+    only approximation, recorded per config by
+    :func:`repro.retrieval.measure_recall`.
+
+    Returns one int64 ranking per user row (the approximate path may
+    return fewer than ``k`` ids when a shortlist runs short).
+    """
+    user_vectors = np.asarray(user_vectors)
+    if user_vectors.ndim == 1:
+        user_vectors = user_vectors[None, :]
+    if retriever is not None:
+        from repro.retrieval.base import rerank_topk
+
+        return rerank_topk(
+            user_vectors, item_factors, item_bias, k, retriever,
+            exclude=list(exclude) if exclude is not None else None,
+        )
+    scores = linear_scores(user_vectors, item_factors, item_bias)
+    scores = np.asarray(scores, dtype=np.float64)
+    if exclude is not None:
+        for row, excluded in enumerate(exclude):
+            if len(excluded):
+                scores[row, np.asarray(excluded, dtype=np.int64)] = -np.inf
+    ranked = topk_from_matrix(scores, min(k, item_factors.shape[0]))
+    return [ranked[row] for row in range(len(ranked))]
 
 
 def candidate_ranks(

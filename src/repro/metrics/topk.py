@@ -40,8 +40,20 @@ def top_k_items(scores: np.ndarray, k: int, *, exclude: np.ndarray | None = None
         scores = scores.copy()
         scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
     k = min(k, len(scores))
-    top = np.argpartition(-scores, k - 1)[:k]
-    return top[np.argsort(-scores[top], kind="stable")]
+    if k == len(scores):
+        # Skip the partition at the boundary: one stable full sort keeps
+        # the ties-by-item-id contract (argpartition's survivor order is
+        # unspecified), matching scoring.topk_from_matrix exactly.
+        return np.argsort(-scores, kind="stable")
+    # Same discipline as scoring.topk_from_matrix: survivors sorted
+    # ascending before the stable score-sort (within-top ties come out
+    # id-ascending), and a full-sort redo when argpartition's boundary
+    # *selection* is ambiguous (more than k items tie at the k-th score).
+    top = np.sort(np.argpartition(-scores, k - 1)[:k])
+    top = top[np.argsort(-scores[top], kind="stable")]
+    if np.count_nonzero(scores >= scores[top[-1]]) > k:
+        return np.argsort(-scores, kind="stable")[:k]
+    return top
 
 
 def hits_at_k(recommended: np.ndarray, relevant, k: int) -> int:

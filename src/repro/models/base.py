@@ -160,9 +160,11 @@ class Recommender(ABC):
         scores = np.asarray(self.predict_user(user), dtype=np.float64).copy()
         if exclude_observed:
             scores[train.positives(user)] = -np.inf
-        k = min(k, train.n_items)
-        top = np.argpartition(-scores, k - 1)[:k]
-        return top[np.argsort(-scores[top], kind="stable")]
+        # The shared kernel owns the k-boundary discipline (clamp at the
+        # catalog size, stable full sort instead of a raw argpartition),
+        # so per-user and batched rankings agree bitwise even at k >=
+        # n_items with tied scores.
+        return scoring.topk_from_matrix(scores[None, :], min(k, train.n_items))[0]
 
     def recommend_batch(
         self,
@@ -188,7 +190,14 @@ class Recommender(ABC):
         users = np.asarray(users, dtype=np.int64)
         k = min(k, train.n_items)
         user_counts = train.user_counts()
-        cold_row: np.ndarray | None = None
+        # Hoisted: the popularity ordering is identical for every cold
+        # user in the call, so it is computed at most once per call —
+        # never per chunk, never per user (pinned by a counting test).
+        cold_row = (
+            self._popularity_topk(train, k)
+            if np.any(user_counts[users] == 0)
+            else None
+        )
         blocks = []
         for chunk in scoring.iter_user_chunks(users, chunk_size):
             scores = np.asarray(self.predict_batch(chunk), dtype=np.float64)
@@ -197,8 +206,6 @@ class Recommender(ABC):
             block = scoring.topk_from_matrix(scores, k)
             cold = np.flatnonzero(user_counts[chunk] == 0)
             if len(cold):
-                if cold_row is None:
-                    cold_row = self._popularity_topk(train, k)
                 block[cold] = cold_row
             blocks.append(block)
         if not blocks:

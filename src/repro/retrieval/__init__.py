@@ -1,0 +1,24 @@
+"""Pluggable candidate retrieval: sublinear shortlist, exact rerank.
+
+See :mod:`repro.retrieval.base` for the contract (shortlisted scores
+are bitwise equal to their dense entries; shortlist recall is measured,
+never assumed) and :mod:`repro.retrieval.ivf` for the clustered
+inverted-file index.
+"""
+
+from repro.retrieval.base import (
+    EXACT,
+    CandidateRetriever,
+    measure_recall,
+    rerank_topk,
+)
+from repro.retrieval.ivf import IVFConfig, IVFIndex
+
+__all__ = [
+    "EXACT",
+    "CandidateRetriever",
+    "IVFConfig",
+    "IVFIndex",
+    "measure_recall",
+    "rerank_topk",
+]

@@ -1,0 +1,148 @@
+"""IVF: clustered inverted-file retrieval over the item factors.
+
+The classic sublinear layout for maximum-inner-product shortlisting
+(the structure behind FAISS's ``IndexIVFFlat``): Lloyd k-means groups
+the item vectors into ``n_clusters`` cells, and a query scores only the
+``n_probe`` cells whose centroids have the highest inner product with
+the user vector.  Cost per query drops from ``O(n_items · d)`` to
+``O(n_clusters · d + |probed members| · d)`` — sublinear in the catalog
+whenever items actually cluster (real catalogs do; the scale-ladder
+benchmark generates mixture-structured factors for the same reason).
+
+Everything is deterministic: seeded centroid init, fixed Lloyd
+iteration count cap, ties broken by index throughout — the same
+ranking-order conventions as the rest of the library — so an index
+built twice from the same factors is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.retrieval.base import CandidateRetriever
+from repro.utils.exceptions import ConfigError, RetrievalError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class IVFConfig:
+    """Index-build and probe knobs.
+
+    ``n_clusters`` cells, ``n_probe`` probed per query; the default
+    probes a quarter of the cells, which on clustered catalogs measures
+    recall@10 well above the 0.95 ladder floor while scanning a small
+    fraction of the items.  ``max_iter`` caps Lloyd iterations (k-means
+    usually converges in far fewer on factor matrices).
+    """
+
+    n_clusters: int = 64
+    n_probe: int = 16
+    max_iter: int = 10
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if not 1 <= self.n_probe <= self.n_clusters:
+            raise ConfigError(
+                f"n_probe must be in [1, n_clusters={self.n_clusters}], got {self.n_probe}"
+            )
+        if self.max_iter < 1:
+            raise ConfigError(f"max_iter must be >= 1, got {self.max_iter}")
+
+
+class IVFIndex(CandidateRetriever):
+    """A built inverted file: centroids plus per-cell member lists."""
+
+    name = "ivf"
+
+    def __init__(self, centroids: np.ndarray, members: list[np.ndarray], config: IVFConfig):
+        self.centroids = centroids
+        self.members = members
+        self.config = config
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(cls, item_factors: np.ndarray, config: IVFConfig | None = None) -> "IVFIndex":
+        """Cluster ``item_factors`` with seeded Lloyd k-means."""
+        config = config or IVFConfig()
+        items = np.asarray(item_factors, dtype=np.float64)
+        if items.ndim != 2:
+            raise RetrievalError(f"item_factors must be 2-D, got shape {items.shape}")
+        n_items = items.shape[0]
+        if n_items == 0:
+            raise RetrievalError("cannot build an IVF index over an empty catalog")
+        n_clusters = min(config.n_clusters, n_items)
+        rng = as_generator(config.seed)
+        centroids = items[rng.choice(n_items, size=n_clusters, replace=False)].copy()
+        assignment = np.zeros(n_items, dtype=np.int64)
+        for iteration in range(config.max_iter):
+            # Nearest centroid by squared Euclidean distance, ties to the
+            # lower index (argmin convention).
+            distances = (
+                (items * items).sum(axis=1)[:, None]
+                - 2.0 * items @ centroids.T
+                + (centroids * centroids).sum(axis=1)[None, :]
+            )
+            new_assignment = np.argmin(distances, axis=1)
+            if iteration > 0 and np.array_equal(new_assignment, assignment):
+                break
+            assignment = new_assignment
+            for cell in range(n_clusters):
+                mask = assignment == cell
+                if mask.any():
+                    centroids[cell] = items[mask].mean(axis=0)
+                # Empty cells keep their previous centroid — deterministic
+                # and harmless; their member list is simply empty.
+        members = [
+            np.flatnonzero(assignment == cell).astype(np.int64)
+            for cell in range(n_clusters)
+        ]
+        effective = (
+            config
+            if n_clusters == config.n_clusters
+            else IVFConfig(
+                n_clusters=n_clusters,
+                n_probe=min(config.n_probe, n_clusters),
+                max_iter=config.max_iter,
+                seed=config.seed,
+            )
+        )
+        return cls(centroids, members, effective)
+
+    # -- probing ---------------------------------------------------------
+    def shortlist(self, user_vectors: np.ndarray) -> list[np.ndarray]:
+        """Members of the ``n_probe`` highest-inner-product cells per user.
+
+        Candidates come back sorted ascending (the dense tie-break
+        order), deduplicated by construction — member lists partition
+        the catalog.
+        """
+        user_vectors = np.asarray(user_vectors, dtype=np.float64)
+        if user_vectors.ndim == 1:
+            user_vectors = user_vectors[None, :]
+        cell_scores = user_vectors @ self.centroids.T
+        n_probe = self.config.n_probe
+        order = np.argsort(-cell_scores, axis=1, kind="stable")[:, :n_probe]
+        shortlists = []
+        for row in range(len(user_vectors)):
+            parts = [self.members[cell] for cell in order[row]]
+            candidates = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+            candidates.sort()
+            shortlists.append(candidates)
+        return shortlists
+
+    # -- reporting -------------------------------------------------------
+    def describe(self) -> dict:
+        sizes = np.asarray([len(m) for m in self.members], dtype=np.int64)
+        return {
+            "name": self.name,
+            "n_clusters": int(self.config.n_clusters),
+            "n_probe": int(self.config.n_probe),
+            "seed": int(self.config.seed),
+            "mean_cell_size": float(sizes.mean()) if len(sizes) else 0.0,
+            "max_cell_size": int(sizes.max()) if len(sizes) else 0,
+            "empty_cells": int((sizes == 0).sum()),
+        }

@@ -47,6 +47,13 @@ class ServedResponse:
         Seconds since the live model was loaded into its slot (from the
         service's injectable clock) — degraded-but-stale serving is
         visible right in the provenance, not just in ``/v1/health``.
+    retrieval:
+        How the ranking's candidates were produced: ``"exact"`` (the
+        dense full-catalog scan — every non-primary tier, and the
+        primary tier without a retriever) or the retriever's name
+        (``"ivf"``) when a shortlist-then-exact-rerank index answered.
+        An approximate ranking is never silently passed off as the
+        full-ranking protocol.
     tier_errors:
         Why each earlier tier did not answer (breaker open, timeout,
         error message) — the debugging breadcrumb trail.
@@ -60,6 +67,7 @@ class ServedResponse:
     latency_ms: float
     model_version: str | None = None
     model_age_s: float | None = None
+    retrieval: str = "exact"
     tier_errors: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -79,6 +87,7 @@ class ServedResponse:
             "latency_ms": float(self.latency_ms),
             "model_version": None if self.model_version is None else str(self.model_version),
             "model_age_s": None if self.model_age_s is None else float(self.model_age_s),
+            "retrieval": str(self.retrieval),
             "tier_errors": {str(k): str(v) for k, v in self.tier_errors.items()},
         }
 
@@ -105,6 +114,9 @@ class ServedResponse:
                 None if payload.get("model_age_s") is None
                 else float(payload["model_age_s"])
             ),
+            # Pre-scale-ladder wire payloads had no retrieval field; every
+            # ranking back then was a dense scan.
+            retrieval=str(payload.get("retrieval", "exact")),
             tier_errors=dict(payload.get("tier_errors") or {}),
         )
 

@@ -49,7 +49,7 @@ from repro.serving.tiers import (
     ServingTier,
     TierStats,
 )
-from repro.utils.exceptions import ConfigError, DeadlineExceeded, TierError
+from repro.utils.exceptions import ConfigError, DeadlineExceeded, ShardError, TierError
 
 STATIC_POPULARITY = "static-popularity"
 
@@ -117,6 +117,22 @@ class RecommendationService:
             )
             for tier in self.tiers
         }
+        # One breaker per user shard of the primary tier's store (empty
+        # for in-memory models): a single rotted/slow shard opens only
+        # its own breaker, so exactly that shard's users degrade while
+        # the tier keeps serving everyone else.  Created eagerly here —
+        # the request path only ever reads this dict.
+        self.shard_breakers: dict[int, CircuitBreaker] = {}
+        primary_tier = self.tiers[0]
+        shard_count = getattr(primary_tier, "shard_count", None)
+        for index in range(int(shard_count()) if callable(shard_count) else 0):
+            shard_name = f"{primary_tier.name}-shard-{index}"
+            self.shard_breakers[index] = CircuitBreaker(
+                overrides.get(shard_name, overrides.get(primary_tier.name, self.config.breaker)),
+                clock=self.clock,
+                name=shard_name,
+                obs=self.obs,
+            )
         self.stats: dict[str, TierStats] = {tier.name: TierStats() for tier in self.tiers}
         self.stats[STATIC_POPULARITY] = TierStats()
         self.requests_served_ = 0
@@ -148,16 +164,21 @@ class RecommendationService:
         version: str = "initial",
         obs: MetricsRegistry | None = None,
         reranker: Any = None,
+        retriever: Any = None,
     ) -> "RecommendationService":
         """Assemble the standard four-tier cascade around ``model``.
 
         ``knn`` may be a pre-fitted :class:`ItemKNN`; with ``fit_knn``
         (the default) one is fitted here when not supplied.  Pass
         ``fit_knn=False`` to skip that tier (large catalogs where the
-        item-item matrix is not worth building).
+        item-item matrix is not worth building).  ``retriever`` plugs a
+        :class:`~repro.retrieval.base.CandidateRetriever` into the
+        primary tier (shortlist-then-exact-rerank; provenance says so).
         """
         slot = ModelSlot(model, version=version, chaos=chaos, clock=clock)
-        tiers: list[ServingTier] = [PersonalizedTier(slot, train, chaos=chaos)]
+        tiers: list[ServingTier] = [
+            PersonalizedTier(slot, train, chaos=chaos, retriever=retriever)
+        ]
         if getattr(model, "params_", None) is not None:
             tiers.append(FoldInTier(slot, train, chaos=chaos))
         if knn is None and fit_knn:
@@ -181,6 +202,39 @@ class RecommendationService:
     # -- provenance helpers -----------------------------------------------
     def _model_age_s(self) -> float | None:
         return self.slot.age_s() if self.slot is not None else None
+
+    # -- shard breaker helpers --------------------------------------------
+    def _shard_breaker_for(
+        self, tier: ServingTier, request: RecommendationRequest
+    ) -> CircuitBreaker | None:
+        """The breaker of the shard owning this request's user, if any."""
+        if not self.shard_breakers or tier is not self.tiers[0]:
+            return None
+        shard_of = getattr(tier, "shard_of", None)
+        if not callable(shard_of):
+            return None
+        shard = shard_of(request)
+        if shard is None:
+            return None
+        return self.shard_breakers.get(int(shard))
+
+    def _record_shard_failure(self, error: Exception, remaining_ms: float) -> bool:
+        """Charge a :class:`ShardError` to its shard's breaker.
+
+        Returns True when the failure was shard-local (and recorded
+        there); False means the caller should charge the tier breaker.
+        """
+        shard = getattr(error, "shard", None)
+        if not isinstance(error, ShardError) or shard is None:
+            return False
+        breaker = self.shard_breakers.get(int(shard))
+        if breaker is None:
+            return False
+        breaker.record_failure(remaining_ms)
+        self.obs.counter(
+            "serving_shard_failures_total", shard=str(int(shard))
+        ).inc()
+        return True
 
     def _finalize_ranking(self, items: np.ndarray) -> np.ndarray:
         if self.reranker is None:
@@ -237,25 +291,45 @@ class RecommendationService:
                 obs.counter("serving_skipped_open_total", tier=tier.name).inc()
                 errors[tier.name] = "breaker open"
                 continue
+            shard_breaker = self._shard_breaker_for(tier, request)
+            if shard_breaker is not None and not shard_breaker.allow():
+                stats.skipped_open += 1
+                obs.counter("serving_shard_skipped_open_total", tier=tier.name).inc()
+                errors[tier.name] = f"{shard_breaker.name} open"
+                continue
             try:
                 items, latency_ms = self.executor.call(
                     lambda tier=tier: self._run_tier(tier, request), remaining
                 )
             except DeadlineExceeded as error:
                 breaker.record_failure(remaining)
+                if shard_breaker is not None:
+                    shard_breaker.record_failure(remaining)
                 stats.timeouts += 1
                 stats.record_error("deadline exceeded")
                 obs.counter("serving_timeouts_total", tier=tier.name).inc()
                 errors[tier.name] = f"deadline exceeded ({error})"
                 continue
             except Exception as error:  # noqa: BLE001 - cascade boundary
-                breaker.record_failure(deadline.remaining_ms())
+                if self._record_shard_failure(error, deadline.remaining_ms()):
+                    # A shard-local fault charges only that shard's
+                    # breaker.  The tier machinery itself behaved, so its
+                    # breaker sees a success sample — it stays closed for
+                    # every other shard's users (and half-open probe
+                    # accounting stays balanced).
+                    breaker.record_success(0.0)
+                else:
+                    breaker.record_failure(deadline.remaining_ms())
+                    if shard_breaker is not None:
+                        shard_breaker.record_failure(deadline.remaining_ms())
                 stats.failures += 1
                 stats.record_error(str(error) or type(error).__name__)
                 obs.counter("serving_failures_total", tier=tier.name).inc()
                 errors[tier.name] = str(error) or type(error).__name__
                 continue
             breaker.record_success(latency_ms)
+            if shard_breaker is not None:
+                shard_breaker.record_success(latency_ms)
             stats.served += 1
             degraded = tier.name != primary
             obs.counter("serving_served_total", tier=tier.name).inc()
@@ -272,6 +346,7 @@ class RecommendationService:
                 latency_ms=deadline.elapsed_ms(),
                 model_version=self.slot.version if self.slot is not None else None,
                 model_age_s=self._model_age_s(),
+                retrieval=str(getattr(tier, "retrieval_name", "exact")),
                 tier_errors=errors,
             )
 
@@ -317,11 +392,21 @@ class RecommendationService:
                 for request in normalized
             )
             deadline = Deadline(budget, clock=self.clock)
-            eligible = [
-                index
-                for index, request in enumerate(normalized)
-                if primary.eligible(request)
-            ]
+            # Users on a shard whose breaker is open never join the
+            # batch: they fall straight to the per-request cascade
+            # (which records the skip), so one rotted shard cannot keep
+            # dragging whole batches down with it.
+            eligible: list[int] = []
+            batch_shard_breakers: dict[int, CircuitBreaker] = {}
+            for index, request in enumerate(normalized):
+                if not primary.eligible(request):
+                    continue
+                shard_breaker = self._shard_breaker_for(primary, request)
+                if shard_breaker is not None:
+                    if not shard_breaker.allow():
+                        continue
+                    batch_shard_breakers[index] = shard_breaker
+                eligible.append(index)
             breaker = self.breakers[primary.name]
             stats = self.stats[primary.name]
             obs = self.obs
@@ -339,21 +424,50 @@ class RecommendationService:
                     )
                 except DeadlineExceeded:
                     breaker.record_failure(deadline.remaining_ms())
+                    for shard_breaker in batch_shard_breakers.values():
+                        shard_breaker.record_failure(deadline.remaining_ms())
                     stats.timeouts += 1
                     stats.record_error("deadline exceeded (batch)")
                     obs.counter("serving_timeouts_total", tier=primary.name).inc()
                 except Exception as error:  # noqa: BLE001 - cascade boundary
-                    breaker.record_failure(deadline.remaining_ms())
+                    shard = getattr(error, "shard", None)
+                    failing = (
+                        self.shard_breakers.get(int(shard))
+                        if isinstance(error, ShardError) and shard is not None
+                        else None
+                    )
+                    if failing is not None:
+                        # Shard-local fault: the tier behaved, exactly one
+                        # shard did not.  Healthy shards' admitted probes
+                        # resolve as successes so their breakers stay
+                        # closed; every request falls to the per-request
+                        # cascade, where only the bad shard's users skip
+                        # the primary tier.
+                        breaker.record_success(0.0)
+                        failing.record_failure(deadline.remaining_ms())
+                        obs.counter(
+                            "serving_shard_failures_total", shard=str(int(shard))
+                        ).inc()
+                        for shard_breaker in batch_shard_breakers.values():
+                            if shard_breaker is not failing:
+                                shard_breaker.record_success(0.0)
+                    else:
+                        breaker.record_failure(deadline.remaining_ms())
+                        for shard_breaker in batch_shard_breakers.values():
+                            shard_breaker.record_failure(deadline.remaining_ms())
                     stats.failures += 1
                     stats.record_error(str(error) or type(error).__name__)
                     obs.counter("serving_failures_total", tier=primary.name).inc()
                 else:
                     breaker.record_success(latency_ms)
+                    for shard_breaker in batch_shard_breakers.values():
+                        shard_breaker.record_success(latency_ms)
                     obs.histogram(
                         "serving_batch_size", tier=primary.name
                     ).observe(len(batch_requests))
                     version = self.slot.version if self.slot is not None else None
                     model_age_s = self._model_age_s()
+                    retrieval = str(getattr(primary, "retrieval_name", "exact"))
                     for offset, index in enumerate(eligible):
                         items = rankings[offset]
                         if items is None:
@@ -376,6 +490,7 @@ class RecommendationService:
                             latency_ms=deadline.elapsed_ms(),
                             model_version=version,
                             model_age_s=model_age_s,
+                            retrieval=retrieval,
                             tier_errors={},
                         )
         return [
@@ -426,6 +541,9 @@ class RecommendationService:
             "model_version": self.slot.version if self.slot is not None else None,
             "model_age_s": self._model_age_s(),
             "breakers": {name: b.snapshot() for name, b in self.breakers.items()},
+            "shard_breakers": {
+                str(index): b.snapshot() for index, b in self.shard_breakers.items()
+            },
             "tiers": {name: s.to_dict() for name, s in self.stats.items()},
             "executor_overruns": self.executor.overruns_,
         }

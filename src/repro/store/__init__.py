@@ -1,0 +1,34 @@
+"""Sharded, memory-mapped factor storage for million-user serving.
+
+The scale ladder's storage layer: user factors split into fixed-size
+row shards, each an independently hashed, memory-mapped ``.npy``, under
+a durable SHA-256 manifest.  See :mod:`repro.store.shards` for the
+layout and integrity contract, :mod:`repro.store.dtype` for the
+float32-serving / bitwise-float64-protocol dtype policy, and
+:mod:`repro.store.model` for the Recommender facade the serving cascade
+mounts.
+"""
+
+from repro.store.dtype import (
+    PROTOCOL_DTYPE,
+    SERVING_DTYPE,
+    resolve_dtype,
+    resolve_scoring_dtype,
+)
+from repro.store.model import StoreBackedModel
+from repro.store.shards import (
+    FactorStoreWriter,
+    ShardedFactorStore,
+    write_factor_store,
+)
+
+__all__ = [
+    "PROTOCOL_DTYPE",
+    "SERVING_DTYPE",
+    "FactorStoreWriter",
+    "ShardedFactorStore",
+    "StoreBackedModel",
+    "resolve_dtype",
+    "resolve_scoring_dtype",
+    "write_factor_store",
+]

@@ -1,0 +1,76 @@
+"""The factor-store dtype policy: float32 serving, bitwise-float64 protocol.
+
+The paper's evaluation protocol is defined in float64 — every bitwise
+guarantee in the repository (chunk invariance, resume identity, the
+``metrics_identical`` evaluator gate) is stated over float64 factors.
+Serving a million users does not need that: half the bytes means half
+the mapped pages, and the ranking produced from float32 factors *is*
+the model's ranking as long as nothing silently upcasts along the way.
+
+This module is the one place the two regimes are named:
+
+* :data:`SERVING_DTYPE` (``"float32"``) — the default for sharded
+  serving stores; scores come back in float32 and stay float32.
+* :data:`PROTOCOL_DTYPE` (``"float64"``) — the paper-protocol fallback;
+  a store written under this policy reads back *bitwise* equal to the
+  in-memory :class:`~repro.mf.params.FactorParams` it was built from.
+
+Models advertise the dtype their scores are computed in through a
+``scoring_dtype`` attribute; :func:`resolve_scoring_dtype` is how the
+generic adapters (e.g. the ``predict_user`` stacking adapter in
+:mod:`repro.metrics.scoring`) decide what to stack into, instead of
+hard-coding float64 and silently upcasting a float32 store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigError
+
+#: Policy name for serving stores: half the memory, scores in float32.
+SERVING_DTYPE = "float32"
+
+#: Policy name for the paper protocol: bitwise-faithful float64.
+PROTOCOL_DTYPE = "float64"
+
+_POLICIES: dict[str, np.dtype] = {
+    SERVING_DTYPE: np.dtype(np.float32),
+    PROTOCOL_DTYPE: np.dtype(np.float64),
+}
+
+
+def resolve_dtype(policy: str | np.dtype | type) -> np.dtype:
+    """Map a policy name (or dtype-like) to its numpy dtype.
+
+    Only the two sanctioned policies are accepted — a factor store is
+    either the compact serving form or the bitwise protocol form;
+    anything else (float16, int8 quantization, ...) must come in as an
+    explicit new policy with its own accuracy contract, not slip in
+    through a dtype argument.
+    """
+    if isinstance(policy, str):
+        try:
+            return _POLICIES[policy]
+        except KeyError:
+            raise ConfigError(
+                f"unknown dtype policy {policy!r}; expected one of "
+                f"{sorted(_POLICIES)}"
+            ) from None
+    dtype = np.dtype(policy)
+    if dtype not in _POLICIES.values():
+        raise ConfigError(
+            f"unsupported factor dtype {dtype}; expected one of {sorted(_POLICIES)}"
+        )
+    return dtype
+
+
+def resolve_scoring_dtype(model) -> np.dtype:
+    """The dtype ``model`` produces scores in (``float64`` by default).
+
+    Models backed by a float32 store declare ``scoring_dtype`` so the
+    generic stacking adapter preserves their precision instead of
+    upcasting; everything else keeps the historical float64, which is
+    what the bitwise protocol guarantees are stated over.
+    """
+    return np.dtype(getattr(model, "scoring_dtype", np.float64))

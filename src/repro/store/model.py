@@ -1,0 +1,99 @@
+"""A serve-only :class:`Recommender` over a sharded factor store.
+
+:class:`StoreBackedModel` is the store's adapter into everything that
+speaks the Recommender API — the serving cascade, the batched
+evaluator, ``validation_ndcg``.  It is born fitted (training happens
+elsewhere; the store is a published artifact) and scores through
+:meth:`ShardedFactorStore.predict_batch`, so only the user rows a
+request touches are ever paged in.
+
+It advertises the store's dtype through ``scoring_dtype`` — the policy
+hook the generic adapters in :mod:`repro.metrics.scoring` consult so a
+float32 store is never silently upcast — and exposes the store's shard
+layout (``n_shards`` / ``shard_of``) so the serving layer can run one
+circuit breaker per shard instead of one for the whole model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.mf.params import FactorParams
+from repro.models.base import Recommender
+from repro.store.shards import ShardedFactorStore
+from repro.utils.exceptions import DataError, ServingError
+
+
+class StoreBackedModel(Recommender):
+    """Recommender facade over a :class:`ShardedFactorStore`."""
+
+    def __init__(
+        self,
+        store: ShardedFactorStore,
+        train: InteractionMatrix,
+        *,
+        version: str = "",
+    ):
+        super().__init__()
+        if store.n_users != train.n_users or store.n_items != train.n_items:
+            raise DataError(
+                f"store shape ({store.n_users}x{store.n_items}) does not match "
+                f"interactions ({train.n_users}x{train.n_items})"
+            )
+        self.store = store
+        self._train = train
+        self.version = version
+        self._item_params: FactorParams | None = None
+
+    @property
+    def name(self) -> str:
+        return f"StoreBackedModel({self.version})" if self.version else "StoreBackedModel"
+
+    @property
+    def scoring_dtype(self) -> np.dtype:
+        """The store's dtype policy — consulted by the scoring adapters."""
+        return self.store.dtype
+
+    @property
+    def params_(self) -> FactorParams:
+        """Item-side factor view for the fold-in tier.
+
+        Fold-in solves against the (small, RAM-resident) item factors
+        only, so this view carries an *empty* user matrix rather than
+        materializing 10^6 mapped rows.  Anything that needs user rows
+        must go through :meth:`predict_batch` / the store itself.
+        """
+        if self._item_params is None:
+            self._item_params = FactorParams(
+                user_factors=np.zeros((0, self.store.n_factors), dtype=self.store.dtype),
+                item_factors=np.asarray(self.store.item_factors),
+                item_bias=np.asarray(self.store.item_bias),
+            )
+        return self._item_params
+
+    # -- shard topology (per-shard breaker hooks) -----------------------
+    @property
+    def n_shards(self) -> int:
+        return self.store.n_shards
+
+    def shard_of(self, user: int) -> int | None:
+        """Shard owning ``user``; ``None`` for out-of-range (cold) users."""
+        if not 0 <= int(user) < self.store.n_users:
+            return None
+        return self.store.shard_of(int(user))
+
+    # -- Recommender API -------------------------------------------------
+    def fit(self, train: Any, validation: Any = None) -> Recommender:
+        raise ServingError(
+            "StoreBackedModel is serve-only; train elsewhere, write the store "
+            "with repro.store.write_factor_store, and reopen"
+        )
+
+    def predict_user(self, user: int) -> np.ndarray:
+        return self.predict_batch(np.asarray([user], dtype=np.int64))[0]
+
+    def predict_batch(self, users) -> np.ndarray:
+        return self.store.predict_batch(users)

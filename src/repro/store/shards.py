@@ -1,0 +1,390 @@
+"""Memory-mapped, user-sharded factor store.
+
+The dense serving path loads the whole ``(n_users, d)`` user-factor
+matrix into memory; at 10^6 users that is the single largest resident
+allocation in the process and most of it is cold at any moment.  The
+sharded store splits the user matrix into fixed-size row shards, writes
+each as a bare ``.npy`` (mappable — ``np.load(mmap_mode="r")`` cannot
+map through a zip container), and serves ``predict_batch`` by gathering
+only the rows a request actually touches.  The OS pages shards in and
+out on demand: resident memory tracks *traffic*, not catalog size.
+
+Integrity follows the repository's manifest discipline: a
+``manifest.json`` written last (atomic + durable) records shapes, the
+dtype policy, the shard layout, and a SHA-256 per file — the same
+digest :mod:`repro.runtime.scrub` records for blobs, so a store
+directory can be mirrored and scrubbed with the existing machinery.  A
+shard whose digest no longer matches is *quarantined*, not fatal: reads
+touching it raise :class:`~repro.utils.exceptions.ShardError` carrying
+the shard index, and the serving cascade degrades exactly the users
+that shard owns (see the per-shard breakers in
+:mod:`repro.serving.service`) while every other shard keeps serving.
+
+Dtype policy (:mod:`repro.store.dtype`): stores default to float32 for
+serving; a store written under the ``float64`` protocol policy reads
+back **bitwise** equal to the in-memory factors it was built from —
+the property the paper-protocol tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.mf.params import FactorParams
+from repro.store.dtype import resolve_dtype
+from repro.utils.atomicio import sha256_file, write_json_atomic, write_npy_atomic
+from repro.utils.exceptions import ConfigError, ShardError, StoreError
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+ITEM_FACTORS_FILE = "item_factors.npy"
+ITEM_BIAS_FILE = "item_bias.npy"
+
+
+def shard_file_name(index: int) -> str:
+    """Canonical shard file name (zero-padded so listings sort)."""
+    return f"user_factors.{index:05d}.npy"
+
+
+class FactorStoreWriter:
+    """Streaming writer: build a sharded store without the full matrix.
+
+    The scale-ladder benchmark synthesizes 10^6 users shard by shard;
+    this writer is the API that makes that possible — user rows arrive
+    in :meth:`add_users` calls of any size, are buffered to exactly
+    ``shard_size`` rows, and each full shard is flushed to its own
+    atomically-written ``.npy`` before the next accumulates.  The
+    manifest (with every file's SHA-256) is written last, so a crashed
+    build is never mistaken for a complete store.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n_factors: int,
+        *,
+        dtype: str = "float32",
+        shard_size: int = 65536,
+        metadata: dict | None = None,
+    ):
+        if shard_size < 1:
+            raise ConfigError(f"shard_size must be >= 1, got {shard_size}")
+        if n_factors < 1:
+            raise ConfigError(f"n_factors must be >= 1, got {n_factors}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.n_factors = int(n_factors)
+        self.dtype = np.dtype(resolve_dtype(dtype))
+        self.shard_size = int(shard_size)
+        self.metadata = dict(metadata or {})
+        self._pending: list[np.ndarray] = []
+        self._pending_rows = 0
+        self._shards: list[dict] = []
+        self._items: dict | None = None
+        self._finalized = False
+
+    # -- user side -------------------------------------------------------
+    def add_users(self, rows: np.ndarray) -> None:
+        """Append user rows (any count); full shards flush as they fill."""
+        if self._finalized:
+            raise StoreError("writer already finalized")
+        rows = np.ascontiguousarray(rows, dtype=self.dtype)
+        if rows.ndim != 2 or rows.shape[1] != self.n_factors:
+            raise ConfigError(
+                f"user rows must be (n, {self.n_factors}), got {rows.shape}"
+            )
+        self._pending.append(rows)
+        self._pending_rows += len(rows)
+        while self._pending_rows >= self.shard_size:
+            self._flush_shard(self.shard_size)
+
+    def _flush_shard(self, n_rows: int) -> None:
+        block = np.concatenate(self._pending, axis=0) if len(self._pending) > 1 else self._pending[0]
+        shard, rest = block[:n_rows], block[n_rows:]
+        self._pending = [rest] if len(rest) else []
+        self._pending_rows = len(rest)
+        name = shard_file_name(len(self._shards))
+        path = write_npy_atomic(self.directory / name, shard)
+        self._shards.append({
+            "file": name,
+            "rows": int(len(shard)),
+            "sha256": sha256_file(path),
+        })
+
+    # -- item side -------------------------------------------------------
+    def set_items(self, item_factors: np.ndarray, item_bias: np.ndarray) -> None:
+        """Write the (shared, unsharded) item factors and biases."""
+        item_factors = np.ascontiguousarray(item_factors, dtype=self.dtype)
+        item_bias = np.ascontiguousarray(item_bias, dtype=self.dtype)
+        if item_factors.ndim != 2 or item_factors.shape[1] != self.n_factors:
+            raise ConfigError(
+                f"item_factors must be (n_items, {self.n_factors}), got {item_factors.shape}"
+            )
+        if item_bias.shape != (item_factors.shape[0],):
+            raise ConfigError("item_bias length must equal n_items")
+        factors_path = write_npy_atomic(self.directory / ITEM_FACTORS_FILE, item_factors)
+        bias_path = write_npy_atomic(self.directory / ITEM_BIAS_FILE, item_bias)
+        self._items = {
+            "n_items": int(item_factors.shape[0]),
+            "item_factors_sha256": sha256_file(factors_path),
+            "item_bias_sha256": sha256_file(bias_path),
+        }
+
+    # -- commit ----------------------------------------------------------
+    def finalize(self) -> Path:
+        """Flush the tail shard and durably publish the manifest."""
+        if self._finalized:
+            raise StoreError("writer already finalized")
+        if self._items is None:
+            raise StoreError("set_items() must be called before finalize()")
+        if self._pending_rows:
+            self._flush_shard(self._pending_rows)
+        if not self._shards:
+            raise StoreError("store has no user rows; add_users() first")
+        n_users = sum(entry["rows"] for entry in self._shards)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "dtype": self.dtype.name,
+            "n_users": int(n_users),
+            "n_items": self._items["n_items"],
+            "n_factors": self.n_factors,
+            "shard_size": self.shard_size,
+            "shards": self._shards,
+            "item_factors_file": ITEM_FACTORS_FILE,
+            "item_bias_file": ITEM_BIAS_FILE,
+            "item_factors_sha256": self._items["item_factors_sha256"],
+            "item_bias_sha256": self._items["item_bias_sha256"],
+            "metadata": self.metadata,
+        }
+        path = write_json_atomic(self.directory / MANIFEST_NAME, manifest, durable=True)
+        self._finalized = True
+        return path
+
+
+def write_factor_store(
+    directory: str | Path,
+    params: FactorParams,
+    *,
+    dtype: str = "float32",
+    shard_size: int = 65536,
+    metadata: dict | None = None,
+) -> Path:
+    """Write in-memory :class:`FactorParams` as a sharded store.
+
+    Returns the manifest path.  Under ``dtype="float64"`` the store
+    reads back bitwise equal to ``params``; under the default float32
+    policy each value is the nearest float32 (the serving contract).
+    """
+    writer = FactorStoreWriter(
+        directory, params.n_factors,
+        dtype=dtype, shard_size=shard_size, metadata=metadata,
+    )
+    for start in range(0, params.n_users, shard_size):
+        writer.add_users(params.user_factors[start : start + shard_size])
+    writer.set_items(params.item_factors, params.item_bias)
+    return writer.finalize()
+
+
+class ShardedFactorStore:
+    """Read side: mmap-backed shard-local row access.
+
+    Open with :meth:`open`.  ``verify="all"`` (the default for anything
+    entering serving) checks every file's SHA-256 against the manifest
+    before the store is used: a corrupted *item* file is fatal
+    (:class:`StoreError` — every ranking depends on it), a corrupted
+    *user shard* is quarantined so only its users degrade.
+    ``verify="manifest"`` skips the hash pass for read paths that have
+    their own integrity story (e.g. a scrubbed mirror).
+    """
+
+    def __init__(self, directory: str | Path, manifest: dict):
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.dtype = np.dtype(resolve_dtype(manifest["dtype"]))
+        self.n_users = int(manifest["n_users"])
+        self.n_items = int(manifest["n_items"])
+        self.n_factors = int(manifest["n_factors"])
+        self.shard_size = int(manifest["shard_size"])
+        self.shard_rows = [int(entry["rows"]) for entry in manifest["shards"]]
+        self._mmaps: list[np.ndarray | None] = [None] * len(self.shard_rows)
+        self.quarantined_: dict[int, str] = {}
+        # Item factors are tiny next to the user matrix (and touched by
+        # every request), so they live in RAM, not behind page faults.
+        self.item_factors = np.load(
+            self.directory / manifest["item_factors_file"], allow_pickle=False
+        )
+        self.item_bias = np.load(
+            self.directory / manifest["item_bias_file"], allow_pickle=False
+        )
+        if self.item_factors.shape != (self.n_items, self.n_factors):
+            raise StoreError(
+                f"item_factors shape {self.item_factors.shape} does not match "
+                f"manifest ({self.n_items}x{self.n_factors})"
+            )
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def open(
+        cls, directory: str | Path, *, verify: str = "all"
+    ) -> "ShardedFactorStore":
+        """Open a store directory; ``verify`` is ``"all"`` or ``"manifest"``."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise StoreError(f"{directory} has no {MANIFEST_NAME}; not a factor store")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        version = manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise StoreError(
+                f"{manifest_path}: format_version {version} not supported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        if verify not in ("all", "manifest"):
+            raise ConfigError(f"verify must be 'all' or 'manifest', got {verify!r}")
+        if verify == "all":
+            for key, name in (
+                ("item_factors_sha256", manifest["item_factors_file"]),
+                ("item_bias_sha256", manifest["item_bias_file"]),
+            ):
+                path = directory / name
+                if not path.is_file() or sha256_file(path) != manifest[key]:
+                    raise StoreError(
+                        f"{path}: item file missing or corrupt (sha256 mismatch); "
+                        "the store cannot serve any user without it"
+                    )
+        store = cls(directory, manifest)
+        if verify == "all":
+            store.verify_shards()
+        return store
+
+    # -- integrity -------------------------------------------------------
+    def verify_shards(self) -> dict[int, str]:
+        """Hash-check every user shard; quarantine mismatches.
+
+        Returns the quarantine map (``shard -> reason``).  Re-runnable:
+        a shard repaired on disk (e.g. by the scrubber) is released on
+        the next pass.
+        """
+        for index, entry in enumerate(self.manifest["shards"]):
+            path = self.directory / entry["file"]
+            if not path.is_file():
+                self.quarantine_shard(index, "shard file missing")
+                continue
+            if sha256_file(path) != entry["sha256"]:
+                self.quarantine_shard(index, "sha256 mismatch (bit rot or torn write)")
+                continue
+            if index in self.quarantined_:
+                del self.quarantined_[index]
+                self._mmaps[index] = None
+        return dict(self.quarantined_)
+
+    def quarantine_shard(self, index: int, reason: str = "operator request") -> None:
+        """Mark one shard unusable; reads touching it raise :class:`ShardError`."""
+        self.quarantined_[int(index)] = reason
+        self._mmaps[int(index)] = None
+
+    # -- layout ----------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_rows)
+
+    def shard_of(self, user: int) -> int:
+        """The shard owning ``user`` (rows are sharded contiguously)."""
+        if not 0 <= user < self.n_users:
+            raise ShardError(f"user {user} outside store range [0, {self.n_users})")
+        return int(user) // self.shard_size
+
+    def _shard(self, index: int) -> np.ndarray:
+        if index in self.quarantined_:
+            raise ShardError(
+                f"shard {index} is quarantined: {self.quarantined_[index]}",
+                shard=index,
+            )
+        cached = self._mmaps[index]
+        if cached is not None:
+            return cached
+        path = self.directory / self.manifest["shards"][index]["file"]
+        try:
+            array = np.load(path, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError) as error:
+            self.quarantine_shard(index, f"unreadable: {error}")
+            raise ShardError(f"shard {index} unreadable: {error}", shard=index) from error
+        if array.shape != (self.shard_rows[index], self.n_factors) or array.dtype != self.dtype:
+            self.quarantine_shard(index, "shape/dtype does not match manifest")
+            raise ShardError(
+                f"shard {index}: shape {array.shape} dtype {array.dtype} does not "
+                f"match manifest ({self.shard_rows[index]}x{self.n_factors} {self.dtype})",
+                shard=index,
+            )
+        self._mmaps[index] = array
+        return array
+
+    # -- reads -----------------------------------------------------------
+    def user_rows(self, users) -> np.ndarray:
+        """Gather user-factor rows across shards, in request order.
+
+        The result has the store dtype — no silent upcast — and under
+        the float64 protocol policy is bitwise equal to the in-memory
+        matrix rows the store was written from.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if len(users) == 0:
+            return np.zeros((0, self.n_factors), dtype=self.dtype)
+        if users.min() < 0 or users.max() >= self.n_users:
+            raise ShardError(
+                f"user ids outside store range [0, {self.n_users})"
+            )
+        out = np.empty((len(users), self.n_factors), dtype=self.dtype)
+        shard_ids = users // self.shard_size
+        for index in np.unique(shard_ids):
+            mask = shard_ids == index
+            shard = self._shard(int(index))
+            out[mask] = shard[users[mask] - int(index) * self.shard_size]
+        return out
+
+    def predict_batch(self, users) -> np.ndarray:
+        """``(len(users), n_items)`` scores via the chunk-invariant kernel.
+
+        Computed entirely in the store dtype: float32 stores produce
+        float32 scores (the serving policy), float64 stores reproduce
+        the dense engine bitwise (the protocol fallback).
+        """
+        from repro.metrics.scoring import linear_scores
+
+        return linear_scores(self.user_rows(users), self.item_factors, self.item_bias)
+
+    # -- accounting ------------------------------------------------------
+    def mapped_bytes(self) -> int:
+        """Bytes of shard files currently memory-mapped (not resident)."""
+        return sum(array.nbytes for array in self._mmaps if array is not None)
+
+    def total_user_bytes(self) -> int:
+        """Bytes the full user matrix would occupy if loaded dense."""
+        return self.n_users * self.n_factors * self.dtype.itemsize
+
+    def as_params(self) -> FactorParams:
+        """Materialize the whole store as in-memory :class:`FactorParams`.
+
+        For tests and small stores only — this is exactly the dense
+        allocation the store exists to avoid.
+        """
+        rows = [self._shard(index)[:] for index in range(self.n_shards)]
+        return FactorParams(
+            user_factors=np.concatenate(rows, axis=0),
+            item_factors=np.asarray(self.item_factors).copy(),
+            item_bias=np.asarray(self.item_bias).copy(),
+        )
+
+    def close(self) -> None:
+        """Drop mmap references (the OS unmaps once nothing holds them)."""
+        self._mmaps = [None] * len(self.shard_rows)
+
+    def __enter__(self) -> "ShardedFactorStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -185,6 +185,24 @@ def write_json_atomic(path: str | Path, payload, *, durable: bool = False) -> Pa
     return atomic_write(path, writer, durable=durable)
 
 
+def write_npy_atomic(path: str | Path, array: np.ndarray, *, durable: bool = False) -> Path:
+    """Atomically write one array in ``.npy`` format.
+
+    The shard writer in :mod:`repro.store` uses one ``.npy`` per shard
+    (rather than one ``.npz`` for everything) because ``np.load`` can
+    memory-map a bare ``.npy`` — ``mmap_mode`` does not work through a
+    zip container — and mapping, not loading, is the whole point of the
+    sharded store.
+    """
+    path = Path(path)
+
+    def writer(tmp_path: Path) -> None:
+        with open(tmp_path, "wb") as handle:
+            np.save(handle, np.ascontiguousarray(array))
+
+    return atomic_write(path, writer, durable=durable)
+
+
 def write_bytes_atomic(path: str | Path, data: bytes, *, durable: bool = False) -> Path:
     """Atomically write raw ``data`` — the scrubber/snapshot copy primitive."""
 
@@ -321,6 +339,27 @@ def truncate_file(path: str | Path, length: int) -> None:
         _file_ops.fsync(fd, path=Path(path))
     finally:
         os.close(fd)
+
+
+def sha256_file(path: str | Path, *, chunk_size: int = 1 << 20) -> str:
+    """Streaming SHA-256 of a file's contents (hex digest).
+
+    The integrity primitive behind the :mod:`repro.store` shard
+    manifests — the same digest the :mod:`repro.runtime.scrub` blob
+    scrubber records, so a store directory can be mirrored and scrubbed
+    with the existing machinery.  Streamed in chunks so hashing a
+    multi-gigabyte shard never materializes it in memory.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    with open(Path(path), "rb") as handle:
+        while True:
+            block = handle.read(chunk_size)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
 
 
 def array_checksum(*arrays: np.ndarray) -> int:

@@ -61,6 +61,24 @@ class TierError(ServingError):
     user, missing history, ...); the cascade moves on to the next tier."""
 
 
+class StoreError(ReproError, RuntimeError):
+    """A sharded factor store is missing, corrupt, or incompatible."""
+
+
+class ShardError(StoreError):
+    """One shard of a factor store failed (hash mismatch, unreadable,
+    quarantined).  Carries the ``shard`` index so serving can degrade
+    exactly the users that shard owns and nothing else."""
+
+    def __init__(self, message: str, *, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class RetrievalError(ReproError, RuntimeError):
+    """A candidate-retrieval index could not be built or queried."""
+
+
 class DeadlineExceeded(ServingError):
     """A tier call overran its per-request time budget and was cut off.
 

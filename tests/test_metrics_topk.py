@@ -134,3 +134,69 @@ class TestProperties:
             return
         recommended = top_k_items(scores, len(scores))
         assert recall_at_k(recommended, relevant, len(scores)) == pytest.approx(1.0)
+
+
+class TestTopKBoundaries:
+    """Regression tests for the k-boundary discipline.
+
+    ``k >= n_items`` used to fall through to a raw argpartition whose
+    survivor order is unspecified for tied scores; the boundary now
+    takes one stable full sort, so ties break by item id identically on
+    every path (``top_k_items``, ``topk_from_matrix``, the rerank
+    path).  ``k == 0`` / empty catalogs return empty rankings instead
+    of partitioning past the end.
+    """
+
+    def test_matrix_k_zero_returns_empty(self):
+        from repro.metrics.scoring import topk_from_matrix
+
+        scores = np.random.default_rng(0).normal(size=(3, 5))
+        top = topk_from_matrix(scores, 0)
+        assert top.shape == (3, 0)
+        assert top.dtype == np.int64
+
+    def test_matrix_empty_catalog(self):
+        from repro.metrics.scoring import topk_from_matrix
+
+        top = topk_from_matrix(np.zeros((2, 0)), 4)
+        assert top.shape == (2, 0)
+
+    def test_matrix_negative_k_rejected(self):
+        from repro.metrics.scoring import topk_from_matrix
+
+        with pytest.raises(ConfigError):
+            topk_from_matrix(np.zeros((1, 3)), -1)
+
+    def test_matrix_k_clamped_to_catalog(self):
+        from repro.metrics.scoring import topk_from_matrix
+
+        scores = np.random.default_rng(1).normal(size=(4, 6))
+        assert np.array_equal(
+            topk_from_matrix(scores, 6), topk_from_matrix(scores, 99)
+        )
+
+    def test_matrix_ties_break_by_item_id_at_full_k(self):
+        from repro.metrics.scoring import topk_from_matrix
+
+        scores = np.array([[1.0, 1.0, 1.0, 1.0]])
+        assert topk_from_matrix(scores, 4)[0].tolist() == [0, 1, 2, 3]
+        # ...and the boundary agrees with the partition path below it.
+        assert topk_from_matrix(scores, 3)[0].tolist() == [0, 1, 2]
+
+    def test_top_k_items_ties_match_matrix_kernel(self):
+        from repro.metrics.scoring import topk_from_matrix
+
+        scores = np.array([2.0, 2.0, -np.inf, 2.0, 1.0])
+        assert np.array_equal(
+            top_k_items(scores, len(scores)),
+            topk_from_matrix(scores[None, :], len(scores))[0],
+        )
+
+    def test_deterministic_across_calls(self):
+        from repro.metrics.scoring import topk_from_matrix
+
+        scores = np.random.default_rng(2).normal(size=(5, 8))
+        scores[:, 3] = scores[:, 5]  # inject ties
+        first = topk_from_matrix(scores, 8)
+        for _ in range(3):
+            assert np.array_equal(topk_from_matrix(scores, 8), first)

@@ -329,3 +329,42 @@ class TestEngineKernels:
     def test_as_batch_scorer_rejects_non_models(self):
         with pytest.raises(ConfigError, match="not evaluable"):
             scoring.as_batch_scorer(object())
+
+
+class TestPopularityHoist:
+    """The cold-user popularity ordering is computed once per call.
+
+    Every cold user in a ``recommend_batch`` call gets the *same*
+    popularity row, so recomputing it per chunk (or per user) is pure
+    waste.  The counting test pins the hoist; the equality test pins
+    that hoisting changed nothing about the output.
+    """
+
+    def test_popularity_computed_at_most_once_per_call(self, split, fitted_models, monkeypatch):
+        model = fitted_models["BPR"]
+        calls = {"n": 0}
+        original = type(model)._popularity_topk
+
+        def counting(self, train, k):
+            calls["n"] += 1
+            return original(self, train, k)
+
+        monkeypatch.setattr(type(model), "_popularity_topk", counting)
+        cold = np.flatnonzero(split.train.user_counts() == 0)
+        warm = np.flatnonzero(split.train.user_counts() > 0)
+        assert len(cold) >= 2, "split fixture should contain cold users"
+        users = np.concatenate([cold, warm[: 3 * len(cold)]])
+        model.recommend_batch(users, k=4, chunk_size=2)  # many tiny chunks
+        assert calls["n"] == 1
+        calls["n"] = 0
+        model.recommend_batch(warm[:8], k=4, chunk_size=2)  # no cold users
+        assert calls["n"] == 0
+
+    def test_hoisted_output_identical_to_per_user_path(self, split, fitted_models):
+        model = fitted_models["BPR"]
+        cold = np.flatnonzero(split.train.user_counts() == 0)[:4]
+        warm = np.flatnonzero(split.train.user_counts() > 0)[:8]
+        users = np.concatenate([cold, warm, cold])
+        batch = model.recommend_batch(users, k=5, chunk_size=3)
+        stacked = np.stack([model.recommend(int(user), k=5) for user in users])
+        assert np.array_equal(batch, stacked)

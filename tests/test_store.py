@@ -1,0 +1,231 @@
+"""The sharded mmap factor store: round-trips, quarantine, dtype policy.
+
+The properties the scale ladder rests on:
+
+* a store written under the ``float64`` protocol policy reads back
+  **bitwise** equal to the in-memory factors it came from — row gathers
+  and full score matrices alike, across shard boundaries;
+* corruption of one user shard quarantines exactly that shard
+  (:class:`ShardError` carrying the index) while every other shard and
+  the item side keep serving; corrupt item files are fatal;
+* the dtype policy is explicit: float32 stores stay float32 end to end
+  (no silent upcast through the generic scoring adapters), and only the
+  two policy dtypes are accepted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.metrics import scoring
+from repro.mf.params import FactorParams
+from repro.store import (
+    PROTOCOL_DTYPE,
+    SERVING_DTYPE,
+    FactorStoreWriter,
+    ShardedFactorStore,
+    StoreBackedModel,
+    resolve_dtype,
+    resolve_scoring_dtype,
+    write_factor_store,
+)
+from repro.store.shards import MANIFEST_NAME, shard_file_name
+from repro.utils.exceptions import ConfigError, ServingError, ShardError, StoreError
+
+
+def make_params(n_users=50, n_items=30, d=6, seed=0) -> FactorParams:
+    rng = np.random.default_rng(seed)
+    return FactorParams(
+        user_factors=rng.normal(size=(n_users, d)),
+        item_factors=rng.normal(size=(n_items, d)),
+        item_bias=rng.normal(size=n_items),
+    )
+
+
+@pytest.fixture
+def params() -> FactorParams:
+    return make_params()
+
+
+def open_store(tmp_path, params, *, dtype="float64", shard_size=16):
+    write_factor_store(tmp_path, params, dtype=dtype, shard_size=shard_size)
+    return ShardedFactorStore.open(tmp_path)
+
+
+class TestRoundTrip:
+    def test_float64_rows_bitwise_across_shard_boundaries(self, tmp_path, params):
+        store = open_store(tmp_path, params, shard_size=16)
+        # 50 users / shard_size 16 -> shards of 16/16/16/2; pick users
+        # straddling every boundary, in scrambled order.
+        users = np.array([0, 15, 16, 31, 32, 47, 48, 49, 5, 33], dtype=np.int64)
+        rows = store.user_rows(users)
+        assert rows.dtype == np.float64
+        assert np.array_equal(rows, params.user_factors[users])
+
+    def test_float64_predict_batch_bitwise_equals_dense(self, tmp_path, params):
+        store = open_store(tmp_path, params)
+        users = np.arange(store.n_users, dtype=np.int64)
+        dense = scoring.linear_scores(
+            params.user_factors, params.item_factors, params.item_bias
+        )
+        assert np.array_equal(store.predict_batch(users), dense)
+
+    def test_as_params_round_trips(self, tmp_path, params):
+        store = open_store(tmp_path, params)
+        back = store.as_params()
+        assert np.array_equal(back.user_factors, params.user_factors)
+        assert np.array_equal(back.item_factors, params.item_factors)
+        assert np.array_equal(back.item_bias, params.item_bias)
+
+    def test_float32_store_stays_float32(self, tmp_path, params):
+        store = open_store(tmp_path, params, dtype="float32")
+        rows = store.user_rows([0, 20, 49])
+        scores = store.predict_batch([0, 20, 49])
+        assert rows.dtype == np.float32
+        assert scores.dtype == np.float32
+        assert np.array_equal(
+            rows, params.user_factors[[0, 20, 49]].astype(np.float32)
+        )
+
+    def test_streaming_writer_equals_one_shot_writer(self, tmp_path, params):
+        # Rows fed in ragged chunks must land identically to the bulk path.
+        writer = FactorStoreWriter(
+            tmp_path / "streamed", params.n_factors, dtype="float64", shard_size=16
+        )
+        cursor = 0
+        for chunk in (7, 1, 25, 17):
+            writer.add_users(params.user_factors[cursor : cursor + chunk])
+            cursor += chunk
+        writer.set_items(params.item_factors, params.item_bias)
+        writer.finalize()
+        streamed = ShardedFactorStore.open(tmp_path / "streamed")
+        assert streamed.n_users == params.n_users
+        assert np.array_equal(
+            streamed.user_rows(np.arange(params.n_users)), params.user_factors
+        )
+
+    def test_empty_gather(self, tmp_path, params):
+        store = open_store(tmp_path, params)
+        assert store.user_rows([]).shape == (0, params.n_factors)
+
+
+class TestIntegrity:
+    def corrupt(self, path):
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+    def test_corrupt_shard_quarantined_others_serve(self, tmp_path, params):
+        store = open_store(tmp_path, params, shard_size=16)
+        self.corrupt(tmp_path / shard_file_name(1))
+        assert store.verify_shards() == {1: "sha256 mismatch (bit rot or torn write)"}
+        with pytest.raises(ShardError) as err:
+            store.user_rows([20])  # shard 1 owns users 16..31
+        assert err.value.shard == 1
+        # Every other shard still serves, bitwise.
+        users = np.array([0, 15, 32, 49], dtype=np.int64)
+        assert np.array_equal(store.user_rows(users), params.user_factors[users])
+
+    def test_repaired_shard_released_on_reverify(self, tmp_path, params):
+        store = open_store(tmp_path, params, shard_size=16)
+        original = (tmp_path / shard_file_name(1)).read_bytes()
+        self.corrupt(tmp_path / shard_file_name(1))
+        store.verify_shards()
+        assert 1 in store.quarantined_
+        (tmp_path / shard_file_name(1)).write_bytes(original)
+        assert store.verify_shards() == {}
+        assert np.array_equal(store.user_rows([20]), params.user_factors[[20]])
+
+    def test_missing_shard_quarantined(self, tmp_path, params):
+        store = open_store(tmp_path, params, shard_size=16)
+        (tmp_path / shard_file_name(2)).unlink()
+        assert store.verify_shards() == {2: "shard file missing"}
+
+    def test_corrupt_item_file_is_fatal(self, tmp_path, params):
+        write_factor_store(tmp_path, params, dtype="float64", shard_size=16)
+        self.corrupt(tmp_path / "item_factors.npy")
+        with pytest.raises(StoreError):
+            ShardedFactorStore.open(tmp_path)
+
+    def test_missing_manifest_rejected(self, tmp_path, params):
+        write_factor_store(tmp_path, params, dtype="float64", shard_size=16)
+        (tmp_path / MANIFEST_NAME).unlink()
+        with pytest.raises(StoreError):
+            ShardedFactorStore.open(tmp_path)
+
+    def test_out_of_range_user_raises(self, tmp_path, params):
+        store = open_store(tmp_path, params)
+        with pytest.raises(ShardError):
+            store.user_rows([params.n_users])
+
+
+class TestDtypePolicy:
+    def test_only_policy_dtypes_accepted(self):
+        assert resolve_dtype(SERVING_DTYPE) == np.float32
+        assert resolve_dtype(PROTOCOL_DTYPE) == np.float64
+        with pytest.raises(ConfigError):
+            resolve_dtype("float16")
+
+    def test_resolve_scoring_dtype_defaults_to_protocol(self):
+        class Plain:
+            pass
+
+        assert resolve_scoring_dtype(Plain()) == np.float64
+
+    def test_stacking_adapter_honors_model_dtype(self):
+        # The generic per-user stacking path used to upcast every model
+        # to float64 unconditionally; models now advertise their policy.
+        class Float32Model:
+            scoring_dtype = np.float32
+
+            def predict_user(self, user):
+                return np.ones(4, dtype=np.float32) * user
+
+        scorer = scoring.as_batch_scorer(Float32Model())
+        scores = scorer(np.array([1, 2], dtype=np.int64))
+        assert scores.dtype == np.float32
+        assert np.array_equal(scores, np.array([[1.0] * 4, [2.0] * 4], np.float32))
+
+
+class TestStoreBackedModel:
+    def make(self, tmp_path, params, *, dtype="float64"):
+        rng = np.random.default_rng(3)
+        pairs = sorted(
+            {(u, int(rng.integers(params.n_items))) for u in range(params.n_users)}
+        )
+        train = InteractionMatrix.from_pairs(
+            pairs, n_users=params.n_users, n_items=params.n_items
+        )
+        store = open_store(tmp_path, params, dtype=dtype)
+        return StoreBackedModel(store, train, version="t"), train
+
+    def test_predict_matches_dense(self, tmp_path, params):
+        model, _ = self.make(tmp_path, params)
+        dense = scoring.linear_scores(
+            params.user_factors[[4, 40]], params.item_factors, params.item_bias
+        )
+        assert np.array_equal(model.predict_batch([4, 40]), dense)
+        assert np.array_equal(model.predict_user(4), dense[0])
+
+    def test_shard_topology_exposed(self, tmp_path, params):
+        model, _ = self.make(tmp_path, params)
+        assert model.n_shards == 4
+        assert model.shard_of(0) == 0
+        assert model.shard_of(17) == 1
+        assert model.shard_of(params.n_users + 5) is None
+
+    def test_serve_only(self, tmp_path, params):
+        model, train = self.make(tmp_path, params)
+        with pytest.raises(ServingError):
+            model.fit(train)
+
+    def test_params_view_is_item_side_only(self, tmp_path, params):
+        model, _ = self.make(tmp_path, params)
+        assert model.params_.user_factors.shape == (0, params.n_factors)
+        assert np.array_equal(model.params_.item_factors, params.item_factors)
+
+    def test_scoring_dtype_follows_store(self, tmp_path, params):
+        model, _ = self.make(tmp_path, params, dtype="float32")
+        assert model.scoring_dtype == np.float32
