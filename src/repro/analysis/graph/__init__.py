@@ -1,0 +1,53 @@
+"""Whole-program analysis: project import graph + cross-module call graph.
+
+Where :mod:`repro.analysis.lint` inspects one module at a time, this
+package parses the whole tree once and answers *cross-module* questions:
+
+* :mod:`summary` — :class:`ModuleSummary`, the per-module fact sheet
+  (imports, classes, functions, call sites, lock acquisitions, raw
+  write sites, dtype flow hints) extracted from one AST pass;
+* :mod:`project` — :class:`ProjectGraph`, the resolved whole-program
+  view: module-import graph, alias/receiver-resolved call graph,
+  reachability and cycle queries;
+* :mod:`rules` — the graph-backed lint rules REP007–REP012, registered
+  in the same ``@register`` registry as the single-module rules so
+  suppressions, pyproject config, reporters, and exit codes all work
+  unchanged;
+* :mod:`export` — versioned JSON (+ DOT) export of both graphs and the
+  round-tripping loader.
+"""
+
+from repro.analysis.graph.export import (
+    GRAPH_SCHEMA_VERSION,
+    graph_from_json,
+    graph_to_dot,
+    graph_to_json,
+    render_graph_json,
+    write_graph_exports,
+)
+from repro.analysis.graph.project import ProjectGraph, build_project
+from repro.analysis.graph.summary import (
+    CallSite,
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+    module_name_for,
+    summarize_module,
+)
+
+__all__ = [
+    "GRAPH_SCHEMA_VERSION",
+    "CallSite",
+    "ClassSummary",
+    "FunctionSummary",
+    "ModuleSummary",
+    "ProjectGraph",
+    "build_project",
+    "graph_from_json",
+    "graph_to_dot",
+    "graph_to_json",
+    "module_name_for",
+    "render_graph_json",
+    "summarize_module",
+    "write_graph_exports",
+]

@@ -1,0 +1,207 @@
+"""Versioned JSON + DOT export of the project graphs.
+
+``repro lint --graph-out graph.json`` writes three artifacts:
+
+* ``graph.json`` — the schema below, for tooling and the CI artifact;
+* ``graph.dot`` — the module-import graph (lazy imports dashed);
+* ``graph.calls.dot`` — the resolved call graph (async roots shaded).
+
+JSON schema (``schema_version`` = :data:`GRAPH_SCHEMA_VERSION`)::
+
+    {
+      "schema_version": 1,
+      "modules":   [{"name", "relpath", "package"}],
+      "imports":   [{"src", "dst", "line", "lazy"}],
+      "functions": [{"id", "module", "qualname", "line",
+                     "is_async", "cls"}],
+      "calls":     [{"src", "dst", "line", "col"}]
+    }
+
+Every list is sorted, so the export is byte-stable for identical trees
+and diffs cleanly in CI artifacts.  :func:`graph_from_json` is the
+round-tripping loader: ``graph_from_json(render_graph_json(p)).to_payload()``
+equals ``graph_to_json(p)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.graph.project import ProjectGraph
+
+GRAPH_SCHEMA_VERSION = 1
+
+
+def graph_to_json(project: ProjectGraph) -> dict:
+    """The (sorted, deterministic) JSON payload of both graphs."""
+    modules = [
+        {"name": m.name, "relpath": m.relpath, "package": m.package}
+        for m in sorted(project.modules.values(), key=lambda m: m.name)
+    ]
+    imports = sorted(
+        (
+            {"src": link.src, "dst": link.dst, "line": link.line, "lazy": link.lazy}
+            for link in project.import_links
+        ),
+        key=lambda e: (e["src"], e["dst"], e["line"]),
+    )
+    functions = [
+        {
+            "id": fqid,
+            "module": node.module,
+            "qualname": node.summary.qualname,
+            "line": node.summary.line,
+            "is_async": node.summary.is_async,
+            "cls": node.summary.cls,
+        }
+        for fqid, node in sorted(project.functions.items())
+    ]
+    calls = sorted(
+        (
+            {"src": fqid, "dst": callee, "line": site.line, "col": site.col}
+            for fqid, node in project.functions.items()
+            for callee, site in node.edges
+        ),
+        key=lambda e: (e["src"], e["dst"], e["line"], e["col"]),
+    )
+    return {
+        "schema_version": GRAPH_SCHEMA_VERSION,
+        "modules": modules,
+        "imports": imports,
+        "functions": functions,
+        "calls": calls,
+    }
+
+
+def render_graph_json(project: ProjectGraph) -> str:
+    return json.dumps(graph_to_json(project), indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class LoadedGraph:
+    """A parsed ``graph.json``: plain rows, no resolution machinery."""
+
+    schema_version: int
+    modules: tuple[dict, ...]
+    imports: tuple[dict, ...]
+    functions: tuple[dict, ...]
+    calls: tuple[dict, ...]
+
+    def to_payload(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "modules": [dict(row) for row in self.modules],
+            "imports": [dict(row) for row in self.imports],
+            "functions": [dict(row) for row in self.functions],
+            "calls": [dict(row) for row in self.calls],
+        }
+
+    def module_names(self) -> list[str]:
+        return [row["name"] for row in self.modules]
+
+    def import_pairs(self) -> list[tuple[str, str]]:
+        return [(row["src"], row["dst"]) for row in self.imports]
+
+    def call_pairs(self) -> list[tuple[str, str]]:
+        return [(row["src"], row["dst"]) for row in self.calls]
+
+
+def graph_from_json(payload: str | dict) -> LoadedGraph:
+    """Parse and validate an exported graph payload.
+
+    Raises ``ValueError`` on a missing/unsupported ``schema_version``
+    or a malformed section, so stale artifacts fail loudly.
+    """
+    data = json.loads(payload) if isinstance(payload, str) else payload
+    if not isinstance(data, dict):
+        raise ValueError("graph payload must be a JSON object")
+    version = data.get("schema_version")
+    if version != GRAPH_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported graph schema_version {version!r} "
+            f"(this loader reads {GRAPH_SCHEMA_VERSION})"
+        )
+    sections: dict[str, tuple[dict, ...]] = {}
+    required = {
+        "modules": ("name", "relpath", "package"),
+        "imports": ("src", "dst", "line", "lazy"),
+        "functions": ("id", "module", "qualname", "line", "is_async", "cls"),
+        "calls": ("src", "dst", "line", "col"),
+    }
+    for section, keys in required.items():
+        rows = data.get(section)
+        if not isinstance(rows, list):
+            raise ValueError(f"graph payload section {section!r} must be a list")
+        for row in rows:
+            if not isinstance(row, dict) or any(key not in row for key in keys):
+                raise ValueError(f"malformed row in graph section {section!r}: {row!r}")
+        sections[section] = tuple({key: row[key] for key in keys} for row in rows)
+    return LoadedGraph(
+        schema_version=version,
+        modules=sections["modules"],
+        imports=sections["imports"],
+        functions=sections["functions"],
+        calls=sections["calls"],
+    )
+
+
+def _dot_quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def graph_to_dot(project: ProjectGraph, *, which: str = "imports") -> str:
+    """GraphViz source for the import (default) or call graph."""
+    lines: list[str] = []
+    if which == "imports":
+        lines.append("digraph imports {")
+        lines.append("  rankdir=LR;")
+        lines.append("  node [shape=box, fontsize=10];")
+        for name in sorted(project.modules):
+            lines.append(f"  {_dot_quote(name)};")
+        seen: set[tuple[str, str, bool]] = set()
+        for link in sorted(project.import_links, key=lambda e: (e.src, e.dst, e.lazy)):
+            key = (link.src, link.dst, link.lazy)
+            if key in seen:
+                continue
+            seen.add(key)
+            style = ' [style=dashed, label="lazy"]' if link.lazy else ""
+            lines.append(f"  {_dot_quote(link.src)} -> {_dot_quote(link.dst)}{style};")
+    elif which == "calls":
+        lines.append("digraph calls {")
+        lines.append("  rankdir=LR;")
+        lines.append("  node [shape=ellipse, fontsize=9];")
+        for fqid, node in sorted(project.functions.items()):
+            attrs = ' [style=filled, fillcolor="#cfe8ff"]' if node.summary.is_async else ""
+            lines.append(f"  {_dot_quote(fqid)}{attrs};")
+        pairs = sorted(
+            {
+                (fqid, callee)
+                for fqid, node in project.functions.items()
+                for callee, _site in node.edges
+            }
+        )
+        for src, dst in pairs:
+            lines.append(f"  {_dot_quote(src)} -> {_dot_quote(dst)};")
+    else:
+        raise ValueError(f"unknown graph kind {which!r} (use 'imports' or 'calls')")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_graph_exports(project: ProjectGraph, json_path: str | Path) -> list[Path]:
+    """Write ``graph.json`` + sibling ``.dot``/``.calls.dot`` files.
+
+    Returns the written paths.  Plain ``write_text`` is fine here: these
+    are throwaway inspection artifacts, not durable state (and the
+    analyzer must not depend on repro.utils, which imports numpy).
+    """
+    json_path = Path(json_path)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    dot_path = json_path.with_suffix(".dot")
+    calls_path = json_path.with_suffix(".calls.dot")
+    json_path.write_text(render_graph_json(project) + "\n", encoding="utf-8")
+    dot_path.write_text(graph_to_dot(project, which="imports"), encoding="utf-8")
+    calls_path.write_text(graph_to_dot(project, which="calls"), encoding="utf-8")
+    return [json_path, dot_path, calls_path]

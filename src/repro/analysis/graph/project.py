@@ -1,0 +1,410 @@
+"""The resolved whole-program view: import graph + call graph.
+
+:class:`ProjectGraph` assembles the per-module
+:class:`~repro.analysis.graph.summary.ModuleSummary` fact sheets into:
+
+* a **module-import graph** over project modules (edges carry the
+  import line and whether the import is lazy, i.e. function-scoped);
+* a **call graph** whose nodes are ``module:qualname`` function ids and
+  whose edges come from resolving each recorded call reference —
+  through import aliases, ``__init__`` re-export chains, ``self.``
+  dispatch with base-class (MRO) walking, attribute-type tables for
+  ``self.<attr>.method()`` receivers, and local constructor/annotation
+  types for ``var.method()``.
+
+Resolution is deliberately *under*-approximating: a reference that
+cannot be confidently pinned to a project function produces no edge
+(it stays visible to name-based matchers via the raw call site).  The
+graph rules built on top therefore miss some dynamic dispatch rather
+than inventing edges — the right trade for lint findings that must be
+worth fixing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.analysis.graph.summary import CallSite, FunctionSummary, ModuleSummary
+
+#: Cap on re-export / base-class chain walking (defensive, not a tuning knob).
+_MAX_HOPS = 16
+
+
+@dataclass(frozen=True)
+class ImportLink:
+    """One resolved project-module import edge."""
+
+    src: str
+    dst: str
+    line: int
+    lazy: bool
+
+
+@dataclass
+class FunctionNode:
+    """One call-graph node with its resolved outgoing edges."""
+
+    fqid: str  # "repro.edge.http:EdgeServer._route"
+    module: str
+    summary: FunctionSummary
+    edges: list[tuple[str, CallSite]] = field(default_factory=list)
+
+
+class ProjectGraph:
+    """Cross-module import and call graphs plus the query helpers."""
+
+    def __init__(self, modules: Mapping[str, ModuleSummary]):
+        self.modules: dict[str, ModuleSummary] = dict(modules)
+        self.classes: dict[str, tuple[str, str]] = {}  # class ref -> (module, class name)
+        self.functions: dict[str, FunctionNode] = {}
+        self.import_links: list[ImportLink] = []
+        self._build()
+
+    # -- construction ----------------------------------------------------
+    def _build(self) -> None:
+        for module in self.modules.values():
+            for cls_name in module.classes:
+                self.classes[f"{module.name}.{cls_name}"] = (module.name, cls_name)
+            for qualname, summary in module.functions.items():
+                fqid = f"{module.name}:{qualname}"
+                self.functions[fqid] = FunctionNode(fqid, module.name, summary)
+        for module in self.modules.values():
+            for edge in module.imports:
+                for target in self._import_targets(edge):
+                    if target in self.modules and target != module.name:
+                        self.import_links.append(
+                            ImportLink(module.name, target, edge.line, edge.lazy)
+                        )
+        for node in self.functions.values():
+            module = self.modules[node.module]
+            for site in node.summary.calls:
+                fqid = self.resolve_call(site.ref, module, node.summary)
+                if fqid is not None:
+                    node.edges.append((fqid, site))
+
+    def _import_targets(self, edge) -> Iterator[str]:
+        """Project modules an import statement binds (best effort)."""
+        if edge.names:
+            found_submodule = False
+            for name in edge.names:
+                candidate = f"{edge.target}.{name}"
+                if candidate in self.modules:
+                    found_submodule = True
+                    yield candidate
+            if not found_submodule:
+                yield edge.target
+        else:
+            yield edge.target
+            # `import a.b.c` binds every package on the path.
+            parts = edge.target.split(".")
+            for i in range(1, len(parts)):
+                yield ".".join(parts[:i])
+
+    # -- name resolution --------------------------------------------------
+    def resolve_class(self, ref: str) -> tuple[str, str] | None:
+        """Resolve a dotted class ref to ``(module, class name)``."""
+        seen: set[str] = set()
+        current = ref
+        for _ in range(_MAX_HOPS):
+            if current in seen:
+                return None
+            seen.add(current)
+            if current in self.classes:
+                return self.classes[current]
+            if "." not in current:
+                return None
+            module_part, tail = current.rsplit(".", 1)
+            module = self.modules.get(module_part)
+            if module is not None and tail in module.reexports:
+                current = module.reexports[tail]
+                continue
+            if module is not None and tail in module.aliases:
+                current = module.aliases[tail]
+                continue
+            return None
+        return None
+
+    def _class_mro(self, module: str, cls: str) -> Iterator[tuple[str, str]]:
+        """The class and its resolvable bases, breadth-first."""
+        queue: deque[tuple[str, str]] = deque([(module, cls)])
+        seen: set[tuple[str, str]] = set()
+        while queue:
+            where = queue.popleft()
+            if where in seen or len(seen) > _MAX_HOPS:
+                continue
+            seen.add(where)
+            yield where
+            summary = self.modules.get(where[0])
+            if summary is None or where[1] not in summary.classes:
+                continue
+            for base in summary.classes[where[1]].bases:
+                resolved = self.resolve_class(base)
+                if resolved is not None:
+                    queue.append(resolved)
+
+    def resolve_method(self, class_ref: str, method: str) -> str | None:
+        resolved = self.resolve_class(class_ref)
+        if resolved is None:
+            return None
+        for module, cls in self._class_mro(*resolved):
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            if f"{cls}.{method}" in summary.functions:
+                return f"{module}:{cls}.{method}"
+        return None
+
+    def resolve_dotted(self, path: str) -> str | None:
+        """Resolve a dotted callable ref to a function id, or None.
+
+        Handles plain functions, ``Class.method``, constructor calls
+        (``Class`` -> ``Class.__init__``), nested ``<locals>`` names,
+        and ``__init__`` re-export chains, longest module prefix first.
+        """
+        for _ in range(_MAX_HOPS):
+            parts = path.split(".")
+            module_name = None
+            for cut in range(len(parts) - 1, 0, -1):
+                candidate = ".".join(parts[:cut])
+                if candidate in self.modules:
+                    module_name = candidate
+                    tail = parts[cut:]
+                    break
+            if module_name is None:
+                return None
+            module = self.modules[module_name]
+            qual = ".".join(tail)
+            if qual in module.functions:
+                return f"{module_name}:{qual}"
+            if tail[0] in module.classes:
+                if len(tail) == 1:
+                    init = f"{tail[0]}.__init__"
+                    if init in module.functions:
+                        return f"{module_name}:{init}"
+                    return None
+                return self.resolve_method(f"{module_name}.{tail[0]}", tail[-1])
+            if tail[0] in module.reexports:
+                path = ".".join([module.reexports[tail[0]], *tail[1:]])
+                continue
+            if tail[0] in module.aliases:
+                path = ".".join([module.aliases[tail[0]], *tail[1:]])
+                continue
+            return None
+        return None
+
+    def _attr_type(self, module: ModuleSummary, cls_name: str, attr: str) -> str | None:
+        """The declared/inferred class ref of ``self.<attr>``."""
+        start = self.classes.get(f"{module.name}.{cls_name}")
+        if start is None:
+            return None
+        for mod_name, cls in self._class_mro(*start):
+            summary = self.modules.get(mod_name)
+            if summary is None or cls not in summary.classes:
+                continue
+            for name, ref in summary.classes[cls].attr_types:
+                if name != attr:
+                    continue
+                if ref.startswith("call:"):
+                    fqid = self.resolve_dotted(ref[len("call:") :])
+                    if fqid is None:
+                        return None
+                    returns = self.functions[fqid].summary.returns
+                    return returns
+                return ref
+        return None
+
+    def resolve_call(
+        self, ref: tuple[str, ...], module: ModuleSummary, caller: FunctionSummary
+    ) -> str | None:
+        """Resolve one recorded call reference to a function id."""
+        kind = ref[0]
+        if kind == "dotted":
+            return self.resolve_dotted(ref[1])
+        if kind == "self" and caller.cls is not None:
+            return self.resolve_method(f"{module.name}.{caller.cls}", ref[1])
+        if kind == "selfattr" and caller.cls is not None:
+            target = self._attr_type(module, caller.cls, ref[1])
+            if target is None:
+                return None
+            return self.resolve_method(target, ref[2])
+        if kind == "typed":
+            return self.resolve_method(ref[1], ref[2])
+        return None
+
+    # -- queries -----------------------------------------------------------
+    def callees(self, fqid: str) -> list[tuple[str, CallSite]]:
+        node = self.functions.get(fqid)
+        return list(node.edges) if node is not None else []
+
+    def reachable(self, roots: Iterable[str]) -> dict[str, tuple[str, CallSite] | None]:
+        """BFS over call edges; maps each reached id to its parent step.
+
+        The parent step is ``(parent fqid, call site in parent)``; roots
+        map to ``None``.  Deterministic: roots and edges are visited in
+        sorted/recorded order.
+        """
+        parents: dict[str, tuple[str, CallSite] | None] = {}
+        queue: deque[str] = deque()
+        for root in sorted(set(roots)):
+            if root in self.functions and root not in parents:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            for callee, site in self.callees(current):
+                if callee not in parents:
+                    parents[callee] = (current, site)
+                    queue.append(callee)
+        return parents
+
+    def call_chain(
+        self, parents: Mapping[str, tuple[str, CallSite] | None], fqid: str
+    ) -> list[str]:
+        """Root-to-``fqid`` function-id chain from a :meth:`reachable` map."""
+        chain = [fqid]
+        seen = {fqid}
+        current = fqid
+        while True:
+            step = parents.get(current)
+            if step is None:
+                break
+            current = step[0]
+            if current in seen:
+                break
+            seen.add(current)
+            chain.append(current)
+        chain.reverse()
+        return chain
+
+    def import_neighbors(self) -> dict[str, list[ImportLink]]:
+        out: dict[str, list[ImportLink]] = {}
+        for link in self.import_links:
+            out.setdefault(link.src, []).append(link)
+        return out
+
+    def import_chain(
+        self,
+        start: str,
+        is_target: Callable[[str], bool],
+        *,
+        include_lazy: bool = True,
+    ) -> list[ImportLink] | None:
+        """Shortest import-edge chain from ``start`` to a target module."""
+        neighbors = self.import_neighbors()
+        parents: dict[str, ImportLink | None] = {start: None}
+        queue: deque[str] = deque([start])
+        while queue:
+            current = queue.popleft()
+            for link in neighbors.get(current, ()):
+                if not include_lazy and link.lazy:
+                    continue
+                if link.dst in parents:
+                    continue
+                parents[link.dst] = link
+                if is_target(link.dst):
+                    chain: list[ImportLink] = []
+                    node: str | None = link.dst
+                    while node is not None:
+                        step = parents[node]
+                        if step is None:
+                            break
+                        chain.append(step)
+                        node = step.src
+                    chain.reverse()
+                    return chain
+                queue.append(link.dst)
+        return None
+
+    def import_cycles(self, *, include_lazy: bool = False) -> list[list[str]]:
+        """Module-level import cycles (SCCs of size > 1), sorted.
+
+        Lazy (function-scoped) imports are excluded by default: they
+        are the sanctioned way to break a cycle at runtime.
+        """
+        adjacency: dict[str, list[str]] = {name: [] for name in self.modules}
+        for link in self.import_links:
+            if link.lazy and not include_lazy:
+                continue
+            adjacency[link.src].append(link.dst)
+
+        # Tarjan's SCC, iterative for deep graphs.
+        index_of: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        cycles: list[list[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    index_of[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = adjacency[node]
+                while child_index < len(children):
+                    child = children[child_index]
+                    child_index += 1
+                    if child not in index_of:
+                        work.append((node, child_index))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index_of[child])
+                if recurse:
+                    continue
+                if low[node] == index_of[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        cycles.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+
+        for name in sorted(self.modules):
+            if name not in index_of:
+                strongconnect(name)
+        return sorted(cycles)
+
+    def async_functions(self, packages: Iterable[str]) -> list[str]:
+        """Ids of every ``async def`` whose module is inside ``packages``."""
+        prefixes = tuple(packages)
+        out = []
+        for fqid, node in self.functions.items():
+            if not node.summary.is_async:
+                continue
+            if any(
+                node.module == prefix or node.module.startswith(prefix + ".")
+                for prefix in prefixes
+            ):
+                out.append(fqid)
+        return sorted(out)
+
+    def relpath_of(self, fqid: str) -> str:
+        return self.modules[self.functions[fqid].module].relpath
+
+    def describe(self, fqid: str) -> str:
+        """Human form: ``repro.edge.http.EdgeServer._route``."""
+        module, _, qual = fqid.partition(":")
+        return f"{module}.{qual}"
+
+
+def build_project(modules: Iterable[ModuleSummary]) -> ProjectGraph:
+    """Assemble summaries (one per module) into a :class:`ProjectGraph`."""
+    table: dict[str, ModuleSummary] = {}
+    for summary in modules:
+        table[summary.name] = summary
+    return ProjectGraph(table)

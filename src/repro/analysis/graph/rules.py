@@ -1,0 +1,583 @@
+"""The graph-backed lint rules REP007–REP012.
+
+These register in the same :data:`~repro.analysis.lint.rules.RULE_REGISTRY`
+as the single-module rules, so suppressions, pyproject config, report
+formats, and exit codes are identical.  The difference is the unit of
+analysis: rules with ``requires_project = True`` run once per lint
+invocation against the assembled
+:class:`~repro.analysis.graph.project.ProjectGraph` instead of once per
+module, which is what lets them see a blocking call two hops below an
+async handler, a lock-order inversion split across two classes, or an
+import chain that quietly couples ``metrics`` to the serving stack.
+
+========  ==============================================================
+REP007    No blocking call (``time.sleep``, sync ``open``, sockets,
+          subprocess, blocking ``Lock.acquire``) reachable from an
+          ``async def`` in the edge packages — one blocked event loop
+          stalls every in-flight request.
+REP008    No cycle in the cross-class lock-order graph (who acquires
+          what while holding what) — a cycle is a deadlock waiting for
+          the right thread interleaving; the witness path names it.
+REP009    Every raw file write reachable from a WAL/checkpoint commit
+          site must live in a durable gateway module — durability
+          claims are only as strong as the weakest write they reach.
+REP010    No arithmetic mixing float32 store factors with float64
+          arrays outside the declared dtype boundary — silent upcasts
+          change scores bitwise and double the hot-path footprint.
+REP011    Declared import-layering contracts hold transitively (and the
+          top-level import graph stays acyclic) — the protocol layers
+          must never depend on the serving stack.
+REP012    ``default_rng()`` with a missing or literal seed in library
+          code forks determinism away from the seed root.
+========  ==============================================================
+
+REP012 is flow-local and therefore a plain per-module rule; it lives
+here because it belongs to this rule family, not because it needs the
+graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterator, Sequence
+
+from repro.analysis.graph.project import ProjectGraph
+from repro.analysis.graph.summary import FunctionSummary, ModuleSummary
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.engine import Finding, ModuleContext
+from repro.analysis.lint.rules import Rule, register
+
+
+class GraphRule(Rule):
+    """A rule that runs once over the whole-program graph."""
+
+    requires_project = True
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        return iter(())  # graph rules contribute nothing per module
+
+    def check_project(self, project: ProjectGraph, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self, project: ProjectGraph, fqid: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(self.id, project.relpath_of(fqid), line, col, message)
+
+
+def _in_packages(module: str, packages: Sequence[str]) -> bool:
+    return any(module == pkg or module.startswith(pkg + ".") for pkg in packages)
+
+
+def _matches(dotted: str, globs: Sequence[str]) -> bool:
+    return any(fnmatch(dotted, pattern) for pattern in globs)
+
+
+def _chain_text(project: ProjectGraph, chain: Sequence[str]) -> str:
+    return " -> ".join(f"`{project.describe(step)}`" for step in chain)
+
+
+# ---------------------------------------------------------------------------
+# REP007 — blocking calls reachable from the async edge
+# ---------------------------------------------------------------------------
+
+#: Calls that park the calling thread — fatal inside an event loop.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "io.open",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "http.client.HTTPConnection",
+        "http.client.HTTPSConnection",
+    }
+)
+
+
+def _blocking_sites(summary: FunctionSummary) -> Iterator[tuple[int, int, str]]:
+    """(line, col, description) of each blocking primitive in a function."""
+    for site in summary.calls:
+        if site.ref[0] == "dotted" and site.ref[1] in _BLOCKING_CALLS:
+            yield site.line, site.col, f"`{site.ref[1]}`"
+    for acquire in summary.acquires:
+        if acquire.explicit and acquire.blocking:
+            yield (
+                acquire.line,
+                acquire.col,
+                f"blocking `self.{acquire.attr}.acquire()`",
+            )
+
+
+@register
+class AsyncBlockingRule(GraphRule):
+    id = "REP007"
+    name = "no-blocking-in-async-edge"
+    rationale = (
+        "A blocking call (time.sleep, sync open, socket, subprocess, "
+        "Lock.acquire) anywhere on a call path below an `async def` edge "
+        "handler parks the event loop: every in-flight request stalls "
+        "behind it and the deadline budgets lie. Route blocking work "
+        "through `loop.run_in_executor` (the lambda boundary is not "
+        "traversed by this rule) or an async primitive."
+    )
+
+    def check_project(self, project: ProjectGraph, config: LintConfig) -> Iterator[Finding]:
+        seen: set[tuple[str, str, int, int]] = set()
+        for root in project.async_functions(config.graph.async_packages):
+            parents = project.reachable([root])
+            for fqid in sorted(parents):
+                summary = project.functions[fqid].summary
+                for line, col, what in _blocking_sites(summary):
+                    key = (root, fqid, line, col)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    chain = project.call_chain(parents, fqid)
+                    if fqid == root:
+                        # Direct: anchor at the blocking call itself.
+                        yield self.project_finding(
+                            project,
+                            root,
+                            line,
+                            col,
+                            f"{what} blocks the event loop inside async "
+                            f"`{project.describe(root)}`; hand it to an "
+                            "executor (`loop.run_in_executor`)",
+                        )
+                        continue
+                    # Indirect: anchor at the first hop out of the async
+                    # root, so the fix/suppression lives in edge code.
+                    hop = parents[chain[1]]
+                    assert hop is not None  # chain[1] is below the root
+                    _, hop_site = hop
+                    yield self.project_finding(
+                        project,
+                        root,
+                        hop_site.line,
+                        hop_site.col,
+                        f"async `{project.describe(root)}` reaches blocking "
+                        f"{what} in `{project.describe(fqid)}` "
+                        f"({project.relpath_of(fqid)}:{line}) via "
+                        f"{_chain_text(project, chain)}; move the call "
+                        "behind `loop.run_in_executor`",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# REP008 — cross-class lock-order cycles
+# ---------------------------------------------------------------------------
+
+
+class _LockGraph:
+    """Directed ``held -> acquired`` edges with call-site provenance."""
+
+    def __init__(self) -> None:
+        # edge -> (function id, line, text) witness, first one wins.
+        self.edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+
+    def add(self, held: str, acquired: str, prov: tuple[str, int, str]) -> None:
+        if held != acquired:
+            self.edges.setdefault((held, acquired), prov)
+
+    def successors(self, lock: str) -> list[str]:
+        return sorted(dst for (src, dst) in self.edges if src == lock)
+
+    def cycle_from(self, start: str) -> list[str] | None:
+        """Shortest edge path ``start -> ... -> start``, as lock ids."""
+        parents: dict[str, str] = {}
+        queue = [start]
+        while queue:
+            current = queue.pop(0)
+            for nxt in self.successors(current):
+                if nxt == start:
+                    path = [current]
+                    while current != start:
+                        current = parents[current]
+                        path.append(current)
+                    path.reverse()
+                    return path + [start]
+                if nxt not in parents:
+                    parents[nxt] = current
+                    queue.append(nxt)
+        return None
+
+
+def _lock_id(module: str, cls: str, attr: str) -> str:
+    return f"{module}.{cls}.{attr}"
+
+
+@register
+class LockOrderRule(GraphRule):
+    id = "REP008"
+    name = "no-lock-order-cycles"
+    rationale = (
+        "Two threads acquiring the same locks in opposite orders deadlock "
+        "on the right interleaving — and the order is invisible per file "
+        "once lock B is taken inside a method that lock-A holders call. "
+        "The global held->acquired graph over serving/obs/runtime/"
+        "streaming must stay acyclic; fix by reordering or merging the "
+        "acquisitions named in the witness path."
+    )
+
+    def check_project(self, project: ProjectGraph, config: LintConfig) -> Iterator[Finding]:
+        packages = config.graph.lock_packages
+        # 1. Locks each function acquires, transitively (fixpoint).
+        acquired: dict[str, set[str]] = {}
+        for fqid, node in project.functions.items():
+            summary = node.summary
+            direct: set[str] = set()
+            if summary.cls is not None and _in_packages(node.module, packages):
+                for acq in summary.acquires:
+                    direct.add(_lock_id(node.module, summary.cls, acq.attr))
+            acquired[fqid] = direct
+        changed = True
+        while changed:
+            changed = False
+            for fqid, node in project.functions.items():
+                mine = acquired[fqid]
+                before = len(mine)
+                for callee, _site in node.edges:
+                    mine |= acquired[callee]
+                if len(mine) != before:
+                    changed = True
+
+        # 2. held -> acquired edges with witnesses.
+        graph = _LockGraph()
+        for fqid, node in project.functions.items():
+            summary = node.summary
+            if summary.cls is None or not _in_packages(node.module, packages):
+                continue
+
+            def own(attr: str) -> str:
+                return _lock_id(node.module, summary.cls, attr)  # noqa: B023
+
+            for acq in summary.acquires:
+                for held in acq.held_locks:
+                    graph.add(
+                        own(held),
+                        own(acq.attr),
+                        (fqid, acq.line, f"acquires `self.{acq.attr}`"),
+                    )
+            for callee, site in node.edges:
+                if not site.held_locks:
+                    continue
+                for target in sorted(acquired[callee]):
+                    for held in site.held_locks:
+                        graph.add(
+                            own(held),
+                            target,
+                            (fqid, site.line, f"calls `{project.describe(callee)}`"),
+                        )
+
+        # 3. Cycles, one finding per normalized cycle.
+        reported: set[tuple[str, ...]] = set()
+        for start in sorted({src for (src, _dst) in graph.edges}):
+            cycle = graph.cycle_from(start)
+            if cycle is None:
+                continue
+            canonical = tuple(sorted(set(cycle)))
+            if canonical in reported:
+                continue
+            reported.add(canonical)
+            steps = []
+            for held, taken in zip(cycle, cycle[1:]):
+                fqid, line, text = graph.edges[(held, taken)]
+                steps.append(
+                    f"`{held}` -> `{taken}` (`{project.describe(fqid)}` "
+                    f"{project.relpath_of(fqid)}:{line} {text} while holding it)"
+                )
+            first_fqid, first_line, _ = graph.edges[(cycle[0], cycle[1])]
+            yield self.project_finding(
+                project,
+                first_fqid,
+                first_line,
+                0,
+                "lock-order cycle (deadlock on the right interleaving): "
+                + "; ".join(steps)
+                + "; pick one global order or merge the locks",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP009 — durability reachability
+# ---------------------------------------------------------------------------
+
+
+@register
+class DurabilityReachRule(GraphRule):
+    id = "REP009"
+    name = "durable-writes-from-commit-sites"
+    rationale = (
+        "A WAL append or checkpoint commit is a durability promise; if any "
+        "write it reaches bypasses utils/atomicio (tmp + fsync + rename), "
+        "a crash can tear exactly the artifact the WAL claims to protect. "
+        "Writes on commit paths must live in a durable gateway module."
+    )
+
+    def check_project(self, project: ProjectGraph, config: LintConfig) -> Iterator[Finding]:
+        roots = [
+            fqid
+            for fqid in sorted(project.functions)
+            if _matches(project.describe(fqid), config.graph.durability_roots)
+        ]
+        if not roots:
+            return
+        parents = project.reachable(roots)
+        seen: set[tuple[str, int, int]] = set()
+        for fqid in sorted(parents):
+            node = project.functions[fqid]
+            if _in_packages(node.module, config.graph.durable_gateways):
+                continue
+            for write in node.summary.writes:
+                key = (fqid, write.line, write.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = project.call_chain(parents, fqid)
+                yield self.project_finding(
+                    project,
+                    fqid,
+                    write.line,
+                    write.col,
+                    f"raw write {write.what} is reachable from durability "
+                    f"root `{project.describe(chain[0])}` via "
+                    f"{_chain_text(project, chain)}; route it through "
+                    "`repro.utils.atomicio`",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP010 — dtype-policy flow
+# ---------------------------------------------------------------------------
+
+
+@register
+class DtypeFlowRule(GraphRule):
+    id = "REP010"
+    name = "no-mixed-float32-float64-arithmetic"
+    rationale = (
+        "Arithmetic between float32 store factors and float64 arrays "
+        "silently upcasts: scores stop being bitwise comparable to the "
+        "protocol's float64 path and the hot-path working set doubles. "
+        "Cross the precision boundary only through store/dtype.py "
+        "(resolve_scoring_dtype and friends), or cast explicitly at a "
+        "sanctioned upcast point."
+    )
+
+    def check_project(self, project: ProjectGraph, config: LintConfig) -> Iterator[Finding]:
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            for qualname in sorted(module.functions):
+                summary = module.functions[qualname]
+                yield from self._check_function(project, config, module, summary)
+
+    def _check_function(
+        self,
+        project: ProjectGraph,
+        config: LintConfig,
+        module: ModuleSummary,
+        summary: FunctionSummary,
+    ) -> Iterator[Finding]:
+        tags: dict[str, int] = {}
+        # Two passes so a tag assigned below first use still lands.
+        for _ in range(2):
+            for target, ref in summary.assigns:
+                bits = self._bits(ref, tags, project, config, module, summary)
+                if bits is not None:
+                    tags[target] = bits
+        for site in summary.dtype_sites:
+            left = self._bits(site.left, tags, project, config, module, summary)
+            right = self._bits(site.right, tags, project, config, module, summary)
+            if {left, right} == {32, 64}:
+                yield Finding(
+                    self.id,
+                    module.relpath,
+                    site.line,
+                    site.col,
+                    "arithmetic mixes float32 store factors with a float64 "
+                    f"array in `{module.name}.{summary.qualname}`; upcast "
+                    "through `repro.store.dtype` or cast explicitly at the "
+                    "boundary",
+                )
+
+    def _bits(
+        self,
+        ref: tuple,
+        tags: dict[str, int],
+        project: ProjectGraph,
+        config: LintConfig,
+        module: ModuleSummary,
+        summary: FunctionSummary,
+    ) -> int | None:
+        kind = ref[0]
+        if kind == "cast32":
+            return 32
+        if kind == "cast64":
+            return 64
+        if kind == "name":
+            return tags.get(ref[1])
+        if kind == "call":
+            call_ref = ref[1]
+            if call_ref[0] == "dotted" and _matches(call_ref[1], config.graph.float32_sources):
+                return 32
+            fqid = project.resolve_call(call_ref, module, summary)
+            if fqid is not None and _matches(
+                project.describe(fqid), config.graph.float32_sources
+            ):
+                return 32
+            return None
+        if kind == "binop":
+            left = self._bits(ref[1], tags, project, config, module, summary)
+            right = self._bits(ref[2], tags, project, config, module, summary)
+            if left == right:
+                return left
+            # Mixed sub-expression: numpy upcasts, so the result is f64 —
+            # the mixing site itself is (already) the finding.
+            if {left, right} == {32, 64}:
+                return 64
+            return left if left is not None else right
+        return None
+
+
+# ---------------------------------------------------------------------------
+# REP011 — import-layering contracts
+# ---------------------------------------------------------------------------
+
+
+@register
+class ImportLayeringRule(GraphRule):
+    id = "REP011"
+    name = "import-layering-contracts"
+    rationale = (
+        "The protocol layers (core/mf/metrics/...) must stay importable "
+        "without dragging in the serving stack — that separation is what "
+        "keeps the paper reproduction runnable standalone and the layers "
+        "independently testable. Contracts are declared in "
+        "[tool.repro_lint.graph.forbid]; violations report the full "
+        "import chain, and the top-level import graph must stay acyclic."
+    )
+
+    def check_project(self, project: ProjectGraph, config: LintConfig) -> Iterator[Finding]:
+        for package in sorted(config.graph.forbid):
+            forbidden = config.graph.forbid[package]
+            for name in sorted(project.modules):
+                if not _in_packages(name, [package]):
+                    continue
+                chain = project.import_chain(
+                    name, lambda module: _in_packages(module, forbidden)
+                )
+                if chain is None:
+                    continue
+                arrows = " -> ".join([f"`{name}`"] + [f"`{link.dst}`" for link in chain])
+                lazy_note = " (via a lazy, function-scoped import)" if any(
+                    link.lazy for link in chain
+                ) else ""
+                yield Finding(
+                    self.id,
+                    project.modules[name].relpath,
+                    chain[0].line,
+                    0,
+                    f"layering contract: `{package}` must not reach "
+                    f"`{chain[-1].dst}`; import chain {arrows}{lazy_note}",
+                )
+        for cycle in project.import_cycles():
+            first = cycle[0]
+            line = min(
+                (link.line for link in self.import_links_between(project, cycle)),
+                default=1,
+            )
+            yield Finding(
+                self.id,
+                project.modules[first].relpath,
+                line,
+                0,
+                "top-level import cycle: "
+                + " -> ".join(f"`{module}`" for module in cycle)
+                + "; break it with a lazy (function-scoped) import",
+            )
+
+    @staticmethod
+    def import_links_between(project: ProjectGraph, cycle: list[str]):
+        members = set(cycle)
+        return [
+            link
+            for link in project.import_links
+            if link.src == cycle[0] and link.dst in members and not link.lazy
+        ]
+
+
+# ---------------------------------------------------------------------------
+# REP012 — RNG seed provenance (flow-local, so a plain per-module rule)
+# ---------------------------------------------------------------------------
+
+
+@register
+class SeedProvenanceRule(Rule):
+    id = "REP012"
+    name = "seed-provenance"
+    rationale = (
+        "`default_rng()` with a missing or hard-coded seed silently forks "
+        "determinism away from the seed root: kill-and-resume, the sampler "
+        "registry, and the replicability protocol all assume every stream "
+        "derives from an injected seed. Thread the seed in as a "
+        "parameter/config value (see utils/rng.py)."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        literal_names = _literal_int_names(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if context.dotted_name(node.func) != "numpy.random.default_rng":
+                continue
+            seed = node.args[0] if node.args else None
+            if seed is None:
+                for keyword in node.keywords:
+                    if keyword.arg == "seed":
+                        seed = keyword.value
+            problem = self._seed_problem(seed, literal_names)
+            if problem is not None:
+                yield self.finding(
+                    context,
+                    node,
+                    f"`default_rng` with {problem}; derive the seed from a "
+                    "parameter or config so determinism flows from the seed "
+                    "root (utils/rng.py)",
+                )
+
+    @staticmethod
+    def _seed_problem(seed: ast.expr | None, literal_names: frozenset[str]) -> str | None:
+        if seed is None:
+            return "no seed (fresh OS entropy every call)"
+        if isinstance(seed, ast.Constant):
+            if seed.value is None:
+                return "seed=None (fresh OS entropy every call)"
+            return f"a literal seed ({seed.value!r})"
+        if isinstance(seed, ast.Name) and seed.id in literal_names:
+            return f"a literal seed (via `{seed.id}`)"
+        return None
+
+
+def _literal_int_names(tree: ast.Module) -> frozenset[str]:
+    """Names bound (anywhere in the module) to a literal int constant."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, int)
+            and not isinstance(node.value.value, bool)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)

@@ -2,19 +2,21 @@
 
 Public surface:
 
-* engine — :func:`lint_paths` / :func:`lint_source`, :class:`Finding`,
-  :class:`LintResult`, :class:`ModuleContext`, :class:`Suppressions`;
+* engine — :func:`lint_paths` / :func:`lint_source` /
+  :func:`lint_sources`, :class:`Finding`, :class:`LintResult`,
+  :class:`ModuleContext`, :class:`Suppressions`;
 * rules — :class:`Rule`, :func:`register`, :data:`RULE_REGISTRY`,
-  :func:`all_rules` (REP001–REP006 ship registered);
-* config — :class:`LintConfig`, :data:`DEFAULT_CONFIG`,
-  :func:`load_config`;
+  :func:`all_rules` (REP001–REP006 here; the whole-program rules
+  REP007–REP012 register from :mod:`repro.analysis.graph.rules`);
+* config — :class:`LintConfig`, :class:`GraphConfig`,
+  :data:`DEFAULT_CONFIG`, :func:`load_config`;
 * report — :func:`render_text` / :func:`render_json` /
   :func:`result_to_json` / :func:`result_from_json`;
 * cli — :func:`main`, also reachable as ``python -m repro.analysis``
   and ``python -m repro lint``.
 """
 
-from repro.analysis.lint.config import DEFAULT_CONFIG, LintConfig, load_config
+from repro.analysis.lint.config import DEFAULT_CONFIG, GraphConfig, LintConfig, load_config
 from repro.analysis.lint.engine import (
     PARSE_ERROR_RULE,
     Finding,
@@ -23,6 +25,7 @@ from repro.analysis.lint.engine import (
     Suppressions,
     lint_paths,
     lint_source,
+    lint_sources,
 )
 from repro.analysis.lint.report import (
     JSON_SCHEMA_VERSION,
@@ -39,6 +42,7 @@ __all__ = [
     "PARSE_ERROR_RULE",
     "RULE_REGISTRY",
     "Finding",
+    "GraphConfig",
     "LintConfig",
     "LintResult",
     "ModuleContext",
@@ -48,6 +52,7 @@ __all__ = [
     "all_rules",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "load_config",
     "register",
     "render_json",

@@ -70,6 +70,67 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="append each firing rule's rationale to the text report",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="worker threads for per-file parsing/linting "
+        "(default: min(8, cpu count); findings order is identical at any N)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="restrict per-module rules to files reported by "
+        "`git diff --name-only HEAD`; whole-program (graph) rules still "
+        "see the full tree",
+    )
+    parser.add_argument(
+        "--graph-out",
+        type=Path,
+        metavar="GRAPH_JSON",
+        help="write the project import/call graphs next to the lint run: "
+        "versioned JSON at this path plus .dot/.calls.dot siblings",
+    )
+
+
+def _changed_files(root: Path | None) -> set[str] | None:
+    """Relpaths changed vs HEAD (staged or not), or None when git fails.
+
+    Paths come back repo-root-relative; they are re-anchored to the lint
+    root so they match the relpaths the engine reports.
+    """
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    repo_root = Path(top.stdout.strip())
+    anchor = (root if root is not None else Path.cwd()).resolve()
+    changed: set[str] = set()
+    for line in proc.stdout.splitlines():
+        name = line.strip()
+        if not name:
+            continue
+        absolute = (repo_root / name).resolve()
+        try:
+            changed.add(absolute.relative_to(anchor).as_posix())
+        except ValueError:
+            changed.add(absolute.as_posix())
+    return changed
 
 
 def _list_rules() -> str:
@@ -98,7 +159,29 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"error: unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
         config = config.merged_with(select=selected)
-    result = lint_paths(args.paths, config=config, root=args.root)
+    module_scope = None
+    if getattr(args, "changed", False):
+        module_scope = _changed_files(args.root)
+        if module_scope is None:
+            print(
+                "warning: --changed could not read `git diff --name-only HEAD`; "
+                "linting everything",
+                file=sys.stderr,
+            )
+    result = lint_paths(
+        args.paths,
+        config=config,
+        root=args.root,
+        jobs=getattr(args, "jobs", None),
+        module_scope=module_scope,
+        build_graph=getattr(args, "graph_out", None) is not None,
+    )
+    graph_out = getattr(args, "graph_out", None)
+    if graph_out is not None and result.project is not None:
+        from repro.analysis.graph.export import write_graph_exports
+
+        for written in write_graph_exports(result.project, graph_out):
+            print(f"wrote {written}", file=sys.stderr)
     report = (
         render_json(result) if args.fmt == "json" else render_text(result, verbose=args.verbose)
     )

@@ -33,6 +33,69 @@ def _match(relpath: str, patterns: Sequence[str]) -> bool:
 
 
 @dataclass(frozen=True)
+class GraphConfig:
+    """Policy knobs for the whole-program (graph) rules REP007–REP011.
+
+    Function-level patterns (``durability_roots``, ``float32_sources``)
+    are :mod:`fnmatch` globs matched against the dotted human name of a
+    call-graph node (``repro.streaming.wal.InteractionWAL.append``);
+    package fields are dotted module prefixes.
+
+    Attributes
+    ----------
+    async_packages:
+        Packages whose ``async def`` functions are REP007 roots (the
+        asyncio edge: anything they reach must not block the loop).
+    lock_packages:
+        Packages whose class locks participate in the REP008
+        lock-order graph.
+    durability_roots:
+        Function globs that anchor REP009: every write reachable from
+        a matching function must route through a durable gateway.
+    durable_gateways:
+        Modules whose raw writes are sanctioned (they *implement* the
+        atomic/durable primitives).
+    float32_sources:
+        Function globs whose return values carry the float32 store
+        dtype (REP010 tracks them into mixed-precision arithmetic).
+    forbid:
+        Import-layering contracts (REP011): package -> packages it must
+        never reach through imports, even transitively or lazily.
+    """
+
+    async_packages: tuple[str, ...] = ()
+    lock_packages: tuple[str, ...] = ()
+    durability_roots: tuple[str, ...] = ()
+    durable_gateways: tuple[str, ...] = ()
+    float32_sources: tuple[str, ...] = ()
+    forbid: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def merged_with(self, table: Mapping[str, object]) -> "GraphConfig":
+        """A copy with a ``[tool.repro_lint.graph]`` table layered on top
+        (each present key replaces the corresponding field)."""
+        forbid = table.get("forbid")
+        return replace(
+            self,
+            async_packages=_tuple_or(table.get("async_packages"), self.async_packages),
+            lock_packages=_tuple_or(table.get("lock_packages"), self.lock_packages),
+            durability_roots=_tuple_or(table.get("durability_roots"), self.durability_roots),
+            durable_gateways=_tuple_or(table.get("durable_gateways"), self.durable_gateways),
+            float32_sources=_tuple_or(table.get("float32_sources"), self.float32_sources),
+            forbid=(
+                {str(key): tuple(value) for key, value in forbid.items()}
+                if isinstance(forbid, dict)
+                else self.forbid
+            ),
+        )
+
+
+def _tuple_or(value: object, default: tuple[str, ...]) -> tuple[str, ...]:
+    if isinstance(value, (list, tuple)):
+        return tuple(str(item) for item in value)
+    return default
+
+
+@dataclass(frozen=True)
 class LintConfig:
     """Which rules run, and where.
 
@@ -54,6 +117,7 @@ class LintConfig:
     exclude: tuple[str, ...] = ()
     allow: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
     only: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    graph: GraphConfig = field(default_factory=GraphConfig)
 
     def is_selected(self, rule_id: str) -> bool:
         return not self.select or rule_id in self.select
@@ -75,9 +139,11 @@ class LintConfig:
         exclude: Sequence[str] | None = None,
         allow: Mapping[str, Sequence[str]] | None = None,
         only: Mapping[str, Sequence[str]] | None = None,
+        graph: Mapping[str, object] | None = None,
     ) -> "LintConfig":
         """A copy with the given overrides layered on top (additively
-        for ``exclude``/``allow``/``only``, replacing for ``select``)."""
+        for ``exclude``/``allow``/``only``, replacing for ``select``;
+        ``graph`` replaces per present key)."""
         new_allow = {key: tuple(value) for key, value in self.allow.items()}
         for key, value in (allow or {}).items():
             new_allow[key] = new_allow.get(key, ()) + tuple(value)
@@ -90,6 +156,7 @@ class LintConfig:
             exclude=self.exclude + tuple(exclude or ()),
             allow=new_allow,
             only=new_only,
+            graph=self.graph.merged_with(graph) if graph is not None else self.graph,
         )
 
 
@@ -107,6 +174,12 @@ DEFAULT_CONFIG = LintConfig(
         "REP002": ("*/utils/clock.py", "utils/clock.py"),
         # utils/atomicio.py implements the atomic writers themselves.
         "REP003": ("*/utils/atomicio.py", "utils/atomicio.py"),
+        # utils/atomicio.py owns the durable write path REP009 enforces.
+        "REP009": ("*/utils/atomicio.py", "utils/atomicio.py"),
+        # store/dtype.py is the sanctioned float32<->float64 boundary.
+        "REP010": ("*/store/dtype.py", "store/dtype.py"),
+        # utils/rng.py is the seed root REP012 routes everything through.
+        "REP012": ("*/utils/rng.py", "utils/rng.py"),
     },
     only={
         # Lock discipline is enforced where shared mutable state lives.
@@ -122,7 +195,24 @@ DEFAULT_CONFIG = LintConfig(
             "*/runtime/*.py",
             "runtime/*.py",
         ),
+        # Seed provenance is a *library* invariant: entry points and
+        # benchmarks may pin literal seeds on purpose.
+        "REP012": ("*/repro/*.py", "repro/*.py", "src/repro/*"),
     },
+    graph=GraphConfig(
+        async_packages=("repro.edge",),
+        lock_packages=("repro.serving", "repro.obs", "repro.runtime", "repro.streaming"),
+        durability_roots=(
+            "repro.streaming.wal.*",
+            "repro.resilience.checkpoint.*",
+            "repro.resilience.journal.*",
+            "repro.runtime.snapshot.*",
+            "repro.runtime.scrub.*",
+        ),
+        durable_gateways=("repro.utils.atomicio",),
+        float32_sources=("repro.store.shards.*", "repro.store.model.*"),
+        forbid={},
+    ),
 )
 
 
@@ -153,9 +243,11 @@ def load_config(pyproject: str | Path | None = None) -> LintConfig:
     table = data.get("tool", {}).get("repro_lint")
     if not isinstance(table, dict):
         return DEFAULT_CONFIG
+    graph = table.get("graph")
     return DEFAULT_CONFIG.merged_with(
         select=table.get("select"),
         exclude=table.get("exclude"),
         allow=table.get("allow"),
         only=table.get("only"),
+        graph=graph if isinstance(graph, dict) else None,
     )

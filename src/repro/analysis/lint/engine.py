@@ -181,6 +181,9 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     suppressed: int = 0
     files_scanned: int = 0
+    #: The assembled whole-program graph, when the run needed one
+    #: (a graph rule was active or an export was requested).
+    project: object | None = None
 
     @property
     def ok(self) -> bool:
@@ -212,58 +215,40 @@ def _relative_to_root(path: Path, root: Path | None) -> str:
     return path.as_posix()
 
 
-def lint_source(
+@dataclass
+class _FileScan:
+    """What one worker produces for one file."""
+
+    relpath: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    suppressions: Suppressions | None = None
+    summary: object | None = None  # ModuleSummary when the run needs the graph
+
+
+def _scan_file(
     source: str,
+    path: Path,
+    relpath: str,
+    config: LintConfig,
+    module_rules: Sequence[object],
     *,
-    relpath: str = "<string>",
-    config: LintConfig | None = None,
-) -> LintResult:
-    """Lint one in-memory module (the fixture-snippet entry point)."""
-    result = LintResult(files_scanned=1)
-    _lint_one(source, Path(relpath), relpath, config or LintConfig(), result)
-    return result
+    want_summary: bool,
+    run_module_rules: bool,
+) -> _FileScan:
+    """Parse one file, run the per-module rules, extract the summary.
 
-
-def lint_paths(
-    paths: Sequence[str | Path],
-    *,
-    config: LintConfig | None = None,
-    root: str | Path | None = None,
-) -> LintResult:
-    """Lint every Python file under ``paths`` and collect the findings.
-
-    ``root`` (default: the current directory) anchors the relative
-    paths used both in reports and in the config's glob matching.
+    Pure function of its inputs (no shared state), so it can run on a
+    worker pool; the caller merges results in deterministic path order.
+    Any parse failure — syntax error, null byte, pathological nesting —
+    becomes a REP000 finding instead of a crash, and the file simply
+    drops out of the graph.
     """
-    config = config or LintConfig()
-    root_path = Path(root) if root is not None else Path.cwd()
-    result = LintResult()
-    for path in iter_python_files(paths):
-        relpath = _relative_to_root(path, root_path)
-        if config.is_excluded(relpath):
-            continue
-        result.files_scanned += 1
-        try:
-            source = path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as error:
-            result.findings.append(
-                Finding(PARSE_ERROR_RULE, relpath, 1, 0, f"unreadable file: {error}")
-            )
-            continue
-        _lint_one(source, path, relpath, config, result)
-    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return result
-
-
-def _lint_one(
-    source: str, path: Path, relpath: str, config: LintConfig, result: LintResult
-) -> None:
-    from repro.analysis.lint.rules import active_rules
-
+    scan = _FileScan(relpath=relpath)
     try:
         context = ModuleContext.from_source(source, path=path, relpath=relpath)
     except SyntaxError as error:
-        result.findings.append(
+        scan.findings.append(
             Finding(
                 PARSE_ERROR_RULE,
                 relpath,
@@ -272,13 +257,205 @@ def _lint_one(
                 f"syntax error: {error.msg}",
             )
         )
-        return
-    suppressions = Suppressions(source)
+        return scan
+    except (ValueError, RecursionError, MemoryError) as error:
+        scan.findings.append(
+            Finding(PARSE_ERROR_RULE, relpath, 1, 0, f"unparseable file: {error}")
+        )
+        return scan
+    scan.suppressions = Suppressions(source)
+    if run_module_rules:
+        for rule in module_rules:
+            if not config.applies_to(rule.id, relpath):  # type: ignore[attr-defined]
+                continue
+            for finding in rule.check(context):  # type: ignore[attr-defined]
+                if scan.suppressions.is_suppressed(finding.rule, finding.line):
+                    scan.suppressed += 1
+                else:
+                    scan.findings.append(finding)
+    if want_summary:
+        from repro.analysis.graph.summary import summarize_module
+
+        scan.summary = summarize_module(
+            context.tree, relpath=relpath, aliases=context.aliases
+        )
+    return scan
+
+
+def _split_rules(config: LintConfig) -> tuple[list, list]:
+    """(per-module rules, graph rules) enabled by ``config``."""
+    from repro.analysis.lint.rules import active_rules
+
+    module_rules, graph_rules = [], []
     for rule in active_rules(config):
-        if not config.applies_to(rule.id, relpath):
-            continue
-        for finding in rule.check(context):
-            if suppressions.is_suppressed(finding.rule, finding.line):
+        (graph_rules if rule.requires_project else module_rules).append(rule)
+    return module_rules, graph_rules
+
+
+def _run_graph_pass(
+    scans: Sequence[_FileScan],
+    config: LintConfig,
+    graph_rules: Sequence[object],
+    result: LintResult,
+) -> None:
+    """Build the project graph and run the whole-program rules.
+
+    Graph findings go through the same gates as per-module ones: the
+    anchoring file's exclusion/allow globs and its ``# repro: allow``
+    suppression table.
+    """
+    from repro.analysis.graph.project import build_project
+
+    project = build_project(
+        scan.summary for scan in scans if scan.summary is not None  # type: ignore[misc]
+    )
+    result.project = project
+    tables = {scan.relpath: scan.suppressions for scan in scans}
+    for rule in graph_rules:
+        for finding in rule.check_project(project, config):  # type: ignore[attr-defined]
+            if config.is_excluded(finding.path):
+                continue
+            if not config.applies_to(rule.id, finding.path):  # type: ignore[attr-defined]
+                continue
+            suppressions = tables.get(finding.path)
+            if suppressions is not None and suppressions.is_suppressed(
+                finding.rule, finding.line
+            ):
                 result.suppressed += 1
             else:
                 result.findings.append(finding)
+
+
+def lint_sources(
+    sources: dict[str, str],
+    *,
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint an in-memory tree of ``{relpath: source}`` modules.
+
+    The fixture entry point for the graph rules: relpaths map to module
+    names exactly as on disk (``src/pkg/mod.py`` -> ``pkg.mod``), so a
+    handful of strings can exercise cross-module reachability.
+    """
+    config = config or LintConfig()
+    module_rules, graph_rules = _split_rules(config)
+    result = LintResult()
+    scans = []
+    for relpath in sorted(sources):
+        if config.is_excluded(relpath):
+            continue
+        result.files_scanned += 1
+        scans.append(
+            _scan_file(
+                sources[relpath],
+                Path(relpath),
+                relpath,
+                config,
+                module_rules,
+                want_summary=bool(graph_rules),
+                run_module_rules=True,
+            )
+        )
+    for scan in scans:
+        result.findings.extend(scan.findings)
+        result.suppressed += scan.suppressed
+    if graph_rules:
+        _run_graph_pass(scans, config, graph_rules, result)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def lint_source(
+    source: str,
+    *,
+    relpath: str = "<string>",
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint one in-memory module (the fixture-snippet entry point)."""
+    return lint_sources({relpath: source}, config=config)
+
+
+def _default_jobs() -> int:
+    import os
+
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    config: LintConfig | None = None,
+    root: str | Path | None = None,
+    jobs: int | None = None,
+    module_scope: set[str] | None = None,
+    build_graph: bool = False,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and collect the findings.
+
+    ``root`` (default: the current directory) anchors the relative
+    paths used both in reports and in the config's glob matching.
+
+    Files are parsed and per-module-linted on a worker pool (``jobs``
+    threads, default ``min(8, cpu_count)``); findings are merged in
+    sorted ``(path, line, col, rule)`` order regardless of completion
+    order, so the report is byte-identical at any parallelism.
+
+    ``module_scope`` (``repro lint --changed``) restricts the
+    *per-module* rules to the given relpaths; every file is still
+    parsed so the whole-program graph rules see the full tree.
+    ``build_graph`` forces the graph build even when no graph rule is
+    selected (``--graph-out`` without REP007+).
+    """
+    config = config or LintConfig()
+    root_path = Path(root) if root is not None else Path.cwd()
+    module_rules, graph_rules = _split_rules(config)
+    want_summary = bool(graph_rules) or build_graph
+    result = LintResult()
+
+    work: list[tuple[Path, str]] = []
+    seen: set[str] = set()
+    for path in iter_python_files(paths):
+        relpath = _relative_to_root(path, root_path)
+        if config.is_excluded(relpath) or relpath in seen:
+            continue
+        seen.add(relpath)
+        work.append((path, relpath))
+    result.files_scanned = len(work)
+
+    def scan_one(item: tuple[Path, str]) -> _FileScan:
+        path, relpath = item
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            scan = _FileScan(relpath=relpath)
+            scan.findings.append(
+                Finding(PARSE_ERROR_RULE, relpath, 1, 0, f"unreadable file: {error}")
+            )
+            return scan
+        return _scan_file(
+            source,
+            path,
+            relpath,
+            config,
+            module_rules,
+            want_summary=want_summary,
+            run_module_rules=module_scope is None or relpath in module_scope,
+        )
+
+    workers = jobs if jobs is not None else _default_jobs()
+    if workers > 1 and len(work) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            scans = list(pool.map(scan_one, work))
+    else:
+        scans = [scan_one(item) for item in work]
+
+    scans.sort(key=lambda scan: scan.relpath)
+    for scan in scans:
+        result.findings.extend(scan.findings)
+        result.suppressed += scan.suppressed
+    if graph_rules or build_graph:
+        _run_graph_pass(scans, config, graph_rules, result)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

@@ -51,11 +51,18 @@ def register(rule_class: Type["Rule"]) -> Type["Rule"]:
 
 
 class Rule:
-    """One named invariant checked over a parsed module."""
+    """One named invariant checked over a parsed module.
+
+    Rules with ``requires_project = True`` (the graph-backed rules in
+    :mod:`repro.analysis.graph.rules`) are skipped in the per-module
+    pass; the engine calls their ``check_project`` once with the
+    assembled :class:`~repro.analysis.graph.project.ProjectGraph`.
+    """
 
     id: str = ""
     name: str = ""
     rationale: str = ""
+    requires_project: bool = False
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -66,6 +73,10 @@ class Rule:
 
 def all_rules() -> list[Rule]:
     """Fresh instances of every registered rule, sorted by id."""
+    # The graph-backed rules register on first import; deferred so the
+    # single-module core never pays for (or cycles with) the graph layer.
+    import repro.analysis.graph.rules  # noqa: F401
+
     return [RULE_REGISTRY[rule_id]() for rule_id in sorted(RULE_REGISTRY)]
 
 

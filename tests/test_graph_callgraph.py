@@ -1,0 +1,417 @@
+"""Unit tests for the whole-program graph layer (summary + project).
+
+Covers the resolution machinery the REP007–REP011 rules stand on:
+module naming, import absolutization, alias-resolved dotted calls,
+``self.`` dispatch (including base classes), ``self.<attr>`` receiver
+typing from annotations and constructor assignments, re-export chains
+through package ``__init__``s, nested defs, the import graph (lazy
+edges, chains, cycles), and the JSON/DOT export round-trip.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.graph import (
+    GRAPH_SCHEMA_VERSION,
+    ProjectGraph,
+    build_project,
+    graph_from_json,
+    graph_to_dot,
+    graph_to_json,
+    module_name_for,
+    render_graph_json,
+    summarize_module,
+)
+
+
+def project_from(sources: dict[str, str]) -> ProjectGraph:
+    """Build a ProjectGraph from {relpath: source} fixture strings."""
+    summaries = []
+    for relpath in sorted(sources):
+        tree = ast.parse(textwrap.dedent(sources[relpath]))
+        aliases: dict[str, str] = {}
+        # Reuse the engine's alias semantics without importing it: the
+        # summary only needs head-name -> dotted-target mappings.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    aliases[local] = alias.name if alias.asname else local
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name != "*":
+                        aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        summaries.append(summarize_module(tree, relpath=relpath, aliases=aliases))
+    return build_project(summaries)
+
+
+def edge_targets(project: ProjectGraph, fqid: str) -> set[str]:
+    return {callee for callee, _site in project.callees(fqid)}
+
+
+class TestModuleNaming:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/edge/http.py") == "repro.edge.http"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for("src/repro/edge/__init__.py") == "repro.edge"
+
+    def test_non_src_tree(self):
+        assert module_name_for("benchmarks/bench_scale.py") == "benchmarks.bench_scale"
+
+
+class TestDottedResolution:
+    def test_plain_function_call_across_modules(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    from pkg.b import helper
+                    def caller():
+                        return helper()
+                """,
+                "src/pkg/b.py": """
+                    def helper():
+                        return 1
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.a:caller") == {"pkg.b:helper"}
+
+    def test_module_alias_call(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    import pkg.b as bee
+                    def caller():
+                        return bee.helper()
+                """,
+                "src/pkg/b.py": """
+                    def helper():
+                        return 1
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.a:caller") == {"pkg.b:helper"}
+
+    def test_local_call_qualifies_to_own_module(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    def helper():
+                        return 1
+                    def caller():
+                        return helper()
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.a:caller") == {"pkg.a:helper"}
+
+    def test_constructor_call_edges_to_init(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    from pkg.b import Widget
+                    def caller():
+                        return Widget()
+                """,
+                "src/pkg/b.py": """
+                    class Widget:
+                        def __init__(self):
+                            self.x = 1
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.a:caller") == {"pkg.b:Widget.__init__"}
+
+    def test_reexport_chain_through_package_init(self):
+        project = project_from(
+            {
+                "src/pkg/__init__.py": """
+                    from pkg.impl import helper
+                """,
+                "src/pkg/impl.py": """
+                    def helper():
+                        return 1
+                """,
+                "src/other.py": """
+                    import pkg
+                    def caller():
+                        return pkg.helper()
+                """,
+            }
+        )
+        assert edge_targets(project, "other:caller") == {"pkg.impl:helper"}
+
+    def test_unresolvable_external_call_has_no_edge(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    import numpy as np
+                    def caller():
+                        return np.zeros(3)
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.a:caller") == set()
+
+
+class TestSelfDispatch:
+    def test_self_method_call(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    class Service:
+                        def outer(self):
+                            return self.inner()
+                        def inner(self):
+                            return 1
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.a:Service.outer") == {"pkg.a:Service.inner"}
+
+    def test_self_dispatch_walks_base_classes(self):
+        project = project_from(
+            {
+                "src/pkg/base.py": """
+                    class Base:
+                        def shared(self):
+                            return 1
+                """,
+                "src/pkg/child.py": """
+                    from pkg.base import Base
+                    class Child(Base):
+                        def caller(self):
+                            return self.shared()
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.child:Child.caller") == {"pkg.base:Base.shared"}
+
+    def test_selfattr_typed_by_init_annotation(self):
+        project = project_from(
+            {
+                "src/pkg/svc.py": """
+                    class Service:
+                        def recommend(self):
+                            return 1
+                """,
+                "src/pkg/edge.py": """
+                    from pkg.svc import Service
+                    class Handler:
+                        def __init__(self, service: Service):
+                            self.service = service
+                        def handle(self):
+                            return self.service.recommend()
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.edge:Handler.handle") == {
+            "pkg.svc:Service.recommend"
+        }
+
+    def test_selfattr_typed_by_constructor_assignment(self):
+        project = project_from(
+            {
+                "src/pkg/svc.py": """
+                    class Service:
+                        def recommend(self):
+                            return 1
+                """,
+                "src/pkg/edge.py": """
+                    from pkg.svc import Service
+                    class Handler:
+                        def __init__(self):
+                            self.service = Service()
+                        def handle(self):
+                            return self.service.recommend()
+                """,
+            }
+        )
+        assert "pkg.svc:Service.recommend" in edge_targets(project, "pkg.edge:Handler.handle")
+
+    def test_local_var_typed_by_construction(self):
+        project = project_from(
+            {
+                "src/pkg/svc.py": """
+                    class Service:
+                        def recommend(self):
+                            return 1
+                """,
+                "src/pkg/use.py": """
+                    from pkg.svc import Service
+                    def caller():
+                        service = Service()
+                        return service.recommend()
+                """,
+            }
+        )
+        assert "pkg.svc:Service.recommend" in edge_targets(project, "pkg.use:caller")
+
+
+class TestDeferredBodies:
+    def test_lambda_body_draws_no_edges(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    import time
+                    def blocking():
+                        time.sleep(1)
+                    def caller(pool):
+                        return pool.submit(lambda: blocking())
+                """,
+            }
+        )
+        assert "pkg.a:blocking" not in edge_targets(project, "pkg.a:caller")
+
+    def test_nested_def_called_gets_edge(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    def outer():
+                        def inner():
+                            return 1
+                        return inner()
+                """,
+            }
+        )
+        assert edge_targets(project, "pkg.a:outer") == {"pkg.a:outer.<locals>.inner"}
+        assert "pkg.a:outer.<locals>.inner" in project.functions
+
+
+class TestImportGraph:
+    def test_relative_import_absolutized(self):
+        project = project_from(
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/a.py": "",
+                "src/pkg/b.py": "",
+            }
+        )
+        tree = ast.parse("from .a import helper\n")
+        summary = summarize_module(tree, relpath="src/pkg/b.py")
+        assert summary.imports[0].target == "pkg.a"
+
+    def test_lazy_import_flagged(self):
+        project = project_from(
+            {
+                "src/pkg/a.py": """
+                    def caller():
+                        from pkg.b import helper
+                        return helper()
+                """,
+                "src/pkg/b.py": """
+                    def helper():
+                        return 1
+                """,
+            }
+        )
+        links = [link for link in project.import_links if link.src == "pkg.a"]
+        assert links and all(link.lazy for link in links)
+
+    def test_import_chain_shortest_path(self):
+        project = project_from(
+            {
+                "src/a.py": "import b\n",
+                "src/b.py": "import c\n",
+                "src/c.py": "",
+            }
+        )
+        chain = project.import_chain("a", lambda module: module == "c")
+        assert chain is not None
+        assert [(link.src, link.dst) for link in chain] == [("a", "b"), ("b", "c")]
+
+    def test_import_cycles_top_level_only(self):
+        project = project_from(
+            {
+                "src/a.py": "import b\n",
+                "src/b.py": "import a\n",
+                "src/c.py": """
+                    def lazy():
+                        import d
+                """,
+                "src/d.py": """
+                    def lazy():
+                        import c
+                """,
+            }
+        )
+        assert project.import_cycles() == [["a", "b"]]
+        assert ["c", "d"] in project.import_cycles(include_lazy=True)
+
+
+class TestReachability:
+    def test_chain_reconstruction(self):
+        project = project_from(
+            {
+                "src/a.py": """
+                    from b import mid
+                    def root():
+                        return mid()
+                """,
+                "src/b.py": """
+                    from c import leaf
+                    def mid():
+                        return leaf()
+                """,
+                "src/c.py": """
+                    def leaf():
+                        return 1
+                """,
+            }
+        )
+        parents = project.reachable(["a:root"])
+        assert set(parents) == {"a:root", "b:mid", "c:leaf"}
+        assert project.call_chain(parents, "c:leaf") == ["a:root", "b:mid", "c:leaf"]
+
+
+class TestExportRoundTrip:
+    def fixture_project(self) -> ProjectGraph:
+        return project_from(
+            {
+                "src/pkg/a.py": """
+                    from pkg.b import helper
+                    async def handler():
+                        return helper()
+                """,
+                "src/pkg/b.py": """
+                    def helper():
+                        return 1
+                """,
+            }
+        )
+
+    def test_json_round_trips_through_loader(self):
+        project = self.fixture_project()
+        payload = graph_to_json(project)
+        assert payload["schema_version"] == GRAPH_SCHEMA_VERSION
+        loaded = graph_from_json(render_graph_json(project))
+        assert loaded.to_payload() == payload
+        assert "pkg.a" in loaded.module_names()
+        assert ("pkg.a", "pkg.b") in loaded.import_pairs()
+        assert ("pkg.a:handler", "pkg.b:helper") in loaded.call_pairs()
+
+    def test_loader_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            graph_from_json({"schema_version": 999})
+
+    def test_loader_rejects_malformed_rows(self):
+        payload = graph_to_json(self.fixture_project())
+        payload["calls"] = [{"src": "x"}]
+        with pytest.raises(ValueError, match="calls"):
+            graph_from_json(payload)
+
+    def test_dot_exports(self):
+        project = self.fixture_project()
+        imports_dot = graph_to_dot(project, which="imports")
+        calls_dot = graph_to_dot(project, which="calls")
+        assert '"pkg.a" -> "pkg.b"' in imports_dot
+        assert '"pkg.a:handler" -> "pkg.b:helper"' in calls_dot
+        # async nodes are shaded in the call graph
+        assert 'fillcolor="#cfe8ff"' in calls_dot
+        with pytest.raises(ValueError):
+            graph_to_dot(project, which="nope")
